@@ -1,0 +1,59 @@
+//! Packing-baseline comparison: Next-Fit vs First-Fit vs Best-Fit vs the
+//! paper's CustomBinPacking, on the same GSP selection — quantifies how
+//! much of CBP's advantage is topic grouping versus per-pair placement
+//! smarts (see `stage2::baselines`).
+
+use cloud_cost::{instances, CostModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcss_bench::scenario::Scenario;
+use mcss_core::stage1::{GreedySelectPairs, PairSelector};
+use mcss_core::stage2::{
+    Allocator, BestFitBinPacking, CbpConfig, CustomBinPacking, FirstFitBinPacking,
+    NextFitBinPacking,
+};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let scenario = Scenario::spotify(20_000, 20140113);
+    let cost = scenario.cost_model(instances::C3_LARGE);
+    let inst = scenario.instance(100, instances::C3_LARGE).expect("valid capacity");
+    let selection = GreedySelectPairs::new().select(&inst).expect("gsp");
+
+    // Quality snapshot, printed once beside the runtime numbers.
+    let allocators: Vec<(&str, Box<dyn Allocator>)> = vec![
+        ("NFBP", Box::new(NextFitBinPacking::new())),
+        ("FFBP", Box::new(FirstFitBinPacking::new())),
+        ("BFBP", Box::new(BestFitBinPacking::new())),
+        ("CBP", Box::new(CustomBinPacking::new(CbpConfig::full()))),
+    ];
+    for (name, alloc) in &allocators {
+        let a = alloc
+            .allocate(inst.workload(), &selection, inst.capacity(), &cost)
+            .expect("feasible");
+        eprintln!(
+            "# baseline {}: cost {}, {} VMs, bw {}",
+            name,
+            cost.total_cost(a.vm_count(), a.total_bandwidth()),
+            a.vm_count(),
+            a.total_bandwidth()
+        );
+    }
+
+    let mut group = c.benchmark_group("stage2-baselines/spotify");
+    group.sample_size(10);
+    for (name, alloc) in &allocators {
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| {
+                black_box(
+                    alloc
+                        .allocate(inst.workload(), &selection, inst.capacity(), &cost)
+                        .expect("feasible"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Trace generator throughput: how fast the synthetic Spotify/Twitter
+//! workloads materialize (relevant when sweeping large scales).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pubsub_traces::{SpotifyLike, TwitterLike};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    for size in [5_000usize, 20_000] {
+        group.bench_with_input(BenchmarkId::new("spotify", size), &size, |b, &n| {
+            b.iter(|| black_box(SpotifyLike::new(n, 7).generate()));
+        });
+        group.bench_with_input(BenchmarkId::new("twitter", size), &size, |b, &n| {
+            b.iter(|| black_box(TwitterLike::new(n, 7).generate()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

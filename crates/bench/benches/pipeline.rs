@@ -1,0 +1,34 @@
+//! End-to-end pipeline benchmark: the paper's full solution (GSP +
+//! fully-optimized CBP) and the naive baseline, wall-clock per solve.
+
+use cloud_cost::instances;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcss_bench::scenario::Scenario;
+use mcss_core::{AllocatorKind, SelectorKind, Solver, SolverParams};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let scenarios =
+        [Scenario::spotify(20_000, 20140113), Scenario::twitter(10_000, 20131030)];
+    for scenario in &scenarios {
+        let cost = scenario.cost_model(instances::C3_LARGE);
+        let mut group = c.benchmark_group(format!("pipeline/{}", scenario.name));
+        group.sample_size(10);
+        let inst = scenario.instance(100, instances::C3_LARGE).expect("valid capacity");
+        group.bench_with_input(BenchmarkId::new("GSP+CBP", 100), &inst, |b, inst| {
+            let solver = Solver::default();
+            b.iter(|| black_box(solver.solve(inst, &cost).expect("feasible")));
+        });
+        group.bench_with_input(BenchmarkId::new("RSP+FFBP", 100), &inst, |b, inst| {
+            let solver = Solver::new(SolverParams {
+                selector: SelectorKind::Random { seed: 42 },
+                allocator: AllocatorKind::FirstFit,
+            });
+            b.iter(|| black_box(solver.solve(inst, &cost).expect("feasible")));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E-FIG4/5 (Criterion form): Stage-1 runtime, GSP vs RSP, across τ, on
+//! Spotify-like and Twitter-like traces.
+
+use cloud_cost::instances;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcss_bench::scenario::Scenario;
+use mcss_core::stage1::{GreedySelectPairs, PairSelector, RandomSelectPairs};
+use std::hint::black_box;
+
+fn bench_stage1(c: &mut Criterion) {
+    let scenarios =
+        [Scenario::spotify(20_000, 20140113), Scenario::twitter(10_000, 20131030)];
+    for scenario in &scenarios {
+        let mut group = c.benchmark_group(format!("stage1/{}", scenario.name));
+        group.sample_size(10);
+        for tau in [10u64, 100, 1000] {
+            let inst = scenario.instance(tau, instances::C3_LARGE).expect("valid capacity");
+            group.bench_with_input(BenchmarkId::new("GSP", tau), &inst, |b, inst| {
+                let sel = GreedySelectPairs::new();
+                b.iter(|| black_box(sel.select(inst).expect("gsp")));
+            });
+            group.bench_with_input(BenchmarkId::new("GSP-par4", tau), &inst, |b, inst| {
+                let sel = GreedySelectPairs::with_threads(4);
+                b.iter(|| black_box(sel.select(inst).expect("gsp")));
+            });
+            group.bench_with_input(BenchmarkId::new("RSP", tau), &inst, |b, inst| {
+                let sel = RandomSelectPairs::new(42);
+                b.iter(|| black_box(sel.select(inst).expect("rsp")));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_stage1);
+criterion_main!(benches);

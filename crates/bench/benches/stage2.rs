@@ -1,0 +1,55 @@
+//! E-FIG6/7 (Criterion form): Stage-2 runtime, fully-optimized CBP vs
+//! FFBP, on the GSP selection.
+
+use cloud_cost::instances;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcss_bench::scenario::Scenario;
+use mcss_core::stage1::{GreedySelectPairs, PairSelector};
+use mcss_core::stage2::{Allocator, CbpConfig, CustomBinPacking, FirstFitBinPacking};
+use std::hint::black_box;
+
+fn bench_stage2(c: &mut Criterion) {
+    let scenarios =
+        [Scenario::spotify(20_000, 20140113), Scenario::twitter(10_000, 20131030)];
+    for scenario in &scenarios {
+        let cost = scenario.cost_model(instances::C3_LARGE);
+        let mut group = c.benchmark_group(format!("stage2/{}", scenario.name));
+        group.sample_size(10);
+        for tau in [10u64, 1000] {
+            let inst = scenario.instance(tau, instances::C3_LARGE).expect("valid capacity");
+            let selection = GreedySelectPairs::new().select(&inst).expect("gsp");
+            group.bench_with_input(
+                BenchmarkId::new("CBP-full", tau),
+                &(&inst, &selection),
+                |b, (inst, selection)| {
+                    let alloc = CustomBinPacking::new(CbpConfig::full());
+                    b.iter(|| {
+                        black_box(
+                            alloc
+                                .allocate(inst.workload(), selection, inst.capacity(), &cost)
+                                .expect("feasible"),
+                        )
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("FFBP", tau),
+                &(&inst, &selection),
+                |b, (inst, selection)| {
+                    let alloc = FirstFitBinPacking::new();
+                    b.iter(|| {
+                        black_box(
+                            alloc
+                                .allocate(inst.workload(), selection, inst.capacity(), &cost)
+                                .expect("feasible"),
+                        )
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_stage2);
+criterion_main!(benches);

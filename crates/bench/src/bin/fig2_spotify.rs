@@ -1,0 +1,18 @@
+//! E-FIG2a/b: Spotify cost metrics for c3.large (64 mbps) and c3.xlarge
+//! (128 mbps) across τ ∈ {10, 100, 1000} and every optimization variant.
+//!
+//! Run with: `cargo run --release -p mcss-bench --bin fig2_spotify`
+//! Size override: `MCSS_SPOTIFY_SUBS=250000` (default 100000).
+
+use cloud_cost::instances;
+use mcss_bench::experiments::fig_cost_metrics;
+use mcss_bench::scenario::{env_size, Scenario};
+
+fn main() {
+    let subs = env_size("MCSS_SPOTIFY_SUBS", 100_000);
+    let scenario = Scenario::spotify(subs, 20140113);
+    println!("== Fig. 2a ==");
+    print!("{}", fig_cost_metrics(&scenario, instances::C3_LARGE));
+    println!("\n== Fig. 2b ==");
+    print!("{}", fig_cost_metrics(&scenario, instances::C3_XLARGE));
+}

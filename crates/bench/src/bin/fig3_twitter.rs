@@ -1,0 +1,18 @@
+//! E-FIG3a/b: Twitter cost metrics for c3.large and c3.xlarge across
+//! τ ∈ {10, 100, 1000} and every optimization variant.
+//!
+//! Run with: `cargo run --release -p mcss-bench --bin fig3_twitter`
+//! Size override: `MCSS_TWITTER_USERS=100000` (default 20000).
+
+use cloud_cost::instances;
+use mcss_bench::experiments::fig_cost_metrics;
+use mcss_bench::scenario::{env_size, Scenario};
+
+fn main() {
+    let users = env_size("MCSS_TWITTER_USERS", 20_000);
+    let scenario = Scenario::twitter(users, 20131030);
+    println!("== Fig. 3a ==");
+    print!("{}", fig_cost_metrics(&scenario, instances::C3_LARGE));
+    println!("\n== Fig. 3b ==");
+    print!("{}", fig_cost_metrics(&scenario, instances::C3_XLARGE));
+}

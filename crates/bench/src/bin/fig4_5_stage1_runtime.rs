@@ -1,0 +1,19 @@
+//! E-FIG4/5: Stage-1 runtime (GSP vs RSP) for Spotify-like and
+//! Twitter-like traces across τ.
+//!
+//! Run with: `cargo run --release -p mcss-bench --bin fig4_5_stage1_runtime`
+//! Size overrides: `MCSS_SPOTIFY_SUBS`, `MCSS_TWITTER_USERS`.
+
+use cloud_cost::instances;
+use mcss_bench::experiments::fig_stage1_runtime;
+use mcss_bench::scenario::{env_size, Scenario};
+
+fn main() {
+    let spotify = Scenario::spotify(env_size("MCSS_SPOTIFY_SUBS", 100_000), 20140113);
+    println!("== Fig. 4 (Spotify) ==");
+    print!("{}", fig_stage1_runtime(&spotify, instances::C3_LARGE, 3));
+
+    let twitter = Scenario::twitter(env_size("MCSS_TWITTER_USERS", 20_000), 20131030);
+    println!("\n== Fig. 5 (Twitter) ==");
+    print!("{}", fig_stage1_runtime(&twitter, instances::C3_LARGE, 3));
+}

@@ -1,0 +1,19 @@
+//! E-FIG6/7: Stage-2 runtime (fully-optimized CBP vs FFBP) for
+//! Spotify-like and Twitter-like traces on c3.large.
+//!
+//! Run with: `cargo run --release -p mcss-bench --bin fig6_7_stage2_runtime`
+//! Size overrides: `MCSS_SPOTIFY_SUBS`, `MCSS_TWITTER_USERS`.
+
+use cloud_cost::instances;
+use mcss_bench::experiments::fig_stage2_runtime;
+use mcss_bench::scenario::{env_size, Scenario};
+
+fn main() {
+    let spotify = Scenario::spotify(env_size("MCSS_SPOTIFY_SUBS", 100_000), 20140113);
+    println!("== Fig. 6 (Spotify, c3.large) ==");
+    print!("{}", fig_stage2_runtime(&spotify, instances::C3_LARGE, 3));
+
+    let twitter = Scenario::twitter(env_size("MCSS_TWITTER_USERS", 20_000), 20131030);
+    println!("\n== Fig. 7 (Twitter, c3.large) ==");
+    print!("{}", fig_stage2_runtime(&twitter, instances::C3_LARGE, 2));
+}

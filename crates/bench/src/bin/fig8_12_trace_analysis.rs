@@ -1,0 +1,13 @@
+//! E-FIG8–12: Twitter trace distribution analysis (Appendix D).
+//!
+//! Run with: `cargo run --release -p mcss-bench --bin fig8_12_trace_analysis`
+//! Size override: `MCSS_TWITTER_USERS` (default 100000 here — analysis is
+//! cheap, so a bigger sample gives cleaner tails).
+
+use mcss_bench::experiments::fig_trace_analysis;
+use mcss_bench::scenario::env_size;
+
+fn main() {
+    let users = env_size("MCSS_TWITTER_USERS", 100_000);
+    print!("{}", fig_trace_analysis(users, 20131030));
+}

@@ -1,0 +1,20 @@
+//! Experiment harness for the ICDCS 2014 evaluation (Figs. 1–12).
+//!
+//! Each paper figure has a regenerator in [`experiments`]; the binaries in
+//! `src/bin/` are thin wrappers so `run_all` can execute everything in one
+//! process and write `results/`. The Criterion benches under `benches/`
+//! cover the runtime figures (4–7) with statistical rigor; the experiment
+//! binaries print the same series as tables for quick inspection.
+//!
+//! Scaling: experiments run on synthetic traces a few percent of the
+//! paper's size; per-VM capacity and the $/GB price are scale-compensated
+//! (see `DESIGN.md` §3) so VM counts and dollar figures are directly
+//! comparable to the paper's plots.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod paper;
+pub mod scenario;
+pub mod table;

@@ -1,0 +1,93 @@
+//! Minimal aligned-text table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A right-aligned text table with a left-aligned first column.
+///
+/// ```
+/// use mcss_bench::table::Table;
+/// let mut t = Table::new(vec!["variant".into(), "cost".into()]);
+/// t.row(vec!["GSP+CBP".into(), "$12.00".into()]);
+/// let text = t.render();
+/// assert!(text.contains("variant"));
+/// assert!(text.contains("$12.00"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells; long rows
+    /// are truncated to the header width.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    let _ = write!(out, "{cell:<width$}", width = widths[i]);
+                } else {
+                    let _ = write!(out, "{cell:>width$}", width = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_padding() {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into()]); // padded
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // every rendered row has equal width
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn truncates_long_rows() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["x".into(), "dropped".into()]);
+        assert!(!t.render().contains("dropped"));
+    }
+}

@@ -1,0 +1,127 @@
+//! The EC2 instance catalogue used in the paper's evaluation (§IV-A).
+
+use crate::Money;
+use serde::Serialize;
+use std::fmt;
+
+/// A rentable VM flavour: hourly price and bandwidth capacity.
+///
+/// The paper simplifies the IaaS offer to a single capacity dimension —
+/// bandwidth — arguing that delivery is network-bound so the bandwidth cap
+/// also caps CPU/memory usage (§II-A). Capacity covers incoming plus
+/// outgoing traffic combined, excluding inter-VM chatter.
+///
+/// ```
+/// use cloud_cost::instances::C3_LARGE;
+/// assert_eq!(C3_LARGE.name(), "c3.large");
+/// assert_eq!(C3_LARGE.bandwidth_mbps(), 64);
+/// assert_eq!(C3_LARGE.hourly_price().to_string(), "$0.15");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize)]
+pub struct InstanceType {
+    name: &'static str,
+    hourly_micros: i64,
+    bandwidth_mbps: u64,
+}
+
+impl InstanceType {
+    /// Defines an instance type. Prefer the constants in [`instances`].
+    pub const fn new(name: &'static str, hourly_micros: i64, bandwidth_mbps: u64) -> Self {
+        InstanceType { name, hourly_micros, bandwidth_mbps }
+    }
+
+    /// EC2 API name, e.g. `"c3.large"`.
+    #[inline]
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// On-demand hourly price.
+    #[inline]
+    pub const fn hourly_price(&self) -> Money {
+        Money::from_micros(self.hourly_micros)
+    }
+
+    /// Combined in+out bandwidth capacity in megabits per second.
+    #[inline]
+    pub const fn bandwidth_mbps(&self) -> u64 {
+        self.bandwidth_mbps
+    }
+
+    /// Bandwidth capacity in bytes over a window of `seconds` seconds
+    /// (`mbps · 10⁶ / 8 · seconds`).
+    pub fn capacity_bytes(&self, seconds: u64) -> u128 {
+        u128::from(self.bandwidth_mbps) * 1_000_000 / 8 * u128::from(seconds)
+    }
+}
+
+impl fmt::Display for InstanceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}/h, {} mbps)", self.name, self.hourly_price(), self.bandwidth_mbps)
+    }
+}
+
+/// The instance catalogue.
+pub mod instances {
+    use super::InstanceType;
+
+    /// `c3.large`: $0.15/h, 64 mbps — the paper's primary configuration
+    /// (Figs. 2a, 3a; prices and limits per §IV-A).
+    pub const C3_LARGE: InstanceType = InstanceType::new("c3.large", 150_000, 64);
+
+    /// `c3.xlarge`: $0.30/h, 128 mbps (Figs. 2b, 3b).
+    pub const C3_XLARGE: InstanceType = InstanceType::new("c3.xlarge", 300_000, 128);
+
+    /// `c3.2xlarge`: $0.60/h, 256 mbps. *Extension*: the paper mentions
+    /// repeating experiments on other instance types without reporting
+    /// them; this extrapolates the c3 family's linear price/bandwidth
+    /// scaling for the ablation benches.
+    pub const C3_2XLARGE: InstanceType = InstanceType::new("c3.2xlarge", 600_000, 256);
+
+    /// All catalogued types, cheapest first.
+    pub const ALL: &[InstanceType] = &[C3_LARGE, C3_XLARGE, C3_2XLARGE];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::instances::*;
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        assert_eq!(C3_LARGE.hourly_price(), Money::from_micros(150_000));
+        assert_eq!(C3_LARGE.bandwidth_mbps(), 64);
+        assert_eq!(C3_XLARGE.hourly_price(), Money::from_micros(300_000));
+        assert_eq!(C3_XLARGE.bandwidth_mbps(), 128);
+    }
+
+    #[test]
+    fn capacity_bytes_conversion() {
+        // 64 mbps = 8 MB/s; over 10 s that is 80 MB.
+        assert_eq!(C3_LARGE.capacity_bytes(10), 80_000_000);
+        // Over the paper's 10-day window: 64e6/8 B/s × 864000 s = 6.912e12 B.
+        assert_eq!(C3_LARGE.capacity_bytes(864_000), 6_912_000_000_000);
+    }
+
+    #[test]
+    fn family_scales_linearly() {
+        assert_eq!(C3_XLARGE.bandwidth_mbps(), 2 * C3_LARGE.bandwidth_mbps());
+        assert_eq!(C3_2XLARGE.bandwidth_mbps(), 2 * C3_XLARGE.bandwidth_mbps());
+        assert_eq!(C3_XLARGE.hourly_price(), C3_LARGE.hourly_price() * 2);
+    }
+
+    #[test]
+    fn display_mentions_name_and_price() {
+        let text = C3_LARGE.to_string();
+        assert!(text.contains("c3.large"));
+        assert!(text.contains("$0.15"));
+        assert!(text.contains("64 mbps"));
+    }
+
+    #[test]
+    fn catalogue_sorted_cheapest_first() {
+        for w in ALL.windows(2) {
+            assert!(w[0].hourly_price() <= w[1].hourly_price());
+        }
+    }
+}

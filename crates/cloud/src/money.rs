@@ -1,0 +1,224 @@
+//! Exact fixed-point currency.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A monetary amount in micro-dollars (10⁻⁶ USD), stored exactly.
+///
+/// Cost comparisons drive allocation decisions inside the solver
+/// (`CheaperToDistribute`, Alg. 7), so costs must compare deterministically;
+/// floating point would make the comparison platform- and
+/// evaluation-order-dependent. `i64` micro-dollars covers ±9.2 trillion
+/// dollars, far beyond any deployment cost in the paper.
+///
+/// ```
+/// use cloud_cost::Money;
+/// let hourly = Money::from_micros(150_000); // $0.15
+/// let bill = hourly * 240;                  // 10-day window
+/// assert_eq!(bill, Money::from_cents(3600));
+/// assert_eq!(bill.to_string(), "$36.00");
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Money(i64);
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0);
+
+    /// Creates an amount from micro-dollars.
+    #[inline]
+    pub const fn from_micros(micros: i64) -> Self {
+        Money(micros)
+    }
+
+    /// Creates an amount from whole cents.
+    #[inline]
+    pub const fn from_cents(cents: i64) -> Self {
+        Money(cents * 10_000)
+    }
+
+    /// Creates an amount from whole dollars.
+    #[inline]
+    pub const fn from_dollars(dollars: i64) -> Self {
+        Money(dollars * 1_000_000)
+    }
+
+    /// Creates an amount from a floating-point dollar figure, rounding to
+    /// the nearest micro-dollar. Intended for configuration ingestion only.
+    pub fn from_dollars_f64(dollars: f64) -> Self {
+        Money((dollars * 1e6).round() as i64)
+    }
+
+    /// The amount in micro-dollars.
+    #[inline]
+    pub const fn micros(self) -> i64 {
+        self.0
+    }
+
+    /// The amount as a floating-point dollar figure (for display and
+    /// plotting only — never for decisions).
+    #[inline]
+    pub fn as_dollars_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns `true` if the amount is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies by a volume ratio expressed as `numer/denom`, rounding to
+    /// nearest, using 128-bit intermediates. Used to price bytes at a
+    /// per-GB rate without overflow: `price * bytes / 1e9`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denom` is zero or the result overflows `i64`.
+    pub fn mul_ratio(self, numer: u128, denom: u128) -> Money {
+        assert!(denom != 0, "zero denominator in money ratio");
+        let value = i128::from(self.0);
+        let (abs, neg) = if value < 0 { ((-value) as u128, true) } else { (value as u128, false) };
+        let scaled = abs.checked_mul(numer).expect("money ratio overflow");
+        let rounded = (scaled + denom / 2) / denom;
+        let out = i128::try_from(rounded).expect("money ratio overflow");
+        let out = if neg { -out } else { out };
+        Money(i64::try_from(out).expect("money ratio overflow"))
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    #[inline]
+    fn add(self, rhs: Money) -> Money {
+        Money(self.0.checked_add(rhs.0).expect("money overflow"))
+    }
+}
+
+impl AddAssign for Money {
+    #[inline]
+    fn add_assign(&mut self, rhs: Money) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    #[inline]
+    fn sub(self, rhs: Money) -> Money {
+        Money(self.0.checked_sub(rhs.0).expect("money overflow"))
+    }
+}
+
+impl SubAssign for Money {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Money) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    #[inline]
+    fn neg(self) -> Money {
+        Money(-self.0)
+    }
+}
+
+impl Mul<u64> for Money {
+    type Output = Money;
+    #[inline]
+    fn mul(self, n: u64) -> Money {
+        let out = i128::from(self.0) * i128::from(n);
+        Money(i64::try_from(out).expect("money overflow"))
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sign = if self.0 < 0 { "-" } else { "" };
+        let abs = self.0.unsigned_abs();
+        let dollars = abs / 1_000_000;
+        let cents = (abs % 1_000_000 + 5_000) / 10_000; // round to cents
+        if cents == 100 {
+            write!(f, "{sign}${}.00", dollars + 1)
+        } else {
+            write!(f, "{sign}${dollars}.{cents:02}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Money::from_dollars(3), Money::from_cents(300));
+        assert_eq!(Money::from_cents(1), Money::from_micros(10_000));
+        assert_eq!(Money::from_dollars_f64(0.15), Money::from_micros(150_000));
+        assert_eq!(Money::from_dollars_f64(-1.5), Money::from_micros(-1_500_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Money::from_cents(150);
+        let b = Money::from_cents(50);
+        assert_eq!(a + b, Money::from_dollars(2));
+        assert_eq!(a - b, Money::from_dollars(1));
+        assert_eq!(b * 3, Money::from_cents(150));
+        assert_eq!(-b, Money::from_cents(-50));
+        let total: Money = [a, b, b].into_iter().sum();
+        assert_eq!(total, Money::from_cents(250));
+    }
+
+    #[test]
+    fn ratio_pricing_rounds_to_nearest() {
+        // $0.12 per GB, 1.5 GB => $0.18
+        let per_gb = Money::from_cents(12);
+        assert_eq!(per_gb.mul_ratio(1_500_000_000, 1_000_000_000), Money::from_cents(18));
+        // tiny volumes round to nearest micro-dollar
+        assert_eq!(per_gb.mul_ratio(1, 1_000_000_000), Money::ZERO);
+        assert_eq!(per_gb.mul_ratio(5, 1_000), Money::from_micros(600));
+        // sub-micro-dollar volumes round to the nearest micro
+        assert_eq!(per_gb.mul_ratio(5, 1_000_000), Money::from_micros(1));
+    }
+
+    #[test]
+    fn ratio_pricing_handles_negative() {
+        let m = Money::from_cents(-12);
+        assert_eq!(m.mul_ratio(1, 2), Money::from_cents(-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn ratio_zero_denominator_panics() {
+        let _ = Money::from_cents(1).mul_ratio(1, 0);
+    }
+
+    #[test]
+    fn display_rounds_to_cents() {
+        assert_eq!(Money::from_micros(150_000).to_string(), "$0.15");
+        assert_eq!(Money::from_micros(999_995).to_string(), "$1.00");
+        assert_eq!(Money::from_micros(-1_230_000).to_string(), "-$1.23");
+        assert_eq!(Money::ZERO.to_string(), "$0.00");
+        assert_eq!(Money::from_dollars(4000).to_string(), "$4000.00");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Money::from_cents(-1) < Money::ZERO);
+        assert!(Money::from_cents(99) < Money::from_dollars(1));
+    }
+}

@@ -1,0 +1,150 @@
+//! Reserved-instance pricing (extension).
+//!
+//! §II-A notes that IaaS customers rent VMs "either on an hourly basis or
+//! fixed duration". [`Ec2CostModel`] covers on-demand hourly rental; this
+//! model covers the fixed-duration (reserved) alternative: an upfront fee
+//! per VM buys a discounted hourly rate. Because `C1` stays affine in the
+//! VM count, every solver guarantee carries over unchanged — the reserved
+//! model simply shifts the VM-versus-bandwidth trade-off that
+//! `CheaperToDistribute` (Alg. 7) arbitrates.
+
+use crate::{CostModel, Ec2CostModel, Money};
+use pubsub_model::Bandwidth;
+use serde::Serialize;
+
+/// On-demand pricing wrapped with a per-VM upfront fee and an hourly
+/// discount — the classic 1-year reserved instance shape.
+///
+/// ```
+/// use cloud_cost::{instances, CostModel, Ec2CostModel, Money, ReservedCostModel};
+///
+/// let on_demand = Ec2CostModel::paper_default(instances::C3_LARGE);
+/// // 40% hourly discount for $10 upfront per VM.
+/// let reserved = ReservedCostModel::new(on_demand.clone(), Money::from_dollars(10), 0.6);
+/// // On-demand: $36/VM over the window; reserved: $10 + 0.6×$36 = $31.60.
+/// assert_eq!(reserved.vm_cost(1).to_string(), "$31.60");
+/// assert_eq!(reserved.bandwidth_cost(pubsub_model::Bandwidth::new(5_000_000)),
+///            on_demand.bandwidth_cost(pubsub_model::Bandwidth::new(5_000_000)));
+/// ```
+#[derive(Clone, Debug, Serialize)]
+pub struct ReservedCostModel {
+    on_demand: Ec2CostModel,
+    upfront_per_vm: Money,
+    hourly_factor_millis: u64,
+}
+
+impl ReservedCostModel {
+    /// Wraps an on-demand model with `upfront_per_vm` and a multiplicative
+    /// `hourly_factor` in `(0, 1]` applied to the rental component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hourly_factor` is not within `(0, 1]` or `upfront_per_vm`
+    /// is negative.
+    pub fn new(on_demand: Ec2CostModel, upfront_per_vm: Money, hourly_factor: f64) -> Self {
+        assert!(
+            hourly_factor > 0.0 && hourly_factor <= 1.0,
+            "hourly factor must be in (0, 1]"
+        );
+        assert!(upfront_per_vm >= Money::ZERO, "upfront fee cannot be negative");
+        ReservedCostModel {
+            on_demand,
+            upfront_per_vm,
+            hourly_factor_millis: (hourly_factor * 1000.0).round() as u64,
+        }
+    }
+
+    /// The wrapped on-demand model.
+    pub fn on_demand(&self) -> &Ec2CostModel {
+        &self.on_demand
+    }
+
+    /// Per-VM capacity — identical to the underlying on-demand model
+    /// (reservation changes the bill, not the hardware).
+    pub fn capacity(&self) -> Bandwidth {
+        self.on_demand.capacity()
+    }
+
+    /// The break-even window: reserved is cheaper than on-demand once the
+    /// rental saved exceeds the upfront fee. Returns the ratio
+    /// `upfront / savings_per_window`; below 1.0 the reservation already
+    /// pays off within one billing window.
+    pub fn break_even_windows(&self) -> f64 {
+        let on_demand_vm = self.on_demand.vm_cost(1);
+        let saved = on_demand_vm - self.discounted_rental(1);
+        if saved <= Money::ZERO {
+            return f64::INFINITY;
+        }
+        self.upfront_per_vm.as_dollars_f64() / saved.as_dollars_f64()
+    }
+
+    fn discounted_rental(&self, vms: usize) -> Money {
+        self.on_demand.vm_cost(vms).mul_ratio(u128::from(self.hourly_factor_millis), 1000)
+    }
+}
+
+impl CostModel for ReservedCostModel {
+    fn vm_cost(&self, vms: usize) -> Money {
+        self.upfront_per_vm * (vms as u64) + self.discounted_rental(vms)
+    }
+
+    fn bandwidth_cost(&self, volume: Bandwidth) -> Money {
+        self.on_demand.bandwidth_cost(volume)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances;
+
+    fn base() -> Ec2CostModel {
+        Ec2CostModel::paper_default(instances::C3_LARGE)
+    }
+
+    #[test]
+    fn blends_upfront_and_discounted_rental() {
+        let r = ReservedCostModel::new(base(), Money::from_dollars(10), 0.5);
+        // $10 + 0.5 × $36 = $28 per VM; linear in count.
+        assert_eq!(r.vm_cost(1), Money::from_dollars(28));
+        assert_eq!(r.vm_cost(10), Money::from_dollars(280));
+        assert_eq!(r.vm_cost(0), Money::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_and_capacity_unchanged() {
+        let r = ReservedCostModel::new(base(), Money::from_dollars(10), 0.5);
+        let v = Bandwidth::new(10_000_000);
+        assert_eq!(r.bandwidth_cost(v), base().bandwidth_cost(v));
+        assert_eq!(r.capacity(), base().capacity());
+    }
+
+    #[test]
+    fn break_even_analysis() {
+        // Saving $18/window for $9 upfront: pays off in half a window.
+        let r = ReservedCostModel::new(base(), Money::from_dollars(9), 0.5);
+        assert!((r.break_even_windows() - 0.5).abs() < 1e-9);
+        // No discount: never pays off.
+        let never = ReservedCostModel::new(base(), Money::from_dollars(9), 1.0);
+        assert!(never.break_even_windows().is_infinite());
+    }
+
+    #[test]
+    fn full_factor_equals_on_demand_plus_upfront() {
+        let r = ReservedCostModel::new(base(), Money::from_dollars(3), 1.0);
+        assert_eq!(r.vm_cost(2), base().vm_cost(2) + Money::from_dollars(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "hourly factor")]
+    fn rejects_zero_factor() {
+        let _ = ReservedCostModel::new(base(), Money::ZERO, 0.0);
+    }
+
+    #[test]
+    fn object_safe_for_the_solver() {
+        let r = ReservedCostModel::new(base(), Money::from_dollars(1), 0.9);
+        let as_dyn: &dyn CostModel = &r;
+        assert!(as_dyn.total_cost(1, Bandwidth::new(100)) > Money::ZERO);
+    }
+}

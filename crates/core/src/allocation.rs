@@ -1,0 +1,469 @@
+//! The output of Stage 2: topic-subscriber pairs placed on VMs.
+
+use cloud_cost::{CostModel, Money};
+use pubsub_model::{Bandwidth, Rate, SubscriberId, TopicId, Workload};
+use std::collections::HashMap;
+use std::fmt;
+
+/// All pairs of one topic placed on one VM.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopicPlacement {
+    /// The topic whose stream this VM ingests.
+    pub topic: TopicId,
+    /// The subscribers served from this VM (sorted by id).
+    pub subscribers: Vec<SubscriberId>,
+}
+
+/// One virtual machine and its assigned pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VmAllocation {
+    placements: Vec<TopicPlacement>,
+    used: Bandwidth,
+}
+
+impl VmAllocation {
+    /// Bandwidth in use:
+    /// `bw_b = Σ_pairs ev_t + Σ_unique-topics ev_t` (paper Eq. 2).
+    #[inline]
+    pub fn used(&self) -> Bandwidth {
+        self.used
+    }
+
+    /// The topic placements on this VM, ordered by topic id.
+    #[inline]
+    pub fn placements(&self) -> &[TopicPlacement] {
+        &self.placements
+    }
+
+    /// Number of distinct topics (each contributes one incoming stream).
+    pub fn topic_count(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Number of pairs (outgoing delivery streams).
+    pub fn pair_count(&self) -> u64 {
+        self.placements.iter().map(|p| p.subscribers.len() as u64).sum()
+    }
+
+    /// Recomputes outgoing volume from the placements.
+    pub fn outgoing_volume(&self, workload: &Workload) -> Bandwidth {
+        self.placements
+            .iter()
+            .map(|p| workload.rate(p.topic) * p.subscribers.len() as u64)
+            .sum()
+    }
+
+    /// Recomputes incoming volume (one stream per distinct topic).
+    pub fn incoming_volume(&self, workload: &Workload) -> Bandwidth {
+        self.placements.iter().map(|p| Bandwidth::from(workload.rate(p.topic))).sum()
+    }
+}
+
+/// Why an allocation failed validation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocationError {
+    /// A VM's bandwidth exceeds the capacity constraint `bw_b ≤ BC`.
+    CapacityExceeded {
+        /// Index of the offending VM.
+        vm: usize,
+        /// Its recomputed bandwidth.
+        used: Bandwidth,
+        /// The capacity it violates.
+        capacity: Bandwidth,
+    },
+    /// A VM's recorded bandwidth disagrees with its placements (internal
+    /// accounting bug).
+    BandwidthMismatch {
+        /// Index of the offending VM.
+        vm: usize,
+        /// The value stored during packing.
+        recorded: Bandwidth,
+        /// The value recomputed from placements.
+        actual: Bandwidth,
+    },
+    /// The same pair appears twice on one VM.
+    DuplicatePair {
+        /// Index of the offending VM.
+        vm: usize,
+        /// The duplicated topic.
+        topic: TopicId,
+        /// The duplicated subscriber.
+        subscriber: SubscriberId,
+    },
+    /// A subscriber receives less than `τ_v` across all VMs.
+    UnsatisfiedSubscriber {
+        /// The starved subscriber.
+        subscriber: SubscriberId,
+        /// Rate actually delivered.
+        delivered: Rate,
+        /// Rate required (`τ_v`).
+        required: Rate,
+    },
+    /// A placement references a pair that is not in the workload (the
+    /// subscriber is not interested in the topic).
+    ForeignPair {
+        /// Index of the offending VM.
+        vm: usize,
+        /// The topic placed.
+        topic: TopicId,
+        /// The subscriber that never subscribed to it.
+        subscriber: SubscriberId,
+    },
+}
+
+impl fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocationError::CapacityExceeded { vm, used, capacity } => {
+                write!(f, "vm {vm} uses {used} but capacity is {capacity}")
+            }
+            AllocationError::BandwidthMismatch { vm, recorded, actual } => {
+                write!(f, "vm {vm} recorded {recorded} but placements total {actual}")
+            }
+            AllocationError::DuplicatePair { vm, topic, subscriber } => {
+                write!(f, "vm {vm} holds pair ({topic}, {subscriber}) twice")
+            }
+            AllocationError::UnsatisfiedSubscriber { subscriber, delivered, required } => {
+                write!(f, "{subscriber} receives {delivered}, needs {required}")
+            }
+            AllocationError::ForeignPair { vm, topic, subscriber } => {
+                write!(f, "vm {vm} serves ({topic}, {subscriber}) but {subscriber} never subscribed to {topic}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocationError {}
+
+/// A complete Stage-2 output: the VM set `B` with all pair placements.
+///
+/// See [`Allocation::validate`] for the invariants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allocation {
+    vms: Vec<VmAllocation>,
+    capacity: Bandwidth,
+}
+
+impl Allocation {
+    /// Assembles an allocation from per-VM topic→subscribers tables — the
+    /// constructor used by the built-in allocators and available to
+    /// external packers (and tests) that produce their own placements.
+    ///
+    /// Per-VM bandwidth is recomputed from the tables and placements are
+    /// sorted for deterministic output. No constraint is checked here;
+    /// call [`Allocation::validate`] afterwards.
+    pub fn from_tables(
+        tables: Vec<HashMap<TopicId, Vec<SubscriberId>>>,
+        workload: &Workload,
+        capacity: Bandwidth,
+    ) -> Allocation {
+        let vms = tables
+            .into_iter()
+            .map(|table| {
+                let mut placements: Vec<TopicPlacement> = table
+                    .into_iter()
+                    .map(|(topic, mut subscribers)| {
+                        subscribers.sort_unstable();
+                        TopicPlacement { topic, subscribers }
+                    })
+                    .collect();
+                placements.sort_unstable_by_key(|p| p.topic);
+                let mut used = Bandwidth::ZERO;
+                for p in &placements {
+                    let rate = workload.rate(p.topic);
+                    used += rate * (p.subscribers.len() as u64 + 1);
+                }
+                VmAllocation { placements, used }
+            })
+            .collect();
+        Allocation { vms, capacity }
+    }
+
+    /// The VMs in deployment order.
+    #[inline]
+    pub fn vms(&self) -> &[VmAllocation] {
+        &self.vms
+    }
+
+    /// `|B|` — the number of VMs deployed.
+    #[inline]
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// The capacity constraint this allocation was packed under.
+    #[inline]
+    pub fn capacity(&self) -> Bandwidth {
+        self.capacity
+    }
+
+    /// `Σ_b bw_b` — total bandwidth consumption.
+    pub fn total_bandwidth(&self) -> Bandwidth {
+        self.vms.iter().map(VmAllocation::used).sum()
+    }
+
+    /// Total outgoing delivery volume across VMs.
+    pub fn outgoing_volume(&self, workload: &Workload) -> Bandwidth {
+        self.vms.iter().map(|vm| vm.outgoing_volume(workload)).sum()
+    }
+
+    /// Total incoming publication volume across VMs. Splitting a topic
+    /// over `k` VMs counts its rate `k` times — the replication overhead
+    /// the Stage-2 optimizations fight (§II-A).
+    pub fn incoming_volume(&self, workload: &Workload) -> Bandwidth {
+        self.vms.iter().map(|vm| vm.incoming_volume(workload)).sum()
+    }
+
+    /// Total pairs placed.
+    pub fn pair_count(&self) -> u64 {
+        self.vms.iter().map(VmAllocation::pair_count).sum()
+    }
+
+    /// The objective value `C1(|B|) + C2(Σ_b bw_b)` under a cost model.
+    pub fn cost(&self, model: &dyn CostModel) -> Money {
+        model.total_cost(self.vm_count(), self.total_bandwidth())
+    }
+
+    /// Rate delivered to each subscriber, counting a pair once even if
+    /// (contrary to our packers' behaviour) it appears on several VMs —
+    /// the `max_b x_tvb` semantics of Eq. 3.
+    pub fn delivered_rates(&self, workload: &Workload) -> Vec<Rate> {
+        let mut seen: Vec<HashMap<TopicId, ()>> = Vec::new();
+        seen.resize_with(workload.num_subscribers(), HashMap::new);
+        let mut delivered = vec![Rate::ZERO; workload.num_subscribers()];
+        for vm in &self.vms {
+            for p in vm.placements() {
+                for &v in &p.subscribers {
+                    if seen[v.index()].insert(p.topic, ()).is_none() {
+                        delivered[v.index()] += workload.rate(p.topic);
+                    }
+                }
+            }
+        }
+        delivered
+    }
+
+    /// Verifies every MCSS constraint (paper Eq. 2–3) plus internal
+    /// accounting:
+    ///
+    /// 1. each pair references a real interest (no foreign pairs);
+    /// 2. no pair is duplicated within a VM;
+    /// 3. recorded per-VM bandwidth equals the recomputed value;
+    /// 4. `bw_b ≤ BC` for every VM;
+    /// 5. every subscriber receives at least `τ_v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, in the order above.
+    pub fn validate(&self, workload: &Workload, tau: Rate) -> Result<(), AllocationError> {
+        for (i, vm) in self.vms.iter().enumerate() {
+            let mut prev: Option<TopicId> = None;
+            for p in vm.placements() {
+                if prev == Some(p.topic) {
+                    return Err(AllocationError::DuplicatePair {
+                        vm: i,
+                        topic: p.topic,
+                        subscriber: p.subscribers.first().copied().unwrap_or(SubscriberId::new(0)),
+                    });
+                }
+                prev = Some(p.topic);
+                for pair in p.subscribers.windows(2) {
+                    if pair[0] == pair[1] {
+                        return Err(AllocationError::DuplicatePair {
+                            vm: i,
+                            topic: p.topic,
+                            subscriber: pair[0],
+                        });
+                    }
+                }
+                for &v in &p.subscribers {
+                    if workload.interests(v).binary_search(&p.topic).is_err() {
+                        return Err(AllocationError::ForeignPair {
+                            vm: i,
+                            topic: p.topic,
+                            subscriber: v,
+                        });
+                    }
+                }
+            }
+            let actual = vm.outgoing_volume(workload) + vm.incoming_volume(workload);
+            if actual != vm.used() {
+                return Err(AllocationError::BandwidthMismatch {
+                    vm: i,
+                    recorded: vm.used(),
+                    actual,
+                });
+            }
+            if vm.used() > self.capacity {
+                return Err(AllocationError::CapacityExceeded {
+                    vm: i,
+                    used: vm.used(),
+                    capacity: self.capacity,
+                });
+            }
+        }
+        let delivered = self.delivered_rates(workload);
+        for v in workload.subscribers() {
+            let required = workload.tau_v(v, tau);
+            if delivered[v.index()] < required {
+                return Err(AllocationError::UnsatisfiedSubscriber {
+                    subscriber: v,
+                    delivered: delivered[v.index()],
+                    required,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> Workload {
+        let mut b = Workload::builder();
+        let t0 = b.add_topic(Rate::new(20)).unwrap();
+        let t1 = b.add_topic(Rate::new(10)).unwrap();
+        b.add_subscriber([t0, t1]).unwrap(); // v0
+        b.add_subscriber([t1]).unwrap(); // v1
+        b.build()
+    }
+
+    fn table(entries: &[(u32, &[u32])]) -> HashMap<TopicId, Vec<SubscriberId>> {
+        entries
+            .iter()
+            .map(|&(t, vs)| {
+                (TopicId::new(t), vs.iter().map(|&v| SubscriberId::new(v)).collect())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bandwidth_accounting_matches_eq2() {
+        let w = workload();
+        // One VM with both pairs of t1 and the single pair of t0:
+        // outgoing 20+10+10 = 40, incoming 20+10 = 30, total 70.
+        let a = Allocation::from_tables(
+            vec![table(&[(0, &[0]), (1, &[0, 1])])],
+            &w,
+            Bandwidth::new(100),
+        );
+        assert_eq!(a.vm_count(), 1);
+        assert_eq!(a.total_bandwidth(), Bandwidth::new(70));
+        assert_eq!(a.outgoing_volume(&w), Bandwidth::new(40));
+        assert_eq!(a.incoming_volume(&w), Bandwidth::new(30));
+        assert_eq!(a.pair_count(), 3);
+        assert!(a.validate(&w, Rate::new(30)).is_ok());
+    }
+
+    #[test]
+    fn splitting_topic_doubles_incoming() {
+        let w = workload();
+        let a = Allocation::from_tables(
+            vec![table(&[(1, &[0])]), table(&[(1, &[1])])],
+            &w,
+            Bandwidth::new(100),
+        );
+        // Each VM: 10 out + 10 in = 20.
+        assert_eq!(a.total_bandwidth(), Bandwidth::new(40));
+        assert_eq!(a.incoming_volume(&w), Bandwidth::new(20));
+    }
+
+    #[test]
+    fn validate_catches_capacity_violation() {
+        let w = workload();
+        let a =
+            Allocation::from_tables(vec![table(&[(0, &[0]), (1, &[0, 1])])], &w, Bandwidth::new(69));
+        assert_eq!(
+            a.validate(&w, Rate::ZERO),
+            Err(AllocationError::CapacityExceeded {
+                vm: 0,
+                used: Bandwidth::new(70),
+                capacity: Bandwidth::new(69),
+            })
+        );
+    }
+
+    #[test]
+    fn validate_catches_starvation() {
+        let w = workload();
+        // Only v0 served; v1 needs 10 (τ_v = min(30, 10)).
+        let a = Allocation::from_tables(
+            vec![table(&[(0, &[0]), (1, &[0])])],
+            &w,
+            Bandwidth::new(100),
+        );
+        assert_eq!(
+            a.validate(&w, Rate::new(30)),
+            Err(AllocationError::UnsatisfiedSubscriber {
+                subscriber: SubscriberId::new(1),
+                delivered: Rate::ZERO,
+                required: Rate::new(10),
+            })
+        );
+    }
+
+    #[test]
+    fn validate_catches_duplicate_subscriber() {
+        let w = workload();
+        let mut t = table(&[(1, &[0])]);
+        t.get_mut(&TopicId::new(1)).unwrap().push(SubscriberId::new(0));
+        let a = Allocation::from_tables(vec![t], &w, Bandwidth::new(100));
+        assert!(matches!(
+            a.validate(&w, Rate::ZERO),
+            Err(AllocationError::DuplicatePair { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_foreign_pair() {
+        let w = workload();
+        // v1 never subscribed to t0.
+        let a = Allocation::from_tables(vec![table(&[(0, &[1])])], &w, Bandwidth::new(100));
+        assert!(matches!(
+            a.validate(&w, Rate::ZERO),
+            Err(AllocationError::ForeignPair { vm: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn cross_vm_duplicates_count_once_for_delivery() {
+        let w = workload();
+        let a = Allocation::from_tables(
+            vec![table(&[(1, &[1])]), table(&[(1, &[1])])],
+            &w,
+            Bandwidth::new(100),
+        );
+        // (t1, v1) on two VMs: delivered rate counts it once (Eq. 3's max).
+        assert_eq!(a.delivered_rates(&w)[1], Rate::new(10));
+        // But both VMs pay bandwidth for it.
+        assert_eq!(a.total_bandwidth(), Bandwidth::new(40));
+    }
+
+    #[test]
+    fn cost_uses_model() {
+        use cloud_cost::LinearCostModel;
+        let w = workload();
+        let a = Allocation::from_tables(
+            vec![table(&[(1, &[0, 1])]), table(&[(0, &[0])])],
+            &w,
+            Bandwidth::new(100),
+        );
+        let m = LinearCostModel::new(Money::from_dollars(10), Money::from_micros(1));
+        // 2 VMs, bandwidth = (10in + 20out) + (20in + 20out) = 70... compute:
+        // vm0: t1 pairs v0,v1: out 20, in 10 => 30; vm1: t0 pair v0: out 20, in 20 => 40.
+        assert_eq!(a.total_bandwidth(), Bandwidth::new(70));
+        assert_eq!(a.cost(&m), Money::from_dollars(20) + Money::from_micros(70));
+    }
+
+    #[test]
+    fn empty_allocation_is_valid_for_zero_tau() {
+        let mut b = Workload::builder();
+        b.add_topic(Rate::new(5)).unwrap();
+        let w = b.build(); // no subscribers
+        let a = Allocation::from_tables(Vec::new(), &w, Bandwidth::new(10));
+        assert_eq!(a.vm_count(), 0);
+        assert!(a.validate(&w, Rate::new(100)).is_ok());
+    }
+}

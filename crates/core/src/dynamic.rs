@@ -1,0 +1,226 @@
+//! Periodic re-provisioning over an evolving workload.
+//!
+//! §IV-F and §VI position the solver as fast enough "to be run
+//! periodically to adapt to the changes in the event rates, new
+//! subscriptions, unsubscriptions, etc." and leave an online algorithm to
+//! future work. This module implements that periodic mode: a workload
+//! drift model and a re-provisioner that re-solves per epoch and tracks
+//! VM churn and cumulative spend.
+
+use crate::{McssError, McssInstance, SolveReport, Solver};
+use cloud_cost::{CostModel, Money};
+use pubsub_model::{Rate, TopicId, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Multiplicative event-rate drift plus subscription churn, applied once
+/// per epoch.
+///
+/// Rates are multiplied by `exp(σ·N(0,1))` (mean-preserving in log space)
+/// and clamped to at least one event; each subscriber independently
+/// resubscribes one interest with probability `churn_prob` (dropping a
+/// current topic for a uniformly random other topic).
+#[derive(Clone, Copy, Debug)]
+pub struct DriftModel {
+    /// Log-std of the per-epoch rate noise.
+    pub rate_sigma: f64,
+    /// Per-subscriber probability of swapping one interest.
+    pub churn_prob: f64,
+    /// Base seed; epoch `e` uses `seed + e`.
+    pub seed: u64,
+}
+
+impl DriftModel {
+    /// Evolves a workload by one epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_sigma` is negative or `churn_prob` is outside
+    /// `[0, 1]`.
+    pub fn evolve(&self, workload: &Workload, epoch: u64) -> Workload {
+        assert!(self.rate_sigma >= 0.0, "sigma must be non-negative");
+        assert!((0.0..=1.0).contains(&self.churn_prob), "churn must be a probability");
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(epoch));
+        let rates: Vec<Rate> = workload
+            .rates()
+            .iter()
+            .map(|r| {
+                let noise = (self.rate_sigma * standard_normal(&mut rng)).exp();
+                Rate::new(((r.get() as f64) * noise).round().max(1.0) as u64)
+            })
+            .collect();
+        let num_topics = workload.num_topics();
+        let interests: Vec<Vec<TopicId>> = workload
+            .subscribers()
+            .map(|v| {
+                let mut tv = workload.interests(v).to_vec();
+                if !tv.is_empty() && num_topics > 1 && rng.gen::<f64>() < self.churn_prob {
+                    let drop = rng.gen_range(0..tv.len());
+                    tv.swap_remove(drop);
+                    let add = TopicId::new(rng.gen_range(0..num_topics as u32));
+                    if !tv.contains(&add) {
+                        tv.push(add);
+                    }
+                }
+                tv
+            })
+            .collect();
+        Workload::from_parts(rates, interests)
+    }
+}
+
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Outcome of one re-provisioning epoch.
+#[derive(Clone, Debug)]
+pub struct EpochReport {
+    /// Epoch index (0-based).
+    pub epoch: u64,
+    /// The solve metrics of this epoch.
+    pub report: SolveReport,
+    /// Change in VM count versus the previous epoch (positive = grown).
+    pub vm_delta: i64,
+    /// Cumulative objective across all epochs so far.
+    pub cumulative_cost: Money,
+}
+
+/// Re-runs the solver each epoch and tracks churn and spend.
+#[derive(Debug)]
+pub struct Reprovisioner {
+    solver: Solver,
+    previous_vms: Option<usize>,
+    cumulative_cost: Money,
+    epoch: u64,
+}
+
+impl Reprovisioner {
+    /// Creates a re-provisioner around a solver configuration.
+    pub fn new(solver: Solver) -> Self {
+        Reprovisioner { solver, previous_vms: None, cumulative_cost: Money::ZERO, epoch: 0 }
+    }
+
+    /// Solves the given epoch instance and accumulates statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors; failed epochs do not advance the state.
+    pub fn step(
+        &mut self,
+        instance: &McssInstance,
+        cost: &dyn CostModel,
+    ) -> Result<EpochReport, McssError> {
+        let outcome = self.solver.solve(instance, cost)?;
+        let vms = outcome.report.vm_count;
+        let vm_delta = match self.previous_vms {
+            Some(prev) => vms as i64 - prev as i64,
+            None => vms as i64,
+        };
+        self.previous_vms = Some(vms);
+        self.cumulative_cost += outcome.report.total_cost;
+        let report = EpochReport {
+            epoch: self.epoch,
+            report: outcome.report,
+            vm_delta,
+            cumulative_cost: self.cumulative_cost,
+        };
+        self.epoch += 1;
+        Ok(report)
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total objective across completed epochs.
+    pub fn cumulative_cost(&self) -> Money {
+        self.cumulative_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_cost::LinearCostModel;
+    use pubsub_model::Bandwidth;
+
+    fn base_workload() -> Workload {
+        let mut b = Workload::builder();
+        let ts: Vec<TopicId> = [20u64, 12, 8, 5]
+            .iter()
+            .map(|&r| b.add_topic(Rate::new(r)).unwrap())
+            .collect();
+        b.add_subscriber([ts[0], ts[1]]).unwrap();
+        b.add_subscriber([ts[1], ts[2], ts[3]]).unwrap();
+        b.add_subscriber([ts[0], ts[3]]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn drift_is_deterministic_per_epoch() {
+        let w = base_workload();
+        let drift = DriftModel { rate_sigma: 0.3, churn_prob: 0.5, seed: 11 };
+        let a = drift.evolve(&w, 4);
+        let b = drift.evolve(&w, 4);
+        assert_eq!(a.rates(), b.rates());
+        let c = drift.evolve(&w, 5);
+        assert!(a.rates() != c.rates());
+    }
+
+    #[test]
+    fn drift_keeps_rates_positive_and_counts_stable() {
+        let w = base_workload();
+        let drift = DriftModel { rate_sigma: 1.5, churn_prob: 1.0, seed: 7 };
+        let evolved = drift.evolve(&w, 0);
+        assert_eq!(evolved.num_topics(), w.num_topics());
+        assert_eq!(evolved.num_subscribers(), w.num_subscribers());
+        for t in evolved.topics() {
+            assert!(!evolved.rate(t).is_zero());
+        }
+    }
+
+    #[test]
+    fn zero_drift_is_identity_on_rates() {
+        let w = base_workload();
+        let drift = DriftModel { rate_sigma: 0.0, churn_prob: 0.0, seed: 1 };
+        let evolved = drift.evolve(&w, 9);
+        assert_eq!(evolved.rates(), w.rates());
+        for v in w.subscribers() {
+            assert_eq!(evolved.interests(v), w.interests(v));
+        }
+    }
+
+    #[test]
+    fn reprovisioner_accumulates_over_epochs() {
+        let drift = DriftModel { rate_sigma: 0.2, churn_prob: 0.3, seed: 3 };
+        let cost = LinearCostModel::new(Money::from_dollars(1), Money::from_micros(1));
+        let mut re = Reprovisioner::new(Solver::default());
+        let mut w = base_workload();
+        let mut last_cumulative = Money::ZERO;
+        for epoch in 0..5 {
+            let inst =
+                McssInstance::new(w.clone(), Rate::new(15), Bandwidth::new(120)).unwrap();
+            let r = re.step(&inst, &cost).unwrap();
+            assert_eq!(r.epoch, epoch);
+            assert!(r.cumulative_cost >= last_cumulative);
+            last_cumulative = r.cumulative_cost;
+            w = drift.evolve(&w, epoch);
+        }
+        assert_eq!(re.epochs(), 5);
+        assert_eq!(re.cumulative_cost(), last_cumulative);
+    }
+
+    #[test]
+    fn first_epoch_delta_is_full_fleet() {
+        let cost = LinearCostModel::vm_only(Money::from_dollars(1));
+        let mut re = Reprovisioner::new(Solver::default());
+        let inst =
+            McssInstance::new(base_workload(), Rate::new(10), Bandwidth::new(100)).unwrap();
+        let r = re.step(&inst, &cost).unwrap();
+        assert_eq!(r.vm_delta, r.report.vm_count as i64);
+    }
+}

@@ -1,0 +1,377 @@
+//! Exact MCSS solver for tiny instances.
+//!
+//! MCSS is NP-hard (Theorem II.2), so this solver is exponential by
+//! nature: it enumerates, per subscriber, every interest subset meeting
+//! `τ_v`, and for each combined selection enumerates canonical set
+//! partitions of the pairs into capacity-respecting VMs. It exists to
+//! sandwich the heuristics in tests (`lower bound ≤ exact ≤ heuristic`)
+//! and to decide the DCSS instances produced by the Partition reduction —
+//! the paper has no optimal baseline at all, so even a tiny-instance
+//! optimum strengthens the reproduction.
+
+use crate::{McssError, McssInstance};
+use cloud_cost::{CostModel, Money};
+use pubsub_model::{Bandwidth, Rate, TopicId};
+
+/// Work limits for the exact search.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactSolver {
+    /// Maximum number of pairs in any enumerated selection (set partitions
+    /// grow as the Bell numbers: B(10) ≈ 1.2e5, B(12) ≈ 4.2e6).
+    pub max_pairs: u64,
+    /// Hard cap on explored search nodes across the whole solve.
+    pub max_nodes: u64,
+}
+
+impl Default for ExactSolver {
+    fn default() -> Self {
+        ExactSolver { max_pairs: 12, max_nodes: 50_000_000 }
+    }
+}
+
+/// The optimum found by [`ExactSolver::solve`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExactSolution {
+    /// Minimum objective value `C1(|B|) + C2(Σ bw)`.
+    pub cost: Money,
+    /// VM count of the optimal solution found.
+    pub vms: u64,
+    /// Total bandwidth of the optimal solution found.
+    pub volume: Bandwidth,
+}
+
+impl ExactSolver {
+    /// Creates a solver with default limits.
+    pub fn new() -> Self {
+        ExactSolver::default()
+    }
+
+    /// Finds the minimum-cost feasible solution.
+    ///
+    /// # Errors
+    ///
+    /// [`McssError::TooLargeForExact`] when the instance exceeds the pair
+    /// or node limits, and [`McssError::InfeasibleTopic`] when a subscriber
+    /// can only be satisfied by a topic that fits on no VM.
+    pub fn solve(
+        &self,
+        instance: &McssInstance,
+        cost: &dyn CostModel,
+    ) -> Result<ExactSolution, McssError> {
+        let workload = instance.workload();
+        let total_pairs = workload.pair_count();
+        if total_pairs > self.max_pairs {
+            return Err(McssError::TooLargeForExact {
+                pairs: total_pairs,
+                limit: self.max_pairs,
+            });
+        }
+
+        // Enumerate satisfying interest subsets per subscriber.
+        let mut options: Vec<Vec<Vec<TopicId>>> = Vec::new();
+        for v in workload.subscribers() {
+            let interests = workload.interests(v);
+            let tau_v = instance.tau_v(v);
+            let mut subsets = Vec::new();
+            let n = interests.len();
+            for mask in 0u32..(1 << n) {
+                let mut sum = Rate::ZERO;
+                for (i, &t) in interests.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        sum += workload.rate(t);
+                    }
+                }
+                if sum >= tau_v {
+                    let subset: Vec<TopicId> = interests
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask & (1 << i) != 0)
+                        .map(|(_, &t)| t)
+                        .collect();
+                    subsets.push(subset);
+                }
+            }
+            //
+
+            options.push(subsets);
+        }
+
+        let mut best: Option<ExactSolution> = None;
+        let mut nodes: u64 = 0;
+        let mut pairs: Vec<TopicId> = Vec::new();
+        self.pick_selection(
+            instance,
+            cost,
+            &options,
+            0,
+            &mut pairs,
+            &mut best,
+            &mut nodes,
+        )?;
+        // Every subscriber has at least the full-interest subset, so a
+        // selection always exists; packing can still be infeasible only
+        // through oversized topics, which pack_best reports.
+        best.ok_or_else(|| {
+            // Find the offending topic for a precise error.
+            for t in workload.topics() {
+                if workload.rate(t).pair_cost() > instance.capacity()
+                    && !workload.subscribers_of(t).is_empty()
+                {
+                    return McssError::InfeasibleTopic {
+                        topic: t,
+                        required: workload.rate(t).pair_cost(),
+                        capacity: instance.capacity(),
+                    };
+                }
+            }
+            McssError::TooLargeForExact { pairs: total_pairs, limit: self.max_pairs }
+        })
+    }
+
+    /// Decides DCSS: is there a solution of cost at most `budget`?
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExactSolver::solve`]; an infeasible instance
+    /// decides to `false`.
+    pub fn decide_dcss(
+        &self,
+        instance: &McssInstance,
+        cost: &dyn CostModel,
+        budget: Money,
+    ) -> Result<bool, McssError> {
+        match self.solve(instance, cost) {
+            Ok(solution) => Ok(solution.cost <= budget),
+            Err(McssError::InfeasibleTopic { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Depth-first product over per-subscriber subset options.
+    #[allow(clippy::too_many_arguments)]
+    fn pick_selection(
+        &self,
+        instance: &McssInstance,
+        cost: &dyn CostModel,
+        options: &[Vec<Vec<TopicId>>],
+        v: usize,
+        pairs: &mut Vec<TopicId>,
+        best: &mut Option<ExactSolution>,
+        nodes: &mut u64,
+    ) -> Result<(), McssError> {
+        if v == options.len() {
+            self.pack_best(instance, cost, pairs, best, nodes)?;
+            return Ok(());
+        }
+        for subset in &options[v] {
+            pairs.extend_from_slice(subset);
+            self.pick_selection(instance, cost, options, v + 1, pairs, best, nodes)?;
+            pairs.truncate(pairs.len() - subset.len());
+        }
+        Ok(())
+    }
+
+    /// Optimal packing of a fixed pair multiset (by topic) via canonical
+    /// set-partition enumeration with capacity pruning.
+    fn pack_best(
+        &self,
+        instance: &McssInstance,
+        cost: &dyn CostModel,
+        pairs: &[TopicId],
+        best: &mut Option<ExactSolution>,
+        nodes: &mut u64,
+    ) -> Result<(), McssError> {
+        let workload = instance.workload();
+        let capacity = instance.capacity();
+        // Per-VM state: (bandwidth, topics present).
+        struct Vm {
+            used: Bandwidth,
+            topics: Vec<TopicId>,
+        }
+        fn recurse(
+            idx: usize,
+            pairs: &[TopicId],
+            vms: &mut Vec<Vm>,
+            rate_of: &dyn Fn(TopicId) -> Rate,
+            capacity: Bandwidth,
+            cost: &dyn CostModel,
+            best: &mut Option<ExactSolution>,
+            nodes: &mut u64,
+            max_nodes: u64,
+        ) -> Result<(), McssError> {
+            *nodes += 1;
+            if *nodes > max_nodes {
+                return Err(McssError::TooLargeForExact {
+                    pairs: pairs.len() as u64,
+                    limit: max_nodes,
+                });
+            }
+            if idx == pairs.len() {
+                let volume: Bandwidth = vms.iter().map(|vm| vm.used).sum();
+                let total = cost.total_cost(vms.len(), volume);
+                if best.map_or(true, |b| total < b.cost) {
+                    *best = Some(ExactSolution { cost: total, vms: vms.len() as u64, volume });
+                }
+                return Ok(());
+            }
+            let t = pairs[idx];
+            let rate = rate_of(t);
+            for i in 0..vms.len() {
+                let delta = if vms[i].topics.contains(&t) {
+                    rate.volume()
+                } else {
+                    rate.pair_cost()
+                };
+                if vms[i].used + delta <= capacity {
+                    let added_topic = !vms[i].topics.contains(&t);
+                    vms[i].used += delta;
+                    if added_topic {
+                        vms[i].topics.push(t);
+                    }
+                    recurse(idx + 1, pairs, vms, rate_of, capacity, cost, best, nodes, max_nodes)?;
+                    vms[i].used -= delta;
+                    if added_topic {
+                        vms[i].topics.pop();
+                    }
+                }
+            }
+            // Canonical: a new VM may only be the next one.
+            if rate.pair_cost() <= capacity {
+                vms.push(Vm { used: rate.pair_cost(), topics: vec![t] });
+                recurse(idx + 1, pairs, vms, rate_of, capacity, cost, best, nodes, max_nodes)?;
+                vms.pop();
+            }
+            Ok(())
+        }
+        let rate_of = |t: TopicId| workload.rate(t);
+        let mut vms: Vec<Vm> = Vec::new();
+        // Sort pairs by topic so same-topic pairs are adjacent — prunes
+        // symmetric partitions early.
+        let mut sorted: Vec<TopicId> = pairs.to_vec();
+        sorted.sort_unstable();
+        recurse(0, &sorted, &mut vms, &rate_of, capacity, cost, best, nodes, self.max_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage1::{GreedySelectPairs, PairSelector};
+    use crate::stage2::{Allocator, CbpConfig, CustomBinPacking};
+    use crate::{lower_bound, McssInstance};
+    use cloud_cost::LinearCostModel;
+    use pubsub_model::Workload;
+
+    fn instance(rates: &[u64], interests: &[&[u32]], tau: u64, cap: u64) -> McssInstance {
+        let mut b = Workload::builder();
+        for &r in rates {
+            b.add_topic(Rate::new(r)).unwrap();
+        }
+        for tv in interests {
+            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t))).unwrap();
+        }
+        McssInstance::new(b.build(), Rate::new(tau), Bandwidth::new(cap)).unwrap()
+    }
+
+    fn dollars(d: i64) -> Money {
+        Money::from_dollars(d)
+    }
+
+    #[test]
+    fn trivial_single_pair() {
+        let inst = instance(&[10], &[&[0]], 10, 100);
+        let cost = LinearCostModel::vm_only(dollars(1));
+        let sol = ExactSolver::new().solve(&inst, &cost).unwrap();
+        assert_eq!(sol.vms, 1);
+        assert_eq!(sol.volume, Bandwidth::new(20));
+        assert_eq!(sol.cost, dollars(1));
+    }
+
+    #[test]
+    fn prefers_fewer_vms_under_vm_only_cost() {
+        // Two topics rate 10 each, one subscriber of both; capacity fits
+        // everything on one VM.
+        let inst = instance(&[10, 10], &[&[0, 1]], 20, 40);
+        let cost = LinearCostModel::vm_only(dollars(1));
+        let sol = ExactSolver::new().solve(&inst, &cost).unwrap();
+        assert_eq!(sol.vms, 1);
+    }
+
+    #[test]
+    fn skips_unneeded_pairs() {
+        // τ = 10, topics {10, 90}: optimal selects only the 10.
+        let inst = instance(&[10, 90], &[&[0, 1]], 10, 1000);
+        let cost = LinearCostModel::new(dollars(0), Money::from_micros(1));
+        let sol = ExactSolver::new().solve(&inst, &cost).unwrap();
+        assert_eq!(sol.volume, Bandwidth::new(20));
+    }
+
+    #[test]
+    fn splitting_versus_packing_tradeoff() {
+        // One topic rate 10 with 3 subscribers, capacity 30: one VM holds
+        // 2 pairs (30 = 3·10), so 2 VMs needed; bandwidth = 30 + 20 = 50.
+        let inst = instance(&[10], &[&[0], &[0], &[0]], 10, 30);
+        let cost = LinearCostModel::new(dollars(1), Money::from_micros(1));
+        let sol = ExactSolver::new().solve(&inst, &cost).unwrap();
+        assert_eq!(sol.vms, 2);
+        assert_eq!(sol.volume, Bandwidth::new(50));
+    }
+
+    #[test]
+    fn exact_within_lower_bound_and_heuristic_sandwich() {
+        let cases: Vec<(Vec<u64>, Vec<&[u32]>, u64, u64)> = vec![
+            (vec![9, 5, 3], vec![&[0, 1, 2], &[1, 2]], 8, 40),
+            (vec![20, 10], vec![&[0, 1], &[0]], 15, 70),
+            (vec![7, 7, 7], vec![&[0, 1], &[1, 2], &[0, 2]], 7, 30),
+            (vec![12, 8, 4, 2], vec![&[0, 1, 2, 3]], 14, 60),
+        ];
+        let cost = LinearCostModel::new(dollars(2), Money::from_micros(7));
+        for (rates, interests, tau, cap) in cases {
+            let inst = instance(&rates, &interests, tau, cap);
+            let exact = ExactSolver::new().solve(&inst, &cost).unwrap();
+            let lb = lower_bound(inst.workload(), inst.tau(), inst.capacity());
+            assert!(
+                lb.cost(&cost) <= exact.cost,
+                "lower bound above exact for rates {rates:?} τ={tau}"
+            );
+            let sel = GreedySelectPairs::new().select(&inst).unwrap();
+            let heuristic = CustomBinPacking::new(CbpConfig::full())
+                .allocate(inst.workload(), &sel, inst.capacity(), &cost)
+                .unwrap();
+            assert!(
+                exact.cost <= heuristic.cost(&cost),
+                "exact above heuristic for rates {rates:?} τ={tau}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_limit_enforced() {
+        let inst = instance(&[1; 5], &[&[0, 1, 2, 3, 4], &[0, 1, 2, 3, 4], &[0, 1, 2, 3, 4]], 5, 100);
+        let cost = LinearCostModel::vm_only(dollars(1));
+        let err = ExactSolver { max_pairs: 4, max_nodes: 1000 }
+            .solve(&inst, &cost)
+            .unwrap_err();
+        assert!(matches!(err, McssError::TooLargeForExact { pairs: 15, .. }));
+    }
+
+    #[test]
+    fn dcss_decision() {
+        let inst = instance(&[10, 10], &[&[0], &[1]], 10, 40);
+        let cost = LinearCostModel::vm_only(dollars(1));
+        let solver = ExactSolver::new();
+        assert!(solver.decide_dcss(&inst, &cost, dollars(1)).unwrap());
+        assert!(!solver.decide_dcss(&inst, &cost, Money::from_cents(99)).unwrap());
+    }
+
+    #[test]
+    fn infeasible_decides_false() {
+        let inst = instance(&[100], &[&[0]], 100, 50);
+        let cost = LinearCostModel::vm_only(dollars(1));
+        assert!(!ExactSolver::new().decide_dcss(&inst, &cost, dollars(100)).unwrap());
+        assert!(matches!(
+            ExactSolver::new().solve(&inst, &cost),
+            Err(McssError::InfeasibleTopic { .. })
+        ));
+    }
+}

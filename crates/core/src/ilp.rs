@@ -1,0 +1,240 @@
+//! Export of the exact Integer Program formulation (paper Eq. 1–3).
+//!
+//! §III notes that the IP formulation "is expensive to solve optimally in
+//! practice" and that no IP solver scales to the millions of variables the
+//! workloads induce — but for completeness, and for cross-checking small
+//! instances against external solvers, this module emits the exact program
+//! in the ubiquitous CPLEX LP text format.
+//!
+//! Linearization: the paper writes `bw_b` with a `max_{v∈V_t} x_tvb` term
+//! (charge a topic's incoming stream once per VM) and satisfaction with
+//! `max_b x_tvb` (count a pair once). Both maxima are standard
+//! disjunctions, linearized with indicator variables:
+//!
+//! * `z[t,b] ≥ x[t,v,b]` — topic presence on a VM (incoming stream);
+//! * `w[t,v] ≤ Σ_b x[t,v,b]` — pair served anywhere;
+//! * `y[b]` — VM rented; capacity couples to it: `bw_b ≤ BC·y[b]`.
+//!
+//! The objective prices VMs at `C1(1)` each and bandwidth at `C2(1)` per
+//! event-unit, i.e. it is exact for the affine cost models the paper's
+//! reduction and evaluation use.
+
+use crate::McssInstance;
+use cloud_cost::{CostModel, Money};
+use std::fmt::Write as _;
+
+/// Maximum VM count to instantiate variables for.
+///
+/// A safe upper bound is one VM per selected pair; callers usually pass
+/// something tighter (e.g. the heuristic's VM count).
+#[derive(Clone, Copy, Debug)]
+pub struct IlpOptions {
+    /// Number of candidate VMs `|B|`.
+    pub max_vms: usize,
+}
+
+/// Renders the MCSS integer program in CPLEX LP format.
+///
+/// Variables: `x_t_v_b` (pair assignment), `z_t_b` (topic on VM),
+/// `w_t_v` (pair counted for satisfaction), `y_b` (VM rented).
+///
+/// # Panics
+///
+/// Panics if `options.max_vms` is zero.
+pub fn export_lp(instance: &McssInstance, cost: &dyn CostModel, options: IlpOptions) -> String {
+    assert!(options.max_vms > 0, "need at least one candidate VM");
+    let workload = instance.workload();
+    let capacity = instance.capacity().get();
+    let vms = options.max_vms;
+    let vm_price = price(cost.vm_cost(1) - cost.vm_cost(0));
+    let unit_bw_price = price(
+        cost.bandwidth_cost(pubsub_model::Bandwidth::new(1))
+            - cost.bandwidth_cost(pubsub_model::Bandwidth::ZERO),
+    );
+
+    let mut lp = String::new();
+    let _ = writeln!(lp, "\\ MCSS integer program (ICDCS 2014, Eq. 1-3)");
+    let _ = writeln!(
+        lp,
+        "\\ topics={} subscribers={} pairs={} vms={} capacity={}",
+        workload.num_topics(),
+        workload.num_subscribers(),
+        workload.pair_count(),
+        vms,
+        capacity
+    );
+    let _ = writeln!(lp, "Minimize");
+    let mut obj = String::from(" obj:");
+    for b in 0..vms {
+        let _ = write!(obj, " + {vm_price} y_{b}");
+    }
+    for v in workload.subscribers() {
+        for &t in workload.interests(v) {
+            let ev = workload.rate(t).get();
+            for b in 0..vms {
+                let _ = write!(
+                    obj,
+                    " + {} x_{}_{}_{}",
+                    unit_bw_price * ev as f64,
+                    t.raw(),
+                    v.raw(),
+                    b
+                );
+            }
+        }
+    }
+    for t in workload.topics() {
+        let ev = workload.rate(t).get();
+        for b in 0..vms {
+            let _ = write!(obj, " + {} z_{}_{}", unit_bw_price * ev as f64, t.raw(), b);
+        }
+    }
+    let _ = writeln!(lp, "{obj}");
+
+    let _ = writeln!(lp, "Subject To");
+    // Capacity per VM, coupled to rental.
+    for b in 0..vms {
+        let mut row = format!(" cap_{b}:");
+        for v in workload.subscribers() {
+            for &t in workload.interests(v) {
+                let _ =
+                    write!(row, " + {} x_{}_{}_{}", workload.rate(t).get(), t.raw(), v.raw(), b);
+            }
+        }
+        for t in workload.topics() {
+            let _ = write!(row, " + {} z_{}_{}", workload.rate(t).get(), t.raw(), b);
+        }
+        let _ = writeln!(lp, "{row} - {capacity} y_{b} <= 0");
+    }
+    // Topic presence: x ≤ z.
+    for v in workload.subscribers() {
+        for &t in workload.interests(v) {
+            for b in 0..vms {
+                let _ = writeln!(
+                    lp,
+                    " pres_{}_{}_{}: x_{}_{}_{} - z_{}_{} <= 0",
+                    t.raw(),
+                    v.raw(),
+                    b,
+                    t.raw(),
+                    v.raw(),
+                    b,
+                    t.raw(),
+                    b
+                );
+            }
+        }
+    }
+    // Served-anywhere indicator: w ≤ Σ_b x.
+    for v in workload.subscribers() {
+        for &t in workload.interests(v) {
+            let mut row = format!(" served_{}_{}: w_{}_{}", t.raw(), v.raw(), t.raw(), v.raw());
+            for b in 0..vms {
+                let _ = write!(row, " - x_{}_{}_{}", t.raw(), v.raw(), b);
+            }
+            let _ = writeln!(lp, "{row} <= 0");
+        }
+    }
+    // Satisfaction: Σ_t ev_t w_tv ≥ τ_v.
+    for v in workload.subscribers() {
+        let tau_v = instance.tau_v(v).get();
+        if tau_v == 0 {
+            continue;
+        }
+        let mut row = format!(" sat_{}:", v.raw());
+        for &t in workload.interests(v) {
+            let _ = write!(row, " + {} w_{}_{}", workload.rate(t).get(), t.raw(), v.raw());
+        }
+        let _ = writeln!(lp, "{row} >= {tau_v}");
+    }
+
+    let _ = writeln!(lp, "Binary");
+    for b in 0..vms {
+        let _ = writeln!(lp, " y_{b}");
+    }
+    for t in workload.topics() {
+        for b in 0..vms {
+            let _ = writeln!(lp, " z_{}_{}", t.raw(), b);
+        }
+    }
+    for v in workload.subscribers() {
+        for &t in workload.interests(v) {
+            let _ = writeln!(lp, " w_{}_{}", t.raw(), v.raw());
+            for b in 0..vms {
+                let _ = writeln!(lp, " x_{}_{}_{}", t.raw(), v.raw(), b);
+            }
+        }
+    }
+    let _ = writeln!(lp, "End");
+    lp
+}
+
+/// Dollar figure with micro precision for LP coefficients.
+fn price(m: Money) -> f64 {
+    m.as_dollars_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_cost::LinearCostModel;
+    use pubsub_model::{Bandwidth, Rate, Workload};
+
+    fn tiny_instance() -> McssInstance {
+        let mut b = Workload::builder();
+        let t0 = b.add_topic(Rate::new(10)).unwrap();
+        let t1 = b.add_topic(Rate::new(5)).unwrap();
+        b.add_subscriber([t0, t1]).unwrap();
+        McssInstance::new(b.build(), Rate::new(8), Bandwidth::new(40)).unwrap()
+    }
+
+    fn cost() -> LinearCostModel {
+        LinearCostModel::new(Money::from_dollars(2), Money::from_micros(3))
+    }
+
+    #[test]
+    fn lp_has_all_sections() {
+        let lp = export_lp(&tiny_instance(), &cost(), IlpOptions { max_vms: 2 });
+        for section in ["Minimize", "Subject To", "Binary", "End"] {
+            assert!(lp.contains(section), "missing {section}");
+        }
+    }
+
+    #[test]
+    fn lp_counts_match_formulation() {
+        let lp = export_lp(&tiny_instance(), &cost(), IlpOptions { max_vms: 2 });
+        // 2 pairs × 2 VMs assignment vars.
+        for var in ["x_0_0_0", "x_0_0_1", "x_1_0_0", "x_1_0_1"] {
+            assert!(lp.contains(var), "missing {var}");
+        }
+        // Topic presence and satisfaction machinery.
+        assert!(lp.contains("z_0_0"));
+        assert!(lp.contains("w_1_0"));
+        assert_eq!(lp.matches("cap_").count(), 2);
+        assert_eq!(lp.matches(" sat_0:").count(), 1);
+        // τ_v = min(8, 15) = 8 on the RHS.
+        assert!(lp.contains(">= 8"));
+    }
+
+    #[test]
+    fn lp_capacity_couples_to_rental() {
+        let lp = export_lp(&tiny_instance(), &cost(), IlpOptions { max_vms: 1 });
+        assert!(lp.contains("- 40 y_0 <= 0"), "capacity row must reference BC·y");
+    }
+
+    #[test]
+    fn zero_tau_subscribers_need_no_constraint() {
+        let mut b = Workload::builder();
+        b.add_topic(Rate::new(5)).unwrap();
+        b.add_subscriber([]).unwrap();
+        let inst = McssInstance::new(b.build(), Rate::new(5), Bandwidth::new(10)).unwrap();
+        let lp = export_lp(&inst, &cost(), IlpOptions { max_vms: 1 });
+        assert!(!lp.contains("sat_0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate VM")]
+    fn zero_vms_rejected() {
+        let _ = export_lp(&tiny_instance(), &cost(), IlpOptions { max_vms: 0 });
+    }
+}

@@ -1,0 +1,549 @@
+//! Incremental re-allocation — the online algorithm the paper leaves as
+//! future work (§VI).
+//!
+//! Re-running the full pipeline every epoch (see [`crate::dynamic`])
+//! recomputes everything and may produce a completely different placement,
+//! which in a real deployment means mass subscriber migration. The
+//! [`IncrementalReallocator`] instead *repairs* the previous allocation:
+//!
+//! 1. Stage 1 runs fresh on the new workload (it is cheap and
+//!    satisfaction depends on current rates);
+//! 2. pairs that left the selection are removed from their VMs; pairs
+//!    whose topics got louder may overflow a VM, in which case whole
+//!    topic groups are evicted cheapest-first until the VM fits again;
+//! 3. new and evicted pairs are placed topic-grouped — VMs already
+//!    hosting the topic first (no extra incoming stream), then the
+//!    most-free VM, then fresh VMs;
+//! 4. empty VMs are released, and if overall utilization drops below a
+//!    configurable floor the allocator falls back to a full
+//!    CustomBinPacking re-solve (placement debt has accumulated).
+//!
+//! The outcome reports exactly how many pairs moved, so the operational
+//! cost of adaptation is visible — the metric a re-provisioning interval
+//! would be tuned against.
+
+use crate::stage1::{GreedySelectPairs, PairSelector};
+use crate::stage2::{Allocator, CbpConfig, CustomBinPacking};
+use crate::{Allocation, McssError, McssInstance, Selection};
+use cloud_cost::CostModel;
+use pubsub_model::{Bandwidth, SubscriberId, TopicId};
+use std::collections::HashMap;
+
+/// Configuration for [`IncrementalReallocator`].
+#[derive(Clone, Copy, Debug)]
+pub struct IncrementalConfig {
+    /// Utilization floor: when `Σ used / (|B| · BC)` falls below this
+    /// after repair, a full re-solve replaces the repaired allocation.
+    pub compaction_threshold: f64,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        IncrementalConfig { compaction_threshold: 0.5 }
+    }
+}
+
+/// One epoch's outcome.
+#[derive(Clone, Debug)]
+pub struct IncrementalOutcome {
+    /// The repaired (or re-solved) allocation.
+    pub allocation: Allocation,
+    /// The Stage-1 selection this epoch serves (useful with
+    /// [`IncrementalReallocator::adopt`]).
+    pub selection: Selection,
+    /// Pairs newly placed this epoch (selection growth plus evictions).
+    pub pairs_placed: u64,
+    /// Pairs removed because they left the Stage-1 selection.
+    pub pairs_removed: u64,
+    /// Pairs evicted from overflowing VMs and re-placed elsewhere.
+    pub pairs_evicted: u64,
+    /// Whether the utilization floor forced a full re-solve.
+    pub full_resolve: bool,
+}
+
+/// Epoch-to-epoch allocator that minimizes placement churn.
+#[derive(Debug, Default)]
+pub struct IncrementalReallocator {
+    config: IncrementalConfig,
+    previous: Option<State>,
+}
+
+#[derive(Debug)]
+struct State {
+    selection: Selection,
+    tables: Vec<HashMap<TopicId, Vec<SubscriberId>>>,
+}
+
+impl IncrementalReallocator {
+    /// Creates a re-allocator with the given configuration.
+    pub fn new(config: IncrementalConfig) -> Self {
+        IncrementalReallocator { config, previous: None }
+    }
+
+    /// Repairs the previous allocation against the instance's current
+    /// workload (first call performs a full solve).
+    ///
+    /// # Errors
+    ///
+    /// [`McssError::InfeasibleTopic`] if a selected topic no longer fits
+    /// on any VM.
+    pub fn step(
+        &mut self,
+        instance: &McssInstance,
+        cost: &dyn CostModel,
+    ) -> Result<IncrementalOutcome, McssError> {
+        let workload = instance.workload();
+        let capacity = instance.capacity();
+        let selection = GreedySelectPairs::new().select(instance)?;
+
+        let Some(prev) = self.previous.take() else {
+            let allocation = CustomBinPacking::new(CbpConfig::full())
+                .allocate(workload, &selection, capacity, cost)?;
+            let placed = selection.pair_count();
+            self.remember(&selection, &allocation);
+            return Ok(IncrementalOutcome {
+                allocation,
+                selection,
+                pairs_placed: placed,
+                pairs_removed: 0,
+                pairs_evicted: 0,
+                full_resolve: true,
+            });
+        };
+
+        // Diff old vs new selection per subscriber (both sides sorted).
+        let mut removed: Vec<(TopicId, SubscriberId)> = Vec::new();
+        let mut added: Vec<(TopicId, SubscriberId)> = Vec::new();
+        let subscribers = workload.num_subscribers();
+        for vi in 0..subscribers {
+            let v = SubscriberId::new(vi as u32);
+            let mut old: Vec<TopicId> = if vi < prev.selection.num_subscribers() {
+                prev.selection.selected(v).to_vec()
+            } else {
+                Vec::new()
+            };
+            let mut new: Vec<TopicId> = selection.selected(v).to_vec();
+            old.sort_unstable();
+            new.sort_unstable();
+            diff_sorted(&old, &new, |t| removed.push((t, v)), |t| added.push((t, v)));
+        }
+        // Subscribers that disappeared entirely (shrunk workload).
+        for vi in subscribers..prev.selection.num_subscribers() {
+            let v = SubscriberId::new(vi as u32);
+            for &t in prev.selection.selected(v) {
+                removed.push((t, v));
+            }
+        }
+        let pairs_removed = removed.len() as u64;
+
+        // Rebuild VM tables, dropping removed pairs and any pair whose
+        // topic no longer exists in the workload.
+        let mut tables = prev.tables;
+        let mut removal: HashMap<TopicId, Vec<SubscriberId>> = HashMap::new();
+        for (t, v) in removed {
+            removal.entry(t).or_default().push(v);
+        }
+        for table in &mut tables {
+            table.retain(|t, subs| {
+                if t.index() >= workload.num_topics() {
+                    return false;
+                }
+                if let Some(gone) = removal.get(t) {
+                    subs.retain(|v| !gone.contains(v));
+                }
+                !subs.is_empty()
+            });
+        }
+
+        // Recompute per-VM usage under the *new* rates and evict from
+        // overflowing VMs, cheapest topic group first.
+        let mut pairs_evicted = 0u64;
+        let mut to_place = added;
+        for table in &mut tables {
+            let mut used = table_usage(table, workload);
+            while used > capacity {
+                let evict = table
+                    .iter()
+                    .min_by_key(|(t, subs)| {
+                        (workload.rate(**t) * (subs.len() as u64 + 1), t.raw())
+                    })
+                    .map(|(t, _)| *t)
+                    .expect("non-empty table while over capacity");
+                let subs = table.remove(&evict).expect("key just found");
+                used -= workload.rate(evict) * (subs.len() as u64 + 1);
+                pairs_evicted += subs.len() as u64;
+                to_place.extend(subs.into_iter().map(|v| (evict, v)));
+            }
+        }
+        let pairs_placed = to_place.len() as u64;
+
+        // Group the work by topic and place: host VMs first, then
+        // most-free, then fresh VMs.
+        let mut groups: HashMap<TopicId, Vec<SubscriberId>> = HashMap::new();
+        for (t, v) in to_place {
+            groups.entry(t).or_default().push(v);
+        }
+        let mut group_list: Vec<(TopicId, Vec<SubscriberId>)> = groups.into_iter().collect();
+        group_list.sort_unstable_by_key(|(t, _)| *t);
+        for (topic, mut subs) in group_list {
+            let rate = workload.rate(topic);
+            if rate.pair_cost() > capacity {
+                return Err(McssError::InfeasibleTopic {
+                    topic,
+                    required: rate.pair_cost(),
+                    capacity,
+                });
+            }
+            // Pass 1: VMs already hosting the topic (marginal cost ev).
+            for table in tables.iter_mut() {
+                if subs.is_empty() {
+                    break;
+                }
+                if !table.contains_key(&topic) {
+                    continue;
+                }
+                let free = capacity.saturating_sub(table_usage(table, workload));
+                let fit = free.div_rate(rate) as usize;
+                let take = fit.min(subs.len());
+                if take > 0 {
+                    let moved: Vec<SubscriberId> = subs.drain(..take).collect();
+                    table.get_mut(&topic).expect("host checked").extend(moved);
+                }
+            }
+            // Pass 2: most-free VMs (marginal cost (k+1)·ev).
+            while !subs.is_empty() {
+                let best = tables
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| (capacity.saturating_sub(table_usage(t, workload)), i))
+                    .max();
+                match best {
+                    Some((free, i)) if free >= rate.pair_cost() => {
+                        let fit = (free.div_rate(rate) - 1) as usize;
+                        let take = fit.min(subs.len());
+                        let moved: Vec<SubscriberId> = subs.drain(..take).collect();
+                        tables[i].entry(topic).or_default().extend(moved);
+                    }
+                    _ => break, // no existing VM can take a first pair
+                }
+            }
+            // Pass 3: fresh VMs.
+            while !subs.is_empty() {
+                let fit = (capacity.div_rate(rate) - 1) as usize;
+                let take = fit.min(subs.len());
+                let moved: Vec<SubscriberId> = subs.drain(..take).collect();
+                let mut table = HashMap::new();
+                table.insert(topic, moved);
+                tables.push(table);
+            }
+        }
+
+        // Release empty VMs.
+        tables.retain(|t| !t.is_empty());
+
+        // Compaction check.
+        let total_used: Bandwidth =
+            tables.iter().map(|t| table_usage(t, workload)).sum();
+        let fleet_capacity = capacity.get().saturating_mul(tables.len() as u64);
+        let utilization = if fleet_capacity == 0 {
+            1.0
+        } else {
+            total_used.get() as f64 / fleet_capacity as f64
+        };
+        if utilization < self.config.compaction_threshold {
+            let allocation = CustomBinPacking::new(CbpConfig::full())
+                .allocate(workload, &selection, capacity, cost)?;
+            let placed = selection.pair_count();
+            self.remember(&selection, &allocation);
+            return Ok(IncrementalOutcome {
+                allocation,
+                selection,
+                pairs_placed: placed,
+                pairs_removed,
+                pairs_evicted,
+                full_resolve: true,
+            });
+        }
+
+        let allocation = Allocation::from_tables(tables, workload, capacity);
+        self.remember(&selection, &allocation);
+        Ok(IncrementalOutcome {
+            allocation,
+            selection,
+            pairs_placed,
+            pairs_removed,
+            pairs_evicted,
+            full_resolve: false,
+        })
+    }
+
+    /// Seeds the re-allocator's state from an externally produced
+    /// allocation — e.g. a degraded fleet after broker failures, so the
+    /// next [`IncrementalReallocator::step`] re-places exactly the lost
+    /// pairs onto the surviving machines.
+    ///
+    /// `selection` must be the Stage-1 selection the allocation serves
+    /// (possibly partially, after failures).
+    pub fn adopt(&mut self, selection: &Selection, allocation: &Allocation) {
+        // Keep only the pairs that are actually placed: the next diff
+        // then treats missing ones as "added" and re-places them.
+        let workload_pairs: std::collections::HashSet<(TopicId, SubscriberId)> = allocation
+            .vms()
+            .iter()
+            .flat_map(|vm| {
+                vm.placements()
+                    .iter()
+                    .flat_map(|p| p.subscribers.iter().map(move |&v| (p.topic, v)))
+            })
+            .collect();
+        let surviving = Selection::from_per_subscriber(
+            (0..selection.num_subscribers())
+                .map(|vi| {
+                    let v = SubscriberId::new(vi as u32);
+                    selection
+                        .selected(v)
+                        .iter()
+                        .copied()
+                        .filter(|&t| workload_pairs.contains(&(t, v)))
+                        .collect()
+                })
+                .collect(),
+        );
+        self.remember(&surviving, allocation);
+    }
+
+    fn remember(&mut self, selection: &Selection, allocation: &Allocation) {
+        let tables = allocation
+            .vms()
+            .iter()
+            .map(|vm| {
+                vm.placements()
+                    .iter()
+                    .map(|p| (p.topic, p.subscribers.clone()))
+                    .collect::<HashMap<_, _>>()
+            })
+            .collect();
+        self.previous = Some(State { selection: selection.clone(), tables });
+    }
+}
+
+/// Recomputes a table's bandwidth under current rates.
+fn table_usage(
+    table: &HashMap<TopicId, Vec<SubscriberId>>,
+    workload: &pubsub_model::Workload,
+) -> Bandwidth {
+    let mut used = Bandwidth::ZERO;
+    for (t, subs) in table {
+        used += workload.rate(*t) * (subs.len() as u64 + 1);
+    }
+    used
+}
+
+/// Walks two sorted slices calling `on_removed` for elements only in
+/// `old` and `on_added` for elements only in `new`.
+fn diff_sorted(
+    old: &[TopicId],
+    new: &[TopicId],
+    mut on_removed: impl FnMut(TopicId),
+    mut on_added: impl FnMut(TopicId),
+) {
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() && j < new.len() {
+        match old[i].cmp(&new[j]) {
+            std::cmp::Ordering::Less => {
+                on_removed(old[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                on_added(new[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    old[i..].iter().for_each(|&t| on_removed(t));
+    new[j..].iter().for_each(|&t| on_added(t));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::DriftModel;
+    use cloud_cost::{LinearCostModel, Money};
+    use pubsub_model::{Rate, Workload};
+
+    fn cost() -> LinearCostModel {
+        LinearCostModel::new(Money::from_dollars(1), Money::from_micros(1))
+    }
+
+    fn base_workload() -> Workload {
+        let mut b = Workload::builder();
+        let ts: Vec<TopicId> = [30u64, 18, 12, 9, 6, 4]
+            .iter()
+            .map(|&r| b.add_topic(Rate::new(r)).unwrap())
+            .collect();
+        b.add_subscriber([ts[0], ts[1], ts[2]]).unwrap();
+        b.add_subscriber([ts[1], ts[3], ts[4]]).unwrap();
+        b.add_subscriber([ts[2], ts[4], ts[5]]).unwrap();
+        b.add_subscriber([ts[0], ts[5]]).unwrap();
+        b.build()
+    }
+
+    fn instance(w: Workload) -> McssInstance {
+        McssInstance::new(w, Rate::new(20), Bandwidth::new(120)).unwrap()
+    }
+
+    #[test]
+    fn first_step_is_full_solve() {
+        let mut inc = IncrementalReallocator::default();
+        let inst = instance(base_workload());
+        let out = inc.step(&inst, &cost()).unwrap();
+        assert!(out.full_resolve);
+        assert_eq!(out.pairs_placed, out.allocation.pair_count());
+        out.allocation.validate(inst.workload(), inst.tau()).unwrap();
+    }
+
+    #[test]
+    fn unchanged_workload_moves_nothing() {
+        let mut inc = IncrementalReallocator::default();
+        let inst = instance(base_workload());
+        let first = inc.step(&inst, &cost()).unwrap();
+        let second = inc.step(&inst, &cost()).unwrap();
+        assert!(!second.full_resolve);
+        assert_eq!(second.pairs_placed, 0);
+        assert_eq!(second.pairs_removed, 0);
+        assert_eq!(second.pairs_evicted, 0);
+        assert_eq!(second.allocation.pair_count(), first.allocation.pair_count());
+        second.allocation.validate(inst.workload(), inst.tau()).unwrap();
+    }
+
+    #[test]
+    fn drifted_workload_stays_valid_across_epochs() {
+        let drift = DriftModel { rate_sigma: 0.4, churn_prob: 0.5, seed: 17 };
+        let mut inc = IncrementalReallocator::default();
+        let mut w = base_workload();
+        for epoch in 0..8 {
+            let inst = instance(w.clone());
+            let out = inc.step(&inst, &cost()).unwrap();
+            out.allocation
+                .validate(inst.workload(), inst.tau())
+                .unwrap_or_else(|e| panic!("epoch {epoch}: {e}"));
+            w = drift.evolve(&w, epoch);
+        }
+    }
+
+    #[test]
+    fn rate_spike_triggers_eviction_not_violation() {
+        let mut inc = IncrementalReallocator::default();
+        let inst = instance(base_workload());
+        inc.step(&inst, &cost()).unwrap();
+
+        // Same interests, but topic 0's rate triples: VMs hosting it may
+        // overflow and must shed load.
+        let mut rates: Vec<Rate> = inst.workload().rates().to_vec();
+        rates[0] = Rate::new(55);
+        let interests =
+            inst.workload().subscribers().map(|v| inst.workload().interests(v).to_vec()).collect();
+        let spiked = Workload::from_parts(rates, interests);
+        let inst2 = instance(spiked);
+        let out = inc.step(&inst2, &cost()).unwrap();
+        out.allocation.validate(inst2.workload(), inst2.tau()).unwrap();
+        for vm in out.allocation.vms() {
+            assert!(vm.used() <= inst2.capacity());
+        }
+    }
+
+    #[test]
+    fn collapse_triggers_full_resolve() {
+        // Epoch 1: rich workload. Epoch 2: almost everything unsubscribes
+        // (interests shrink), utilization collapses, expect a re-solve.
+        let mut inc = IncrementalReallocator::new(IncrementalConfig {
+            compaction_threshold: 0.6,
+        });
+        let inst = instance(base_workload());
+        inc.step(&inst, &cost()).unwrap();
+
+        let w = inst.workload();
+        let rates: Vec<Rate> = w.rates().to_vec();
+        let mut interests: Vec<Vec<TopicId>> =
+            w.subscribers().map(|v| w.interests(v).to_vec()).collect();
+        for tv in interests.iter_mut().skip(1) {
+            tv.clear(); // only subscriber 0 remains interested
+        }
+        let shrunk = Workload::from_parts(rates, interests);
+        let inst2 = instance(shrunk);
+        let out = inc.step(&inst2, &cost()).unwrap();
+        assert!(out.pairs_removed > 0);
+        assert!(out.full_resolve, "utilization collapse should force a re-solve");
+        out.allocation.validate(inst2.workload(), inst2.tau()).unwrap();
+    }
+
+    #[test]
+    fn incremental_cost_stays_close_to_full_resolve() {
+        // After several drift epochs, the repaired allocation should not
+        // cost wildly more than a from-scratch solve (placement debt is
+        // bounded by the compaction rule).
+        let drift = DriftModel { rate_sigma: 0.2, churn_prob: 0.2, seed: 5 };
+        let mut inc = IncrementalReallocator::default();
+        let mut w = base_workload();
+        let mut last: Option<(Money, Money)> = None;
+        for epoch in 0..6 {
+            let inst = instance(w.clone());
+            let out = inc.step(&inst, &cost()).unwrap();
+            let fresh = crate::Solver::default().solve(&inst, &cost()).unwrap();
+            last = Some((out.allocation.cost(&cost()), fresh.report.total_cost));
+            w = drift.evolve(&w, epoch);
+        }
+        let (incremental, fresh) = last.expect("ran epochs");
+        assert!(
+            incremental.micros() <= fresh.micros() * 2,
+            "incremental {incremental} vs fresh {fresh}"
+        );
+    }
+
+    #[test]
+    fn adopt_replaces_exactly_the_missing_pairs() {
+        let mut inc = IncrementalReallocator::default();
+        let inst = instance(base_workload());
+        let deployed = inc.step(&inst, &cost()).unwrap();
+        assert!(deployed.allocation.vm_count() >= 1);
+
+        // Drop the first VM (simulated failure) and adopt the remains.
+        let degraded = crate::Allocation::from_tables(
+            deployed.allocation.vms()[1..]
+                .iter()
+                .map(|vm| {
+                    vm.placements()
+                        .iter()
+                        .map(|p| (p.topic, p.subscribers.clone()))
+                        .collect::<HashMap<_, _>>()
+                })
+                .collect(),
+            inst.workload(),
+            inst.capacity(),
+        );
+        let lost = deployed.allocation.pair_count() - degraded.pair_count();
+        inc.adopt(&deployed.selection, &degraded);
+        let repaired = inc.step(&inst, &cost()).unwrap();
+        assert_eq!(repaired.pairs_placed, lost, "repair must re-place the lost pairs");
+        repaired.allocation.validate(inst.workload(), inst.tau()).unwrap();
+    }
+
+    #[test]
+    fn diff_sorted_covers_all_cases() {
+        let t = |i: u32| TopicId::new(i);
+        let mut removed = Vec::new();
+        let mut added = Vec::new();
+        diff_sorted(
+            &[t(1), t(2), t(5)],
+            &[t(2), t(3), t(5), t(9)],
+            |x| removed.push(x),
+            |x| added.push(x),
+        );
+        assert_eq!(removed, vec![t(1)]);
+        assert_eq!(added, vec![t(3), t(9)]);
+    }
+}

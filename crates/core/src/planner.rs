@@ -1,0 +1,138 @@
+//! Instance-type planning: which VM flavour deploys a workload cheapest?
+//!
+//! The paper evaluates c3.large against c3.xlarge and observes that
+//! doubling capacity halves the fleet at roughly equal cost (Figs. 2a/2b)
+//! — leaving the choice to the reader. This planner automates it: solve
+//! the same instance under every candidate cost model and rank the
+//! outcomes, the "tool to estimate and provision resources" of the
+//! paper's conclusion made concrete.
+
+use crate::{McssError, McssInstance, SolveReport, Solver};
+use cloud_cost::{Ec2CostModel, Money};
+use pubsub_model::{Rate, Workload};
+use std::sync::Arc;
+
+/// One candidate's outcome.
+#[derive(Clone, Debug)]
+pub struct PlannedOption {
+    /// Candidate label (the instance type name).
+    pub name: &'static str,
+    /// The full solve report under this candidate.
+    pub report: SolveReport,
+}
+
+/// Ranked outcomes, cheapest first.
+#[derive(Clone, Debug)]
+pub struct PlannerReport {
+    /// All candidates, sorted by ascending total cost (ties: fewer VMs
+    /// first, then input order).
+    pub ranked: Vec<PlannedOption>,
+}
+
+impl PlannerReport {
+    /// The cheapest candidate.
+    pub fn best(&self) -> &PlannedOption {
+        &self.ranked[0]
+    }
+
+    /// Cost spread between the cheapest and the dearest candidate.
+    pub fn spread(&self) -> Money {
+        let last = self.ranked.last().expect("non-empty by construction");
+        last.report.total_cost - self.ranked[0].report.total_cost
+    }
+}
+
+/// Solves `workload` at threshold `tau` under every candidate cost model
+/// (each provides its own capacity) and ranks the results.
+///
+/// # Errors
+///
+/// Returns the first solver error encountered (e.g. a topic that does not
+/// fit the smallest candidate's capacity), or [`McssError::ZeroCapacity`]
+/// if `candidates` is empty.
+pub fn plan_instance_type(
+    workload: Arc<Workload>,
+    tau: Rate,
+    candidates: &[Ec2CostModel],
+    solver: Solver,
+) -> Result<PlannerReport, McssError> {
+    if candidates.is_empty() {
+        return Err(McssError::ZeroCapacity);
+    }
+    let mut ranked = Vec::with_capacity(candidates.len());
+    for cost in candidates {
+        let instance =
+            McssInstance::new(Arc::clone(&workload), tau, cost.capacity())?;
+        let outcome = solver.solve(&instance, cost)?;
+        ranked.push(PlannedOption { name: cost.instance().name(), report: outcome.report });
+    }
+    ranked.sort_by(|a, b| {
+        a.report
+            .total_cost
+            .cmp(&b.report.total_cost)
+            .then(a.report.vm_count.cmp(&b.report.vm_count))
+    });
+    Ok(PlannerReport { ranked })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_cost::instances;
+    use pubsub_model::TopicId;
+
+    fn workload() -> Arc<Workload> {
+        let mut b = Workload::builder();
+        let ts: Vec<TopicId> = (0..30)
+            .map(|i| b.add_topic(Rate::new(100 + i * 37)).unwrap())
+            .collect();
+        for vi in 0..60u32 {
+            let tv: Vec<TopicId> =
+                ts.iter().copied().filter(|t| (t.raw() + vi) % 3 != 0).collect();
+            b.add_subscriber(tv).unwrap();
+        }
+        Arc::new(b.build())
+    }
+
+    fn candidates() -> Vec<Ec2CostModel> {
+        vec![
+            Ec2CostModel::paper_effective(instances::C3_LARGE).with_volume_scale(60, 500_000),
+            Ec2CostModel::paper_effective(instances::C3_XLARGE).with_volume_scale(60, 500_000),
+        ]
+    }
+
+    #[test]
+    fn ranks_all_candidates_cheapest_first() {
+        let report =
+            plan_instance_type(workload(), Rate::new(500), &candidates(), Solver::default())
+                .unwrap();
+        assert_eq!(report.ranked.len(), 2);
+        assert!(report.ranked[0].report.total_cost <= report.ranked[1].report.total_cost);
+        assert!(report.spread() >= Money::ZERO);
+        assert!(!report.best().name.is_empty());
+    }
+
+    #[test]
+    fn bigger_instances_use_fewer_vms() {
+        let report =
+            plan_instance_type(workload(), Rate::new(500), &candidates(), Solver::default())
+                .unwrap();
+        let by_name = |n: &str| {
+            report
+                .ranked
+                .iter()
+                .find(|o| o.name == n)
+                .unwrap_or_else(|| panic!("{n} missing"))
+        };
+        assert!(
+            by_name("c3.xlarge").report.vm_count <= by_name("c3.large").report.vm_count
+        );
+    }
+
+    #[test]
+    fn empty_candidate_list_is_an_error() {
+        let err =
+            plan_instance_type(workload(), Rate::new(10), &[], Solver::default()).unwrap_err();
+        assert_eq!(err, McssError::ZeroCapacity);
+    }
+}

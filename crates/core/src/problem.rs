@@ -1,0 +1,184 @@
+//! The MCSS problem instance.
+
+use crate::McssError;
+use pubsub_model::{Bandwidth, Rate, SubscriberId, Workload};
+use std::sync::Arc;
+
+/// An instance of `MCSS(T, V, ev, Int, τ, BC, C1, C2)` minus the cost
+/// functions, which are passed separately as a
+/// [`CostModel`](cloud_cost::CostModel) so one instance can be priced under
+/// several models.
+///
+/// The workload is held in an [`Arc`] so solver variants, benches, and the
+/// simulator can share it without copying multi-million-pair tables.
+///
+/// ```
+/// use mcss_core::McssInstance;
+/// use pubsub_model::{Bandwidth, Rate, Workload};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Workload::builder();
+/// let t = b.add_topic(Rate::new(10))?;
+/// let v = b.add_subscriber([t])?;
+/// let inst = McssInstance::new(b.build(), Rate::new(5), Bandwidth::new(100))?;
+/// assert_eq!(inst.tau_v(v), Rate::new(5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct McssInstance {
+    workload: Arc<Workload>,
+    tau: Rate,
+    capacity: Bandwidth,
+}
+
+impl McssInstance {
+    /// Creates an instance from a workload, the global satisfaction
+    /// threshold `τ`, and the per-VM bandwidth capacity `BC`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McssError::ZeroCapacity`] if `capacity` is zero.
+    pub fn new(
+        workload: impl Into<Arc<Workload>>,
+        tau: Rate,
+        capacity: Bandwidth,
+    ) -> Result<Self, McssError> {
+        if capacity.is_zero() {
+            return Err(McssError::ZeroCapacity);
+        }
+        Ok(McssInstance { workload: workload.into(), tau, capacity })
+    }
+
+    /// The underlying workload.
+    #[inline]
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// A shared handle to the workload.
+    pub fn workload_arc(&self) -> Arc<Workload> {
+        Arc::clone(&self.workload)
+    }
+
+    /// The global satisfaction threshold `τ`.
+    #[inline]
+    pub fn tau(&self) -> Rate {
+        self.tau
+    }
+
+    /// The per-VM bandwidth capacity `BC`.
+    #[inline]
+    pub fn capacity(&self) -> Bandwidth {
+        self.capacity
+    }
+
+    /// The subscriber-specific threshold `τ_v = min(τ, Σ_{t∈T_v} ev_t)`.
+    #[inline]
+    pub fn tau_v(&self, v: SubscriberId) -> Rate {
+        self.workload.tau_v(v, self.tau)
+    }
+
+    /// Returns a copy of this instance with a different threshold —
+    /// convenient for τ sweeps over a shared workload.
+    pub fn with_tau(&self, tau: Rate) -> Self {
+        McssInstance { workload: Arc::clone(&self.workload), tau, capacity: self.capacity }
+    }
+
+    /// Returns a copy with a different capacity — convenient for instance
+    /// type sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McssError::ZeroCapacity`] if `capacity` is zero.
+    pub fn with_capacity(&self, capacity: Bandwidth) -> Result<Self, McssError> {
+        if capacity.is_zero() {
+            return Err(McssError::ZeroCapacity);
+        }
+        Ok(McssInstance { workload: Arc::clone(&self.workload), tau: self.tau, capacity })
+    }
+
+    /// Checks that every topic *could* be placed on a VM (`2·ev_t ≤ BC`).
+    ///
+    /// This is stricter than necessary — a topic violating it only matters
+    /// if Stage 1 selects one of its pairs — but it is the useful
+    /// preflight check for generated workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McssError::InfeasibleTopic`] for the first oversized topic.
+    pub fn check_all_topics_fit(&self) -> Result<(), McssError> {
+        for t in self.workload.topics() {
+            let required = self.workload.rate(t).pair_cost();
+            if required > self.capacity {
+                return Err(McssError::InfeasibleTopic {
+                    topic: t,
+                    required,
+                    capacity: self.capacity,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_model::TopicId;
+
+    fn instance(tau: u64, capacity: u64) -> McssInstance {
+        let mut b = Workload::builder();
+        let t0 = b.add_topic(Rate::new(20)).unwrap();
+        let t1 = b.add_topic(Rate::new(10)).unwrap();
+        b.add_subscriber([t0, t1]).unwrap();
+        b.add_subscriber([t1]).unwrap();
+        McssInstance::new(b.build(), Rate::new(tau), Bandwidth::new(capacity)).unwrap()
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        let mut b = Workload::builder();
+        b.add_topic(Rate::new(1)).unwrap();
+        let err = McssInstance::new(b.build(), Rate::new(1), Bandwidth::ZERO).unwrap_err();
+        assert_eq!(err, McssError::ZeroCapacity);
+    }
+
+    #[test]
+    fn tau_v_is_capped() {
+        let inst = instance(100, 1000);
+        assert_eq!(inst.tau_v(SubscriberId::new(0)), Rate::new(30));
+        assert_eq!(inst.tau_v(SubscriberId::new(1)), Rate::new(10));
+        let low = inst.with_tau(Rate::new(5));
+        assert_eq!(low.tau_v(SubscriberId::new(0)), Rate::new(5));
+    }
+
+    #[test]
+    fn with_capacity_validates() {
+        let inst = instance(10, 100);
+        assert!(inst.with_capacity(Bandwidth::new(50)).is_ok());
+        assert_eq!(inst.with_capacity(Bandwidth::ZERO).unwrap_err(), McssError::ZeroCapacity);
+    }
+
+    #[test]
+    fn feasibility_preflight() {
+        let ok = instance(10, 40); // biggest topic needs 2×20 = 40
+        assert!(ok.check_all_topics_fit().is_ok());
+        let bad = instance(10, 39);
+        assert_eq!(
+            bad.check_all_topics_fit().unwrap_err(),
+            McssError::InfeasibleTopic {
+                topic: TopicId::new(0),
+                required: Bandwidth::new(40),
+                capacity: Bandwidth::new(39),
+            }
+        );
+    }
+
+    #[test]
+    fn workload_is_shared_not_copied() {
+        let inst = instance(10, 100);
+        let copy = inst.with_tau(Rate::new(3));
+        assert!(Arc::ptr_eq(&inst.workload_arc(), &copy.workload_arc()));
+    }
+}

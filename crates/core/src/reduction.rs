@@ -1,0 +1,170 @@
+//! The Partition → DCSS reduction of Theorem II.2.
+//!
+//! Given a multiset `S = {x₁, …, xₙ}` of positive integers, the paper
+//! builds a DCSS instance with one topic of rate `xᵢ` per integer, a
+//! single dedicated subscriber per topic, `τ = max S` (so `τ_v = xᵢ`
+//! forces every pair into the solution), `BC = Σ S`, `C1(x) = x` dollars,
+//! `C2 = 0`, and cost threshold `CT = 2`: a two-VM packing exists **iff**
+//! `S` can be partitioned into two equal-sum halves (each VM carries
+//! `2·Σ_half` bandwidth against `BC = Σ S`).
+//!
+//! [`subset_sum_partitionable`] is an independent pseudo-polynomial
+//! reference; property tests check the equivalence through the exact DCSS
+//! decider.
+
+use crate::{McssError, McssInstance};
+use cloud_cost::{LinearCostModel, Money};
+use pubsub_model::{Bandwidth, Rate, Workload};
+
+/// The DCSS instance produced by the reduction, bundled with its cost
+/// model and decision threshold.
+#[derive(Clone, Debug)]
+pub struct ReducedInstance {
+    /// The MCSS/DCSS instance (`τ = max S`, `BC = Σ S`).
+    pub instance: McssInstance,
+    /// `C1(x) = x` dollars, `C2 = 0`.
+    pub cost: LinearCostModel,
+    /// The decision threshold `CT = $2`.
+    pub budget: Money,
+}
+
+/// Builds the Theorem II.2 instance from a Partition multiset.
+///
+/// # Errors
+///
+/// Returns [`McssError::ZeroCapacity`] when `xs` is empty or all-zero;
+/// zero elements are rejected the same way (the Partition problem is over
+/// positive integers).
+pub fn partition_to_dcss(xs: &[u64]) -> Result<ReducedInstance, McssError> {
+    if xs.is_empty() || xs.iter().any(|&x| x == 0) {
+        return Err(McssError::ZeroCapacity);
+    }
+    let total: u64 = xs.iter().sum();
+    let tau = *xs.iter().max().expect("non-empty");
+    let mut b = Workload::builder();
+    for &x in xs {
+        let t = b.add_topic(Rate::new(x)).expect("positive bounded rates");
+        b.add_subscriber([t]).expect("topic just added");
+    }
+    let instance = McssInstance::new(b.build(), Rate::new(tau), Bandwidth::new(total))?;
+    Ok(ReducedInstance {
+        instance,
+        cost: LinearCostModel::vm_only(Money::from_dollars(1)),
+        budget: Money::from_dollars(2),
+    })
+}
+
+/// Pseudo-polynomial Partition decision (subset-sum DP): can `xs` be split
+/// into two subsets of equal sum?
+///
+/// The empty set partitions trivially (both halves empty).
+pub fn subset_sum_partitionable(xs: &[u64]) -> bool {
+    let total: u64 = xs.iter().sum();
+    if total % 2 != 0 {
+        return false;
+    }
+    let target = (total / 2) as usize;
+    let mut reachable = vec![false; target + 1];
+    reachable[0] = true;
+    for &x in xs {
+        let x = x as usize;
+        if x > target {
+            return false; // one element exceeds half the total
+        }
+        for s in (x..=target).rev() {
+            if reachable[s - x] {
+                reachable[s] = true;
+            }
+        }
+    }
+    reachable[target]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactSolver;
+
+    fn decide(xs: &[u64]) -> bool {
+        let reduced = partition_to_dcss(xs).expect("valid multiset");
+        ExactSolver::new()
+            .decide_dcss(&reduced.instance, &reduced.cost, reduced.budget)
+            .expect("small instance")
+    }
+
+    #[test]
+    fn classic_yes_instances() {
+        assert!(subset_sum_partitionable(&[1, 5, 11, 5])); // {11} vs {1,5,5}... 11 vs 11
+        assert!(subset_sum_partitionable(&[2, 2]));
+        assert!(subset_sum_partitionable(&[3, 1, 1, 2, 2, 1]));
+    }
+
+    #[test]
+    fn classic_no_instances() {
+        assert!(!subset_sum_partitionable(&[1, 2, 5]));
+        assert!(!subset_sum_partitionable(&[2]));
+        assert!(!subset_sum_partitionable(&[1, 1, 1]));
+    }
+
+    #[test]
+    fn reduction_matches_reference_on_small_instances() {
+        let cases: Vec<Vec<u64>> = vec![
+            vec![1, 1],
+            vec![2, 1, 1],
+            vec![3, 2, 1],
+            vec![4, 3, 2, 1],
+            vec![5, 4, 3, 2],
+            vec![7, 3, 2, 1, 1],
+            vec![2, 3],
+            vec![6, 6],
+            vec![8, 5, 3],
+        ];
+        for xs in cases {
+            assert_eq!(
+                decide(&xs),
+                subset_sum_partitionable(&xs),
+                "reduction disagreed with subset-sum on {xs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduced_instance_shape_matches_theorem() {
+        let r = partition_to_dcss(&[4, 2, 3]).unwrap();
+        let w = r.instance.workload();
+        assert_eq!(w.num_topics(), 3);
+        assert_eq!(w.num_subscribers(), 3);
+        assert_eq!(r.instance.capacity(), Bandwidth::new(9)); // Σ S
+        assert_eq!(r.instance.tau(), Rate::new(4)); // max S
+        // τ forces every pair: τ_v = min(max S, x_i) = x_i.
+        for v in w.subscribers() {
+            assert_eq!(r.instance.tau_v(v), w.subscriber_total_rate(v));
+        }
+        assert_eq!(r.budget, Money::from_dollars(2));
+    }
+
+    #[test]
+    fn rejects_degenerate_multisets() {
+        assert!(partition_to_dcss(&[]).is_err());
+        assert!(partition_to_dcss(&[3, 0, 1]).is_err());
+    }
+
+    #[test]
+    fn yes_instance_packs_into_exactly_two_vms() {
+        let r = partition_to_dcss(&[3, 1, 2]).unwrap(); // {3} vs {1,2}
+        let sol = ExactSolver::new().solve(&r.instance, &r.cost).unwrap();
+        assert_eq!(sol.vms, 2);
+        // All pairs selected: volume = 2·Σ = 12.
+        assert_eq!(sol.volume, Bandwidth::new(12));
+    }
+
+    #[test]
+    fn no_instance_needs_three_vms() {
+        let r = partition_to_dcss(&[1, 1, 1]).unwrap();
+        let sol = ExactSolver::new().solve(&r.instance, &r.cost).unwrap();
+        assert!(sol.vms >= 3 || sol.vms == 1, "vms = {}", sol.vms);
+        // Σ = 3 odd: total volume 6 = 2·BC, but no equal split; either one
+        // VM is impossible (6 > 3 = BC) so the optimum is 3 VMs of 2 each.
+        assert_eq!(sol.vms, 3);
+    }
+}

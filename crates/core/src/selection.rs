@@ -1,0 +1,200 @@
+//! The output of Stage 1: a set of topic-subscriber pairs.
+
+use pubsub_model::{Bandwidth, Pair, Rate, SubscriberId, TopicId, Workload};
+
+/// A set `S` of topic-subscriber pairs chosen to satisfy every subscriber
+/// (the output of Stage 1, §III-A), stored per subscriber in selection
+/// order.
+///
+/// ```
+/// use mcss_core::Selection;
+/// use pubsub_model::{Rate, TopicId, Workload};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Workload::builder();
+/// let t = b.add_topic(Rate::new(10))?;
+/// b.add_subscriber([t])?;
+/// let w = b.build();
+///
+/// let s = Selection::from_per_subscriber(vec![vec![t]]);
+/// assert_eq!(s.pair_count(), 1);
+/// assert!(s.satisfies(&w, Rate::new(10)));
+/// assert_eq!(s.outgoing_volume(&w).get(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Selection {
+    /// Selected topics per subscriber, in the order the selector chose
+    /// them. The order matters: First-Fit bin packing (Alg. 3) consumes
+    /// pairs "in no particular sequence", which we pin to this order for
+    /// determinism.
+    per_subscriber: Vec<Vec<TopicId>>,
+}
+
+impl Selection {
+    /// Wraps per-subscriber topic lists (indexed by subscriber id).
+    pub fn from_per_subscriber(per_subscriber: Vec<Vec<TopicId>>) -> Self {
+        Selection { per_subscriber }
+    }
+
+    /// Number of subscribers covered (equals the workload's subscriber
+    /// count for any selector output).
+    pub fn num_subscribers(&self) -> usize {
+        self.per_subscriber.len()
+    }
+
+    /// The topics selected for subscriber `v`, in selection order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn selected(&self, v: SubscriberId) -> &[TopicId] {
+        &self.per_subscriber[v.index()]
+    }
+
+    /// Total number of selected pairs `|S|`.
+    pub fn pair_count(&self) -> u64 {
+        self.per_subscriber.iter().map(|tv| tv.len() as u64).sum()
+    }
+
+    /// Iterates all pairs in subscriber-major selection order.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = Pair> + '_ {
+        self.per_subscriber.iter().enumerate().flat_map(|(vi, tv)| {
+            let v = SubscriberId::new(vi as u32);
+            tv.iter().map(move |&t| Pair::new(t, v))
+        })
+    }
+
+    /// Total outgoing delivery volume `Σ_{(t,v)∈S} ev_t`.
+    pub fn outgoing_volume(&self, workload: &Workload) -> Bandwidth {
+        let mut total = Bandwidth::ZERO;
+        for pair in self.iter_pairs() {
+            total += workload.rate(pair.topic);
+        }
+        total
+    }
+
+    /// The Stage-1 heuristic's bandwidth cost `Σ_{(t,v)∈S} 2·ev_t`
+    /// (incoming + outgoing per pair; Alg. 1's cost notion, which charges
+    /// the incoming stream once per pair rather than once per topic).
+    pub fn stage1_cost(&self, workload: &Workload) -> Bandwidth {
+        let mut total = Bandwidth::ZERO;
+        for pair in self.iter_pairs() {
+            total += workload.rate(pair.topic).pair_cost();
+        }
+        total
+    }
+
+    /// Rate delivered to subscriber `v` under this selection
+    /// (`Σ_{t : (t,v)∈S} ev_t`).
+    pub fn delivered_rate(&self, workload: &Workload, v: SubscriberId) -> Rate {
+        self.per_subscriber[v.index()].iter().map(|&t| workload.rate(t)).sum()
+    }
+
+    /// Checks the Stage-1 constraint `Σ_v f_v = |V|`: every subscriber
+    /// receives at least `τ_v = min(τ, Σ_{t∈T_v} ev_t)`.
+    pub fn satisfies(&self, workload: &Workload, tau: Rate) -> bool {
+        if self.per_subscriber.len() != workload.num_subscribers() {
+            return false;
+        }
+        workload
+            .subscribers()
+            .all(|v| self.delivered_rate(workload, v) >= workload.tau_v(v, tau))
+    }
+
+    /// Groups the selected pairs by topic: `(t, subscribers of t in S)`,
+    /// ordered by topic id, only topics with at least one selected pair.
+    /// This is the "grouping of pairs" optimization (b) of §III-B.
+    pub fn group_by_topic(&self, workload: &Workload) -> Vec<(TopicId, Vec<SubscriberId>)> {
+        let mut groups: Vec<Vec<SubscriberId>> = vec![Vec::new(); workload.num_topics()];
+        for (vi, tv) in self.per_subscriber.iter().enumerate() {
+            let v = SubscriberId::new(vi as u32);
+            for &t in tv {
+                groups[t.index()].push(v);
+            }
+        }
+        groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, vs)| !vs.is_empty())
+            .map(|(ti, vs)| (TopicId::new(ti as u32), vs))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> Workload {
+        let mut b = Workload::builder();
+        let t0 = b.add_topic(Rate::new(20)).unwrap();
+        let t1 = b.add_topic(Rate::new(10)).unwrap();
+        let t2 = b.add_topic(Rate::new(5)).unwrap();
+        b.add_subscriber([t0, t1, t2]).unwrap();
+        b.add_subscriber([t1, t2]).unwrap();
+        b.build()
+    }
+
+    fn t(i: u32) -> TopicId {
+        TopicId::new(i)
+    }
+
+    #[test]
+    fn pair_iteration_preserves_selection_order() {
+        let s = Selection::from_per_subscriber(vec![vec![t(2), t(0)], vec![t(1)]]);
+        let pairs: Vec<Pair> = s.iter_pairs().collect();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0], Pair::new(t(2), SubscriberId::new(0)));
+        assert_eq!(pairs[1], Pair::new(t(0), SubscriberId::new(0)));
+        assert_eq!(pairs[2], Pair::new(t(1), SubscriberId::new(1)));
+    }
+
+    #[test]
+    fn volumes() {
+        let w = workload();
+        let s = Selection::from_per_subscriber(vec![vec![t(0), t(2)], vec![t(1)]]);
+        assert_eq!(s.outgoing_volume(&w), Bandwidth::new(35));
+        assert_eq!(s.stage1_cost(&w), Bandwidth::new(70));
+        assert_eq!(s.pair_count(), 3);
+    }
+
+    #[test]
+    fn satisfaction_respects_tau_v() {
+        let w = workload();
+        // v0 can receive 35 total, v1 15.
+        let all = Selection::from_per_subscriber(vec![vec![t(0), t(1), t(2)], vec![t(1), t(2)]]);
+        assert!(all.satisfies(&w, Rate::new(1000))); // τ_v caps at totals
+        let partial = Selection::from_per_subscriber(vec![vec![t(0)], vec![t(1)]]);
+        assert!(partial.satisfies(&w, Rate::new(10)));
+        assert!(!partial.satisfies(&w, Rate::new(15))); // v1 delivers 10 < 15 cap... τ_v1 = 15
+    }
+
+    #[test]
+    fn satisfaction_requires_full_cover() {
+        let w = workload();
+        let wrong_len = Selection::from_per_subscriber(vec![vec![t(0)]]);
+        assert!(!wrong_len.satisfies(&w, Rate::new(1)));
+    }
+
+    #[test]
+    fn grouping_by_topic() {
+        let w = workload();
+        let s = Selection::from_per_subscriber(vec![vec![t(2), t(1)], vec![t(1)]]);
+        let groups = s.group_by_topic(&w);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, t(1));
+        assert_eq!(groups[0].1, vec![SubscriberId::new(0), SubscriberId::new(1)]);
+        assert_eq!(groups[1].0, t(2));
+        assert_eq!(groups[1].1, vec![SubscriberId::new(0)]);
+    }
+
+    #[test]
+    fn delivered_rate_sums_selected_only() {
+        let w = workload();
+        let s = Selection::from_per_subscriber(vec![vec![t(1)], vec![]]);
+        assert_eq!(s.delivered_rate(&w, SubscriberId::new(0)), Rate::new(10));
+        assert_eq!(s.delivered_rate(&w, SubscriberId::new(1)), Rate::ZERO);
+    }
+}

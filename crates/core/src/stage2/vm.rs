@@ -1,0 +1,134 @@
+//! Mutable VM state used while packing.
+
+use pubsub_model::{Bandwidth, Rate, SubscriberId, TopicId};
+use std::collections::HashMap;
+
+/// A VM being filled by a Stage-2 allocator: the topic→subscribers table
+/// plus incrementally tracked bandwidth.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VmBuild {
+    table: HashMap<TopicId, Vec<SubscriberId>>,
+    used: Bandwidth,
+}
+
+impl VmBuild {
+    pub(crate) fn new() -> Self {
+        VmBuild::default()
+    }
+
+    /// Bandwidth currently in use (`bw_b`). The allocators track totals
+    /// incrementally and query headroom via [`VmBuild::free`]; this direct
+    /// accessor serves the unit tests.
+    #[inline]
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn used(&self) -> Bandwidth {
+        self.used
+    }
+
+    /// Free headroom `BC − bw_b`.
+    #[inline]
+    pub(crate) fn free(&self, capacity: Bandwidth) -> Bandwidth {
+        capacity.saturating_sub(self.used)
+    }
+
+    /// Marginal cost of adding one pair of topic `t`: `2·ev_t` when the
+    /// topic is new to this VM (incoming stream + delivery), `ev_t`
+    /// otherwise.
+    #[inline]
+    pub(crate) fn delta(&self, t: TopicId, rate: Rate) -> Bandwidth {
+        if self.table.contains_key(&t) {
+            rate.volume()
+        } else {
+            rate.pair_cost()
+        }
+    }
+
+    /// Adds a single pair, updating bandwidth. The caller must have
+    /// checked capacity via [`VmBuild::delta`].
+    pub(crate) fn add_pair(&mut self, t: TopicId, rate: Rate, v: SubscriberId) {
+        self.used += self.delta(t, rate);
+        self.table.entry(t).or_default().push(v);
+    }
+
+    /// Adds several pairs of the same topic at once. Bandwidth grows by
+    /// `(n+1)·ev_t` if the topic is new, `n·ev_t` otherwise.
+    pub(crate) fn add_batch(&mut self, t: TopicId, rate: Rate, vs: &[SubscriberId]) {
+        if vs.is_empty() {
+            return;
+        }
+        let n = vs.len() as u64;
+        let volume = if self.table.contains_key(&t) { rate * n } else { rate * (n + 1) };
+        self.used += volume;
+        self.table.entry(t).or_default().extend_from_slice(vs);
+    }
+
+    /// Consumes the build, yielding the raw table for
+    /// [`Allocation::from_tables`](crate::Allocation).
+    pub(crate) fn into_table(self) -> HashMap<TopicId, Vec<SubscriberId>> {
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TopicId {
+        TopicId::new(i)
+    }
+    fn v(i: u32) -> SubscriberId {
+        SubscriberId::new(i)
+    }
+
+    #[test]
+    fn delta_depends_on_topic_presence() {
+        let mut vm = VmBuild::new();
+        let rate = Rate::new(10);
+        assert_eq!(vm.delta(t(0), rate), Bandwidth::new(20));
+        vm.add_pair(t(0), rate, v(0));
+        assert_eq!(vm.used(), Bandwidth::new(20));
+        assert_eq!(vm.delta(t(0), rate), Bandwidth::new(10));
+        vm.add_pair(t(0), rate, v(1));
+        assert_eq!(vm.used(), Bandwidth::new(30));
+    }
+
+    #[test]
+    fn batch_matches_individual_adds() {
+        let rate = Rate::new(7);
+        let subs = [v(0), v(1), v(2)];
+        let mut one = VmBuild::new();
+        for &s in &subs {
+            one.add_pair(t(3), rate, s);
+        }
+        let mut batch = VmBuild::new();
+        batch.add_batch(t(3), rate, &subs);
+        assert_eq!(one.used(), batch.used());
+        assert_eq!(one.into_table(), batch.into_table());
+    }
+
+    #[test]
+    fn second_batch_of_same_topic_pays_no_incoming() {
+        let rate = Rate::new(5);
+        let mut vm = VmBuild::new();
+        vm.add_batch(t(1), rate, &[v(0)]);
+        assert_eq!(vm.used(), Bandwidth::new(10));
+        vm.add_batch(t(1), rate, &[v(1), v(2)]);
+        assert_eq!(vm.used(), Bandwidth::new(20));
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut vm = VmBuild::new();
+        vm.add_batch(t(0), Rate::new(5), &[]);
+        assert_eq!(vm.used(), Bandwidth::ZERO);
+        assert!(vm.into_table().is_empty());
+    }
+
+    #[test]
+    fn free_saturates() {
+        let mut vm = VmBuild::new();
+        vm.add_pair(t(0), Rate::new(10), v(0));
+        assert_eq!(vm.free(Bandwidth::new(25)), Bandwidth::new(5));
+        assert_eq!(vm.free(Bandwidth::new(15)), Bandwidth::ZERO);
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests over the full solver stack.
+
+use cloud_cost::{LinearCostModel, Money};
+use mcss_core::exact::ExactSolver;
+use mcss_core::incremental::IncrementalReallocator;
+use mcss_core::reduction::{partition_to_dcss, subset_sum_partitionable};
+use mcss_core::stage1::{
+    GreedySelectPairs, OptimalSelectPairs, PairSelector, RandomSelectPairs, SharedAwareGreedy,
+};
+use mcss_core::stage2::{
+    Allocator, BestFitBinPacking, CbpConfig, CustomBinPacking, FirstFitBinPacking,
+    NextFitBinPacking,
+};
+use mcss_core::{lower_bound, McssInstance};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use pubsub_model::{Bandwidth, Rate, TopicId, Workload};
+
+/// Random workload: 1..=8 topics with rates 1..=30, 1..=8 subscribers
+/// with non-empty interests.
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    vec(1u64..=30, 1..=8).prop_flat_map(|rates| {
+        let nt = rates.len() as u32;
+        vec(vec(0..nt, 1..=6), 1..=8).prop_map(move |interests| {
+            let mut b = Workload::builder();
+            for &r in &rates {
+                b.add_topic(Rate::new(r)).unwrap();
+            }
+            for tv in &interests {
+                b.add_subscriber(tv.iter().map(|&t| TopicId::new(t))).unwrap();
+            }
+            b.build()
+        })
+    })
+}
+
+/// Capacity large enough for the biggest topic (2·30), with headroom
+/// variety.
+fn arb_instance() -> impl Strategy<Value = McssInstance> {
+    (arb_workload(), 1u64..=80, 60u64..=400).prop_map(|(w, tau, cap)| {
+        McssInstance::new(w, Rate::new(tau), Bandwidth::new(cap)).unwrap()
+    })
+}
+
+fn nocost() -> LinearCostModel {
+    LinearCostModel::new(Money::from_dollars(1), Money::from_micros(5))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every Stage-1 selector satisfies every subscriber.
+    #[test]
+    fn stage1_always_satisfies(inst in arb_instance(), seed in 0u64..100) {
+        let selectors: Vec<Box<dyn PairSelector>> = vec![
+            Box::new(GreedySelectPairs::new()),
+            Box::new(GreedySelectPairs::with_threads(3)),
+            Box::new(RandomSelectPairs::new(seed)),
+            Box::new(SharedAwareGreedy::new()),
+        ];
+        for s in selectors {
+            let sel = s.select(&inst).unwrap();
+            prop_assert!(
+                sel.satisfies(inst.workload(), inst.tau()),
+                "{} left a subscriber short", s.name()
+            );
+        }
+    }
+
+    /// The DP optimum never pays more Stage-1 cost than the greedy, and
+    /// both satisfy.
+    #[test]
+    fn optimal_stage1_lower_or_equal_greedy(inst in arb_instance()) {
+        let opt = OptimalSelectPairs::new().select(&inst).unwrap();
+        let gsp = GreedySelectPairs::new().select(&inst).unwrap();
+        let w = inst.workload();
+        prop_assert!(opt.satisfies(w, inst.tau()));
+        prop_assert!(opt.stage1_cost(w) <= gsp.stage1_cost(w));
+    }
+
+    /// Stage 2 invariants for every allocator preset: capacity respected,
+    /// no pair lost or duplicated, bandwidth accounting exact.
+    #[test]
+    fn stage2_invariants(inst in arb_instance(), seed in 0u64..50) {
+        let w = inst.workload();
+        let sel = RandomSelectPairs::new(seed).select(&inst).unwrap();
+        let allocators: Vec<Box<dyn Allocator>> = vec![
+            Box::new(FirstFitBinPacking::new()),
+            Box::new(BestFitBinPacking::new()),
+            Box::new(NextFitBinPacking::new()),
+            Box::new(CustomBinPacking::new(CbpConfig::grouping_only())),
+            Box::new(CustomBinPacking::new(CbpConfig::expensive_first())),
+            Box::new(CustomBinPacking::new(CbpConfig::most_free())),
+            Box::new(CustomBinPacking::new(CbpConfig::full())),
+        ];
+        for a in allocators {
+            let alloc = a.allocate(w, &sel, inst.capacity(), &nocost()).unwrap();
+            prop_assert_eq!(alloc.pair_count(), sel.pair_count(), "{} lost pairs", a.name());
+            alloc.validate(w, inst.tau()).map_err(|e| {
+                TestCaseError::fail(format!("{} invalid: {e}", a.name()))
+            })?;
+        }
+    }
+
+    /// The Alg. 5 lower bound holds for every pipeline combination.
+    #[test]
+    fn lower_bound_holds(inst in arb_instance(), seed in 0u64..50) {
+        let w = inst.workload();
+        let lb = lower_bound(w, inst.tau(), inst.capacity());
+        let cost = nocost();
+        let selections = [
+            GreedySelectPairs::new().select(&inst).unwrap(),
+            RandomSelectPairs::new(seed).select(&inst).unwrap(),
+        ];
+        for sel in &selections {
+            for alloc in [
+                &CustomBinPacking::new(CbpConfig::full()) as &dyn Allocator,
+                &FirstFitBinPacking::new() as &dyn Allocator,
+            ] {
+                let a = alloc.allocate(w, sel, inst.capacity(), &cost).unwrap();
+                prop_assert!(a.total_bandwidth() >= lb.volume);
+                prop_assert!(a.vm_count() as u64 >= lb.vms);
+                prop_assert!(a.cost(&cost) >= lb.cost(&cost));
+            }
+        }
+    }
+
+    /// The incremental re-allocator maintains every MCSS invariant across
+    /// an arbitrary sequence of workload snapshots (treating each fresh
+    /// instance as the "next epoch" of the previous one).
+    #[test]
+    fn incremental_repair_stays_valid(
+        instances in proptest::collection::vec(arb_instance(), 2..5)
+    ) {
+        // Re-use the first instance's capacity so epochs are comparable.
+        let capacity = instances[0].capacity();
+        let mut inc = IncrementalReallocator::default();
+        for inst in &instances {
+            let inst = inst.with_capacity(capacity).unwrap();
+            let out = inc.step(&inst, &nocost()).unwrap();
+            out.allocation.validate(inst.workload(), inst.tau()).map_err(|e| {
+                TestCaseError::fail(format!("incremental epoch invalid: {e}"))
+            })?;
+        }
+    }
+
+    /// Determinism: identical inputs give identical outputs for the whole
+    /// pipeline (greedy path).
+    #[test]
+    fn pipeline_is_deterministic(inst in arb_instance()) {
+        let run = || {
+            let sel = GreedySelectPairs::new().select(&inst).unwrap();
+            let alloc = CustomBinPacking::new(CbpConfig::full())
+                .allocate(inst.workload(), &sel, inst.capacity(), &nocost())
+                .unwrap();
+            (sel, alloc)
+        };
+        let (s1, a1) = run();
+        let (s2, a2) = run();
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(a1, a2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Tiny instances: lower bound ≤ exact optimum ≤ heuristic.
+    #[test]
+    fn exact_sandwich(
+        rates in vec(1u64..=12, 1..=3),
+        tau in 1u64..=20,
+        cap_slack in 0u64..=60,
+    ) {
+        let mut b = Workload::builder();
+        let ts: Vec<TopicId> =
+            rates.iter().map(|&r| b.add_topic(Rate::new(r)).unwrap()).collect();
+        // Two subscribers over all topics keeps pair counts ≤ 6.
+        b.add_subscriber(ts.iter().copied()).unwrap();
+        b.add_subscriber(ts.iter().copied().take(2)).unwrap();
+        let w = b.build();
+        let max_rate = rates.iter().copied().max().unwrap();
+        let cap = Bandwidth::new(2 * max_rate + cap_slack);
+        let inst = McssInstance::new(w, Rate::new(tau), cap).unwrap();
+        let cost = nocost();
+
+        let exact = ExactSolver::new().solve(&inst, &cost).unwrap();
+        let lb = lower_bound(inst.workload(), inst.tau(), inst.capacity());
+        prop_assert!(lb.cost(&cost) <= exact.cost, "LB above exact");
+
+        let sel = GreedySelectPairs::new().select(&inst).unwrap();
+        let heur = CustomBinPacking::new(CbpConfig::full())
+            .allocate(inst.workload(), &sel, inst.capacity(), &cost)
+            .unwrap();
+        prop_assert!(exact.cost <= heur.cost(&cost), "exact above heuristic");
+    }
+
+    /// Theorem II.2: the reduced DCSS instance answers exactly the
+    /// Partition question.
+    #[test]
+    fn reduction_equivalence(xs in vec(1u64..=9, 1..=5)) {
+        let reduced = partition_to_dcss(&xs).unwrap();
+        let dcss = ExactSolver::new()
+            .decide_dcss(&reduced.instance, &reduced.cost, reduced.budget)
+            .unwrap();
+        prop_assert_eq!(dcss, subset_sum_partitionable(&xs), "multiset {:?}", xs);
+    }
+}

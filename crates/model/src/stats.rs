@@ -1,0 +1,192 @@
+//! Summary statistics over a workload, mirroring the trace characteristics
+//! the paper reports in §IV-B and Appendix D.
+
+use crate::{SubscriberId, Workload};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate statistics of a [`Workload`].
+///
+/// ```
+/// use pubsub_model::{Rate, Workload};
+/// # fn main() -> Result<(), pubsub_model::WorkloadError> {
+/// let mut b = Workload::builder();
+/// let t = b.add_topic(Rate::new(10))?;
+/// b.add_subscriber([t])?;
+/// let stats = b.build().stats();
+/// assert_eq!(stats.pair_count, 1);
+/// assert_eq!(stats.mean_interests, 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// `|T|`.
+    pub num_topics: usize,
+    /// `|V|`.
+    pub num_subscribers: usize,
+    /// Total `(t, v)` pairs.
+    pub pair_count: u64,
+    /// `Σ_t ev_t`.
+    pub total_event_rate: u64,
+    /// Mean interests per subscriber (`pairs / |V|`; the paper's Twitter
+    /// trace has ≈ 22.8, Spotify ≈ 2.45).
+    pub mean_interests: f64,
+    /// Largest interest set.
+    pub max_interests: usize,
+    /// Mean subscribers per topic (followers).
+    pub mean_followers: f64,
+    /// Largest subscriber set.
+    pub max_followers: usize,
+    /// Mean event rate per topic.
+    pub mean_rate: f64,
+    /// Largest event rate.
+    pub max_rate: u64,
+}
+
+impl fmt::Display for WorkloadStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "topics:            {}", self.num_topics)?;
+        writeln!(f, "subscribers:       {}", self.num_subscribers)?;
+        writeln!(f, "pairs:             {}", self.pair_count)?;
+        writeln!(f, "total event rate:  {}", self.total_event_rate)?;
+        writeln!(
+            f,
+            "interests/sub:     mean {:.2}, max {}",
+            self.mean_interests, self.max_interests
+        )?;
+        writeln!(
+            f,
+            "followers/topic:   mean {:.2}, max {}",
+            self.mean_followers, self.max_followers
+        )?;
+        write!(f, "event rate/topic:  mean {:.2}, max {}", self.mean_rate, self.max_rate)
+    }
+}
+
+impl Workload {
+    /// Computes summary statistics for this workload.
+    pub fn stats(&self) -> WorkloadStats {
+        let num_topics = self.num_topics();
+        let num_subscribers = self.num_subscribers();
+        let pair_count = self.pair_count();
+        let max_interests =
+            self.subscribers().map(|v| self.interests(v).len()).max().unwrap_or(0);
+        let max_followers =
+            self.topics().map(|t| self.subscribers_of(t).len()).max().unwrap_or(0);
+        let max_rate = self.rates().iter().map(|r| r.get()).max().unwrap_or(0);
+        let total_event_rate = self.total_rate().get();
+        WorkloadStats {
+            num_topics,
+            num_subscribers,
+            pair_count,
+            total_event_rate,
+            mean_interests: ratio(pair_count, num_subscribers as u64),
+            max_interests,
+            mean_followers: ratio(pair_count, num_topics as u64),
+            max_followers,
+            mean_rate: ratio(total_event_rate, num_topics as u64),
+            max_rate,
+        }
+    }
+
+    /// Subscription Cardinality of a subscriber (Appendix D):
+    /// `SC_v = 100 · Σ_{t∈T_v} ev_t / Σ_{t∈T} ev_t`.
+    ///
+    /// Returns 0 when the workload has no publication volume at all.
+    pub fn subscription_cardinality(&self, v: SubscriberId) -> f64 {
+        let total = self.total_rate();
+        if total.is_zero() {
+            return 0.0;
+        }
+        100.0 * self.subscriber_total_rate(v).get() as f64 / total.get() as f64
+    }
+
+    /// Interest-set sizes for every subscriber (the "#followings"
+    /// distribution of Fig. 8).
+    pub fn interest_degrees(&self) -> Vec<u64> {
+        self.subscribers().map(|v| self.interests(v).len() as u64).collect()
+    }
+
+    /// Subscriber counts for every topic (the "#followers" distribution of
+    /// Fig. 8).
+    pub fn follower_counts(&self) -> Vec<u64> {
+        self.topics().map(|t| self.subscribers_of(t).len() as u64).collect()
+    }
+
+    /// Event rates as raw integers (the Fig. 9 distribution).
+    pub fn rate_values(&self) -> Vec<u64> {
+        self.rates().iter().map(|r| r.get()).collect()
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rate, TopicId};
+
+    fn sample() -> Workload {
+        let mut b = Workload::builder();
+        let t0 = b.add_topic(Rate::new(30)).unwrap();
+        let t1 = b.add_topic(Rate::new(10)).unwrap();
+        let t2 = b.add_topic(Rate::new(60)).unwrap();
+        b.add_subscriber([t0, t1]).unwrap();
+        b.add_subscriber([t2]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn stats_basics() {
+        let s = sample().stats();
+        assert_eq!(s.num_topics, 3);
+        assert_eq!(s.num_subscribers, 2);
+        assert_eq!(s.pair_count, 3);
+        assert_eq!(s.total_event_rate, 100);
+        assert!((s.mean_interests - 1.5).abs() < 1e-12);
+        assert_eq!(s.max_interests, 2);
+        assert_eq!(s.max_followers, 1);
+        assert_eq!(s.max_rate, 60);
+        assert!((s.mean_rate - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_of_empty_workload() {
+        let w = Workload::from_parts(Vec::new(), Vec::new());
+        let s = w.stats();
+        assert_eq!(s.num_topics, 0);
+        assert_eq!(s.mean_interests, 0.0);
+        assert_eq!(s.mean_rate, 0.0);
+    }
+
+    #[test]
+    fn subscription_cardinality_matches_definition() {
+        let w = sample();
+        // v0 receives 40 of 100 total => SC = 40%
+        assert!((w.subscription_cardinality(SubscriberId::new(0)) - 40.0).abs() < 1e-12);
+        assert!((w.subscription_cardinality(SubscriberId::new(1)) - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_vectors() {
+        let w = sample();
+        assert_eq!(w.interest_degrees(), vec![2, 1]);
+        assert_eq!(w.follower_counts(), vec![1, 1, 1]);
+        assert_eq!(w.rate_values(), vec![30, 10, 60]);
+        assert_eq!(w.subscribers_of(TopicId::new(2)).len(), 1);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let text = sample().stats().to_string();
+        assert!(text.contains("topics"));
+        assert!(text.contains("pairs"));
+    }
+}

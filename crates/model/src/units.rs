@@ -1,0 +1,352 @@
+//! Quantity newtypes: per-topic event rates and aggregated bandwidth volumes.
+//!
+//! The paper's model (§II-B) counts everything in *events per time unit*:
+//! `ev_t` is the publication rate of topic `t` and a VM's bandwidth use
+//! `bw_b` is a sum of event rates. Conversion to bytes, GB, and mbps happens
+//! only in the `cloud-cost` crate (event size × window length), which keeps
+//! this whole layer integer-exact.
+//!
+//! [`Rate`] is a per-topic event rate; [`Bandwidth`] is a sum of rates (an
+//! event volume). They are kept as distinct types so capacity checks cannot
+//! accidentally mix a single topic's rate with an aggregate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// Maximum admissible event rate for a single topic.
+///
+/// Bounding individual rates to 2^42 guarantees that the aggregates that the
+/// solver forms (sums over up to ~2^20 VM-local pairs plus the doubling for
+/// incoming streams) stay far away from `u64` overflow even on adversarial
+/// inputs; [`WorkloadBuilder`](crate::WorkloadBuilder) enforces the bound.
+pub const MAX_RATE: u64 = 1 << 42;
+
+/// Event rate of a topic: `ev_t` events per evaluation window (paper §II-B).
+///
+/// ```
+/// use pubsub_model::Rate;
+/// let r = Rate::new(20);
+/// assert_eq!((r + Rate::new(10)).get(), 30);
+/// assert_eq!(r.pair_cost().get(), 40); // 2·ev_t: incoming + outgoing
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Rate(u64);
+
+impl Rate {
+    /// A rate of zero events.
+    pub const ZERO: Rate = Rate(0);
+
+    /// Creates a rate of `events` per window.
+    #[inline]
+    pub const fn new(events: u64) -> Self {
+        Rate(events)
+    }
+
+    /// Returns the number of events per window.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if the rate is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Bandwidth cost of serving one `(t, v)` pair on a VM where the topic
+    /// is not yet present: `2·ev_t` (one incoming stream into the cloud plus
+    /// one outgoing delivery; paper §III-A).
+    #[inline]
+    pub const fn pair_cost(self) -> Bandwidth {
+        Bandwidth(self.0 * 2)
+    }
+
+    /// This rate viewed as a one-element volume (e.g. a single delivery
+    /// stream or a single incoming stream).
+    #[inline]
+    pub const fn volume(self) -> Bandwidth {
+        Bandwidth(self.0)
+    }
+
+    /// Saturating subtraction, used when tracking the remaining rate needed
+    /// to satisfy a subscriber (`rem_v` in Alg. 1).
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Rate) -> Rate {
+        Rate(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked multiplication by a count (e.g. `|P|·ev_t` in Alg. 7).
+    ///
+    /// Returns `None` on overflow.
+    #[inline]
+    pub fn checked_mul(self, n: u64) -> Option<Bandwidth> {
+        self.0.checked_mul(n).map(Bandwidth)
+    }
+}
+
+impl Add for Rate {
+    type Output = Rate;
+    #[inline]
+    fn add(self, rhs: Rate) -> Rate {
+        Rate(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Rate {
+    #[inline]
+    fn add_assign(&mut self, rhs: Rate) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Rate {
+    type Output = Rate;
+    #[inline]
+    fn sub(self, rhs: Rate) -> Rate {
+        Rate(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Rate {
+    type Output = Bandwidth;
+    #[inline]
+    fn mul(self, n: u64) -> Bandwidth {
+        Bandwidth(self.0 * n)
+    }
+}
+
+impl Sum for Rate {
+    fn sum<I: Iterator<Item = Rate>>(iter: I) -> Rate {
+        iter.fold(Rate::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ev", self.0)
+    }
+}
+
+/// Aggregated event volume: a sum of event rates (paper's `bw_b` and `BC`).
+///
+/// A VM's bandwidth use is
+/// `bw_b = Σ_{pairs on b} ev_t + Σ_{unique topics on b} ev_t` — outgoing
+/// deliveries plus one incoming stream per distinct topic (paper Eq. 2).
+///
+/// ```
+/// use pubsub_model::{Bandwidth, Rate};
+/// let mut bw = Bandwidth::ZERO;
+/// bw += Rate::new(20).pair_cost();  // first pair of a topic: 2·ev
+/// bw += Rate::new(20).volume();     // second pair of the same topic: ev
+/// assert_eq!(bw, Bandwidth::new(60));
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Zero volume.
+    pub const ZERO: Bandwidth = Bandwidth(0);
+
+    /// The maximum representable volume (used as an "unlimited capacity"
+    /// sentinel, e.g. the hypothetical Stage-1 VM of §III).
+    pub const MAX: Bandwidth = Bandwidth(u64::MAX);
+
+    /// Creates a volume of `events` event-units.
+    #[inline]
+    pub const fn new(events: u64) -> Self {
+        Bandwidth(events)
+    }
+
+    /// Returns the volume in event-units.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if the volume is zero.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction — the free headroom `BC − bw_b`.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, rhs: Bandwidth) -> Option<Bandwidth> {
+        self.0.checked_add(rhs.0).map(Bandwidth)
+    }
+
+    /// Number of whole units of `rate` that fit in this volume
+    /// (`⌊self / rate⌋`). Used by the packing algorithms to compute how many
+    /// pairs of a topic fit into a VM's headroom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is zero.
+    #[inline]
+    pub fn div_rate(self, rate: Rate) -> u64 {
+        assert!(!rate.is_zero(), "division by zero rate");
+        self.0 / rate.0
+    }
+
+    /// Ceiling division by a capacity — `⌈self / capacity⌉`, the VM count
+    /// lower bound of Alg. 5 line 4 and the new-VM estimate of Alg. 7 line 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[inline]
+    pub fn div_ceil_by(self, capacity: Bandwidth) -> u64 {
+        assert!(!capacity.is_zero(), "division by zero capacity");
+        self.0.div_ceil(capacity.0)
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    #[inline]
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bandwidth {
+    #[inline]
+    fn add_assign(&mut self, rhs: Bandwidth) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bandwidth {
+    type Output = Bandwidth;
+    #[inline]
+    fn sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Bandwidth {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Bandwidth) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl AddAssign<Rate> for Bandwidth {
+    #[inline]
+    fn add_assign(&mut self, rhs: Rate) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add<Rate> for Bandwidth {
+    type Output = Bandwidth;
+    #[inline]
+    fn add(self, rhs: Rate) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl From<Rate> for Bandwidth {
+    #[inline]
+    fn from(r: Rate) -> Bandwidth {
+        Bandwidth(r.0)
+    }
+}
+
+impl Sum for Bandwidth {
+    fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
+        iter.fold(Bandwidth::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ev-units", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_arithmetic() {
+        assert_eq!(Rate::new(3) + Rate::new(4), Rate::new(7));
+        assert_eq!(Rate::new(10).saturating_sub(Rate::new(3)), Rate::new(7));
+        assert_eq!(Rate::new(3).saturating_sub(Rate::new(10)), Rate::ZERO);
+        assert_eq!(Rate::new(5) * 3, Bandwidth::new(15));
+        let total: Rate = [Rate::new(1), Rate::new(2), Rate::new(3)].into_iter().sum();
+        assert_eq!(total, Rate::new(6));
+    }
+
+    #[test]
+    fn pair_cost_doubles() {
+        assert_eq!(Rate::new(21).pair_cost(), Bandwidth::new(42));
+        assert_eq!(Rate::ZERO.pair_cost(), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_arithmetic() {
+        let mut bw = Bandwidth::new(10);
+        bw += Bandwidth::new(5);
+        bw += Rate::new(3);
+        assert_eq!(bw, Bandwidth::new(18));
+        assert_eq!(bw - Bandwidth::new(8), Bandwidth::new(10));
+        assert_eq!(Bandwidth::new(3).saturating_sub(Bandwidth::new(9)), Bandwidth::ZERO);
+    }
+
+    #[test]
+    fn div_rate_counts_fitting_pairs() {
+        assert_eq!(Bandwidth::new(50).div_rate(Rate::new(20)), 2);
+        assert_eq!(Bandwidth::new(39).div_rate(Rate::new(20)), 1);
+        assert_eq!(Bandwidth::new(19).div_rate(Rate::new(20)), 0);
+    }
+
+    #[test]
+    fn div_ceil_matches_alg5() {
+        assert_eq!(Bandwidth::new(100).div_ceil_by(Bandwidth::new(30)), 4);
+        assert_eq!(Bandwidth::new(90).div_ceil_by(Bandwidth::new(30)), 3);
+        assert_eq!(Bandwidth::new(1).div_ceil_by(Bandwidth::new(30)), 1);
+        assert_eq!(Bandwidth::ZERO.div_ceil_by(Bandwidth::new(30)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero rate")]
+    fn div_rate_zero_panics() {
+        let _ = Bandwidth::new(50).div_rate(Rate::ZERO);
+    }
+
+    #[test]
+    fn checked_ops() {
+        assert_eq!(Rate::new(u64::MAX).checked_mul(2), None);
+        assert_eq!(Rate::new(4).checked_mul(3), Some(Bandwidth::new(12)));
+        assert_eq!(Bandwidth::MAX.checked_add(Bandwidth::new(1)), None);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Bandwidth::new(9) < Bandwidth::new(10));
+        assert!(Rate::new(9) < Rate::new(10));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Rate::new(12).to_string(), "12 ev");
+        assert_eq!(Bandwidth::new(12).to_string(), "12 ev-units");
+    }
+}

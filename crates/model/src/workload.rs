@@ -1,0 +1,457 @@
+//! The pub/sub workload instance `(T, V, ev, Int)` and its builder.
+
+use crate::{Bandwidth, Rate, SubscriberId, TopicId, MAX_RATE};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised while constructing a [`Workload`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WorkloadError {
+    /// A subscriber interest referenced a topic id that was never added.
+    UnknownTopic {
+        /// The offending topic id.
+        topic: TopicId,
+        /// Number of topics registered at the time of the error.
+        num_topics: usize,
+    },
+    /// A topic was added with a zero event rate; the paper assumes
+    /// `ev_t > 0` (§II-B).
+    ZeroEventRate,
+    /// A topic rate exceeded [`MAX_RATE`], which would void the crate's
+    /// overflow guarantees.
+    RateTooLarge {
+        /// The rejected rate.
+        rate: Rate,
+    },
+    /// More than `u32::MAX` topics or subscribers were added.
+    TooManyEntities,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::UnknownTopic { topic, num_topics } => write!(
+                f,
+                "interest references unknown topic {topic} (only {num_topics} topics exist)"
+            ),
+            WorkloadError::ZeroEventRate => {
+                write!(f, "topic event rate must be positive (paper assumes ev_t > 0)")
+            }
+            WorkloadError::RateTooLarge { rate } => {
+                write!(f, "topic event rate {rate} exceeds the supported maximum {MAX_RATE}")
+            }
+            WorkloadError::TooManyEntities => {
+                write!(f, "workload exceeds u32::MAX topics or subscribers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Non-fatal irregularities reported by [`Workload::validate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValidationIssue {
+    /// A topic has no subscribers. The paper requires `V_t` non-empty
+    /// (§II-B); such topics never form pairs and are dead weight.
+    TopicWithoutSubscribers(TopicId),
+    /// A subscriber has an empty interest set; its threshold `τ_v` is zero
+    /// and it is trivially satisfied.
+    SubscriberWithoutInterests(SubscriberId),
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationIssue::TopicWithoutSubscribers(t) => {
+                write!(f, "topic {t} has no subscribers")
+            }
+            ValidationIssue::SubscriberWithoutInterests(v) => {
+                write!(f, "subscriber {v} has no interests")
+            }
+        }
+    }
+}
+
+/// Serialized form of a [`Workload`]: only the primary data; derived tables
+/// are rebuilt on deserialization.
+#[derive(Serialize, Deserialize)]
+struct WorkloadData {
+    rates: Vec<Rate>,
+    interests: Vec<Vec<TopicId>>,
+}
+
+impl From<WorkloadData> for Workload {
+    fn from(d: WorkloadData) -> Workload {
+        Workload::from_parts(d.rates, d.interests)
+    }
+}
+
+impl From<Workload> for WorkloadData {
+    fn from(w: Workload) -> WorkloadData {
+        WorkloadData { rates: w.rates, interests: w.interests }
+    }
+}
+
+/// An immutable pub/sub workload: topics `T` with event rates `ev`,
+/// subscribers `V` with interests `Int = {T_v}`, and the derived subscriber
+/// sets `V_t` (paper §II-B).
+///
+/// Construct with [`Workload::builder`]. Interests are stored sorted by
+/// topic id and deduplicated; `V_t` lists are sorted by subscriber id.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(from = "WorkloadData", into = "WorkloadData")]
+pub struct Workload {
+    /// `ev_t`, indexed by topic.
+    rates: Vec<Rate>,
+    /// `T_v`, indexed by subscriber; sorted, deduplicated.
+    interests: Vec<Vec<TopicId>>,
+    /// Derived `V_t`, indexed by topic; sorted.
+    subscribers_of: Vec<Vec<SubscriberId>>,
+    /// Total number of `(t, v)` pairs (`Σ_v |T_v|`).
+    pair_count: u64,
+    /// `Σ_t ev_t` over all topics.
+    total_rate: Rate,
+}
+
+impl Workload {
+    /// Starts building a workload.
+    pub fn builder() -> WorkloadBuilder {
+        WorkloadBuilder::new()
+    }
+
+    /// Rebuilds a workload from primary data (used by deserialization and
+    /// trace I/O). Interests are sorted and deduplicated; out-of-range
+    /// topic ids are dropped silently — use the builder for checked input.
+    pub fn from_parts(rates: Vec<Rate>, mut interests: Vec<Vec<TopicId>>) -> Workload {
+        let num_topics = rates.len();
+        for tv in &mut interests {
+            tv.retain(|t| t.index() < num_topics);
+            tv.sort_unstable();
+            tv.dedup();
+        }
+        let mut subscribers_of: Vec<Vec<SubscriberId>> = vec![Vec::new(); num_topics];
+        let mut pair_count = 0u64;
+        for (vi, tv) in interests.iter().enumerate() {
+            pair_count += tv.len() as u64;
+            for &t in tv {
+                subscribers_of[t.index()].push(SubscriberId::new(vi as u32));
+            }
+        }
+        let total_rate = rates.iter().copied().sum();
+        Workload { rates, interests, subscribers_of, pair_count, total_rate }
+    }
+
+    /// Number of topics `|T|`.
+    #[inline]
+    pub fn num_topics(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Number of subscribers `|V|`.
+    #[inline]
+    pub fn num_subscribers(&self) -> usize {
+        self.interests.len()
+    }
+
+    /// Total number of topic-subscriber pairs `Σ_v |T_v|`.
+    #[inline]
+    pub fn pair_count(&self) -> u64 {
+        self.pair_count
+    }
+
+    /// Event rate `ev_t` of a topic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range for this workload.
+    #[inline]
+    pub fn rate(&self, t: TopicId) -> Rate {
+        self.rates[t.index()]
+    }
+
+    /// All event rates, indexed by topic.
+    #[inline]
+    pub fn rates(&self) -> &[Rate] {
+        &self.rates
+    }
+
+    /// The interest set `T_v` of a subscriber (sorted by topic id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for this workload.
+    #[inline]
+    pub fn interests(&self, v: SubscriberId) -> &[TopicId] {
+        &self.interests[v.index()]
+    }
+
+    /// The subscriber set `V_t` of a topic (sorted by subscriber id).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range for this workload.
+    #[inline]
+    pub fn subscribers_of(&self, t: TopicId) -> &[SubscriberId] {
+        &self.subscribers_of[t.index()]
+    }
+
+    /// Iterates over all topic ids in index order.
+    pub fn topics(&self) -> impl ExactSizeIterator<Item = TopicId> + '_ {
+        (0..self.rates.len() as u32).map(TopicId::new)
+    }
+
+    /// Iterates over all subscriber ids in index order.
+    pub fn subscribers(&self) -> impl ExactSizeIterator<Item = SubscriberId> + '_ {
+        (0..self.interests.len() as u32).map(SubscriberId::new)
+    }
+
+    /// `Σ_t ev_t` — total publication rate across all topics.
+    #[inline]
+    pub fn total_rate(&self) -> Rate {
+        self.total_rate
+    }
+
+    /// `Σ_{t ∈ T_v} ev_t` — the total event rate a subscriber could receive.
+    pub fn subscriber_total_rate(&self, v: SubscriberId) -> Rate {
+        self.interests[v.index()].iter().map(|&t| self.rate(t)).sum()
+    }
+
+    /// The subscriber-specific satisfaction threshold
+    /// `τ_v = min(τ, Σ_{t∈T_v} ev_t)` (paper §II-B).
+    pub fn tau_v(&self, v: SubscriberId, tau: Rate) -> Rate {
+        self.subscriber_total_rate(v).min(tau)
+    }
+
+    /// Total *outgoing* delivery volume if every pair were served:
+    /// `Σ_v Σ_{t∈T_v} ev_t`.
+    pub fn full_outgoing_volume(&self) -> Bandwidth {
+        self.subscribers()
+            .map(|v| Bandwidth::from(self.subscriber_total_rate(v)))
+            .sum()
+    }
+
+    /// Checks the paper's structural assumptions; returns all violations
+    /// found (an empty vector means the workload is fully regular).
+    pub fn validate(&self) -> Vec<ValidationIssue> {
+        let mut issues = Vec::new();
+        for t in self.topics() {
+            if self.subscribers_of(t).is_empty() {
+                issues.push(ValidationIssue::TopicWithoutSubscribers(t));
+            }
+        }
+        for v in self.subscribers() {
+            if self.interests(v).is_empty() {
+                issues.push(ValidationIssue::SubscriberWithoutInterests(v));
+            }
+        }
+        issues
+    }
+}
+
+/// Incremental constructor for [`Workload`].
+///
+/// Topics must be added before the subscribers that reference them; ids are
+/// assigned densely in insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadBuilder {
+    rates: Vec<Rate>,
+    interests: Vec<Vec<TopicId>>,
+}
+
+impl WorkloadBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        WorkloadBuilder::default()
+    }
+
+    /// Creates a builder with capacity hints for large traces.
+    pub fn with_capacity(topics: usize, subscribers: usize) -> Self {
+        WorkloadBuilder {
+            rates: Vec::with_capacity(topics),
+            interests: Vec::with_capacity(subscribers),
+        }
+    }
+
+    /// Registers a topic with event rate `ev_t`, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// * [`WorkloadError::ZeroEventRate`] if `rate` is zero;
+    /// * [`WorkloadError::RateTooLarge`] if `rate > MAX_RATE`;
+    /// * [`WorkloadError::TooManyEntities`] past `u32::MAX` topics.
+    pub fn add_topic(&mut self, rate: Rate) -> Result<TopicId, WorkloadError> {
+        if rate.is_zero() {
+            return Err(WorkloadError::ZeroEventRate);
+        }
+        if rate.get() > MAX_RATE {
+            return Err(WorkloadError::RateTooLarge { rate });
+        }
+        let idx = u32::try_from(self.rates.len()).map_err(|_| WorkloadError::TooManyEntities)?;
+        self.rates.push(rate);
+        Ok(TopicId::new(idx))
+    }
+
+    /// Registers a subscriber with the given interest set, returning its id.
+    /// Duplicate topics in the interest list are deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// * [`WorkloadError::UnknownTopic`] if any interest references a topic
+    ///   that was not added first;
+    /// * [`WorkloadError::TooManyEntities`] past `u32::MAX` subscribers.
+    pub fn add_subscriber<I>(&mut self, topics: I) -> Result<SubscriberId, WorkloadError>
+    where
+        I: IntoIterator<Item = TopicId>,
+    {
+        let idx =
+            u32::try_from(self.interests.len()).map_err(|_| WorkloadError::TooManyEntities)?;
+        let mut tv: Vec<TopicId> = topics.into_iter().collect();
+        for &t in &tv {
+            if t.index() >= self.rates.len() {
+                return Err(WorkloadError::UnknownTopic { topic: t, num_topics: self.rates.len() });
+            }
+        }
+        tv.sort_unstable();
+        tv.dedup();
+        self.interests.push(tv);
+        Ok(SubscriberId::new(idx))
+    }
+
+    /// Number of topics added so far.
+    pub fn num_topics(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Number of subscribers added so far.
+    pub fn num_subscribers(&self) -> usize {
+        self.interests.len()
+    }
+
+    /// Finalizes the workload, computing the derived `V_t` tables.
+    pub fn build(self) -> Workload {
+        Workload::from_parts(self.rates, self.interests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Workload {
+        let mut b = Workload::builder();
+        let t0 = b.add_topic(Rate::new(20)).unwrap();
+        let t1 = b.add_topic(Rate::new(10)).unwrap();
+        b.add_subscriber([t0, t1]).unwrap();
+        b.add_subscriber([t1]).unwrap();
+        b.add_subscriber([t1, t0, t1]).unwrap(); // duplicate t1 deduped
+        b.build()
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = Workload::builder();
+        assert_eq!(b.add_topic(Rate::new(1)).unwrap(), TopicId::new(0));
+        assert_eq!(b.add_topic(Rate::new(2)).unwrap(), TopicId::new(1));
+        assert_eq!(b.add_subscriber([]).unwrap(), SubscriberId::new(0));
+        assert_eq!(b.num_topics(), 2);
+        assert_eq!(b.num_subscribers(), 1);
+    }
+
+    #[test]
+    fn derived_tables_are_consistent() {
+        let w = tiny();
+        assert_eq!(w.num_topics(), 2);
+        assert_eq!(w.num_subscribers(), 3);
+        assert_eq!(w.pair_count(), 5);
+        assert_eq!(w.total_rate(), Rate::new(30));
+        assert_eq!(
+            w.subscribers_of(TopicId::new(0)),
+            &[SubscriberId::new(0), SubscriberId::new(2)]
+        );
+        assert_eq!(
+            w.subscribers_of(TopicId::new(1)),
+            &[SubscriberId::new(0), SubscriberId::new(1), SubscriberId::new(2)]
+        );
+    }
+
+    #[test]
+    fn interests_are_sorted_and_deduped() {
+        let w = tiny();
+        assert_eq!(w.interests(SubscriberId::new(2)), &[TopicId::new(0), TopicId::new(1)]);
+    }
+
+    #[test]
+    fn tau_v_caps_at_total_rate() {
+        let w = tiny();
+        let v0 = SubscriberId::new(0);
+        assert_eq!(w.subscriber_total_rate(v0), Rate::new(30));
+        assert_eq!(w.tau_v(v0, Rate::new(100)), Rate::new(30));
+        assert_eq!(w.tau_v(v0, Rate::new(25)), Rate::new(25));
+        let v1 = SubscriberId::new(1);
+        assert_eq!(w.tau_v(v1, Rate::new(100)), Rate::new(10));
+    }
+
+    #[test]
+    fn zero_rate_rejected() {
+        let mut b = Workload::builder();
+        assert_eq!(b.add_topic(Rate::ZERO), Err(WorkloadError::ZeroEventRate));
+    }
+
+    #[test]
+    fn oversized_rate_rejected() {
+        let mut b = Workload::builder();
+        let huge = Rate::new(MAX_RATE + 1);
+        assert_eq!(b.add_topic(huge), Err(WorkloadError::RateTooLarge { rate: huge }));
+        assert!(b.add_topic(Rate::new(MAX_RATE)).is_ok());
+    }
+
+    #[test]
+    fn unknown_topic_rejected() {
+        let mut b = Workload::builder();
+        b.add_topic(Rate::new(1)).unwrap();
+        let err = b.add_subscriber([TopicId::new(5)]).unwrap_err();
+        assert_eq!(err, WorkloadError::UnknownTopic { topic: TopicId::new(5), num_topics: 1 });
+    }
+
+    #[test]
+    fn validate_flags_irregularities() {
+        let mut b = Workload::builder();
+        let t0 = b.add_topic(Rate::new(1)).unwrap();
+        let _t1 = b.add_topic(Rate::new(2)).unwrap(); // never subscribed
+        b.add_subscriber([t0]).unwrap();
+        b.add_subscriber([]).unwrap(); // empty interests
+        let w = b.build();
+        let issues = w.validate();
+        assert_eq!(issues.len(), 2);
+        assert!(issues.contains(&ValidationIssue::TopicWithoutSubscribers(TopicId::new(1))));
+        assert!(issues.contains(&ValidationIssue::SubscriberWithoutInterests(SubscriberId::new(1))));
+        assert!(tiny().validate().is_empty());
+    }
+
+    #[test]
+    fn full_outgoing_volume_counts_every_pair() {
+        let w = tiny();
+        // v0: 30, v1: 10, v2: 30
+        assert_eq!(w.full_outgoing_volume(), Bandwidth::new(70));
+    }
+
+    #[test]
+    fn from_parts_drops_out_of_range_interests() {
+        let w = Workload::from_parts(
+            vec![Rate::new(5)],
+            vec![vec![TopicId::new(0), TopicId::new(9)]],
+        );
+        assert_eq!(w.interests(SubscriberId::new(0)), &[TopicId::new(0)]);
+        assert_eq!(w.pair_count(), 1);
+    }
+
+    #[test]
+    fn error_messages_render() {
+        let e = WorkloadError::UnknownTopic { topic: TopicId::new(5), num_topics: 1 };
+        assert!(e.to_string().contains("t5"));
+        assert!(WorkloadError::ZeroEventRate.to_string().contains("positive"));
+    }
+}

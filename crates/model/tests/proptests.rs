@@ -1,0 +1,116 @@
+//! Property-based tests for the workload model.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use pubsub_model::{Rate, SubscriberId, TopicId, Workload};
+
+/// Strategy producing a raw (rates, interests) pair with `1..=max_t` topics
+/// and `0..=max_v` subscribers whose interests index into the topic range.
+fn raw_workload(
+    max_t: usize,
+    max_v: usize,
+) -> impl Strategy<Value = (Vec<u64>, Vec<Vec<u32>>)> {
+    vec(1u64..1000, 1..=max_t).prop_flat_map(move |rates| {
+        let nt = rates.len() as u32;
+        let interests = vec(vec(0..nt, 0..12), 0..=max_v);
+        (Just(rates), interests)
+    })
+}
+
+fn build(rates: &[u64], interests: &[Vec<u32>]) -> Workload {
+    let mut b = Workload::builder();
+    for &r in rates {
+        b.add_topic(Rate::new(r)).unwrap();
+    }
+    for tv in interests {
+        b.add_subscriber(tv.iter().map(|&t| TopicId::new(t))).unwrap();
+    }
+    b.build()
+}
+
+proptest! {
+    /// The derived V_t tables are exactly the transpose of the interests.
+    #[test]
+    fn derived_tables_are_transpose((rates, interests) in raw_workload(20, 20)) {
+        let w = build(&rates, &interests);
+        // every interest edge appears in subscribers_of
+        for v in w.subscribers() {
+            for &t in w.interests(v) {
+                prop_assert!(w.subscribers_of(t).contains(&v));
+            }
+        }
+        // and vice versa
+        for t in w.topics() {
+            for &v in w.subscribers_of(t) {
+                prop_assert!(w.interests(v).contains(&t));
+            }
+        }
+        // pair_count counts each edge once
+        let edges: u64 = w.subscribers().map(|v| w.interests(v).len() as u64).sum();
+        prop_assert_eq!(edges, w.pair_count());
+    }
+
+    /// Interests are sorted and deduplicated regardless of input order.
+    #[test]
+    fn interests_sorted_dedup((rates, interests) in raw_workload(15, 15)) {
+        let w = build(&rates, &interests);
+        for v in w.subscribers() {
+            let tv = w.interests(v);
+            for pair in tv.windows(2) {
+                prop_assert!(pair[0] < pair[1]);
+            }
+        }
+    }
+
+    /// tau_v is min(tau, total) and is monotone in tau.
+    #[test]
+    fn tau_v_is_min((rates, interests) in raw_workload(15, 15), tau1 in 0u64..5000, tau2 in 0u64..5000) {
+        let w = build(&rates, &interests);
+        let (lo, hi) = if tau1 <= tau2 { (tau1, tau2) } else { (tau2, tau1) };
+        for v in w.subscribers() {
+            let total = w.subscriber_total_rate(v);
+            let tv_lo = w.tau_v(v, Rate::new(lo));
+            let tv_hi = w.tau_v(v, Rate::new(hi));
+            prop_assert!(tv_lo <= tv_hi);
+            prop_assert!(tv_hi <= total);
+            prop_assert_eq!(tv_hi, total.min(Rate::new(hi)));
+        }
+    }
+
+    /// Serialize/deserialize via serde (JSON-free: use the WorkloadData shape
+    /// through from_parts) preserves all primary and derived data.
+    #[test]
+    fn from_parts_is_idempotent((rates, interests) in raw_workload(15, 15)) {
+        let w = build(&rates, &interests);
+        let rates2: Vec<Rate> = w.rates().to_vec();
+        let interests2: Vec<Vec<TopicId>> =
+            w.subscribers().map(|v| w.interests(v).to_vec()).collect();
+        let w2 = Workload::from_parts(rates2, interests2);
+        prop_assert_eq!(w.pair_count(), w2.pair_count());
+        prop_assert_eq!(w.total_rate(), w2.total_rate());
+        for v in w.subscribers() {
+            prop_assert_eq!(w.interests(v), w2.interests(v));
+        }
+        for t in w.topics() {
+            prop_assert_eq!(w.subscribers_of(t), w2.subscribers_of(t));
+        }
+    }
+
+    /// Subscription cardinalities over all subscribers of a fully-subscribed
+    /// workload are each within [0, 100].
+    #[test]
+    fn sc_bounds((rates, interests) in raw_workload(15, 15)) {
+        let w = build(&rates, &interests);
+        for v in w.subscribers() {
+            let sc = w.subscription_cardinality(v);
+            prop_assert!((0.0..=100.0 + 1e-9).contains(&sc));
+        }
+    }
+}
+
+#[test]
+fn subscriber_ids_are_insertion_ordered() {
+    let w = build(&[5, 6], &[vec![0], vec![1], vec![0, 1]]);
+    let ids: Vec<SubscriberId> = w.subscribers().collect();
+    assert_eq!(ids, vec![SubscriberId::new(0), SubscriberId::new(1), SubscriberId::new(2)]);
+}

@@ -1,0 +1,122 @@
+//! Measurements collected by the simulation.
+
+use pubsub_model::{Rate, SubscriberId, Workload};
+use std::fmt;
+
+/// Per-VM traffic meters, in events and bytes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VmMeter {
+    /// Events ingested from publishers (one per hosted topic per event).
+    pub ingress_events: u64,
+    /// Events fanned out to subscribers.
+    pub egress_events: u64,
+    /// Ingress volume in bytes (`ingress_events × message_bytes`).
+    pub ingress_bytes: u64,
+    /// Egress volume in bytes.
+    pub egress_bytes: u64,
+}
+
+impl VmMeter {
+    /// Total traffic through this VM in events (the model's `bw_b` unit).
+    pub fn total_events(&self) -> u64 {
+        self.ingress_events + self.egress_events
+    }
+
+    /// Total traffic in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.ingress_bytes + self.egress_bytes
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// One meter per VM, in allocation order.
+    pub vms: Vec<VmMeter>,
+    /// Events delivered to each subscriber, counting each topic's stream
+    /// once even if replicated across VMs (Eq. 3's `max` semantics).
+    pub delivered_events: Vec<u64>,
+    /// Copies delivered including cross-VM duplicates (wasted bandwidth
+    /// when a pair is replicated).
+    pub delivered_copies: Vec<u64>,
+    /// Events published across all topics.
+    pub published_events: u64,
+    /// Events processed by the engine (heap pops).
+    pub processed_events: u64,
+}
+
+impl SimReport {
+    /// Sum of all VM meters in events — directly comparable to the
+    /// solver's `Σ_b bw_b`.
+    pub fn total_bandwidth_events(&self) -> u64 {
+        self.vms.iter().map(VmMeter::total_events).sum()
+    }
+
+    /// Sum of all VM meters in bytes.
+    pub fn total_bandwidth_bytes(&self) -> u64 {
+        self.vms.iter().map(VmMeter::total_bytes).sum()
+    }
+
+    /// Did subscriber `v` receive at least `τ_v` events?
+    pub fn is_satisfied(&self, workload: &Workload, v: SubscriberId, tau: Rate) -> bool {
+        self.delivered_events[v.index()] >= workload.tau_v(v, tau).get()
+    }
+
+    /// Did every subscriber meet the threshold?
+    pub fn all_satisfied(&self, workload: &Workload, tau: Rate) -> bool {
+        workload.subscribers().all(|v| self.is_satisfied(workload, v, tau))
+    }
+
+    /// Number of subscribers below their threshold.
+    pub fn unsatisfied_count(&self, workload: &Workload, tau: Rate) -> usize {
+        workload.subscribers().filter(|&v| !self.is_satisfied(workload, v, tau)).count()
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "published events:  {}", self.published_events)?;
+        writeln!(f, "processed events:  {}", self.processed_events)?;
+        writeln!(f, "VMs metered:       {}", self.vms.len())?;
+        write!(
+            f,
+            "bandwidth:         {} events ({} bytes)",
+            self.total_bandwidth_events(),
+            self.total_bandwidth_bytes()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_totals() {
+        let m = VmMeter {
+            ingress_events: 3,
+            egress_events: 7,
+            ingress_bytes: 600,
+            egress_bytes: 1400,
+        };
+        assert_eq!(m.total_events(), 10);
+        assert_eq!(m.total_bytes(), 2000);
+    }
+
+    #[test]
+    fn report_aggregates_vms() {
+        let report = SimReport {
+            vms: vec![
+                VmMeter { ingress_events: 1, egress_events: 2, ingress_bytes: 200, egress_bytes: 400 },
+                VmMeter { ingress_events: 3, egress_events: 4, ingress_bytes: 600, egress_bytes: 800 },
+            ],
+            delivered_events: vec![5],
+            delivered_copies: vec![5],
+            published_events: 4,
+            processed_events: 4,
+        };
+        assert_eq!(report.total_bandwidth_events(), 10);
+        assert_eq!(report.total_bandwidth_bytes(), 2000);
+        assert!(report.to_string().contains("bandwidth"));
+    }
+}

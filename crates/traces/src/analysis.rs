@@ -1,0 +1,270 @@
+//! Trace analysis: the statistics plotted in Appendix D (Figs. 8–12).
+//!
+//! * [`ccdf`] / [`ccdf_f64`] — complementary cumulative distribution
+//!   functions (Figs. 8, 9, 11);
+//! * [`mean_by_group`] / [`mean_by_log_bucket`] — conditional means such as
+//!   "mean event rate by follower count" (Figs. 10, 12);
+//! * [`subscription_cardinalities`] — the per-subscriber SC metric of
+//!   Appendix D;
+//! * [`spike_strength`] — quantifies the anomaly spikes at 20/2000
+//!   followings that the paper calls out in Fig. 8.
+
+use pubsub_model::Workload;
+
+/// Complementary CDF of integer observations: for each distinct value `x`,
+/// the fraction of observations strictly greater than `x`
+/// (`CCDF(x) = P(X > x)`, the definition used in the paper's footnote 2).
+///
+/// Points are returned in increasing `x`; the final point always has
+/// probability 0.
+///
+/// ```
+/// use pubsub_traces::analysis::ccdf;
+/// let points = ccdf(&[1, 1, 2, 4]);
+/// assert_eq!(points, vec![(1, 0.5), (2, 0.25), (4, 0.0)]);
+/// ```
+pub fn ccdf(values: &[u64]) -> Vec<(u64, f64)> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let x = sorted[i];
+        let mut j = i;
+        while j < sorted.len() && sorted[j] == x {
+            j += 1;
+        }
+        out.push((x, (sorted.len() - j) as f64 / n));
+        i = j;
+    }
+    out
+}
+
+/// CCDF of floating-point observations (used for Subscription Cardinality,
+/// Fig. 11). Non-finite values are ignored.
+pub fn ccdf_f64(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return Vec::new();
+    }
+    sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("filtered to finite"));
+    let n = sorted.len() as f64;
+    let mut out: Vec<(f64, f64)> = Vec::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let x = sorted[i];
+        let mut j = i;
+        while j < sorted.len() && sorted[j] == x {
+            j += 1;
+        }
+        out.push((x, (sorted.len() - j) as f64 / n));
+        i = j;
+    }
+    out
+}
+
+/// Samples a CCDF at chosen thresholds — handy for printing a small table
+/// out of a distribution with millions of distinct values.
+///
+/// Returns `P(X > threshold)` for each threshold, in input order.
+pub fn ccdf_at(values: &[u64], thresholds: &[u64]) -> Vec<(u64, f64)> {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    thresholds
+        .iter()
+        .map(|&th| {
+            let above = sorted.len() - sorted.partition_point(|&v| v <= th);
+            (th, if sorted.is_empty() { 0.0 } else { above as f64 / n })
+        })
+        .collect()
+}
+
+/// Mean of `values` grouped by exact `keys` value: Fig. 10 plots the mean
+/// event rate for each distinct follower count.
+///
+/// Returns `(key, mean, count)` sorted by key.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mean_by_group(keys: &[u64], values: &[u64]) -> Vec<(u64, f64, usize)> {
+    assert_eq!(keys.len(), values.len(), "keys and values must pair up");
+    let mut pairs: Vec<(u64, u64)> = keys.iter().copied().zip(values.iter().copied()).collect();
+    pairs.sort_unstable();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < pairs.len() {
+        let k = pairs[i].0;
+        let mut sum = 0u128;
+        let mut count = 0usize;
+        while i < pairs.len() && pairs[i].0 == k {
+            sum += u128::from(pairs[i].1);
+            count += 1;
+            i += 1;
+        }
+        out.push((k, sum as f64 / count as f64, count));
+    }
+    out
+}
+
+/// Mean of `values` with keys grouped into logarithmic buckets
+/// (`buckets_per_decade` buckets per factor of 10). Keys of zero form their
+/// own bucket. Returns `(bucket_lower_bound, mean, count)` sorted by bound.
+///
+/// This is how the experiment binaries condense Figs. 10/12 into a
+/// printable series.
+pub fn mean_by_log_bucket(
+    keys: &[u64],
+    values: &[f64],
+    buckets_per_decade: u32,
+) -> Vec<(u64, f64, usize)> {
+    assert_eq!(keys.len(), values.len(), "keys and values must pair up");
+    assert!(buckets_per_decade > 0, "need at least one bucket per decade");
+    use std::collections::BTreeMap;
+    let mut buckets: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
+    for (&k, &v) in keys.iter().zip(values) {
+        let bound = if k == 0 {
+            0
+        } else {
+            let exp = (k as f64).log10() * f64::from(buckets_per_decade);
+            let slot = exp.floor() / f64::from(buckets_per_decade);
+            10f64.powf(slot).round() as u64
+        };
+        let e = buckets.entry(bound).or_insert((0.0, 0));
+        e.0 += v;
+        e.1 += 1;
+    }
+    buckets.into_iter().map(|(b, (sum, count))| (b, sum / count as f64, count)).collect()
+}
+
+/// Subscription Cardinality for every subscriber (Appendix D):
+/// `SC_v = 100 · Σ_{t∈T_v} ev_t / Σ_t ev_t`.
+pub fn subscription_cardinalities(workload: &Workload) -> Vec<f64> {
+    workload.subscribers().map(|v| workload.subscription_cardinality(v)).collect()
+}
+
+/// Strength of a point anomaly in a discrete distribution: the ratio of the
+/// empirical mass at exactly `point` to the average mass at the
+/// `window`-sized neighbourhoods on either side (excluding the point).
+///
+/// A value well above 1 reproduces the "glitches" the paper highlights at
+/// 20 and 2000 followings in Fig. 8. Returns `None` when the neighbourhood
+/// is empty.
+pub fn spike_strength(values: &[u64], point: u64, window: u64) -> Option<f64> {
+    let at_point = values.iter().filter(|&&v| v == point).count() as f64;
+    let lo = point.saturating_sub(window);
+    let hi = point + window;
+    let neighbours = values.iter().filter(|&&v| v >= lo && v <= hi && v != point).count() as f64;
+    let slots = (hi - lo) as f64; // number of integer values in the window, minus the point
+    if neighbours == 0.0 {
+        return None;
+    }
+    Some(at_point / (neighbours / slots))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_model::Rate;
+
+    #[test]
+    fn ccdf_definition() {
+        let points = ccdf(&[5, 1, 1, 2, 4]);
+        assert_eq!(points, vec![(1, 0.6), (2, 0.4), (4, 0.2), (5, 0.0)]);
+    }
+
+    #[test]
+    fn ccdf_empty_and_single() {
+        assert!(ccdf(&[]).is_empty());
+        assert_eq!(ccdf(&[9]), vec![(9, 0.0)]);
+    }
+
+    #[test]
+    fn ccdf_is_monotone_nonincreasing() {
+        let points = ccdf(&[3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]);
+        for w in points.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn ccdf_f64_matches_integer_version() {
+        let ints = ccdf(&[1, 2, 2, 3]);
+        let floats = ccdf_f64(&[1.0, 2.0, 2.0, 3.0]);
+        for ((xi, pi), (xf, pf)) in ints.iter().zip(&floats) {
+            assert!((*xi as f64 - xf).abs() < 1e-12);
+            assert!((pi - pf).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ccdf_f64_ignores_non_finite() {
+        let points = ccdf_f64(&[1.0, f64::NAN, 2.0]);
+        assert_eq!(points.len(), 2);
+    }
+
+    #[test]
+    fn ccdf_at_thresholds() {
+        let points = ccdf_at(&[1, 2, 3, 4, 5], &[0, 3, 10]);
+        assert_eq!(points, vec![(0, 1.0), (3, 0.4), (10, 0.0)]);
+    }
+
+    #[test]
+    fn mean_by_group_groups() {
+        let out = mean_by_group(&[1, 2, 1, 2, 3], &[10, 20, 30, 40, 50]);
+        assert_eq!(out, vec![(1, 20.0, 2), (2, 30.0, 2), (3, 50.0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mean_by_group_length_mismatch_panics() {
+        let _ = mean_by_group(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn log_buckets_group_by_decade() {
+        let keys = [1u64, 5, 9, 10, 55, 99, 100, 0];
+        let vals = [1.0f64; 8];
+        let out = mean_by_log_bucket(&keys, &vals, 1);
+        let bounds: Vec<u64> = out.iter().map(|&(b, _, _)| b).collect();
+        assert_eq!(bounds, vec![0, 1, 10, 100]);
+        let counts: Vec<usize> = out.iter().map(|&(_, _, c)| c).collect();
+        assert_eq!(counts, vec![1, 3, 3, 1]);
+    }
+
+    #[test]
+    fn sc_sums_over_subscribers() {
+        let mut b = Workload::builder();
+        let t0 = b.add_topic(Rate::new(75)).unwrap();
+        let t1 = b.add_topic(Rate::new(25)).unwrap();
+        b.add_subscriber([t0]).unwrap();
+        b.add_subscriber([t0, t1]).unwrap();
+        let w = b.build();
+        let sc = subscription_cardinalities(&w);
+        assert!((sc[0] - 75.0).abs() < 1e-12);
+        assert!((sc[1] - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spike_strength_detects_point_mass() {
+        // Uniform background 1..=40 plus a big spike at 20.
+        let mut values: Vec<u64> = (1..=40).collect();
+        values.extend(std::iter::repeat(20).take(50));
+        let s = spike_strength(&values, 20, 5).expect("neighbourhood non-empty");
+        assert!(s > 10.0, "spike strength {s}");
+        // A flat distribution has strength ≈ 1.
+        let flat: Vec<u64> = (1..=40).collect();
+        let s_flat = spike_strength(&flat, 20, 5).unwrap();
+        assert!((0.5..2.0).contains(&s_flat), "flat strength {s_flat}");
+    }
+
+    #[test]
+    fn spike_strength_empty_neighbourhood() {
+        assert_eq!(spike_strength(&[5, 5, 5], 5, 2), None);
+    }
+}

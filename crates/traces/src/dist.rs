@@ -1,0 +1,374 @@
+//! Hand-built random samplers.
+//!
+//! The generators need bounded Zipf, log-normal, and fast weighted-discrete
+//! sampling. Rather than pulling in a distributions crate, the three
+//! samplers are implemented here (≈100 lines total) and property-tested;
+//! `rand` supplies only the uniform source.
+
+use rand::Rng;
+
+/// Bounded Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(X = k) ∝ k^(-s)`.
+///
+/// Sampling is a binary search over the precomputed CDF — `O(log n)` per
+/// draw after `O(n)` setup, which is the right trade-off for the millions
+/// of draws the generators make from a single distribution.
+///
+/// ```
+/// use pubsub_traces::dist::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let z = Zipf::new(100, 1.2);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let rank = z.sample(&mut rng);
+/// assert!((1..=100).contains(&rank));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks in the support.
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index whose cumulative mass reaches u.
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+
+    /// The exact mean of the bounded distribution.
+    pub fn mean(&self) -> f64 {
+        // cdf differences give the pmf.
+        let mut mean = 0.0;
+        let mut prev = 0.0;
+        for (i, &c) in self.cdf.iter().enumerate() {
+            mean += (i + 1) as f64 * (c - prev);
+            prev = c;
+        }
+        mean
+    }
+}
+
+/// Log-normal distribution: `exp(μ + σ·N(0,1))`, with the normal drawn via
+/// Box-Muller.
+///
+/// ```
+/// use pubsub_traces::dist::LogNormal;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let ln = LogNormal::new(0.0, 0.5);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// assert!(ln.sample(&mut rng) > 0.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates the distribution with log-mean `mu` and log-std `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite() && sigma.is_finite(), "parameters must be finite");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        LogNormal { mu, sigma }
+    }
+
+    /// Draws one sample (always strictly positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    /// The distribution mean `exp(μ + σ²/2)`.
+    pub fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// One standard-normal draw via the Box-Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Walker/Vose alias table for O(1) weighted sampling over `0..n`.
+///
+/// The social-graph generators draw millions of follow edges from a fixed
+/// popularity distribution; the alias method makes each draw two uniforms
+/// and two array reads.
+///
+/// ```
+/// use pubsub_traces::dist::AliasTable;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let t = AliasTable::new(&[1.0, 0.0, 3.0]);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let i = t.sample(&mut rng);
+/// assert!(i == 0 || i == 2); // index 1 has zero weight
+/// ```
+#[derive(Clone, Debug)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, longer than `u32::MAX`, contains a
+    /// negative or non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one weight");
+        assert!(n <= u32::MAX as usize, "alias table too large");
+        let mut sum = 0.0;
+        for &w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+            sum += w;
+        }
+        assert!(sum > 0.0, "weights must not all be zero");
+
+        let scale = n as f64 / sum;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            let leftover = prob[l as usize] + prob[s as usize] - 1.0;
+            prob[l as usize] = leftover;
+            if leftover < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: everything still queued has probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Returns `true` if the table has no categories (construction rejects
+    /// empty input, so this is always `false`; provided for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws an index in `0..len()` with probability proportional to its
+    /// weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(50, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=50).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_head_is_heaviest() {
+        let z = Zipf::new(100, 1.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 101];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[10]);
+        assert!(counts[1] > 5_000); // P(1) = 1/ζ(1.5) ≈ 0.38
+    }
+
+    #[test]
+    fn zipf_empirical_mean_matches_analytic() {
+        let z = Zipf::new(200, 1.8);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let total: usize = (0..n).map(|_| z.sample(&mut rng)).sum();
+        let empirical = total as f64 / n as f64;
+        let analytic = z.mean();
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.1,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn zipf_degenerate_single_rank() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 1);
+        assert_eq!(z.support(), 1);
+        assert!((z.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "support must be non-empty")]
+    fn zipf_empty_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn lognormal_positive_and_mean() {
+        let ln = LogNormal::new(1.0, 0.7);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = ln.sample(&mut rng);
+            assert!(x > 0.0);
+            sum += x;
+        }
+        let empirical = sum / n as f64;
+        let analytic = ln.mean();
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.1,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn lognormal_zero_sigma_is_constant() {
+        let ln = LogNormal::new(2.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10 {
+            assert!((ln.sample(&mut rng) - 2.0f64.exp()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let x = standard_normal(&mut rng);
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn alias_respects_weights() {
+        let t = AliasTable::new(&[1.0, 2.0, 7.0]);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counts = [0u32; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let f: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((f[0] - 0.1).abs() < 0.01, "{f:?}");
+        assert!((f[1] - 0.2).abs() < 0.01, "{f:?}");
+        assert!((f[2] - 0.7).abs() < 0.01, "{f:?}");
+    }
+
+    #[test]
+    fn alias_zero_weight_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert_eq!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn alias_uniform_weights() {
+        let t = AliasTable::new(&[3.0; 10]);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut counts = [0u32; 10];
+        for _ in 0..50_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 5_000.0).abs() < 500.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn alias_all_zero_panics() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let z = Zipf::new(1000, 1.3);
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+}

@@ -1,0 +1,119 @@
+//! Distribution fitting: estimate generator parameters back from data.
+//!
+//! The generators are *calibrated to* published distribution shapes
+//! (Appendix D); these estimators close the loop by recovering the shape
+//! parameters from a trace — used by the test suite to verify the
+//! generators hit their configured parameters, and useful for calibrating
+//! against a real trace when one is available.
+
+/// Fits a power-law (Zipf tail) exponent `α` from the CCDF of integer
+/// observations: for `P(X > x) ∝ x^(-α)`, ordinary least squares on
+/// `log P` vs `log x` over the points with `x ≥ x_min`.
+///
+/// Returns `None` when fewer than two distinct values lie in the fitted
+/// region or all mass is concentrated on one point.
+pub fn fit_powerlaw_ccdf(values: &[u64], x_min: u64) -> Option<f64> {
+    let points = crate::analysis::ccdf(values);
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (x, p) in points {
+        if x >= x_min && x > 0 && p > 0.0 {
+            xs.push((x as f64).ln());
+            ys.push(p.ln());
+        }
+    }
+    if xs.len() < 2 {
+        return None;
+    }
+    let slope = ols_slope(&xs, &ys)?;
+    Some(-slope)
+}
+
+/// Fits log-normal parameters `(μ, σ)` by the method of moments in log
+/// space: `μ = mean(ln x)`, `σ = std(ln x)`. Zero values are skipped.
+///
+/// Returns `None` if fewer than two positive observations exist.
+pub fn fit_lognormal(values: &[u64]) -> Option<(f64, f64)> {
+    let logs: Vec<f64> = values.iter().filter(|&&v| v > 0).map(|&v| (v as f64).ln()).collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let mean = logs.iter().sum::<f64>() / n;
+    let var = logs.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / (n - 1.0);
+    Some((mean, var.sqrt()))
+}
+
+/// Ordinary least-squares slope of `y` on `x`. `None` when `x` has no
+/// variance.
+fn ols_slope(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    Some(sxy / sxx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{LogNormal, Zipf};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn recovers_zipf_exponent() {
+        // Zipf(α=2.0) ranks have CCDF tail exponent ≈ α − 1.
+        let z = Zipf::new(100_000, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let values: Vec<u64> = (0..60_000).map(|_| z.sample(&mut rng) as u64).collect();
+        let alpha = fit_powerlaw_ccdf(&values, 2).expect("enough tail points");
+        assert!((0.7..1.4).contains(&alpha), "tail exponent {alpha} (expected ≈ 1.0)");
+    }
+
+    #[test]
+    fn recovers_lognormal_parameters() {
+        let ln = LogNormal::new(3.0, 0.8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let values: Vec<u64> =
+            (0..50_000).map(|_| ln.sample(&mut rng).round().max(1.0) as u64).collect();
+        let (mu, sigma) = fit_lognormal(&values).expect("positive observations");
+        assert!((mu - 3.0).abs() < 0.1, "mu {mu}");
+        assert!((sigma - 0.8).abs() < 0.1, "sigma {sigma}");
+    }
+
+    #[test]
+    fn spotify_generator_rates_match_configuration() {
+        let gen = crate::SpotifyLike::new(20_000, 5);
+        let w = gen.generate();
+        let (mu, sigma) = fit_lognormal(&w.rate_values()).expect("rates positive");
+        // Rounding to integers perturbs the moments slightly.
+        assert!((mu - gen.rate_log_mean).abs() < 0.15, "mu {mu} vs {}", gen.rate_log_mean);
+        assert!(
+            (sigma - gen.rate_log_sigma).abs() < 0.15,
+            "sigma {sigma} vs {}",
+            gen.rate_log_sigma
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_none() {
+        assert_eq!(fit_powerlaw_ccdf(&[], 1), None);
+        assert_eq!(fit_powerlaw_ccdf(&[5, 5, 5], 1), None);
+        assert_eq!(fit_lognormal(&[]), None);
+        assert_eq!(fit_lognormal(&[0, 0]), None);
+        assert!(fit_lognormal(&[3, 3]).is_some());
+    }
+
+    #[test]
+    fn twitter_follower_tail_is_powerlaw_like() {
+        let trace = crate::TwitterLike::new(30_000, 6).generate_trace();
+        let alpha = fit_powerlaw_ccdf(&trace.raw_followers, 10).expect("heavy tail");
+        // A finite positive tail exponent — the Fig. 8 shape.
+        assert!(alpha > 0.3 && alpha < 4.0, "follower tail exponent {alpha}");
+    }
+}

@@ -1,0 +1,259 @@
+//! Line-oriented TSV persistence for workloads.
+//!
+//! The paper distributes its Twitter trace as a flat text file; this module
+//! provides an equivalent self-describing format so generated workloads can
+//! be cached between experiment runs and inspected with standard tools:
+//!
+//! ```text
+//! pubsub-trace v1
+//! topics<TAB>3
+//! 20
+//! 10
+//! 5
+//! subscribers<TAB>2
+//! 0<TAB>1
+//! 2
+//! ```
+//!
+//! One rate line per topic (implicit ids `0..n`), then one interest line
+//! per subscriber with tab-separated topic ids (possibly empty).
+
+use pubsub_model::{Rate, TopicId, Workload};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Magic first line of the format.
+const HEADER: &str = "pubsub-trace v1";
+
+/// Errors raised while reading a trace.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural or numeric parse failure at a 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "trace read failed: {e}"),
+            ReadTraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            ReadTraceError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+/// Writes a workload in trace format. Accepts any [`Write`]; pass
+/// `&mut writer` to keep ownership.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_workload<W: Write>(mut out: W, workload: &Workload) -> io::Result<()> {
+    writeln!(out, "{HEADER}")?;
+    writeln!(out, "topics\t{}", workload.num_topics())?;
+    for t in workload.topics() {
+        writeln!(out, "{}", workload.rate(t).get())?;
+    }
+    writeln!(out, "subscribers\t{}", workload.num_subscribers())?;
+    for v in workload.subscribers() {
+        let mut first = true;
+        for t in workload.interests(v) {
+            if first {
+                write!(out, "{}", t.raw())?;
+                first = false;
+            } else {
+                write!(out, "\t{}", t.raw())?;
+            }
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Reads a workload from trace format. Accepts any [`BufRead`]; pass
+/// `&mut reader` to keep ownership.
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError::Parse`] on malformed content and
+/// [`ReadTraceError::Io`] on reader failure.
+pub fn read_workload<R: BufRead>(input: R) -> Result<Workload, ReadTraceError> {
+    let mut lines = input.lines().enumerate();
+    let mut next_line = |expect: &str| -> Result<(usize, String), ReadTraceError> {
+        match lines.next() {
+            Some((i, Ok(line))) => Ok((i + 1, line)),
+            Some((i, Err(e))) => {
+                Err(ReadTraceError::Parse { line: i + 1, message: format!("read failed: {e}") })
+            }
+            None => Err(ReadTraceError::Parse {
+                line: 0,
+                message: format!("unexpected end of file, expected {expect}"),
+            }),
+        }
+    };
+
+    let (line_no, header) = next_line("header")?;
+    if header.trim() != HEADER {
+        return Err(ReadTraceError::Parse {
+            line: line_no,
+            message: format!("expected header {HEADER:?}, found {header:?}"),
+        });
+    }
+
+    let (line_no, topics_line) = next_line("topic count")?;
+    let num_topics = parse_count(&topics_line, "topics", line_no)?;
+    let mut rates = Vec::with_capacity(num_topics);
+    for _ in 0..num_topics {
+        let (line_no, line) = next_line("topic rate")?;
+        let rate: u64 = line.trim().parse().map_err(|e| ReadTraceError::Parse {
+            line: line_no,
+            message: format!("bad rate {:?}: {e}", line.trim()),
+        })?;
+        rates.push(Rate::new(rate));
+    }
+
+    let (line_no, subs_line) = next_line("subscriber count")?;
+    let num_subs = parse_count(&subs_line, "subscribers", line_no)?;
+    let mut interests = Vec::with_capacity(num_subs);
+    for _ in 0..num_subs {
+        let (line_no, line) = next_line("interest list")?;
+        let mut tv = Vec::new();
+        for tok in line.split('\t').filter(|t| !t.trim().is_empty()) {
+            let id: u32 = tok.trim().parse().map_err(|e| ReadTraceError::Parse {
+                line: line_no,
+                message: format!("bad topic id {tok:?}: {e}"),
+            })?;
+            if id as usize >= num_topics {
+                return Err(ReadTraceError::Parse {
+                    line: line_no,
+                    message: format!("topic id {id} out of range (only {num_topics} topics)"),
+                });
+            }
+            tv.push(TopicId::new(id));
+        }
+        interests.push(tv);
+    }
+
+    Ok(Workload::from_parts(rates, interests))
+}
+
+fn parse_count(line: &str, keyword: &str, line_no: usize) -> Result<usize, ReadTraceError> {
+    let mut parts = line.splitn(2, '\t');
+    let kw = parts.next().unwrap_or_default();
+    if kw != keyword {
+        return Err(ReadTraceError::Parse {
+            line: line_no,
+            message: format!("expected {keyword:?} section, found {kw:?}"),
+        });
+    }
+    let count = parts.next().unwrap_or_default().trim();
+    count.parse().map_err(|e| ReadTraceError::Parse {
+        line: line_no,
+        message: format!("bad count {count:?}: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpotifyLike;
+    use std::io::BufReader;
+
+    fn roundtrip(w: &Workload) -> Workload {
+        let mut buf = Vec::new();
+        write_workload(&mut buf, w).expect("in-memory write cannot fail");
+        read_workload(BufReader::new(buf.as_slice())).expect("just-written trace parses")
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut b = Workload::builder();
+        let t0 = b.add_topic(Rate::new(20)).unwrap();
+        let t1 = b.add_topic(Rate::new(10)).unwrap();
+        b.add_subscriber([t0, t1]).unwrap();
+        b.add_subscriber([]).unwrap();
+        b.add_subscriber([t1]).unwrap();
+        let w = b.build();
+        let w2 = roundtrip(&w);
+        assert_eq!(w.rates(), w2.rates());
+        assert_eq!(w.pair_count(), w2.pair_count());
+        for v in w.subscribers() {
+            assert_eq!(w.interests(v), w2.interests(v));
+        }
+    }
+
+    #[test]
+    fn roundtrip_generated_trace() {
+        let w = SpotifyLike::new(500, 3).generate();
+        let w2 = roundtrip(&w);
+        assert_eq!(w.rates(), w2.rates());
+        assert_eq!(w.pair_count(), w2.pair_count());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_workload(BufReader::new(b"nope\n".as_slice())).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let text = format!("{HEADER}\ntopics\t3\n5\n");
+        let err = read_workload(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_topic() {
+        let text = format!("{HEADER}\ntopics\t1\n5\nsubscribers\t1\n3\n");
+        let err = read_workload(BufReader::new(text.as_bytes())).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("out of range"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_bad_rate() {
+        let text = format!("{HEADER}\ntopics\t1\nxyz\n");
+        let err = read_workload(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("bad rate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_section_keyword() {
+        let text = format!("{HEADER}\nfoo\t1\n");
+        let err = read_workload(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("expected \"topics\""), "{err}");
+    }
+
+    #[test]
+    fn empty_interest_lines_are_empty_subscribers() {
+        let text = format!("{HEADER}\ntopics\t1\n5\nsubscribers\t2\n\n0\n");
+        let w = read_workload(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(w.num_subscribers(), 2);
+        assert!(w.interests(pubsub_model::SubscriberId::new(0)).is_empty());
+        assert_eq!(w.interests(pubsub_model::SubscriberId::new(1)).len(), 1);
+    }
+}

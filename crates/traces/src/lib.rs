@@ -1,0 +1,34 @@
+//! Synthetic trace substrate for the MCSS reproduction.
+//!
+//! The paper evaluates on two proprietary traces (§IV-B): a Spotify trace
+//! (1.1 M topics, 4.9 M subscribers, 12 M pairs) and a Twitter trace (8 M
+//! active users, 30 M subscribers, 683.5 M pairs). Neither is available
+//! offline, so this crate builds generators that reproduce their *published
+//! shape* — the degree and rate distributions of §IV-B and Appendix D — at a
+//! configurable scale:
+//!
+//! * [`TwitterLike`] — follower/following power laws with the documented
+//!   anomaly spikes at 20 and 2000 followings, event rates growing roughly
+//!   linearly with follower count and damped for celebrities, bot-like heavy
+//!   tails, and active-user filtering (Figs. 8–12);
+//! * [`SpotifyLike`] — low-degree interest sets (mean ≈ 2.45
+//!   topics/subscriber), Zipf topic popularity, log-normal playback rates;
+//! * [`analysis`] — CCDF, bucketed means, and subscription-cardinality
+//!   computations used to regenerate Figs. 8–12;
+//! * [`dist`] — hand-built samplers (bounded Zipf, log-normal, alias
+//!   tables) so the only external dependency is `rand` itself;
+//! * [`io`] — a line-oriented TSV trace format for persisting workloads.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod analysis;
+pub mod dist;
+pub mod fit;
+pub mod io;
+pub mod sample;
+mod spotify;
+mod twitter;
+
+pub use spotify::SpotifyLike;
+pub use twitter::{TwitterLike, TwitterTrace};

@@ -1,0 +1,192 @@
+//! Workload sampling and transformation utilities.
+//!
+//! The paper's own evaluation runs on *samples* — "about 10% sample for
+//! Spotify and 1% sample for Twitter" (§IV-F) — and filters Twitter to
+//! active users only (§IV-B). These transforms reproduce that tooling:
+//! subscriber sampling, topic filtering, rate scaling, and compaction
+//! (dropping unreferenced topics / empty subscribers with dense
+//! re-numbering).
+
+use pubsub_model::{Rate, TopicId, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Keeps each subscriber independently with probability `fraction`
+/// (seeded, reproducible). Topics are untouched, so topic ids remain
+/// valid; combine with [`compact`] to drop now-unreferenced topics.
+///
+/// # Panics
+///
+/// Panics if `fraction` is not within `[0, 1]`.
+pub fn sample_subscribers(workload: &Workload, fraction: f64, seed: u64) -> Workload {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let interests: Vec<Vec<TopicId>> = workload
+        .subscribers()
+        .filter(|_| rng.gen::<f64>() < fraction)
+        .map(|v| workload.interests(v).to_vec())
+        .collect();
+    Workload::from_parts(workload.rates().to_vec(), interests)
+}
+
+/// Keeps only topics accepted by `predicate` (e.g. the paper's
+/// active-user filter `|_, rate| rate.get() > 0`, or a minimum-rate
+/// threshold). Interests are filtered accordingly; ids are re-numbered
+/// densely. Returns the new workload and, for each old topic, its new id
+/// (or `None` if dropped).
+pub fn filter_topics(
+    workload: &Workload,
+    mut predicate: impl FnMut(TopicId, Rate) -> bool,
+) -> (Workload, Vec<Option<TopicId>>) {
+    let mut mapping: Vec<Option<TopicId>> = Vec::with_capacity(workload.num_topics());
+    let mut rates = Vec::new();
+    for t in workload.topics() {
+        if predicate(t, workload.rate(t)) {
+            mapping.push(Some(TopicId::new(rates.len() as u32)));
+            rates.push(workload.rate(t));
+        } else {
+            mapping.push(None);
+        }
+    }
+    let interests: Vec<Vec<TopicId>> = workload
+        .subscribers()
+        .map(|v| {
+            workload
+                .interests(v)
+                .iter()
+                .filter_map(|t| mapping[t.index()])
+                .collect()
+        })
+        .collect();
+    (Workload::from_parts(rates, interests), mapping)
+}
+
+/// Multiplies every rate by `numer/denom`, rounding to nearest and
+/// clamping to at least one event (the model requires `ev_t > 0`).
+///
+/// # Panics
+///
+/// Panics if `denom` is zero.
+pub fn scale_rates(workload: &Workload, numer: u64, denom: u64) -> Workload {
+    assert!(denom > 0, "zero denominator");
+    let rates: Vec<Rate> = workload
+        .rates()
+        .iter()
+        .map(|r| {
+            let scaled =
+                (u128::from(r.get()) * u128::from(numer) + u128::from(denom / 2))
+                    / u128::from(denom);
+            Rate::new(u64::try_from(scaled).unwrap_or(u64::MAX).max(1))
+        })
+        .collect();
+    let interests = workload.subscribers().map(|v| workload.interests(v).to_vec()).collect();
+    Workload::from_parts(rates, interests)
+}
+
+/// Drops topics without subscribers and subscribers without interests,
+/// re-numbering both densely. Returns the compacted workload plus the
+/// old→new topic mapping.
+pub fn compact(workload: &Workload) -> (Workload, Vec<Option<TopicId>>) {
+    let (w, mapping) =
+        filter_topics(workload, |t, _| !workload.subscribers_of(t).is_empty());
+    let interests: Vec<Vec<TopicId>> = w
+        .subscribers()
+        .map(|v| w.interests(v).to_vec())
+        .filter(|tv| !tv.is_empty())
+        .collect();
+    (Workload::from_parts(w.rates().to_vec(), interests), mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpotifyLike;
+    use pubsub_model::SubscriberId;
+
+    fn sample_workload() -> Workload {
+        let mut b = Workload::builder();
+        let t0 = b.add_topic(Rate::new(10)).unwrap();
+        let t1 = b.add_topic(Rate::new(20)).unwrap();
+        let _t2 = b.add_topic(Rate::new(3)).unwrap(); // never subscribed
+        b.add_subscriber([t0, t1]).unwrap();
+        b.add_subscriber([t1]).unwrap();
+        b.add_subscriber([]).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn sampling_is_seeded_and_proportional() {
+        let w = SpotifyLike::new(5_000, 9).generate();
+        let a = sample_subscribers(&w, 0.25, 1);
+        let b = sample_subscribers(&w, 0.25, 1);
+        assert_eq!(a.num_subscribers(), b.num_subscribers());
+        let frac = a.num_subscribers() as f64 / w.num_subscribers() as f64;
+        assert!((0.2..0.3).contains(&frac), "kept {frac}");
+        let c = sample_subscribers(&w, 0.25, 2);
+        assert_ne!(a.num_subscribers(), c.num_subscribers());
+    }
+
+    #[test]
+    fn sampling_extremes() {
+        let w = sample_workload();
+        assert_eq!(sample_subscribers(&w, 0.0, 7).num_subscribers(), 0);
+        assert_eq!(sample_subscribers(&w, 1.0, 7).num_subscribers(), 3);
+    }
+
+    #[test]
+    fn filter_topics_remaps_interests() {
+        let w = sample_workload();
+        // Keep only topics with rate >= 10 (drops t2).
+        let (f, mapping) = filter_topics(&w, |_, r| r.get() >= 10);
+        assert_eq!(f.num_topics(), 2);
+        assert_eq!(mapping, vec![Some(TopicId::new(0)), Some(TopicId::new(1)), None]);
+        assert_eq!(f.interests(SubscriberId::new(0)).len(), 2);
+        // Keep only t1: subscriber 0 loses an interest, keeps the rest.
+        let (f, mapping) = filter_topics(&w, |_, r| r.get() == 20);
+        assert_eq!(f.num_topics(), 1);
+        assert_eq!(mapping[1], Some(TopicId::new(0)));
+        assert_eq!(f.interests(SubscriberId::new(0)), &[TopicId::new(0)]);
+        assert_eq!(f.rate(TopicId::new(0)), Rate::new(20));
+    }
+
+    #[test]
+    fn scale_rates_rounds_and_clamps() {
+        let w = sample_workload();
+        let half = scale_rates(&w, 1, 2);
+        assert_eq!(half.rate(TopicId::new(0)), Rate::new(5));
+        assert_eq!(half.rate(TopicId::new(1)), Rate::new(10));
+        assert_eq!(half.rate(TopicId::new(2)), Rate::new(2)); // 1.5 → 2
+        let tiny = scale_rates(&w, 1, 1_000);
+        assert_eq!(tiny.rate(TopicId::new(0)), Rate::new(1)); // clamped
+        let triple = scale_rates(&w, 3, 1);
+        assert_eq!(triple.rate(TopicId::new(1)), Rate::new(60));
+    }
+
+    #[test]
+    fn compact_drops_dead_weight() {
+        let w = sample_workload();
+        assert_eq!(w.validate().len(), 2); // t2 unsubscribed + empty v2
+        let (c, mapping) = compact(&w);
+        assert!(c.validate().is_empty());
+        assert_eq!(c.num_topics(), 2);
+        assert_eq!(c.num_subscribers(), 2);
+        assert_eq!(mapping[2], None);
+        assert_eq!(c.pair_count(), w.pair_count());
+    }
+
+    #[test]
+    fn pipeline_of_transforms_preserves_consistency() {
+        let w = SpotifyLike::new(2_000, 4).generate();
+        let sampled = sample_subscribers(&w, 0.5, 3);
+        let (filtered, _) = filter_topics(&sampled, |_, r| r.get() >= 5);
+        let scaled = scale_rates(&filtered, 1, 10);
+        let (compacted, _) = compact(&scaled);
+        assert!(compacted.validate().is_empty());
+        for v in compacted.subscribers() {
+            for &t in compacted.interests(v) {
+                assert!(t.index() < compacted.num_topics());
+                assert!(!compacted.rate(t).is_zero());
+            }
+        }
+    }
+}

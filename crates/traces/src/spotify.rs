@@ -1,0 +1,203 @@
+//! Synthetic Spotify-like trace generator.
+//!
+//! Reproduces the published shape of the paper's Spotify trace (§IV-B): a
+//! music-activity pub/sub feed with ~1.1 M topics for 4.9 M subscribers
+//! (ratio ≈ 0.22) and ~12 M topic-subscriber pairs (≈ 2.45 interests per
+//! subscriber — far sparser than Twitter's ≈ 22.8). Topic popularity is
+//! Zipf (a few artists/friends dominate follows); playback event rates are
+//! log-normal (most sources generate modest activity, a few are very
+//! loud). Messages average 111 bytes but the paper prices them at 200 bytes
+//! for comparability — the cost model handles that, not the generator.
+
+use crate::dist::{AliasTable, LogNormal, Zipf};
+use pubsub_model::{Rate, TopicId, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the Spotify-like generator.
+///
+/// ```
+/// use pubsub_traces::SpotifyLike;
+///
+/// let w = SpotifyLike::new(5_000, 42).generate();
+/// let stats = w.stats();
+/// // Interests per subscriber sit near the paper's 12M/4.9M ≈ 2.45.
+/// assert!(stats.mean_interests > 1.0 && stats.mean_interests < 6.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpotifyLike {
+    /// Number of subscribers `|V|`.
+    pub subscribers: usize,
+    /// RNG seed; identical seeds produce identical workloads.
+    pub seed: u64,
+    /// Topics per subscriber (the paper's 1.1 M / 4.9 M ≈ 0.22).
+    pub topic_ratio: f64,
+    /// Zipf exponent of topic popularity.
+    pub popularity_exponent: f64,
+    /// Zipf exponent of the interests-per-subscriber distribution
+    /// (calibrated so the mean lands near 2.45).
+    pub interest_exponent: f64,
+    /// Cap on interests per subscriber.
+    pub max_interests: usize,
+    /// Log-mean of the playback event rate per topic (events/window).
+    pub rate_log_mean: f64,
+    /// Log-std of the playback event rate.
+    pub rate_log_sigma: f64,
+}
+
+impl SpotifyLike {
+    /// A generator for `subscribers` subscribers with paper-shaped
+    /// defaults.
+    pub fn new(subscribers: usize, seed: u64) -> Self {
+        SpotifyLike {
+            subscribers,
+            seed,
+            topic_ratio: 0.22,
+            popularity_exponent: 1.0,
+            interest_exponent: 2.3,
+            max_interests: 200,
+            // exp(6.3 + 0.8²/2) ≈ 750 events per 10-day window on
+            // average. Calibrated against the evaluation's shape: with
+            // ≈ 2.45 interests/subscriber this puts the deliverable
+            // volume per subscriber near 1.8k events — close enough to
+            // τ=1000 that the optimization headroom shrinks there (the
+            // ~11% savings of Fig. 2) while τ=10/100 stay mostly
+            // pair-granular (the ~30% savings regime); the spread leaves
+            // a few-percent tail of sub-100-event topics so τ=10 and
+            // τ=100 differ.
+            rate_log_mean: 6.3,
+            rate_log_sigma: 0.8,
+        }
+    }
+
+    /// Number of topics this configuration will create.
+    pub fn num_topics(&self) -> usize {
+        ((self.subscribers as f64 * self.topic_ratio) as usize).max(1)
+    }
+
+    /// Generates the workload.
+    ///
+    /// Topics that end up with zero followers are still created (they get
+    /// filtered by Stage 1 anyway, and keeping them preserves the paper's
+    /// topic count); subscribers always have at least one interest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subscribers` is zero or `topic_ratio` is not positive.
+    pub fn generate(&self) -> Workload {
+        assert!(self.subscribers > 0, "need at least one subscriber");
+        assert!(self.topic_ratio > 0.0, "topic ratio must be positive");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let num_topics = self.num_topics();
+
+        // Topic popularity: which artists/friends get followed.
+        let mut ranks: Vec<u32> = (0..num_topics as u32).collect();
+        shuffle(&mut ranks, &mut rng);
+        let weights: Vec<f64> = ranks
+            .iter()
+            .map(|&r| (f64::from(r) + 1.0).powf(-self.popularity_exponent))
+            .collect();
+        let topic_pick = AliasTable::new(&weights);
+
+        // Playback rates.
+        let rate_dist = LogNormal::new(self.rate_log_mean, self.rate_log_sigma);
+        let mut builder = Workload::builder();
+        for _ in 0..num_topics {
+            let rate = rate_dist.sample(&mut rng).round().max(1.0) as u64;
+            builder.add_topic(Rate::new(rate)).expect("rate positive and bounded");
+        }
+
+        // Interests: small Zipf-distributed sets.
+        let interest_dist = Zipf::new(self.max_interests.min(num_topics).max(1), self.interest_exponent);
+        for _ in 0..self.subscribers {
+            let k = interest_dist.sample(&mut rng);
+            let mut chosen: Vec<TopicId> = Vec::with_capacity(k);
+            let mut attempts = 0usize;
+            let max_attempts = k * 20 + 16;
+            while chosen.len() < k && attempts < max_attempts {
+                attempts += 1;
+                let t = TopicId::new(topic_pick.sample(&mut rng) as u32);
+                if !chosen.contains(&t) {
+                    chosen.push(t);
+                }
+            }
+            builder.add_subscriber(chosen).expect("topics exist");
+        }
+        builder.build()
+    }
+}
+
+/// Fisher-Yates shuffle.
+fn shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> Workload {
+        SpotifyLike::new(10_000, 77).generate()
+    }
+
+    #[test]
+    fn shape_matches_paper_ratios() {
+        let w = workload();
+        let s = w.stats();
+        let ratio = s.num_topics as f64 / s.num_subscribers as f64;
+        assert!((0.15..0.3).contains(&ratio), "topic ratio {ratio}");
+        assert!((1.2..4.5).contains(&s.mean_interests), "mean interests {}", s.mean_interests);
+    }
+
+    #[test]
+    fn rates_are_positive_lognormal_ish() {
+        let w = workload();
+        let s = w.stats();
+        assert!(s.mean_rate > 300.0 && s.mean_rate < 1500.0, "mean rate {}", s.mean_rate);
+        assert!(s.max_rate as f64 > 3.0 * s.mean_rate, "tail too light");
+        for t in w.topics() {
+            assert!(!w.rate(t).is_zero());
+        }
+    }
+
+    #[test]
+    fn every_subscriber_has_interests() {
+        let w = workload();
+        for v in w.subscribers() {
+            assert!(!w.interests(v).is_empty());
+        }
+    }
+
+    #[test]
+    fn popular_topics_attract_more_followers() {
+        let w = workload();
+        let mut counts: Vec<usize> = w.topics().map(|t| w.subscribers_of(t).len()).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        // Zipf head: the most-followed topic clearly dominates the median.
+        let median = counts[counts.len() / 2];
+        assert!(counts[0] > 10 * median.max(1), "head {} median {median}", counts[0]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SpotifyLike::new(2_000, 5).generate();
+        let b = SpotifyLike::new(2_000, 5).generate();
+        assert_eq!(a.rates(), b.rates());
+        assert_eq!(a.pair_count(), b.pair_count());
+    }
+
+    #[test]
+    fn num_topics_accessor_matches_generation() {
+        let g = SpotifyLike::new(10_000, 1);
+        assert_eq!(g.generate().num_topics(), g.num_topics());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one subscriber")]
+    fn rejects_empty() {
+        let _ = SpotifyLike::new(0, 0).generate();
+    }
+}

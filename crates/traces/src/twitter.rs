@@ -1,0 +1,385 @@
+//! Synthetic Twitter-like trace generator.
+//!
+//! Reproduces the published shape of the paper's Twitter trace (§IV-B and
+//! Appendix D): users are both topics (when followed and active) and
+//! subscribers (when following someone); follower counts follow a power
+//! law; following counts follow a power law with the documented anomaly
+//! spikes at exactly 20 and 2000 (old Twitter defaults/limits, visible in
+//! Fig. 8); per-user tweet rates grow roughly linearly with follower count
+//! until a celebrity threshold past which they are damped (Fig. 10), with a
+//! bot-like heavy tail (Fig. 9); only users that tweeted during the window
+//! ("active users") become topics.
+
+use crate::dist::{AliasTable, LogNormal};
+use pubsub_model::{Rate, TopicId, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the Twitter-like generator.
+///
+/// The defaults target the statistics the paper reports at its 1%-sample
+/// scale, proportionally: mean following ≈ 20–25, mean event rate ≈ tens of
+/// tweets per 10-day window, max rates around 10⁵ (bots), celebrities with
+/// large follower counts but modest tweet rates.
+///
+/// ```
+/// use pubsub_traces::TwitterLike;
+///
+/// let w = TwitterLike::new(2_000, 42).generate();
+/// assert!(w.num_topics() > 0);
+/// assert!(w.num_subscribers() > 0);
+/// let stats = w.stats();
+/// assert!(stats.mean_interests > 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TwitterLike {
+    /// Size of the user universe (before activity filtering).
+    pub users: usize,
+    /// RNG seed; identical seeds produce identical workloads.
+    pub seed: u64,
+    /// Zipf exponent of the popularity weights that drive follow-target
+    /// choice (smaller ⇒ heavier celebrity head).
+    pub popularity_exponent: f64,
+    /// Log-mean of the following-count distribution. Fig. 8's followings
+    /// CCDF bends like a log-normal (median ≈ 12–20, mean ≈ 22.8) rather
+    /// than a straight power law.
+    pub following_log_mean: f64,
+    /// Log-std of the following-count distribution.
+    pub following_log_sigma: f64,
+    /// Cap on the following count of a single user.
+    pub max_following: usize,
+    /// Probability mass forced onto exactly 20 followings (the Fig. 8
+    /// anomaly at the historical default).
+    pub spike_20_prob: f64,
+    /// Probability mass forced onto exactly 2000 followings (the Fig. 8
+    /// anomaly at the historical follow limit).
+    pub spike_2000_prob: f64,
+    /// Probability that a user published nothing in the window and is
+    /// dropped from the topic set (the paper keeps only "active" users).
+    pub inactive_prob: f64,
+    /// Probability that a user is a bot/news aggregator with a rate drawn
+    /// log-uniformly from `bot_rate_range` regardless of followers.
+    pub bot_prob: f64,
+    /// Bot rate range (min, max), events per window.
+    pub bot_rate_range: (u64, u64),
+    /// Base tweet rate added for every active user.
+    pub base_rate: f64,
+    /// Linear growth of mean tweet rate per follower (Fig. 10's linear
+    /// regime).
+    pub rate_per_follower: f64,
+    /// Follower count past which the linear growth is damped — the paper
+    /// observes celebrities (≥10⁵ followers at 8 M-user scale) tweet less
+    /// than the linear trend; scaled proportionally by default.
+    pub celebrity_threshold: usize,
+    /// Multiplier applied to the linear trend past the threshold.
+    pub celebrity_damping: f64,
+    /// Log-std of the multiplicative log-normal noise on rates.
+    pub rate_noise_sigma: f64,
+}
+
+impl TwitterLike {
+    /// A generator for `users` users with paper-shaped defaults.
+    pub fn new(users: usize, seed: u64) -> Self {
+        // The paper's celebrity knee sits at 1e5 followers among 8e6 users;
+        // keep the same fraction of the universe.
+        let celebrity_threshold = (users as f64 * (1e5 / 8e6)).max(50.0) as usize;
+        TwitterLike {
+            users,
+            seed,
+            popularity_exponent: 0.9,
+            following_log_mean: 2.5,
+            following_log_sigma: 1.2,
+            max_following: (users / 4).max(8),
+            spike_20_prob: 0.05,
+            spike_2000_prob: 0.004,
+            inactive_prob: 0.35,
+            bot_prob: 0.005,
+            bot_rate_range: (1_000, 100_000),
+            base_rate: 2.0,
+            rate_per_follower: 0.5,
+            celebrity_threshold,
+            celebrity_damping: 0.1,
+            rate_noise_sigma: 1.0,
+        }
+    }
+
+    /// Generates just the workload (see [`TwitterLike::generate_trace`]).
+    pub fn generate(&self) -> Workload {
+        self.generate_trace().workload
+    }
+
+    /// Generates the full trace: the pub/sub workload plus the raw social
+    /// graph degrees.
+    ///
+    /// Users with at least one follower and a positive tweet rate become
+    /// topics; users following at least one topic become subscribers. The
+    /// raw per-user degrees are reported unfiltered — Fig. 8 plots the
+    /// crawled graph, where the anomaly spikes at exactly 20 and 2000
+    /// followings live, while the workload's interest lists only keep
+    /// edges to active topics (which smears those spikes downwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users < 2` (a follow graph needs at least two users) or
+    /// if any probability parameter lies outside `[0, 1]`.
+    pub fn generate_trace(&self) -> TwitterTrace {
+        assert!(self.users >= 2, "need at least two users to form a follow graph");
+        for p in [self.spike_20_prob, self.spike_2000_prob, self.inactive_prob, self.bot_prob] {
+            assert!((0.0..=1.0).contains(&p), "probabilities must be in [0, 1]");
+        }
+        let n = self.users;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Popularity weights: who gets followed. Shuffled rank assignment so
+        // user index carries no meaning.
+        let mut ranks: Vec<u32> = (0..n as u32).collect();
+        shuffle(&mut ranks, &mut rng);
+        let weights: Vec<f64> = ranks
+            .iter()
+            .map(|&r| (f64::from(r) + 1.0).powf(-self.popularity_exponent))
+            .collect();
+        let targets = AliasTable::new(&weights);
+
+        // Following counts with the documented spikes.
+        let following_dist =
+            LogNormal::new(self.following_log_mean, self.following_log_sigma);
+        let mut followings: Vec<Vec<u32>> = Vec::with_capacity(n);
+        let mut followers: Vec<u32> = vec![0; n];
+        for u in 0..n {
+            let spin: f64 = rng.gen();
+            let k = if spin < self.spike_20_prob {
+                20
+            } else if spin < self.spike_20_prob + self.spike_2000_prob {
+                2000
+            } else {
+                (following_dist.sample(&mut rng).round() as usize)
+                    .clamp(1, self.max_following.max(1))
+            };
+            let k = k.min(n - 1);
+            let mut chosen = Vec::with_capacity(k);
+            let mut attempts = 0usize;
+            let max_attempts = k.saturating_mul(20) + 32;
+            while chosen.len() < k && attempts < max_attempts {
+                attempts += 1;
+                let t = targets.sample(&mut rng) as u32;
+                if t as usize != u && !chosen.contains(&t) {
+                    chosen.push(t);
+                }
+            }
+            // Heavy-head collisions can exhaust attempts for very large k;
+            // accepting fewer followings keeps the tail realistic.
+            chosen.sort_unstable();
+            for &t in &chosen {
+                followers[t as usize] += 1;
+            }
+            followings.push(chosen);
+        }
+
+        // Tweet rates: linear-in-followers with celebrity damping, noise,
+        // bots, and activity filtering.
+        let noise = LogNormal::new(
+            -self.rate_noise_sigma * self.rate_noise_sigma / 2.0, // mean-1 noise
+            self.rate_noise_sigma,
+        );
+        let mut rates: Vec<u64> = vec![0; n];
+        for u in 0..n {
+            if rng.gen::<f64>() < self.inactive_prob {
+                continue; // inactive: tweeted nothing in the window
+            }
+            if rng.gen::<f64>() < self.bot_prob {
+                rates[u] = log_uniform(self.bot_rate_range, &mut rng);
+                continue;
+            }
+            let f = f64::from(followers[u]);
+            let mut trend = self.base_rate + self.rate_per_follower * f;
+            if followers[u] as usize > self.celebrity_threshold {
+                let knee =
+                    self.base_rate + self.rate_per_follower * self.celebrity_threshold as f64;
+                trend = knee + (trend - knee) * self.celebrity_damping;
+            }
+            rates[u] = (trend * noise.sample(&mut rng)).round().max(1.0) as u64;
+        }
+
+        // Assemble the workload: active, followed users become topics.
+        let mut topic_of_user: Vec<Option<TopicId>> = vec![None; n];
+        let mut builder = Workload::builder();
+        for u in 0..n {
+            if rates[u] > 0 && followers[u] > 0 {
+                let id = builder
+                    .add_topic(Rate::new(rates[u]))
+                    .expect("generated rate is positive and bounded");
+                topic_of_user[u] = Some(id);
+            }
+        }
+        for tv in &followings {
+            let interests: Vec<TopicId> =
+                tv.iter().filter_map(|&t| topic_of_user[t as usize]).collect();
+            if !interests.is_empty() {
+                builder.add_subscriber(interests).expect("interests reference added topics");
+            }
+        }
+        TwitterTrace {
+            workload: builder.build(),
+            raw_followings: followings.iter().map(|tv| tv.len() as u64).collect(),
+            raw_followers: followers.iter().map(|&f| u64::from(f)).collect(),
+        }
+    }
+}
+
+/// A generated Twitter-like trace: the filtered pub/sub workload plus the
+/// raw social-graph degrees (what Appendix D's Fig. 8 plots).
+#[derive(Clone, Debug)]
+pub struct TwitterTrace {
+    /// The pub/sub workload (active, followed users as topics).
+    pub workload: Workload,
+    /// Following count per user in the raw graph (unfiltered).
+    pub raw_followings: Vec<u64>,
+    /// Follower count per user in the raw graph (unfiltered).
+    pub raw_followers: Vec<u64>,
+}
+
+/// Fisher-Yates shuffle (kept local to avoid enabling rand's `alloc`
+/// shuffle API differences across versions).
+fn shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Draws from `[lo, hi]` log-uniformly.
+fn log_uniform((lo, hi): (u64, u64), rng: &mut impl Rng) -> u64 {
+    assert!(lo >= 1 && hi >= lo, "invalid log-uniform range");
+    let (llo, lhi) = ((lo as f64).ln(), (hi as f64).ln());
+    (llo + rng.gen::<f64>() * (lhi - llo)).exp().round().clamp(lo as f64, hi as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> Workload {
+        TwitterLike::new(5_000, 1234).generate()
+    }
+
+    #[test]
+    fn generates_nonempty_workload() {
+        let w = workload();
+        assert!(w.num_topics() > 500, "topics: {}", w.num_topics());
+        assert!(w.num_subscribers() > 1_000, "subscribers: {}", w.num_subscribers());
+        assert!(w.pair_count() > 5_000, "pairs: {}", w.pair_count());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TwitterLike::new(1_000, 7).generate();
+        let b = TwitterLike::new(1_000, 7).generate();
+        assert_eq!(a.pair_count(), b.pair_count());
+        assert_eq!(a.rates(), b.rates());
+        let c = TwitterLike::new(1_000, 8).generate();
+        assert!(a.pair_count() != c.pair_count() || a.rates() != c.rates());
+    }
+
+    #[test]
+    fn every_topic_has_followers_and_positive_rate() {
+        let w = workload();
+        for t in w.topics() {
+            assert!(!w.rate(t).is_zero());
+        }
+        // No structural issues: every topic subscribed, every subscriber
+        // has interests (construction filters both).
+        assert!(w.validate().is_empty());
+    }
+
+    #[test]
+    fn mean_following_in_paper_ballpark() {
+        let w = workload();
+        let mean = w.stats().mean_interests;
+        // Paper: 683.5M pairs / 30M subscribers ≈ 22.8. Activity filtering
+        // trims interests, so accept a broad band around it.
+        assert!((5.0..60.0).contains(&mean), "mean following {mean}");
+    }
+
+    #[test]
+    fn following_spike_at_20_visible_in_raw_graph() {
+        let trace = TwitterLike::new(20_000, 99).generate_trace();
+        let s = crate::analysis::spike_strength(&trace.raw_followings, 20, 5)
+            .expect("neighbourhood populated");
+        assert!(s > 3.0, "raw spike at 20 too weak: {s:.2}x");
+        // The spike also leaves a visible surplus band in the filtered
+        // workload, just smeared below 20.
+        let degrees = trace.workload.interest_degrees();
+        let at = |k: u64| degrees.iter().filter(|&&d| d == k).count() as f64;
+        let band_spike: f64 = (12..=20).map(&at).sum();
+        let band_after: f64 = (21..=29).map(&at).sum();
+        assert!(
+            band_spike > band_after,
+            "no smeared spike: band 12..=20 {band_spike} vs 21..=29 {band_after}"
+        );
+    }
+
+    #[test]
+    fn raw_trace_degrees_are_consistent() {
+        let trace = TwitterLike::new(3_000, 12).generate_trace();
+        assert_eq!(trace.raw_followings.len(), 3_000);
+        assert_eq!(trace.raw_followers.len(), 3_000);
+        // Every follow edge appears exactly once on each side.
+        let total_out: u64 = trace.raw_followings.iter().sum();
+        let total_in: u64 = trace.raw_followers.iter().sum();
+        assert_eq!(total_out, total_in);
+        // The filtered workload can only lose edges.
+        assert!(trace.workload.pair_count() <= total_out);
+    }
+
+    #[test]
+    fn rate_tail_is_heavy() {
+        let w = workload();
+        let s = w.stats();
+        // Bots push the max far beyond the mean (Fig. 9's tail).
+        assert!(s.max_rate as f64 > 20.0 * s.mean_rate, "max {} mean {}", s.max_rate, s.mean_rate);
+        assert!(s.max_rate >= 1_000);
+    }
+
+    #[test]
+    fn celebrity_damping_bends_trend() {
+        let gen = TwitterLike::new(20_000, 5);
+        let w = gen.generate();
+        // Mean rate of mid-popularity topics should exceed what the raw
+        // linear trend would predict for celebrities after damping.
+        let mut celeb_rates = Vec::new();
+        let mut mid_rates = Vec::new();
+        for t in w.topics() {
+            let f = w.subscribers_of(t).len();
+            if f > gen.celebrity_threshold {
+                celeb_rates.push(w.rate(t).get() as f64 / f as f64);
+            } else if f >= 5 {
+                mid_rates.push(w.rate(t).get() as f64 / f as f64);
+            }
+        }
+        if !celeb_rates.is_empty() && !mid_rates.is_empty() {
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            // Rate-per-follower drops for celebrities.
+            assert!(
+                mean(&celeb_rates) < mean(&mid_rates),
+                "celebrity {} vs mid {}",
+                mean(&celeb_rates),
+                mean(&mid_rates)
+            );
+        }
+    }
+
+    #[test]
+    fn log_uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            let x = log_uniform((10, 1_000), &mut rng);
+            assert!((10..=1_000).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two users")]
+    fn rejects_tiny_universe() {
+        let _ = TwitterLike::new(1, 0).generate();
+    }
+}

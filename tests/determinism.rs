@@ -1,0 +1,88 @@
+//! Full-stack determinism: generators, selectors, allocators, and the
+//! simulator must be byte-identical across runs with the same seeds, and
+//! sensitive to seed changes.
+
+use mcss::prelude::*;
+use mcss::traces::io::{read_workload, write_workload};
+use mcss::traces::SpotifyLike;
+use mcss_bench::scenario::Scenario;
+use std::io::BufReader;
+
+fn solve_fingerprint(params: SolverParams, inst: &McssInstance, cost: &Ec2CostModel) -> String {
+    let outcome = Solver::new(params).solve(inst, cost).unwrap();
+    let mut fp = format!(
+        "pairs={} vms={} bw={}",
+        outcome.report.pairs_selected,
+        outcome.report.vm_count,
+        outcome.report.total_bandwidth
+    );
+    for vm in outcome.allocation.vms() {
+        fp.push_str(&format!("|{}", vm.used()));
+        for p in vm.placements() {
+            fp.push_str(&format!(",{}x{}", p.topic, p.subscribers.len()));
+        }
+    }
+    fp
+}
+
+#[test]
+fn identical_seeds_identical_results() {
+    for params in [
+        SolverParams::default(),
+        SolverParams { selector: SelectorKind::Random { seed: 8 }, allocator: AllocatorKind::FirstFit },
+        SolverParams {
+            selector: SelectorKind::GreedyParallel { threads: 3 },
+            allocator: AllocatorKind::custom_full(),
+        },
+    ] {
+        let run = || {
+            let s = Scenario::twitter(1_000, 77);
+            let inst = s.instance(25, cloud_cost::instances::C3_LARGE).unwrap();
+            let cost = s.cost_model(cloud_cost::instances::C3_LARGE);
+            solve_fingerprint(params, &inst, &cost)
+        };
+        assert_eq!(run(), run(), "{params:?} was not deterministic");
+    }
+}
+
+#[test]
+fn different_trace_seeds_differ() {
+    let a = SpotifyLike::new(1_000, 1).generate();
+    let b = SpotifyLike::new(1_000, 2).generate();
+    assert!(a.rates() != b.rates() || a.pair_count() != b.pair_count());
+}
+
+#[test]
+fn trace_roundtrip_preserves_solver_output() {
+    let s = Scenario::spotify(1_000, 55);
+    let mut buf = Vec::new();
+    write_workload(&mut buf, &s.workload).unwrap();
+    let w2 = read_workload(BufReader::new(buf.as_slice())).unwrap();
+
+    let cost = s.cost_model(cloud_cost::instances::C3_LARGE);
+    let i1 = s.instance(40, cloud_cost::instances::C3_LARGE).unwrap();
+    let i2 = McssInstance::new(w2, Rate::new(40), cost.capacity()).unwrap();
+    assert_eq!(
+        solve_fingerprint(SolverParams::default(), &i1, &cost),
+        solve_fingerprint(SolverParams::default(), &i2, &cost),
+        "solver output changed across trace round-trip"
+    );
+}
+
+#[test]
+fn simulation_is_deterministic_per_seed() {
+    let s = Scenario::spotify(600, 4);
+    let inst = s.instance(30, cloud_cost::instances::C3_LARGE).unwrap();
+    let cost = s.cost_model(cloud_cost::instances::C3_LARGE);
+    let outcome = Solver::default().solve(&inst, &cost).unwrap();
+    let run = |seed| {
+        let report = Simulation::new(SimConfig {
+            schedule: mcss::sim::ScheduleKind::Poisson { seed },
+            ..SimConfig::default()
+        })
+        .run(inst.workload(), &outcome.allocation);
+        (report.published_events, report.total_bandwidth_events())
+    };
+    assert_eq!(run(9), run(9));
+    assert_ne!(run(9), run(10));
+}

@@ -1,0 +1,99 @@
+//! Cross-crate exercises for the §VI extensions: incremental repair over
+//! drifting generated traces, failure injection on solved deployments,
+//! and the IP export on real instances.
+
+use mcss::prelude::*;
+use mcss::sim::failure::{fail_vms, fragility_profile};
+use mcss::solver::dynamic::DriftModel;
+use mcss::solver::ilp::{export_lp, IlpOptions};
+use mcss::solver::incremental::{IncrementalConfig, IncrementalReallocator};
+use mcss_bench::scenario::Scenario;
+
+#[test]
+fn incremental_tracks_a_drifting_spotify_trace() {
+    let s = Scenario::spotify(2_000, 41);
+    let cost = s.cost_model(cloud_cost::instances::C3_LARGE);
+    let drift = DriftModel { rate_sigma: 0.15, churn_prob: 0.1, seed: 8 };
+    let mut inc = IncrementalReallocator::new(IncrementalConfig::default());
+
+    let mut workload = (*s.workload).clone();
+    let mut total_churn = 0u64;
+    for epoch in 0..5 {
+        let inst =
+            McssInstance::new(workload.clone(), Rate::new(100), cost.capacity()).unwrap();
+        let out = inc.step(&inst, &cost).unwrap();
+        out.allocation
+            .validate(inst.workload(), inst.tau())
+            .unwrap_or_else(|e| panic!("epoch {epoch}: {e}"));
+        if epoch > 0 && !out.full_resolve {
+            // Churn must stay a fraction of the full placement.
+            assert!(
+                out.pairs_placed < out.allocation.pair_count(),
+                "epoch {epoch} re-placed everything"
+            );
+            total_churn += out.pairs_placed;
+        }
+        workload = drift.evolve(&workload, epoch);
+    }
+    // Mild drift should not force anywhere near full re-placement.
+    assert!(total_churn > 0, "drift produced no churn at all");
+}
+
+#[test]
+fn fragile_vms_exist_and_failures_account_exactly() {
+    let s = Scenario::twitter(1_500, 42);
+    let cost = s.cost_model(cloud_cost::instances::C3_LARGE);
+    let inst = s.instance(50, cloud_cost::instances::C3_LARGE).unwrap();
+    let alloc = Solver::default().solve(&inst, &cost).unwrap().allocation;
+    assert!(alloc.vm_count() >= 2, "need a fleet to kill parts of");
+
+    let profile = fragility_profile(&inst, &alloc);
+    assert_eq!(profile.len(), alloc.vm_count());
+    assert!(profile.iter().any(|&s| s > 0), "no VM failure starves anyone?");
+
+    let impact = fail_vms(&inst, &alloc, &[0, 1]);
+    assert_eq!(
+        impact.pairs_lost + impact.degraded.pair_count(),
+        alloc.pair_count(),
+        "pair accounting must be exact"
+    );
+    assert!(!impact.starved.is_empty());
+    // Repair restores satisfaction.
+    let repaired = Solver::default().solve(&inst, &cost).unwrap().allocation;
+    assert!(repaired.validate(inst.workload(), inst.tau()).is_ok());
+}
+
+#[test]
+fn ilp_export_scales_with_instance() {
+    let s = Scenario::spotify(60, 43);
+    let inst = s.instance(50, cloud_cost::instances::C3_LARGE).unwrap();
+    let cost = s.cost_model(cloud_cost::instances::C3_LARGE);
+    let heuristic_vms =
+        Solver::default().solve(&inst, &cost).unwrap().report.vm_count.max(1);
+    let lp = export_lp(&inst, &cost, IlpOptions { max_vms: heuristic_vms });
+    // One capacity row per candidate VM, one satisfaction row per
+    // subscriber with τ_v > 0.
+    assert_eq!(lp.matches("cap_").count(), heuristic_vms);
+    let sat_rows = lp.matches(" sat_").count();
+    assert!(sat_rows > 0 && sat_rows <= inst.workload().num_subscribers());
+    assert!(lp.ends_with("End\n"));
+}
+
+#[test]
+fn reserved_pricing_changes_the_vm_bandwidth_tradeoff() {
+    use cloud_cost::ReservedCostModel;
+    let s = Scenario::spotify(2_000, 44);
+    let on_demand = s.cost_model(cloud_cost::instances::C3_LARGE);
+    let reserved =
+        ReservedCostModel::new(on_demand.clone(), Money::from_dollars(5), 0.5);
+    let inst = s.instance(100, cloud_cost::instances::C3_LARGE).unwrap();
+    let od = Solver::default().solve(&inst, &on_demand).unwrap();
+    let rs = Solver::default().solve(&inst, &reserved).unwrap();
+    // Same capacity, so the packing constraints are identical; costs and
+    // potentially decisions differ.
+    od.allocation.validate(inst.workload(), inst.tau()).unwrap();
+    rs.allocation.validate(inst.workload(), inst.tau()).unwrap();
+    // With a 50% rental discount the reserved bill per VM is lower here
+    // ($5 + $18 < $36), so the reserved total must come in below.
+    assert!(rs.report.total_cost < od.report.total_cost);
+}
