@@ -19,14 +19,28 @@ use std::hint::black_box;
 fn bench_ablation(c: &mut Criterion) {
     let scenario = Scenario::twitter(10_000, 20131030);
     let cost = scenario.cost_model(instances::C3_LARGE);
-    let inst = scenario.instance(100, instances::C3_LARGE).expect("valid capacity");
+    let inst = scenario
+        .instance(100, instances::C3_LARGE)
+        .expect("valid capacity");
     let selection = GreedySelectPairs::new().select(&inst).expect("gsp");
 
     // Quality impact, reported once.
     for (name, cfg) in [
         ("volume-order", CbpConfig::full()),
-        ("rate-order", CbpConfig { expensive_order: ExpensiveOrder::Rate, ..CbpConfig::full() }),
-        ("exact-vm-estimate", CbpConfig { exact_new_vm_estimate: true, ..CbpConfig::full() }),
+        (
+            "rate-order",
+            CbpConfig {
+                expensive_order: ExpensiveOrder::Rate,
+                ..CbpConfig::full()
+            },
+        ),
+        (
+            "exact-vm-estimate",
+            CbpConfig {
+                exact_new_vm_estimate: true,
+                ..CbpConfig::full()
+            },
+        ),
     ] {
         let a = CustomBinPacking::new(cfg)
             .allocate(inst.workload(), &selection, inst.capacity(), &cost)
@@ -50,8 +64,20 @@ fn bench_ablation(c: &mut Criterion) {
     group.sample_size(10);
     for (name, cfg) in [
         ("cbp/volume-order", CbpConfig::full()),
-        ("cbp/rate-order", CbpConfig { expensive_order: ExpensiveOrder::Rate, ..CbpConfig::full() }),
-        ("cbp/exact-vm-estimate", CbpConfig { exact_new_vm_estimate: true, ..CbpConfig::full() }),
+        (
+            "cbp/rate-order",
+            CbpConfig {
+                expensive_order: ExpensiveOrder::Rate,
+                ..CbpConfig::full()
+            },
+        ),
+        (
+            "cbp/exact-vm-estimate",
+            CbpConfig {
+                exact_new_vm_estimate: true,
+                ..CbpConfig::full()
+            },
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, &cfg| {
             let alloc = CustomBinPacking::new(cfg);

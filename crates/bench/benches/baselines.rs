@@ -16,7 +16,9 @@ use std::hint::black_box;
 fn bench_baselines(c: &mut Criterion) {
     let scenario = Scenario::spotify(20_000, 20140113);
     let cost = scenario.cost_model(instances::C3_LARGE);
-    let inst = scenario.instance(100, instances::C3_LARGE).expect("valid capacity");
+    let inst = scenario
+        .instance(100, instances::C3_LARGE)
+        .expect("valid capacity");
     let selection = GreedySelectPairs::new().select(&inst).expect("gsp");
 
     // Quality snapshot, printed once beside the runtime numbers.

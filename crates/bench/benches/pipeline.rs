@@ -8,13 +8,17 @@ use mcss_core::{AllocatorKind, SelectorKind, Solver, SolverParams};
 use std::hint::black_box;
 
 fn bench_pipeline(c: &mut Criterion) {
-    let scenarios =
-        [Scenario::spotify(20_000, 20140113), Scenario::twitter(10_000, 20131030)];
+    let scenarios = [
+        Scenario::spotify(20_000, 20140113),
+        Scenario::twitter(10_000, 20131030),
+    ];
     for scenario in &scenarios {
         let cost = scenario.cost_model(instances::C3_LARGE);
         let mut group = c.benchmark_group(format!("pipeline/{}", scenario.name));
         group.sample_size(10);
-        let inst = scenario.instance(100, instances::C3_LARGE).expect("valid capacity");
+        let inst = scenario
+            .instance(100, instances::C3_LARGE)
+            .expect("valid capacity");
         group.bench_with_input(BenchmarkId::new("GSP+CBP", 100), &inst, |b, inst| {
             let solver = Solver::default();
             b.iter(|| black_box(solver.solve(inst, &cost).expect("feasible")));

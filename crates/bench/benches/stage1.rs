@@ -8,13 +8,17 @@ use mcss_core::stage1::{GreedySelectPairs, PairSelector, RandomSelectPairs};
 use std::hint::black_box;
 
 fn bench_stage1(c: &mut Criterion) {
-    let scenarios =
-        [Scenario::spotify(20_000, 20140113), Scenario::twitter(10_000, 20131030)];
+    let scenarios = [
+        Scenario::spotify(20_000, 20140113),
+        Scenario::twitter(10_000, 20131030),
+    ];
     for scenario in &scenarios {
         let mut group = c.benchmark_group(format!("stage1/{}", scenario.name));
         group.sample_size(10);
         for tau in [10u64, 100, 1000] {
-            let inst = scenario.instance(tau, instances::C3_LARGE).expect("valid capacity");
+            let inst = scenario
+                .instance(tau, instances::C3_LARGE)
+                .expect("valid capacity");
             group.bench_with_input(BenchmarkId::new("GSP", tau), &inst, |b, inst| {
                 let sel = GreedySelectPairs::new();
                 b.iter(|| black_box(sel.select(inst).expect("gsp")));

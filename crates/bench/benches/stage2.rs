@@ -9,14 +9,18 @@ use mcss_core::stage2::{Allocator, CbpConfig, CustomBinPacking, FirstFitBinPacki
 use std::hint::black_box;
 
 fn bench_stage2(c: &mut Criterion) {
-    let scenarios =
-        [Scenario::spotify(20_000, 20140113), Scenario::twitter(10_000, 20131030)];
+    let scenarios = [
+        Scenario::spotify(20_000, 20140113),
+        Scenario::twitter(10_000, 20131030),
+    ];
     for scenario in &scenarios {
         let cost = scenario.cost_model(instances::C3_LARGE);
         let mut group = c.benchmark_group(format!("stage2/{}", scenario.name));
         group.sample_size(10);
         for tau in [10u64, 1000] {
-            let inst = scenario.instance(tau, instances::C3_LARGE).expect("valid capacity");
+            let inst = scenario
+                .instance(tau, instances::C3_LARGE)
+                .expect("valid capacity");
             let selection = GreedySelectPairs::new().select(&inst).expect("gsp");
             group.bench_with_input(
                 BenchmarkId::new("CBP-full", tau),

@@ -29,27 +29,55 @@ fn main() {
     let twitter = Scenario::twitter(env_size("MCSS_TWITTER_USERS", 20_000), 20131030);
 
     let mut fig2 = String::from("== Fig. 2a ==\n");
-    fig2.push_str(&experiments::fig_cost_metrics(&spotify, instances::C3_LARGE));
+    fig2.push_str(&experiments::fig_cost_metrics(
+        &spotify,
+        instances::C3_LARGE,
+    ));
     fig2.push_str("\n== Fig. 2b ==\n");
-    fig2.push_str(&experiments::fig_cost_metrics(&spotify, instances::C3_XLARGE));
+    fig2.push_str(&experiments::fig_cost_metrics(
+        &spotify,
+        instances::C3_XLARGE,
+    ));
     save(dir, "fig2_spotify_cost.txt", &fig2);
 
     let mut fig3 = String::from("== Fig. 3a ==\n");
-    fig3.push_str(&experiments::fig_cost_metrics(&twitter, instances::C3_LARGE));
+    fig3.push_str(&experiments::fig_cost_metrics(
+        &twitter,
+        instances::C3_LARGE,
+    ));
     fig3.push_str("\n== Fig. 3b ==\n");
-    fig3.push_str(&experiments::fig_cost_metrics(&twitter, instances::C3_XLARGE));
+    fig3.push_str(&experiments::fig_cost_metrics(
+        &twitter,
+        instances::C3_XLARGE,
+    ));
     save(dir, "fig3_twitter_cost.txt", &fig3);
 
     let mut fig45 = String::from("== Fig. 4 (Spotify) ==\n");
-    fig45.push_str(&experiments::fig_stage1_runtime(&spotify, instances::C3_LARGE, 3));
+    fig45.push_str(&experiments::fig_stage1_runtime(
+        &spotify,
+        instances::C3_LARGE,
+        3,
+    ));
     fig45.push_str("\n== Fig. 5 (Twitter) ==\n");
-    fig45.push_str(&experiments::fig_stage1_runtime(&twitter, instances::C3_LARGE, 3));
+    fig45.push_str(&experiments::fig_stage1_runtime(
+        &twitter,
+        instances::C3_LARGE,
+        3,
+    ));
     save(dir, "fig4_5_stage1_runtime.txt", &fig45);
 
     let mut fig67 = String::from("== Fig. 6 (Spotify, c3.large) ==\n");
-    fig67.push_str(&experiments::fig_stage2_runtime(&spotify, instances::C3_LARGE, 3));
+    fig67.push_str(&experiments::fig_stage2_runtime(
+        &spotify,
+        instances::C3_LARGE,
+        3,
+    ));
     fig67.push_str("\n== Fig. 7 (Twitter, c3.large) ==\n");
-    fig67.push_str(&experiments::fig_stage2_runtime(&twitter, instances::C3_LARGE, 2));
+    fig67.push_str(&experiments::fig_stage2_runtime(
+        &twitter,
+        instances::C3_LARGE,
+        2,
+    ));
     save(dir, "fig6_7_stage2_runtime.txt", &fig67);
 
     save(
@@ -58,5 +86,8 @@ fn main() {
         &experiments::fig_trace_analysis(env_size("MCSS_TWITTER_USERS", 100_000), 20131030),
     );
 
-    println!("all experiments done in {:.1}s", started.elapsed().as_secs_f64());
+    println!(
+        "all experiments done in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
 }

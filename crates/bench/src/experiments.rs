@@ -25,7 +25,10 @@ pub fn cost_metric_variants() -> Vec<(&'static str, SolverParams)> {
         ),
         (
             "(a) GSP+FFBP",
-            SolverParams { selector: SelectorKind::Greedy, allocator: AllocatorKind::FirstFit },
+            SolverParams {
+                selector: SelectorKind::Greedy,
+                allocator: AllocatorKind::FirstFit,
+            },
         ),
         (
             "(b) +grouping",
@@ -82,7 +85,9 @@ pub fn fig_cost_metrics(scenario: &Scenario, instance: InstanceType) -> String {
     );
 
     for tau in [10u64, 100, 1000] {
-        let inst = scenario.instance(tau, instance).expect("catalogued capacity is nonzero");
+        let inst = scenario
+            .instance(tau, instance)
+            .expect("catalogued capacity is nonzero");
         let mut t = Table::new(vec![
             format!("τ={tau}"),
             "cost $".into(),
@@ -95,7 +100,9 @@ pub fn fig_cost_metrics(scenario: &Scenario, instance: InstanceType) -> String {
         let lb = lower_bound(inst.workload(), inst.tau(), inst.capacity());
         let lb_cost = lb.cost(&cost);
         for (name, params) in cost_metric_variants() {
-            let outcome = Solver::new(params).solve(&inst, &cost).expect("feasible scenario");
+            let outcome = Solver::new(params)
+                .solve(&inst, &cost)
+                .expect("feasible scenario");
             outcome
                 .allocation
                 .validate(inst.workload(), inst.tau())
@@ -132,7 +139,10 @@ pub fn fig_cost_metrics(scenario: &Scenario, instance: InstanceType) -> String {
         _ => None,
     };
     if let Some(reference) = reference {
-        let _ = writeln!(out, "# paper-reported GSP-vs-RSP savings for this configuration:");
+        let _ = writeln!(
+            out,
+            "# paper-reported GSP-vs-RSP savings for this configuration:"
+        );
         for r in reference {
             let _ = writeln!(out, "#   τ={:<5} {:.1}%", r.tau, r.savings * 100.0);
         }
@@ -252,25 +262,38 @@ pub fn fig_trace_analysis(users: usize, seed: u64) -> String {
     let workload = &trace.workload;
     let stats = workload.stats();
     let mut out = String::new();
-    let _ = writeln!(out, "# Twitter-like trace analysis ({users} users)\n{stats}\n");
+    let _ = writeln!(
+        out,
+        "# Twitter-like trace analysis ({users} users)\n{stats}\n"
+    );
 
     // Fig. 8: CCDF of followers and followings over the raw graph (the
     // 20/2000 anomalies live there; activity filtering smears them).
     let followers = trace.raw_followers.clone();
     let followings = trace.raw_followings.clone();
     let thresholds = [1u64, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000];
-    let mut t = Table::new(vec!["x".into(), "P(#followers>x)".into(), "P(#followings>x)".into()]);
+    let mut t = Table::new(vec![
+        "x".into(),
+        "P(#followers>x)".into(),
+        "P(#followings>x)".into(),
+    ]);
     let cf = analysis::ccdf_at(&followers, &thresholds);
     let cg = analysis::ccdf_at(&followings, &thresholds);
     for ((x, pf), (_, pg)) in cf.iter().zip(&cg) {
         t.row(vec![x.to_string(), format!("{pf:.5}"), format!("{pg:.5}")]);
     }
-    let _ = writeln!(out, "## Fig. 8 — CCDF of #followers / #followings\n{}", t.render());
+    let _ = writeln!(
+        out,
+        "## Fig. 8 — CCDF of #followers / #followings\n{}",
+        t.render()
+    );
     for point in [20u64, 2000] {
         match analysis::spike_strength(&followings, point, 5) {
             Some(s) => {
-                let _ =
-                    writeln!(out, "# followings anomaly at {point}: {s:.1}x the neighbourhood");
+                let _ = writeln!(
+                    out,
+                    "# followings anomaly at {point}: {s:.1}x the neighbourhood"
+                );
             }
             None => {
                 let at = followings.iter().filter(|&&v| v == point).count();
@@ -289,33 +312,57 @@ pub fn fig_trace_analysis(users: usize, seed: u64) -> String {
     for (x, p) in analysis::ccdf_at(&rates, &[1, 10, 100, 1000, 10_000, 100_000]) {
         t.row(vec![x.to_string(), format!("{p:.5}")]);
     }
-    let _ = writeln!(out, "\n## Fig. 9 — CCDF of 10-day event rate\n{}", t.render());
+    let _ = writeln!(
+        out,
+        "\n## Fig. 9 — CCDF of 10-day event rate\n{}",
+        t.render()
+    );
 
     // Fig. 10: mean event rate by follower count (log buckets), over the
     // workload's topics.
     let topic_followers = workload.follower_counts();
     let rates_f: Vec<f64> = rates.iter().map(|&r| r as f64).collect();
-    let mut t = Table::new(vec!["followers≥".into(), "mean rate".into(), "topics".into()]);
+    let mut t = Table::new(vec![
+        "followers≥".into(),
+        "mean rate".into(),
+        "topics".into(),
+    ]);
     for (bucket, mean, n) in analysis::mean_by_log_bucket(&topic_followers, &rates_f, 1) {
-        t.row(vec![bucket.to_string(), format!("{mean:.1}"), n.to_string()]);
+        t.row(vec![
+            bucket.to_string(),
+            format!("{mean:.1}"),
+            n.to_string(),
+        ]);
     }
-    let _ = writeln!(out, "\n## Fig. 10 — mean event rate vs #followers\n{}", t.render());
+    let _ = writeln!(
+        out,
+        "\n## Fig. 10 — mean event rate vs #followers\n{}",
+        t.render()
+    );
 
     // Fig. 11: CCDF of subscription cardinality.
-    let sc = analysis::subscription_cardinalities(&workload);
+    let sc = analysis::subscription_cardinalities(workload);
     let mut t = Table::new(vec!["SC% >".into(), "fraction".into()]);
     for threshold in [0.0001f64, 0.001, 0.01, 0.1, 1.0] {
         let above = sc.iter().filter(|&&v| v > threshold).count() as f64 / sc.len() as f64;
         t.row(vec![format!("{threshold}"), format!("{above:.5}")]);
     }
-    let _ = writeln!(out, "\n## Fig. 11 — CCDF of Subscription Cardinality\n{}", t.render());
+    let _ = writeln!(
+        out,
+        "\n## Fig. 11 — CCDF of Subscription Cardinality\n{}",
+        t.render()
+    );
 
     // Fig. 12: mean SC by following count (log buckets), over the
     // workload's subscribers.
     let sub_followings = workload.interest_degrees();
     let mut t = Table::new(vec!["followings≥".into(), "mean SC%".into(), "subs".into()]);
     for (bucket, mean, n) in analysis::mean_by_log_bucket(&sub_followings, &sc, 1) {
-        t.row(vec![bucket.to_string(), format!("{mean:.4}"), n.to_string()]);
+        t.row(vec![
+            bucket.to_string(),
+            format!("{mean:.4}"),
+            n.to_string(),
+        ]);
     }
     let _ = writeln!(out, "\n## Fig. 12 — mean SC vs #followings\n{}", t.render());
     out
@@ -332,11 +379,8 @@ pub fn fig1_example() -> String {
     b.add_subscriber([t1, t2]).expect("topics exist");
     b.add_subscriber([t2]).expect("topics exist");
     let w = b.build();
-    let selection = mcss_core::Selection::from_per_subscriber(vec![
-        vec![t1, t2],
-        vec![t2, t1],
-        vec![t2],
-    ]);
+    let selection =
+        mcss_core::Selection::from_per_subscriber(vec![vec![t1, t2], vec![t2, t1], vec![t2]]);
     let capacity = Bandwidth::new(70);
     let cost = Ec2CostModel::paper_default(cloud_cost::instances::C3_LARGE);
 
@@ -347,13 +391,18 @@ pub fn fig1_example() -> String {
          (t1,v1) (t1,v2) (t2,v1) (t2,v2) (t2,v3), BC={capacity}"
     );
     for (name, alloc) in [
-        ("FFBinPacking (Fig. 1b)", &FirstFitBinPacking::new() as &dyn Allocator),
+        (
+            "FFBinPacking (Fig. 1b)",
+            &FirstFitBinPacking::new() as &dyn Allocator,
+        ),
         (
             "CustomBinPacking (Fig. 1d)",
             &CustomBinPacking::new(CbpConfig::most_free()) as &dyn Allocator,
         ),
     ] {
-        let a = alloc.allocate(&w, &selection, capacity, &cost).expect("feasible");
+        let a = alloc
+            .allocate(&w, &selection, capacity, &cost)
+            .expect("feasible");
         let _ = writeln!(
             out,
             "\n{name}: {} VMs, total bandwidth {} (incoming {}, outgoing {})",

@@ -16,30 +16,66 @@ pub struct GspSavings {
 
 /// Fig. 2a (Spotify, c3.large): GSP vs RSP savings.
 pub const SPOTIFY_C3LARGE_GSP_SAVINGS: &[GspSavings] = &[
-    GspSavings { tau: 10, savings: 0.33 },
-    GspSavings { tau: 100, savings: 0.276 },
-    GspSavings { tau: 1000, savings: 0.109 },
+    GspSavings {
+        tau: 10,
+        savings: 0.33,
+    },
+    GspSavings {
+        tau: 100,
+        savings: 0.276,
+    },
+    GspSavings {
+        tau: 1000,
+        savings: 0.109,
+    },
 ];
 
 /// Fig. 2b (Spotify, c3.xlarge).
 pub const SPOTIFY_C3XLARGE_GSP_SAVINGS: &[GspSavings] = &[
-    GspSavings { tau: 10, savings: 0.327 },
-    GspSavings { tau: 100, savings: 0.176 },
-    GspSavings { tau: 1000, savings: 0.108 },
+    GspSavings {
+        tau: 10,
+        savings: 0.327,
+    },
+    GspSavings {
+        tau: 100,
+        savings: 0.176,
+    },
+    GspSavings {
+        tau: 1000,
+        savings: 0.108,
+    },
 ];
 
 /// Fig. 3a (Twitter, c3.large).
 pub const TWITTER_C3LARGE_GSP_SAVINGS: &[GspSavings] = &[
-    GspSavings { tau: 10, savings: 0.71 },
-    GspSavings { tau: 100, savings: 0.514 },
-    GspSavings { tau: 1000, savings: 0.291 },
+    GspSavings {
+        tau: 10,
+        savings: 0.71,
+    },
+    GspSavings {
+        tau: 100,
+        savings: 0.514,
+    },
+    GspSavings {
+        tau: 1000,
+        savings: 0.291,
+    },
 ];
 
 /// Fig. 3b (Twitter, c3.xlarge).
 pub const TWITTER_C3XLARGE_GSP_SAVINGS: &[GspSavings] = &[
-    GspSavings { tau: 10, savings: 0.70 },
-    GspSavings { tau: 100, savings: 0.519 },
-    GspSavings { tau: 1000, savings: 0.203 },
+    GspSavings {
+        tau: 10,
+        savings: 0.70,
+    },
+    GspSavings {
+        tau: 100,
+        savings: 0.519,
+    },
+    GspSavings {
+        tau: 1000,
+        savings: 0.203,
+    },
 ];
 
 /// §IV-F: maximum total savings of the full pipeline vs the naive one.
@@ -64,14 +100,20 @@ pub struct RuntimeRelation {
 }
 
 /// Fig. 6: FFBP vs CBP on Spotify — "up to 10 times".
-pub const STAGE2_SPOTIFY_RATIO: RuntimeRelation =
-    RuntimeRelation { name: "FFBP/CBP (Spotify)", ratio: 10.0 };
+pub const STAGE2_SPOTIFY_RATIO: RuntimeRelation = RuntimeRelation {
+    name: "FFBP/CBP (Spotify)",
+    ratio: 10.0,
+};
 /// Fig. 7: FFBP vs CBP on Twitter — "around 1000 times".
-pub const STAGE2_TWITTER_RATIO: RuntimeRelation =
-    RuntimeRelation { name: "FFBP/CBP (Twitter)", ratio: 1000.0 };
+pub const STAGE2_TWITTER_RATIO: RuntimeRelation = RuntimeRelation {
+    name: "FFBP/CBP (Twitter)",
+    ratio: 1000.0,
+};
 /// Fig. 5: GSP vs RSP on Twitter — 1471 s vs 986 s ≈ 1.5.
-pub const STAGE1_TWITTER_RATIO: RuntimeRelation =
-    RuntimeRelation { name: "GSP/RSP (Twitter)", ratio: 1.5 };
+pub const STAGE1_TWITTER_RATIO: RuntimeRelation = RuntimeRelation {
+    name: "GSP/RSP (Twitter)",
+    ratio: 1.5,
+};
 
 #[cfg(test)]
 mod tests {
@@ -97,8 +139,8 @@ mod tests {
 
     #[test]
     fn headline_constants_sane() {
-        assert!(MAX_SAVINGS_TWITTER > MAX_SAVINGS_SPOTIFY);
-        assert!(TYPICAL_LOWER_BOUND_GAP > 1.0);
-        assert!(STAGE2_TWITTER_RATIO.ratio > STAGE2_SPOTIFY_RATIO.ratio);
+        const { assert!(MAX_SAVINGS_TWITTER > MAX_SAVINGS_SPOTIFY) };
+        const { assert!(TYPICAL_LOWER_BOUND_GAP > 1.0) };
+        const { assert!(STAGE2_TWITTER_RATIO.ratio > STAGE2_SPOTIFY_RATIO.ratio) };
     }
 }

@@ -75,8 +75,10 @@ impl Scenario {
             })
             .collect();
         let workload = if clamped > 0 {
-            let interests =
-                workload.subscribers().map(|v| workload.interests(v).to_vec()).collect();
+            let interests = workload
+                .subscribers()
+                .map(|v| workload.interests(v).to_vec())
+                .collect();
             Workload::from_parts(rates, interests)
         } else {
             workload
@@ -93,8 +95,10 @@ impl Scenario {
     /// this scenario's synthetic size and using the effective capacity
     /// calibration.
     pub fn cost_model(&self, instance: InstanceType) -> Ec2CostModel {
-        Ec2CostModel::paper_effective(instance)
-            .with_volume_scale(self.workload.num_subscribers() as u64, self.paper_subscribers)
+        Ec2CostModel::paper_effective(instance).with_volume_scale(
+            self.workload.num_subscribers() as u64,
+            self.paper_subscribers,
+        )
     }
 
     /// An MCSS instance over this scenario at threshold `τ` with the
@@ -113,7 +117,10 @@ impl Scenario {
 /// Reads a `NAME=value` override from the environment, for sizing
 /// experiments without recompiling (e.g. `MCSS_SPOTIFY_SUBS=250000`).
 pub fn env_size(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 #[cfg(test)]

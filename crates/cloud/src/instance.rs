@@ -27,7 +27,11 @@ pub struct InstanceType {
 impl InstanceType {
     /// Defines an instance type. Prefer the constants in [`instances`].
     pub const fn new(name: &'static str, hourly_micros: i64, bandwidth_mbps: u64) -> Self {
-        InstanceType { name, hourly_micros, bandwidth_mbps }
+        InstanceType {
+            name,
+            hourly_micros,
+            bandwidth_mbps,
+        }
     }
 
     /// EC2 API name, e.g. `"c3.large"`.
@@ -57,7 +61,13 @@ impl InstanceType {
 
 impl fmt::Display for InstanceType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}/h, {} mbps)", self.name, self.hourly_price(), self.bandwidth_mbps)
+        write!(
+            f,
+            "{} ({}/h, {} mbps)",
+            self.name,
+            self.hourly_price(),
+            self.bandwidth_mbps
+        )
     }
 }
 

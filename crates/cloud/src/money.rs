@@ -83,7 +83,11 @@ impl Money {
     pub fn mul_ratio(self, numer: u128, denom: u128) -> Money {
         assert!(denom != 0, "zero denominator in money ratio");
         let value = i128::from(self.0);
-        let (abs, neg) = if value < 0 { ((-value) as u128, true) } else { (value as u128, false) };
+        let (abs, neg) = if value < 0 {
+            ((-value) as u128, true)
+        } else {
+            (value as u128, false)
+        };
         let scaled = abs.checked_mul(numer).expect("money ratio overflow");
         let rounded = (scaled + denom / 2) / denom;
         let out = i128::try_from(rounded).expect("money ratio overflow");
@@ -168,7 +172,10 @@ mod tests {
         assert_eq!(Money::from_dollars(3), Money::from_cents(300));
         assert_eq!(Money::from_cents(1), Money::from_micros(10_000));
         assert_eq!(Money::from_dollars_f64(0.15), Money::from_micros(150_000));
-        assert_eq!(Money::from_dollars_f64(-1.5), Money::from_micros(-1_500_000));
+        assert_eq!(
+            Money::from_dollars_f64(-1.5),
+            Money::from_micros(-1_500_000)
+        );
     }
 
     #[test]
@@ -187,7 +194,10 @@ mod tests {
     fn ratio_pricing_rounds_to_nearest() {
         // $0.12 per GB, 1.5 GB => $0.18
         let per_gb = Money::from_cents(12);
-        assert_eq!(per_gb.mul_ratio(1_500_000_000, 1_000_000_000), Money::from_cents(18));
+        assert_eq!(
+            per_gb.mul_ratio(1_500_000_000, 1_000_000_000),
+            Money::from_cents(18)
+        );
         // tiny volumes round to nearest micro-dollar
         assert_eq!(per_gb.mul_ratio(1, 1_000_000_000), Money::ZERO);
         assert_eq!(per_gb.mul_ratio(5, 1_000), Money::from_micros(600));

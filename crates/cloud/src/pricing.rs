@@ -20,12 +20,16 @@ impl BillingWindow {
 
     /// A window of whole hours.
     pub const fn from_hours(hours: u64) -> Self {
-        BillingWindow { seconds: hours * 3600 }
+        BillingWindow {
+            seconds: hours * 3600,
+        }
     }
 
     /// A window of whole days.
     pub const fn from_days(days: u64) -> Self {
-        BillingWindow { seconds: days * 86_400 }
+        BillingWindow {
+            seconds: days * 86_400,
+        }
     }
 
     /// Window length in seconds.
@@ -147,8 +151,7 @@ impl Ec2CostModel {
     /// linearly in the instance's nominal mbps). This is the model to use
     /// when reproducing Figs. 2–7.
     pub fn paper_effective(instance: InstanceType) -> Self {
-        let events =
-            Self::PAPER_EFFECTIVE_EVENTS_PER_64MBPS * instance.bandwidth_mbps() / 64;
+        let events = Self::PAPER_EFFECTIVE_EVENTS_PER_64MBPS * instance.bandwidth_mbps() / 64;
         Self::paper_default(instance).with_capacity_events(events)
     }
 
@@ -225,8 +228,7 @@ impl Ec2CostModel {
         let events = match self.capacity_events_override {
             Some(e) => u128::from(e),
             None => {
-                self.instance.capacity_bytes(self.window.seconds())
-                    / u128::from(self.message_bytes)
+                self.instance.capacity_bytes(self.window.seconds()) / u128::from(self.message_bytes)
             }
         };
         let scaled = events * u128::from(self.scale_synth) / u128::from(self.scale_paper);
@@ -251,7 +253,8 @@ impl CostModel for Ec2CostModel {
     }
 
     fn bandwidth_cost(&self, volume: Bandwidth) -> Money {
-        self.transfer_per_gb.mul_ratio(self.volume_to_bytes(volume), 1_000_000_000)
+        self.transfer_per_gb
+            .mul_ratio(self.volume_to_bytes(volume), 1_000_000_000)
     }
 }
 
@@ -274,12 +277,18 @@ impl LinearCostModel {
 
     /// VM-count-only objective: `C1(x) = per_vm · x`, `C2 = 0`.
     pub const fn vm_only(per_vm: Money) -> Self {
-        LinearCostModel { per_vm, per_event: Money::ZERO }
+        LinearCostModel {
+            per_vm,
+            per_event: Money::ZERO,
+        }
     }
 
     /// Bandwidth-only objective: `C1 = 0`, `C2(v) = per_event · v`.
     pub const fn bandwidth_only(per_event: Money) -> Self {
-        LinearCostModel { per_vm: Money::ZERO, per_event }
+        LinearCostModel {
+            per_vm: Money::ZERO,
+            per_event,
+        }
     }
 }
 
@@ -319,7 +328,10 @@ mod tests {
     fn paper_bandwidth_cost() {
         let m = Ec2CostModel::paper_default(instances::C3_LARGE);
         // 5M events × 200 B = 1 GB => $0.12
-        assert_eq!(m.bandwidth_cost(Bandwidth::new(5_000_000)), Money::from_micros(120_000));
+        assert_eq!(
+            m.bandwidth_cost(Bandwidth::new(5_000_000)),
+            Money::from_micros(120_000)
+        );
         assert_eq!(m.bandwidth_cost(Bandwidth::ZERO), Money::ZERO);
         assert!((m.volume_to_gb(Bandwidth::new(5_000_000)) - 1.0).abs() < 1e-12);
     }
@@ -354,8 +366,8 @@ mod tests {
         let xlarge = Ec2CostModel::paper_effective(instances::C3_XLARGE);
         assert_eq!(xlarge.capacity(), Bandwidth::new(100_000_000));
         // Scale compensation applies to the override too.
-        let scaled = Ec2CostModel::paper_effective(instances::C3_LARGE)
-            .with_volume_scale(49, 4_900_000);
+        let scaled =
+            Ec2CostModel::paper_effective(instances::C3_LARGE).with_volume_scale(49, 4_900_000);
         assert_eq!(scaled.capacity(), Bandwidth::new(500));
         // Pricing is unchanged by the capacity override.
         assert_eq!(large.vm_cost(1), Money::from_dollars(36));
@@ -363,8 +375,7 @@ mod tests {
 
     #[test]
     fn capacity_never_zero() {
-        let tiny = Ec2CostModel::paper_default(instances::C3_LARGE)
-            .with_volume_scale(1, u64::MAX);
+        let tiny = Ec2CostModel::paper_default(instances::C3_LARGE).with_volume_scale(1, u64::MAX);
         assert!(tiny.capacity().get() >= 1);
     }
 
@@ -379,9 +390,15 @@ mod tests {
     fn linear_model() {
         let lm = LinearCostModel::new(Money::from_dollars(1), Money::from_micros(2));
         assert_eq!(lm.vm_cost(5), Money::from_dollars(5));
-        assert_eq!(lm.bandwidth_cost(Bandwidth::new(10)), Money::from_micros(20));
+        assert_eq!(
+            lm.bandwidth_cost(Bandwidth::new(10)),
+            Money::from_micros(20)
+        );
         let vm_only = LinearCostModel::vm_only(Money::from_dollars(1));
-        assert_eq!(vm_only.bandwidth_cost(Bandwidth::new(1_000_000)), Money::ZERO);
+        assert_eq!(
+            vm_only.bandwidth_cost(Bandwidth::new(1_000_000)),
+            Money::ZERO
+        );
         let bw_only = LinearCostModel::bandwidth_only(Money::from_micros(1));
         assert_eq!(bw_only.vm_cost(99), Money::ZERO);
     }

@@ -46,7 +46,10 @@ impl ReservedCostModel {
             hourly_factor > 0.0 && hourly_factor <= 1.0,
             "hourly factor must be in (0, 1]"
         );
-        assert!(upfront_per_vm >= Money::ZERO, "upfront fee cannot be negative");
+        assert!(
+            upfront_per_vm >= Money::ZERO,
+            "upfront fee cannot be negative"
+        );
         ReservedCostModel {
             on_demand,
             upfront_per_vm,
@@ -79,7 +82,9 @@ impl ReservedCostModel {
     }
 
     fn discounted_rental(&self, vms: usize) -> Money {
-        self.on_demand.vm_cost(vms).mul_ratio(u128::from(self.hourly_factor_millis), 1000)
+        self.on_demand
+            .vm_cost(vms)
+            .mul_ratio(u128::from(self.hourly_factor_millis), 1000)
     }
 }
 

@@ -42,7 +42,10 @@ impl VmAllocation {
 
     /// Number of pairs (outgoing delivery streams).
     pub fn pair_count(&self) -> u64 {
-        self.placements.iter().map(|p| p.subscribers.len() as u64).sum()
+        self.placements
+            .iter()
+            .map(|p| p.subscribers.len() as u64)
+            .sum()
     }
 
     /// Recomputes outgoing volume from the placements.
@@ -55,7 +58,10 @@ impl VmAllocation {
 
     /// Recomputes incoming volume (one stream per distinct topic).
     pub fn incoming_volume(&self, workload: &Workload) -> Bandwidth {
-        self.placements.iter().map(|p| Bandwidth::from(workload.rate(p.topic))).sum()
+        self.placements
+            .iter()
+            .map(|p| Bandwidth::from(workload.rate(p.topic)))
+            .sum()
     }
 }
 
@@ -117,16 +123,35 @@ impl fmt::Display for AllocationError {
             AllocationError::CapacityExceeded { vm, used, capacity } => {
                 write!(f, "vm {vm} uses {used} but capacity is {capacity}")
             }
-            AllocationError::BandwidthMismatch { vm, recorded, actual } => {
-                write!(f, "vm {vm} recorded {recorded} but placements total {actual}")
+            AllocationError::BandwidthMismatch {
+                vm,
+                recorded,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "vm {vm} recorded {recorded} but placements total {actual}"
+                )
             }
-            AllocationError::DuplicatePair { vm, topic, subscriber } => {
+            AllocationError::DuplicatePair {
+                vm,
+                topic,
+                subscriber,
+            } => {
                 write!(f, "vm {vm} holds pair ({topic}, {subscriber}) twice")
             }
-            AllocationError::UnsatisfiedSubscriber { subscriber, delivered, required } => {
+            AllocationError::UnsatisfiedSubscriber {
+                subscriber,
+                delivered,
+                required,
+            } => {
                 write!(f, "{subscriber} receives {delivered}, needs {required}")
             }
-            AllocationError::ForeignPair { vm, topic, subscriber } => {
+            AllocationError::ForeignPair {
+                vm,
+                topic,
+                subscriber,
+            } => {
                 write!(f, "vm {vm} serves ({topic}, {subscriber}) but {subscriber} never subscribed to {topic}")
             }
         }
@@ -263,7 +288,11 @@ impl Allocation {
                     return Err(AllocationError::DuplicatePair {
                         vm: i,
                         topic: p.topic,
-                        subscriber: p.subscribers.first().copied().unwrap_or(SubscriberId::new(0)),
+                        subscriber: p
+                            .subscribers
+                            .first()
+                            .copied()
+                            .unwrap_or(SubscriberId::new(0)),
                     });
                 }
                 prev = Some(p.topic);
@@ -334,7 +363,10 @@ mod tests {
         entries
             .iter()
             .map(|&(t, vs)| {
-                (TopicId::new(t), vs.iter().map(|&v| SubscriberId::new(v)).collect())
+                (
+                    TopicId::new(t),
+                    vs.iter().map(|&v| SubscriberId::new(v)).collect(),
+                )
             })
             .collect()
     }
@@ -373,8 +405,11 @@ mod tests {
     #[test]
     fn validate_catches_capacity_violation() {
         let w = workload();
-        let a =
-            Allocation::from_tables(vec![table(&[(0, &[0]), (1, &[0, 1])])], &w, Bandwidth::new(69));
+        let a = Allocation::from_tables(
+            vec![table(&[(0, &[0]), (1, &[0, 1])])],
+            &w,
+            Bandwidth::new(69),
+        );
         assert_eq!(
             a.validate(&w, Rate::ZERO),
             Err(AllocationError::CapacityExceeded {
@@ -408,7 +443,9 @@ mod tests {
     fn validate_catches_duplicate_subscriber() {
         let w = workload();
         let mut t = table(&[(1, &[0])]);
-        t.get_mut(&TopicId::new(1)).unwrap().push(SubscriberId::new(0));
+        t.get_mut(&TopicId::new(1))
+            .unwrap()
+            .push(SubscriberId::new(0));
         let a = Allocation::from_tables(vec![t], &w, Bandwidth::new(100));
         assert!(matches!(
             a.validate(&w, Rate::ZERO),

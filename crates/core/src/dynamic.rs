@@ -39,7 +39,10 @@ impl DriftModel {
     /// `[0, 1]`.
     pub fn evolve(&self, workload: &Workload, epoch: u64) -> Workload {
         assert!(self.rate_sigma >= 0.0, "sigma must be non-negative");
-        assert!((0.0..=1.0).contains(&self.churn_prob), "churn must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&self.churn_prob),
+            "churn must be a probability"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(epoch));
         let rates: Vec<Rate> = workload
             .rates()
@@ -100,7 +103,12 @@ pub struct Reprovisioner {
 impl Reprovisioner {
     /// Creates a re-provisioner around a solver configuration.
     pub fn new(solver: Solver) -> Self {
-        Reprovisioner { solver, previous_vms: None, cumulative_cost: Money::ZERO, epoch: 0 }
+        Reprovisioner {
+            solver,
+            previous_vms: None,
+            cumulative_cost: Money::ZERO,
+            epoch: 0,
+        }
     }
 
     /// Solves the given epoch instance and accumulates statistics.
@@ -163,7 +171,11 @@ mod tests {
     #[test]
     fn drift_is_deterministic_per_epoch() {
         let w = base_workload();
-        let drift = DriftModel { rate_sigma: 0.3, churn_prob: 0.5, seed: 11 };
+        let drift = DriftModel {
+            rate_sigma: 0.3,
+            churn_prob: 0.5,
+            seed: 11,
+        };
         let a = drift.evolve(&w, 4);
         let b = drift.evolve(&w, 4);
         assert_eq!(a.rates(), b.rates());
@@ -174,7 +186,11 @@ mod tests {
     #[test]
     fn drift_keeps_rates_positive_and_counts_stable() {
         let w = base_workload();
-        let drift = DriftModel { rate_sigma: 1.5, churn_prob: 1.0, seed: 7 };
+        let drift = DriftModel {
+            rate_sigma: 1.5,
+            churn_prob: 1.0,
+            seed: 7,
+        };
         let evolved = drift.evolve(&w, 0);
         assert_eq!(evolved.num_topics(), w.num_topics());
         assert_eq!(evolved.num_subscribers(), w.num_subscribers());
@@ -186,7 +202,11 @@ mod tests {
     #[test]
     fn zero_drift_is_identity_on_rates() {
         let w = base_workload();
-        let drift = DriftModel { rate_sigma: 0.0, churn_prob: 0.0, seed: 1 };
+        let drift = DriftModel {
+            rate_sigma: 0.0,
+            churn_prob: 0.0,
+            seed: 1,
+        };
         let evolved = drift.evolve(&w, 9);
         assert_eq!(evolved.rates(), w.rates());
         for v in w.subscribers() {
@@ -196,14 +216,17 @@ mod tests {
 
     #[test]
     fn reprovisioner_accumulates_over_epochs() {
-        let drift = DriftModel { rate_sigma: 0.2, churn_prob: 0.3, seed: 3 };
+        let drift = DriftModel {
+            rate_sigma: 0.2,
+            churn_prob: 0.3,
+            seed: 3,
+        };
         let cost = LinearCostModel::new(Money::from_dollars(1), Money::from_micros(1));
         let mut re = Reprovisioner::new(Solver::default());
         let mut w = base_workload();
         let mut last_cumulative = Money::ZERO;
         for epoch in 0..5 {
-            let inst =
-                McssInstance::new(w.clone(), Rate::new(15), Bandwidth::new(120)).unwrap();
+            let inst = McssInstance::new(w.clone(), Rate::new(15), Bandwidth::new(120)).unwrap();
             let r = re.step(&inst, &cost).unwrap();
             assert_eq!(r.epoch, epoch);
             assert!(r.cumulative_cost >= last_cumulative);
@@ -218,8 +241,7 @@ mod tests {
     fn first_epoch_delta_is_full_fleet() {
         let cost = LinearCostModel::vm_only(Money::from_dollars(1));
         let mut re = Reprovisioner::new(Solver::default());
-        let inst =
-            McssInstance::new(base_workload(), Rate::new(10), Bandwidth::new(100)).unwrap();
+        let inst = McssInstance::new(base_workload(), Rate::new(10), Bandwidth::new(100)).unwrap();
         let r = re.step(&inst, &cost).unwrap();
         assert_eq!(r.vm_delta, r.report.vm_count as i64);
     }

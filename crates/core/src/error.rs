@@ -40,15 +40,25 @@ impl fmt::Display for McssError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             McssError::ZeroCapacity => write!(f, "per-VM bandwidth capacity must be positive"),
-            McssError::InfeasibleTopic { topic, required, capacity } => write!(
+            McssError::InfeasibleTopic {
+                topic,
+                required,
+                capacity,
+            } => write!(
                 f,
                 "topic {topic} needs {required} on a single VM but capacity is {capacity}"
             ),
             McssError::TooLargeForExact { pairs, limit } => {
-                write!(f, "exact solver limited to {limit} pairs, instance has {pairs}")
+                write!(
+                    f,
+                    "exact solver limited to {limit} pairs, instance has {pairs}"
+                )
             }
             McssError::TooLargeForOptimalSelection { cells, budget } => {
-                write!(f, "optimal selection needs {cells} DP cells, budget is {budget}")
+                write!(
+                    f,
+                    "optimal selection needs {cells} DP cells, budget is {budget}"
+                )
             }
         }
     }

@@ -25,7 +25,10 @@ pub struct ExactSolver {
 
 impl Default for ExactSolver {
     fn default() -> Self {
-        ExactSolver { max_pairs: 12, max_nodes: 50_000_000 }
+        ExactSolver {
+            max_pairs: 12,
+            max_nodes: 50_000_000,
+        }
     }
 }
 
@@ -91,8 +94,6 @@ impl ExactSolver {
                     subsets.push(subset);
                 }
             }
-            //
-
             options.push(subsets);
         }
 
@@ -100,13 +101,7 @@ impl ExactSolver {
         let mut nodes: u64 = 0;
         let mut pairs: Vec<TopicId> = Vec::new();
         self.pick_selection(
-            instance,
-            cost,
-            &options,
-            0,
-            &mut pairs,
-            &mut best,
-            &mut nodes,
+            instance, cost, &options, 0, &mut pairs, &mut best, &mut nodes,
         )?;
         // Every subscriber has at least the full-interest subset, so a
         // selection always exists; packing can still be infeasible only
@@ -124,7 +119,10 @@ impl ExactSolver {
                     };
                 }
             }
-            McssError::TooLargeForExact { pairs: total_pairs, limit: self.max_pairs }
+            McssError::TooLargeForExact {
+                pairs: total_pairs,
+                limit: self.max_pairs,
+            }
         })
     }
 
@@ -188,60 +186,74 @@ impl ExactSolver {
             used: Bandwidth,
             topics: Vec<TopicId>,
         }
-        fn recurse(
-            idx: usize,
-            pairs: &[TopicId],
-            vms: &mut Vec<Vm>,
-            rate_of: &dyn Fn(TopicId) -> Rate,
+        // Everything invariant across the recursion, so the walk itself
+        // only threads the mutable packing state.
+        struct Search<'a> {
+            pairs: &'a [TopicId],
+            rate_of: &'a dyn Fn(TopicId) -> Rate,
             capacity: Bandwidth,
-            cost: &dyn CostModel,
-            best: &mut Option<ExactSolution>,
-            nodes: &mut u64,
+            cost: &'a dyn CostModel,
             max_nodes: u64,
-        ) -> Result<(), McssError> {
-            *nodes += 1;
-            if *nodes > max_nodes {
-                return Err(McssError::TooLargeForExact {
-                    pairs: pairs.len() as u64,
-                    limit: max_nodes,
-                });
-            }
-            if idx == pairs.len() {
-                let volume: Bandwidth = vms.iter().map(|vm| vm.used).sum();
-                let total = cost.total_cost(vms.len(), volume);
-                if best.map_or(true, |b| total < b.cost) {
-                    *best = Some(ExactSolution { cost: total, vms: vms.len() as u64, volume });
+        }
+        impl Search<'_> {
+            fn recurse(
+                &self,
+                idx: usize,
+                vms: &mut Vec<Vm>,
+                best: &mut Option<ExactSolution>,
+                nodes: &mut u64,
+            ) -> Result<(), McssError> {
+                *nodes += 1;
+                if *nodes > self.max_nodes {
+                    return Err(McssError::TooLargeForExact {
+                        pairs: self.pairs.len() as u64,
+                        limit: self.max_nodes,
+                    });
                 }
-                return Ok(());
-            }
-            let t = pairs[idx];
-            let rate = rate_of(t);
-            for i in 0..vms.len() {
-                let delta = if vms[i].topics.contains(&t) {
-                    rate.volume()
-                } else {
-                    rate.pair_cost()
-                };
-                if vms[i].used + delta <= capacity {
-                    let added_topic = !vms[i].topics.contains(&t);
-                    vms[i].used += delta;
-                    if added_topic {
-                        vms[i].topics.push(t);
+                if idx == self.pairs.len() {
+                    let volume: Bandwidth = vms.iter().map(|vm| vm.used).sum();
+                    let total = self.cost.total_cost(vms.len(), volume);
+                    if best.is_none_or(|b| total < b.cost) {
+                        *best = Some(ExactSolution {
+                            cost: total,
+                            vms: vms.len() as u64,
+                            volume,
+                        });
                     }
-                    recurse(idx + 1, pairs, vms, rate_of, capacity, cost, best, nodes, max_nodes)?;
-                    vms[i].used -= delta;
-                    if added_topic {
-                        vms[i].topics.pop();
+                    return Ok(());
+                }
+                let t = self.pairs[idx];
+                let rate = (self.rate_of)(t);
+                for i in 0..vms.len() {
+                    let delta = if vms[i].topics.contains(&t) {
+                        rate.volume()
+                    } else {
+                        rate.pair_cost()
+                    };
+                    if vms[i].used + delta <= self.capacity {
+                        let added_topic = !vms[i].topics.contains(&t);
+                        vms[i].used += delta;
+                        if added_topic {
+                            vms[i].topics.push(t);
+                        }
+                        self.recurse(idx + 1, vms, best, nodes)?;
+                        vms[i].used -= delta;
+                        if added_topic {
+                            vms[i].topics.pop();
+                        }
                     }
                 }
+                // Canonical: a new VM may only be the next one.
+                if rate.pair_cost() <= self.capacity {
+                    vms.push(Vm {
+                        used: rate.pair_cost(),
+                        topics: vec![t],
+                    });
+                    self.recurse(idx + 1, vms, best, nodes)?;
+                    vms.pop();
+                }
+                Ok(())
             }
-            // Canonical: a new VM may only be the next one.
-            if rate.pair_cost() <= capacity {
-                vms.push(Vm { used: rate.pair_cost(), topics: vec![t] });
-                recurse(idx + 1, pairs, vms, rate_of, capacity, cost, best, nodes, max_nodes)?;
-                vms.pop();
-            }
-            Ok(())
         }
         let rate_of = |t: TopicId| workload.rate(t);
         let mut vms: Vec<Vm> = Vec::new();
@@ -249,7 +261,14 @@ impl ExactSolver {
         // symmetric partitions early.
         let mut sorted: Vec<TopicId> = pairs.to_vec();
         sorted.sort_unstable();
-        recurse(0, &sorted, &mut vms, &rate_of, capacity, cost, best, nodes, self.max_nodes)
+        let search = Search {
+            pairs: &sorted,
+            rate_of: &rate_of,
+            capacity,
+            cost,
+            max_nodes: self.max_nodes,
+        };
+        search.recurse(0, &mut vms, best, nodes)
     }
 }
 
@@ -268,7 +287,8 @@ mod tests {
             b.add_topic(Rate::new(r)).unwrap();
         }
         for tv in interests {
-            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t))).unwrap();
+            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t)))
+                .unwrap();
         }
         McssInstance::new(b.build(), Rate::new(tau), Bandwidth::new(cap)).unwrap()
     }
@@ -319,7 +339,8 @@ mod tests {
 
     #[test]
     fn exact_within_lower_bound_and_heuristic_sandwich() {
-        let cases: Vec<(Vec<u64>, Vec<&[u32]>, u64, u64)> = vec![
+        type Case = (Vec<u64>, Vec<&'static [u32]>, u64, u64);
+        let cases: Vec<Case> = vec![
             (vec![9, 5, 3], vec![&[0, 1, 2], &[1, 2]], 8, 40),
             (vec![20, 10], vec![&[0, 1], &[0]], 15, 70),
             (vec![7, 7, 7], vec![&[0, 1], &[1, 2], &[0, 2]], 7, 30),
@@ -347,11 +368,19 @@ mod tests {
 
     #[test]
     fn pair_limit_enforced() {
-        let inst = instance(&[1; 5], &[&[0, 1, 2, 3, 4], &[0, 1, 2, 3, 4], &[0, 1, 2, 3, 4]], 5, 100);
+        let inst = instance(
+            &[1; 5],
+            &[&[0, 1, 2, 3, 4], &[0, 1, 2, 3, 4], &[0, 1, 2, 3, 4]],
+            5,
+            100,
+        );
         let cost = LinearCostModel::vm_only(dollars(1));
-        let err = ExactSolver { max_pairs: 4, max_nodes: 1000 }
-            .solve(&inst, &cost)
-            .unwrap_err();
+        let err = ExactSolver {
+            max_pairs: 4,
+            max_nodes: 1000,
+        }
+        .solve(&inst, &cost)
+        .unwrap_err();
         assert!(matches!(err, McssError::TooLargeForExact { pairs: 15, .. }));
     }
 
@@ -361,14 +390,18 @@ mod tests {
         let cost = LinearCostModel::vm_only(dollars(1));
         let solver = ExactSolver::new();
         assert!(solver.decide_dcss(&inst, &cost, dollars(1)).unwrap());
-        assert!(!solver.decide_dcss(&inst, &cost, Money::from_cents(99)).unwrap());
+        assert!(!solver
+            .decide_dcss(&inst, &cost, Money::from_cents(99))
+            .unwrap());
     }
 
     #[test]
     fn infeasible_decides_false() {
         let inst = instance(&[100], &[&[0]], 100, 50);
         let cost = LinearCostModel::vm_only(dollars(1));
-        assert!(!ExactSolver::new().decide_dcss(&inst, &cost, dollars(100)).unwrap());
+        assert!(!ExactSolver::new()
+            .decide_dcss(&inst, &cost, dollars(100))
+            .unwrap());
         assert!(matches!(
             ExactSolver::new().solve(&inst, &cost),
             Err(McssError::InfeasibleTopic { .. })

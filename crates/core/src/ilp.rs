@@ -97,8 +97,14 @@ pub fn export_lp(instance: &McssInstance, cost: &dyn CostModel, options: IlpOpti
         let mut row = format!(" cap_{b}:");
         for v in workload.subscribers() {
             for &t in workload.interests(v) {
-                let _ =
-                    write!(row, " + {} x_{}_{}_{}", workload.rate(t).get(), t.raw(), v.raw(), b);
+                let _ = write!(
+                    row,
+                    " + {} x_{}_{}_{}",
+                    workload.rate(t).get(),
+                    t.raw(),
+                    v.raw(),
+                    b
+                );
             }
         }
         for t in workload.topics() {
@@ -143,7 +149,13 @@ pub fn export_lp(instance: &McssInstance, cost: &dyn CostModel, options: IlpOpti
         }
         let mut row = format!(" sat_{}:", v.raw());
         for &t in workload.interests(v) {
-            let _ = write!(row, " + {} w_{}_{}", workload.rate(t).get(), t.raw(), v.raw());
+            let _ = write!(
+                row,
+                " + {} w_{}_{}",
+                workload.rate(t).get(),
+                t.raw(),
+                v.raw()
+            );
         }
         let _ = writeln!(lp, "{row} >= {tau_v}");
     }
@@ -219,7 +231,10 @@ mod tests {
     #[test]
     fn lp_capacity_couples_to_rental() {
         let lp = export_lp(&tiny_instance(), &cost(), IlpOptions { max_vms: 1 });
-        assert!(lp.contains("- 40 y_0 <= 0"), "capacity row must reference BC·y");
+        assert!(
+            lp.contains("- 40 y_0 <= 0"),
+            "capacity row must reference BC·y"
+        );
     }
 
     #[test]

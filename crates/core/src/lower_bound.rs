@@ -66,7 +66,10 @@ pub fn lower_bound(workload: &Workload, tau: Rate, capacity: Bandwidth) -> Lower
             .expect("non-empty interests");
         volume += tau_v.max(min_rate);
     }
-    LowerBound { volume, vms: volume.div_ceil_by(capacity) }
+    LowerBound {
+        volume,
+        vms: volume.div_ceil_by(capacity),
+    }
 }
 
 #[cfg(test)]
@@ -84,7 +87,8 @@ mod tests {
             b.add_topic(Rate::new(r)).unwrap();
         }
         for tv in interests {
-            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t))).unwrap();
+            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t)))
+                .unwrap();
         }
         b.build()
     }
@@ -127,9 +131,15 @@ mod tests {
 
     #[test]
     fn cost_combines_both_terms() {
-        let lb = LowerBound { volume: Bandwidth::new(100), vms: 3 };
+        let lb = LowerBound {
+            volume: Bandwidth::new(100),
+            vms: 3,
+        };
         let m = LinearCostModel::new(Money::from_dollars(2), Money::from_micros(5));
-        assert_eq!(lb.cost(&m), Money::from_dollars(6) + Money::from_micros(500));
+        assert_eq!(
+            lb.cost(&m),
+            Money::from_dollars(6) + Money::from_micros(500)
+        );
     }
 
     /// Theorem A.1's actual claim: every heuristic solution costs at least
@@ -143,8 +153,7 @@ mod tests {
         let cost = LinearCostModel::new(Money::from_dollars(1), Money::from_micros(3));
         let capacity = Bandwidth::new(120);
         for tau in [1u64, 8, 20, 50, 500] {
-            let inst =
-                McssInstance::new(w.clone(), Rate::new(tau), capacity).unwrap();
+            let inst = McssInstance::new(w.clone(), Rate::new(tau), capacity).unwrap();
             let lb = lower_bound(&w, inst.tau(), capacity);
             let selectors: Vec<Box<dyn PairSelector>> = vec![
                 Box::new(GreedySelectPairs::new()),

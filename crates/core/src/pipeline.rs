@@ -80,7 +80,10 @@ pub struct SolverParams {
 impl Default for SolverParams {
     /// The paper's recommended combination: GSP + fully-optimized CBP.
     fn default() -> Self {
-        SolverParams { selector: SelectorKind::Greedy, allocator: AllocatorKind::custom_full() }
+        SolverParams {
+            selector: SelectorKind::Greedy,
+            allocator: AllocatorKind::custom_full(),
+        }
     }
 }
 
@@ -155,7 +158,11 @@ impl fmt::Display for SolveReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "pipeline:        {} + {}", self.selector, self.allocator)?;
         writeln!(f, "pairs selected:  {}", self.pairs_selected)?;
-        writeln!(f, "VMs:             {} (lower bound {})", self.vm_count, self.lower_bound_vms)?;
+        writeln!(
+            f,
+            "VMs:             {} (lower bound {})",
+            self.vm_count, self.lower_bound_vms
+        )?;
         writeln!(
             f,
             "bandwidth:       {} (out {}, in {}; lower bound {})",
@@ -211,8 +218,7 @@ impl Solver {
         let stage1_time = t0.elapsed();
 
         let t1 = Instant::now();
-        let allocation =
-            allocator.allocate(workload, &selection, instance.capacity(), cost)?;
+        let allocation = allocator.allocate(workload, &selection, instance.capacity(), cost)?;
         let stage2_time = t1.elapsed();
 
         let lb = lower_bound(workload, instance.tau(), instance.capacity());
@@ -236,7 +242,11 @@ impl Solver {
             stage1_time,
             stage2_time,
         };
-        Ok(SolveOutcome { allocation, selection, report })
+        Ok(SolveOutcome {
+            allocation,
+            selection,
+            report,
+        })
     }
 }
 
@@ -267,7 +277,10 @@ mod tests {
     fn default_pipeline_solves_and_validates() {
         let inst = instance();
         let outcome = Solver::default().solve(&inst, &cost()).unwrap();
-        outcome.allocation.validate(inst.workload(), inst.tau()).unwrap();
+        outcome
+            .allocation
+            .validate(inst.workload(), inst.tau())
+            .unwrap();
         assert_eq!(outcome.report.selector, "GSP");
         assert_eq!(outcome.report.allocator, "CBP");
         assert!(outcome.report.vm_count >= 1);
@@ -292,7 +305,10 @@ mod tests {
     fn lower_bound_never_above_any_pipeline() {
         let inst = instance();
         let pipelines = [
-            SolverParams { selector: SelectorKind::Greedy, allocator: AllocatorKind::FirstFit },
+            SolverParams {
+                selector: SelectorKind::Greedy,
+                allocator: AllocatorKind::FirstFit,
+            },
             SolverParams {
                 selector: SelectorKind::Random { seed: 3 },
                 allocator: AllocatorKind::FirstFit,
@@ -315,7 +331,10 @@ mod tests {
                 p
             );
             assert!(outcome.report.optimality_gap() >= 1.0);
-            outcome.allocation.validate(inst.workload(), inst.tau()).unwrap();
+            outcome
+                .allocation
+                .validate(inst.workload(), inst.tau())
+                .unwrap();
         }
     }
 

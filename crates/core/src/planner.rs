@@ -61,10 +61,12 @@ pub fn plan_instance_type(
     }
     let mut ranked = Vec::with_capacity(candidates.len());
     for cost in candidates {
-        let instance =
-            McssInstance::new(Arc::clone(&workload), tau, cost.capacity())?;
+        let instance = McssInstance::new(Arc::clone(&workload), tau, cost.capacity())?;
         let outcome = solver.solve(&instance, cost)?;
-        ranked.push(PlannedOption { name: cost.instance().name(), report: outcome.report });
+        ranked.push(PlannedOption {
+            name: cost.instance().name(),
+            report: outcome.report,
+        });
     }
     ranked.sort_by(|a, b| {
         a.report
@@ -87,8 +89,11 @@ mod tests {
             .map(|i| b.add_topic(Rate::new(100 + i * 37)).unwrap())
             .collect();
         for vi in 0..60u32 {
-            let tv: Vec<TopicId> =
-                ts.iter().copied().filter(|t| (t.raw() + vi) % 3 != 0).collect();
+            let tv: Vec<TopicId> = ts
+                .iter()
+                .copied()
+                .filter(|t| (t.raw() + vi) % 3 != 0)
+                .collect();
             b.add_subscriber(tv).unwrap();
         }
         Arc::new(b.build())
@@ -124,9 +129,7 @@ mod tests {
                 .find(|o| o.name == n)
                 .unwrap_or_else(|| panic!("{n} missing"))
         };
-        assert!(
-            by_name("c3.xlarge").report.vm_count <= by_name("c3.large").report.vm_count
-        );
+        assert!(by_name("c3.xlarge").report.vm_count <= by_name("c3.large").report.vm_count);
     }
 
     #[test]

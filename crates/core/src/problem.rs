@@ -47,7 +47,11 @@ impl McssInstance {
         if capacity.is_zero() {
             return Err(McssError::ZeroCapacity);
         }
-        Ok(McssInstance { workload: workload.into(), tau, capacity })
+        Ok(McssInstance {
+            workload: workload.into(),
+            tau,
+            capacity,
+        })
     }
 
     /// The underlying workload.
@@ -82,7 +86,11 @@ impl McssInstance {
     /// Returns a copy of this instance with a different threshold —
     /// convenient for τ sweeps over a shared workload.
     pub fn with_tau(&self, tau: Rate) -> Self {
-        McssInstance { workload: Arc::clone(&self.workload), tau, capacity: self.capacity }
+        McssInstance {
+            workload: Arc::clone(&self.workload),
+            tau,
+            capacity: self.capacity,
+        }
     }
 
     /// Returns a copy with a different capacity — convenient for instance
@@ -95,7 +103,11 @@ impl McssInstance {
         if capacity.is_zero() {
             return Err(McssError::ZeroCapacity);
         }
-        Ok(McssInstance { workload: Arc::clone(&self.workload), tau: self.tau, capacity })
+        Ok(McssInstance {
+            workload: Arc::clone(&self.workload),
+            tau: self.tau,
+            capacity,
+        })
     }
 
     /// Checks that every topic *could* be placed on a VM (`2·ev_t ≤ BC`).
@@ -157,7 +169,10 @@ mod tests {
     fn with_capacity_validates() {
         let inst = instance(10, 100);
         assert!(inst.with_capacity(Bandwidth::new(50)).is_ok());
-        assert_eq!(inst.with_capacity(Bandwidth::ZERO).unwrap_err(), McssError::ZeroCapacity);
+        assert_eq!(
+            inst.with_capacity(Bandwidth::ZERO).unwrap_err(),
+            McssError::ZeroCapacity
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub struct ReducedInstance {
 /// zero elements are rejected the same way (the Partition problem is over
 /// positive integers).
 pub fn partition_to_dcss(xs: &[u64]) -> Result<ReducedInstance, McssError> {
-    if xs.is_empty() || xs.iter().any(|&x| x == 0) {
+    if xs.is_empty() || xs.contains(&0) {
         return Err(McssError::ZeroCapacity);
     }
     let total: u64 = xs.iter().sum();
@@ -60,7 +60,7 @@ pub fn partition_to_dcss(xs: &[u64]) -> Result<ReducedInstance, McssError> {
 /// The empty set partitions trivially (both halves empty).
 pub fn subset_sum_partitionable(xs: &[u64]) -> bool {
     let total: u64 = xs.iter().sum();
-    if total % 2 != 0 {
+    if !total.is_multiple_of(2) {
         return false;
     }
     let target = (total / 2) as usize;
@@ -136,6 +136,7 @@ mod tests {
         assert_eq!(w.num_subscribers(), 3);
         assert_eq!(r.instance.capacity(), Bandwidth::new(9)); // Σ S
         assert_eq!(r.instance.tau(), Rate::new(4)); // max S
+
         // τ forces every pair: τ_v = min(max S, x_i) = x_i.
         for v in w.subscribers() {
             assert_eq!(r.instance.tau_v(v), w.subscriber_total_rate(v));

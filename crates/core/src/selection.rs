@@ -89,7 +89,10 @@ impl Selection {
     /// Rate delivered to subscriber `v` under this selection
     /// (`Σ_{t : (t,v)∈S} ev_t`).
     pub fn delivered_rate(&self, workload: &Workload, v: SubscriberId) -> Rate {
-        self.per_subscriber[v.index()].iter().map(|&t| workload.rate(t)).sum()
+        self.per_subscriber[v.index()]
+            .iter()
+            .map(|&t| workload.rate(t))
+            .sum()
     }
 
     /// Checks the Stage-1 constraint `Σ_v f_v = |V|`: every subscriber
@@ -185,7 +188,10 @@ mod tests {
         let groups = s.group_by_topic(&w);
         assert_eq!(groups.len(), 2);
         assert_eq!(groups[0].0, t(1));
-        assert_eq!(groups[0].1, vec![SubscriberId::new(0), SubscriberId::new(1)]);
+        assert_eq!(
+            groups[0].1,
+            vec![SubscriberId::new(0), SubscriberId::new(1)]
+        );
         assert_eq!(groups[1].0, t(2));
         assert_eq!(groups[1].1, vec![SubscriberId::new(0)]);
     }

@@ -110,9 +110,7 @@ pub(crate) fn select_for_subscriber(
 
     // Descending (rate, then ascending id) order.
     let mut order: Vec<TopicId> = interests.to_vec();
-    order.sort_unstable_by(|&a, &b| {
-        workload.rate(b).cmp(&workload.rate(a)).then(a.cmp(&b))
-    });
+    order.sort_unstable_by(|&a, &b| workload.rate(b).cmp(&workload.rate(a)).then(a.cmp(&b)));
 
     let mut selected = Vec::new();
     let mut rem = tau_v;
@@ -154,7 +152,8 @@ mod tests {
             b.add_topic(Rate::new(r)).unwrap();
         }
         for tv in interests {
-            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t))).unwrap();
+            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t)))
+                .unwrap();
         }
         b.build()
     }
@@ -216,14 +215,13 @@ mod tests {
                         let w = build(&[a, b, c], &[&[0, 1, 2]]);
                         let fast = select(&w, tau);
                         let slow = literal_greedy(&w, SubscriberId::new(0), Rate::new(tau));
-                        let fast_set: std::collections::BTreeSet<_> =
-                            fast.selected(SubscriberId::new(0)).iter().copied().collect();
-                        let slow_set: std::collections::BTreeSet<_> =
-                            slow.into_iter().collect();
-                        assert_eq!(
-                            fast_set, slow_set,
-                            "rates ({a},{b},{c}) tau {tau}"
-                        );
+                        let fast_set: std::collections::BTreeSet<_> = fast
+                            .selected(SubscriberId::new(0))
+                            .iter()
+                            .copied()
+                            .collect();
+                        let slow_set: std::collections::BTreeSet<_> = slow.into_iter().collect();
+                        assert_eq!(fast_set, slow_set, "rates ({a},{b},{c}) tau {tau}");
                     }
                 }
             }
@@ -268,8 +266,10 @@ mod tests {
             b.add_topic(Rate::new(r)).unwrap();
         }
         for vi in 0..100u32 {
-            let tv: Vec<TopicId> =
-                (0..40).filter(|t| (t + vi) % 3 != 0).map(TopicId::new).collect();
+            let tv: Vec<TopicId> = (0..40)
+                .filter(|t| (t + vi) % 3 != 0)
+                .map(TopicId::new)
+                .collect();
             b.add_subscriber(tv).unwrap();
         }
         let w = b.build();
@@ -292,7 +292,10 @@ mod tests {
 
     #[test]
     fn satisfies_across_tau_range() {
-        let w = build(&[100, 50, 25, 12, 6, 3], &[&[0, 1, 2], &[2, 3, 4, 5], &[0, 5]]);
+        let w = build(
+            &[100, 50, 25, 12, 6, 3],
+            &[&[0, 1, 2], &[2, 3, 4, 5], &[0, 5]],
+        );
         for tau in [1u64, 10, 50, 150, 1000] {
             let s = select(&w, tau);
             assert!(s.satisfies(&w, Rate::new(tau)), "tau {tau}");

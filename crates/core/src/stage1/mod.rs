@@ -59,8 +59,7 @@ mod tests {
         b.add_subscriber([t0, t1, t2]).unwrap();
         b.add_subscriber([t1, t2]).unwrap();
         b.add_subscriber([t0]).unwrap();
-        let inst =
-            McssInstance::new(b.build(), Rate::new(15), Bandwidth::new(1_000)).unwrap();
+        let inst = McssInstance::new(b.build(), Rate::new(15), Bandwidth::new(1_000)).unwrap();
 
         let selectors: Vec<Box<dyn PairSelector>> = vec![
             Box::new(GreedySelectPairs::new()),

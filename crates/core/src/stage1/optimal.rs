@@ -112,7 +112,7 @@ fn optimal_for_subscriber(
             }
             let ns = s as u64 + ev;
             if ns >= tau_v {
-                if best.map_or(true, |(b, _, _)| ns < b) {
+                if best.is_none_or(|(b, _, _)| ns < b) {
                     best = Some((ns, i, s));
                 }
             } else {
@@ -125,8 +125,7 @@ fn optimal_for_subscriber(
         }
     }
 
-    let (_, last_topic, mut s) =
-        best.expect("total > tau_v > 0 guarantees some completion exists");
+    let (_, last_topic, mut s) = best.expect("total > tau_v > 0 guarantees some completion exists");
     let mut chosen = vec![interests[last_topic]];
     while s > 0 {
         let i = filler[s] as usize;
@@ -148,7 +147,8 @@ mod tests {
             b.add_topic(Rate::new(r)).unwrap();
         }
         for tv in interests {
-            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t))).unwrap();
+            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t)))
+                .unwrap();
         }
         McssInstance::new(b.build(), Rate::new(tau), Bandwidth::new(1 << 40)).unwrap()
     }
@@ -210,7 +210,9 @@ mod tests {
     #[test]
     fn budget_is_enforced() {
         let inst = instance(&[1_000_000], &[&[0]], 999_999);
-        let err = OptimalSelectPairs::with_budget(10).select(&inst).unwrap_err();
+        let err = OptimalSelectPairs::with_budget(10)
+            .select(&inst)
+            .unwrap_err();
         assert!(matches!(err, McssError::TooLargeForOptimalSelection { .. }));
         assert!(OptimalSelectPairs::new().budget() > 10);
     }
@@ -220,8 +222,7 @@ mod tests {
         let mut b = pubsub_model::Workload::builder();
         b.add_topic(Rate::new(5)).unwrap();
         b.add_subscriber([]).unwrap();
-        let inst =
-            McssInstance::new(b.build(), Rate::new(3), Bandwidth::new(100)).unwrap();
+        let inst = McssInstance::new(b.build(), Rate::new(3), Bandwidth::new(100)).unwrap();
         let s = OptimalSelectPairs::new().select(&inst).unwrap();
         assert_eq!(s.pair_count(), 0);
     }

@@ -93,8 +93,10 @@ mod tests {
             let sel = s.selected(v);
             // Dropping the last pick must leave the subscriber short:
             // RSP adds pairs only while delivered < τ_v.
-            let without_last: Rate =
-                sel[..sel.len() - 1].iter().map(|&t| inst.workload().rate(t)).sum();
+            let without_last: Rate = sel[..sel.len() - 1]
+                .iter()
+                .map(|&t| inst.workload().rate(t))
+                .sum();
             assert!(without_last < inst.tau_v(v));
         }
     }

@@ -53,6 +53,9 @@ impl PairSelector for SharedAwareGreedy {
 }
 
 /// Candidate classes for phase 2, in tie-break priority order.
+// "Exceeder" is this algorithm's term for a topic whose rate exceeds the
+// remaining demand `rem`; the shared postfix is domain vocabulary.
+#[allow(clippy::enum_variant_names)]
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Class {
     FreshNonExceeder,
@@ -78,12 +81,17 @@ fn select_one(
 
     // Split interests into shared (already in S) and fresh, descending by
     // (rate, then ascending id).
-    let desc =
-        |a: &TopicId, b: &TopicId| workload.rate(*b).cmp(&workload.rate(*a)).then(a.cmp(b));
-    let mut shared: Vec<TopicId> =
-        interests.iter().copied().filter(|t| in_solution[t.index()]).collect();
-    let mut fresh: Vec<TopicId> =
-        interests.iter().copied().filter(|t| !in_solution[t.index()]).collect();
+    let desc = |a: &TopicId, b: &TopicId| workload.rate(*b).cmp(&workload.rate(*a)).then(a.cmp(b));
+    let mut shared: Vec<TopicId> = interests
+        .iter()
+        .copied()
+        .filter(|t| in_solution[t.index()])
+        .collect();
+    let mut fresh: Vec<TopicId> = interests
+        .iter()
+        .copied()
+        .filter(|t| !in_solution[t.index()])
+        .collect();
     shared.sort_unstable_by(desc);
     fresh.sort_unstable_by(desc);
 
@@ -145,7 +153,7 @@ fn select_one(
 
         let mut best: Option<(u128, Class, TopicId)> = None;
         let mut consider = |key: u128, class: Class, t: TopicId| {
-            if best.map_or(true, |(bk, bc, _)| (key, class) < (bk, bc)) {
+            if best.is_none_or(|(bk, bc, _)| (key, class) < (bk, bc)) {
                 best = Some((key, class, t));
             }
         };
@@ -156,11 +164,14 @@ fn select_one(
             consider(u128::from(workload.rate(t).get()), Class::SharedExceeder, t);
         }
         if let Some(t) = fresh_exc {
-            consider(2 * u128::from(workload.rate(t).get()), Class::FreshExceeder, t);
+            consider(
+                2 * u128::from(workload.rate(t).get()),
+                Class::FreshExceeder,
+                t,
+            );
         }
 
-        let (_, class, t) =
-            best.expect("total > tau_v guarantees an unselected candidate exists");
+        let (_, class, t) = best.expect("total > tau_v guarantees an unselected candidate exists");
         selected.push(t);
         match class {
             Class::FreshNonExceeder => {
@@ -186,7 +197,8 @@ mod tests {
             b.add_topic(Rate::new(r)).unwrap();
         }
         for tv in interests {
-            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t))).unwrap();
+            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t)))
+                .unwrap();
         }
         McssInstance::new(b.build(), Rate::new(tau), Bandwidth::new(1 << 40)).unwrap()
     }
@@ -244,8 +256,13 @@ mod tests {
         // On single-VM marginal volume, sharing awareness should not lose
         // to plain GSP on workloads with heavy interest overlap.
         let rates = [40u64, 25, 16, 9, 5, 3, 2];
-        let interests: Vec<&[u32]> =
-            vec![&[0, 1, 2], &[0, 1, 3], &[1, 2, 4, 5], &[0, 4, 5, 6], &[2, 3, 6]];
+        let interests: Vec<&[u32]> = vec![
+            &[0, 1, 2],
+            &[0, 1, 3],
+            &[1, 2, 4, 5],
+            &[0, 4, 5, 6],
+            &[2, 3, 6],
+        ];
         for tau in [5u64, 15, 30, 60] {
             let inst = instance(&rates, &interests, tau);
             let shared = SharedAwareGreedy::new().select(&inst).unwrap();

@@ -57,7 +57,7 @@ impl Allocator for BestFitBinPacking {
                 let free = vm.free(capacity);
                 if delta <= free {
                     let leftover = free - delta;
-                    if best.map_or(true, |(b, _)| leftover < b) {
+                    if best.is_none_or(|(b, _)| leftover < b) {
                         best = Some((leftover, i));
                     }
                 }
@@ -153,15 +153,14 @@ mod tests {
             b.add_topic(Rate::new(r)).unwrap();
         }
         for tv in interests {
-            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t))).unwrap();
+            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t)))
+                .unwrap();
         }
         b.build()
     }
 
     fn select_all(w: &Workload) -> Selection {
-        Selection::from_per_subscriber(
-            w.subscribers().map(|v| w.interests(v).to_vec()).collect(),
-        )
+        Selection::from_per_subscriber(w.subscribers().map(|v| w.interests(v).to_vec()).collect())
     }
 
     #[test]
@@ -191,15 +190,25 @@ mod tests {
         // next-fit only looks at VM1.
         let w = workload(&[40, 45, 2], &[&[0, 1, 2]]);
         let cap = Bandwidth::new(100);
-        let nf = NextFitBinPacking::new().allocate(&w, &select_all(&w), cap, &nocost()).unwrap();
-        let ff = FirstFitBinPacking::new().allocate(&w, &select_all(&w), cap, &nocost()).unwrap();
+        let nf = NextFitBinPacking::new()
+            .allocate(&w, &select_all(&w), cap, &nocost())
+            .unwrap();
+        let ff = FirstFitBinPacking::new()
+            .allocate(&w, &select_all(&w), cap, &nocost())
+            .unwrap();
         // FF puts the tiny pair back on VM0; NF puts it on the last VM.
         assert_eq!(ff.vm_count(), 2);
         assert_eq!(nf.vm_count(), 2);
         let nf_last = &nf.vms()[1];
-        assert!(nf_last.placements().iter().any(|p| p.topic == TopicId::new(2)));
+        assert!(nf_last
+            .placements()
+            .iter()
+            .any(|p| p.topic == TopicId::new(2)));
         let ff_first = &ff.vms()[0];
-        assert!(ff_first.placements().iter().any(|p| p.topic == TopicId::new(2)));
+        assert!(ff_first
+            .placements()
+            .iter()
+            .any(|p| p.topic == TopicId::new(2)));
     }
 
     #[test]
@@ -207,15 +216,21 @@ mod tests {
         // A workload engineered to fragment: many mid-size pairs.
         let rates: Vec<u64> = (0..40).map(|i| 20 + (i * 7) % 23).collect();
         let interests: Vec<&[u32]> = vec![&[
-            0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21,
-            22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37, 38, 39,
+            0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23,
+            24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37, 38, 39,
         ]];
         let w = workload(&rates, &interests);
         let sel = select_all(&w);
         let cap = Bandwidth::new(150);
-        let nf = NextFitBinPacking::new().allocate(&w, &sel, cap, &nocost()).unwrap();
-        let ff = FirstFitBinPacking::new().allocate(&w, &sel, cap, &nocost()).unwrap();
-        let bf = BestFitBinPacking::new().allocate(&w, &sel, cap, &nocost()).unwrap();
+        let nf = NextFitBinPacking::new()
+            .allocate(&w, &sel, cap, &nocost())
+            .unwrap();
+        let ff = FirstFitBinPacking::new()
+            .allocate(&w, &sel, cap, &nocost())
+            .unwrap();
+        let bf = BestFitBinPacking::new()
+            .allocate(&w, &sel, cap, &nocost())
+            .unwrap();
         // Textbook ordering: NF ≥ FF ≥ BF in bins (ties allowed).
         assert!(nf.vm_count() >= ff.vm_count());
         assert!(ff.vm_count() >= bf.vm_count());
@@ -233,8 +248,14 @@ mod tests {
             &BestFitBinPacking::new() as &dyn Allocator,
             &NextFitBinPacking::new() as &dyn Allocator,
         ] {
-            let err = alloc.allocate(&w, &sel, Bandwidth::new(100), &nocost()).unwrap_err();
-            assert!(matches!(err, McssError::InfeasibleTopic { .. }), "{}", alloc.name());
+            let err = alloc
+                .allocate(&w, &sel, Bandwidth::new(100), &nocost())
+                .unwrap_err();
+            assert!(
+                matches!(err, McssError::InfeasibleTopic { .. }),
+                "{}",
+                alloc.name()
+            );
         }
     }
 
@@ -246,7 +267,9 @@ mod tests {
             &BestFitBinPacking::new() as &dyn Allocator,
             &NextFitBinPacking::new() as &dyn Allocator,
         ] {
-            let a = alloc.allocate(&w, &empty, Bandwidth::new(100), &nocost()).unwrap();
+            let a = alloc
+                .allocate(&w, &empty, Bandwidth::new(100), &nocost())
+                .unwrap();
             assert_eq!(a.vm_count(), 0);
         }
     }

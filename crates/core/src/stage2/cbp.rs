@@ -60,7 +60,10 @@ impl CbpConfig {
 
     /// Optimizations (b)+(c).
     pub fn expensive_first() -> Self {
-        CbpConfig { expensive_topic_first: true, ..CbpConfig::default() }
+        CbpConfig {
+            expensive_topic_first: true,
+            ..CbpConfig::default()
+        }
     }
 
     /// Optimizations (b)+(c)+(d).
@@ -131,9 +134,7 @@ impl Allocator for CustomBinPacking {
                 ExpensiveOrder::TotalVolume => groups.sort_by_key(|(t, vs)| {
                     Reverse(u128::from(workload.rate(*t).get()) * vs.len() as u128)
                 }),
-                ExpensiveOrder::Rate => {
-                    groups.sort_by_key(|(t, _)| Reverse(workload.rate(*t)))
-                }
+                ExpensiveOrder::Rate => groups.sort_by_key(|(t, _)| Reverse(workload.rate(*t))),
             }
         }
 
@@ -169,8 +170,7 @@ impl Allocator for CustomBinPacking {
             let distribute = if vms.is_empty() {
                 false
             } else if cfg.cost_based_decision {
-                let frees: Vec<Bandwidth> =
-                    vms.iter().map(|vm| vm.free(capacity)).collect();
+                let frees: Vec<Bandwidth> = vms.iter().map(|vm| vm.free(capacity)).collect();
                 cheaper_to_distribute(
                     &frees,
                     capacity,
@@ -188,7 +188,9 @@ impl Allocator for CustomBinPacking {
             if distribute {
                 if cfg.most_free_vm_first {
                     while !remaining.is_empty() {
-                        let Some((free, Reverse(idx))) = free_heap.pop() else { break };
+                        let Some((free, Reverse(idx))) = free_heap.pop() else {
+                            break;
+                        };
                         if vms[idx].free(capacity) != free {
                             continue; // stale entry; the fresh one is queued
                         }
@@ -205,19 +207,19 @@ impl Allocator for CustomBinPacking {
                         remaining = &remaining[take..];
                     }
                 } else {
-                    for idx in 0..vms.len() {
+                    for (idx, vm) in vms.iter_mut().enumerate() {
                         if remaining.is_empty() {
                             break;
                         }
-                        let free = vms[idx].free(capacity);
+                        let free = vm.free(capacity);
                         if free < rate.pair_cost() {
                             continue;
                         }
                         let fit = free.div_rate(rate) - 1;
                         let take = (fit as usize).min(remaining.len());
-                        vms[idx].add_batch(*topic, rate, &remaining[..take]);
+                        vm.add_batch(*topic, rate, &remaining[..take]);
                         total_bw += rate * (take as u64 + 1);
-                        free_heap.push((vms[idx].free(capacity), Reverse(idx)));
+                        free_heap.push((vm.free(capacity), Reverse(idx)));
                         remaining = &remaining[take..];
                     }
                 }
@@ -231,7 +233,10 @@ impl Allocator for CustomBinPacking {
                 vm.add_batch(*topic, rate, &remaining[..take]);
                 total_bw += rate * (take as u64 + 1);
                 vms.push(vm);
-                free_heap.push((vms.last().expect("just pushed").free(capacity), Reverse(vms.len() - 1)));
+                free_heap.push((
+                    vms.last().expect("just pushed").free(capacity),
+                    Reverse(vms.len() - 1),
+                ));
                 remaining = &remaining[take..];
             }
         }
@@ -261,15 +266,14 @@ mod tests {
             b.add_topic(Rate::new(r)).unwrap();
         }
         for tv in interests {
-            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t))).unwrap();
+            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t)))
+                .unwrap();
         }
         b.build()
     }
 
     fn select_all(w: &Workload) -> Selection {
-        Selection::from_per_subscriber(
-            w.subscribers().map(|v| w.interests(v).to_vec()).collect(),
-        )
+        Selection::from_per_subscriber(w.subscribers().map(|v| w.interests(v).to_vec()).collect())
     }
 
     fn cbp(cfg: CbpConfig) -> CustomBinPacking {
@@ -302,7 +306,18 @@ mod tests {
         // vm0; instead use tight capacity to see different VM counts.
         let w = workload(
             &[2, 1],
-            &[&[0, 1], &[1], &[1], &[1], &[1], &[1], &[1], &[1], &[1], &[1]],
+            &[
+                &[0, 1],
+                &[1],
+                &[1],
+                &[1],
+                &[1],
+                &[1],
+                &[1],
+                &[1],
+                &[1],
+                &[1],
+            ],
         );
         let sel = select_all(&w);
         let by_volume = cbp(CbpConfig {
@@ -325,8 +340,14 @@ mod tests {
         assert!(by_volume.validate(&w, Rate::new(100)).is_ok());
         assert!(by_rate.validate(&w, Rate::new(100)).is_ok());
         assert_eq!(by_volume.vms()[0].pair_count(), 10);
-        assert!(by_volume.vms()[0].placements().iter().all(|p| p.topic == TopicId::new(1)));
-        assert!(by_rate.vms()[0].placements().iter().any(|p| p.topic == TopicId::new(0)));
+        assert!(by_volume.vms()[0]
+            .placements()
+            .iter()
+            .all(|p| p.topic == TopicId::new(1)));
+        assert!(by_rate.vms()[0]
+            .placements()
+            .iter()
+            .any(|p| p.topic == TopicId::new(0)));
     }
 
     #[test]
@@ -351,7 +372,9 @@ mod tests {
         let custom = cbp(CbpConfig::most_free())
             .allocate(&w, &sel, cap, &nocost())
             .unwrap();
-        let ff = FirstFitBinPacking::new().allocate(&w, &sel, cap, &nocost()).unwrap();
+        let ff = FirstFitBinPacking::new()
+            .allocate(&w, &sel, cap, &nocost())
+            .unwrap();
         assert!(custom.total_bandwidth() <= ff.total_bandwidth());
         // CBP: each topic's incoming paid once.
         assert_eq!(custom.incoming_volume(&w), Bandwidth::new(30));
@@ -369,7 +392,9 @@ mod tests {
         );
         let sel = select_all(&w);
         // Capacity 90. Volume order: t2 total 80, t0 80, t1 40.
-        let a = cbp(CbpConfig::most_free()).allocate(&w, &sel, Bandwidth::new(90), &nocost()).unwrap();
+        let a = cbp(CbpConfig::most_free())
+            .allocate(&w, &sel, Bandwidth::new(90), &nocost())
+            .unwrap();
         assert!(a.validate(&w, Rate::new(1000)).is_ok());
         for vm in a.vms() {
             assert!(vm.used() <= Bandwidth::new(90));
@@ -386,8 +411,12 @@ mod tests {
         let w = workload(&[10, 10, 3], &[&[0], &[1], &[2], &[2], &[2], &[2]]);
         let sel = select_all(&w);
         let cap = Bandwidth::new(40);
-        let with_e = cbp(CbpConfig::full()).allocate(&w, &sel, cap, &pricey_bw).unwrap();
-        let without_e = cbp(CbpConfig::most_free()).allocate(&w, &sel, cap, &pricey_bw).unwrap();
+        let with_e = cbp(CbpConfig::full())
+            .allocate(&w, &sel, cap, &pricey_bw)
+            .unwrap();
+        let without_e = cbp(CbpConfig::most_free())
+            .allocate(&w, &sel, cap, &pricey_bw)
+            .unwrap();
         assert!(with_e.validate(&w, Rate::new(100)).is_ok());
         assert!(without_e.validate(&w, Rate::new(100)).is_ok());
         // With (e), total cost never exceeds the (d)-only packing under
@@ -423,11 +452,16 @@ mod tests {
     fn all_presets_preserve_pairs_and_capacity() {
         let rates: Vec<u64> = (1..=20).map(|i| i * 3).collect();
         let mut b = Workload::builder();
-        let ts: Vec<TopicId> =
-            rates.iter().map(|&r| b.add_topic(Rate::new(r)).unwrap()).collect();
+        let ts: Vec<TopicId> = rates
+            .iter()
+            .map(|&r| b.add_topic(Rate::new(r)).unwrap())
+            .collect();
         for vi in 0..30u32 {
-            let tv: Vec<TopicId> =
-                ts.iter().copied().filter(|t| (t.raw() * 7 + vi) % 3 != 0).collect();
+            let tv: Vec<TopicId> = ts
+                .iter()
+                .copied()
+                .filter(|t| (t.raw() * 7 + vi) % 3 != 0)
+                .collect();
             b.add_subscriber(tv).unwrap();
         }
         let w = b.build();
@@ -442,7 +476,8 @@ mod tests {
         ] {
             let a = cbp(cfg).allocate(&w, &sel, cap, &cost).unwrap();
             assert_eq!(a.pair_count(), sel.pair_count());
-            a.validate(&w, Rate::new(u64::MAX)).expect("valid under every preset");
+            a.validate(&w, Rate::new(u64::MAX))
+                .expect("valid under every preset");
         }
     }
 

@@ -41,7 +41,10 @@ pub fn cheaper_to_distribute(
     exact_new_vm_estimate: bool,
 ) -> bool {
     assert!(!rate.is_zero(), "topic rates are positive");
-    assert!(rate.pair_cost() <= capacity, "infeasible topic reached the spill decision");
+    assert!(
+        rate.pair_cost() <= capacity,
+        "infeasible topic reached the spill decision"
+    );
     if pairs == 0 {
         return false;
     }
@@ -94,7 +97,8 @@ pub fn cheaper_to_distribute(
 /// `rate × n` with an overflow panic — volumes here are bounded by the
 /// workload's own totals, which the builder keeps far below `u64::MAX`.
 fn mul(rate: Rate, n: u64) -> Bandwidth {
-    rate.checked_mul(n).expect("volume overflow in spill estimate")
+    rate.checked_mul(n)
+        .expect("volume overflow in spill estimate")
 }
 
 #[cfg(test)]

@@ -85,15 +85,14 @@ mod tests {
             b.add_topic(Rate::new(r)).unwrap();
         }
         for tv in interests {
-            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t))).unwrap();
+            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t)))
+                .unwrap();
         }
         b.build()
     }
 
     fn select_all(w: &Workload) -> Selection {
-        Selection::from_per_subscriber(
-            w.subscribers().map(|v| w.interests(v).to_vec()).collect(),
-        )
+        Selection::from_per_subscriber(w.subscribers().map(|v| w.interests(v).to_vec()).collect())
     }
 
     #[test]
@@ -177,11 +176,16 @@ mod tests {
         // Many topics/pairs, tight capacity: validator must stay green.
         let rates: Vec<u64> = (1..=30).collect();
         let mut b = Workload::builder();
-        let ts: Vec<TopicId> =
-            rates.iter().map(|&r| b.add_topic(Rate::new(r)).unwrap()).collect();
+        let ts: Vec<TopicId> = rates
+            .iter()
+            .map(|&r| b.add_topic(Rate::new(r)).unwrap())
+            .collect();
         for vi in 0..25u32 {
-            let tv: Vec<TopicId> =
-                ts.iter().copied().filter(|t| (t.raw() + vi) % 4 != 0).collect();
+            let tv: Vec<TopicId> = ts
+                .iter()
+                .copied()
+                .filter(|t| (t.raw() + vi) % 4 != 0)
+                .collect();
             b.add_subscriber(tv).unwrap();
         }
         let w = b.build();

@@ -81,8 +81,7 @@ mod tests {
         b.add_subscriber([ts[0], ts[5]]).unwrap();
         b.add_subscriber([ts[2], ts[3], ts[5]]).unwrap();
         let w = b.build();
-        let inst =
-            McssInstance::new(w, Rate::new(25), Bandwidth::new(100)).unwrap();
+        let inst = McssInstance::new(w, Rate::new(25), Bandwidth::new(100)).unwrap();
         let sel = GreedySelectPairs::new().select(&inst).unwrap();
         let cost = LinearCostModel::new(Money::from_dollars(1), Money::from_micros(1));
 
@@ -98,7 +97,12 @@ mod tests {
             alloc
                 .validate(inst.workload(), inst.tau())
                 .unwrap_or_else(|e| panic!("{} produced invalid allocation: {e}", a.name()));
-            assert_eq!(alloc.pair_count(), sel.pair_count(), "{} lost pairs", a.name());
+            assert_eq!(
+                alloc.pair_count(),
+                sel.pair_count(),
+                "{} lost pairs",
+                a.name()
+            );
         }
     }
 }

@@ -57,7 +57,11 @@ impl VmBuild {
             return;
         }
         let n = vs.len() as u64;
-        let volume = if self.table.contains_key(&t) { rate * n } else { rate * (n + 1) };
+        let volume = if self.table.contains_key(&t) {
+            rate * n
+        } else {
+            rate * (n + 1)
+        };
         self.used += volume;
         self.table.entry(t).or_default().extend_from_slice(vs);
     }

@@ -27,7 +27,8 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
                 b.add_topic(Rate::new(r)).unwrap();
             }
             for tv in &interests {
-                b.add_subscriber(tv.iter().map(|&t| TopicId::new(t))).unwrap();
+                b.add_subscriber(tv.iter().map(|&t| TopicId::new(t)))
+                    .unwrap();
             }
             b.build()
         })

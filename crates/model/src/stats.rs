@@ -60,7 +60,11 @@ impl fmt::Display for WorkloadStats {
             "followers/topic:   mean {:.2}, max {}",
             self.mean_followers, self.max_followers
         )?;
-        write!(f, "event rate/topic:  mean {:.2}, max {}", self.mean_rate, self.max_rate)
+        write!(
+            f,
+            "event rate/topic:  mean {:.2}, max {}",
+            self.mean_rate, self.max_rate
+        )
     }
 }
 
@@ -70,10 +74,16 @@ impl Workload {
         let num_topics = self.num_topics();
         let num_subscribers = self.num_subscribers();
         let pair_count = self.pair_count();
-        let max_interests =
-            self.subscribers().map(|v| self.interests(v).len()).max().unwrap_or(0);
-        let max_followers =
-            self.topics().map(|t| self.subscribers_of(t).len()).max().unwrap_or(0);
+        let max_interests = self
+            .subscribers()
+            .map(|v| self.interests(v).len())
+            .max()
+            .unwrap_or(0);
+        let max_followers = self
+            .topics()
+            .map(|t| self.subscribers_of(t).len())
+            .max()
+            .unwrap_or(0);
         let max_rate = self.rates().iter().map(|r| r.get()).max().unwrap_or(0);
         let total_event_rate = self.total_rate().get();
         WorkloadStats {
@@ -105,13 +115,17 @@ impl Workload {
     /// Interest-set sizes for every subscriber (the "#followings"
     /// distribution of Fig. 8).
     pub fn interest_degrees(&self) -> Vec<u64> {
-        self.subscribers().map(|v| self.interests(v).len() as u64).collect()
+        self.subscribers()
+            .map(|v| self.interests(v).len() as u64)
+            .collect()
     }
 
     /// Subscriber counts for every topic (the "#followers" distribution of
     /// Fig. 8).
     pub fn follower_counts(&self) -> Vec<u64> {
-        self.topics().map(|t| self.subscribers_of(t).len() as u64).collect()
+        self.topics()
+            .map(|t| self.subscribers_of(t).len() as u64)
+            .collect()
     }
 
     /// Event rates as raw integers (the Fig. 9 distribution).

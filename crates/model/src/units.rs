@@ -307,7 +307,10 @@ mod tests {
         bw += Rate::new(3);
         assert_eq!(bw, Bandwidth::new(18));
         assert_eq!(bw - Bandwidth::new(8), Bandwidth::new(10));
-        assert_eq!(Bandwidth::new(3).saturating_sub(Bandwidth::new(9)), Bandwidth::ZERO);
+        assert_eq!(
+            Bandwidth::new(3).saturating_sub(Bandwidth::new(9)),
+            Bandwidth::ZERO
+        );
     }
 
     #[test]

@@ -35,10 +35,16 @@ impl fmt::Display for WorkloadError {
                 "interest references unknown topic {topic} (only {num_topics} topics exist)"
             ),
             WorkloadError::ZeroEventRate => {
-                write!(f, "topic event rate must be positive (paper assumes ev_t > 0)")
+                write!(
+                    f,
+                    "topic event rate must be positive (paper assumes ev_t > 0)"
+                )
             }
             WorkloadError::RateTooLarge { rate } => {
-                write!(f, "topic event rate {rate} exceeds the supported maximum {MAX_RATE}")
+                write!(
+                    f,
+                    "topic event rate {rate} exceeds the supported maximum {MAX_RATE}"
+                )
             }
             WorkloadError::TooManyEntities => {
                 write!(f, "workload exceeds u32::MAX topics or subscribers")
@@ -89,7 +95,10 @@ impl From<WorkloadData> for Workload {
 
 impl From<Workload> for WorkloadData {
     fn from(w: Workload) -> WorkloadData {
-        WorkloadData { rates: w.rates, interests: w.interests }
+        WorkloadData {
+            rates: w.rates,
+            interests: w.interests,
+        }
     }
 }
 
@@ -141,7 +150,13 @@ impl Workload {
             }
         }
         let total_rate = rates.iter().copied().sum();
-        Workload { rates, interests, subscribers_of, pair_count, total_rate }
+        Workload {
+            rates,
+            interests,
+            subscribers_of,
+            pair_count,
+            total_rate,
+        }
     }
 
     /// Number of topics `|T|`.
@@ -216,7 +231,10 @@ impl Workload {
 
     /// `Σ_{t ∈ T_v} ev_t` — the total event rate a subscriber could receive.
     pub fn subscriber_total_rate(&self, v: SubscriberId) -> Rate {
-        self.interests[v.index()].iter().map(|&t| self.rate(t)).sum()
+        self.interests[v.index()]
+            .iter()
+            .map(|&t| self.rate(t))
+            .sum()
     }
 
     /// The subscriber-specific satisfaction threshold
@@ -311,7 +329,10 @@ impl WorkloadBuilder {
         let mut tv: Vec<TopicId> = topics.into_iter().collect();
         for &t in &tv {
             if t.index() >= self.rates.len() {
-                return Err(WorkloadError::UnknownTopic { topic: t, num_topics: self.rates.len() });
+                return Err(WorkloadError::UnknownTopic {
+                    topic: t,
+                    num_topics: self.rates.len(),
+                });
             }
         }
         tv.sort_unstable();
@@ -373,14 +394,21 @@ mod tests {
         );
         assert_eq!(
             w.subscribers_of(TopicId::new(1)),
-            &[SubscriberId::new(0), SubscriberId::new(1), SubscriberId::new(2)]
+            &[
+                SubscriberId::new(0),
+                SubscriberId::new(1),
+                SubscriberId::new(2)
+            ]
         );
     }
 
     #[test]
     fn interests_are_sorted_and_deduped() {
         let w = tiny();
-        assert_eq!(w.interests(SubscriberId::new(2)), &[TopicId::new(0), TopicId::new(1)]);
+        assert_eq!(
+            w.interests(SubscriberId::new(2)),
+            &[TopicId::new(0), TopicId::new(1)]
+        );
     }
 
     #[test]
@@ -404,7 +432,10 @@ mod tests {
     fn oversized_rate_rejected() {
         let mut b = Workload::builder();
         let huge = Rate::new(MAX_RATE + 1);
-        assert_eq!(b.add_topic(huge), Err(WorkloadError::RateTooLarge { rate: huge }));
+        assert_eq!(
+            b.add_topic(huge),
+            Err(WorkloadError::RateTooLarge { rate: huge })
+        );
         assert!(b.add_topic(Rate::new(MAX_RATE)).is_ok());
     }
 
@@ -413,7 +444,13 @@ mod tests {
         let mut b = Workload::builder();
         b.add_topic(Rate::new(1)).unwrap();
         let err = b.add_subscriber([TopicId::new(5)]).unwrap_err();
-        assert_eq!(err, WorkloadError::UnknownTopic { topic: TopicId::new(5), num_topics: 1 });
+        assert_eq!(
+            err,
+            WorkloadError::UnknownTopic {
+                topic: TopicId::new(5),
+                num_topics: 1
+            }
+        );
     }
 
     #[test]
@@ -427,7 +464,11 @@ mod tests {
         let issues = w.validate();
         assert_eq!(issues.len(), 2);
         assert!(issues.contains(&ValidationIssue::TopicWithoutSubscribers(TopicId::new(1))));
-        assert!(issues.contains(&ValidationIssue::SubscriberWithoutInterests(SubscriberId::new(1))));
+        assert!(
+            issues.contains(&ValidationIssue::SubscriberWithoutInterests(
+                SubscriberId::new(1)
+            ))
+        );
         assert!(tiny().validate().is_empty());
     }
 
@@ -450,8 +491,13 @@ mod tests {
 
     #[test]
     fn error_messages_render() {
-        let e = WorkloadError::UnknownTopic { topic: TopicId::new(5), num_topics: 1 };
+        let e = WorkloadError::UnknownTopic {
+            topic: TopicId::new(5),
+            num_topics: 1,
+        };
         assert!(e.to_string().contains("t5"));
-        assert!(WorkloadError::ZeroEventRate.to_string().contains("positive"));
+        assert!(WorkloadError::ZeroEventRate
+            .to_string()
+            .contains("positive"));
     }
 }

@@ -6,10 +6,7 @@ use pubsub_model::{Rate, SubscriberId, TopicId, Workload};
 
 /// Strategy producing a raw (rates, interests) pair with `1..=max_t` topics
 /// and `0..=max_v` subscribers whose interests index into the topic range.
-fn raw_workload(
-    max_t: usize,
-    max_v: usize,
-) -> impl Strategy<Value = (Vec<u64>, Vec<Vec<u32>>)> {
+fn raw_workload(max_t: usize, max_v: usize) -> impl Strategy<Value = (Vec<u64>, Vec<Vec<u32>>)> {
     vec(1u64..1000, 1..=max_t).prop_flat_map(move |rates| {
         let nt = rates.len() as u32;
         let interests = vec(vec(0..nt, 0..12), 0..=max_v);
@@ -23,7 +20,8 @@ fn build(rates: &[u64], interests: &[Vec<u32>]) -> Workload {
         b.add_topic(Rate::new(r)).unwrap();
     }
     for tv in interests {
-        b.add_subscriber(tv.iter().map(|&t| TopicId::new(t))).unwrap();
+        b.add_subscriber(tv.iter().map(|&t| TopicId::new(t)))
+            .unwrap();
     }
     b.build()
 }
@@ -112,5 +110,12 @@ proptest! {
 fn subscriber_ids_are_insertion_ordered() {
     let w = build(&[5, 6], &[vec![0], vec![1], vec![0, 1]]);
     let ids: Vec<SubscriberId> = w.subscribers().collect();
-    assert_eq!(ids, vec![SubscriberId::new(0), SubscriberId::new(1), SubscriberId::new(2)]);
+    assert_eq!(
+        ids,
+        vec![
+            SubscriberId::new(0),
+            SubscriberId::new(1),
+            SubscriberId::new(2)
+        ]
+    );
 }

@@ -100,8 +100,11 @@ impl Simulation {
             processed += 1;
             let topic = TopicId::new(topic_raw);
             let fanout = &routes[topic.index()];
-            let mut seen_this_event: Option<HashSet<SubscriberId>> =
-                if fanout.len() > 1 { Some(HashSet::new()) } else { None };
+            let mut seen_this_event: Option<HashSet<SubscriberId>> = if fanout.len() > 1 {
+                Some(HashSet::new())
+            } else {
+                None
+            };
             for &(vm_idx, subscribers) in fanout {
                 let meter = &mut vms[vm_idx];
                 meter.ingress_events += 1;
@@ -150,10 +153,10 @@ mod tests {
             b.add_topic(Rate::new(r)).unwrap();
         }
         for tv in interests {
-            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t))).unwrap();
+            b.add_subscriber(tv.iter().map(|&t| TopicId::new(t)))
+                .unwrap();
         }
-        let inst =
-            McssInstance::new(b.build(), Rate::new(tau), Bandwidth::new(cap)).unwrap();
+        let inst = McssInstance::new(b.build(), Rate::new(tau), Bandwidth::new(cap)).unwrap();
         let cost = LinearCostModel::vm_only(Money::from_dollars(1));
         let outcome = Solver::default().solve(&inst, &cost).unwrap();
         (inst, outcome.allocation)
@@ -164,12 +167,21 @@ mod tests {
         let (inst, alloc) = solve(&[20, 10, 5], &[&[0, 1], &[1, 2], &[0, 2]], 15, 100);
         let sim = Simulation::new(SimConfig::default());
         let report = sim.run(inst.workload(), &alloc);
-        assert_eq!(report.total_bandwidth_events(), alloc.total_bandwidth().get());
+        assert_eq!(
+            report.total_bandwidth_events(),
+            alloc.total_bandwidth().get()
+        );
         // Per-VM equality, not just the total.
         for (meter, vm) in report.vms.iter().zip(alloc.vms()) {
             assert_eq!(meter.total_events(), vm.used().get());
-            assert_eq!(meter.ingress_events, vm.incoming_volume(inst.workload()).get());
-            assert_eq!(meter.egress_events, vm.outgoing_volume(inst.workload()).get());
+            assert_eq!(
+                meter.ingress_events,
+                vm.incoming_volume(inst.workload()).get()
+            );
+            assert_eq!(
+                meter.egress_events,
+                vm.outgoing_volume(inst.workload()).get()
+            );
         }
     }
 
@@ -184,12 +196,24 @@ mod tests {
     #[test]
     fn bytes_scale_with_message_size() {
         let (inst, alloc) = solve(&[10], &[&[0]], 10, 100);
-        let small = Simulation::new(SimConfig { message_bytes: 100, ..SimConfig::default() })
-            .run(inst.workload(), &alloc);
-        let large = Simulation::new(SimConfig { message_bytes: 200, ..SimConfig::default() })
-            .run(inst.workload(), &alloc);
-        assert_eq!(small.total_bandwidth_bytes() * 2, large.total_bandwidth_bytes());
-        assert_eq!(small.total_bandwidth_events(), large.total_bandwidth_events());
+        let small = Simulation::new(SimConfig {
+            message_bytes: 100,
+            ..SimConfig::default()
+        })
+        .run(inst.workload(), &alloc);
+        let large = Simulation::new(SimConfig {
+            message_bytes: 200,
+            ..SimConfig::default()
+        })
+        .run(inst.workload(), &alloc);
+        assert_eq!(
+            small.total_bandwidth_bytes() * 2,
+            large.total_bandwidth_bytes()
+        );
+        assert_eq!(
+            small.total_bandwidth_events(),
+            large.total_bandwidth_events()
+        );
     }
 
     #[test]
@@ -225,13 +249,12 @@ mod tests {
         let w = b.build();
         use std::collections::HashMap;
         let table = |vs: &[u32]| -> HashMap<TopicId, Vec<SubscriberId>> {
-            [(t0, vs.iter().map(|&v| SubscriberId::new(v)).collect())].into_iter().collect()
+            [(t0, vs.iter().map(|&v| SubscriberId::new(v)).collect())]
+                .into_iter()
+                .collect()
         };
-        let alloc = Allocation::from_tables(
-            vec![table(&[0]), table(&[0])],
-            &w,
-            Bandwidth::new(100),
-        );
+        let alloc =
+            Allocation::from_tables(vec![table(&[0]), table(&[0])], &w, Bandwidth::new(100));
         let report = Simulation::new(SimConfig::default()).run(&w, &alloc);
         assert_eq!(report.delivered_events[0], 10); // unique
         assert_eq!(report.delivered_copies[0], 20); // both replicas

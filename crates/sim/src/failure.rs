@@ -48,7 +48,10 @@ pub fn fail_vms(
     for (vm, &kept) in allocation.vms().iter().zip(&keep) {
         if kept {
             tables.push(
-                vm.placements().iter().map(|p| (p.topic, p.subscribers.clone())).collect(),
+                vm.placements()
+                    .iter()
+                    .map(|p| (p.topic, p.subscribers.clone()))
+                    .collect(),
             );
         } else {
             pairs_lost += vm.pair_count();
@@ -61,7 +64,13 @@ pub fn fail_vms(
         .subscribers()
         .filter(|&v| delivered[v.index()] < instance.tau_v(v))
         .collect();
-    FailureImpact { degraded, delivered, starved, pairs_lost, volume_lost }
+    FailureImpact {
+        degraded,
+        delivered,
+        starved,
+        pairs_lost,
+        volume_lost,
+    }
 }
 
 /// Convenience: how many subscribers a single VM's failure would starve,
@@ -88,8 +97,7 @@ mod tests {
         b.add_subscriber([ts[0], ts[1]]).unwrap();
         b.add_subscriber([ts[1], ts[2], ts[3]]).unwrap();
         b.add_subscriber([ts[0], ts[3]]).unwrap();
-        let inst =
-            McssInstance::new(b.build(), Rate::new(15), Bandwidth::new(70)).unwrap();
+        let inst = McssInstance::new(b.build(), Rate::new(15), Bandwidth::new(70)).unwrap();
         let cost = LinearCostModel::vm_only(Money::from_dollars(1));
         let alloc = Solver::default().solve(&inst, &cost).unwrap().allocation;
         (inst, alloc)

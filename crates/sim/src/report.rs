@@ -64,12 +64,17 @@ impl SimReport {
 
     /// Did every subscriber meet the threshold?
     pub fn all_satisfied(&self, workload: &Workload, tau: Rate) -> bool {
-        workload.subscribers().all(|v| self.is_satisfied(workload, v, tau))
+        workload
+            .subscribers()
+            .all(|v| self.is_satisfied(workload, v, tau))
     }
 
     /// Number of subscribers below their threshold.
     pub fn unsatisfied_count(&self, workload: &Workload, tau: Rate) -> usize {
-        workload.subscribers().filter(|&v| !self.is_satisfied(workload, v, tau)).count()
+        workload
+            .subscribers()
+            .filter(|&v| !self.is_satisfied(workload, v, tau))
+            .count()
     }
 }
 
@@ -107,8 +112,18 @@ mod tests {
     fn report_aggregates_vms() {
         let report = SimReport {
             vms: vec![
-                VmMeter { ingress_events: 1, egress_events: 2, ingress_bytes: 200, egress_bytes: 400 },
-                VmMeter { ingress_events: 3, egress_events: 4, ingress_bytes: 600, egress_bytes: 800 },
+                VmMeter {
+                    ingress_events: 1,
+                    egress_events: 2,
+                    ingress_bytes: 200,
+                    egress_bytes: 400,
+                },
+                VmMeter {
+                    ingress_events: 3,
+                    egress_events: 4,
+                    ingress_bytes: 600,
+                    egress_bytes: 800,
+                },
             ],
             delivered_events: vec![5],
             delivered_copies: vec![5],

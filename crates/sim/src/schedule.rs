@@ -38,12 +38,7 @@ impl PublicationSchedule {
     /// # Panics
     ///
     /// Panics if `window_ticks` is zero.
-    pub fn generate(
-        topic: TopicId,
-        rate: Rate,
-        window_ticks: u64,
-        kind: ScheduleKind,
-    ) -> Self {
+    pub fn generate(topic: TopicId, rate: Rate, window_ticks: u64, kind: ScheduleKind) -> Self {
         assert!(window_ticks > 0, "window must have at least one tick");
         let instants = match kind {
             ScheduleKind::Deterministic => {
@@ -54,8 +49,9 @@ impl PublicationSchedule {
             ScheduleKind::Poisson { seed } => {
                 // Independent per-topic stream: mix the topic id into the
                 // seed (splitmix-style) so schedules do not correlate.
-                let mixed = seed
-                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(topic.raw()) + 1));
+                let mixed = seed.wrapping_add(
+                    0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(topic.raw()) + 1),
+                );
                 let mut rng = StdRng::seed_from_u64(mixed);
                 let lambda = rate.get() as f64 / window_ticks as f64;
                 let mut t = 0.0f64;

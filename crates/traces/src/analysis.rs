@@ -79,7 +79,14 @@ pub fn ccdf_at(values: &[u64], thresholds: &[u64]) -> Vec<(u64, f64)> {
         .iter()
         .map(|&th| {
             let above = sorted.len() - sorted.partition_point(|&v| v <= th);
-            (th, if sorted.is_empty() { 0.0 } else { above as f64 / n })
+            (
+                th,
+                if sorted.is_empty() {
+                    0.0
+                } else {
+                    above as f64 / n
+                },
+            )
         })
         .collect()
 }
@@ -124,7 +131,10 @@ pub fn mean_by_log_bucket(
     buckets_per_decade: u32,
 ) -> Vec<(u64, f64, usize)> {
     assert_eq!(keys.len(), values.len(), "keys and values must pair up");
-    assert!(buckets_per_decade > 0, "need at least one bucket per decade");
+    assert!(
+        buckets_per_decade > 0,
+        "need at least one bucket per decade"
+    );
     use std::collections::BTreeMap;
     let mut buckets: BTreeMap<u64, (f64, usize)> = BTreeMap::new();
     for (&k, &v) in keys.iter().zip(values) {
@@ -139,13 +149,19 @@ pub fn mean_by_log_bucket(
         e.0 += v;
         e.1 += 1;
     }
-    buckets.into_iter().map(|(b, (sum, count))| (b, sum / count as f64, count)).collect()
+    buckets
+        .into_iter()
+        .map(|(b, (sum, count))| (b, sum / count as f64, count))
+        .collect()
 }
 
 /// Subscription Cardinality for every subscriber (Appendix D):
 /// `SC_v = 100 · Σ_{t∈T_v} ev_t / Σ_t ev_t`.
 pub fn subscription_cardinalities(workload: &Workload) -> Vec<f64> {
-    workload.subscribers().map(|v| workload.subscription_cardinality(v)).collect()
+    workload
+        .subscribers()
+        .map(|v| workload.subscription_cardinality(v))
+        .collect()
 }
 
 /// Strength of a point anomaly in a discrete distribution: the ratio of the
@@ -159,7 +175,10 @@ pub fn spike_strength(values: &[u64], point: u64, window: u64) -> Option<f64> {
     let at_point = values.iter().filter(|&&v| v == point).count() as f64;
     let lo = point.saturating_sub(window);
     let hi = point + window;
-    let neighbours = values.iter().filter(|&&v| v >= lo && v <= hi && v != point).count() as f64;
+    let neighbours = values
+        .iter()
+        .filter(|&&v| v >= lo && v <= hi && v != point)
+        .count() as f64;
     let slots = (hi - lo) as f64; // number of integer values in the window, minus the point
     if neighbours == 0.0 {
         return None;
@@ -254,7 +273,7 @@ mod tests {
     fn spike_strength_detects_point_mass() {
         // Uniform background 1..=40 plus a big spike at 20.
         let mut values: Vec<u64> = (1..=40).collect();
-        values.extend(std::iter::repeat(20).take(50));
+        values.extend(std::iter::repeat_n(20, 50));
         let s = spike_strength(&values, 20, 5).expect("neighbourhood non-empty");
         assert!(s > 10.0, "spike strength {s}");
         // A flat distribution has strength ≈ 1.

@@ -99,7 +99,10 @@ impl LogNormal {
     ///
     /// Panics if `sigma` is negative or either parameter is non-finite.
     pub fn new(mu: f64, sigma: f64) -> Self {
-        assert!(mu.is_finite() && sigma.is_finite(), "parameters must be finite");
+        assert!(
+            mu.is_finite() && sigma.is_finite(),
+            "parameters must be finite"
+        );
         assert!(sigma >= 0.0, "sigma must be non-negative");
         LogNormal { mu, sigma }
     }
@@ -157,7 +160,10 @@ impl AliasTable {
         assert!(n <= u32::MAX as usize, "alias table too large");
         let mut sum = 0.0;
         for &w in weights {
-            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weights must be finite and non-negative"
+            );
             sum += w;
         }
         assert!(sum > 0.0, "weights must not all be zero");

@@ -34,7 +34,11 @@ pub fn fit_powerlaw_ccdf(values: &[u64], x_min: u64) -> Option<f64> {
 ///
 /// Returns `None` if fewer than two positive observations exist.
 pub fn fit_lognormal(values: &[u64]) -> Option<(f64, f64)> {
-    let logs: Vec<f64> = values.iter().filter(|&&v| v > 0).map(|&v| (v as f64).ln()).collect();
+    let logs: Vec<f64> = values
+        .iter()
+        .filter(|&&v| v > 0)
+        .map(|&v| (v as f64).ln())
+        .collect();
     if logs.len() < 2 {
         return None;
     }
@@ -72,15 +76,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let values: Vec<u64> = (0..60_000).map(|_| z.sample(&mut rng) as u64).collect();
         let alpha = fit_powerlaw_ccdf(&values, 2).expect("enough tail points");
-        assert!((0.7..1.4).contains(&alpha), "tail exponent {alpha} (expected ≈ 1.0)");
+        assert!(
+            (0.7..1.4).contains(&alpha),
+            "tail exponent {alpha} (expected ≈ 1.0)"
+        );
     }
 
     #[test]
     fn recovers_lognormal_parameters() {
         let ln = LogNormal::new(3.0, 0.8);
         let mut rng = StdRng::seed_from_u64(2);
-        let values: Vec<u64> =
-            (0..50_000).map(|_| ln.sample(&mut rng).round().max(1.0) as u64).collect();
+        let values: Vec<u64> = (0..50_000)
+            .map(|_| ln.sample(&mut rng).round().max(1.0) as u64)
+            .collect();
         let (mu, sigma) = fit_lognormal(&values).expect("positive observations");
         assert!((mu - 3.0).abs() < 0.1, "mu {mu}");
         assert!((sigma - 0.8).abs() < 0.1, "sigma {sigma}");
@@ -92,7 +100,11 @@ mod tests {
         let w = gen.generate();
         let (mu, sigma) = fit_lognormal(&w.rate_values()).expect("rates positive");
         // Rounding to integers perturbs the moments slightly.
-        assert!((mu - gen.rate_log_mean).abs() < 0.15, "mu {mu} vs {}", gen.rate_log_mean);
+        assert!(
+            (mu - gen.rate_log_mean).abs() < 0.15,
+            "mu {mu} vs {}",
+            gen.rate_log_mean
+        );
         assert!(
             (sigma - gen.rate_log_sigma).abs() < 0.15,
             "sigma {sigma} vs {}",

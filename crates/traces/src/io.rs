@@ -105,9 +105,10 @@ pub fn read_workload<R: BufRead>(input: R) -> Result<Workload, ReadTraceError> {
     let mut next_line = |expect: &str| -> Result<(usize, String), ReadTraceError> {
         match lines.next() {
             Some((i, Ok(line))) => Ok((i + 1, line)),
-            Some((i, Err(e))) => {
-                Err(ReadTraceError::Parse { line: i + 1, message: format!("read failed: {e}") })
-            }
+            Some((i, Err(e))) => Err(ReadTraceError::Parse {
+                line: i + 1,
+                message: format!("read failed: {e}"),
+            }),
             None => Err(ReadTraceError::Parse {
                 line: 0,
                 message: format!("unexpected end of file, expected {expect}"),
@@ -216,7 +217,10 @@ mod tests {
     #[test]
     fn rejects_bad_header() {
         let err = read_workload(BufReader::new(b"nope\n".as_slice())).unwrap_err();
-        assert!(matches!(err, ReadTraceError::Parse { line: 1, .. }), "{err}");
+        assert!(
+            matches!(err, ReadTraceError::Parse { line: 1, .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ use rand::{Rng, SeedableRng};
 ///
 /// Panics if `fraction` is not within `[0, 1]`.
 pub fn sample_subscribers(workload: &Workload, fraction: f64, seed: u64) -> Workload {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be a probability"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let interests: Vec<Vec<TopicId>> = workload
         .subscribers()
@@ -73,13 +76,15 @@ pub fn scale_rates(workload: &Workload, numer: u64, denom: u64) -> Workload {
         .rates()
         .iter()
         .map(|r| {
-            let scaled =
-                (u128::from(r.get()) * u128::from(numer) + u128::from(denom / 2))
-                    / u128::from(denom);
+            let scaled = (u128::from(r.get()) * u128::from(numer) + u128::from(denom / 2))
+                / u128::from(denom);
             Rate::new(u64::try_from(scaled).unwrap_or(u64::MAX).max(1))
         })
         .collect();
-    let interests = workload.subscribers().map(|v| workload.interests(v).to_vec()).collect();
+    let interests = workload
+        .subscribers()
+        .map(|v| workload.interests(v).to_vec())
+        .collect();
     Workload::from_parts(rates, interests)
 }
 
@@ -87,8 +92,7 @@ pub fn scale_rates(workload: &Workload, numer: u64, denom: u64) -> Workload {
 /// re-numbering both densely. Returns the compacted workload plus the
 /// old→new topic mapping.
 pub fn compact(workload: &Workload) -> (Workload, Vec<Option<TopicId>>) {
-    let (w, mapping) =
-        filter_topics(workload, |t, _| !workload.subscribers_of(t).is_empty());
+    let (w, mapping) = filter_topics(workload, |t, _| !workload.subscribers_of(t).is_empty());
     let interests: Vec<Vec<TopicId>> = w
         .subscribers()
         .map(|v| w.interests(v).to_vec())
@@ -139,7 +143,10 @@ mod tests {
         // Keep only topics with rate >= 10 (drops t2).
         let (f, mapping) = filter_topics(&w, |_, r| r.get() >= 10);
         assert_eq!(f.num_topics(), 2);
-        assert_eq!(mapping, vec![Some(TopicId::new(0)), Some(TopicId::new(1)), None]);
+        assert_eq!(
+            mapping,
+            vec![Some(TopicId::new(0)), Some(TopicId::new(1)), None]
+        );
         assert_eq!(f.interests(SubscriberId::new(0)).len(), 2);
         // Keep only t1: subscriber 0 loses an interest, keeps the rest.
         let (f, mapping) = filter_topics(&w, |_, r| r.get() == 20);

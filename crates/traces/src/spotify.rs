@@ -104,11 +104,16 @@ impl SpotifyLike {
         let mut builder = Workload::builder();
         for _ in 0..num_topics {
             let rate = rate_dist.sample(&mut rng).round().max(1.0) as u64;
-            builder.add_topic(Rate::new(rate)).expect("rate positive and bounded");
+            builder
+                .add_topic(Rate::new(rate))
+                .expect("rate positive and bounded");
         }
 
         // Interests: small Zipf-distributed sets.
-        let interest_dist = Zipf::new(self.max_interests.min(num_topics).max(1), self.interest_exponent);
+        let interest_dist = Zipf::new(
+            self.max_interests.min(num_topics).max(1),
+            self.interest_exponent,
+        );
         for _ in 0..self.subscribers {
             let k = interest_dist.sample(&mut rng);
             let mut chosen: Vec<TopicId> = Vec::with_capacity(k);
@@ -149,14 +154,22 @@ mod tests {
         let s = w.stats();
         let ratio = s.num_topics as f64 / s.num_subscribers as f64;
         assert!((0.15..0.3).contains(&ratio), "topic ratio {ratio}");
-        assert!((1.2..4.5).contains(&s.mean_interests), "mean interests {}", s.mean_interests);
+        assert!(
+            (1.2..4.5).contains(&s.mean_interests),
+            "mean interests {}",
+            s.mean_interests
+        );
     }
 
     #[test]
     fn rates_are_positive_lognormal_ish() {
         let w = workload();
         let s = w.stats();
-        assert!(s.mean_rate > 300.0 && s.mean_rate < 1500.0, "mean rate {}", s.mean_rate);
+        assert!(
+            s.mean_rate > 300.0 && s.mean_rate < 1500.0,
+            "mean rate {}",
+            s.mean_rate
+        );
         assert!(s.max_rate as f64 > 3.0 * s.mean_rate, "tail too light");
         for t in w.topics() {
             assert!(!w.rate(t).is_zero());
@@ -178,7 +191,11 @@ mod tests {
         counts.sort_unstable_by(|a, b| b.cmp(a));
         // Zipf head: the most-followed topic clearly dominates the median.
         let median = counts[counts.len() / 2];
-        assert!(counts[0] > 10 * median.max(1), "head {} median {median}", counts[0]);
+        assert!(
+            counts[0] > 10 * median.max(1),
+            "head {} median {median}",
+            counts[0]
+        );
     }
 
     #[test]

@@ -123,8 +123,16 @@ impl TwitterLike {
     /// Panics if `users < 2` (a follow graph needs at least two users) or
     /// if any probability parameter lies outside `[0, 1]`.
     pub fn generate_trace(&self) -> TwitterTrace {
-        assert!(self.users >= 2, "need at least two users to form a follow graph");
-        for p in [self.spike_20_prob, self.spike_2000_prob, self.inactive_prob, self.bot_prob] {
+        assert!(
+            self.users >= 2,
+            "need at least two users to form a follow graph"
+        );
+        for p in [
+            self.spike_20_prob,
+            self.spike_2000_prob,
+            self.inactive_prob,
+            self.bot_prob,
+        ] {
             assert!((0.0..=1.0).contains(&p), "probabilities must be in [0, 1]");
         }
         let n = self.users;
@@ -141,8 +149,7 @@ impl TwitterLike {
         let targets = AliasTable::new(&weights);
 
         // Following counts with the documented spikes.
-        let following_dist =
-            LogNormal::new(self.following_log_mean, self.following_log_sigma);
+        let following_dist = LogNormal::new(self.following_log_mean, self.following_log_sigma);
         let mut followings: Vec<Vec<u32>> = Vec::with_capacity(n);
         let mut followers: Vec<u32> = vec![0; n];
         for u in 0..n {
@@ -212,10 +219,14 @@ impl TwitterLike {
             }
         }
         for tv in &followings {
-            let interests: Vec<TopicId> =
-                tv.iter().filter_map(|&t| topic_of_user[t as usize]).collect();
+            let interests: Vec<TopicId> = tv
+                .iter()
+                .filter_map(|&t| topic_of_user[t as usize])
+                .collect();
             if !interests.is_empty() {
-                builder.add_subscriber(interests).expect("interests reference added topics");
+                builder
+                    .add_subscriber(interests)
+                    .expect("interests reference added topics");
             }
         }
         TwitterTrace {
@@ -251,7 +262,10 @@ fn shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
 fn log_uniform((lo, hi): (u64, u64), rng: &mut impl Rng) -> u64 {
     assert!(lo >= 1 && hi >= lo, "invalid log-uniform range");
     let (llo, lhi) = ((lo as f64).ln(), (hi as f64).ln());
-    (llo + rng.gen::<f64>() * (lhi - llo)).exp().round().clamp(lo as f64, hi as f64) as u64
+    (llo + rng.gen::<f64>() * (lhi - llo))
+        .exp()
+        .round()
+        .clamp(lo as f64, hi as f64) as u64
 }
 
 #[cfg(test)]
@@ -266,7 +280,11 @@ mod tests {
     fn generates_nonempty_workload() {
         let w = workload();
         assert!(w.num_topics() > 500, "topics: {}", w.num_topics());
-        assert!(w.num_subscribers() > 1_000, "subscribers: {}", w.num_subscribers());
+        assert!(
+            w.num_subscribers() > 1_000,
+            "subscribers: {}",
+            w.num_subscribers()
+        );
         assert!(w.pair_count() > 5_000, "pairs: {}", w.pair_count());
     }
 
@@ -336,7 +354,12 @@ mod tests {
         let w = workload();
         let s = w.stats();
         // Bots push the max far beyond the mean (Fig. 9's tail).
-        assert!(s.max_rate as f64 > 20.0 * s.mean_rate, "max {} mean {}", s.max_rate, s.mean_rate);
+        assert!(
+            s.max_rate as f64 > 20.0 * s.mean_rate,
+            "max {} mean {}",
+            s.max_rate,
+            s.mean_rate
+        );
         assert!(s.max_rate >= 1_000);
     }
 

@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cost = Ec2CostModel::paper_effective(cloud_cost::instances::C3_LARGE)
         .with_volume_scale(workload.num_subscribers() as u64, 4_900_000);
 
-    let drift = DriftModel { rate_sigma: 0.25, churn_prob: 0.05, seed: 99 };
+    let drift = DriftModel {
+        rate_sigma: 0.25,
+        churn_prob: 0.05,
+        seed: 99,
+    };
     let mut reprovisioner = Reprovisioner::new(Solver::default());
 
     println!(
@@ -26,8 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "epoch", "VMs", "ΔVMs", "epoch cost", "cumulative"
     );
     for epoch in 0..12 {
-        let inst =
-            McssInstance::new(workload.clone(), Rate::new(100), cost.capacity())?;
+        let inst = McssInstance::new(workload.clone(), Rate::new(100), cost.capacity())?;
         let r = reprovisioner.step(&inst, &cost)?;
         println!(
             "{:>5} {:>6} {:>+8} {:>12} {:>14}",

@@ -19,8 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_volume_scale(workload.num_subscribers() as u64, 4_900_000);
     let instance = McssInstance::new(workload, Rate::new(100), cost.capacity())?;
 
-    let mut reallocator =
-        IncrementalReallocator::new(IncrementalConfig { compaction_threshold: 0.4 });
+    let mut reallocator = IncrementalReallocator::new(IncrementalConfig {
+        compaction_threshold: 0.4,
+    });
     let deployed = reallocator.step(&instance, &cost)?;
     println!(
         "deployed {} VMs for {} pairs ({} total)",
@@ -31,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fragility: subscribers starved per single-VM failure.
     let profile = fragility_profile(&instance, &deployed.allocation);
-    let worst = profile.iter().enumerate().max_by_key(|&(_, s)| *s).map(|(i, &s)| (i, s));
+    let worst = profile
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(i, &s)| (i, s));
     let (worst_vm, starved) = worst.expect("non-empty fleet");
     println!(
         "fragility: worst single failure is vm{worst_vm} -> {starved} starved \
@@ -55,7 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // fresh VMs where needed).
     reallocator.adopt(&deployed.selection, &impact.degraded);
     let repaired = reallocator.step(&instance, &cost)?;
-    repaired.allocation.validate(instance.workload(), instance.tau())?;
+    repaired
+        .allocation
+        .validate(instance.workload(), instance.tau())?;
     println!(
         "repaired: {} VMs, {} pairs re-placed, full re-solve: {} ({})",
         repaired.allocation.vm_count(),

@@ -35,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}\n", outcome.report);
 
     // Every constraint of the MCSS definition, checked.
-    outcome.allocation.validate(instance.workload(), instance.tau())?;
+    outcome
+        .allocation
+        .validate(instance.workload(), instance.tau())?;
     for (i, vm) in outcome.allocation.vms().iter().enumerate() {
         println!(
             "vm{i}: {} topics, {} pairs, {} used",

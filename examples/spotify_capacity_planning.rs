@@ -26,15 +26,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "instance", "tau", "VMs", "bandwidth GB", "total cost", "LB cost"
     );
     let mut best: Option<(String, u64, Money)> = None;
-    for instance_type in [cloud_cost::instances::C3_LARGE, cloud_cost::instances::C3_XLARGE] {
+    for instance_type in [
+        cloud_cost::instances::C3_LARGE,
+        cloud_cost::instances::C3_XLARGE,
+    ] {
         // `paper_effective` uses the per-VM event budget implied by the
         // paper's reported VM counts (see DESIGN.md §3), scaled to our
         // synthetic size so fleet sizes match the paper's figures.
         let cost = Ec2CostModel::paper_effective(instance_type)
             .with_volume_scale(SYNTH_SUBSCRIBERS as u64, PAPER_SUBSCRIBERS);
         for tau in [10u64, 100, 1000] {
-            let inst =
-                McssInstance::new(workload.clone(), Rate::new(tau), cost.capacity())?;
+            let inst = McssInstance::new(workload.clone(), Rate::new(tau), cost.capacity())?;
             let outcome = Solver::default().solve(&inst, &cost)?;
             outcome.allocation.validate(inst.workload(), inst.tau())?;
             println!(
@@ -46,8 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 outcome.report.total_cost.to_string(),
                 outcome.report.lower_bound_cost.to_string(),
             );
-            let key = (instance_type.name().to_string(), tau, outcome.report.total_cost);
-            if best.as_ref().map_or(true, |(_, _, c)| key.2 < *c) {
+            let key = (
+                instance_type.name().to_string(),
+                tau,
+                outcome.report.total_cost,
+            );
+            if best.as_ref().is_none_or(|(_, _, c)| key.2 < *c) {
                 best = Some(key);
             }
         }

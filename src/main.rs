@@ -55,8 +55,15 @@ enum Command {
         scale: Option<(u64, u64)>,
         simulate: bool,
     },
-    Generate { family: String, size: usize, seed: u64, out: Option<String> },
-    Analyze { trace: String },
+    Generate {
+        family: String,
+        size: usize,
+        seed: u64,
+        out: Option<String>,
+    },
+    Analyze {
+        trace: String,
+    },
     Help,
 }
 
@@ -76,8 +83,10 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "analyze" => {
-            let trace =
-                it.next().ok_or_else(|| "analyze needs a trace path".to_string())?.clone();
+            let trace = it
+                .next()
+                .ok_or_else(|| "analyze needs a trace path".to_string())?
+                .clone();
             Ok(Command::Analyze { trace })
         }
         "generate" => {
@@ -97,17 +106,26 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--seed" => seed = next_num(&mut it, "--seed")?,
                     "--out" => {
                         out = Some(
-                            it.next().ok_or_else(|| "--out needs a path".to_string())?.clone(),
+                            it.next()
+                                .ok_or_else(|| "--out needs a path".to_string())?
+                                .clone(),
                         )
                     }
                     other => return Err(format!("unknown generate flag {other:?}")),
                 }
             }
-            Ok(Command::Generate { family, size, seed, out })
+            Ok(Command::Generate {
+                family,
+                size,
+                seed,
+                out,
+            })
         }
         "solve" => {
-            let trace =
-                it.next().ok_or_else(|| "solve needs a trace path".to_string())?.clone();
+            let trace = it
+                .next()
+                .ok_or_else(|| "solve needs a trace path".to_string())?
+                .clone();
             let mut tau: Option<u64> = None;
             let mut instance = instances::C3_LARGE;
             let mut selector = SelectorKind::Greedy;
@@ -119,13 +137,15 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 match flag.as_str() {
                     "--tau" => tau = Some(next_num(&mut it, "--tau")?),
                     "--instance" => {
-                        let name =
-                            it.next().ok_or_else(|| "--instance needs a name".to_string())?;
+                        let name = it
+                            .next()
+                            .ok_or_else(|| "--instance needs a name".to_string())?;
                         instance = parse_instance(name)?;
                     }
                     "--selector" => {
-                        let name =
-                            it.next().ok_or_else(|| "--selector needs a name".to_string())?;
+                        let name = it
+                            .next()
+                            .ok_or_else(|| "--selector needs a name".to_string())?;
                         selector = match name.as_str() {
                             "gsp" => SelectorKind::Greedy,
                             "rsp" => SelectorKind::Random { seed: 42 },
@@ -135,8 +155,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                         };
                     }
                     "--allocator" => {
-                        let name =
-                            it.next().ok_or_else(|| "--allocator needs a name".to_string())?;
+                        let name = it
+                            .next()
+                            .ok_or_else(|| "--allocator needs a name".to_string())?;
                         allocator = match name.as_str() {
                             "cbp" => AllocatorKind::custom_full(),
                             "ffbp" => AllocatorKind::FirstFit,
@@ -146,15 +167,16 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--effective" => effective = true,
                     "--simulate" => simulate = true,
                     "--scale" => {
-                        let spec =
-                            it.next().ok_or_else(|| "--scale needs SYNTH/PAPER".to_string())?;
+                        let spec = it
+                            .next()
+                            .ok_or_else(|| "--scale needs SYNTH/PAPER".to_string())?;
                         let (a, b) = spec
                             .split_once('/')
                             .ok_or_else(|| format!("bad scale {spec:?}, want SYNTH/PAPER"))?;
-                        let a: u64 =
-                            a.parse().map_err(|e| format!("bad scale numerator: {e}"))?;
-                        let b: u64 =
-                            b.parse().map_err(|e| format!("bad scale denominator: {e}"))?;
+                        let a: u64 = a.parse().map_err(|e| format!("bad scale numerator: {e}"))?;
+                        let b: u64 = b
+                            .parse()
+                            .map_err(|e| format!("bad scale denominator: {e}"))?;
                         if a == 0 || b == 0 {
                             return Err("scale parts must be positive".into());
                         }
@@ -164,7 +186,16 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             let tau = tau.ok_or_else(|| "--tau is required".to_string())?;
-            Ok(Command::Solve { trace, tau, instance, selector, allocator, effective, scale, simulate })
+            Ok(Command::Solve {
+                trace,
+                tau,
+                instance,
+                selector,
+                allocator,
+                effective,
+                scale,
+                simulate,
+            })
         }
         other => Err(format!("unknown command {other:?}; try `mcss help`")),
     }
@@ -178,7 +209,8 @@ where
     T::Err: std::fmt::Display,
 {
     let raw = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
-    raw.parse().map_err(|e| format!("bad {flag} value {raw:?}: {e}"))
+    raw.parse()
+        .map_err(|e| format!("bad {flag} value {raw:?}: {e}"))
 }
 
 fn load_trace(path: &str) -> Result<Workload, String> {
@@ -199,21 +231,28 @@ fn run(command: Command) -> Result<(), String> {
             if issues.is_empty() {
                 println!("structure:         regular (every topic followed, every subscriber interested)");
             } else {
-                println!("structure:         {} irregularities (first: {})", issues.len(), issues[0]);
+                println!(
+                    "structure:         {} irregularities (first: {})",
+                    issues.len(),
+                    issues[0]
+                );
             }
             Ok(())
         }
-        Command::Generate { family, size, seed, out } => {
+        Command::Generate {
+            family,
+            size,
+            seed,
+            out,
+        } => {
             let workload = match family.as_str() {
                 "spotify" => SpotifyLike::new(size, seed).generate(),
                 _ => TwitterLike::new(size, seed).generate(),
             };
             match out {
                 Some(path) => {
-                    let file =
-                        File::create(&path).map_err(|e| format!("creating {path}: {e}"))?;
-                    write_workload(BufWriter::new(file), &workload)
-                        .map_err(|e| e.to_string())?;
+                    let file = File::create(&path).map_err(|e| format!("creating {path}: {e}"))?;
+                    write_workload(BufWriter::new(file), &workload).map_err(|e| e.to_string())?;
                     eprintln!(
                         "wrote {} topics / {} subscribers / {} pairs to {path}",
                         workload.num_topics(),
@@ -228,7 +267,16 @@ fn run(command: Command) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::Solve { trace, tau, instance, selector, allocator, effective, scale, simulate } => {
+        Command::Solve {
+            trace,
+            tau,
+            instance,
+            selector,
+            allocator,
+            effective,
+            scale,
+            simulate,
+        } => {
             let workload = load_trace(&trace)?;
             let mut cost = if effective {
                 Ec2CostModel::paper_effective(instance)
@@ -238,11 +286,15 @@ fn run(command: Command) -> Result<(), String> {
             if let Some((synth, paper)) = scale {
                 cost = cost.with_volume_scale(synth, paper);
             }
-            let mcss_instance =
-                McssInstance::new(workload, Rate::new(tau), cost.capacity())
-                    .map_err(|e| e.to_string())?;
-            let solver = Solver::new(SolverParams { selector, allocator });
-            let outcome = solver.solve(&mcss_instance, &cost).map_err(|e| e.to_string())?;
+            let mcss_instance = McssInstance::new(workload, Rate::new(tau), cost.capacity())
+                .map_err(|e| e.to_string())?;
+            let solver = Solver::new(SolverParams {
+                selector,
+                allocator,
+            });
+            let outcome = solver
+                .solve(&mcss_instance, &cost)
+                .map_err(|e| e.to_string())?;
             outcome
                 .allocation
                 .validate(mcss_instance.workload(), mcss_instance.tau())
@@ -259,7 +311,11 @@ fn run(command: Command) -> Result<(), String> {
                 let ok = report.all_satisfied(mcss_instance.workload(), mcss_instance.tau());
                 println!(
                     "operational satisfaction: {}",
-                    if ok { "all subscribers satisfied" } else { "VIOLATED" }
+                    if ok {
+                        "all subscribers satisfied"
+                    } else {
+                        "VIOLATED"
+                    }
                 );
                 let _ = cost.total_cost(outcome.report.vm_count, outcome.report.total_bandwidth);
             }
@@ -299,12 +355,28 @@ mod tests {
     #[test]
     fn solve_defaults_and_flags() {
         let cmd = parse(&[
-            "solve", "t.tsv", "--tau", "100", "--instance", "c3.xlarge", "--effective",
-            "--scale", "100/4900", "--simulate",
+            "solve",
+            "t.tsv",
+            "--tau",
+            "100",
+            "--instance",
+            "c3.xlarge",
+            "--effective",
+            "--scale",
+            "100/4900",
+            "--simulate",
         ])
         .unwrap();
         match cmd {
-            Command::Solve { trace, tau, instance, effective, scale, simulate, .. } => {
+            Command::Solve {
+                trace,
+                tau,
+                instance,
+                effective,
+                scale,
+                simulate,
+                ..
+            } => {
                 assert_eq!(trace, "t.tsv");
                 assert_eq!(tau, 100);
                 assert_eq!(instance.name(), "c3.xlarge");
@@ -335,9 +407,10 @@ mod tests {
 
     #[test]
     fn generate_parses() {
-        let cmd =
-            parse(&["generate", "twitter", "--size", "500", "--seed", "9", "--out", "x.tsv"])
-                .unwrap();
+        let cmd = parse(&[
+            "generate", "twitter", "--size", "500", "--seed", "9", "--out", "x.tsv",
+        ])
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Generate {
@@ -361,7 +434,10 @@ mod tests {
             out: Some(path.display().to_string()),
         })
         .unwrap();
-        run(Command::Analyze { trace: path.display().to_string() }).unwrap();
+        run(Command::Analyze {
+            trace: path.display().to_string(),
+        })
+        .unwrap();
         // A gentle scale ratio: at 300/4.9M the effective capacity would
         // shrink below a single loud topic's pair cost (the scale
         // artifact DESIGN.md §3 describes — the Scenario harness clamps
@@ -382,8 +458,10 @@ mod tests {
 
     #[test]
     fn missing_trace_file_is_reported() {
-        let err = run(Command::Analyze { trace: "/definitely/not/here.tsv".into() })
-            .unwrap_err();
+        let err = run(Command::Analyze {
+            trace: "/definitely/not/here.tsv".into(),
+        })
+        .unwrap_err();
         assert!(err.contains("opening"));
     }
 }

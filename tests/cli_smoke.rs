@@ -1,0 +1,157 @@
+//! End-to-end smoke tests driving the compiled `mcss` binary, so the CLI
+//! path (hand-rolled parser included) is covered by `cargo test`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn mcss(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mcss"))
+        .args(args)
+        .output()
+        .expect("spawn mcss binary")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+/// Per-test scratch dir so concurrent tests never collide.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mcss-cli-smoke-{}-{name}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    for args in [&["help"][..], &["--help"][..], &[][..]] {
+        let out = mcss(args);
+        assert!(
+            out.status.success(),
+            "mcss {args:?} failed: {}",
+            stderr(&out)
+        );
+        let text = stdout(&out);
+        assert!(text.contains("USAGE"), "no USAGE section in: {text}");
+        assert!(text.contains("mcss solve"), "no solve docs in: {text}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_hint() {
+    let out = mcss(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown command"), "unexpected stderr: {err}");
+    assert!(err.contains("mcss help"), "no help hint in: {err}");
+}
+
+#[test]
+fn generate_writes_a_parsable_trace() {
+    let dir = scratch("generate");
+    let path = dir.join("spotify.tsv");
+    let path_str = path.display().to_string();
+
+    let out = mcss(&[
+        "generate", "spotify", "--size", "100", "--seed", "7", "--out", &path_str,
+    ]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+    assert!(
+        stderr(&out).contains("wrote"),
+        "no summary line: {}",
+        stderr(&out)
+    );
+    let trace = std::fs::read_to_string(&path).expect("trace file written");
+    assert!(!trace.is_empty(), "empty trace file");
+
+    // The same trace must round-trip through analyze.
+    let out = mcss(&["analyze", &path_str]);
+    assert!(out.status.success(), "analyze failed: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("subscribers"),
+        "no stats in: {}",
+        stdout(&out)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn generate_to_stdout_is_deterministic_per_seed() {
+    let a = mcss(&["generate", "twitter", "--size", "50", "--seed", "9"]);
+    let b = mcss(&["generate", "twitter", "--size", "50", "--seed", "9"]);
+    let c = mcss(&["generate", "twitter", "--size", "50", "--seed", "10"]);
+    assert!(a.status.success() && b.status.success() && c.status.success());
+    assert_eq!(stdout(&a), stdout(&b), "same seed must reproduce the trace");
+    assert_ne!(stdout(&a), stdout(&c), "different seeds must differ");
+}
+
+#[test]
+fn solve_reports_on_a_tiny_trace() {
+    let dir = scratch("solve");
+    let path = dir.join("tiny.tsv");
+    let path_str = path.display().to_string();
+
+    let out = mcss(&[
+        "generate", "spotify", "--size", "100", "--seed", "7", "--out", &path_str,
+    ]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+
+    let out = mcss(&["solve", &path_str, "--tau", "50"]);
+    assert!(out.status.success(), "solve failed: {}", stderr(&out));
+    let report = stdout(&out);
+    assert!(
+        report.contains("bandwidth at full scale"),
+        "no bandwidth line in: {report}"
+    );
+
+    // The RSP/FFBP baseline path and the simulation replay must also run.
+    let out = mcss(&[
+        "solve",
+        &path_str,
+        "--tau",
+        "50",
+        "--selector",
+        "rsp",
+        "--allocator",
+        "ffbp",
+        "--simulate",
+    ]);
+    assert!(
+        out.status.success(),
+        "baseline solve failed: {}",
+        stderr(&out)
+    );
+    assert!(
+        stdout(&out).contains("operational satisfaction"),
+        "no simulation verdict in: {}",
+        stdout(&out)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solve_rejects_missing_tau() {
+    let dir = scratch("notau");
+    let path = dir.join("t.tsv");
+    let path_str = path.display().to_string();
+    let out = mcss(&[
+        "generate", "spotify", "--size", "20", "--seed", "1", "--out", &path_str,
+    ]);
+    assert!(out.status.success());
+
+    let out = mcss(&["solve", &path_str]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--tau"),
+        "unexpected stderr: {}",
+        stderr(&out)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

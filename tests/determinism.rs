@@ -12,9 +12,7 @@ fn solve_fingerprint(params: SolverParams, inst: &McssInstance, cost: &Ec2CostMo
     let outcome = Solver::new(params).solve(inst, cost).unwrap();
     let mut fp = format!(
         "pairs={} vms={} bw={}",
-        outcome.report.pairs_selected,
-        outcome.report.vm_count,
-        outcome.report.total_bandwidth
+        outcome.report.pairs_selected, outcome.report.vm_count, outcome.report.total_bandwidth
     );
     for vm in outcome.allocation.vms() {
         fp.push_str(&format!("|{}", vm.used()));
@@ -29,7 +27,10 @@ fn solve_fingerprint(params: SolverParams, inst: &McssInstance, cost: &Ec2CostMo
 fn identical_seeds_identical_results() {
     for params in [
         SolverParams::default(),
-        SolverParams { selector: SelectorKind::Random { seed: 8 }, allocator: AllocatorKind::FirstFit },
+        SolverParams {
+            selector: SelectorKind::Random { seed: 8 },
+            allocator: AllocatorKind::FirstFit,
+        },
         SolverParams {
             selector: SelectorKind::GreedyParallel { threads: 3 },
             allocator: AllocatorKind::custom_full(),

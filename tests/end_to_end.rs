@@ -20,8 +20,14 @@ fn twitter_instance(tau: u64) -> (McssInstance, Ec2CostModel) {
 
 fn all_pipelines() -> Vec<SolverParams> {
     vec![
-        SolverParams { selector: SelectorKind::Random { seed: 5 }, allocator: AllocatorKind::FirstFit },
-        SolverParams { selector: SelectorKind::Greedy, allocator: AllocatorKind::FirstFit },
+        SolverParams {
+            selector: SelectorKind::Random { seed: 5 },
+            allocator: AllocatorKind::FirstFit,
+        },
+        SolverParams {
+            selector: SelectorKind::Greedy,
+            allocator: AllocatorKind::FirstFit,
+        },
         SolverParams {
             selector: SelectorKind::Greedy,
             allocator: AllocatorKind::Custom(CbpConfig::grouping_only()),
@@ -34,7 +40,10 @@ fn all_pipelines() -> Vec<SolverParams> {
             selector: SelectorKind::Greedy,
             allocator: AllocatorKind::Custom(CbpConfig::most_free()),
         },
-        SolverParams { selector: SelectorKind::Greedy, allocator: AllocatorKind::custom_full() },
+        SolverParams {
+            selector: SelectorKind::Greedy,
+            allocator: AllocatorKind::custom_full(),
+        },
         SolverParams {
             selector: SelectorKind::SharedAware,
             allocator: AllocatorKind::custom_full(),
@@ -121,8 +130,7 @@ fn savings_shrink_with_tau_on_spotify() {
         .solve(&inst, &cost)
         .unwrap();
         savings.push(
-            1.0 - paper.report.total_cost.micros() as f64
-                / naive.report.total_cost.micros() as f64,
+            1.0 - paper.report.total_cost.micros() as f64 / naive.report.total_cost.micros() as f64,
         );
     }
     assert!(
@@ -166,9 +174,26 @@ fn larger_instances_need_fewer_vms() {
     let xlarge = s.cost_model(cloud_cost::instances::C3_XLARGE);
     let inst_l = s.instance(100, cloud_cost::instances::C3_LARGE).unwrap();
     let inst_x = s.instance(100, cloud_cost::instances::C3_XLARGE).unwrap();
-    let vms_l = Solver::default().solve(&inst_l, &large).unwrap().report.vm_count;
-    let vms_x = Solver::default().solve(&inst_x, &xlarge).unwrap().report.vm_count;
-    assert!(vms_x <= vms_l, "xlarge used more VMs ({vms_x}) than large ({vms_l})");
-    assert!(vms_x as f64 >= vms_l as f64 / 3.0, "implausible drop: {vms_l} -> {vms_x}");
-    assert!(vms_l > 1, "capacity should bind at this scale (got {vms_l} VM)");
+    let vms_l = Solver::default()
+        .solve(&inst_l, &large)
+        .unwrap()
+        .report
+        .vm_count;
+    let vms_x = Solver::default()
+        .solve(&inst_x, &xlarge)
+        .unwrap()
+        .report
+        .vm_count;
+    assert!(
+        vms_x <= vms_l,
+        "xlarge used more VMs ({vms_x}) than large ({vms_l})"
+    );
+    assert!(
+        vms_x as f64 >= vms_l as f64 / 3.0,
+        "implausible drop: {vms_l} -> {vms_x}"
+    );
+    assert!(
+        vms_l > 1,
+        "capacity should bind at this scale (got {vms_l} VM)"
+    );
 }

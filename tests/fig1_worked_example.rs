@@ -40,7 +40,10 @@ fn custom_packing_keeps_topics_whole() {
     assert_eq!(outcome.report.incoming, Bandwidth::new(30));
     // Outgoing: t1×2 + t2×3 = 70; total 100.
     assert_eq!(outcome.report.outgoing, Bandwidth::new(70));
-    outcome.allocation.validate(inst.workload(), inst.tau()).unwrap();
+    outcome
+        .allocation
+        .validate(inst.workload(), inst.tau())
+        .unwrap();
 }
 
 /// The figure's head-to-head: with the same pre-loaded VMs, first-fit
@@ -75,7 +78,9 @@ fn fig1_bandwidth_80_vs_50() {
     let cost = Ec2CostModel::paper_default(cloud_cost::instances::C3_LARGE);
 
     use mcss::solver::stage2::{Allocator, CustomBinPacking, FirstFitBinPacking};
-    let ff = FirstFitBinPacking::new().allocate(&w, &selection, capacity, &cost).unwrap();
+    let ff = FirstFitBinPacking::new()
+        .allocate(&w, &selection, capacity, &cost)
+        .unwrap();
     let cbp = CustomBinPacking::new(CbpConfig::most_free())
         .allocate(&w, &selection, capacity, &cost)
         .unwrap();
@@ -88,13 +93,20 @@ fn fig1_bandwidth_80_vs_50() {
     // (Fig. 1b) → 80 KB/min. CBP keeps each topic whole (Fig. 1d) →
     // 50 KB/min... our CBP achieves the figure's optimum of one incoming
     // stream per topic.
-    assert_eq!(cbp.incoming_volume(&w).get() - 70, 30, "each topic ingested once");
+    assert_eq!(
+        cbp.incoming_volume(&w).get() - 70,
+        30,
+        "each topic ingested once"
+    );
     assert_eq!(cbp_new, 100, "CBP: 70 outgoing + 30 incoming");
     assert!(
         ff.incoming_volume(&w) > cbp.incoming_volume(&w),
         "first-fit must replicate at least one topic (Fig. 1b)"
     );
-    assert!(ff_new > cbp_new, "FFBP {ff_new} should exceed CBP {cbp_new}");
+    assert!(
+        ff_new > cbp_new,
+        "FFBP {ff_new} should exceed CBP {cbp_new}"
+    );
 
     // Nobody starves in either layout.
     for v in [vf1, vf2, v1, v2, v3] {

@@ -13,14 +13,17 @@ use mcss_bench::scenario::Scenario;
 fn incremental_tracks_a_drifting_spotify_trace() {
     let s = Scenario::spotify(2_000, 41);
     let cost = s.cost_model(cloud_cost::instances::C3_LARGE);
-    let drift = DriftModel { rate_sigma: 0.15, churn_prob: 0.1, seed: 8 };
+    let drift = DriftModel {
+        rate_sigma: 0.15,
+        churn_prob: 0.1,
+        seed: 8,
+    };
     let mut inc = IncrementalReallocator::new(IncrementalConfig::default());
 
     let mut workload = (*s.workload).clone();
     let mut total_churn = 0u64;
     for epoch in 0..5 {
-        let inst =
-            McssInstance::new(workload.clone(), Rate::new(100), cost.capacity()).unwrap();
+        let inst = McssInstance::new(workload.clone(), Rate::new(100), cost.capacity()).unwrap();
         let out = inc.step(&inst, &cost).unwrap();
         out.allocation
             .validate(inst.workload(), inst.tau())
@@ -49,7 +52,10 @@ fn fragile_vms_exist_and_failures_account_exactly() {
 
     let profile = fragility_profile(&inst, &alloc);
     assert_eq!(profile.len(), alloc.vm_count());
-    assert!(profile.iter().any(|&s| s > 0), "no VM failure starves anyone?");
+    assert!(
+        profile.iter().any(|&s| s > 0),
+        "no VM failure starves anyone?"
+    );
 
     let impact = fail_vms(&inst, &alloc, &[0, 1]);
     assert_eq!(
@@ -68,9 +74,19 @@ fn ilp_export_scales_with_instance() {
     let s = Scenario::spotify(60, 43);
     let inst = s.instance(50, cloud_cost::instances::C3_LARGE).unwrap();
     let cost = s.cost_model(cloud_cost::instances::C3_LARGE);
-    let heuristic_vms =
-        Solver::default().solve(&inst, &cost).unwrap().report.vm_count.max(1);
-    let lp = export_lp(&inst, &cost, IlpOptions { max_vms: heuristic_vms });
+    let heuristic_vms = Solver::default()
+        .solve(&inst, &cost)
+        .unwrap()
+        .report
+        .vm_count
+        .max(1);
+    let lp = export_lp(
+        &inst,
+        &cost,
+        IlpOptions {
+            max_vms: heuristic_vms,
+        },
+    );
     // One capacity row per candidate VM, one satisfaction row per
     // subscriber with τ_v > 0.
     assert_eq!(lp.matches("cap_").count(), heuristic_vms);
@@ -84,8 +100,7 @@ fn reserved_pricing_changes_the_vm_bandwidth_tradeoff() {
     use cloud_cost::ReservedCostModel;
     let s = Scenario::spotify(2_000, 44);
     let on_demand = s.cost_model(cloud_cost::instances::C3_LARGE);
-    let reserved =
-        ReservedCostModel::new(on_demand.clone(), Money::from_dollars(5), 0.5);
+    let reserved = ReservedCostModel::new(on_demand.clone(), Money::from_dollars(5), 0.5);
     let inst = s.instance(100, cloud_cost::instances::C3_LARGE).unwrap();
     let od = Solver::default().solve(&inst, &on_demand).unwrap();
     let rs = Solver::default().solve(&inst, &reserved).unwrap();

@@ -8,16 +8,22 @@ use mcss_bench::scenario::Scenario;
 
 fn check_exact(inst: &McssInstance, cost: &Ec2CostModel) {
     let outcome = Solver::default().solve(inst, cost).unwrap();
-    outcome.allocation.validate(inst.workload(), inst.tau()).unwrap();
-    let report =
-        Simulation::new(SimConfig::default()).run(inst.workload(), &outcome.allocation);
+    outcome
+        .allocation
+        .validate(inst.workload(), inst.tau())
+        .unwrap();
+    let report = Simulation::new(SimConfig::default()).run(inst.workload(), &outcome.allocation);
     assert_eq!(
         report.total_bandwidth_events(),
         outcome.allocation.total_bandwidth().get(),
         "total simulated traffic diverged from the analytic model"
     );
     for (i, (meter, vm)) in report.vms.iter().zip(outcome.allocation.vms()).enumerate() {
-        assert_eq!(meter.total_events(), vm.used().get(), "vm{i} traffic diverged");
+        assert_eq!(
+            meter.total_events(),
+            vm.used().get(),
+            "vm{i} traffic diverged"
+        );
         assert_eq!(
             meter.ingress_events,
             vm.incoming_volume(inst.workload()).get(),
@@ -72,12 +78,19 @@ fn naive_and_paper_pipelines_both_satisfy_operationally() {
     let inst = s.instance(20, cloud_cost::instances::C3_LARGE).unwrap();
     let cost = s.cost_model(cloud_cost::instances::C3_LARGE);
     for params in [
-        SolverParams { selector: SelectorKind::Random { seed: 3 }, allocator: AllocatorKind::FirstFit },
+        SolverParams {
+            selector: SelectorKind::Random { seed: 3 },
+            allocator: AllocatorKind::FirstFit,
+        },
         SolverParams::default(),
     ] {
         let outcome = Solver::new(params).solve(&inst, &cost).unwrap();
         let report =
             Simulation::new(SimConfig::default()).run(inst.workload(), &outcome.allocation);
-        assert_eq!(report.unsatisfied_count(inst.workload(), inst.tau()), 0, "{params:?}");
+        assert_eq!(
+            report.unsatisfied_count(inst.workload(), inst.tau()),
+            0,
+            "{params:?}"
+        );
     }
 }

@@ -1,0 +1,327 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! Implements the `criterion_group!`/`criterion_main!` entry points,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::bench_function`] and [`Bencher::iter`] with a simple
+//! warmup-then-sample wall-clock measurement, reporting min/median/max
+//! nanoseconds per iteration. No statistical analysis, plots, or HTML
+//! reports — enough for `cargo bench` to produce honest relative numbers
+//! and for `cargo bench --no-run` to keep the perf surface compiling.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` like the real crate.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of measured iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Restricts runs to benchmark ids containing `filter` (the positional
+    /// argument `cargo bench -- <filter>` forwards).
+    pub fn with_filter(mut self, filter: impl Into<String>) -> Self {
+        self.filter = Some(filter.into());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        self.run_one(&id.full_name(None), sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, name: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(name);
+    }
+}
+
+/// Identifies one benchmark: an optional function name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id with both a function name and a parameter, e.g. `GSP/100`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id distinguished by parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_name(&self, group: Option<&str>) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if let Some(g) = group {
+            parts.push(g);
+        }
+        if let Some(f) = &self.function {
+            parts.push(f);
+        }
+        if let Some(p) = &self.parameter {
+            parts.push(p);
+        }
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: Some(function.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function: Some(function),
+            parameter: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the measured-iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.into().full_name(Some(&self.name));
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&name, sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into().full_name(Some(&self.name));
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&name, sample_size, f);
+        self
+    }
+
+    /// Ends the group (present for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine` over one warmup call plus `sample_size` timed
+    /// iterations, keeping each return value alive through `black_box`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<60} no samples recorded");
+            return;
+        }
+        self.samples.sort();
+        let min = self.samples[0];
+        let max = *self.samples.last().expect("non-empty");
+        let median = self.samples[self.samples.len() / 2];
+        println!(
+            "{name:<60} time: [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(max)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Builds the `Criterion` configuration for a `criterion_main!` run,
+/// honoring the filter argument `cargo bench -- <filter>` forwards.
+#[doc(hidden)]
+pub fn criterion_from_args() -> Criterion {
+    let mut c = Criterion::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // Harness flags cargo/criterion conventionally pass; ignored.
+            "--bench" | "--test" | "--verbose" | "-v" | "--quiet" | "--noplot" => {}
+            "--sample-size" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    c = c.sample_size(n);
+                }
+            }
+            other if other.starts_with("--") => {
+                // Swallow `--flag value` pairs we don't implement.
+                if !other.contains('=') {
+                    let _ = args.next();
+                }
+            }
+            filter => c = c.with_filter(filter),
+        }
+    }
+    c
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares the bench-harness `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::criterion_from_args();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(
+            BenchmarkId::new("GSP", 10).full_name(Some("stage1")),
+            "stage1/GSP/10"
+        );
+        assert_eq!(BenchmarkId::from_parameter("x").full_name(Some("g")), "g/x");
+        assert_eq!(BenchmarkId::from(String::from("f")).full_name(None), "f");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(4);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        // one warmup + four measured iterations
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion::default().sample_size(2).with_filter("match-me");
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("match-me", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+}

@@ -1,0 +1,145 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Provides deterministic randomized property testing with the real crate's
+//! surface syntax — the `proptest!` macro (including `#![proptest_config]`),
+//! [`strategy::Strategy`] with `prop_map`/`prop_flat_map`, range and tuple
+//! strategies, [`strategy::Just`], [`collection::vec`], `prop_assert!` /
+//! `prop_assert_eq!`, and [`test_runner::TestCaseError`] — but **without
+//! shrinking**: a failing case reports its seed, case index, and the full
+//! `Debug` rendering of the generated input instead of a minimized one.
+//!
+//! Case streams are seeded from the test name, so failures reproduce exactly
+//! on re-run and across machines.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace alias matching `proptest::prop` (e.g. `prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// The glob import test modules start with.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fails the current property test case with a message.
+///
+/// Expands to an early `return Err(TestCaseError)` — only valid inside a
+/// `proptest!` body (or any fn returning `Result<_, TestCaseError>`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality form of [`prop_assert!`]; both operands must be `Debug`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality form of [`prop_assert!`]; both operands must be `Debug`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`, both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(expr)]          // optional
+///     #[test]
+///     fn name(pat in strategy, ...) { body }
+///     ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::case_rng(stringify!($name), case);
+                let values =
+                    ($($crate::strategy::Strategy::generate(&($strategy), &mut rng),)+);
+                let rendering = format!("{:?}", values);
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    match values {
+                        ($($pat,)+) => (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })(),
+                    };
+                if let ::core::result::Result::Err(error) = outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}:\n{}\ninput: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        error,
+                        rendering,
+                    );
+                }
+            }
+        }
+    )*};
+}

@@ -1,0 +1,51 @@
+//! End-to-end exercise of the `proptest!` macro surface this workspace uses.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn pairs() -> impl Strategy<Value = (Vec<u64>, u64)> {
+    vec(1u64..100, 1..=8).prop_flat_map(|xs| {
+        let n = xs.len() as u64;
+        (Just(xs), 0..n)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flat_map_index_in_bounds((xs, i) in pairs()) {
+        prop_assert!((i as usize) < xs.len());
+        prop_assert_eq!(xs.len(), xs.len());
+    }
+
+    #[test]
+    fn question_mark_propagates(x in 1u64..50, y in 1u64..50) {
+        let sum = x.checked_add(y)
+            .ok_or_else(|| TestCaseError::fail("overflow"))?;
+        prop_assert!(sum >= 2, "sum {} too small", sum);
+        prop_assert_ne!(sum, 0);
+    }
+
+    #[test]
+    fn trailing_comma_and_multi_binding(
+        xs in vec(0u32..5, 0..6),
+        k in 0usize..=3,
+    ) {
+        prop_assert!(xs.len() < 6 && k <= 3);
+    }
+}
+
+// Declared without `#[test]` so the harness doesn't collect it; the
+// should_panic wrapper below drives it and checks the failure report.
+proptest! {
+    fn always_fails(x in 10u64..20) {
+        prop_assert!(x < 10, "x was {}", x);
+    }
+}
+
+#[test]
+#[should_panic(expected = "failed at case")]
+fn failing_property_panics_with_case_info() {
+    always_fails();
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (no call site
+//! serializes through serde yet — on-disk traces go through the hand-rolled
+//! TSV codec in `pubsub_traces::io`). This crate therefore provides the two
+//! trait names plus no-op derive macros from [`serde_derive`], keeping every
+//! type signature source-compatible with the real crate so it can be swapped
+//! in unchanged once the build environment has registry access.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
