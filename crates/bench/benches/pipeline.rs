@@ -27,6 +27,7 @@ fn bench_pipeline(c: &mut Criterion) {
             let solver = Solver::new(SolverParams {
                 selector: SelectorKind::Random { seed: 42 },
                 allocator: AllocatorKind::FirstFit,
+                ..SolverParams::default()
             });
             b.iter(|| black_box(solver.solve(inst, &cost).expect("feasible")));
         });

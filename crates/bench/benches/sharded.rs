@@ -1,0 +1,56 @@
+//! Shard-parallel solver benchmark: the full GSP+CBP pipeline monolithic
+//! versus 2/4/8 shards at trace scale, for both partitioners.
+//!
+//! The merged allocation is validated once per configuration outside the
+//! timing loop, so the numbers are pure solve+merge wall-clock.
+
+use cloud_cost::instances;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcss_bench::scenario::{env_size, Scenario};
+use mcss_core::{PartitionerKind, ShardingConfig, Solver, SolverParams};
+use std::hint::black_box;
+
+fn bench_sharded(c: &mut Criterion) {
+    let scenarios = [
+        Scenario::spotify(env_size("MCSS_SPOTIFY_SUBS", 20_000), 20140113),
+        Scenario::twitter(env_size("MCSS_TWITTER_USERS", 10_000), 20131030),
+    ];
+    for scenario in &scenarios {
+        let cost = scenario.cost_model(instances::C3_LARGE);
+        let inst = scenario
+            .instance(100, instances::C3_LARGE)
+            .expect("valid capacity");
+        let mut group = c.benchmark_group(format!("sharded/{}", scenario.name));
+        group.sample_size(10);
+
+        group.bench_with_input(BenchmarkId::new("monolithic", 1), &inst, |b, inst| {
+            let solver = Solver::default();
+            b.iter(|| black_box(solver.solve(inst, &cost).expect("feasible")));
+        });
+
+        for shards in [2usize, 4, 8] {
+            for (label, partitioner) in [
+                ("topic", PartitionerKind::TopicLocality),
+                ("hash", PartitionerKind::Hash { seed: 42 }),
+            ] {
+                let params = SolverParams::default()
+                    .with_sharding(ShardingConfig::new(shards).with_partitioner(partitioner));
+                let solver = Solver::new(params);
+                // Sanity outside the timed loop: merged fleets must stay
+                // valid or the speedup numbers are meaningless.
+                let outcome = solver.solve(&inst, &cost).expect("feasible");
+                outcome
+                    .allocation
+                    .validate(inst.workload(), inst.tau())
+                    .expect("merged allocation valid");
+                group.bench_with_input(BenchmarkId::new(label, shards), &inst, |b, inst| {
+                    b.iter(|| black_box(solver.solve(inst, &cost).expect("feasible")));
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_sharded);
+criterion_main!(benches);

@@ -86,6 +86,20 @@ fn main() {
         &experiments::fig_trace_analysis(env_size("MCSS_TWITTER_USERS", 100_000), 20131030),
     );
 
+    let mut sharded = String::from("== sharded vs monolithic (Spotify) ==\n");
+    sharded.push_str(&experiments::fig_sharded_speedup(
+        &spotify,
+        instances::C3_LARGE,
+        100,
+    ));
+    sharded.push_str("\n== sharded vs monolithic (Twitter) ==\n");
+    sharded.push_str(&experiments::fig_sharded_speedup(
+        &twitter,
+        instances::C3_LARGE,
+        100,
+    ));
+    save(dir, "sharded_speedup.txt", &sharded);
+
     println!(
         "all experiments done in {:.1}s",
         started.elapsed().as_secs_f64()

@@ -7,7 +7,9 @@ use crate::table::Table;
 use cloud_cost::{Ec2CostModel, InstanceType};
 use mcss_core::stage1::{GreedySelectPairs, PairSelector, RandomSelectPairs};
 use mcss_core::stage2::{Allocator, CbpConfig, CustomBinPacking, FirstFitBinPacking};
-use mcss_core::{lower_bound, AllocatorKind, SelectorKind, Solver, SolverParams};
+use mcss_core::{
+    lower_bound, AllocatorKind, PartitionerKind, SelectorKind, ShardingConfig, Solver, SolverParams,
+};
 use pubsub_model::{Bandwidth, Rate};
 use pubsub_traces::{analysis, TwitterLike};
 use std::fmt::Write as _;
@@ -21,6 +23,7 @@ pub fn cost_metric_variants() -> Vec<(&'static str, SolverParams)> {
             SolverParams {
                 selector: SelectorKind::Random { seed: 42 },
                 allocator: AllocatorKind::FirstFit,
+                ..SolverParams::default()
             },
         ),
         (
@@ -28,6 +31,7 @@ pub fn cost_metric_variants() -> Vec<(&'static str, SolverParams)> {
             SolverParams {
                 selector: SelectorKind::Greedy,
                 allocator: AllocatorKind::FirstFit,
+                ..SolverParams::default()
             },
         ),
         (
@@ -35,6 +39,7 @@ pub fn cost_metric_variants() -> Vec<(&'static str, SolverParams)> {
             SolverParams {
                 selector: SelectorKind::Greedy,
                 allocator: AllocatorKind::Custom(CbpConfig::grouping_only()),
+                ..SolverParams::default()
             },
         ),
         (
@@ -42,6 +47,7 @@ pub fn cost_metric_variants() -> Vec<(&'static str, SolverParams)> {
             SolverParams {
                 selector: SelectorKind::Greedy,
                 allocator: AllocatorKind::Custom(CbpConfig::expensive_first()),
+                ..SolverParams::default()
             },
         ),
         (
@@ -49,6 +55,7 @@ pub fn cost_metric_variants() -> Vec<(&'static str, SolverParams)> {
             SolverParams {
                 selector: SelectorKind::Greedy,
                 allocator: AllocatorKind::Custom(CbpConfig::most_free()),
+                ..SolverParams::default()
             },
         ),
         (
@@ -56,6 +63,7 @@ pub fn cost_metric_variants() -> Vec<(&'static str, SolverParams)> {
             SolverParams {
                 selector: SelectorKind::Greedy,
                 allocator: AllocatorKind::Custom(CbpConfig::full()),
+                ..SolverParams::default()
             },
         ),
     ]
@@ -252,6 +260,77 @@ pub fn fig_stage2_runtime(scenario: &Scenario, instance: InstanceType, reps: u32
         "# paper: FFBP/CBP ≈ {:.0}x on Spotify, ≈ {:.0}x on Twitter",
         paper::STAGE2_SPOTIFY_RATIO.ratio,
         paper::STAGE2_TWITTER_RATIO.ratio
+    );
+    out
+}
+
+/// Sharded-vs-monolithic comparison (extension, not a paper figure): the
+/// full GSP+CBP pipeline at 1/2/4/8 shards on one scenario, reporting
+/// wall-clock, cost delta, VM delta, and whether satisfaction matches the
+/// monolithic solve exactly.
+pub fn fig_sharded_speedup(scenario: &Scenario, instance: InstanceType, tau: u64) -> String {
+    let cost = scenario.cost_model(instance);
+    let inst = scenario
+        .instance(tau, instance)
+        .expect("catalogued capacity is nonzero");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# sharded solve, {} trace, {} subscribers, τ={tau}, {}",
+        scenario.name,
+        scenario.workload.num_subscribers(),
+        instance.name()
+    );
+    let mut t = Table::new(vec![
+        "shards".into(),
+        "total s".into(),
+        "stage1 s".into(),
+        "stage2 s".into(),
+        "speedup".into(),
+        "cost $".into(),
+        "Δcost%".into(),
+        "VMs".into(),
+        "satisfied=".into(),
+    ]);
+    let mono = Solver::default()
+        .solve(&inst, &cost)
+        .expect("feasible scenario");
+    let mono_delivered = mono.allocation.delivered_rates(inst.workload());
+    let mono_secs = mono.report.stage1_time.as_secs_f64() + mono.report.stage2_time.as_secs_f64();
+    let mono_cost = mono.report.total_cost.as_dollars_f64();
+    for shards in [1usize, 2, 4, 8] {
+        let params = SolverParams::default().with_sharding(
+            ShardingConfig::new(shards).with_partitioner(PartitionerKind::TopicLocality),
+        );
+        let outcome = Solver::new(params)
+            .solve(&inst, &cost)
+            .expect("feasible scenario");
+        outcome
+            .allocation
+            .validate(inst.workload(), inst.tau())
+            .expect("merged allocation must stay valid");
+        let secs =
+            outcome.report.stage1_time.as_secs_f64() + outcome.report.stage2_time.as_secs_f64();
+        let dollars = outcome.report.total_cost.as_dollars_f64();
+        let same_satisfaction =
+            outcome.allocation.delivered_rates(inst.workload()) == mono_delivered;
+        t.row(vec![
+            shards.to_string(),
+            format!("{secs:.4}"),
+            format!("{:.4}", outcome.report.stage1_time.as_secs_f64()),
+            format!("{:.4}", outcome.report.stage2_time.as_secs_f64()),
+            format!("{:.2}x", mono_secs / secs.max(1e-9)),
+            format!("{dollars:.2}"),
+            format!("{:+.2}", 100.0 * (dollars / mono_cost - 1.0)),
+            outcome.report.vm_count.to_string(),
+            same_satisfaction.to_string(),
+        ]);
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "# speedup vs the monolithic run; Δcost% is replication overhead \
+         left after cross-shard topic-group compaction"
     );
     out
 }
@@ -457,6 +536,16 @@ mod tests {
         assert!(t1.contains("GSP"));
         let t2 = fig_stage2_runtime(&s, instances::C3_LARGE, 1);
         assert!(t2.contains("FFBP/CBP"));
+    }
+
+    #[test]
+    fn sharded_speedup_report_runs_on_small_scenario() {
+        let s = Scenario::spotify(600, 9);
+        let text = fig_sharded_speedup(&s, instances::C3_LARGE, 50);
+        assert!(text.contains("shards"));
+        assert!(text.contains("speedup"));
+        // Satisfaction must match monolithic on every row.
+        assert!(!text.contains("false"), "satisfaction diverged:\n{text}");
     }
 
     #[test]

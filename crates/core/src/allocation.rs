@@ -210,6 +210,52 @@ impl Allocation {
         &self.vms
     }
 
+    /// Consumes the allocation, yielding per-VM `(topic, subscribers)`
+    /// rows sorted by topic id (used by the sharded solver to merge shard
+    /// fleets without cloning or re-hashing the placement lists).
+    pub(crate) fn into_vm_groups(self) -> Vec<Vec<(TopicId, Vec<SubscriberId>)>> {
+        self.vms
+            .into_iter()
+            .map(|vm| {
+                vm.placements
+                    .into_iter()
+                    .map(|p| (p.topic, p.subscribers))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Assembles an allocation from per-VM `(topic, subscribers)` rows —
+    /// the cheap path for the sharded merge, whose rows are already
+    /// near-sorted. Rows are (re-)sorted and bandwidth recomputed, like
+    /// [`Allocation::from_tables`].
+    pub(crate) fn from_vm_groups(
+        groups: Vec<Vec<(TopicId, Vec<SubscriberId>)>>,
+        workload: &Workload,
+        capacity: Bandwidth,
+    ) -> Allocation {
+        let vms = groups
+            .into_iter()
+            .map(|rows| {
+                let mut placements: Vec<TopicPlacement> = rows
+                    .into_iter()
+                    .map(|(topic, mut subscribers)| {
+                        subscribers.sort_unstable();
+                        TopicPlacement { topic, subscribers }
+                    })
+                    .collect();
+                placements.sort_unstable_by_key(|p| p.topic);
+                let mut used = Bandwidth::ZERO;
+                for p in &placements {
+                    let rate = workload.rate(p.topic);
+                    used += rate * (p.subscribers.len() as u64 + 1);
+                }
+                VmAllocation { placements, used }
+            })
+            .collect();
+        Allocation { vms, capacity }
+    }
+
     /// `|B|` — the number of VMs deployed.
     #[inline]
     pub fn vm_count(&self) -> usize {

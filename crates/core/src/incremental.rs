@@ -22,9 +22,10 @@
 //! cost of adaptation is visible — the metric a re-provisioning interval
 //! would be tuned against.
 
+use crate::shard::{ShardedSolver, ShardingConfig};
 use crate::stage1::{GreedySelectPairs, PairSelector};
 use crate::stage2::{Allocator, CbpConfig, CustomBinPacking};
-use crate::{Allocation, McssError, McssInstance, Selection};
+use crate::{Allocation, McssError, McssInstance, Selection, SolverParams};
 use cloud_cost::CostModel;
 use pubsub_model::{Bandwidth, SubscriberId, TopicId};
 use std::collections::HashMap;
@@ -35,12 +36,19 @@ pub struct IncrementalConfig {
     /// Utilization floor: when `Σ used / (|B| · BC)` falls below this
     /// after repair, a full re-solve replaces the repaired allocation.
     pub compaction_threshold: f64,
+    /// When set with `shards ≥ 2`, full re-solves (the first epoch and
+    /// compaction-triggered rebuilds) pack shard-parallel through
+    /// [`ShardedSolver`] instead of one monolithic CustomBinPacking run.
+    /// Repairs stay incremental either way — they touch only the pairs
+    /// that moved.
+    pub sharding: Option<ShardingConfig>,
 }
 
 impl Default for IncrementalConfig {
     fn default() -> Self {
         IncrementalConfig {
             compaction_threshold: 0.5,
+            sharding: None,
         }
     }
 }
@@ -102,8 +110,7 @@ impl IncrementalReallocator {
         let selection = GreedySelectPairs::new().select(instance)?;
 
         let Some(prev) = self.previous.take() else {
-            let allocation = CustomBinPacking::new(CbpConfig::full())
-                .allocate(workload, &selection, capacity, cost)?;
+            let allocation = self.full_allocate(instance, &selection, cost)?;
             let placed = selection.pair_count();
             self.remember(&selection, &allocation);
             return Ok(IncrementalOutcome {
@@ -253,8 +260,7 @@ impl IncrementalReallocator {
             total_used.get() as f64 / fleet_capacity as f64
         };
         if utilization < self.config.compaction_threshold {
-            let allocation = CustomBinPacking::new(CbpConfig::full())
-                .allocate(workload, &selection, capacity, cost)?;
+            let allocation = self.full_allocate(instance, &selection, cost)?;
             let placed = selection.pair_count();
             self.remember(&selection, &allocation);
             return Ok(IncrementalOutcome {
@@ -277,6 +283,29 @@ impl IncrementalReallocator {
             pairs_evicted,
             full_resolve: false,
         })
+    }
+
+    /// Packs `selection` from scratch — shard-parallel when the
+    /// configuration asks for it, monolithic CBP otherwise.
+    fn full_allocate(
+        &self,
+        instance: &McssInstance,
+        selection: &Selection,
+        cost: &dyn CostModel,
+    ) -> Result<Allocation, McssError> {
+        match self.config.sharding {
+            Some(sharding) if sharding.shards > 1 => {
+                let solver = ShardedSolver::new(SolverParams::default(), sharding);
+                let (allocation, _) = solver.allocate(instance, selection, cost)?;
+                Ok(allocation)
+            }
+            _ => CustomBinPacking::new(CbpConfig::full()).allocate(
+                instance.workload(),
+                selection,
+                instance.capacity(),
+                cost,
+            ),
+        }
     }
 
     /// Seeds the re-allocator's state from an externally produced
@@ -481,11 +510,36 @@ mod tests {
     }
 
     #[test]
+    fn sharded_full_resolve_matches_invariants() {
+        // With sharding configured, the first epoch and later repairs
+        // must still produce valid allocations.
+        let mut inc = IncrementalReallocator::new(IncrementalConfig {
+            sharding: Some(crate::ShardingConfig::new(2)),
+            ..IncrementalConfig::default()
+        });
+        let inst = instance(base_workload());
+        let first = inc.step(&inst, &cost()).unwrap();
+        assert!(first.full_resolve);
+        first
+            .allocation
+            .validate(inst.workload(), inst.tau())
+            .unwrap();
+        let second = inc.step(&inst, &cost()).unwrap();
+        assert!(!second.full_resolve);
+        assert_eq!(second.pairs_placed, 0);
+        second
+            .allocation
+            .validate(inst.workload(), inst.tau())
+            .unwrap();
+    }
+
+    #[test]
     fn collapse_triggers_full_resolve() {
         // Epoch 1: rich workload. Epoch 2: almost everything unsubscribes
         // (interests shrink), utilization collapses, expect a re-solve.
         let mut inc = IncrementalReallocator::new(IncrementalConfig {
             compaction_threshold: 0.6,
+            ..IncrementalConfig::default()
         });
         let inst = instance(base_workload());
         inc.step(&inst, &cost()).unwrap();

@@ -24,6 +24,7 @@
 //! | exact baseline for tiny instances | [`exact`] |
 //! | §VI dynamic re-provisioning (future work) | [`dynamic`] |
 //! | §VI online repair (future work, extension) | [`incremental`] |
+//! | shard-parallel solving + fleet merge (extension) | [`ShardedSolver`], [`ShardingConfig`] |
 //! | Best-/Next-Fit baselines (extension) | [`stage2::BestFitBinPacking`], [`stage2::NextFitBinPacking`] |
 //!
 //! # Quick start
@@ -46,6 +47,7 @@
 //! let solver = Solver::new(SolverParams {
 //!     selector: SelectorKind::Greedy,
 //!     allocator: AllocatorKind::custom_full(),
+//!     ..SolverParams::default()
 //! });
 //! let outcome = solver.solve(&instance, &cost)?;
 //! assert!(outcome.allocation.validate(instance.workload(), instance.tau()).is_ok());
@@ -69,6 +71,7 @@ pub mod planner;
 mod problem;
 pub mod reduction;
 mod selection;
+mod shard;
 pub mod stage1;
 pub mod stage2;
 
@@ -78,3 +81,7 @@ pub use lower_bound::{lower_bound, LowerBound};
 pub use pipeline::{AllocatorKind, SelectorKind, SolveOutcome, SolveReport, Solver, SolverParams};
 pub use problem::McssInstance;
 pub use selection::Selection;
+pub use shard::{
+    partition_subscribers, MergeStats, PartitionerKind, ShardedOutcome, ShardedSolver,
+    ShardingConfig,
+};

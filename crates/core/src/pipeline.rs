@@ -1,5 +1,6 @@
 //! The end-to-end two-stage solver pipeline with timing and reporting.
 
+use crate::shard::{ShardedSolver, ShardingConfig};
 use crate::stage1::{
     GreedySelectPairs, OptimalSelectPairs, PairSelector, RandomSelectPairs, SharedAwareGreedy,
 };
@@ -32,7 +33,7 @@ pub enum SelectorKind {
 }
 
 impl SelectorKind {
-    fn build(&self) -> Box<dyn PairSelector> {
+    pub(crate) fn build(&self) -> Box<dyn PairSelector> {
         match *self {
             SelectorKind::Greedy => Box::new(GreedySelectPairs::new()),
             SelectorKind::GreedyParallel { threads } => {
@@ -41,6 +42,16 @@ impl SelectorKind {
             SelectorKind::Random { seed } => Box::new(RandomSelectPairs::new(seed)),
             SelectorKind::Optimal => Box::new(OptimalSelectPairs::new()),
             SelectorKind::SharedAware => Box::new(SharedAwareGreedy::new()),
+        }
+    }
+
+    /// The short report name of the selector this kind builds.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SelectorKind::Greedy | SelectorKind::GreedyParallel { .. } => "GSP",
+            SelectorKind::Random { .. } => "RSP",
+            SelectorKind::Optimal => "OPT1",
+            SelectorKind::SharedAware => "GSP-shared",
         }
     }
 }
@@ -60,29 +71,53 @@ impl AllocatorKind {
         AllocatorKind::Custom(CbpConfig::full())
     }
 
-    fn build(&self) -> Box<dyn Allocator> {
+    pub(crate) fn build(&self) -> Box<dyn Allocator> {
         match *self {
             AllocatorKind::FirstFit => Box::new(FirstFitBinPacking::new()),
             AllocatorKind::Custom(cfg) => Box::new(CustomBinPacking::new(cfg)),
         }
     }
+
+    /// The short report name of the allocator this kind builds.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AllocatorKind::FirstFit => "FFBP",
+            AllocatorKind::Custom(_) => "CBP",
+        }
+    }
 }
 
-/// Pipeline configuration: one selector, one allocator.
+/// Pipeline configuration: one selector, one allocator, and optionally a
+/// shard-parallel execution plan.
 #[derive(Clone, Copy, Debug)]
 pub struct SolverParams {
     /// Stage-1 algorithm.
     pub selector: SelectorKind,
     /// Stage-2 algorithm.
     pub allocator: AllocatorKind,
+    /// When set with `shards ≥ 2`, the solve partitions subscribers and
+    /// runs both stages per shard in parallel (see
+    /// [`ShardedSolver`](crate::ShardedSolver)); `None` or one shard is
+    /// the classic monolithic pipeline.
+    pub sharding: Option<ShardingConfig>,
+}
+
+impl SolverParams {
+    /// Returns these parameters with a sharded execution plan.
+    pub fn with_sharding(mut self, sharding: ShardingConfig) -> Self {
+        self.sharding = Some(sharding);
+        self
+    }
 }
 
 impl Default for SolverParams {
-    /// The paper's recommended combination: GSP + fully-optimized CBP.
+    /// The paper's recommended combination: GSP + fully-optimized CBP,
+    /// monolithic.
     fn default() -> Self {
         SolverParams {
             selector: SelectorKind::Greedy,
             allocator: AllocatorKind::custom_full(),
+            sharding: None,
         }
     }
 }
@@ -130,6 +165,8 @@ pub struct SolveReport {
     pub bandwidth_cost: Money,
     /// The objective `C1 + C2`.
     pub total_cost: Money,
+    /// Shards the solve ran over (1 = monolithic).
+    pub shards: usize,
     /// Alg. 5 bound on VMs.
     pub lower_bound_vms: u64,
     /// Alg. 5 bound on volume.
@@ -156,7 +193,15 @@ impl SolveReport {
 
 impl fmt::Display for SolveReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "pipeline:        {} + {}", self.selector, self.allocator)?;
+        if self.shards > 1 {
+            writeln!(
+                f,
+                "pipeline:        {} + {} over {} shards",
+                self.selector, self.allocator, self.shards
+            )?;
+        } else {
+            writeln!(f, "pipeline:        {} + {}", self.selector, self.allocator)?;
+        }
         writeln!(f, "pairs selected:  {}", self.pairs_selected)?;
         writeln!(
             f,
@@ -197,18 +242,29 @@ impl Solver {
         self.params
     }
 
-    /// Runs Stage 1 then Stage 2, validates nothing (callers validate via
-    /// [`Allocation::validate`]), and reports metrics including the Alg. 5
-    /// lower bound.
+    /// Runs Stage 1 then Stage 2 — monolithically, or shard-parallel when
+    /// [`SolverParams::sharding`] asks for two or more shards — validates
+    /// nothing (callers validate via [`Allocation::validate`]), and
+    /// reports metrics including the Alg. 5 lower bound.
     ///
     /// # Errors
     ///
-    /// Propagates selector and allocator errors ([`McssError`]).
+    /// Propagates selector and allocator errors ([`McssError`]);
+    /// [`McssError::ZeroShards`] if sharding is configured with zero
+    /// shards.
     pub fn solve(
         &self,
         instance: &McssInstance,
         cost: &dyn CostModel,
     ) -> Result<SolveOutcome, McssError> {
+        if let Some(sharding) = self.params.sharding {
+            if sharding.shards == 0 {
+                return Err(McssError::ZeroShards);
+            }
+            if sharding.shards > 1 {
+                return self.solve_sharded(instance, cost, sharding);
+            }
+        }
         let selector = self.params.selector.build();
         let allocator = self.params.allocator.build();
         let workload = instance.workload();
@@ -221,13 +277,64 @@ impl Solver {
         let allocation = allocator.allocate(workload, &selection, instance.capacity(), cost)?;
         let stage2_time = t1.elapsed();
 
+        let report = self.report(
+            instance,
+            cost,
+            &selection,
+            &allocation,
+            1,
+            stage1_time,
+            stage2_time,
+        );
+        Ok(SolveOutcome {
+            allocation,
+            selection,
+            report,
+        })
+    }
+
+    fn solve_sharded(
+        &self,
+        instance: &McssInstance,
+        cost: &dyn CostModel,
+        sharding: ShardingConfig,
+    ) -> Result<SolveOutcome, McssError> {
+        let sharded = ShardedSolver::new(self.params, sharding).solve(instance, cost)?;
+        let report = self.report(
+            instance,
+            cost,
+            &sharded.selection,
+            &sharded.allocation,
+            sharding.shards,
+            sharded.stage1_time,
+            sharded.stage2_time,
+        );
+        Ok(SolveOutcome {
+            allocation: sharded.allocation,
+            selection: sharded.selection,
+            report,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn report(
+        &self,
+        instance: &McssInstance,
+        cost: &dyn CostModel,
+        selection: &Selection,
+        allocation: &Allocation,
+        shards: usize,
+        stage1_time: Duration,
+        stage2_time: Duration,
+    ) -> SolveReport {
+        let workload = instance.workload();
         let lb = lower_bound(workload, instance.tau(), instance.capacity());
         let total_bandwidth = allocation.total_bandwidth();
         let vm_cost = cost.vm_cost(allocation.vm_count());
         let bandwidth_cost = cost.bandwidth_cost(total_bandwidth);
-        let report = SolveReport {
-            selector: selector.name(),
-            allocator: allocator.name(),
+        SolveReport {
+            selector: self.params.selector.name(),
+            allocator: self.params.allocator.name(),
             pairs_selected: selection.pair_count(),
             vm_count: allocation.vm_count(),
             total_bandwidth,
@@ -236,17 +343,13 @@ impl Solver {
             vm_cost,
             bandwidth_cost,
             total_cost: vm_cost + bandwidth_cost,
+            shards,
             lower_bound_vms: lb.vms,
             lower_bound_volume: lb.volume,
             lower_bound_cost: lb.cost(cost),
             stage1_time,
             stage2_time,
-        };
-        Ok(SolveOutcome {
-            allocation,
-            selection,
-            report,
-        })
+        }
     }
 }
 
@@ -308,19 +411,23 @@ mod tests {
             SolverParams {
                 selector: SelectorKind::Greedy,
                 allocator: AllocatorKind::FirstFit,
+                ..SolverParams::default()
             },
             SolverParams {
                 selector: SelectorKind::Random { seed: 3 },
                 allocator: AllocatorKind::FirstFit,
+                ..SolverParams::default()
             },
             SolverParams {
                 selector: SelectorKind::Greedy,
                 allocator: AllocatorKind::Custom(CbpConfig::grouping_only()),
+                ..SolverParams::default()
             },
             SolverParams::default(),
             SolverParams {
                 selector: SelectorKind::SharedAware,
                 allocator: AllocatorKind::custom_full(),
+                ..SolverParams::default()
             },
         ];
         for p in pipelines {
@@ -350,6 +457,7 @@ mod tests {
                 Solver::new(SolverParams {
                     selector: SelectorKind::Random { seed },
                     allocator: AllocatorKind::FirstFit,
+                    ..SolverParams::default()
                 })
                 .solve(&inst, &cost())
                 .unwrap()
@@ -372,17 +480,35 @@ mod tests {
         let seq = Solver::new(SolverParams {
             selector: SelectorKind::Greedy,
             allocator: AllocatorKind::custom_full(),
+            ..SolverParams::default()
         })
         .solve(&inst, &cost())
         .unwrap();
         let par = Solver::new(SolverParams {
             selector: SelectorKind::GreedyParallel { threads: 3 },
             allocator: AllocatorKind::custom_full(),
+            ..SolverParams::default()
         })
         .solve(&inst, &cost())
         .unwrap();
         assert_eq!(seq.selection, par.selection);
         assert_eq!(seq.allocation, par.allocation);
+    }
+
+    #[test]
+    fn kind_names_match_built_implementations() {
+        for kind in [
+            SelectorKind::Greedy,
+            SelectorKind::GreedyParallel { threads: 2 },
+            SelectorKind::Random { seed: 1 },
+            SelectorKind::Optimal,
+            SelectorKind::SharedAware,
+        ] {
+            assert_eq!(kind.name(), kind.build().name());
+        }
+        for kind in [AllocatorKind::FirstFit, AllocatorKind::custom_full()] {
+            assert_eq!(kind.name(), kind.build().name());
+        }
     }
 
     #[test]

@@ -24,32 +24,41 @@ pub struct PlannedOption {
 /// Ranked outcomes, cheapest first.
 #[derive(Clone, Debug)]
 pub struct PlannerReport {
-    /// All candidates, sorted by ascending total cost (ties: fewer VMs
-    /// first, then input order).
+    /// All feasible candidates, sorted by ascending total cost (ties:
+    /// fewer VMs first, then input order).
     pub ranked: Vec<PlannedOption>,
+    /// Candidates the solver rejected (e.g. a topic too loud for the
+    /// flavour's capacity), with the error each produced.
+    pub skipped: Vec<(&'static str, McssError)>,
 }
 
 impl PlannerReport {
-    /// The cheapest candidate.
-    pub fn best(&self) -> &PlannedOption {
-        &self.ranked[0]
+    /// The cheapest candidate, or `None` if no candidate was evaluated.
+    pub fn best(&self) -> Option<&PlannedOption> {
+        self.ranked.first()
     }
 
-    /// Cost spread between the cheapest and the dearest candidate.
-    pub fn spread(&self) -> Money {
-        let last = self.ranked.last().expect("non-empty by construction");
-        last.report.total_cost - self.ranked[0].report.total_cost
+    /// Cost spread between the cheapest and the dearest candidate, or
+    /// `None` if no candidate was evaluated.
+    pub fn spread(&self) -> Option<Money> {
+        let first = self.ranked.first()?;
+        let last = self.ranked.last()?;
+        Some(last.report.total_cost - first.report.total_cost)
     }
 }
 
 /// Solves `workload` at threshold `tau` under every candidate cost model
 /// (each provides its own capacity) and ranks the results.
 ///
+/// A candidate the solver rejects — typically a topic too loud for the
+/// flavour's capacity — is recorded in [`PlannerReport::skipped`] rather
+/// than failing the whole plan, so one undersized flavour cannot hide
+/// the feasible ones. With every candidate infeasible the report's
+/// `ranked` list is empty and [`PlannerReport::best`] returns `None`.
+///
 /// # Errors
 ///
-/// Returns the first solver error encountered (e.g. a topic that does not
-/// fit the smallest candidate's capacity), or [`McssError::ZeroCapacity`]
-/// if `candidates` is empty.
+/// Returns [`McssError::ZeroCapacity`] if `candidates` is empty.
 pub fn plan_instance_type(
     workload: Arc<Workload>,
     tau: Rate,
@@ -60,13 +69,18 @@ pub fn plan_instance_type(
         return Err(McssError::ZeroCapacity);
     }
     let mut ranked = Vec::with_capacity(candidates.len());
+    let mut skipped = Vec::new();
     for cost in candidates {
-        let instance = McssInstance::new(Arc::clone(&workload), tau, cost.capacity())?;
-        let outcome = solver.solve(&instance, cost)?;
-        ranked.push(PlannedOption {
-            name: cost.instance().name(),
-            report: outcome.report,
-        });
+        let name = cost.instance().name();
+        let outcome = McssInstance::new(Arc::clone(&workload), tau, cost.capacity())
+            .and_then(|instance| solver.solve(&instance, cost));
+        match outcome {
+            Ok(outcome) => ranked.push(PlannedOption {
+                name,
+                report: outcome.report,
+            }),
+            Err(e) => skipped.push((name, e)),
+        }
     }
     ranked.sort_by(|a, b| {
         a.report
@@ -74,7 +88,7 @@ pub fn plan_instance_type(
             .cmp(&b.report.total_cost)
             .then(a.report.vm_count.cmp(&b.report.vm_count))
     });
-    Ok(PlannerReport { ranked })
+    Ok(PlannerReport { ranked, skipped })
 }
 
 #[cfg(test)]
@@ -113,8 +127,40 @@ mod tests {
                 .unwrap();
         assert_eq!(report.ranked.len(), 2);
         assert!(report.ranked[0].report.total_cost <= report.ranked[1].report.total_cost);
-        assert!(report.spread() >= Money::ZERO);
-        assert!(!report.best().name.is_empty());
+        assert!(report.spread().expect("two candidates") >= Money::ZERO);
+        assert!(!report.best().expect("two candidates").name.is_empty());
+    }
+
+    #[test]
+    fn empty_report_yields_none_not_panic() {
+        let report = PlannerReport {
+            ranked: Vec::new(),
+            skipped: Vec::new(),
+        };
+        assert!(report.best().is_none());
+        assert!(report.spread().is_none());
+    }
+
+    #[test]
+    fn infeasible_candidate_is_skipped_not_fatal() {
+        // A topic louder than half the smallest candidate's capacity
+        // makes that flavour infeasible; the larger one must still rank.
+        let mut b = Workload::builder();
+        let small_cap = Ec2CostModel::paper_effective(instances::C3_LARGE)
+            .with_volume_scale(1, 2)
+            .capacity();
+        let loud = b.add_topic(Rate::new(small_cap.get())).unwrap();
+        b.add_subscriber([loud]).unwrap();
+        let w = Arc::new(b.build());
+        let candidates = vec![
+            Ec2CostModel::paper_effective(instances::C3_LARGE).with_volume_scale(1, 2),
+            Ec2CostModel::paper_effective(instances::C3_2XLARGE),
+        ];
+        let report = plan_instance_type(w, Rate::new(10), &candidates, Solver::default()).unwrap();
+        assert_eq!(report.ranked.len(), 1);
+        assert_eq!(report.best().unwrap().name, "c3.2xlarge");
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].0, "c3.large");
     }
 
     #[test]

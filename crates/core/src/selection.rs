@@ -1,10 +1,18 @@
 //! The output of Stage 1: a set of topic-subscriber pairs.
 
-use pubsub_model::{Bandwidth, Pair, Rate, SubscriberId, TopicId, Workload};
+use pubsub_model::{Bandwidth, Pair, Rate, SubscriberId, TopicId, WorkloadView};
 
 /// A set `S` of topic-subscriber pairs chosen to satisfy every subscriber
 /// (the output of Stage 1, §III-A), stored per subscriber in selection
 /// order.
+///
+/// Subscriber indices are relative to the [`WorkloadView`] the selection
+/// was produced from: a selection over a full view uses arena ids, a
+/// selection over a shard's subset view uses view-local indices (the view
+/// maps them back via [`WorkloadView::global`]). Methods that need
+/// per-subscriber workload data therefore take the view — a plain
+/// `&Workload` coerces into its full view, so whole-workload callers are
+/// unaffected.
 ///
 /// ```
 /// use mcss_core::Selection;
@@ -38,8 +46,15 @@ impl Selection {
         Selection { per_subscriber }
     }
 
-    /// Number of subscribers covered (equals the workload's subscriber
-    /// count for any selector output).
+    /// Consumes the selection, yielding the per-subscriber rows (used by
+    /// the sharded solver to scatter shard-local rows into a global
+    /// selection without cloning).
+    pub(crate) fn into_per_subscriber(self) -> Vec<Vec<TopicId>> {
+        self.per_subscriber
+    }
+
+    /// Number of subscribers covered (equals the view's subscriber count
+    /// for any selector output).
     pub fn num_subscribers(&self) -> usize {
         self.per_subscriber.len()
     }
@@ -58,7 +73,8 @@ impl Selection {
         self.per_subscriber.iter().map(|tv| tv.len() as u64).sum()
     }
 
-    /// Iterates all pairs in subscriber-major selection order.
+    /// Iterates all pairs in subscriber-major selection order, with
+    /// subscriber ids in this selection's own indexing.
     pub fn iter_pairs(&self) -> impl Iterator<Item = Pair> + '_ {
         self.per_subscriber.iter().enumerate().flat_map(|(vi, tv)| {
             let v = SubscriberId::new(vi as u32);
@@ -66,11 +82,25 @@ impl Selection {
         })
     }
 
+    /// Iterates all pairs in subscriber-major selection order with
+    /// subscriber ids mapped through `view` to arena ids — what Stage-2
+    /// packers emit so shard allocations concatenate without translation.
+    pub fn iter_pairs_in<'s>(&'s self, view: WorkloadView<'s>) -> impl Iterator<Item = Pair> + 's {
+        self.per_subscriber
+            .iter()
+            .enumerate()
+            .flat_map(move |(vi, tv)| {
+                let v = view.global(SubscriberId::new(vi as u32));
+                tv.iter().map(move |&t| Pair::new(t, v))
+            })
+    }
+
     /// Total outgoing delivery volume `Σ_{(t,v)∈S} ev_t`.
-    pub fn outgoing_volume(&self, workload: &Workload) -> Bandwidth {
+    pub fn outgoing_volume<'a>(&self, view: impl Into<WorkloadView<'a>>) -> Bandwidth {
+        let view = view.into();
         let mut total = Bandwidth::ZERO;
         for pair in self.iter_pairs() {
-            total += workload.rate(pair.topic);
+            total += view.rate(pair.topic);
         }
         total
     }
@@ -78,41 +108,48 @@ impl Selection {
     /// The Stage-1 heuristic's bandwidth cost `Σ_{(t,v)∈S} 2·ev_t`
     /// (incoming + outgoing per pair; Alg. 1's cost notion, which charges
     /// the incoming stream once per pair rather than once per topic).
-    pub fn stage1_cost(&self, workload: &Workload) -> Bandwidth {
+    pub fn stage1_cost<'a>(&self, view: impl Into<WorkloadView<'a>>) -> Bandwidth {
+        let view = view.into();
         let mut total = Bandwidth::ZERO;
         for pair in self.iter_pairs() {
-            total += workload.rate(pair.topic).pair_cost();
+            total += view.rate(pair.topic).pair_cost();
         }
         total
     }
 
-    /// Rate delivered to subscriber `v` under this selection
-    /// (`Σ_{t : (t,v)∈S} ev_t`).
-    pub fn delivered_rate(&self, workload: &Workload, v: SubscriberId) -> Rate {
+    /// Rate delivered to subscriber `v` (in this selection's indexing)
+    /// under this selection (`Σ_{t : (t,v)∈S} ev_t`).
+    pub fn delivered_rate<'a>(&self, view: impl Into<WorkloadView<'a>>, v: SubscriberId) -> Rate {
+        let view = view.into();
         self.per_subscriber[v.index()]
             .iter()
-            .map(|&t| workload.rate(t))
+            .map(|&t| view.rate(t))
             .sum()
     }
 
-    /// Checks the Stage-1 constraint `Σ_v f_v = |V|`: every subscriber
-    /// receives at least `τ_v = min(τ, Σ_{t∈T_v} ev_t)`.
-    pub fn satisfies(&self, workload: &Workload, tau: Rate) -> bool {
-        if self.per_subscriber.len() != workload.num_subscribers() {
+    /// Checks the Stage-1 constraint `Σ_v f_v = |V|`: every subscriber of
+    /// the view receives at least `τ_v = min(τ, Σ_{t∈T_v} ev_t)`.
+    pub fn satisfies<'a>(&self, view: impl Into<WorkloadView<'a>>, tau: Rate) -> bool {
+        let view = view.into();
+        if self.per_subscriber.len() != view.num_subscribers() {
             return false;
         }
-        workload
-            .subscribers()
-            .all(|v| self.delivered_rate(workload, v) >= workload.tau_v(v, tau))
+        view.subscribers()
+            .all(|v| self.delivered_rate(view.workload(), v) >= view.tau_v(v, tau))
     }
 
     /// Groups the selected pairs by topic: `(t, subscribers of t in S)`,
     /// ordered by topic id, only topics with at least one selected pair.
-    /// This is the "grouping of pairs" optimization (b) of §III-B.
-    pub fn group_by_topic(&self, workload: &Workload) -> Vec<(TopicId, Vec<SubscriberId>)> {
-        let mut groups: Vec<Vec<SubscriberId>> = vec![Vec::new(); workload.num_topics()];
+    /// Subscriber ids are mapped through `view` to arena ids. This is the
+    /// "grouping of pairs" optimization (b) of §III-B.
+    pub fn group_by_topic<'a>(
+        &self,
+        view: impl Into<WorkloadView<'a>>,
+    ) -> Vec<(TopicId, Vec<SubscriberId>)> {
+        let view = view.into();
+        let mut groups: Vec<Vec<SubscriberId>> = vec![Vec::new(); view.num_topics()];
         for (vi, tv) in self.per_subscriber.iter().enumerate() {
-            let v = SubscriberId::new(vi as u32);
+            let v = view.global(SubscriberId::new(vi as u32));
             for &t in tv {
                 groups[t.index()].push(v);
             }
@@ -129,6 +166,7 @@ impl Selection {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pubsub_model::Workload;
 
     fn workload() -> Workload {
         let mut b = Workload::builder();
@@ -202,5 +240,20 @@ mod tests {
         let s = Selection::from_per_subscriber(vec![vec![t(1)], vec![]]);
         assert_eq!(s.delivered_rate(&w, SubscriberId::new(0)), Rate::new(10));
         assert_eq!(s.delivered_rate(&w, SubscriberId::new(1)), Rate::ZERO);
+    }
+
+    #[test]
+    fn subset_view_selection_maps_to_arena_ids() {
+        let w = workload();
+        let shard = [SubscriberId::new(1)];
+        let view = w.subset_view(&shard);
+        // Local subscriber 0 is arena subscriber 1.
+        let s = Selection::from_per_subscriber(vec![vec![t(1), t(2)]]);
+        assert!(s.satisfies(view, Rate::new(15)));
+        assert!(!s.satisfies(&w, Rate::new(15)), "length mismatch vs full");
+        let pairs: Vec<Pair> = s.iter_pairs_in(view).collect();
+        assert_eq!(pairs[0], Pair::new(t(1), SubscriberId::new(1)));
+        let groups = s.group_by_topic(view);
+        assert_eq!(groups[0].1, vec![SubscriberId::new(1)]);
     }
 }

@@ -1,8 +1,8 @@
 //! GreedySelectPairs — Alg. 1 and Alg. 2 of the paper.
 
 use super::PairSelector;
-use crate::{McssError, McssInstance, Selection};
-use pubsub_model::{Rate, SubscriberId, TopicId, Workload};
+use crate::{McssError, Selection};
+use pubsub_model::{Rate, SubscriberId, TopicId, WorkloadView};
 
 /// The paper's Stage-1 greedy (Alg. 2), selecting pairs per subscriber by
 /// maximum benefit-cost ratio (Alg. 1):
@@ -62,15 +62,13 @@ impl PairSelector for GreedySelectPairs {
         "GSP"
     }
 
-    fn select(&self, instance: &McssInstance) -> Result<Selection, McssError> {
-        let workload = instance.workload();
-        let tau = instance.tau();
-        let n = workload.num_subscribers();
+    fn select_view(&self, view: WorkloadView<'_>, tau: Rate) -> Result<Selection, McssError> {
+        let n = view.num_subscribers();
         let mut per_subscriber: Vec<Vec<TopicId>> = vec![Vec::new(); n];
 
         if self.threads <= 1 || n < 2 * self.threads {
             for (vi, out) in per_subscriber.iter_mut().enumerate() {
-                *out = select_for_subscriber(workload, SubscriberId::new(vi as u32), tau);
+                *out = select_for_subscriber(view, SubscriberId::new(vi as u32), tau);
             }
         } else {
             let chunk = n.div_ceil(self.threads);
@@ -80,7 +78,7 @@ impl PairSelector for GreedySelectPairs {
                     scope.spawn(move || {
                         for (offset, out) in slot.iter_mut().enumerate() {
                             let v = SubscriberId::new((start + offset) as u32);
-                            *out = select_for_subscriber(workload, v, tau);
+                            *out = select_for_subscriber(view, v, tau);
                         }
                     });
                 }
@@ -91,18 +89,19 @@ impl PairSelector for GreedySelectPairs {
 }
 
 /// One subscriber's greedy selection (Alg. 1 + Alg. 2 inner loop, via the
-/// descending sweep described on [`GreedySelectPairs`]).
+/// descending sweep described on [`GreedySelectPairs`]). `v` is in the
+/// view's local numbering.
 pub(crate) fn select_for_subscriber(
-    workload: &Workload,
+    view: WorkloadView<'_>,
     v: SubscriberId,
     tau: Rate,
 ) -> Vec<TopicId> {
-    let interests = workload.interests(v);
+    let interests = view.interests(v);
     if interests.is_empty() {
         return Vec::new();
     }
-    let tau_v = workload.tau_v(v, tau);
-    let total = workload.subscriber_total_rate(v);
+    let tau_v = view.tau_v(v, tau);
+    let total = view.subscriber_total_rate(v);
     if total <= tau_v {
         // τ_v = min(τ, total): everything is needed.
         return interests.to_vec();
@@ -110,7 +109,7 @@ pub(crate) fn select_for_subscriber(
 
     // Descending (rate, then ascending id) order.
     let mut order: Vec<TopicId> = interests.to_vec();
-    order.sort_unstable_by(|&a, &b| workload.rate(b).cmp(&workload.rate(a)).then(a.cmp(&b)));
+    order.sort_unstable_by(|&a, &b| view.rate(b).cmp(&view.rate(a)).then(a.cmp(&b)));
 
     let mut selected = Vec::new();
     let mut rem = tau_v;
@@ -119,7 +118,7 @@ pub(crate) fn select_for_subscriber(
         if rem.is_zero() {
             break;
         }
-        let ev = workload.rate(t);
+        let ev = view.rate(t);
         if ev <= rem {
             selected.push(t);
             chosen[i] = true;
@@ -134,7 +133,7 @@ pub(crate) fn select_for_subscriber(
             .zip(&chosen)
             .filter(|(_, &c)| !c)
             .map(|(&t, _)| t)
-            .min_by_key(|&t| (workload.rate(t), t))
+            .min_by_key(|&t| (view.rate(t), t))
             .expect("total > tau_v guarantees an unchosen topic remains");
         selected.push(cheapest_exceeder);
     }
@@ -144,7 +143,8 @@ pub(crate) fn select_for_subscriber(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pubsub_model::Bandwidth;
+    use crate::McssInstance;
+    use pubsub_model::{Bandwidth, Workload};
 
     fn build(rates: &[u64], interests: &[&[u32]]) -> Workload {
         let mut b = Workload::builder();

@@ -9,8 +9,8 @@
 //! greedy between the lower bound and the true Stage-1 optimum.
 
 use super::PairSelector;
-use crate::{McssError, McssInstance, Selection};
-use pubsub_model::{SubscriberId, TopicId, Workload};
+use crate::{McssError, Selection};
+use pubsub_model::{Rate, SubscriberId, TopicId, WorkloadView};
 
 /// Exact Stage-1 selector (per-subscriber covering knapsack).
 ///
@@ -50,12 +50,11 @@ impl PairSelector for OptimalSelectPairs {
         "OPT1"
     }
 
-    fn select(&self, instance: &McssInstance) -> Result<Selection, McssError> {
-        let workload = instance.workload();
+    fn select_view(&self, view: WorkloadView<'_>, tau: Rate) -> Result<Selection, McssError> {
         // Pre-flight the budget across all subscribers.
         let mut cells: u64 = 0;
-        for v in workload.subscribers() {
-            let tau_v = instance.tau_v(v);
+        for v in view.subscribers() {
+            let tau_v = view.tau_v(v, tau);
             cells = cells.saturating_add(tau_v.get());
             if cells > self.budget {
                 return Err(McssError::TooLargeForOptimalSelection {
@@ -64,9 +63,9 @@ impl PairSelector for OptimalSelectPairs {
                 });
             }
         }
-        let mut per_subscriber = Vec::with_capacity(workload.num_subscribers());
-        for v in workload.subscribers() {
-            per_subscriber.push(optimal_for_subscriber(workload, v, instance));
+        let mut per_subscriber = Vec::with_capacity(view.num_subscribers());
+        for v in view.subscribers() {
+            per_subscriber.push(optimal_for_subscriber(view, v, tau));
         }
         Ok(Selection::from_per_subscriber(per_subscriber))
     }
@@ -74,17 +73,13 @@ impl PairSelector for OptimalSelectPairs {
 
 /// Covering knapsack for one subscriber: minimize the selected total rate
 /// subject to `total ≥ τ_v`.
-fn optimal_for_subscriber(
-    workload: &Workload,
-    v: SubscriberId,
-    instance: &McssInstance,
-) -> Vec<TopicId> {
-    let interests = workload.interests(v);
+fn optimal_for_subscriber(view: WorkloadView<'_>, v: SubscriberId, tau: Rate) -> Vec<TopicId> {
+    let interests = view.interests(v);
     if interests.is_empty() {
         return Vec::new();
     }
-    let tau_v = instance.tau_v(v).get();
-    let total = workload.subscriber_total_rate(v).get();
+    let tau_v = view.tau_v(v, tau).get();
+    let total = view.subscriber_total_rate(v).get();
     if total <= tau_v {
         return interests.to_vec();
     }
@@ -104,7 +99,7 @@ fn optimal_for_subscriber(
     let mut best: Option<(u64, usize, usize)> = None;
 
     for (i, &t) in interests.iter().enumerate() {
-        let ev = workload.rate(t).get();
+        let ev = view.rate(t).get();
         // Descending sums: classic 0/1 knapsack order.
         for s in (0..target).rev() {
             if !reachable[s] {
@@ -130,7 +125,7 @@ fn optimal_for_subscriber(
     while s > 0 {
         let i = filler[s] as usize;
         chosen.push(interests[i]);
-        s -= workload.rate(interests[i]).get() as usize;
+        s -= view.rate(interests[i]).get() as usize;
     }
     chosen
 }
@@ -139,7 +134,8 @@ fn optimal_for_subscriber(
 mod tests {
     use super::*;
     use crate::stage1::GreedySelectPairs;
-    use pubsub_model::{Bandwidth, Rate};
+    use crate::McssInstance;
+    use pubsub_model::{Bandwidth, Workload};
 
     fn instance(rates: &[u64], interests: &[&[u32]], tau: u64) -> McssInstance {
         let mut b = Workload::builder();

@@ -1,8 +1,8 @@
 //! RandomSelectPairs — Alg. 6, the naive Stage-1 baseline.
 
 use super::PairSelector;
-use crate::{McssError, McssInstance, Selection};
-use pubsub_model::TopicId;
+use crate::{McssError, Selection};
+use pubsub_model::{Rate, TopicId, WorkloadView};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -29,21 +29,20 @@ impl PairSelector for RandomSelectPairs {
         "RSP"
     }
 
-    fn select(&self, instance: &McssInstance) -> Result<Selection, McssError> {
-        let workload = instance.workload();
+    fn select_view(&self, view: WorkloadView<'_>, tau: Rate) -> Result<Selection, McssError> {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut per_subscriber = Vec::with_capacity(workload.num_subscribers());
-        for v in workload.subscribers() {
-            let tau_v = instance.tau_v(v);
-            let mut order: Vec<TopicId> = workload.interests(v).to_vec();
+        let mut per_subscriber = Vec::with_capacity(view.num_subscribers());
+        for v in view.subscribers() {
+            let tau_v = view.tau_v(v, tau);
+            let mut order: Vec<TopicId> = view.interests(v).to_vec();
             shuffle(&mut order, &mut rng);
             let mut chosen = Vec::new();
-            let mut delivered = pubsub_model::Rate::ZERO;
+            let mut delivered = Rate::ZERO;
             for t in order {
                 if delivered >= tau_v {
                     break;
                 }
-                delivered += workload.rate(t);
+                delivered += view.rate(t);
                 chosen.push(t);
             }
             per_subscriber.push(chosen);
@@ -63,7 +62,8 @@ fn shuffle<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
 mod tests {
     use super::*;
     use crate::stage1::GreedySelectPairs;
-    use pubsub_model::{Bandwidth, Rate, Workload};
+    use crate::McssInstance;
+    use pubsub_model::{Bandwidth, Workload};
 
     fn instance(tau: u64) -> McssInstance {
         let mut b = Workload::builder();

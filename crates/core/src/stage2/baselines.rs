@@ -11,7 +11,7 @@
 use super::{Allocator, VmBuild};
 use crate::{Allocation, McssError, Selection};
 use cloud_cost::CostModel;
-use pubsub_model::{Bandwidth, Workload};
+use pubsub_model::{Bandwidth, WorkloadView};
 
 /// Best-fit bin packing over individual pairs: each pair lands on the VM
 /// whose remaining headroom after placement would be smallest (the
@@ -34,16 +34,16 @@ impl Allocator for BestFitBinPacking {
         "BFBP"
     }
 
-    fn allocate(
+    fn allocate_view(
         &self,
-        workload: &Workload,
+        view: WorkloadView<'_>,
         selection: &Selection,
         capacity: Bandwidth,
         _cost: &dyn CostModel,
     ) -> Result<Allocation, McssError> {
         let mut vms: Vec<VmBuild> = Vec::new();
-        for pair in selection.iter_pairs() {
-            let rate = workload.rate(pair.topic);
+        for pair in selection.iter_pairs_in(view) {
+            let rate = view.rate(pair.topic);
             if rate.pair_cost() > capacity {
                 return Err(McssError::InfeasibleTopic {
                     topic: pair.topic,
@@ -73,7 +73,7 @@ impl Allocator for BestFitBinPacking {
         }
         Ok(Allocation::from_tables(
             vms.into_iter().map(VmBuild::into_table).collect(),
-            workload,
+            view.workload(),
             capacity,
         ))
     }
@@ -98,16 +98,16 @@ impl Allocator for NextFitBinPacking {
         "NFBP"
     }
 
-    fn allocate(
+    fn allocate_view(
         &self,
-        workload: &Workload,
+        view: WorkloadView<'_>,
         selection: &Selection,
         capacity: Bandwidth,
         _cost: &dyn CostModel,
     ) -> Result<Allocation, McssError> {
         let mut vms: Vec<VmBuild> = Vec::new();
-        for pair in selection.iter_pairs() {
-            let rate = workload.rate(pair.topic);
+        for pair in selection.iter_pairs_in(view) {
+            let rate = view.rate(pair.topic);
             if rate.pair_cost() > capacity {
                 return Err(McssError::InfeasibleTopic {
                     topic: pair.topic,
@@ -130,7 +130,7 @@ impl Allocator for NextFitBinPacking {
         }
         Ok(Allocation::from_tables(
             vms.into_iter().map(VmBuild::into_table).collect(),
-            workload,
+            view.workload(),
             capacity,
         ))
     }
@@ -141,7 +141,7 @@ mod tests {
     use super::*;
     use crate::stage2::FirstFitBinPacking;
     use cloud_cost::{LinearCostModel, Money};
-    use pubsub_model::{Rate, TopicId};
+    use pubsub_model::{Rate, TopicId, Workload};
 
     fn nocost() -> LinearCostModel {
         LinearCostModel::new(Money::ZERO, Money::ZERO)

@@ -3,7 +3,7 @@
 use super::{cheaper_to_distribute, Allocator, VmBuild};
 use crate::{Allocation, McssError, Selection};
 use cloud_cost::CostModel;
-use pubsub_model::{Bandwidth, SubscriberId, Workload};
+use pubsub_model::{Bandwidth, SubscriberId, WorkloadView};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -118,23 +118,23 @@ impl Allocator for CustomBinPacking {
         "CBP"
     }
 
-    fn allocate(
+    fn allocate_view(
         &self,
-        workload: &Workload,
+        view: WorkloadView<'_>,
         selection: &Selection,
         capacity: Bandwidth,
         cost: &dyn CostModel,
     ) -> Result<Allocation, McssError> {
         let cfg = self.config;
-        let mut groups = selection.group_by_topic(workload);
+        let mut groups = selection.group_by_topic(view);
         if cfg.expensive_topic_first {
             // Decreasing key, ties by ascending topic id (sort is stable
             // over the id-ordered input).
             match cfg.expensive_order {
                 ExpensiveOrder::TotalVolume => groups.sort_by_key(|(t, vs)| {
-                    Reverse(u128::from(workload.rate(*t).get()) * vs.len() as u128)
+                    Reverse(u128::from(view.rate(*t).get()) * vs.len() as u128)
                 }),
-                ExpensiveOrder::Rate => groups.sort_by_key(|(t, _)| Reverse(workload.rate(*t))),
+                ExpensiveOrder::Rate => groups.sort_by_key(|(t, _)| Reverse(view.rate(*t))),
             }
         }
 
@@ -145,7 +145,7 @@ impl Allocator for CustomBinPacking {
         let mut free_heap: BinaryHeap<(Bandwidth, Reverse<usize>)> = BinaryHeap::new();
 
         for (topic, subscribers) in &groups {
-            let rate = workload.rate(*topic);
+            let rate = view.rate(*topic);
             if rate.pair_cost() > capacity {
                 return Err(McssError::InfeasibleTopic {
                     topic: *topic,
@@ -243,7 +243,7 @@ impl Allocator for CustomBinPacking {
 
         Ok(Allocation::from_tables(
             vms.into_iter().map(VmBuild::into_table).collect(),
-            workload,
+            view.workload(),
             capacity,
         ))
     }
@@ -254,7 +254,7 @@ mod tests {
     use super::*;
     use crate::stage2::FirstFitBinPacking;
     use cloud_cost::{LinearCostModel, Money};
-    use pubsub_model::{Rate, TopicId};
+    use pubsub_model::{Rate, TopicId, Workload};
 
     fn nocost() -> LinearCostModel {
         LinearCostModel::new(Money::ZERO, Money::ZERO)

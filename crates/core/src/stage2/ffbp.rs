@@ -3,7 +3,7 @@
 use super::{Allocator, VmBuild};
 use crate::{Allocation, McssError, Selection};
 use cloud_cost::CostModel;
-use pubsub_model::{Bandwidth, Workload};
+use pubsub_model::{Bandwidth, WorkloadView};
 
 /// First-fit bin packing over individual pairs (Alg. 3).
 ///
@@ -32,16 +32,16 @@ impl Allocator for FirstFitBinPacking {
         "FFBP"
     }
 
-    fn allocate(
+    fn allocate_view(
         &self,
-        workload: &Workload,
+        view: WorkloadView<'_>,
         selection: &Selection,
         capacity: Bandwidth,
         _cost: &dyn CostModel,
     ) -> Result<Allocation, McssError> {
         let mut vms: Vec<VmBuild> = Vec::new();
-        for pair in selection.iter_pairs() {
-            let rate = workload.rate(pair.topic);
+        for pair in selection.iter_pairs_in(view) {
+            let rate = view.rate(pair.topic);
             if rate.pair_cost() > capacity {
                 return Err(McssError::InfeasibleTopic {
                     topic: pair.topic,
@@ -63,7 +63,7 @@ impl Allocator for FirstFitBinPacking {
         }
         Ok(Allocation::from_tables(
             vms.into_iter().map(VmBuild::into_table).collect(),
-            workload,
+            view.workload(),
             capacity,
         ))
     }
@@ -73,7 +73,7 @@ impl Allocator for FirstFitBinPacking {
 mod tests {
     use super::*;
     use cloud_cost::{LinearCostModel, Money};
-    use pubsub_model::{Rate, SubscriberId, TopicId};
+    use pubsub_model::{Rate, SubscriberId, TopicId, Workload};
 
     fn nocost() -> LinearCostModel {
         LinearCostModel::new(Money::ZERO, Money::ZERO)

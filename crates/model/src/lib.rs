@@ -10,7 +10,10 @@
 //! * [`Rate`] — the per-topic event rate `ev_t` (events per evaluation
 //!   window) and [`Bandwidth`] — aggregated event volume;
 //! * [`Workload`] — an immutable instance of `(T, V, ev, Int)` with the
-//!   derived subscriber sets `V_t`, built through [`WorkloadBuilder`];
+//!   derived subscriber sets `V_t`, built through [`WorkloadBuilder`] and
+//!   stored as flat CSR (compressed sparse row) adjacency arenas;
+//! * [`WorkloadView`] — a zero-copy, possibly subscriber-restricted window
+//!   over a workload's arenas, the unit sharded solvers operate on;
 //! * [`WorkloadStats`] — summary statistics used by trace analysis and the
 //!   experiment harness.
 //!
@@ -43,9 +46,11 @@
 mod ids;
 mod stats;
 mod units;
+mod view;
 mod workload;
 
 pub use ids::{Pair, SubscriberId, TopicId};
 pub use stats::WorkloadStats;
 pub use units::{Bandwidth, Rate, MAX_RATE};
+pub use view::WorkloadView;
 pub use workload::{ValidationIssue, Workload, WorkloadBuilder, WorkloadError};

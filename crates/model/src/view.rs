@@ -1,0 +1,246 @@
+//! Zero-copy subscriber-subset views over a [`Workload`].
+//!
+//! A [`WorkloadView`] borrows the workload's CSR arenas and (optionally) a
+//! slice of subscriber ids, presenting that subset as a dense workload of
+//! its own: view-local subscriber indices run `0..view.num_subscribers()`
+//! and map back to arena ids through [`WorkloadView::global`]. Topics are
+//! never re-indexed — every shard of a partitioned solve shares the same
+//! topic space, which is what lets per-shard allocations be concatenated
+//! and compacted without translation.
+//!
+//! Views are two pointers wide, `Copy`, and `Sync`, so solver shards can
+//! hand them across scoped threads freely.
+
+use crate::{Rate, SubscriberId, TopicId, Workload};
+
+/// A borrowed, possibly-restricted window onto a [`Workload`].
+///
+/// The full view ([`Workload::view`]) is the identity: local indices equal
+/// arena ids. A subset view ([`Workload::subset_view`]) re-numbers the
+/// chosen subscribers densely in slice order while reading interests and
+/// rates straight out of the shared arena — no cloning, no re-indexing of
+/// topics.
+///
+/// ```
+/// use pubsub_model::{Rate, SubscriberId, Workload};
+///
+/// # fn main() -> Result<(), pubsub_model::WorkloadError> {
+/// let mut b = Workload::builder();
+/// let t = b.add_topic(Rate::new(10))?;
+/// b.add_subscriber([t])?;
+/// let odd = b.add_subscriber([t])?;
+/// let w = b.build();
+///
+/// let shard = [odd];
+/// let view = w.subset_view(&shard);
+/// assert_eq!(view.num_subscribers(), 1);
+/// // Local index 0 is arena subscriber `odd`.
+/// assert_eq!(view.global(SubscriberId::new(0)), odd);
+/// assert_eq!(view.interests(SubscriberId::new(0)), &[t]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadView<'a> {
+    workload: &'a Workload,
+    /// `None` means "all subscribers, identity mapping".
+    subset: Option<&'a [SubscriberId]>,
+}
+
+impl<'a> WorkloadView<'a> {
+    /// The identity view over every subscriber.
+    #[inline]
+    pub fn full(workload: &'a Workload) -> Self {
+        WorkloadView {
+            workload,
+            subset: None,
+        }
+    }
+
+    /// A view over the given subscribers, re-numbered densely in slice
+    /// order. Ids must be in range for `workload`; duplicates are legal
+    /// but produce a view that double-counts the subscriber.
+    #[inline]
+    pub fn subset(workload: &'a Workload, subscribers: &'a [SubscriberId]) -> Self {
+        WorkloadView {
+            workload,
+            subset: Some(subscribers),
+        }
+    }
+
+    /// The underlying workload.
+    #[inline]
+    pub fn workload(&self) -> &'a Workload {
+        self.workload
+    }
+
+    /// `true` if this view covers every subscriber with identity indexing.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.subset.is_none()
+    }
+
+    /// Number of topics `|T|` (always the full topic space).
+    #[inline]
+    pub fn num_topics(&self) -> usize {
+        self.workload.num_topics()
+    }
+
+    /// Event rate `ev_t` of a topic.
+    #[inline]
+    pub fn rate(&self, t: TopicId) -> Rate {
+        self.workload.rate(t)
+    }
+
+    /// All event rates, indexed by topic.
+    #[inline]
+    pub fn rates(&self) -> &'a [Rate] {
+        self.workload.rates()
+    }
+
+    /// Number of subscribers visible through this view.
+    #[inline]
+    pub fn num_subscribers(&self) -> usize {
+        match self.subset {
+            Some(s) => s.len(),
+            None => self.workload.num_subscribers(),
+        }
+    }
+
+    /// Maps a view-local subscriber index to its arena id (identity for
+    /// full views).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range for the view.
+    #[inline]
+    pub fn global(&self, local: SubscriberId) -> SubscriberId {
+        match self.subset {
+            Some(s) => s[local.index()],
+            None => local,
+        }
+    }
+
+    /// The interest set `T_v` of a view-local subscriber, borrowed from
+    /// the arena.
+    #[inline]
+    pub fn interests(&self, local: SubscriberId) -> &'a [TopicId] {
+        self.workload.interests(self.global(local))
+    }
+
+    /// `Σ_{t ∈ T_v} ev_t` for a view-local subscriber.
+    #[inline]
+    pub fn subscriber_total_rate(&self, local: SubscriberId) -> Rate {
+        self.workload.subscriber_total_rate(self.global(local))
+    }
+
+    /// The subscriber-specific threshold `τ_v = min(τ, Σ_{t∈T_v} ev_t)`
+    /// for a view-local subscriber.
+    #[inline]
+    pub fn tau_v(&self, local: SubscriberId, tau: Rate) -> Rate {
+        self.workload.tau_v(self.global(local), tau)
+    }
+
+    /// Iterates view-local subscriber indices `0..num_subscribers()`.
+    pub fn subscribers(&self) -> impl ExactSizeIterator<Item = SubscriberId> + 'a {
+        (0..self.num_subscribers() as u32).map(SubscriberId::new)
+    }
+
+    /// Iterates over all topic ids in index order.
+    pub fn topics(&self) -> impl ExactSizeIterator<Item = TopicId> + 'a {
+        self.workload.topics()
+    }
+}
+
+impl<'a> From<&'a Workload> for WorkloadView<'a> {
+    fn from(workload: &'a Workload) -> Self {
+        WorkloadView::full(workload)
+    }
+}
+
+impl Workload {
+    /// The identity [`WorkloadView`] over every subscriber.
+    #[inline]
+    pub fn view(&self) -> WorkloadView<'_> {
+        WorkloadView::full(self)
+    }
+
+    /// A zero-copy [`WorkloadView`] over the given subscriber subset.
+    #[inline]
+    pub fn subset_view<'a>(&'a self, subscribers: &'a [SubscriberId]) -> WorkloadView<'a> {
+        WorkloadView::subset(self, subscribers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> Workload {
+        let mut b = Workload::builder();
+        let t0 = b.add_topic(Rate::new(20)).unwrap();
+        let t1 = b.add_topic(Rate::new(10)).unwrap();
+        let t2 = b.add_topic(Rate::new(5)).unwrap();
+        b.add_subscriber([t0, t1]).unwrap();
+        b.add_subscriber([t1]).unwrap();
+        b.add_subscriber([t1, t2]).unwrap();
+        b.build()
+    }
+
+    fn v(i: u32) -> SubscriberId {
+        SubscriberId::new(i)
+    }
+
+    #[test]
+    fn full_view_is_identity() {
+        let w = workload();
+        let view = w.view();
+        assert!(view.is_full());
+        assert_eq!(view.num_subscribers(), 3);
+        assert_eq!(view.num_topics(), 3);
+        for s in view.subscribers() {
+            assert_eq!(view.global(s), s);
+            assert_eq!(view.interests(s), w.interests(s));
+            assert_eq!(view.tau_v(s, Rate::new(12)), w.tau_v(s, Rate::new(12)));
+        }
+    }
+
+    #[test]
+    fn subset_view_renumbers_densely() {
+        let w = workload();
+        let shard = [v(2), v(0)];
+        let view = w.subset_view(&shard);
+        assert!(!view.is_full());
+        assert_eq!(view.num_subscribers(), 2);
+        assert_eq!(view.global(v(0)), v(2));
+        assert_eq!(view.global(v(1)), v(0));
+        assert_eq!(view.interests(v(0)), w.interests(v(2)));
+        assert_eq!(view.subscriber_total_rate(v(1)), Rate::new(30));
+    }
+
+    #[test]
+    fn subset_view_borrows_the_arena() {
+        let w = workload();
+        let shard = [v(1)];
+        let view = w.subset_view(&shard);
+        // Same slice, not a copy.
+        assert_eq!(view.interests(v(0)).as_ptr(), w.interests(v(1)).as_ptr());
+    }
+
+    #[test]
+    fn from_ref_builds_full_view() {
+        let w = workload();
+        let view: WorkloadView<'_> = (&w).into();
+        assert!(view.is_full());
+        assert_eq!(view.rates(), w.rates());
+        assert_eq!(view.topics().count(), 3);
+    }
+
+    #[test]
+    fn empty_subset_is_empty() {
+        let w = workload();
+        let view = w.subset_view(&[]);
+        assert_eq!(view.num_subscribers(), 0);
+        assert_eq!(view.subscribers().count(), 0);
+    }
+}

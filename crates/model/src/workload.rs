@@ -79,17 +79,19 @@ impl fmt::Display for ValidationIssue {
     }
 }
 
-/// Serialized form of a [`Workload`]: only the primary data; derived tables
-/// are rebuilt on deserialization.
+/// Serialized form of a [`Workload`]: only the primary data (in the same
+/// CSR layout the workload stores); derived tables are rebuilt on
+/// deserialization.
 #[derive(Serialize, Deserialize)]
 struct WorkloadData {
     rates: Vec<Rate>,
-    interests: Vec<Vec<TopicId>>,
+    interest_offsets: Vec<usize>,
+    interest_topics: Vec<TopicId>,
 }
 
 impl From<WorkloadData> for Workload {
     fn from(d: WorkloadData) -> Workload {
-        Workload::from_parts(d.rates, d.interests)
+        Workload::from_csr(d.rates, d.interest_offsets, d.interest_topics)
     }
 }
 
@@ -97,7 +99,8 @@ impl From<Workload> for WorkloadData {
     fn from(w: Workload) -> WorkloadData {
         WorkloadData {
             rates: w.rates,
-            interests: w.interests,
+            interest_offsets: w.interest_offsets,
+            interest_topics: w.interest_topics,
         }
     }
 }
@@ -109,16 +112,26 @@ impl From<Workload> for WorkloadData {
 /// Construct with [`Workload::builder`]. Interests are stored sorted by
 /// topic id and deduplicated; `V_t` lists are sorted by subscriber id.
 ///
+/// Both adjacencies are held in CSR (compressed sparse row) form: one flat
+/// id arena plus an offset array per direction. A workload with millions
+/// of pairs is therefore four allocations, slices cheaply into
+/// [`WorkloadView`](crate::WorkloadView) subsets without copying, and
+/// walks contiguously in the solver hot loops.
+///
 /// See the [crate-level example](crate) for typical usage.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 #[serde(from = "WorkloadData", into = "WorkloadData")]
 pub struct Workload {
     /// `ev_t`, indexed by topic.
     rates: Vec<Rate>,
-    /// `T_v`, indexed by subscriber; sorted, deduplicated.
-    interests: Vec<Vec<TopicId>>,
-    /// Derived `V_t`, indexed by topic; sorted.
-    subscribers_of: Vec<Vec<SubscriberId>>,
+    /// CSR offsets into `interest_topics`; `len = |V| + 1`.
+    interest_offsets: Vec<usize>,
+    /// Flat `T_v` arena; each row sorted, deduplicated.
+    interest_topics: Vec<TopicId>,
+    /// CSR offsets into `follower_ids`; `len = |T| + 1`.
+    follower_offsets: Vec<usize>,
+    /// Flat derived `V_t` arena; each row sorted.
+    follower_ids: Vec<SubscriberId>,
     /// Total number of `(t, v)` pairs (`Σ_v |T_v|`).
     pair_count: u64,
     /// `Σ_t ev_t` over all topics.
@@ -136,24 +149,63 @@ impl Workload {
     /// topic ids are dropped silently — use the builder for checked input.
     pub fn from_parts(rates: Vec<Rate>, mut interests: Vec<Vec<TopicId>>) -> Workload {
         let num_topics = rates.len();
+        let mut interest_offsets = Vec::with_capacity(interests.len() + 1);
+        interest_offsets.push(0usize);
+        let mut interest_topics = Vec::new();
         for tv in &mut interests {
             tv.retain(|t| t.index() < num_topics);
             tv.sort_unstable();
             tv.dedup();
+            interest_topics.extend_from_slice(tv);
+            interest_offsets.push(interest_topics.len());
         }
-        let mut subscribers_of: Vec<Vec<SubscriberId>> = vec![Vec::new(); num_topics];
-        let mut pair_count = 0u64;
-        for (vi, tv) in interests.iter().enumerate() {
-            pair_count += tv.len() as u64;
-            for &t in tv {
-                subscribers_of[t.index()].push(SubscriberId::new(vi as u32));
+        Workload::from_csr(rates, interest_offsets, interest_topics)
+    }
+
+    /// Rebuilds a workload from an already-normalized CSR interest table:
+    /// `interest_offsets` has one entry per subscriber plus a trailing
+    /// total, and each row of `interest_topics` is sorted, deduplicated,
+    /// and in range. The derived follower CSR is recomputed by counting
+    /// sort.
+    fn from_csr(
+        rates: Vec<Rate>,
+        interest_offsets: Vec<usize>,
+        interest_topics: Vec<TopicId>,
+    ) -> Workload {
+        debug_assert!(interest_offsets.first() == Some(&0));
+        debug_assert!(interest_offsets.last() == Some(&interest_topics.len()));
+        let num_topics = rates.len();
+        let num_subscribers = interest_offsets.len() - 1;
+
+        // Transpose by counting sort: one pass to size each follower row,
+        // a prefix sum for the offsets, one pass to scatter the ids.
+        // Rows come out sorted by subscriber id because subscribers are
+        // visited in ascending order.
+        let mut follower_offsets = vec![0usize; num_topics + 1];
+        for &t in &interest_topics {
+            follower_offsets[t.index() + 1] += 1;
+        }
+        for i in 1..=num_topics {
+            follower_offsets[i] += follower_offsets[i - 1];
+        }
+        let mut follower_ids = vec![SubscriberId::new(0); interest_topics.len()];
+        let mut cursor = follower_offsets.clone();
+        for vi in 0..num_subscribers {
+            let row = &interest_topics[interest_offsets[vi]..interest_offsets[vi + 1]];
+            for &t in row {
+                follower_ids[cursor[t.index()]] = SubscriberId::new(vi as u32);
+                cursor[t.index()] += 1;
             }
         }
+
+        let pair_count = interest_topics.len() as u64;
         let total_rate = rates.iter().copied().sum();
         Workload {
             rates,
-            interests,
-            subscribers_of,
+            interest_offsets,
+            interest_topics,
+            follower_offsets,
+            follower_ids,
             pair_count,
             total_rate,
         }
@@ -168,7 +220,7 @@ impl Workload {
     /// Number of subscribers `|V|`.
     #[inline]
     pub fn num_subscribers(&self) -> usize {
-        self.interests.len()
+        self.interest_offsets.len() - 1
     }
 
     /// Total number of topic-subscriber pairs `Σ_v |T_v|`.
@@ -200,7 +252,8 @@ impl Workload {
     /// Panics if `v` is out of range for this workload.
     #[inline]
     pub fn interests(&self, v: SubscriberId) -> &[TopicId] {
-        &self.interests[v.index()]
+        &self.interest_topics
+            [self.interest_offsets[v.index()]..self.interest_offsets[v.index() + 1]]
     }
 
     /// The subscriber set `V_t` of a topic (sorted by subscriber id).
@@ -210,7 +263,7 @@ impl Workload {
     /// Panics if `t` is out of range for this workload.
     #[inline]
     pub fn subscribers_of(&self, t: TopicId) -> &[SubscriberId] {
-        &self.subscribers_of[t.index()]
+        &self.follower_ids[self.follower_offsets[t.index()]..self.follower_offsets[t.index() + 1]]
     }
 
     /// Iterates over all topic ids in index order.
@@ -220,7 +273,7 @@ impl Workload {
 
     /// Iterates over all subscriber ids in index order.
     pub fn subscribers(&self) -> impl ExactSizeIterator<Item = SubscriberId> + '_ {
-        (0..self.interests.len() as u32).map(SubscriberId::new)
+        (0..self.num_subscribers() as u32).map(SubscriberId::new)
     }
 
     /// `Σ_t ev_t` — total publication rate across all topics.
@@ -231,10 +284,7 @@ impl Workload {
 
     /// `Σ_{t ∈ T_v} ev_t` — the total event rate a subscriber could receive.
     pub fn subscriber_total_rate(&self, v: SubscriberId) -> Rate {
-        self.interests[v.index()]
-            .iter()
-            .map(|&t| self.rate(t))
-            .sum()
+        self.interests(v).iter().map(|&t| self.rate(t)).sum()
     }
 
     /// The subscriber-specific satisfaction threshold
@@ -272,11 +322,24 @@ impl Workload {
 /// Incremental constructor for [`Workload`].
 ///
 /// Topics must be added before the subscribers that reference them; ids are
-/// assigned densely in insertion order.
-#[derive(Clone, Debug, Default)]
+/// assigned densely in insertion order. Interests accumulate directly into
+/// the flat CSR arena the finished [`Workload`] stores, so building a
+/// multi-million-pair trace performs no per-subscriber heap allocation.
+#[derive(Clone, Debug)]
 pub struct WorkloadBuilder {
     rates: Vec<Rate>,
-    interests: Vec<Vec<TopicId>>,
+    interest_offsets: Vec<usize>,
+    interest_topics: Vec<TopicId>,
+}
+
+impl Default for WorkloadBuilder {
+    fn default() -> Self {
+        WorkloadBuilder {
+            rates: Vec::new(),
+            interest_offsets: vec![0],
+            interest_topics: Vec::new(),
+        }
+    }
 }
 
 impl WorkloadBuilder {
@@ -287,9 +350,12 @@ impl WorkloadBuilder {
 
     /// Creates a builder with capacity hints for large traces.
     pub fn with_capacity(topics: usize, subscribers: usize) -> Self {
+        let mut interest_offsets = Vec::with_capacity(subscribers + 1);
+        interest_offsets.push(0);
         WorkloadBuilder {
             rates: Vec::with_capacity(topics),
-            interests: Vec::with_capacity(subscribers),
+            interest_offsets,
+            interest_topics: Vec::new(),
         }
     }
 
@@ -325,19 +391,32 @@ impl WorkloadBuilder {
         I: IntoIterator<Item = TopicId>,
     {
         let idx =
-            u32::try_from(self.interests.len()).map_err(|_| WorkloadError::TooManyEntities)?;
-        let mut tv: Vec<TopicId> = topics.into_iter().collect();
-        for &t in &tv {
+            u32::try_from(self.num_subscribers()).map_err(|_| WorkloadError::TooManyEntities)?;
+        let start = self.interest_topics.len();
+        self.interest_topics.extend(topics);
+        for &t in &self.interest_topics[start..] {
             if t.index() >= self.rates.len() {
+                self.interest_topics.truncate(start);
                 return Err(WorkloadError::UnknownTopic {
                     topic: t,
                     num_topics: self.rates.len(),
                 });
             }
         }
-        tv.sort_unstable();
-        tv.dedup();
-        self.interests.push(tv);
+        self.interest_topics[start..].sort_unstable();
+        // In-row dedup (cross-row duplicates are different subscribers'
+        // interests and must survive).
+        let row = &mut self.interest_topics[start..];
+        let mut write = 0usize;
+        for read in 0..row.len() {
+            if read == 0 || row[read] != row[read - 1] {
+                row[write] = row[read];
+                write += 1;
+            }
+        }
+        let new_len = start + write;
+        self.interest_topics.truncate(new_len);
+        self.interest_offsets.push(new_len);
         Ok(SubscriberId::new(idx))
     }
 
@@ -348,12 +427,12 @@ impl WorkloadBuilder {
 
     /// Number of subscribers added so far.
     pub fn num_subscribers(&self) -> usize {
-        self.interests.len()
+        self.interest_offsets.len() - 1
     }
 
     /// Finalizes the workload, computing the derived `V_t` tables.
     pub fn build(self) -> Workload {
-        Workload::from_parts(self.rates, self.interests)
+        Workload::from_csr(self.rates, self.interest_offsets, self.interest_topics)
     }
 }
 

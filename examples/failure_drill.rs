@@ -21,6 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut reallocator = IncrementalReallocator::new(IncrementalConfig {
         compaction_threshold: 0.4,
+        ..IncrementalConfig::default()
     });
     let deployed = reallocator.step(&instance, &cost)?;
     println!(

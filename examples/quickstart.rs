@@ -30,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let solver = Solver::new(SolverParams {
         selector: SelectorKind::Greedy,
         allocator: AllocatorKind::custom_full(),
+        ..SolverParams::default()
     });
     let outcome = solver.solve(&instance, &cost)?;
     println!("{}\n", outcome.report);

@@ -45,11 +45,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let paper = Solver::new(SolverParams {
         selector: SelectorKind::Greedy,
         allocator: AllocatorKind::custom_full(),
+        ..SolverParams::default()
     })
     .solve(&inst, &cost)?;
     let naive = Solver::new(SolverParams {
         selector: SelectorKind::Random { seed: 1 },
         allocator: AllocatorKind::FirstFit,
+        ..SolverParams::default()
     })
     .solve(&inst, &cost)?;
     println!("paper pipeline (GSP + CBP):\n{}\n", paper.report);

@@ -23,8 +23,8 @@ pub use pubsub_traces as traces;
 pub mod prelude {
     pub use cloud_cost::{CostModel, Ec2CostModel, InstanceType, LinearCostModel, Money};
     pub use mcss_core::{
-        Allocation, AllocatorKind, LowerBound, McssInstance, SelectorKind, SolveReport, Solver,
-        SolverParams,
+        Allocation, AllocatorKind, LowerBound, McssInstance, PartitionerKind, SelectorKind,
+        ShardedSolver, ShardingConfig, SolveReport, Solver, SolverParams,
     };
     pub use pubsub_model::{Bandwidth, Pair, Rate, SubscriberId, TopicId, Workload};
     pub use pubsub_sim::{SimConfig, Simulation};

@@ -10,7 +10,11 @@
 //! see `mcss help` for the full grammar.
 
 use cloud_cost::{instances, CostModel, Ec2CostModel, InstanceType};
-use mcss_core::{AllocatorKind, McssInstance, SelectorKind, Solver, SolverParams};
+use mcss_core::planner::plan_instance_type;
+use mcss_core::{
+    AllocatorKind, McssInstance, PartitionerKind, SelectorKind, ShardingConfig, Solver,
+    SolverParams,
+};
 use pubsub_model::{Rate, Workload};
 use pubsub_sim::{SimConfig, Simulation};
 use pubsub_traces::io::{read_workload, write_workload};
@@ -18,11 +22,13 @@ use pubsub_traces::{SpotifyLike, TwitterLike};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const HELP: &str = "mcss — Minimum Cost Subscriber Satisfaction solver (ICDCS 2014)
 
 USAGE:
   mcss solve <trace.tsv> --tau N [options]   solve MCSS over a trace file
+  mcss plan <trace.tsv> --tau N [options]    rank instance types by cost
   mcss generate <spotify|twitter> [options]  write a synthetic trace
   mcss analyze <trace.tsv>                   print workload statistics
   mcss help                                  this text
@@ -32,9 +38,18 @@ SOLVE OPTIONS:
   --instance NAME        c3.large | c3.xlarge | c3.2xlarge  [c3.large]
   --selector NAME        gsp | rsp | shared | optimal       [gsp]
   --allocator NAME       cbp | ffbp                         [cbp]
+  --shards N             partition subscribers and solve shard-parallel [1]
+  --threads N            worker threads (shard solves, or parallel GSP
+                         when --shards is 1)                 [shards]
+  --partitioner NAME     topic | hash                        [topic]
   --effective            use the figure-calibrated capacity (DESIGN.md §3)
   --scale SYNTH/PAPER    volume-scale compensation ratio
   --simulate             replay the window through the broker simulation
+
+PLAN OPTIONS:
+  --tau N                satisfaction threshold (required)
+  --effective            use the figure-calibrated capacity
+  --scale SYNTH/PAPER    volume-scale compensation ratio
 
 GENERATE OPTIONS:
   --size N               subscribers (spotify) or users (twitter) [10000]
@@ -51,9 +66,18 @@ enum Command {
         instance: InstanceType,
         selector: SelectorKind,
         allocator: AllocatorKind,
+        shards: usize,
+        threads: usize,
+        partitioner: PartitionerKind,
         effective: bool,
         scale: Option<(u64, u64)>,
         simulate: bool,
+    },
+    Plan {
+        trace: String,
+        tau: u64,
+        effective: bool,
+        scale: Option<(u64, u64)>,
     },
     Generate {
         family: String,
@@ -121,6 +145,30 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 out,
             })
         }
+        "plan" => {
+            let trace = it
+                .next()
+                .ok_or_else(|| "plan needs a trace path".to_string())?
+                .clone();
+            let mut tau: Option<u64> = None;
+            let mut effective = false;
+            let mut scale = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--tau" => tau = Some(next_num(&mut it, "--tau")?),
+                    "--effective" => effective = true,
+                    "--scale" => scale = Some(parse_scale(&mut it)?),
+                    other => return Err(format!("unknown plan flag {other:?}")),
+                }
+            }
+            let tau = tau.ok_or_else(|| "--tau is required".to_string())?;
+            Ok(Command::Plan {
+                trace,
+                tau,
+                effective,
+                scale,
+            })
+        }
         "solve" => {
             let trace = it
                 .next()
@@ -130,12 +178,37 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut instance = instances::C3_LARGE;
             let mut selector = SelectorKind::Greedy;
             let mut allocator = AllocatorKind::custom_full();
+            let mut shards = 1usize;
+            let mut threads = 0usize;
+            let mut partitioner = PartitionerKind::default();
             let mut effective = false;
             let mut scale = None;
             let mut simulate = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--tau" => tau = Some(next_num(&mut it, "--tau")?),
+                    "--shards" => {
+                        shards = next_num(&mut it, "--shards")?;
+                        if shards == 0 {
+                            return Err("--shards must be at least 1".into());
+                        }
+                    }
+                    "--threads" => {
+                        threads = next_num(&mut it, "--threads")?;
+                        if threads == 0 {
+                            return Err("--threads must be at least 1".into());
+                        }
+                    }
+                    "--partitioner" => {
+                        let name = it
+                            .next()
+                            .ok_or_else(|| "--partitioner needs a name".to_string())?;
+                        partitioner = match name.as_str() {
+                            "topic" => PartitionerKind::TopicLocality,
+                            "hash" => PartitionerKind::Hash { seed: 42 },
+                            other => return Err(format!("unknown partitioner {other:?}")),
+                        };
+                    }
                     "--instance" => {
                         let name = it
                             .next()
@@ -166,22 +239,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--effective" => effective = true,
                     "--simulate" => simulate = true,
-                    "--scale" => {
-                        let spec = it
-                            .next()
-                            .ok_or_else(|| "--scale needs SYNTH/PAPER".to_string())?;
-                        let (a, b) = spec
-                            .split_once('/')
-                            .ok_or_else(|| format!("bad scale {spec:?}, want SYNTH/PAPER"))?;
-                        let a: u64 = a.parse().map_err(|e| format!("bad scale numerator: {e}"))?;
-                        let b: u64 = b
-                            .parse()
-                            .map_err(|e| format!("bad scale denominator: {e}"))?;
-                        if a == 0 || b == 0 {
-                            return Err("scale parts must be positive".into());
-                        }
-                        scale = Some((a, b));
-                    }
+                    "--scale" => scale = Some(parse_scale(&mut it)?),
                     other => return Err(format!("unknown solve flag {other:?}")),
                 }
             }
@@ -192,6 +250,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 instance,
                 selector,
                 allocator,
+                shards,
+                threads,
+                partitioner,
                 effective,
                 scale,
                 simulate,
@@ -199,6 +260,23 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         other => Err(format!("unknown command {other:?}; try `mcss help`")),
     }
+}
+
+fn parse_scale<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<(u64, u64), String> {
+    let spec = it
+        .next()
+        .ok_or_else(|| "--scale needs SYNTH/PAPER".to_string())?;
+    let (a, b) = spec
+        .split_once('/')
+        .ok_or_else(|| format!("bad scale {spec:?}, want SYNTH/PAPER"))?;
+    let a: u64 = a.parse().map_err(|e| format!("bad scale numerator: {e}"))?;
+    let b: u64 = b
+        .parse()
+        .map_err(|e| format!("bad scale denominator: {e}"))?;
+    if a == 0 || b == 0 {
+        return Err("scale parts must be positive".into());
+    }
+    Ok((a, b))
 }
 
 fn next_num<'a, T: std::str::FromStr>(
@@ -267,12 +345,60 @@ fn run(command: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Plan {
+            trace,
+            tau,
+            effective,
+            scale,
+        } => {
+            let workload = Arc::new(load_trace(&trace)?);
+            let candidates: Vec<Ec2CostModel> = instances::ALL
+                .iter()
+                .map(|&i| {
+                    let mut cost = if effective {
+                        Ec2CostModel::paper_effective(i)
+                    } else {
+                        Ec2CostModel::paper_default(i)
+                    };
+                    if let Some((synth, paper)) = scale {
+                        cost = cost.with_volume_scale(synth, paper);
+                    }
+                    cost
+                })
+                .collect();
+            let report =
+                plan_instance_type(workload, Rate::new(tau), &candidates, Solver::default())
+                    .map_err(|e| e.to_string())?;
+            for option in &report.ranked {
+                println!(
+                    "{:<12} {} ({} VMs, {} bandwidth)",
+                    option.name,
+                    option.report.total_cost,
+                    option.report.vm_count,
+                    option.report.total_bandwidth
+                );
+            }
+            for (name, err) in &report.skipped {
+                println!("{name:<12} infeasible: {err}");
+            }
+            let best = report
+                .best()
+                .ok_or_else(|| "no instance type can host this workload".to_string())?;
+            println!("cheapest: {}", best.name);
+            if let Some(spread) = report.spread() {
+                println!("spread:   {spread}");
+            }
+            Ok(())
+        }
         Command::Solve {
             trace,
             tau,
             instance,
             selector,
             allocator,
+            shards,
+            threads,
+            partitioner,
             effective,
             scale,
             simulate,
@@ -288,9 +414,23 @@ fn run(command: Command) -> Result<(), String> {
             }
             let mcss_instance = McssInstance::new(workload, Rate::new(tau), cost.capacity())
                 .map_err(|e| e.to_string())?;
+            // --threads without sharding parallelizes Stage 1 in place
+            // (only the greedy selector has a parallel variant).
+            let selector = match (shards, threads, selector) {
+                (0 | 1, t, SelectorKind::Greedy) if t > 1 => {
+                    SelectorKind::GreedyParallel { threads: t }
+                }
+                (_, _, s) => s,
+            };
+            let sharding = (shards > 1).then(|| {
+                ShardingConfig::new(shards)
+                    .with_threads(threads)
+                    .with_partitioner(partitioner)
+            });
             let solver = Solver::new(SolverParams {
                 selector,
                 allocator,
+                sharding,
             });
             let outcome = solver
                 .solve(&mcss_instance, &cost)
@@ -448,12 +588,86 @@ mod tests {
             instance: instances::C3_LARGE,
             selector: SelectorKind::Greedy,
             allocator: AllocatorKind::custom_full(),
+            shards: 1,
+            threads: 0,
+            partitioner: PartitionerKind::default(),
             effective: true,
             scale: Some((300, 100_000)),
             simulate: true,
         })
         .unwrap();
+        // The same trace again, shard-parallel, and ranked by the planner.
+        run(Command::Solve {
+            trace: path.display().to_string(),
+            tau: 50,
+            instance: instances::C3_LARGE,
+            selector: SelectorKind::Greedy,
+            allocator: AllocatorKind::custom_full(),
+            shards: 4,
+            threads: 2,
+            partitioner: PartitionerKind::Hash { seed: 42 },
+            effective: true,
+            scale: Some((300, 100_000)),
+            simulate: true,
+        })
+        .unwrap();
+        run(Command::Plan {
+            trace: path.display().to_string(),
+            tau: 50,
+            effective: true,
+            scale: Some((300, 100_000)),
+        })
+        .unwrap();
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_flags_parse_and_validate() {
+        let cmd = parse(&[
+            "solve",
+            "t.tsv",
+            "--tau",
+            "10",
+            "--shards",
+            "4",
+            "--threads",
+            "2",
+            "--partitioner",
+            "hash",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Solve {
+                shards,
+                threads,
+                partitioner,
+                ..
+            } => {
+                assert_eq!(shards, 4);
+                assert_eq!(threads, 2);
+                assert_eq!(partitioner, PartitionerKind::Hash { seed: 42 });
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        let err = parse(&["solve", "t.tsv", "--tau", "10", "--shards", "0"]).unwrap_err();
+        assert!(err.contains("--shards"), "unexpected: {err}");
+        assert!(parse(&["solve", "t.tsv", "--tau", "10", "--threads", "0"]).is_err());
+        assert!(parse(&["solve", "t.tsv", "--tau", "10", "--partitioner", "magic"]).is_err());
+    }
+
+    #[test]
+    fn plan_parses_and_requires_tau() {
+        let cmd = parse(&["plan", "t.tsv", "--tau", "25", "--effective"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Plan {
+                trace: "t.tsv".into(),
+                tau: 25,
+                effective: true,
+                scale: None,
+            }
+        );
+        assert!(parse(&["plan", "t.tsv"]).unwrap_err().contains("--tau"));
     }
 
     #[test]

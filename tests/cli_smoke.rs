@@ -136,6 +136,80 @@ fn solve_reports_on_a_tiny_trace() {
 }
 
 #[test]
+fn solve_with_shards_reports_sharded_pipeline() {
+    let dir = scratch("shards");
+    let path = dir.join("shards.tsv");
+    let path_str = path.display().to_string();
+
+    let out = mcss(&[
+        "generate", "spotify", "--size", "200", "--seed", "5", "--out", &path_str,
+    ]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+
+    for partitioner in ["topic", "hash"] {
+        let out = mcss(&[
+            "solve",
+            &path_str,
+            "--tau",
+            "50",
+            "--shards",
+            "4",
+            "--threads",
+            "2",
+            "--partitioner",
+            partitioner,
+        ]);
+        assert!(
+            out.status.success(),
+            "sharded solve ({partitioner}) failed: {}",
+            stderr(&out)
+        );
+        let report = stdout(&out);
+        assert!(
+            report.contains("over 4 shards"),
+            "report does not mention shards: {report}"
+        );
+    }
+
+    // --threads alone drives the parallel Stage-1 path.
+    let out = mcss(&["solve", &path_str, "--tau", "50", "--threads", "3"]);
+    assert!(out.status.success(), "threaded solve: {}", stderr(&out));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn solve_rejects_zero_shards() {
+    let out = mcss(&["solve", "t.tsv", "--tau", "10", "--shards", "0"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--shards must be at least 1"),
+        "unexpected stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn plan_ranks_instance_types() {
+    let dir = scratch("plan");
+    let path = dir.join("plan.tsv");
+    let path_str = path.display().to_string();
+
+    let out = mcss(&[
+        "generate", "spotify", "--size", "150", "--seed", "6", "--out", &path_str,
+    ]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+
+    let out = mcss(&["plan", &path_str, "--tau", "40"]);
+    assert!(out.status.success(), "plan failed: {}", stderr(&out));
+    let report = stdout(&out);
+    assert!(report.contains("cheapest:"), "no verdict in: {report}");
+    assert!(report.contains("c3.large"), "no candidates in: {report}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn solve_rejects_missing_tau() {
     let dir = scratch("notau");
     let path = dir.join("t.tsv");

@@ -30,10 +30,12 @@ fn identical_seeds_identical_results() {
         SolverParams {
             selector: SelectorKind::Random { seed: 8 },
             allocator: AllocatorKind::FirstFit,
+            ..SolverParams::default()
         },
         SolverParams {
             selector: SelectorKind::GreedyParallel { threads: 3 },
             allocator: AllocatorKind::custom_full(),
+            ..SolverParams::default()
         },
     ] {
         let run = || {

@@ -32,6 +32,7 @@ fn custom_packing_keeps_topics_whole() {
     let outcome = Solver::new(SolverParams {
         selector: SelectorKind::Greedy,
         allocator: AllocatorKind::custom_full(),
+        ..SolverParams::default()
     })
     .solve(&inst, &cost)
     .unwrap();
