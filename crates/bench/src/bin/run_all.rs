@@ -1,5 +1,8 @@
-//! Runs every experiment (Figs. 1–12) and archives the reports under
-//! `results/`.
+//! Runs every experiment (Figs. 1–12 plus the extension figures) and
+//! archives the reports under `results/`, along with the machine-readable
+//! perf baselines (`BENCH_*.json`) at the repository root. Any `BENCH_*`
+//! write failure makes the run exit non-zero — the perf trajectory must
+//! never silently go missing.
 //!
 //! Run with: `cargo run --release -p mcss-bench --bin run_all`
 //! Size overrides: `MCSS_SPOTIFY_SUBS`, `MCSS_TWITTER_USERS`.
@@ -9,6 +12,7 @@ use mcss_bench::experiments;
 use mcss_bench::scenario::{env_size, Scenario};
 use std::fs;
 use std::path::Path;
+use std::process::ExitCode;
 use std::time::Instant;
 
 fn save(dir: &Path, name: &str, content: &str) {
@@ -18,10 +22,27 @@ fn save(dir: &Path, name: &str, content: &str) {
     println!("-> saved {}\n", path.display());
 }
 
-fn main() {
+/// Writes a machine-readable benchmark baseline; returns false (instead
+/// of panicking) so `main` can finish the remaining experiments and still
+/// exit non-zero.
+fn save_bench_json(path: &Path, content: &str) -> bool {
+    match fs::write(path, content) {
+        Ok(()) => {
+            println!("-> saved {}\n", path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("error: writing {}: {e}", path.display());
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
     let dir = Path::new("results");
     fs::create_dir_all(dir).expect("create results dir");
     let started = Instant::now();
+    let mut bench_writes_ok = true;
 
     save(dir, "fig1_example.txt", &experiments::fig1_example());
 
@@ -100,8 +121,21 @@ fn main() {
     ));
     save(dir, "sharded_speedup.txt", &sharded);
 
+    let (churn_text, churn_json) =
+        experiments::fig_churn_speedup(&spotify, instances::C3_LARGE, 100, 6);
+    let mut churn = String::from("== churn-path repair vs full re-select (Spotify) ==\n");
+    churn.push_str(&churn_text);
+    save(dir, "churn_speedup.txt", &churn);
+    bench_writes_ok &= save_bench_json(Path::new("BENCH_churn.json"), &churn_json);
+
     println!(
         "all experiments done in {:.1}s",
         started.elapsed().as_secs_f64()
     );
+    if bench_writes_ok {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("error: one or more BENCH_*.json baselines failed to write");
+        ExitCode::FAILURE
+    }
 }

@@ -15,6 +15,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod legacy;
 pub mod paper;
 pub mod scenario;
 pub mod table;

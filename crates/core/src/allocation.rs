@@ -22,6 +22,23 @@ pub struct VmAllocation {
 }
 
 impl VmAllocation {
+    /// Wraps pre-sorted placements with an externally maintained
+    /// bandwidth counter — the [`FleetLedger`](crate::FleetLedger) export
+    /// path, which keeps both invariants (placements sorted by topic,
+    /// subscribers sorted by id, `used` exact per Eq. 2) incrementally
+    /// and must not pay a full re-sort + recompute per epoch.
+    /// [`Allocation::validate`] still cross-checks `used` against the
+    /// placements.
+    pub(crate) fn from_sorted_parts(placements: Vec<TopicPlacement>, used: Bandwidth) -> Self {
+        debug_assert!(placements.windows(2).all(|w| w[0].topic < w[1].topic));
+        debug_assert!(placements
+            .iter()
+            .all(|p| p.subscribers.windows(2).all(|w| w[0] < w[1])));
+        VmAllocation { placements, used }
+    }
+}
+
+impl VmAllocation {
     /// Bandwidth in use:
     /// `bw_b = Σ_pairs ev_t + Σ_unique-topics ev_t` (paper Eq. 2).
     #[inline]
@@ -171,8 +188,8 @@ pub struct Allocation {
 
 impl Allocation {
     /// Assembles an allocation from per-VM topic→subscribers tables — the
-    /// constructor used by the built-in allocators and available to
-    /// external packers (and tests) that produce their own placements.
+    /// hash-map twin of [`Allocation::from_groups`], kept for external
+    /// packers (and tests) that produce their own placements.
     ///
     /// Per-VM bandwidth is recomputed from the tables and placements are
     /// sorted for deterministic output. No constraint is checked here;
@@ -182,25 +199,19 @@ impl Allocation {
         workload: &Workload,
         capacity: Bandwidth,
     ) -> Allocation {
-        let vms = tables
-            .into_iter()
-            .map(|table| {
-                let mut placements: Vec<TopicPlacement> = table
-                    .into_iter()
-                    .map(|(topic, mut subscribers)| {
-                        subscribers.sort_unstable();
-                        TopicPlacement { topic, subscribers }
-                    })
-                    .collect();
-                placements.sort_unstable_by_key(|p| p.topic);
-                let mut used = Bandwidth::ZERO;
-                for p in &placements {
-                    let rate = workload.rate(p.topic);
-                    used += rate * (p.subscribers.len() as u64 + 1);
-                }
-                VmAllocation { placements, used }
-            })
-            .collect();
+        Allocation::from_groups(
+            tables
+                .into_iter()
+                .map(|table| table.into_iter().collect())
+                .collect(),
+            workload,
+            capacity,
+        )
+    }
+
+    /// Wraps pre-assembled VMs without re-sorting or recomputing
+    /// bandwidth (see [`VmAllocation::from_sorted_parts`]).
+    pub(crate) fn from_vm_allocations(vms: Vec<VmAllocation>, capacity: Bandwidth) -> Allocation {
         Allocation { vms, capacity }
     }
 
@@ -226,10 +237,29 @@ impl Allocation {
     }
 
     /// Assembles an allocation from per-VM `(topic, subscribers)` rows —
-    /// the cheap path for the sharded merge, whose rows are already
-    /// near-sorted. Rows are (re-)sorted and bandwidth recomputed, like
-    /// [`Allocation::from_tables`].
-    pub(crate) fn from_vm_groups(
+    /// the ledger-native constructor: the Stage-2 allocators, the sharded
+    /// merge, and the incremental [`FleetLedger`](crate::FleetLedger) all
+    /// keep their fleets in this layout, so assembly is a sort + bandwidth
+    /// recompute with no hashing pass. No constraint is checked here; call
+    /// [`Allocation::validate`] afterwards.
+    ///
+    /// ```
+    /// use mcss_core::Allocation;
+    /// use pubsub_model::{Bandwidth, Rate, SubscriberId, TopicId, Workload};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = Workload::builder();
+    /// let t = b.add_topic(Rate::new(10))?;
+    /// let v = b.add_subscriber([t])?;
+    /// let w = b.build();
+    ///
+    /// let a = Allocation::from_groups(vec![vec![(t, vec![v])]], &w, Bandwidth::new(100));
+    /// assert_eq!(a.vm_count(), 1);
+    /// assert_eq!(a.total_bandwidth(), Bandwidth::new(20)); // in + out
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_groups(
         groups: Vec<Vec<(TopicId, Vec<SubscriberId>)>>,
         workload: &Workload,
         capacity: Bandwidth,

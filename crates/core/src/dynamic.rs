@@ -7,11 +7,37 @@
 //! drift model and a re-provisioner that re-solves per epoch and tracks
 //! VM churn and cumulative spend.
 
-use crate::{McssError, McssInstance, SolveReport, Solver};
+use crate::incremental::{IncrementalConfig, IncrementalReallocator};
+use crate::{lower_bound, McssError, McssInstance, SolveReport, Solver};
 use cloud_cost::{CostModel, Money};
-use pubsub_model::{Rate, TopicId, Workload};
+use pubsub_model::{Rate, SubscriberId, TopicId, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// What changed between two workload epochs — the churn record a drift
+/// source hands to the O(Δ) repair path so it never has to re-derive the
+/// delta by scanning the whole workload.
+///
+/// Both lists may over-approximate (listing an unchanged topic or
+/// subscriber only costs a wasted re-check) but must never miss a change:
+/// every topic whose event rate differs and every subscriber whose
+/// interest set differs — including subscribers that only exist in the
+/// new workload — has to be listed.
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadDelta {
+    /// Topics whose event rate may have changed.
+    pub changed_topics: Vec<TopicId>,
+    /// Subscribers whose interest set may have changed.
+    pub changed_subscribers: Vec<SubscriberId>,
+}
+
+impl WorkloadDelta {
+    /// `true` when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.changed_topics.is_empty() && self.changed_subscribers.is_empty()
+    }
+}
 
 /// Multiplicative event-rate drift plus subscription churn, applied once
 /// per epoch.
@@ -38,18 +64,42 @@ impl DriftModel {
     /// Panics if `rate_sigma` is negative or `churn_prob` is outside
     /// `[0, 1]`.
     pub fn evolve(&self, workload: &Workload, epoch: u64) -> Workload {
+        self.evolve_tracked(workload, epoch).0
+    }
+
+    /// Evolves a workload by one epoch and records what changed, so the
+    /// incremental re-allocator can repair in O(Δ) without diffing the
+    /// workloads itself (see
+    /// [`IncrementalReallocator::step_with_delta`]).
+    ///
+    /// The delta is exact on topics (a topic is listed iff its rounded
+    /// rate differs) and a tight over-approximation on subscribers (a
+    /// subscriber is listed iff the churn branch fired, which can
+    /// occasionally re-produce the same interest set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_sigma` is negative or `churn_prob` is outside
+    /// `[0, 1]`.
+    pub fn evolve_tracked(&self, workload: &Workload, epoch: u64) -> (Workload, WorkloadDelta) {
         assert!(self.rate_sigma >= 0.0, "sigma must be non-negative");
         assert!(
             (0.0..=1.0).contains(&self.churn_prob),
             "churn must be a probability"
         );
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(epoch));
+        let mut delta = WorkloadDelta::default();
         let rates: Vec<Rate> = workload
             .rates()
             .iter()
-            .map(|r| {
+            .enumerate()
+            .map(|(ti, r)| {
                 let noise = (self.rate_sigma * standard_normal(&mut rng)).exp();
-                Rate::new(((r.get() as f64) * noise).round().max(1.0) as u64)
+                let evolved = Rate::new(((r.get() as f64) * noise).round().max(1.0) as u64);
+                if evolved != *r {
+                    delta.changed_topics.push(TopicId::new(ti as u32));
+                }
+                evolved
             })
             .collect();
         let num_topics = workload.num_topics();
@@ -64,11 +114,12 @@ impl DriftModel {
                     if !tv.contains(&add) {
                         tv.push(add);
                     }
+                    delta.changed_subscribers.push(v);
                 }
                 tv
             })
             .collect();
-        Workload::from_parts(rates, interests)
+        (Workload::from_parts(rates, interests), delta)
     }
 }
 
@@ -83,28 +134,58 @@ fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 pub struct EpochReport {
     /// Epoch index (0-based).
     pub epoch: u64,
+    /// The deployed allocation this epoch (what `--simulate` replays).
+    pub allocation: crate::Allocation,
     /// The solve metrics of this epoch.
     pub report: SolveReport,
     /// Change in VM count versus the previous epoch (positive = grown).
     pub vm_delta: i64,
     /// Cumulative objective across all epochs so far.
     pub cumulative_cost: Money,
+    /// Pairs whose Stage-1 rows were reused verbatim because their
+    /// subscriber was untouched by the epoch's churn (always 0 when the
+    /// re-provisioner re-solves from scratch).
+    pub pairs_reused: u64,
+    /// Pairs that physically moved this epoch: placements plus removals
+    /// (a from-scratch re-solve counts every selected pair as placed).
+    pub pairs_moved: u64,
+    /// Whether the epoch re-packed the whole fleet (always true for the
+    /// from-scratch mode; true for the incremental mode only on the first
+    /// epoch or after a utilization collapse).
+    pub full_resolve: bool,
 }
 
-/// Re-runs the solver each epoch and tracks churn and spend.
+/// Re-provisions each epoch and tracks churn and spend — either by
+/// re-running the full solver, or by repairing the previous fleet through
+/// an [`IncrementalReallocator`] (see [`Reprovisioner::incremental`]).
 #[derive(Debug)]
 pub struct Reprovisioner {
     solver: Solver,
+    incremental: Option<IncrementalReallocator>,
     previous_vms: Option<usize>,
     cumulative_cost: Money,
     epoch: u64,
 }
 
 impl Reprovisioner {
-    /// Creates a re-provisioner around a solver configuration.
+    /// Creates a re-provisioner that re-solves from scratch each epoch.
     pub fn new(solver: Solver) -> Self {
         Reprovisioner {
             solver,
+            incremental: None,
+            previous_vms: None,
+            cumulative_cost: Money::ZERO,
+            epoch: 0,
+        }
+    }
+
+    /// Creates a re-provisioner that repairs the previous allocation each
+    /// epoch (O(Δ) churn path) instead of re-solving. `solver` is kept
+    /// for reporting defaults; the repair policy comes from `config`.
+    pub fn incremental(solver: Solver, config: IncrementalConfig) -> Self {
+        Reprovisioner {
+            solver,
+            incremental: Some(IncrementalReallocator::new(config)),
             previous_vms: None,
             cumulative_cost: Money::ZERO,
             epoch: 0,
@@ -121,19 +202,63 @@ impl Reprovisioner {
         instance: &McssInstance,
         cost: &dyn CostModel,
     ) -> Result<EpochReport, McssError> {
-        let outcome = self.solver.solve(instance, cost)?;
-        let vms = outcome.report.vm_count;
+        self.step_tracked(instance, cost, None)
+    }
+
+    /// Like [`Reprovisioner::step`], but hands a drift-source-provided
+    /// [`WorkloadDelta`] to the incremental mode so dirty detection skips
+    /// the workload scan entirely (ignored in from-scratch mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors; failed epochs do not advance the state.
+    pub fn step_tracked(
+        &mut self,
+        instance: &McssInstance,
+        cost: &dyn CostModel,
+        delta: Option<&WorkloadDelta>,
+    ) -> Result<EpochReport, McssError> {
+        let (allocation, report, pairs_reused, pairs_moved, full_resolve) =
+            match &mut self.incremental {
+                None => {
+                    let outcome = self.solver.solve(instance, cost)?;
+                    let moved = outcome.report.pairs_selected;
+                    (outcome.allocation, outcome.report, 0, moved, true)
+                }
+                Some(inc) => {
+                    let started = Instant::now();
+                    let out = match delta {
+                        Some(delta) => inc.step_with_delta(instance, cost, delta)?,
+                        None => inc.step(instance, cost)?,
+                    };
+                    let elapsed = started.elapsed();
+                    let report = repair_report(instance, cost, &out, elapsed);
+                    let moved = out.pairs_placed + out.pairs_removed;
+                    (
+                        out.allocation,
+                        report,
+                        out.pairs_reused,
+                        moved,
+                        out.full_resolve,
+                    )
+                }
+            };
+        let vms = report.vm_count;
         let vm_delta = match self.previous_vms {
             Some(prev) => vms as i64 - prev as i64,
             None => vms as i64,
         };
         self.previous_vms = Some(vms);
-        self.cumulative_cost += outcome.report.total_cost;
+        self.cumulative_cost += report.total_cost;
         let report = EpochReport {
             epoch: self.epoch,
-            report: outcome.report,
+            allocation,
+            report,
             vm_delta,
             cumulative_cost: self.cumulative_cost,
+            pairs_reused,
+            pairs_moved,
+            full_resolve,
         };
         self.epoch += 1;
         Ok(report)
@@ -147,6 +272,39 @@ impl Reprovisioner {
     /// Total objective across completed epochs.
     pub fn cumulative_cost(&self) -> Money {
         self.cumulative_cost
+    }
+}
+
+/// Builds a [`SolveReport`] for an incremental repair outcome (the repair
+/// has no stage split, so the wall-clock lands on the Stage-2 slot).
+fn repair_report(
+    instance: &McssInstance,
+    cost: &dyn CostModel,
+    out: &crate::incremental::IncrementalOutcome,
+    elapsed: Duration,
+) -> SolveReport {
+    let workload = instance.workload();
+    let lb = lower_bound(workload, instance.tau(), instance.capacity());
+    let total_bandwidth = out.allocation.total_bandwidth();
+    let vm_cost = cost.vm_cost(out.allocation.vm_count());
+    let bandwidth_cost = cost.bandwidth_cost(total_bandwidth);
+    SolveReport {
+        selector: "GSP",
+        allocator: if out.full_resolve { "CBP" } else { "repair" },
+        pairs_selected: out.selection.pair_count(),
+        vm_count: out.allocation.vm_count(),
+        total_bandwidth,
+        outgoing: out.allocation.outgoing_volume(workload),
+        incoming: out.allocation.incoming_volume(workload),
+        vm_cost,
+        bandwidth_cost,
+        total_cost: vm_cost + bandwidth_cost,
+        shards: 1,
+        lower_bound_vms: lb.vms,
+        lower_bound_volume: lb.volume,
+        lower_bound_cost: lb.cost(cost),
+        stage1_time: Duration::ZERO,
+        stage2_time: elapsed,
     }
 }
 

@@ -1,33 +1,47 @@
 //! Incremental re-allocation — the online algorithm the paper leaves as
-//! future work (§VI).
+//! future work (§VI), with an O(Δ) churn path.
 //!
 //! Re-running the full pipeline every epoch (see [`crate::dynamic`])
 //! recomputes everything and may produce a completely different placement,
 //! which in a real deployment means mass subscriber migration. The
-//! [`IncrementalReallocator`] instead *repairs* the previous allocation:
+//! [`IncrementalReallocator`] instead *repairs* the previous allocation,
+//! and every phase of the repair scales with the epoch's churn rather
+//! than the fleet:
 //!
-//! 1. Stage 1 runs fresh on the new workload (it is cheap and
-//!    satisfaction depends on current rates);
-//! 2. pairs that left the selection are removed from their VMs; pairs
-//!    whose topics got louder may overflow a VM, in which case whole
-//!    topic groups are evicted cheapest-first until the VM fits again;
+//! 1. Stage 1 re-runs `select_for_subscriber` only for *dirty*
+//!    subscribers — those whose interest set changed or who follow a
+//!    topic whose rate changed — and reuses the previous epoch's
+//!    selection rows verbatim for everyone else. The result is
+//!    bit-identical to a full re-selection (a clean subscriber's greedy
+//!    choice depends only on its own interests, their rates, and `τ`);
+//! 2. dirty rows are diffed old-vs-new in place ([`crate::SelectionDiff`];
+//!    no clone, no sort): pairs that left the selection are removed from
+//!    the [`FleetLedger`], which finds the hosting VM through its topic
+//!    reverse index; pairs whose topics got louder may overflow a VM, in
+//!    which case whole topic groups are evicted cheapest-first until the
+//!    VM fits again;
 //! 3. new and evicted pairs are placed topic-grouped — VMs already
 //!    hosting the topic first (no extra incoming stream), then the
-//!    most-free VM, then fresh VMs;
-//! 4. empty VMs are released, and if overall utilization drops below a
-//!    configurable floor the allocator falls back to a full
-//!    CustomBinPacking re-solve (placement debt has accumulated).
+//!    most-free VM (a lazy heap), then fresh VMs;
+//! 4. emptied VMs are released (their ledger slots are tombstoned and
+//!    reused), and if overall utilization drops below a configurable
+//!    floor the allocator falls back to a full CustomBinPacking re-solve
+//!    (placement debt has accumulated).
 //!
-//! The outcome reports exactly how many pairs moved, so the operational
-//! cost of adaptation is visible — the metric a re-provisioning interval
-//! would be tuned against.
+//! The outcome reports exactly how many pairs moved — and how many rows
+//! dirty tracking skipped — so the operational cost of adaptation is
+//! visible: the metric a re-provisioning interval would be tuned against.
 
+use crate::dynamic::WorkloadDelta;
+use crate::ledger::FleetLedger;
 use crate::shard::{ShardedSolver, ShardingConfig};
-use crate::stage1::{GreedySelectPairs, PairSelector};
+use crate::stage1::{select_for_subscriber_into, GreedySelectPairs, PairSelector, SelectScratch};
 use crate::stage2::{Allocator, CbpConfig, CustomBinPacking};
-use crate::{Allocation, McssError, McssInstance, Selection, SolverParams};
+use crate::{
+    Allocation, McssError, McssInstance, Selection, SelectionBuilder, SelectionDiff, SolverParams,
+};
 use cloud_cost::CostModel;
-use pubsub_model::{Bandwidth, SubscriberId, TopicId};
+use pubsub_model::{Bandwidth, Rate, SubscriberId, TopicId, Workload};
 use std::collections::HashMap;
 
 /// Configuration for [`IncrementalReallocator`].
@@ -42,6 +56,11 @@ pub struct IncrementalConfig {
     /// Repairs stay incremental either way — they touch only the pairs
     /// that moved.
     pub sharding: Option<ShardingConfig>,
+    /// When true (the default), Stage 1 re-selects only dirty subscribers
+    /// and reuses the previous rows for the rest. When false, every
+    /// subscriber is re-selected each epoch — the pre-ledger behaviour,
+    /// kept as the baseline the churn bench measures against.
+    pub dirty_tracking: bool,
 }
 
 impl Default for IncrementalConfig {
@@ -49,6 +68,7 @@ impl Default for IncrementalConfig {
         IncrementalConfig {
             compaction_threshold: 0.5,
             sharding: None,
+            dirty_tracking: true,
         }
     }
 }
@@ -67,21 +87,48 @@ pub struct IncrementalOutcome {
     pub pairs_removed: u64,
     /// Pairs evicted from overflowing VMs and re-placed elsewhere.
     pub pairs_evicted: u64,
+    /// Pairs whose selection rows were reused verbatim because dirty
+    /// tracking proved their subscriber untouched this epoch.
+    pub pairs_reused: u64,
     /// Whether the utilization floor forced a full re-solve.
     pub full_resolve: bool,
 }
 
 /// Epoch-to-epoch allocator that minimizes placement churn.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct IncrementalReallocator {
     config: IncrementalConfig,
     previous: Option<State>,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct State {
     selection: Selection,
-    tables: Vec<HashMap<TopicId, Vec<SubscriberId>>>,
+    ledger: FleetLedger,
+    capacity: Bandwidth,
+    /// The workload and `τ` the selection was produced against — what
+    /// dirty detection deltas the new epoch against. Absent after
+    /// [`IncrementalReallocator::adopt`] (the adopted allocation carries
+    /// no epoch context), in which case the next step treats every
+    /// subscriber as dirty and resyncs the ledger's usage counters.
+    basis: Option<EpochBasis>,
+}
+
+#[derive(Clone, Debug)]
+struct EpochBasis {
+    /// The previous epoch's event rates — what the ledger's used counters
+    /// are denominated in, needed to re-base them after rate changes.
+    rates: Vec<Rate>,
+    /// The previous epoch's subscriber count.
+    num_subscribers: usize,
+    tau: Rate,
+    /// Full workload snapshot for scan-based dirty detection. Only kept
+    /// when the previous epoch was advanced without a caller-provided
+    /// delta: a delta names the changed subscribers itself, so interests
+    /// are never compared and the O(pairs) snapshot would be dead weight.
+    /// A scan-based [`IncrementalReallocator::step`] following a
+    /// delta-fed epoch conservatively treats every subscriber as dirty.
+    workload: Option<Workload>,
 }
 
 impl IncrementalReallocator {
@@ -94,7 +141,10 @@ impl IncrementalReallocator {
     }
 
     /// Repairs the previous allocation against the instance's current
-    /// workload (first call performs a full solve).
+    /// workload (first call performs a full solve). The epoch's delta is
+    /// derived by scanning the new workload against the remembered one;
+    /// drift sources that already know what changed should call
+    /// [`IncrementalReallocator::step_with_delta`] instead.
     ///
     /// # Errors
     ///
@@ -105,86 +155,241 @@ impl IncrementalReallocator {
         instance: &McssInstance,
         cost: &dyn CostModel,
     ) -> Result<IncrementalOutcome, McssError> {
+        self.step_inner(instance, cost, None)
+    }
+
+    /// Like [`IncrementalReallocator::step`], but trusts the caller's
+    /// [`WorkloadDelta`] instead of scanning for changes — the fully O(Δ)
+    /// entry point for drift sources like
+    /// [`DriftModel::evolve_tracked`](crate::dynamic::DriftModel::evolve_tracked).
+    ///
+    /// The delta may over-approximate but must not miss a change;
+    /// a missed change produces a stale (though still capacity-feasible)
+    /// selection row.
+    ///
+    /// # Errors
+    ///
+    /// [`McssError::InfeasibleTopic`] if a selected topic no longer fits
+    /// on any VM.
+    pub fn step_with_delta(
+        &mut self,
+        instance: &McssInstance,
+        cost: &dyn CostModel,
+        delta: &WorkloadDelta,
+    ) -> Result<IncrementalOutcome, McssError> {
+        self.step_inner(instance, cost, Some(delta))
+    }
+
+    fn step_inner(
+        &mut self,
+        instance: &McssInstance,
+        cost: &dyn CostModel,
+        delta: Option<&WorkloadDelta>,
+    ) -> Result<IncrementalOutcome, McssError> {
         let workload = instance.workload();
         let capacity = instance.capacity();
-        let selection = GreedySelectPairs::new().select(instance)?;
+        let tau = instance.tau();
+        let n = workload.num_subscribers();
 
-        let Some(prev) = self.previous.take() else {
+        let Some(mut prev) = self.previous.take() else {
+            let selection = GreedySelectPairs::new().select(instance)?;
             let allocation = self.full_allocate(instance, &selection, cost)?;
             let placed = selection.pair_count();
-            self.remember(&selection, &allocation);
+            self.remember(
+                selection.clone(),
+                &allocation,
+                workload,
+                tau,
+                capacity,
+                delta.is_none(),
+            );
             return Ok(IncrementalOutcome {
                 allocation,
                 selection,
                 pairs_placed: placed,
                 pairs_removed: 0,
                 pairs_evicted: 0,
+                pairs_reused: 0,
                 full_resolve: true,
             });
         };
+        let prev_n = prev.selection.num_subscribers();
 
-        // Diff old vs new selection per subscriber (both sides sorted).
-        let mut removed: Vec<(TopicId, SubscriberId)> = Vec::new();
-        let mut added: Vec<(TopicId, SubscriberId)> = Vec::new();
-        let subscribers = workload.num_subscribers();
-        for vi in 0..subscribers {
-            let v = SubscriberId::new(vi as u32);
-            let mut old: Vec<TopicId> = if vi < prev.selection.num_subscribers() {
-                prev.selection.selected(v).to_vec()
+        // --- Dirty detection -------------------------------------------
+        // A subscriber's greedy row depends only on its interest set, the
+        // rates of those topics, and τ; it must be re-selected iff any of
+        // those changed. `changed_rates` additionally drives the ledger's
+        // used-counter refresh.
+        let mut dirty = vec![true; n];
+        let mut changed_rates: Vec<(TopicId, Rate, Rate)> = Vec::new();
+        if let Some(basis) = &prev.basis {
+            let old_rates = basis.rates.as_slice();
+            let new_rates = workload.rates();
+            let common = old_rates.len().min(new_rates.len());
+            match delta {
+                Some(delta) => {
+                    // Deduplicate: the delta contract allows repeats, but
+                    // `refresh_rate` is a re-base, not idempotent — each
+                    // topic must be applied exactly once.
+                    let mut topics: Vec<TopicId> = delta
+                        .changed_topics
+                        .iter()
+                        .copied()
+                        .filter(|t| {
+                            t.index() < common && old_rates[t.index()] != new_rates[t.index()]
+                        })
+                        .collect();
+                    topics.sort_unstable();
+                    topics.dedup();
+                    for t in topics {
+                        changed_rates.push((t, old_rates[t.index()], new_rates[t.index()]));
+                    }
+                }
+                None => {
+                    for ti in 0..common {
+                        if old_rates[ti] != new_rates[ti] {
+                            changed_rates.push((
+                                TopicId::new(ti as u32),
+                                old_rates[ti],
+                                new_rates[ti],
+                            ));
+                        }
+                    }
+                }
+            }
+            // Scan-based detection needs the interest snapshot; without
+            // one (the previous epoch was delta-fed) stay all-dirty.
+            let can_track = self.config.dirty_tracking
+                && basis.tau == tau
+                && (delta.is_some() || basis.workload.is_some());
+            if can_track {
+                dirty = vec![false; n];
+                // Followers of re-rated topics.
+                for &(t, _, _) in &changed_rates {
+                    for &v in workload.subscribers_of(t) {
+                        if v.index() < n {
+                            dirty[v.index()] = true;
+                        }
+                    }
+                }
+                // Changed interest sets, plus subscribers the old epoch
+                // never saw.
+                let basis_n = basis.num_subscribers;
+                for flag in dirty.iter_mut().skip(basis_n.min(n)) {
+                    *flag = true;
+                }
+                match delta {
+                    Some(delta) => {
+                        for &v in &delta.changed_subscribers {
+                            if v.index() < n {
+                                dirty[v.index()] = true;
+                            }
+                        }
+                    }
+                    None => {
+                        let snapshot = basis.workload.as_ref().expect("checked by can_track");
+                        for (vi, flag) in dirty.iter_mut().enumerate().take(basis_n.min(n)) {
+                            if !*flag {
+                                let v = SubscriberId::new(vi as u32);
+                                if snapshot.interests(v) != workload.interests(v) {
+                                    *flag = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Ledger re-basing ------------------------------------------
+        prev.ledger.ensure_topics(workload.num_topics());
+        match &prev.basis {
+            Some(basis) => {
+                // Vanished topics lose their groups wholesale; the diff
+                // below re-reports their pairs as removed (no-ops).
+                for ti in workload.num_topics()..basis.rates.len() {
+                    prev.ledger
+                        .drop_topic(TopicId::new(ti as u32), basis.rates[ti]);
+                }
+                for &(t, old, new) in &changed_rates {
+                    prev.ledger.refresh_rate(t, old, new);
+                }
+            }
+            None => {
+                // Adopted fleet: no previous rates to delta against.
+                prev.ledger.drop_topics_at_or_above(workload.num_topics());
+                prev.ledger.recompute_used(workload);
+                prev.ledger.mark_all_for_overflow();
+            }
+        }
+        if capacity != prev.capacity {
+            prev.ledger.mark_all_for_overflow();
+        }
+
+        // --- Stage 1: re-select dirty rows, reuse the rest -------------
+        let view = workload.view();
+        let mut builder = SelectionBuilder::with_capacity(n, prev.selection.pair_count() as usize);
+        let mut scratch = SelectScratch::default();
+        let mut pairs_reused = 0u64;
+        let mut vi = 0usize;
+        while vi < n {
+            if dirty[vi] {
+                let v = SubscriberId::new(vi as u32);
+                builder.push_row_with(|row| {
+                    select_for_subscriber_into(view, v, tau, &mut scratch, row)
+                });
+                vi += 1;
             } else {
-                Vec::new()
+                // Runs of clean subscribers copy as one block (a clean
+                // subscriber always has a previous row: dirty tracking
+                // marks everyone past the old subscriber count).
+                let run_end = dirty[vi..].iter().position(|&d| d).map_or(n, |p| vi + p);
+                pairs_reused += builder.push_rows_from(&prev.selection, vi..run_end);
+                vi = run_end;
+            }
+        }
+        let selection = builder.build();
+
+        // --- Diff dirty rows and repair the ledger ---------------------
+        let mut removed: Vec<(TopicId, SubscriberId)> = Vec::new();
+        let mut to_place: Vec<(TopicId, SubscriberId)> = Vec::new();
+        let mut differ = SelectionDiff::new();
+        for (vi, &is_dirty) in dirty.iter().enumerate() {
+            if !is_dirty {
+                continue;
+            }
+            let v = SubscriberId::new(vi as u32);
+            let old_row: &[TopicId] = if vi < prev_n {
+                prev.selection.selected(v)
+            } else {
+                &[]
             };
-            let mut new: Vec<TopicId> = selection.selected(v).to_vec();
-            old.sort_unstable();
-            new.sort_unstable();
-            diff_sorted(&old, &new, |t| removed.push((t, v)), |t| added.push((t, v)));
+            differ.diff_rows(
+                old_row,
+                selection.selected(v),
+                |t| removed.push((t, v)),
+                |t| to_place.push((t, v)),
+            );
         }
         // Subscribers that disappeared entirely (shrunk workload).
-        for vi in subscribers..prev.selection.num_subscribers() {
+        for vi in n..prev_n {
             let v = SubscriberId::new(vi as u32);
             for &t in prev.selection.selected(v) {
                 removed.push((t, v));
             }
         }
         let pairs_removed = removed.len() as u64;
-
-        // Rebuild VM tables, dropping removed pairs and any pair whose
-        // topic no longer exists in the workload.
-        let mut tables = prev.tables;
-        let mut removal: HashMap<TopicId, Vec<SubscriberId>> = HashMap::new();
-        for (t, v) in removed {
-            removal.entry(t).or_default().push(v);
-        }
-        for table in &mut tables {
-            table.retain(|t, subs| {
-                if t.index() >= workload.num_topics() {
-                    return false;
-                }
-                if let Some(gone) = removal.get(t) {
-                    subs.retain(|v| !gone.contains(v));
-                }
-                !subs.is_empty()
-            });
-        }
-
-        // Recompute per-VM usage under the *new* rates and evict from
-        // overflowing VMs, cheapest topic group first.
-        let mut pairs_evicted = 0u64;
-        let mut to_place = added;
-        for table in &mut tables {
-            let mut used = table_usage(table, workload);
-            while used > capacity {
-                let evict = table
-                    .iter()
-                    .min_by_key(|(t, subs)| (workload.rate(**t) * (subs.len() as u64 + 1), t.raw()))
-                    .map(|(t, _)| *t)
-                    .expect("non-empty table while over capacity");
-                let subs = table.remove(&evict).expect("key just found");
-                used -= workload.rate(evict) * (subs.len() as u64 + 1);
-                pairs_evicted += subs.len() as u64;
-                to_place.extend(subs.into_iter().map(|v| (evict, v)));
+        for &(t, v) in &removed {
+            if t.index() < workload.num_topics() {
+                prev.ledger.remove_pair(t, v, workload.rate(t));
             }
+            // else: the topic vanished and its groups were dropped above.
         }
+
+        // Evict from overflowing VMs, cheapest topic group first.
+        let pairs_evicted = prev
+            .ledger
+            .evict_overflowing(workload, capacity, &mut to_place);
         let pairs_placed = to_place.len() as u64;
 
         // Group the work by topic and place: host VMs first, then
@@ -204,83 +409,56 @@ impl IncrementalReallocator {
                     capacity,
                 });
             }
-            // Pass 1: VMs already hosting the topic (marginal cost ev).
-            for table in tables.iter_mut() {
-                if subs.is_empty() {
-                    break;
-                }
-                if !table.contains_key(&topic) {
-                    continue;
-                }
-                let free = capacity.saturating_sub(table_usage(table, workload));
-                let fit = free.div_rate(rate) as usize;
-                let take = fit.min(subs.len());
-                if take > 0 {
-                    let moved: Vec<SubscriberId> = subs.drain(..take).collect();
-                    table.get_mut(&topic).expect("host checked").extend(moved);
-                }
-            }
-            // Pass 2: most-free VMs (marginal cost (k+1)·ev).
-            while !subs.is_empty() {
-                let best = tables
-                    .iter()
-                    .enumerate()
-                    .map(|(i, t)| (capacity.saturating_sub(table_usage(t, workload)), i))
-                    .max();
-                match best {
-                    Some((free, i)) if free >= rate.pair_cost() => {
-                        let fit = (free.div_rate(rate) - 1) as usize;
-                        let take = fit.min(subs.len());
-                        let moved: Vec<SubscriberId> = subs.drain(..take).collect();
-                        tables[i].entry(topic).or_default().extend(moved);
-                    }
-                    _ => break, // no existing VM can take a first pair
-                }
-            }
-            // Pass 3: fresh VMs.
-            while !subs.is_empty() {
-                let fit = (capacity.div_rate(rate) - 1) as usize;
-                let take = fit.min(subs.len());
-                let moved: Vec<SubscriberId> = subs.drain(..take).collect();
-                let mut table = HashMap::new();
-                table.insert(topic, moved);
-                tables.push(table);
-            }
+            prev.ledger.place_group(topic, rate, &mut subs, capacity);
         }
 
-        // Release empty VMs.
-        tables.retain(|t| !t.is_empty());
-
-        // Compaction check.
-        let total_used: Bandwidth = tables.iter().map(|t| table_usage(t, workload)).sum();
-        let fleet_capacity = capacity.get().saturating_mul(tables.len() as u64);
-        let utilization = if fleet_capacity == 0 {
-            1.0
-        } else {
-            total_used.get() as f64 / fleet_capacity as f64
-        };
-        if utilization < self.config.compaction_threshold {
+        // Release empty VMs and check the compaction floor.
+        prev.ledger.release_empty();
+        if prev.ledger.utilization(capacity) < self.config.compaction_threshold {
             let allocation = self.full_allocate(instance, &selection, cost)?;
             let placed = selection.pair_count();
-            self.remember(&selection, &allocation);
+            self.remember(
+                selection.clone(),
+                &allocation,
+                workload,
+                tau,
+                capacity,
+                delta.is_none(),
+            );
             return Ok(IncrementalOutcome {
                 allocation,
                 selection,
                 pairs_placed: placed,
                 pairs_removed,
                 pairs_evicted,
+                pairs_reused,
                 full_resolve: true,
             });
         }
 
-        let allocation = Allocation::from_tables(tables, workload, capacity);
-        self.remember(&selection, &allocation);
+        let allocation = prev.ledger.to_allocation(capacity);
+        self.previous = Some(State {
+            selection: selection.clone(),
+            ledger: prev.ledger,
+            capacity,
+            basis: Some(EpochBasis {
+                rates: workload.rates().to_vec(),
+                num_subscribers: n,
+                tau,
+                workload: if delta.is_some() {
+                    None
+                } else {
+                    Some(workload.clone())
+                },
+            }),
+        });
         Ok(IncrementalOutcome {
             allocation,
             selection,
             pairs_placed,
             pairs_removed,
             pairs_evicted,
+            pairs_reused,
             full_resolve: false,
         })
     }
@@ -314,11 +492,13 @@ impl IncrementalReallocator {
     /// pairs onto the surviving machines.
     ///
     /// `selection` must be the Stage-1 selection the allocation serves
-    /// (possibly partially, after failures).
+    /// (possibly partially, after failures). The adopted state carries no
+    /// epoch basis, so the next step treats every subscriber as dirty and
+    /// resyncs the ledger before repairing.
     pub fn adopt(&mut self, selection: &Selection, allocation: &Allocation) {
         // Keep only the pairs that are actually placed: the next diff
         // then treats missing ones as "added" and re-places them.
-        let workload_pairs: std::collections::HashSet<(TopicId, SubscriberId)> = allocation
+        let placed_pairs: std::collections::HashSet<(TopicId, SubscriberId)> = allocation
             .vms()
             .iter()
             .flat_map(|vm| {
@@ -327,79 +507,45 @@ impl IncrementalReallocator {
                     .flat_map(|p| p.subscribers.iter().map(move |&v| (p.topic, v)))
             })
             .collect();
-        let surviving = Selection::from_per_subscriber(
-            (0..selection.num_subscribers())
-                .map(|vi| {
-                    let v = SubscriberId::new(vi as u32);
-                    selection
-                        .selected(v)
-                        .iter()
-                        .copied()
-                        .filter(|&t| workload_pairs.contains(&(t, v)))
-                        .collect()
-                })
-                .collect(),
-        );
-        self.remember(&surviving, allocation);
-    }
-
-    fn remember(&mut self, selection: &Selection, allocation: &Allocation) {
-        let tables = allocation
-            .vms()
-            .iter()
-            .map(|vm| {
-                vm.placements()
-                    .iter()
-                    .map(|p| (p.topic, p.subscribers.clone()))
-                    .collect::<HashMap<_, _>>()
-            })
-            .collect();
+        let mut surviving =
+            SelectionBuilder::with_capacity(selection.num_subscribers(), placed_pairs.len());
+        for (vi, row) in selection.rows().enumerate() {
+            let v = SubscriberId::new(vi as u32);
+            surviving.push_row(
+                row.iter()
+                    .copied()
+                    .filter(|&t| placed_pairs.contains(&(t, v))),
+            );
+        }
         self.previous = Some(State {
-            selection: selection.clone(),
-            tables,
+            selection: surviving.build(),
+            ledger: FleetLedger::from_allocation(allocation),
+            capacity: allocation.capacity(),
+            basis: None,
         });
     }
-}
 
-/// Recomputes a table's bandwidth under current rates.
-fn table_usage(
-    table: &HashMap<TopicId, Vec<SubscriberId>>,
-    workload: &pubsub_model::Workload,
-) -> Bandwidth {
-    let mut used = Bandwidth::ZERO;
-    for (t, subs) in table {
-        used += workload.rate(*t) * (subs.len() as u64 + 1);
+    fn remember(
+        &mut self,
+        selection: Selection,
+        allocation: &Allocation,
+        workload: &Workload,
+        tau: Rate,
+        capacity: Bandwidth,
+        keep_snapshot: bool,
+    ) {
+        self.previous = Some(State {
+            selection,
+            ledger: FleetLedger::from_allocation(allocation),
+            capacity,
+            basis: Some(EpochBasis {
+                rates: workload.rates().to_vec(),
+                num_subscribers: workload.num_subscribers(),
+                tau,
+                workload: keep_snapshot.then(|| workload.clone()),
+            }),
+        });
     }
-    used
-}
-
-/// Walks two sorted slices calling `on_removed` for elements only in
-/// `old` and `on_added` for elements only in `new`.
-fn diff_sorted(
-    old: &[TopicId],
-    new: &[TopicId],
-    mut on_removed: impl FnMut(TopicId),
-    mut on_added: impl FnMut(TopicId),
-) {
-    let (mut i, mut j) = (0, 0);
-    while i < old.len() && j < new.len() {
-        match old[i].cmp(&new[j]) {
-            std::cmp::Ordering::Less => {
-                on_removed(old[i]);
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                on_added(new[j]);
-                j += 1;
-            }
-            std::cmp::Ordering::Equal => {
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    old[i..].iter().for_each(|&t| on_removed(t));
-    new[j..].iter().for_each(|&t| on_added(t));
 }
 
 #[cfg(test)]
@@ -437,13 +583,14 @@ mod tests {
         let out = inc.step(&inst, &cost()).unwrap();
         assert!(out.full_resolve);
         assert_eq!(out.pairs_placed, out.allocation.pair_count());
+        assert_eq!(out.pairs_reused, 0);
         out.allocation
             .validate(inst.workload(), inst.tau())
             .unwrap();
     }
 
     #[test]
-    fn unchanged_workload_moves_nothing() {
+    fn unchanged_workload_moves_nothing_and_reuses_every_row() {
         let mut inc = IncrementalReallocator::default();
         let inst = instance(base_workload());
         let first = inc.step(&inst, &cost()).unwrap();
@@ -452,6 +599,8 @@ mod tests {
         assert_eq!(second.pairs_placed, 0);
         assert_eq!(second.pairs_removed, 0);
         assert_eq!(second.pairs_evicted, 0);
+        assert_eq!(second.pairs_reused, first.selection.pair_count());
+        assert_eq!(second.selection, first.selection);
         assert_eq!(
             second.allocation.pair_count(),
             first.allocation.pair_count()
@@ -481,6 +630,70 @@ mod tests {
                 .unwrap_or_else(|e| panic!("epoch {epoch}: {e}"));
             w = drift.evolve(&w, epoch);
         }
+    }
+
+    #[test]
+    fn dirty_path_matches_full_reselect_bitwise() {
+        // The headline O(Δ) guarantee: with dirty tracking on, the
+        // selection each epoch must be bit-identical to re-running GSP
+        // over everyone, whether the delta is scanned or caller-provided.
+        let drift = DriftModel {
+            rate_sigma: 0.3,
+            churn_prob: 0.4,
+            seed: 13,
+        };
+        let mut scanned = IncrementalReallocator::default();
+        let mut delta_fed = IncrementalReallocator::default();
+        let mut full = IncrementalReallocator::new(IncrementalConfig {
+            dirty_tracking: false,
+            ..IncrementalConfig::default()
+        });
+        let mut w = base_workload();
+        let mut delta = WorkloadDelta::default();
+        for epoch in 0..6 {
+            let inst = instance(w.clone());
+            let fresh = GreedySelectPairs::new().select(&inst).unwrap();
+            let a = scanned.step(&inst, &cost()).unwrap();
+            let b = delta_fed.step_with_delta(&inst, &cost(), &delta).unwrap();
+            let c = full.step(&inst, &cost()).unwrap();
+            assert_eq!(a.selection, fresh, "scanned diverged at epoch {epoch}");
+            assert_eq!(b.selection, fresh, "delta-fed diverged at epoch {epoch}");
+            assert_eq!(c.selection, fresh, "full diverged at epoch {epoch}");
+            assert_eq!(c.pairs_reused, 0, "full re-select must reuse nothing");
+            for out in [&a, &b, &c] {
+                out.allocation
+                    .validate(inst.workload(), inst.tau())
+                    .unwrap_or_else(|e| panic!("epoch {epoch}: {e}"));
+            }
+            (w, delta) = drift.evolve_tracked(&w, epoch);
+        }
+    }
+
+    #[test]
+    fn duplicate_delta_topics_rebase_counters_once() {
+        // WorkloadDelta allows over-approximation and repeats; a repeated
+        // topic must not re-base the ledger's used counters twice
+        // (validate cross-checks recorded vs recomputed bandwidth).
+        let mut inc = IncrementalReallocator::default();
+        let inst = instance(base_workload());
+        inc.step(&inst, &cost()).unwrap();
+
+        let mut rates: Vec<Rate> = inst.workload().rates().to_vec();
+        rates[1] = Rate::new(5); // 18 → 5, a decrease
+        let interests = inst
+            .workload()
+            .subscribers()
+            .map(|v| inst.workload().interests(v).to_vec())
+            .collect();
+        let inst2 = instance(Workload::from_parts(rates, interests));
+        let delta = WorkloadDelta {
+            changed_topics: vec![TopicId::new(1), TopicId::new(1), TopicId::new(1)],
+            changed_subscribers: vec![SubscriberId::new(0), SubscriberId::new(0)],
+        };
+        let out = inc.step_with_delta(&inst2, &cost(), &delta).unwrap();
+        out.allocation
+            .validate(inst2.workload(), inst2.tau())
+            .unwrap();
     }
 
     #[test]
@@ -565,6 +778,89 @@ mod tests {
     }
 
     #[test]
+    fn workload_shrinking_below_previous_subscriber_count() {
+        // The edge the diff loop indexes around: epoch 2's workload has
+        // fewer subscribers than epoch 1's selection covers. The vanished
+        // subscribers' pairs must be removed, the survivors repaired.
+        let mut inc = IncrementalReallocator::default();
+        let w = base_workload();
+        let inst = instance(w.clone());
+        let first = inc.step(&inst, &cost()).unwrap();
+
+        let rates: Vec<Rate> = w.rates().to_vec();
+        let interests: Vec<Vec<TopicId>> = w
+            .subscribers()
+            .take(2)
+            .map(|v| w.interests(v).to_vec())
+            .collect();
+        let shrunk = Workload::from_parts(rates, interests);
+        let inst2 = instance(shrunk);
+        let out = inc.step(&inst2, &cost()).unwrap();
+        assert_eq!(out.selection.num_subscribers(), 2);
+        assert!(out.pairs_removed > 0);
+        assert_eq!(
+            out.selection.pair_count() + out.pairs_removed,
+            first.selection.pair_count(),
+            "removals must account exactly for the lost subscribers' rows"
+        );
+        out.allocation
+            .validate(inst2.workload(), inst2.tau())
+            .unwrap();
+
+        // And a third epoch on the shrunk workload is steady-state.
+        let third = inc.step(&inst2, &cost()).unwrap();
+        assert_eq!(third.pairs_placed, 0);
+        assert_eq!(third.pairs_removed, 0);
+    }
+
+    #[test]
+    fn mass_unsubscribe_removes_ten_thousand_pairs() {
+        // The pre-ledger removal path was O(|subs|·|gone|); this case —
+        // 10k pairs leaving in one epoch — must both stay correct and
+        // come back in sane time via the reverse-index removal.
+        let topics = 50u32;
+        let subscribers = 5_000u32;
+        let mut b = Workload::builder();
+        let ts: Vec<TopicId> = (0..topics)
+            .map(|i| b.add_topic(Rate::new(1 + (i as u64 % 7))).unwrap())
+            .collect();
+        for vi in 0..subscribers {
+            let a = ts[(vi % topics) as usize];
+            let bb = ts[((vi + 1) % topics) as usize];
+            b.add_subscriber(if a < bb { [a, bb] } else { [bb, a] })
+                .unwrap();
+        }
+        let w = b.build();
+        let mk =
+            |w: Workload| McssInstance::new(w, Rate::new(100), Bandwidth::new(10_000)).unwrap();
+        let inst = mk(w.clone());
+        let mut inc = IncrementalReallocator::default();
+        let first = inc.step(&inst, &cost()).unwrap();
+        assert_eq!(first.allocation.pair_count(), 2 * subscribers as u64);
+
+        // Everyone but the first 100 subscribers drops both interests.
+        let rates: Vec<Rate> = w.rates().to_vec();
+        let interests: Vec<Vec<TopicId>> = w
+            .subscribers()
+            .map(|v| {
+                if v.index() < 100 {
+                    w.interests(v).to_vec()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let shrunk = mk(Workload::from_parts(rates, interests));
+        let out = inc.step(&shrunk, &cost()).unwrap();
+        assert_eq!(out.pairs_removed, 2 * (subscribers as u64 - 100));
+        assert!(out.pairs_removed >= 9_800);
+        out.allocation
+            .validate(shrunk.workload(), shrunk.tau())
+            .unwrap();
+        assert_eq!(out.allocation.pair_count(), 200);
+    }
+
+    #[test]
     fn incremental_cost_stays_close_to_full_resolve() {
         // After several drift epochs, the repaired allocation should not
         // cost wildly more than a from-scratch solve (placement debt is
@@ -599,14 +895,14 @@ mod tests {
         assert!(deployed.allocation.vm_count() >= 1);
 
         // Drop the first VM (simulated failure) and adopt the remains.
-        let degraded = crate::Allocation::from_tables(
+        let degraded = crate::Allocation::from_groups(
             deployed.allocation.vms()[1..]
                 .iter()
                 .map(|vm| {
                     vm.placements()
                         .iter()
                         .map(|p| (p.topic, p.subscribers.clone()))
-                        .collect::<HashMap<_, _>>()
+                        .collect()
                 })
                 .collect(),
             inst.workload(),
@@ -623,20 +919,5 @@ mod tests {
             .allocation
             .validate(inst.workload(), inst.tau())
             .unwrap();
-    }
-
-    #[test]
-    fn diff_sorted_covers_all_cases() {
-        let t = |i: u32| TopicId::new(i);
-        let mut removed = Vec::new();
-        let mut added = Vec::new();
-        diff_sorted(
-            &[t(1), t(2), t(5)],
-            &[t(2), t(3), t(5), t(9)],
-            |x| removed.push(x),
-            |x| added.push(x),
-        );
-        assert_eq!(removed, vec![t(1)]);
-        assert_eq!(added, vec![t(3), t(9)]);
     }
 }

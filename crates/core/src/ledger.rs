@@ -1,0 +1,634 @@
+//! Incrementally-maintained fleet state for the churn path.
+//!
+//! The epoch-repair loop of [`crate::incremental`] used to keep the fleet
+//! as `Vec<HashMap<TopicId, Vec<SubscriberId>>>` and pay full-fleet scans
+//! every epoch: usage recomputes per VM, `retain`-based pair removal, and
+//! linear sweeps to find eviction victims and placement targets. The
+//! [`FleetLedger`] replaces that with flat state whose maintenance cost
+//! scales with the *migration delta*:
+//!
+//! * per-VM `(topic, subscribers)` rows sorted by topic id (binary-search
+//!   host lookup) with subscriber lists kept sorted (binary-search pair
+//!   removal);
+//! * per-VM used-bandwidth counters, adjusted pair-by-pair and re-based
+//!   only for topics whose rate actually changed;
+//! * a topic → hosting-VMs reverse index, so rate refreshes, removals and
+//!   co-host placement touch only the VMs that host the topic;
+//! * a lazy max-heap over VM headroom for "most-free VM" placement (stale
+//!   entries are discarded on pop, fresh ones pushed on every change);
+//! * tombstoned VM slots: released VMs keep their index (the reverse
+//!   index and heap stay valid) and are reused lowest-first by new VMs.
+//!
+//! The ledger is deliberately policy-free: eviction order and the
+//! three-pass placement (co-host → most-free → fresh VM) mirror the
+//! repair policy documented on
+//! [`IncrementalReallocator`](crate::incremental::IncrementalReallocator).
+
+use crate::Allocation;
+use pubsub_model::{Bandwidth, Rate, SubscriberId, TopicId, Workload};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One VM's placement rows: `(topic, subscribers)` sorted by topic id,
+/// subscribers sorted by id.
+type VmRows = Vec<(TopicId, Vec<SubscriberId>)>;
+
+/// Flat, incrementally-maintained fleet state (see the module docs).
+#[derive(Clone, Debug, Default)]
+pub struct FleetLedger {
+    /// Placement rows per VM slot; empty rows mean the slot is empty
+    /// (mid-epoch) or tombstoned (after release).
+    rows: Vec<VmRows>,
+    /// Recorded bandwidth per VM slot (Eq. 2 under current rates).
+    used: Vec<Bandwidth>,
+    /// Tombstoned slots: released, invisible to placement until reused.
+    tombstone: Vec<bool>,
+    /// Topic index → VM slots hosting the topic, ascending.
+    hosts: Vec<Vec<u32>>,
+    /// Lazy "most-free VM" heap: `(Reverse(used at push time), slot)`.
+    /// An entry is valid iff the slot is live and its used value still
+    /// matches; everything else is discarded on pop.
+    free_heap: BinaryHeap<(Reverse<Bandwidth>, usize)>,
+    /// Tombstoned slots available for reuse, lowest index first.
+    free_slots: BinaryHeap<Reverse<usize>>,
+    /// Slots that may have become empty since the last release sweep.
+    maybe_empty: Vec<usize>,
+    /// Slots whose usage may have grown past capacity this epoch.
+    overflow_candidates: Vec<usize>,
+    /// `Σ used` over live slots.
+    total_used: u128,
+    /// Number of live (non-tombstone, non-empty) VMs.
+    live: usize,
+}
+
+impl FleetLedger {
+    /// Builds a ledger mirroring an existing allocation (used after full
+    /// re-solves and [`adopt`](crate::incremental::IncrementalReallocator::adopt)).
+    pub fn from_allocation(allocation: &Allocation) -> FleetLedger {
+        let mut ledger = FleetLedger::default();
+        for vm in allocation.vms() {
+            let slot = ledger.rows.len();
+            let rows: VmRows = vm
+                .placements()
+                .iter()
+                .map(|p| (p.topic, p.subscribers.clone()))
+                .collect();
+            for &(t, _) in &rows {
+                ledger.ensure_topics(t.index() + 1);
+                ledger.hosts[t.index()].push(slot as u32);
+            }
+            ledger.rows.push(rows);
+            ledger.used.push(vm.used());
+            ledger.tombstone.push(false);
+            ledger.total_used += u128::from(vm.used().get());
+            ledger.free_heap.push((Reverse(vm.used()), slot));
+            if !ledger.rows[slot].is_empty() {
+                ledger.live += 1;
+            } else {
+                ledger.maybe_empty.push(slot);
+            }
+        }
+        ledger
+    }
+
+    /// Number of live (non-empty) VMs.
+    pub fn vm_count(&self) -> usize {
+        self.live
+    }
+
+    /// `Σ used / (|B| · BC)` over live VMs (1.0 for an empty fleet).
+    pub fn utilization(&self, capacity: Bandwidth) -> f64 {
+        let fleet_capacity = (self.live as u128).saturating_mul(u128::from(capacity.get()));
+        if fleet_capacity == 0 {
+            1.0
+        } else {
+            self.total_used as f64 / fleet_capacity as f64
+        }
+    }
+
+    /// Snapshots the live VMs as an [`Allocation`], in slot order. The
+    /// ledger's rows are already sorted and its used counters exact, so
+    /// the export is a plain clone — no re-sort, no bandwidth recompute.
+    pub fn to_allocation(&self, capacity: Bandwidth) -> Allocation {
+        let vms = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(_, rows)| !rows.is_empty())
+            .map(|(slot, rows)| {
+                let placements = rows
+                    .iter()
+                    .map(|(topic, subscribers)| crate::TopicPlacement {
+                        topic: *topic,
+                        subscribers: subscribers.clone(),
+                    })
+                    .collect();
+                crate::VmAllocation::from_sorted_parts(placements, self.used[slot])
+            })
+            .collect();
+        Allocation::from_vm_allocations(vms, capacity)
+    }
+
+    /// Grows the reverse index to cover `num_topics` topics.
+    pub fn ensure_topics(&mut self, num_topics: usize) {
+        if self.hosts.len() < num_topics {
+            self.hosts.resize_with(num_topics, Vec::new);
+        }
+    }
+
+    /// Re-bases every hosting VM's used counter after topic `t`'s rate
+    /// changed from `old_rate` to `new_rate` — `O(hosts of t)`.
+    pub fn refresh_rate(&mut self, t: TopicId, old_rate: Rate, new_rate: Rate) {
+        if old_rate == new_rate || t.index() >= self.hosts.len() {
+            return;
+        }
+        for &slot in &self.hosts[t.index()] {
+            let slot = slot as usize;
+            let pairs = match self.rows[slot].binary_search_by_key(&t, |&(tt, _)| tt) {
+                Ok(pos) => self.rows[slot][pos].1.len() as u64,
+                Err(_) => continue, // stale index entry
+            };
+            let old_contrib = old_rate * (pairs + 1);
+            let new_contrib = new_rate * (pairs + 1);
+            let before = self.used[slot];
+            let after = before.saturating_sub(old_contrib) + new_contrib;
+            self.used[slot] = after;
+            self.total_used =
+                self.total_used - u128::from(old_contrib.get()) + u128::from(new_contrib.get());
+            self.free_heap.push((Reverse(after), slot));
+            if new_rate > old_rate {
+                self.overflow_candidates.push(slot);
+            }
+        }
+    }
+
+    /// Drops every group of topic `t` (the topic left the workload),
+    /// charging usage at `old_rate`. Later [`FleetLedger::remove_pair`]
+    /// calls for its pairs become no-ops.
+    pub fn drop_topic(&mut self, t: TopicId, old_rate: Rate) {
+        if t.index() >= self.hosts.len() {
+            return;
+        }
+        for &slot in &self.hosts[t.index()] {
+            let slot = slot as usize;
+            if let Ok(pos) = self.rows[slot].binary_search_by_key(&t, |&(tt, _)| tt) {
+                let (_, subs) = self.rows[slot].remove(pos);
+                let contrib = old_rate * (subs.len() as u64 + 1);
+                self.used[slot] = self.used[slot].saturating_sub(contrib);
+                self.total_used -= u128::from(contrib.get());
+                self.free_heap.push((Reverse(self.used[slot]), slot));
+                if self.rows[slot].is_empty() {
+                    self.live -= 1;
+                    self.maybe_empty.push(slot);
+                }
+            }
+        }
+        self.hosts[t.index()].clear();
+    }
+
+    /// Removes the pair `(t, v)` if the ledger holds it, updating usage at
+    /// the topic's current `rate`. `O(hosts of t · log)` — the reverse
+    /// index names the candidate VMs, binary search finds the subscriber.
+    pub fn remove_pair(&mut self, t: TopicId, v: SubscriberId, rate: Rate) -> bool {
+        if t.index() >= self.hosts.len() {
+            return false;
+        }
+        let mut found: Option<(usize, usize)> = None;
+        for &slot in &self.hosts[t.index()] {
+            let slot = slot as usize;
+            if let Ok(pos) = self.rows[slot].binary_search_by_key(&t, |&(tt, _)| tt) {
+                if self.rows[slot][pos].1.binary_search(&v).is_ok() {
+                    found = Some((slot, pos));
+                    break;
+                }
+            }
+        }
+        let Some((slot, pos)) = found else {
+            return false;
+        };
+        let subs = &mut self.rows[slot][pos].1;
+        let at = subs.binary_search(&v).expect("membership just checked");
+        subs.remove(at);
+        let mut freed = rate.volume(); // the outgoing stream
+        if subs.is_empty() {
+            // Last pair: the incoming stream goes too.
+            self.rows[slot].remove(pos);
+            self.hosts[t.index()].retain(|&s| s as usize != slot);
+            freed += rate.volume();
+            if self.rows[slot].is_empty() {
+                self.live -= 1;
+                self.maybe_empty.push(slot);
+            }
+        }
+        self.used[slot] = self.used[slot].saturating_sub(freed);
+        self.total_used -= u128::from(freed.get());
+        self.free_heap.push((Reverse(self.used[slot]), slot));
+        true
+    }
+
+    /// Queues every live VM for the next overflow check (used when the
+    /// capacity constraint itself changed between epochs).
+    pub fn mark_all_for_overflow(&mut self) {
+        for slot in 0..self.rows.len() {
+            if !self.tombstone[slot] && !self.rows[slot].is_empty() {
+                self.overflow_candidates.push(slot);
+            }
+        }
+    }
+
+    /// Sheds load from every queued VM whose usage exceeds `capacity`:
+    /// whole topic groups are evicted cheapest-first (cost
+    /// `ev_t · (|group| + 1)`, ties to the lowest topic id) and appended
+    /// to `spill` for re-placement. Returns the number of evicted pairs.
+    pub fn evict_overflowing(
+        &mut self,
+        workload: &Workload,
+        capacity: Bandwidth,
+        spill: &mut Vec<(TopicId, SubscriberId)>,
+    ) -> u64 {
+        let mut evicted = 0u64;
+        let candidates = std::mem::take(&mut self.overflow_candidates);
+        for slot in candidates {
+            if self.tombstone[slot] || self.used[slot] <= capacity {
+                continue;
+            }
+            // Group costs do not change while evicting siblings, so one
+            // ascending sort stands in for the eviction min-heap.
+            let mut order: Vec<(Bandwidth, TopicId)> = self.rows[slot]
+                .iter()
+                .map(|(t, subs)| (workload.rate(*t) * (subs.len() as u64 + 1), *t))
+                .collect();
+            order.sort_unstable();
+            for (cost, t) in order {
+                if self.used[slot] <= capacity {
+                    break;
+                }
+                let pos = self.rows[slot]
+                    .binary_search_by_key(&t, |&(tt, _)| tt)
+                    .expect("group present while over capacity");
+                let (_, subs) = self.rows[slot].remove(pos);
+                self.hosts[t.index()].retain(|&s| s as usize != slot);
+                self.used[slot] = self.used[slot].saturating_sub(cost);
+                self.total_used -= u128::from(cost.get());
+                evicted += subs.len() as u64;
+                spill.extend(subs.into_iter().map(|v| (t, v)));
+            }
+            self.free_heap.push((Reverse(self.used[slot]), slot));
+            if self.rows[slot].is_empty() {
+                self.live -= 1;
+                self.maybe_empty.push(slot);
+            }
+        }
+        evicted
+    }
+
+    /// Places one topic group, draining `subs`: VMs already hosting the
+    /// topic first (marginal cost `ev` per pair), then most-free VMs via
+    /// the lazy heap (`(k+1)·ev`), then fresh VMs (tombstoned slots are
+    /// reused lowest-first). The caller must have checked
+    /// `rate.pair_cost() <= capacity`.
+    pub fn place_group(
+        &mut self,
+        t: TopicId,
+        rate: Rate,
+        subs: &mut Vec<SubscriberId>,
+        capacity: Bandwidth,
+    ) {
+        debug_assert!(
+            rate.pair_cost() <= capacity,
+            "caller must reject infeasible topics"
+        );
+        self.ensure_topics(t.index() + 1);
+
+        // Pass 1: co-hosts in ascending slot order.
+        for hi in 0..self.hosts[t.index()].len() {
+            if subs.is_empty() {
+                break;
+            }
+            let slot = self.hosts[t.index()][hi] as usize;
+            let free = capacity.saturating_sub(self.used[slot]);
+            let take = (free.div_rate(rate) as usize).min(subs.len());
+            if take == 0 {
+                continue;
+            }
+            let pos = self.rows[slot]
+                .binary_search_by_key(&t, |&(tt, _)| tt)
+                .expect("reverse index names a host");
+            let row = &mut self.rows[slot][pos].1;
+            for v in subs.drain(..take) {
+                let at = row.binary_search(&v).unwrap_or_else(|at| at);
+                row.insert(at, v);
+            }
+            let added = rate * take as u64;
+            self.used[slot] += added;
+            self.total_used += u128::from(added.get());
+            self.free_heap.push((Reverse(self.used[slot]), slot));
+        }
+
+        // Pass 2: most-free live VM, lazily validated.
+        while !subs.is_empty() {
+            let slot = loop {
+                let Some(&(Reverse(used), slot)) = self.free_heap.peek() else {
+                    break None;
+                };
+                if self.tombstone[slot] || self.used[slot] != used {
+                    self.free_heap.pop(); // stale
+                    continue;
+                }
+                break Some(slot);
+            };
+            let Some(slot) = slot else {
+                break;
+            };
+            let free = capacity.saturating_sub(self.used[slot]);
+            if free < rate.pair_cost() {
+                break; // no existing VM can take a first pair
+            }
+            let take = ((free.div_rate(rate) - 1) as usize).min(subs.len());
+            let (pos, hosted) = match self.rows[slot].binary_search_by_key(&t, |&(tt, _)| tt) {
+                Ok(pos) => (pos, true),
+                Err(pos) => (pos, false),
+            };
+            if !hosted {
+                self.rows[slot].insert(pos, (t, Vec::new()));
+                let hat = self.hosts[t.index()]
+                    .binary_search(&(slot as u32))
+                    .unwrap_or_else(|at| at);
+                self.hosts[t.index()].insert(hat, slot as u32);
+            }
+            let was_empty = self.rows[slot].len() == 1 && self.rows[slot][0].1.is_empty();
+            let row = &mut self.rows[slot][pos].1;
+            for v in subs.drain(..take) {
+                let at = row.binary_search(&v).unwrap_or_else(|at| at);
+                row.insert(at, v);
+            }
+            if was_empty {
+                self.live += 1;
+            }
+            let added = rate * (take as u64 + if hosted { 0 } else { 1 });
+            self.used[slot] += added;
+            self.total_used += u128::from(added.get());
+            self.free_heap.push((Reverse(self.used[slot]), slot));
+        }
+
+        // Pass 3: fresh VMs.
+        while !subs.is_empty() {
+            let take = ((capacity.div_rate(rate) - 1) as usize).min(subs.len());
+            let mut moved: Vec<SubscriberId> = subs.drain(..take).collect();
+            moved.sort_unstable();
+            let used = rate * (take as u64 + 1);
+            let slot = match self.free_slots.pop() {
+                Some(Reverse(slot)) => {
+                    self.tombstone[slot] = false;
+                    self.rows[slot] = vec![(t, moved)];
+                    self.used[slot] = used;
+                    slot
+                }
+                None => {
+                    self.rows.push(vec![(t, moved)]);
+                    self.used.push(used);
+                    self.tombstone.push(false);
+                    self.rows.len() - 1
+                }
+            };
+            let hat = self.hosts[t.index()]
+                .binary_search(&(slot as u32))
+                .unwrap_or_else(|at| at);
+            self.hosts[t.index()].insert(hat, slot as u32);
+            self.total_used += u128::from(used.get());
+            self.free_heap.push((Reverse(used), slot));
+            self.live += 1;
+        }
+    }
+
+    /// Tombstones every VM emptied since the last sweep (their slots are
+    /// reused by future fresh VMs). Returns how many were released.
+    pub fn release_empty(&mut self) -> usize {
+        let mut released = 0usize;
+        let pending = std::mem::take(&mut self.maybe_empty);
+        for slot in pending {
+            if !self.tombstone[slot] && self.rows[slot].is_empty() {
+                self.tombstone[slot] = true;
+                self.free_slots.push(Reverse(slot));
+                released += 1;
+            }
+        }
+        released
+    }
+
+    /// Recomputes every live VM's used counter from its rows under the
+    /// current rates — the `O(fleet)` fallback for resyncing after
+    /// [`adopt`](crate::incremental::IncrementalReallocator::adopt), where
+    /// no previous-epoch rates exist to delta against. Topics at or above
+    /// the workload's topic count must have been dropped first.
+    pub fn recompute_used(&mut self, workload: &Workload) {
+        self.total_used = 0;
+        for slot in 0..self.rows.len() {
+            if self.tombstone[slot] {
+                continue;
+            }
+            let mut used = Bandwidth::ZERO;
+            for (t, subs) in &self.rows[slot] {
+                used += workload.rate(*t) * (subs.len() as u64 + 1);
+            }
+            self.used[slot] = used;
+            self.total_used += u128::from(used.get());
+            self.free_heap.push((Reverse(used), slot));
+        }
+    }
+
+    /// Drops every group whose topic index is `>= num_topics` (the
+    /// workload shrank), charging usage at the rates recorded in `used` —
+    /// callers pass the previous epoch's rate via
+    /// [`FleetLedger::drop_topic`]; this sweep exists for the adopt path
+    /// where [`FleetLedger::recompute_used`] follows anyway.
+    pub fn drop_topics_at_or_above(&mut self, num_topics: usize) {
+        for ti in num_topics..self.hosts.len() {
+            let t = TopicId::new(ti as u32);
+            for hi in 0..self.hosts[ti].len() {
+                let slot = self.hosts[ti][hi] as usize;
+                if let Ok(pos) = self.rows[slot].binary_search_by_key(&t, |&(tt, _)| tt) {
+                    self.rows[slot].remove(pos);
+                    if self.rows[slot].is_empty() {
+                        self.live -= 1;
+                        self.maybe_empty.push(slot);
+                    }
+                }
+            }
+            self.hosts[ti].clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pubsub_model::Workload;
+
+    fn t(i: u32) -> TopicId {
+        TopicId::new(i)
+    }
+    fn v(i: u32) -> SubscriberId {
+        SubscriberId::new(i)
+    }
+
+    fn workload(rates: &[u64]) -> Workload {
+        let mut b = Workload::builder();
+        let ts: Vec<TopicId> = rates
+            .iter()
+            .map(|&r| b.add_topic(Rate::new(r)).unwrap())
+            .collect();
+        // Everyone follows everything so any pair is legal.
+        for _ in 0..16 {
+            b.add_subscriber(ts.iter().copied()).unwrap();
+        }
+        b.build()
+    }
+
+    fn ledger_with(groups: Vec<VmRows>, w: &Workload, capacity: Bandwidth) -> FleetLedger {
+        FleetLedger::from_allocation(&Allocation::from_groups(groups, w, capacity))
+    }
+
+    #[test]
+    fn from_allocation_round_trips() {
+        let w = workload(&[10, 5]);
+        let cap = Bandwidth::new(100);
+        let groups = vec![
+            vec![(t(0), vec![v(0), v(1)]), (t(1), vec![v(2)])],
+            vec![(t(1), vec![v(0)])],
+        ];
+        let ledger = ledger_with(groups.clone(), &w, cap);
+        assert_eq!(ledger.vm_count(), 2);
+        assert_eq!(
+            ledger.to_allocation(cap),
+            Allocation::from_groups(groups, &w, cap)
+        );
+    }
+
+    #[test]
+    fn remove_pair_updates_usage_and_releases_empties() {
+        let w = workload(&[10]);
+        let cap = Bandwidth::new(100);
+        let mut ledger = ledger_with(vec![vec![(t(0), vec![v(0), v(1)])]], &w, cap);
+        assert!(ledger.remove_pair(t(0), v(0), Rate::new(10)));
+        // 2 pairs + incoming = 30 → one pair + incoming = 20.
+        assert_eq!(ledger.to_allocation(cap).total_bandwidth().get(), 20);
+        assert!(ledger.remove_pair(t(0), v(1), Rate::new(10)));
+        assert!(
+            !ledger.remove_pair(t(0), v(1), Rate::new(10)),
+            "no-op twice"
+        );
+        assert_eq!(ledger.release_empty(), 1);
+        assert_eq!(ledger.vm_count(), 0);
+        assert_eq!(ledger.to_allocation(cap).vm_count(), 0);
+    }
+
+    #[test]
+    fn refresh_rate_flags_overflow_and_eviction_sheds_cheapest_group() {
+        let w = workload(&[30, 4]);
+        let cap = Bandwidth::new(100);
+        // used = 30·(2+1) + 4·(1+1) = 98.
+        let mut ledger = ledger_with(
+            vec![vec![(t(0), vec![v(0), v(1)]), (t(1), vec![v(2)])]],
+            &w,
+            cap,
+        );
+        ledger.refresh_rate(t(0), Rate::new(30), Rate::new(31));
+        let mut spill = Vec::new();
+        let evicted = ledger.evict_overflowing(&w, cap, &mut spill);
+        // New usage 101 > 100: the cheap t1 group (cost 8) goes first.
+        assert_eq!(evicted, 1);
+        assert_eq!(spill, vec![(t(1), v(2))]);
+    }
+
+    #[test]
+    fn place_group_prefers_cohost_then_most_free_then_fresh() {
+        let w = workload(&[10, 2]);
+        let cap = Bandwidth::new(64);
+        // VM0 hosts t0 with room for 1 more pair; VM1 is nearly full.
+        let mut ledger = ledger_with(
+            vec![
+                vec![(t(0), vec![v(0), v(1), v(2)])], // used 40, free 24
+                vec![(t(1), vec![v(0), v(1)])],       // used 6, free 58
+            ],
+            &w,
+            cap,
+        );
+        let mut subs = vec![v(3), v(4), v(5), v(6), v(7), v(8), v(9), v(10)];
+        ledger.place_group(t(0), Rate::new(10), &mut subs, cap);
+        assert!(subs.is_empty());
+        let a = ledger.to_allocation(cap);
+        // Co-host takes 2 (24/10), most-free VM1 takes 4 (58/10 − 1),
+        // fresh VM takes the remaining 2.
+        assert_eq!(a.vm_count(), 3);
+        assert_eq!(a.vms()[0].pair_count(), 5);
+        assert_eq!(a.vms()[1].pair_count(), 2 + 4);
+        assert_eq!(a.vms()[2].pair_count(), 2);
+        for vm in a.vms() {
+            assert!(vm.used() <= cap);
+        }
+    }
+
+    #[test]
+    fn tombstoned_slots_are_reused_lowest_first() {
+        let w = workload(&[10]);
+        let cap = Bandwidth::new(100);
+        let mut ledger = ledger_with(
+            vec![
+                vec![(t(0), vec![v(0)])],
+                vec![(t(0), vec![v(1), v(2), v(3), v(4)])],
+            ],
+            &w,
+            cap,
+        );
+        ledger.remove_pair(t(0), v(0), Rate::new(10));
+        assert_eq!(ledger.release_empty(), 1);
+        assert_eq!(ledger.vm_count(), 1);
+        // A fresh placement must first fill the co-host, then reuse slot 0.
+        let mut subs = (5..14).map(v).collect::<Vec<_>>();
+        ledger.place_group(t(0), Rate::new(10), &mut subs, cap);
+        assert!(subs.is_empty());
+        assert_eq!(ledger.vm_count(), 2);
+        let a = ledger.to_allocation(cap);
+        assert_eq!(a.vm_count(), 2);
+    }
+
+    #[test]
+    fn drop_topic_clears_groups_everywhere() {
+        let w = workload(&[10, 5]);
+        let cap = Bandwidth::new(100);
+        let mut ledger = ledger_with(
+            vec![
+                vec![(t(0), vec![v(0)]), (t(1), vec![v(1)])],
+                vec![(t(1), vec![v(2)])],
+            ],
+            &w,
+            cap,
+        );
+        ledger.drop_topic(t(1), Rate::new(5));
+        assert!(
+            !ledger.remove_pair(t(1), v(1), Rate::new(5)),
+            "already gone"
+        );
+        let a = ledger.to_allocation(cap);
+        assert_eq!(a.pair_count(), 1);
+        assert_eq!(ledger.release_empty(), 1);
+        assert_eq!(ledger.vm_count(), 1);
+    }
+
+    #[test]
+    fn utilization_tracks_live_vms_only() {
+        let w = workload(&[10]);
+        let cap = Bandwidth::new(40);
+        let mut ledger = ledger_with(
+            vec![vec![(t(0), vec![v(0)])], vec![(t(0), vec![v(1)])]],
+            &w,
+            cap,
+        );
+        // Each VM: 20/40.
+        assert!((ledger.utilization(cap) - 0.5).abs() < 1e-9);
+        ledger.remove_pair(t(0), v(1), Rate::new(10));
+        ledger.release_empty();
+        assert!((ledger.utilization(cap) - 0.5).abs() < 1e-9);
+    }
+}

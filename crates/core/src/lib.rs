@@ -24,6 +24,7 @@
 //! | exact baseline for tiny instances | [`exact`] |
 //! | §VI dynamic re-provisioning (future work) | [`dynamic`] |
 //! | §VI online repair (future work, extension) | [`incremental`] |
+//! | O(Δ) churn ledger (extension) | [`FleetLedger`] |
 //! | shard-parallel solving + fleet merge (extension) | [`ShardedSolver`], [`ShardingConfig`] |
 //! | Best-/Next-Fit baselines (extension) | [`stage2::BestFitBinPacking`], [`stage2::NextFitBinPacking`] |
 //!
@@ -65,6 +66,7 @@ mod error;
 pub mod exact;
 pub mod ilp;
 pub mod incremental;
+mod ledger;
 mod lower_bound;
 mod pipeline;
 pub mod planner;
@@ -77,10 +79,11 @@ pub mod stage2;
 
 pub use allocation::{Allocation, AllocationError, TopicPlacement, VmAllocation};
 pub use error::McssError;
+pub use ledger::FleetLedger;
 pub use lower_bound::{lower_bound, LowerBound};
 pub use pipeline::{AllocatorKind, SelectorKind, SolveOutcome, SolveReport, Solver, SolverParams};
 pub use problem::McssInstance;
-pub use selection::Selection;
+pub use selection::{Selection, SelectionBuilder, SelectionDiff};
 pub use shard::{
     partition_subscribers, MergeStats, PartitionerKind, ShardedOutcome, ShardedSolver,
     ShardingConfig,

@@ -3,8 +3,8 @@
 use pubsub_model::{Bandwidth, Pair, Rate, SubscriberId, TopicId, WorkloadView};
 
 /// A set `S` of topic-subscriber pairs chosen to satisfy every subscriber
-/// (the output of Stage 1, §III-A), stored per subscriber in selection
-/// order.
+/// (the output of Stage 1, §III-A), stored as a CSR arena: one flat topic
+/// buffer plus per-subscriber row offsets, rows in selection order.
 ///
 /// Subscriber indices are relative to the [`WorkloadView`] the selection
 /// was produced from: a selection over a full view uses arena ids, a
@@ -33,30 +33,75 @@ use pubsub_model::{Bandwidth, Pair, Rate, SubscriberId, TopicId, WorkloadView};
 /// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Selection {
-    /// Selected topics per subscriber, in the order the selector chose
-    /// them. The order matters: First-Fit bin packing (Alg. 3) consumes
-    /// pairs "in no particular sequence", which we pin to this order for
-    /// determinism.
-    per_subscriber: Vec<Vec<TopicId>>,
+    /// `offsets[v]..offsets[v + 1]` delimits subscriber `v`'s row in
+    /// `topics`. Always `num_subscribers() + 1` entries, first 0, last
+    /// `topics.len()`.
+    offsets: Vec<usize>,
+    /// All selected topics, rows concatenated in subscriber order. Within
+    /// a row, topics keep the order the selector chose them in — First-Fit
+    /// bin packing (Alg. 3) consumes pairs "in no particular sequence",
+    /// which we pin to this order for determinism.
+    topics: Vec<TopicId>,
 }
 
 impl Selection {
-    /// Wraps per-subscriber topic lists (indexed by subscriber id).
+    /// Wraps per-subscriber topic lists (indexed by subscriber id) —
+    /// convenience constructor for tests and small literals; hot paths
+    /// should use [`SelectionBuilder`] or [`Selection::from_csr`].
     pub fn from_per_subscriber(per_subscriber: Vec<Vec<TopicId>>) -> Self {
-        Selection { per_subscriber }
+        let mut b = SelectionBuilder::with_capacity(
+            per_subscriber.len(),
+            per_subscriber.iter().map(Vec::len).sum(),
+        );
+        for row in per_subscriber {
+            b.push_row(row);
+        }
+        b.build()
     }
 
-    /// Consumes the selection, yielding the per-subscriber rows (used by
-    /// the sharded solver to scatter shard-local rows into a global
-    /// selection without cloning).
-    pub(crate) fn into_per_subscriber(self) -> Vec<Vec<TopicId>> {
-        self.per_subscriber
+    /// Assembles a selection directly from its CSR parts: `offsets[v]..
+    /// offsets[v + 1]` must delimit subscriber `v`'s row in `topics`.
+    ///
+    /// ```
+    /// use mcss_core::Selection;
+    /// use pubsub_model::{SubscriberId, TopicId};
+    ///
+    /// let t = TopicId::new;
+    /// // Two subscribers: row [t2, t0] and row [t1].
+    /// let s = Selection::from_csr(vec![0, 2, 3], vec![t(2), t(0), t(1)]);
+    /// assert_eq!(s.num_subscribers(), 2);
+    /// assert_eq!(s.selected(SubscriberId::new(0)), &[t(2), t(0)]);
+    /// assert_eq!(s.selected(SubscriberId::new(1)), &[t(1)]);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty, does not start at 0, does not end at
+    /// `topics.len()`, or is not monotonically non-decreasing.
+    pub fn from_csr(offsets: Vec<usize>, topics: Vec<TopicId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets needs at least the leading 0");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().expect("non-empty"),
+            topics.len(),
+            "offsets must end at the topic buffer length"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        Selection { offsets, topics }
+    }
+
+    /// Starts an empty row-by-row builder.
+    pub fn builder() -> SelectionBuilder {
+        SelectionBuilder::new()
     }
 
     /// Number of subscribers covered (equals the view's subscriber count
     /// for any selector output).
     pub fn num_subscribers(&self) -> usize {
-        self.per_subscriber.len()
+        self.offsets.len() - 1
     }
 
     /// The topics selected for subscriber `v`, in selection order.
@@ -65,20 +110,32 @@ impl Selection {
     ///
     /// Panics if `v` is out of range.
     pub fn selected(&self, v: SubscriberId) -> &[TopicId] {
-        &self.per_subscriber[v.index()]
+        self.row(v.index())
+    }
+
+    /// Row of subscriber `vi` (plain-index twin of
+    /// [`Selection::selected`]).
+    #[inline]
+    fn row(&self, vi: usize) -> &[TopicId] {
+        &self.topics[self.offsets[vi]..self.offsets[vi + 1]]
+    }
+
+    /// Iterates the rows in subscriber order, as borrowed slices.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[TopicId]> + '_ {
+        (0..self.num_subscribers()).map(|vi| self.row(vi))
     }
 
     /// Total number of selected pairs `|S|`.
     pub fn pair_count(&self) -> u64 {
-        self.per_subscriber.iter().map(|tv| tv.len() as u64).sum()
+        self.topics.len() as u64
     }
 
     /// Iterates all pairs in subscriber-major selection order, with
     /// subscriber ids in this selection's own indexing.
     pub fn iter_pairs(&self) -> impl Iterator<Item = Pair> + '_ {
-        self.per_subscriber.iter().enumerate().flat_map(|(vi, tv)| {
+        (0..self.num_subscribers()).flat_map(move |vi| {
             let v = SubscriberId::new(vi as u32);
-            tv.iter().map(move |&t| Pair::new(t, v))
+            self.row(vi).iter().map(move |&t| Pair::new(t, v))
         })
     }
 
@@ -86,21 +143,18 @@ impl Selection {
     /// subscriber ids mapped through `view` to arena ids — what Stage-2
     /// packers emit so shard allocations concatenate without translation.
     pub fn iter_pairs_in<'s>(&'s self, view: WorkloadView<'s>) -> impl Iterator<Item = Pair> + 's {
-        self.per_subscriber
-            .iter()
-            .enumerate()
-            .flat_map(move |(vi, tv)| {
-                let v = view.global(SubscriberId::new(vi as u32));
-                tv.iter().map(move |&t| Pair::new(t, v))
-            })
+        (0..self.num_subscribers()).flat_map(move |vi| {
+            let v = view.global(SubscriberId::new(vi as u32));
+            self.row(vi).iter().map(move |&t| Pair::new(t, v))
+        })
     }
 
     /// Total outgoing delivery volume `Σ_{(t,v)∈S} ev_t`.
     pub fn outgoing_volume<'a>(&self, view: impl Into<WorkloadView<'a>>) -> Bandwidth {
         let view = view.into();
         let mut total = Bandwidth::ZERO;
-        for pair in self.iter_pairs() {
-            total += view.rate(pair.topic);
+        for &t in &self.topics {
+            total += view.rate(t);
         }
         total
     }
@@ -111,8 +165,8 @@ impl Selection {
     pub fn stage1_cost<'a>(&self, view: impl Into<WorkloadView<'a>>) -> Bandwidth {
         let view = view.into();
         let mut total = Bandwidth::ZERO;
-        for pair in self.iter_pairs() {
-            total += view.rate(pair.topic).pair_cost();
+        for &t in &self.topics {
+            total += view.rate(t).pair_cost();
         }
         total
     }
@@ -121,17 +175,14 @@ impl Selection {
     /// under this selection (`Σ_{t : (t,v)∈S} ev_t`).
     pub fn delivered_rate<'a>(&self, view: impl Into<WorkloadView<'a>>, v: SubscriberId) -> Rate {
         let view = view.into();
-        self.per_subscriber[v.index()]
-            .iter()
-            .map(|&t| view.rate(t))
-            .sum()
+        self.row(v.index()).iter().map(|&t| view.rate(t)).sum()
     }
 
     /// Checks the Stage-1 constraint `Σ_v f_v = |V|`: every subscriber of
     /// the view receives at least `τ_v = min(τ, Σ_{t∈T_v} ev_t)`.
     pub fn satisfies<'a>(&self, view: impl Into<WorkloadView<'a>>, tau: Rate) -> bool {
         let view = view.into();
-        if self.per_subscriber.len() != view.num_subscribers() {
+        if self.num_subscribers() != view.num_subscribers() {
             return false;
         }
         view.subscribers()
@@ -148,7 +199,7 @@ impl Selection {
     ) -> Vec<(TopicId, Vec<SubscriberId>)> {
         let view = view.into();
         let mut groups: Vec<Vec<SubscriberId>> = vec![Vec::new(); view.num_topics()];
-        for (vi, tv) in self.per_subscriber.iter().enumerate() {
+        for (vi, tv) in self.rows().enumerate() {
             let v = view.global(SubscriberId::new(vi as u32));
             for &t in tv {
                 groups[t.index()].push(v);
@@ -160,6 +211,172 @@ impl Selection {
             .filter(|(_, vs)| !vs.is_empty())
             .map(|(ti, vs)| (TopicId::new(ti as u32), vs))
             .collect()
+    }
+}
+
+/// Row-by-row [`Selection`] assembler writing straight into the CSR
+/// arena — no per-subscriber allocation.
+///
+/// ```
+/// use mcss_core::{Selection, SelectionBuilder};
+/// use pubsub_model::{SubscriberId, TopicId};
+///
+/// let t = TopicId::new;
+/// let mut b = SelectionBuilder::with_capacity(2, 3);
+/// b.push_row([t(2), t(0)]);
+/// // Hot paths can build a row in place instead of collecting it first:
+/// b.push_row_with(|row| row.push(t(1)));
+/// let s = b.build();
+/// assert_eq!(s.selected(SubscriberId::new(0)), &[t(2), t(0)]);
+/// assert_eq!(s.selected(SubscriberId::new(1)), &[t(1)]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SelectionBuilder {
+    offsets: Vec<usize>,
+    topics: Vec<TopicId>,
+}
+
+impl SelectionBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        SelectionBuilder {
+            offsets: vec![0],
+            topics: Vec::new(),
+        }
+    }
+
+    /// An empty builder with room for `rows` subscribers and `pairs`
+    /// total topics.
+    pub fn with_capacity(rows: usize, pairs: usize) -> Self {
+        let mut offsets = Vec::with_capacity(rows + 1);
+        offsets.push(0);
+        SelectionBuilder {
+            offsets,
+            topics: Vec::with_capacity(pairs),
+        }
+    }
+
+    /// Appends the next subscriber's row.
+    pub fn push_row(&mut self, row: impl IntoIterator<Item = TopicId>) {
+        self.topics.extend(row);
+        self.offsets.push(self.topics.len());
+    }
+
+    /// Appends the next subscriber's row by copying a slice (the verbatim
+    /// row-reuse fast path of the incremental re-allocator).
+    pub fn push_row_slice(&mut self, row: &[TopicId]) {
+        self.topics.extend_from_slice(row);
+        self.offsets.push(self.topics.len());
+    }
+
+    /// Appends the next subscriber's row by letting `fill` write directly
+    /// into the topic arena (everything it pushes becomes the row).
+    pub fn push_row_with(&mut self, fill: impl FnOnce(&mut Vec<TopicId>)) {
+        fill(&mut self.topics);
+        self.offsets.push(self.topics.len());
+    }
+
+    /// Appends rows `range` of `src` verbatim: one topic-arena memcpy
+    /// plus a shifted offset extend — the bulk row-reuse fast path the
+    /// incremental re-allocator takes for runs of clean subscribers.
+    /// Returns the number of pairs copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` exceeds `src.num_subscribers()`.
+    pub fn push_rows_from(&mut self, src: &Selection, range: std::ops::Range<usize>) -> u64 {
+        let src_start = src.offsets[range.start];
+        let src_end = src.offsets[range.end];
+        let base = self.topics.len();
+        self.topics
+            .extend_from_slice(&src.topics[src_start..src_end]);
+        self.offsets.extend(
+            src.offsets[range.start + 1..=range.end]
+                .iter()
+                .map(|&o| o - src_start + base),
+        );
+        (src_end - src_start) as u64
+    }
+
+    /// Appends every row of `part` after this builder's rows (used to
+    /// stitch per-thread chunks back together in subscriber order).
+    pub fn append(&mut self, part: SelectionBuilder) {
+        let base = self.topics.len();
+        self.topics.extend_from_slice(&part.topics);
+        self.offsets
+            .extend(part.offsets[1..].iter().map(|&o| base + o));
+    }
+
+    /// Rows pushed so far.
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Finishes the arena.
+    pub fn build(self) -> Selection {
+        Selection {
+            offsets: self.offsets,
+            topics: self.topics,
+        }
+    }
+}
+
+/// Reusable scratch state for diffing two selection rows without cloning
+/// or sorting either side.
+///
+/// One call to [`SelectionDiff::diff_rows`] is `O(|old| + |new|)`: topics
+/// of the old row are stamped with a fresh epoch in a topic-indexed mark
+/// array, the new row then classifies each topic by its stamp, and the
+/// old row is re-walked for unmatched stamps. Rows must not repeat a
+/// topic (selector rows never do).
+#[derive(Clone, Debug, Default)]
+pub struct SelectionDiff {
+    mark: Vec<u64>,
+    epoch: u64,
+}
+
+impl SelectionDiff {
+    /// Fresh scratch (grows to the topic universe on first use).
+    pub fn new() -> Self {
+        SelectionDiff::default()
+    }
+
+    /// Calls `on_removed` for topics only in `old` and `on_added` for
+    /// topics only in `new`, in their row order.
+    pub fn diff_rows(
+        &mut self,
+        old: &[TopicId],
+        new: &[TopicId],
+        mut on_removed: impl FnMut(TopicId),
+        mut on_added: impl FnMut(TopicId),
+    ) {
+        let max_index = old
+            .iter()
+            .chain(new)
+            .map(|t| t.index())
+            .max()
+            .map_or(0, |m| m + 1);
+        if self.mark.len() < max_index {
+            self.mark.resize(max_index, 0);
+        }
+        self.epoch += 2;
+        let e = self.epoch;
+        for t in old {
+            self.mark[t.index()] = e;
+        }
+        for &t in new {
+            let slot = &mut self.mark[t.index()];
+            if *slot == e {
+                *slot = e + 1; // present in both rows
+            } else {
+                on_added(t);
+            }
+        }
+        for &t in old {
+            if self.mark[t.index()] == e {
+                on_removed(t);
+            }
+        }
     }
 }
 
@@ -255,5 +472,71 @@ mod tests {
         assert_eq!(pairs[0], Pair::new(t(1), SubscriberId::new(1)));
         let groups = s.group_by_topic(view);
         assert_eq!(groups[0].1, vec![SubscriberId::new(1)]);
+    }
+
+    #[test]
+    fn csr_and_per_subscriber_constructors_agree() {
+        let nested = Selection::from_per_subscriber(vec![vec![t(2), t(0)], vec![], vec![t(1)]]);
+        let flat = Selection::from_csr(vec![0, 2, 2, 3], vec![t(2), t(0), t(1)]);
+        assert_eq!(nested, flat);
+        assert_eq!(flat.rows().count(), 3);
+        assert_eq!(flat.selected(SubscriberId::new(1)), &[] as &[TopicId]);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn from_csr_rejects_descending_offsets() {
+        Selection::from_csr(vec![0, 2, 1, 3], vec![t(0), t(1), t(2)]);
+    }
+
+    #[test]
+    fn builder_append_stitches_chunks() {
+        let mut left = SelectionBuilder::new();
+        left.push_row([t(0), t(1)]);
+        let mut right = SelectionBuilder::new();
+        right.push_row_slice(&[t(2)]);
+        right.push_row([]);
+        let mut all = SelectionBuilder::new();
+        all.append(left);
+        assert_eq!(all.num_rows(), 1);
+        all.append(right);
+        let s = all.build();
+        assert_eq!(
+            s,
+            Selection::from_per_subscriber(vec![vec![t(0), t(1)], vec![t(2)], vec![]])
+        );
+    }
+
+    #[test]
+    fn diff_rows_reports_exact_symmetric_difference() {
+        let mut diff = SelectionDiff::new();
+        let mut removed = Vec::new();
+        let mut added = Vec::new();
+        // Unsorted rows on both sides: the differ must not care.
+        diff.diff_rows(
+            &[t(5), t(1), t(2)],
+            &[t(9), t(2), t(3), t(5)],
+            |x| removed.push(x),
+            |x| added.push(x),
+        );
+        assert_eq!(removed, vec![t(1)]);
+        assert_eq!(added, vec![t(9), t(3)]);
+
+        // Scratch reuse: a second diff must not leak stale stamps.
+        removed.clear();
+        added.clear();
+        diff.diff_rows(&[t(1)], &[t(1)], |x| removed.push(x), |x| added.push(x));
+        assert!(removed.is_empty() && added.is_empty());
+    }
+
+    #[test]
+    fn diff_rows_handles_empty_sides() {
+        let mut diff = SelectionDiff::new();
+        let mut removed = Vec::new();
+        let mut added = Vec::new();
+        diff.diff_rows(&[], &[t(3)], |x| removed.push(x), |x| added.push(x));
+        diff.diff_rows(&[t(7)], &[], |x| removed.push(x), |x| added.push(x));
+        assert_eq!(removed, vec![t(7)]);
+        assert_eq!(added, vec![t(3)]);
     }
 }

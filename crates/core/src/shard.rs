@@ -308,28 +308,37 @@ impl ShardedSolver {
             .max()
             .unwrap_or_default();
 
-        // Scatter shard-local selection rows back to arena indexing.
-        let mut per_subscriber: Vec<Vec<TopicId>> = vec![Vec::new(); workload.num_subscribers()];
+        // Scatter shard-local selection rows back to arena indexing: one
+        // pass sizes every arena row, a second copies the rows into a
+        // global CSR selection — no per-subscriber allocation.
         let merge_start = Instant::now();
+        let n = workload.num_subscribers();
+        let mut offsets = vec![0usize; n + 1];
+        for (subs, solve) in partition.iter().zip(&shard_solves) {
+            for (local, row) in solve.selection.rows().enumerate() {
+                offsets[subs[local].index() + 1] = row.len();
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut topics = vec![TopicId::new(0); offsets[n]];
         let mut fleet: Vec<VmGroups> = Vec::new();
         for (subs, solve) in partition.iter().zip(shard_solves) {
-            for (local, row) in solve
-                .selection
-                .into_per_subscriber()
-                .into_iter()
-                .enumerate()
-            {
-                per_subscriber[subs[local].index()] = row;
+            for (local, row) in solve.selection.rows().enumerate() {
+                let start = offsets[subs[local].index()];
+                topics[start..start + row.len()].copy_from_slice(row);
             }
             fleet.extend(solve.allocation.into_vm_groups());
         }
+        let selection = Selection::from_csr(offsets, topics);
         let merge = compact_topic_groups(&mut fleet, workload, capacity);
-        let allocation = Allocation::from_vm_groups(fleet, workload, capacity);
+        let allocation = Allocation::from_groups(fleet, workload, capacity);
         let stage2_time = shard2_time + merge_start.elapsed();
 
         Ok(ShardedOutcome {
             allocation,
-            selection: Selection::from_per_subscriber(per_subscriber),
+            selection,
             shard_sizes: partition.iter().map(Vec::len).collect(),
             merge,
             stage1_time,
@@ -363,15 +372,14 @@ impl ShardedSolver {
 
         let allocations = run_shards(&partition, self.sharding.workers(), |subs| {
             let view = workload.subset_view(subs);
-            let local = Selection::from_per_subscriber(
-                subs.iter()
-                    .map(|&v| selection.selected(v).to_vec())
-                    .collect(),
-            );
+            let mut local = crate::SelectionBuilder::with_capacity(subs.len(), 0);
+            for &v in subs {
+                local.push_row_slice(selection.selected(v));
+            }
             params
                 .allocator
                 .build()
-                .allocate_view(view, &local, capacity, cost)
+                .allocate_view(view, &local.build(), capacity, cost)
         })?;
 
         let mut fleet: Vec<VmGroups> = Vec::new();
@@ -379,7 +387,7 @@ impl ShardedSolver {
             fleet.extend(allocation.into_vm_groups());
         }
         let merge = compact_topic_groups(&mut fleet, workload, capacity);
-        Ok((Allocation::from_vm_groups(fleet, workload, capacity), merge))
+        Ok((Allocation::from_groups(fleet, workload, capacity), merge))
     }
 }
 

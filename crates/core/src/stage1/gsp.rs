@@ -1,7 +1,7 @@
 //! GreedySelectPairs — Alg. 1 and Alg. 2 of the paper.
 
 use super::PairSelector;
-use crate::{McssError, Selection};
+use crate::{McssError, Selection, SelectionBuilder};
 use pubsub_model::{Rate, SubscriberId, TopicId, WorkloadView};
 
 /// The paper's Stage-1 greedy (Alg. 2), selecting pairs per subscriber by
@@ -64,63 +64,97 @@ impl PairSelector for GreedySelectPairs {
 
     fn select_view(&self, view: WorkloadView<'_>, tau: Rate) -> Result<Selection, McssError> {
         let n = view.num_subscribers();
-        let mut per_subscriber: Vec<Vec<TopicId>> = vec![Vec::new(); n];
 
         if self.threads <= 1 || n < 2 * self.threads {
-            for (vi, out) in per_subscriber.iter_mut().enumerate() {
-                *out = select_for_subscriber(view, SubscriberId::new(vi as u32), tau);
+            let mut builder = SelectionBuilder::with_capacity(n, n);
+            let mut scratch = SelectScratch::default();
+            for vi in 0..n {
+                let v = SubscriberId::new(vi as u32);
+                builder.push_row_with(|row| {
+                    select_for_subscriber_into(view, v, tau, &mut scratch, row)
+                });
             }
-        } else {
-            let chunk = n.div_ceil(self.threads);
-            std::thread::scope(|scope| {
-                for (ci, slot) in per_subscriber.chunks_mut(chunk).enumerate() {
-                    let start = ci * chunk;
-                    scope.spawn(move || {
-                        for (offset, out) in slot.iter_mut().enumerate() {
-                            let v = SubscriberId::new((start + offset) as u32);
-                            *out = select_for_subscriber(view, v, tau);
-                        }
-                    });
-                }
-            });
+            return Ok(builder.build());
         }
-        Ok(Selection::from_per_subscriber(per_subscriber))
+
+        // Each worker builds a CSR chunk for a contiguous subscriber
+        // range; the chunks are stitched back in order afterwards.
+        let chunk = n.div_ceil(self.threads);
+        let chunks = n.div_ceil(chunk);
+        let mut parts: Vec<Option<SelectionBuilder>> = Vec::new();
+        parts.resize_with(chunks, || None);
+        std::thread::scope(|scope| {
+            for (ci, slot) in parts.iter_mut().enumerate() {
+                let start = ci * chunk;
+                let end = (start + chunk).min(n);
+                scope.spawn(move || {
+                    let mut builder = SelectionBuilder::with_capacity(end - start, end - start);
+                    let mut scratch = SelectScratch::default();
+                    for vi in start..end {
+                        let v = SubscriberId::new(vi as u32);
+                        builder.push_row_with(|row| {
+                            select_for_subscriber_into(view, v, tau, &mut scratch, row)
+                        });
+                    }
+                    *slot = Some(builder);
+                });
+            }
+        });
+        let mut builder = SelectionBuilder::with_capacity(n, n);
+        for part in parts {
+            builder.append(part.expect("every chunk slot is filled"));
+        }
+        Ok(builder.build())
     }
 }
 
+/// Reusable per-thread buffers for [`select_for_subscriber_into`]: the
+/// descending topic order and the chosen flags.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SelectScratch {
+    order: Vec<TopicId>,
+    chosen: Vec<bool>,
+}
+
 /// One subscriber's greedy selection (Alg. 1 + Alg. 2 inner loop, via the
-/// descending sweep described on [`GreedySelectPairs`]). `v` is in the
-/// view's local numbering.
-pub(crate) fn select_for_subscriber(
+/// descending sweep described on [`GreedySelectPairs`]), appended to
+/// `out`. `v` is in the view's local numbering.
+pub(crate) fn select_for_subscriber_into(
     view: WorkloadView<'_>,
     v: SubscriberId,
     tau: Rate,
-) -> Vec<TopicId> {
+    scratch: &mut SelectScratch,
+    out: &mut Vec<TopicId>,
+) {
     let interests = view.interests(v);
     if interests.is_empty() {
-        return Vec::new();
+        return;
     }
     let tau_v = view.tau_v(v, tau);
     let total = view.subscriber_total_rate(v);
     if total <= tau_v {
         // τ_v = min(τ, total): everything is needed.
-        return interests.to_vec();
+        out.extend_from_slice(interests);
+        return;
     }
 
     // Descending (rate, then ascending id) order.
-    let mut order: Vec<TopicId> = interests.to_vec();
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend_from_slice(interests);
     order.sort_unstable_by(|&a, &b| view.rate(b).cmp(&view.rate(a)).then(a.cmp(&b)));
 
-    let mut selected = Vec::new();
+    let chosen = &mut scratch.chosen;
+    chosen.clear();
+    chosen.resize(order.len(), false);
     let mut rem = tau_v;
-    let mut chosen = vec![false; order.len()];
     for (i, &t) in order.iter().enumerate() {
         if rem.is_zero() {
             break;
         }
         let ev = view.rate(t);
         if ev <= rem {
-            selected.push(t);
+            out.push(t);
             chosen[i] = true;
             rem = rem.saturating_sub(ev);
         }
@@ -130,14 +164,13 @@ pub(crate) fn select_for_subscriber(
         // 1/(2·ev_t) belongs to the smallest rate, ties to the lowest id.
         let cheapest_exceeder = order
             .iter()
-            .zip(&chosen)
+            .zip(chosen.iter())
             .filter(|(_, &c)| !c)
             .map(|(&t, _)| t)
             .min_by_key(|&t| (view.rate(t), t))
             .expect("total > tau_v guarantees an unchosen topic remains");
-        selected.push(cheapest_exceeder);
+        out.push(cheapest_exceeder);
     }
-    selected
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@ mod rsp;
 mod shared;
 
 pub use gsp::GreedySelectPairs;
+pub(crate) use gsp::{select_for_subscriber_into, SelectScratch};
 pub use optimal::OptimalSelectPairs;
 pub use rsp::RandomSelectPairs;
 pub use shared::SharedAwareGreedy;

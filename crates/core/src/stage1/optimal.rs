@@ -9,7 +9,7 @@
 //! greedy between the lower bound and the true Stage-1 optimum.
 
 use super::PairSelector;
-use crate::{McssError, Selection};
+use crate::{McssError, Selection, SelectionBuilder};
 use pubsub_model::{Rate, SubscriberId, TopicId, WorkloadView};
 
 /// Exact Stage-1 selector (per-subscriber covering knapsack).
@@ -63,11 +63,11 @@ impl PairSelector for OptimalSelectPairs {
                 });
             }
         }
-        let mut per_subscriber = Vec::with_capacity(view.num_subscribers());
+        let mut builder = SelectionBuilder::with_capacity(view.num_subscribers(), 0);
         for v in view.subscribers() {
-            per_subscriber.push(optimal_for_subscriber(view, v, tau));
+            builder.push_row(optimal_for_subscriber(view, v, tau));
         }
-        Ok(Selection::from_per_subscriber(per_subscriber))
+        Ok(builder.build())
     }
 }
 

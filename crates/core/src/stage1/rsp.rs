@@ -1,7 +1,7 @@
 //! RandomSelectPairs — Alg. 6, the naive Stage-1 baseline.
 
 use super::PairSelector;
-use crate::{McssError, Selection};
+use crate::{McssError, Selection, SelectionBuilder};
 use pubsub_model::{Rate, TopicId, WorkloadView};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -31,23 +31,25 @@ impl PairSelector for RandomSelectPairs {
 
     fn select_view(&self, view: WorkloadView<'_>, tau: Rate) -> Result<Selection, McssError> {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut per_subscriber = Vec::with_capacity(view.num_subscribers());
+        let mut builder = SelectionBuilder::with_capacity(view.num_subscribers(), 0);
+        let mut order: Vec<TopicId> = Vec::new();
         for v in view.subscribers() {
             let tau_v = view.tau_v(v, tau);
-            let mut order: Vec<TopicId> = view.interests(v).to_vec();
+            order.clear();
+            order.extend_from_slice(view.interests(v));
             shuffle(&mut order, &mut rng);
-            let mut chosen = Vec::new();
-            let mut delivered = Rate::ZERO;
-            for t in order {
-                if delivered >= tau_v {
-                    break;
+            builder.push_row_with(|row| {
+                let mut delivered = Rate::ZERO;
+                for &t in &order {
+                    if delivered >= tau_v {
+                        break;
+                    }
+                    delivered += view.rate(t);
+                    row.push(t);
                 }
-                delivered += view.rate(t);
-                chosen.push(t);
-            }
-            per_subscriber.push(chosen);
+            });
         }
-        Ok(Selection::from_per_subscriber(per_subscriber))
+        Ok(builder.build())
     }
 }
 

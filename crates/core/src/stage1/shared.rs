@@ -18,7 +18,7 @@
 //! ablation bench.
 
 use super::PairSelector;
-use crate::{McssError, Selection};
+use crate::{McssError, Selection, SelectionBuilder};
 use pubsub_model::{Rate, SubscriberId, TopicId, WorkloadView};
 
 /// Greedy Stage-1 selector that charges shared incoming streams once.
@@ -39,15 +39,15 @@ impl PairSelector for SharedAwareGreedy {
 
     fn select_view(&self, view: WorkloadView<'_>, tau: Rate) -> Result<Selection, McssError> {
         let mut in_solution = vec![false; view.num_topics()];
-        let mut per_subscriber = Vec::with_capacity(view.num_subscribers());
+        let mut builder = SelectionBuilder::with_capacity(view.num_subscribers(), 0);
         for v in view.subscribers() {
             let chosen = select_one(view, v, tau, &in_solution);
             for &t in &chosen {
                 in_solution[t.index()] = true;
             }
-            per_subscriber.push(chosen);
+            builder.push_row(chosen);
         }
-        Ok(Selection::from_per_subscriber(per_subscriber))
+        Ok(builder.build())
     }
 }
 

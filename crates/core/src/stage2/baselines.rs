@@ -71,8 +71,8 @@ impl Allocator for BestFitBinPacking {
                 }
             }
         }
-        Ok(Allocation::from_tables(
-            vms.into_iter().map(VmBuild::into_table).collect(),
+        Ok(Allocation::from_groups(
+            vms.into_iter().map(VmBuild::into_groups).collect(),
             view.workload(),
             capacity,
         ))
@@ -128,8 +128,8 @@ impl Allocator for NextFitBinPacking {
                 vms.push(vm);
             }
         }
-        Ok(Allocation::from_tables(
-            vms.into_iter().map(VmBuild::into_table).collect(),
+        Ok(Allocation::from_groups(
+            vms.into_iter().map(VmBuild::into_groups).collect(),
             view.workload(),
             capacity,
         ))

@@ -241,8 +241,8 @@ impl Allocator for CustomBinPacking {
             }
         }
 
-        Ok(Allocation::from_tables(
-            vms.into_iter().map(VmBuild::into_table).collect(),
+        Ok(Allocation::from_groups(
+            vms.into_iter().map(VmBuild::into_groups).collect(),
             view.workload(),
             capacity,
         ))

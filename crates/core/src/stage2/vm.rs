@@ -1,13 +1,15 @@
 //! Mutable VM state used while packing.
 
 use pubsub_model::{Bandwidth, Rate, SubscriberId, TopicId};
-use std::collections::HashMap;
 
-/// A VM being filled by a Stage-2 allocator: the topic→subscribers table
-/// plus incrementally tracked bandwidth.
+/// A VM being filled by a Stage-2 allocator: `(topic, subscribers)` rows
+/// kept sorted by topic id plus incrementally tracked bandwidth. The row
+/// layout is exactly what [`Allocation::from_groups`](crate::Allocation)
+/// consumes, so finished builds move into an allocation without a
+/// conversion pass.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct VmBuild {
-    table: HashMap<TopicId, Vec<SubscriberId>>,
+    rows: Vec<(TopicId, Vec<SubscriberId>)>,
     used: Bandwidth,
 }
 
@@ -31,12 +33,18 @@ impl VmBuild {
         capacity.saturating_sub(self.used)
     }
 
+    /// Position of topic `t` in the sorted rows, if hosted.
+    #[inline]
+    fn row_pos(&self, t: TopicId) -> Result<usize, usize> {
+        self.rows.binary_search_by_key(&t, |&(tt, _)| tt)
+    }
+
     /// Marginal cost of adding one pair of topic `t`: `2·ev_t` when the
     /// topic is new to this VM (incoming stream + delivery), `ev_t`
     /// otherwise.
     #[inline]
     pub(crate) fn delta(&self, t: TopicId, rate: Rate) -> Bandwidth {
-        if self.table.contains_key(&t) {
+        if self.row_pos(t).is_ok() {
             rate.volume()
         } else {
             rate.pair_cost()
@@ -46,8 +54,16 @@ impl VmBuild {
     /// Adds a single pair, updating bandwidth. The caller must have
     /// checked capacity via [`VmBuild::delta`].
     pub(crate) fn add_pair(&mut self, t: TopicId, rate: Rate, v: SubscriberId) {
-        self.used += self.delta(t, rate);
-        self.table.entry(t).or_default().push(v);
+        match self.row_pos(t) {
+            Ok(pos) => {
+                self.used += rate.volume();
+                self.rows[pos].1.push(v);
+            }
+            Err(pos) => {
+                self.used += rate.pair_cost();
+                self.rows.insert(pos, (t, vec![v]));
+            }
+        }
     }
 
     /// Adds several pairs of the same topic at once. Bandwidth grows by
@@ -57,19 +73,22 @@ impl VmBuild {
             return;
         }
         let n = vs.len() as u64;
-        let volume = if self.table.contains_key(&t) {
-            rate * n
-        } else {
-            rate * (n + 1)
-        };
-        self.used += volume;
-        self.table.entry(t).or_default().extend_from_slice(vs);
+        match self.row_pos(t) {
+            Ok(pos) => {
+                self.used += rate * n;
+                self.rows[pos].1.extend_from_slice(vs);
+            }
+            Err(pos) => {
+                self.used += rate * (n + 1);
+                self.rows.insert(pos, (t, vs.to_vec()));
+            }
+        }
     }
 
-    /// Consumes the build, yielding the raw table for
-    /// [`Allocation::from_tables`](crate::Allocation).
-    pub(crate) fn into_table(self) -> HashMap<TopicId, Vec<SubscriberId>> {
-        self.table
+    /// Consumes the build, yielding the sorted rows for
+    /// [`Allocation::from_groups`](crate::Allocation).
+    pub(crate) fn into_groups(self) -> Vec<(TopicId, Vec<SubscriberId>)> {
+        self.rows
     }
 }
 
@@ -107,7 +126,18 @@ mod tests {
         let mut batch = VmBuild::new();
         batch.add_batch(t(3), rate, &subs);
         assert_eq!(one.used(), batch.used());
-        assert_eq!(one.into_table(), batch.into_table());
+        assert_eq!(one.into_groups(), batch.into_groups());
+    }
+
+    #[test]
+    fn rows_stay_sorted_by_topic() {
+        let mut vm = VmBuild::new();
+        for i in [5u32, 1, 3, 0, 4] {
+            vm.add_pair(t(i), Rate::new(2), v(i));
+        }
+        let rows = vm.into_groups();
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(rows.len(), 5);
     }
 
     #[test]
@@ -125,7 +155,7 @@ mod tests {
         let mut vm = VmBuild::new();
         vm.add_batch(t(0), Rate::new(5), &[]);
         assert_eq!(vm.used(), Bandwidth::ZERO);
-        assert!(vm.into_table().is_empty());
+        assert!(vm.into_groups().is_empty());
     }
 
     #[test]

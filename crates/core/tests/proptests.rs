@@ -1,8 +1,9 @@
 //! Property-based tests over the full solver stack.
 
 use cloud_cost::{LinearCostModel, Money};
+use mcss_core::dynamic::DriftModel;
 use mcss_core::exact::ExactSolver;
-use mcss_core::incremental::IncrementalReallocator;
+use mcss_core::incremental::{IncrementalConfig, IncrementalReallocator};
 use mcss_core::reduction::{partition_to_dcss, subset_sum_partitionable};
 use mcss_core::stage1::{
     GreedySelectPairs, OptimalSelectPairs, PairSelector, RandomSelectPairs, SharedAwareGreedy,
@@ -144,6 +145,51 @@ proptest! {
             out.allocation.validate(inst.workload(), inst.tau()).map_err(|e| {
                 TestCaseError::fail(format!("incremental epoch invalid: {e}"))
             })?;
+        }
+    }
+
+    /// Dirty-subscriber re-selection is bit-identical to a full GSP
+    /// re-selection across random drift sequences — for the self-scanned
+    /// delta, the drift-provided delta, and the full-reselect baseline —
+    /// and the repaired fleet stays valid either way.
+    #[test]
+    fn dirty_reselection_bit_identical_across_drift(
+        inst in arb_instance(),
+        sigma_pct in 0u64..50,
+        churn_pct in 0u64..80,
+        seed in 0u64..1000,
+        epochs in 2u64..6,
+    ) {
+        let drift = DriftModel {
+            rate_sigma: sigma_pct as f64 / 100.0,
+            churn_prob: churn_pct as f64 / 100.0,
+            seed,
+        };
+        let mut scanned = IncrementalReallocator::default();
+        let mut delta_fed = IncrementalReallocator::default();
+        let mut full = IncrementalReallocator::new(IncrementalConfig {
+            dirty_tracking: false,
+            ..IncrementalConfig::default()
+        });
+        let mut w = inst.workload().clone();
+        let mut delta = mcss_core::dynamic::WorkloadDelta::default();
+        // Headroom so drifted rates stay feasible for the capacity.
+        let capacity = Bandwidth::new(inst.capacity().get().saturating_mul(8));
+        for epoch in 0..epochs {
+            let step = McssInstance::new(w.clone(), inst.tau(), capacity).unwrap();
+            let fresh = GreedySelectPairs::new().select(&step).unwrap();
+            let a = scanned.step(&step, &nocost()).unwrap();
+            let b = delta_fed.step_with_delta(&step, &nocost(), &delta).unwrap();
+            let c = full.step(&step, &nocost()).unwrap();
+            prop_assert_eq!(&a.selection, &fresh, "scanned diverged at epoch {}", epoch);
+            prop_assert_eq!(&b.selection, &fresh, "delta-fed diverged at epoch {}", epoch);
+            prop_assert_eq!(&c.selection, &fresh, "full diverged at epoch {}", epoch);
+            for out in [&a, &b, &c] {
+                out.allocation.validate(step.workload(), step.tau()).map_err(|e| {
+                    TestCaseError::fail(format!("epoch {epoch} invalid: {e}"))
+                })?;
+            }
+            (w, delta) = drift.evolve_tracked(&w, epoch);
         }
     }
 

@@ -10,6 +10,8 @@
 //! see `mcss help` for the full grammar.
 
 use cloud_cost::{instances, CostModel, Ec2CostModel, InstanceType};
+use mcss_core::dynamic::{DriftModel, Reprovisioner, WorkloadDelta};
+use mcss_core::incremental::IncrementalConfig;
 use mcss_core::planner::plan_instance_type;
 use mcss_core::{
     AllocatorKind, McssInstance, PartitionerKind, SelectorKind, ShardingConfig, Solver,
@@ -29,6 +31,9 @@ const HELP: &str = "mcss — Minimum Cost Subscriber Satisfaction solver (ICDCS 
 USAGE:
   mcss solve <trace.tsv> --tau N [options]   solve MCSS over a trace file
   mcss plan <trace.tsv> --tau N [options]    rank instance types by cost
+  mcss reprovision <trace.tsv> --tau N [options]
+                                             drift the workload and repair
+                                             the fleet epoch by epoch
   mcss generate <spotify|twitter> [options]  write a synthetic trace
   mcss analyze <trace.tsv>                   print workload statistics
   mcss help                                  this text
@@ -50,6 +55,19 @@ PLAN OPTIONS:
   --tau N                satisfaction threshold (required)
   --effective            use the figure-calibrated capacity
   --scale SYNTH/PAPER    volume-scale compensation ratio
+
+REPROVISION OPTIONS:
+  --tau N                satisfaction threshold (required)
+  --epochs N             drift/repair epochs to run              [5]
+  --churn P              per-subscriber interest-swap probability [0.1]
+  --sigma S              log-std of per-epoch rate noise          [0.1]
+  --drift-seed N         drift RNG seed                           [42]
+  --fresh                re-solve from scratch each epoch instead of the
+                         O(Δ) incremental repair
+  --instance NAME        c3.large | c3.xlarge | c3.2xlarge  [c3.large]
+  --effective            use the figure-calibrated capacity
+  --scale SYNTH/PAPER    volume-scale compensation ratio
+  --simulate             replay each epoch through the broker simulation
 
 GENERATE OPTIONS:
   --size N               subscribers (spotify) or users (twitter) [10000]
@@ -78,6 +96,19 @@ enum Command {
         tau: u64,
         effective: bool,
         scale: Option<(u64, u64)>,
+    },
+    Reprovision {
+        trace: String,
+        tau: u64,
+        instance: InstanceType,
+        epochs: u64,
+        churn: f64,
+        sigma: f64,
+        drift_seed: u64,
+        fresh: bool,
+        effective: bool,
+        scale: Option<(u64, u64)>,
+        simulate: bool,
     },
     Generate {
         family: String,
@@ -167,6 +198,71 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 tau,
                 effective,
                 scale,
+            })
+        }
+        "reprovision" => {
+            let trace = it
+                .next()
+                .ok_or_else(|| "reprovision needs a trace path".to_string())?
+                .clone();
+            let mut tau: Option<u64> = None;
+            let mut instance = instances::C3_LARGE;
+            let mut epochs = 5u64;
+            let mut churn = 0.1f64;
+            let mut sigma = 0.1f64;
+            let mut drift_seed = 42u64;
+            let mut fresh = false;
+            let mut effective = false;
+            let mut scale = None;
+            let mut simulate = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--tau" => tau = Some(next_num(&mut it, "--tau")?),
+                    "--epochs" => {
+                        epochs = next_num(&mut it, "--epochs")?;
+                        if epochs == 0 {
+                            return Err("--epochs must be at least 1".into());
+                        }
+                    }
+                    "--churn" => {
+                        churn = next_num(&mut it, "--churn")?;
+                        if !(0.0..=1.0).contains(&churn) {
+                            return Err("--churn must be a probability in [0, 1]".into());
+                        }
+                    }
+                    "--sigma" => {
+                        sigma = next_num(&mut it, "--sigma")?;
+                        if sigma < 0.0 {
+                            return Err("--sigma must be non-negative".into());
+                        }
+                    }
+                    "--drift-seed" => drift_seed = next_num(&mut it, "--drift-seed")?,
+                    "--fresh" => fresh = true,
+                    "--instance" => {
+                        let name = it
+                            .next()
+                            .ok_or_else(|| "--instance needs a name".to_string())?;
+                        instance = parse_instance(name)?;
+                    }
+                    "--effective" => effective = true,
+                    "--scale" => scale = Some(parse_scale(&mut it)?),
+                    "--simulate" => simulate = true,
+                    other => return Err(format!("unknown reprovision flag {other:?}")),
+                }
+            }
+            let tau = tau.ok_or_else(|| "--tau is required".to_string())?;
+            Ok(Command::Reprovision {
+                trace,
+                tau,
+                instance,
+                epochs,
+                churn,
+                sigma,
+                drift_seed,
+                fresh,
+                effective,
+                scale,
+                simulate,
             })
         }
         "solve" => {
@@ -388,6 +484,91 @@ fn run(command: Command) -> Result<(), String> {
             if let Some(spread) = report.spread() {
                 println!("spread:   {spread}");
             }
+            Ok(())
+        }
+        Command::Reprovision {
+            trace,
+            tau,
+            instance,
+            epochs,
+            churn,
+            sigma,
+            drift_seed,
+            fresh,
+            effective,
+            scale,
+            simulate,
+        } => {
+            let mut workload = load_trace(&trace)?;
+            let mut cost = if effective {
+                Ec2CostModel::paper_effective(instance)
+            } else {
+                Ec2CostModel::paper_default(instance)
+            };
+            if let Some((synth, paper)) = scale {
+                cost = cost.with_volume_scale(synth, paper);
+            }
+            let drift = DriftModel {
+                rate_sigma: sigma,
+                churn_prob: churn,
+                seed: drift_seed,
+            };
+            let mut re = if fresh {
+                Reprovisioner::new(Solver::default())
+            } else {
+                Reprovisioner::incremental(Solver::default(), IncrementalConfig::default())
+            };
+            println!(
+                "reprovisioning {} epochs ({}; churn {churn}, sigma {sigma}, seed {drift_seed})",
+                epochs,
+                if fresh {
+                    "full re-solve per epoch"
+                } else {
+                    "incremental O(Δ) repair"
+                }
+            );
+            let mut delta: Option<WorkloadDelta> = None;
+            for epoch in 0..epochs {
+                let inst = McssInstance::new(workload.clone(), Rate::new(tau), cost.capacity())
+                    .map_err(|e| e.to_string())?;
+                let r = re
+                    .step_tracked(&inst, &cost, delta.as_ref())
+                    .map_err(|e| format!("epoch {epoch}: {e}"))?;
+                r.allocation
+                    .validate(inst.workload(), inst.tau())
+                    .map_err(|e| format!("internal error — invalid epoch {epoch}: {e}"))?;
+                let mut line = format!(
+                    "epoch {:>3}: {:>4} VMs ({:+}), cost {}, moved {} pairs, reused {}{}",
+                    r.epoch,
+                    r.report.vm_count,
+                    r.vm_delta,
+                    r.report.total_cost,
+                    r.pairs_moved,
+                    r.pairs_reused,
+                    if r.full_resolve { " [full solve]" } else { "" },
+                );
+                if simulate {
+                    let sim =
+                        Simulation::new(SimConfig::default()).run(inst.workload(), &r.allocation);
+                    let ok = sim.all_satisfied(inst.workload(), inst.tau());
+                    line.push_str(if ok {
+                        ", sim: satisfied"
+                    } else {
+                        ", sim: VIOLATED"
+                    });
+                }
+                println!("{line}");
+                if epoch + 1 < epochs {
+                    let (next, d) = drift.evolve_tracked(&workload, epoch);
+                    workload = next;
+                    delta = Some(d);
+                }
+            }
+            println!(
+                "cumulative cost over {} epochs: {}",
+                re.epochs(),
+                re.cumulative_cost()
+            );
             Ok(())
         }
         Command::Solve {
@@ -653,6 +834,87 @@ mod tests {
         assert!(err.contains("--shards"), "unexpected: {err}");
         assert!(parse(&["solve", "t.tsv", "--tau", "10", "--threads", "0"]).is_err());
         assert!(parse(&["solve", "t.tsv", "--tau", "10", "--partitioner", "magic"]).is_err());
+    }
+
+    #[test]
+    fn reprovision_parses_and_validates() {
+        let cmd = parse(&[
+            "reprovision",
+            "t.tsv",
+            "--tau",
+            "50",
+            "--epochs",
+            "3",
+            "--churn",
+            "0.25",
+            "--sigma",
+            "0.2",
+            "--drift-seed",
+            "9",
+            "--fresh",
+            "--simulate",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Reprovision {
+                trace,
+                tau,
+                epochs,
+                churn,
+                sigma,
+                drift_seed,
+                fresh,
+                simulate,
+                ..
+            } => {
+                assert_eq!(trace, "t.tsv");
+                assert_eq!(tau, 50);
+                assert_eq!(epochs, 3);
+                assert_eq!(churn, 0.25);
+                assert_eq!(sigma, 0.2);
+                assert_eq!(drift_seed, 9);
+                assert!(fresh);
+                assert!(simulate);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&["reprovision", "t.tsv"])
+            .unwrap_err()
+            .contains("--tau"));
+        assert!(parse(&["reprovision", "t.tsv", "--tau", "1", "--epochs", "0"]).is_err());
+        assert!(parse(&["reprovision", "t.tsv", "--tau", "1", "--churn", "1.5"]).is_err());
+        assert!(parse(&["reprovision", "t.tsv", "--tau", "1", "--sigma", "-0.1"]).is_err());
+    }
+
+    #[test]
+    fn reprovision_runs_end_to_end() {
+        let dir = std::env::temp_dir().join("mcss-cli-reprovision-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.tsv");
+        run(Command::Generate {
+            family: "spotify".into(),
+            size: 250,
+            seed: 4,
+            out: Some(path.display().to_string()),
+        })
+        .unwrap();
+        for fresh in [false, true] {
+            run(Command::Reprovision {
+                trace: path.display().to_string(),
+                tau: 40,
+                instance: instances::C3_LARGE,
+                epochs: 3,
+                churn: 0.3,
+                sigma: 0.0,
+                drift_seed: 11,
+                fresh,
+                effective: true,
+                scale: Some((250, 100_000)),
+                simulate: true,
+            })
+            .unwrap();
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -210,6 +210,88 @@ fn plan_ranks_instance_types() {
 }
 
 #[test]
+fn reprovision_reports_epoch_churn_counters() {
+    let dir = scratch("reprovision");
+    let path = dir.join("drift.tsv");
+    let path_str = path.display().to_string();
+
+    let out = mcss(&[
+        "generate", "spotify", "--size", "200", "--seed", "12", "--out", &path_str,
+    ]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+
+    // Incremental repair with simulation: every epoch line must surface
+    // the churn counters (moved / reused) and the sim verdict.
+    let out = mcss(&[
+        "reprovision",
+        &path_str,
+        "--tau",
+        "40",
+        "--epochs",
+        "3",
+        "--churn",
+        "0.3",
+        "--sigma",
+        "0.0",
+        "--effective",
+        "--scale",
+        "200/100000",
+        "--simulate",
+    ]);
+    assert!(out.status.success(), "reprovision failed: {}", stderr(&out));
+    let report = stdout(&out);
+    assert!(
+        report.contains("incremental O(Δ) repair"),
+        "no mode banner in: {report}"
+    );
+    assert!(report.contains("epoch   0"), "no epoch lines in: {report}");
+    assert!(report.contains("reused"), "no reuse counter in: {report}");
+    assert!(
+        report.contains("sim: satisfied"),
+        "no simulation verdict in: {report}"
+    );
+    assert!(
+        report.contains("cumulative cost over 3 epochs"),
+        "no summary in: {report}"
+    );
+
+    // Fresh mode re-solves every epoch.
+    let out = mcss(&[
+        "reprovision",
+        &path_str,
+        "--tau",
+        "40",
+        "--epochs",
+        "2",
+        "--fresh",
+        "--effective",
+        "--scale",
+        "200/100000",
+    ]);
+    assert!(out.status.success(), "fresh failed: {}", stderr(&out));
+    let report = stdout(&out);
+    assert!(
+        report.contains("full re-solve per epoch"),
+        "no fresh banner in: {report}"
+    );
+    assert!(
+        report.contains("[full solve]"),
+        "no full-solve tag: {report}"
+    );
+
+    // Bad flags are rejected.
+    let out = mcss(&["reprovision", &path_str, "--tau", "40", "--churn", "2"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--churn"),
+        "unexpected stderr: {}",
+        stderr(&out)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn solve_rejects_missing_tau() {
     let dir = scratch("notau");
     let path = dir.join("t.tsv");

@@ -21,6 +21,7 @@ pub use std::hint::black_box;
 pub struct Criterion {
     sample_size: usize,
     filter: Option<String>,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -28,6 +29,7 @@ impl Default for Criterion {
         Criterion {
             sample_size: 20,
             filter: None,
+            test_mode: false,
         }
     }
 }
@@ -37,6 +39,14 @@ impl Criterion {
     pub fn sample_size(mut self, n: usize) -> Self {
         assert!(n >= 2, "sample size must be at least 2");
         self.sample_size = n;
+        self
+    }
+
+    /// Test mode (the `--test` harness flag, like upstream criterion):
+    /// every benchmark routine runs exactly once, unmeasured — a smoke
+    /// check that the bench executes, cheap enough for CI.
+    pub fn with_test_mode(mut self) -> Self {
+        self.test_mode = true;
         self
     }
 
@@ -79,6 +89,7 @@ impl Criterion {
         let mut bencher = Bencher {
             samples: Vec::new(),
             sample_size,
+            test_mode: self.test_mode,
         };
         f(&mut bencher);
         bencher.report(name);
@@ -194,14 +205,19 @@ impl BenchmarkGroup<'_> {
 pub struct Bencher {
     samples: Vec<Duration>,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Measures `routine` over one warmup call plus `sample_size` timed
     /// iterations, keeping each return value alive through `black_box`.
+    /// In test mode (`--test`) the routine runs exactly once, unmeasured.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         black_box(routine());
         self.samples.clear();
+        if self.test_mode {
+            return;
+        }
         self.samples.reserve(self.sample_size);
         for _ in 0..self.sample_size {
             let start = Instant::now();
@@ -211,6 +227,10 @@ impl Bencher {
     }
 
     fn report(&mut self, name: &str) {
+        if self.test_mode {
+            println!("{name:<60} ok (--test)");
+            return;
+        }
         if self.samples.is_empty() {
             println!("{name:<60} no samples recorded");
             return;
@@ -250,7 +270,9 @@ pub fn criterion_from_args() -> Criterion {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             // Harness flags cargo/criterion conventionally pass; ignored.
-            "--bench" | "--test" | "--verbose" | "-v" | "--quiet" | "--noplot" => {}
+            "--bench" | "--verbose" | "-v" | "--quiet" | "--noplot" => {}
+            // Upstream semantics: run each benchmark once, unmeasured.
+            "--test" => c = c.with_test_mode(),
             "--sample-size" => {
                 if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
                     c = c.sample_size(n);
