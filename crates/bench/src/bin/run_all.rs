@@ -128,6 +128,12 @@ fn main() -> ExitCode {
     save(dir, "churn_speedup.txt", &churn);
     bench_writes_ok &= save_bench_json(Path::new("BENCH_churn.json"), &churn_json);
 
+    let (mixed_text, mixed_json) = experiments::fig_mixed_fleet(&[&spotify, &twitter], 100, 4);
+    let mut mixed = String::from("== mixed fleet vs best homogeneous (Spotify + Twitter) ==\n");
+    mixed.push_str(&mixed_text);
+    save(dir, "mixed_fleet.txt", &mixed);
+    bench_writes_ok &= save_bench_json(Path::new("BENCH_mixed.json"), &mixed_json);
+
     println!(
         "all experiments done in {:.1}s",
         started.elapsed().as_secs_f64()

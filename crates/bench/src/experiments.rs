@@ -4,9 +4,10 @@
 use crate::paper;
 use crate::scenario::Scenario;
 use crate::table::Table;
-use cloud_cost::{Ec2CostModel, InstanceType};
+use cloud_cost::{instances, Ec2CostModel, FleetCostModel, InstanceType};
 use mcss_core::dynamic::DriftModel;
 use mcss_core::incremental::IncrementalReallocator;
+use mcss_core::planner::plan_mixed;
 use mcss_core::stage1::{GreedySelectPairs, PairSelector, RandomSelectPairs};
 use mcss_core::stage2::{Allocator, CbpConfig, CustomBinPacking, FirstFitBinPacking};
 use mcss_core::{
@@ -16,6 +17,7 @@ use mcss_core::{
 use pubsub_model::{Bandwidth, Rate};
 use pubsub_traces::{analysis, TwitterLike};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The bar series of Figs. 2–3, in the paper's order.
@@ -456,6 +458,177 @@ pub fn fig_churn_speedup(
     (out, json)
 }
 
+/// Mixed-fleet experiment (extension, not a paper figure): solve each
+/// scenario over the full c3 catalogue both ways — one heterogeneous
+/// fleet versus the best homogeneous instance type — and verify the
+/// mixed deployment is never dearer at identical satisfaction.
+///
+/// Per scenario the experiment asserts, not merely reports:
+///
+/// * mixed cost ≤ best homogeneous cost (the packer's fallback invariant);
+/// * delivered rates are bit-identical to the best homogeneous solve
+///   (Stage 1 never reads capacities, so fleet shape cannot change who
+///   is satisfied);
+/// * the mixed fleet validates against every VM's own tier capacity;
+/// * `mcss reprovision` semantics hold on mixed fleets: over drift
+///   epochs, the incremental reallocator produces bit-identical Stage-1
+///   selections with and without the fleet, and every repaired VM stays
+///   within its tier.
+///
+/// Returns the human-readable report and the machine-readable JSON
+/// document (`BENCH_mixed.json`).
+pub fn fig_mixed_fleet(scenarios: &[&Scenario], tau: u64, drift_epochs: u64) -> (String, String) {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# mixed fleet vs best homogeneous, c3 catalogue, τ={tau}, \
+         {drift_epochs} drift epochs for the reprovision check"
+    );
+    let mut t = Table::new(vec![
+        "trace".into(),
+        "mixed $".into(),
+        "best homog $".into(),
+        "best type".into(),
+        "saving%".into(),
+        "mixed VMs".into(),
+        "homog VMs".into(),
+        "fleet mix".into(),
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for scenario in scenarios {
+        let fleet = FleetCostModel::new(vec![
+            scenario.cost_model(instances::C3_LARGE),
+            scenario.cost_model(instances::C3_XLARGE),
+            scenario.cost_model(instances::C3_2XLARGE),
+        ]);
+        let plan = plan_mixed(
+            Arc::clone(&scenario.workload),
+            Rate::new(tau),
+            &fleet,
+            Solver::default(),
+        )
+        .expect("scenario rates are clamped to fit every tier");
+        let best = plan
+            .homogeneous
+            .best()
+            .expect("every catalogued tier is feasible");
+        let mixed_cost = plan.mixed.report.total_cost;
+        let homog_cost = best.report.total_cost;
+        assert!(
+            mixed_cost <= homog_cost,
+            "{}: mixed {mixed_cost} dearer than homogeneous {homog_cost}",
+            scenario.name
+        );
+        let inst = scenario
+            .instance(tau, instances::C3_LARGE)
+            .expect("valid capacity");
+        plan.mixed
+            .allocation
+            .validate(inst.workload(), inst.tau())
+            .expect("mixed fleet must satisfy every subscriber within tier caps");
+
+        // Equal satisfaction, bit-for-bit: re-solve the best homogeneous
+        // flavour and compare delivered rates.
+        let best_tier = fleet
+            .tiers()
+            .iter()
+            .position(|t| t.instance().name() == best.name)
+            .expect("winner comes from the fleet");
+        let homog_inst = scenario
+            .instance(tau, fleet.tier(best_tier).instance())
+            .expect("valid capacity");
+        let homog = Solver::default()
+            .solve(&homog_inst, fleet.tier(best_tier))
+            .expect("feasible scenario");
+        let satisfaction_identical = plan.mixed.allocation.delivered_rates(inst.workload())
+            == homog.allocation.delivered_rates(inst.workload());
+        assert!(
+            satisfaction_identical,
+            "{}: mixed fleet changed delivered rates",
+            scenario.name
+        );
+
+        // Reprovision on the mixed fleet: selections bit-identical to the
+        // homogeneous churn path, tier capacities respected every epoch.
+        let drift = DriftModel {
+            rate_sigma: 0.0,
+            churn_prob: 0.05,
+            seed: 71,
+        };
+        let mut mixed_inc = IncrementalReallocator::default().with_fleet(fleet.clone());
+        let mut homog_inc = IncrementalReallocator::default();
+        let mut w = (*scenario.workload).clone();
+        let mut reprovision_identical = true;
+        for epoch in 0..drift_epochs {
+            let mixed_step = McssInstance::new(w.clone(), Rate::new(tau), fleet.max_capacity())
+                .expect("feasible");
+            let homog_step =
+                McssInstance::new(w.clone(), Rate::new(tau), fleet.tier(best_tier).capacity())
+                    .expect("feasible");
+            let m = mixed_inc
+                .step(&mixed_step, fleet.tier(best_tier))
+                .expect("mixed epoch repairs");
+            let h = homog_inc
+                .step(&homog_step, fleet.tier(best_tier))
+                .expect("homogeneous epoch repairs");
+            reprovision_identical &= m.selection == h.selection;
+            m.allocation
+                .validate(mixed_step.workload(), mixed_step.tau())
+                .unwrap_or_else(|e| panic!("{} epoch {epoch}: {e}", scenario.name));
+            w = drift.evolve(&w, epoch);
+        }
+        assert!(
+            reprovision_identical,
+            "{}: mixed fleet diverged the reprovision selections",
+            scenario.name
+        );
+
+        let saving_pct = if homog_cost.is_zero() {
+            0.0
+        } else {
+            100.0 * (1.0 - mixed_cost.as_dollars_f64() / homog_cost.as_dollars_f64())
+        };
+        t.row(vec![
+            scenario.name.to_string(),
+            format!("{:.2}", mixed_cost.as_dollars_f64()),
+            format!("{:.2}", homog_cost.as_dollars_f64()),
+            best.name.to_string(),
+            format!("{saving_pct:.2}"),
+            plan.mixed.report.vm_count.to_string(),
+            best.report.vm_count.to_string(),
+            plan.mixed.report.mix.clone(),
+        ]);
+        json_rows.push(format!(
+            "    {{\"trace\": \"{}\", \"mixed_cost_usd\": {:.2}, \
+             \"best_homogeneous_cost_usd\": {:.2}, \"best_homogeneous_type\": \"{}\", \
+             \"saving_pct\": {saving_pct:.2}, \"mixed_vms\": {}, \"homogeneous_vms\": {}, \
+             \"fleet_mix\": \"{}\", \"satisfaction_identical\": {satisfaction_identical}, \
+             \"reprovision_selection_identical\": {reprovision_identical}}}",
+            scenario.name,
+            mixed_cost.as_dollars_f64(),
+            homog_cost.as_dollars_f64(),
+            best.name,
+            plan.mixed.report.vm_count,
+            best.report.vm_count,
+            plan.mixed.report.mix,
+        ));
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "# mixed ≤ best homogeneous is asserted, not observed: the packer \
+         keeps a downsized copy of every homogeneous candidate and returns \
+         the cheapest; satisfaction and reprovision selections are \
+         asserted bit-identical"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"mixed_fleet\",\n  \"tau\": {tau},\n  \
+         \"drift_epochs\": {drift_epochs},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    (out, json)
+}
+
 /// Figs. 8–12: Twitter trace distribution analysis.
 pub fn fig_trace_analysis(users: usize, seed: u64) -> String {
     let trace = TwitterLike::new(users, seed).generate_trace();
@@ -678,6 +851,19 @@ mod tests {
         assert!(json.contains("\"bench\": \"churn_epoch\""));
         assert!(json.contains("\"churn_pct\": 20"));
         assert!(json.contains("ns_per_epoch"));
+    }
+
+    #[test]
+    fn mixed_fleet_report_runs_on_small_scenarios() {
+        let spotify = Scenario::spotify(400, 9);
+        let twitter = Scenario::twitter(300, 9);
+        let (text, json) = fig_mixed_fleet(&[&spotify, &twitter], 50, 2);
+        assert!(text.contains("mixed $"));
+        assert!(text.contains("spotify"));
+        assert!(text.contains("twitter"));
+        assert!(json.contains("\"bench\": \"mixed_fleet\""));
+        assert!(json.contains("\"satisfaction_identical\": true"));
+        assert!(json.contains("\"reprovision_selection_identical\": true"));
     }
 
     #[test]

@@ -1,4 +1,20 @@
 //! The EC2 instance catalogue used in the paper's evaluation (§IV-A).
+//!
+//! An [`InstanceType`] is a name, an hourly price, and a bandwidth cap —
+//! the paper's single-dimensional IaaS offer (§II-A argues delivery is
+//! network-bound, so bandwidth also caps CPU and memory). The catalogue
+//! in [`instances`] carries the c3 family the figures use.
+//!
+//! ```
+//! use cloud_cost::instances;
+//!
+//! // The family scales linearly: double the price, double the pipe.
+//! for pair in instances::ALL.windows(2) {
+//!     assert_eq!(pair[1].bandwidth_mbps(), 2 * pair[0].bandwidth_mbps());
+//! }
+//! // 64 mbps over one hour moves 28.8 GB in+out.
+//! assert_eq!(instances::C3_LARGE.capacity_bytes(3600), 28_800_000_000);
+//! ```
 
 use crate::Money;
 use serde::Serialize;

@@ -15,7 +15,12 @@
 //!   capacity conversion from mbps to events-per-window and optional volume
 //!   scaling for shape-preserving scaled-down experiments;
 //! * [`LinearCostModel`] — trivially parameterized costs for unit tests and
-//!   the NP-hardness reduction (`C1(x) = x`, `C2 = 0`).
+//!   the NP-hardness reduction (`C1(x) = x`, `C2 = 0`);
+//! * [`FleetCostModel`] — a heterogeneous catalogue of instance tiers
+//!   sharing one bandwidth price, ranked by cost density (extension: the
+//!   mixed-fleet scenario the solver's `MixedFleetPacker` consumes);
+//! * [`ReservedCostModel`] — fixed-duration (reserved) pricing wrapped
+//!   around the on-demand model.
 //!
 //! # Example
 //!
@@ -31,11 +36,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod fleet;
 mod instance;
 mod money;
 mod pricing;
 mod reserved;
 
+pub use fleet::FleetCostModel;
 pub use instance::{instances, InstanceType};
 pub use money::Money;
 pub use pricing::{BillingWindow, CostModel, Ec2CostModel, LinearCostModel};

@@ -1,4 +1,20 @@
 //! Exact fixed-point currency.
+//!
+//! Allocation decisions inside the solver compare costs
+//! (`CheaperToDistribute`, Alg. 7), so money must compare exactly and
+//! deterministically — [`Money`] stores micro-dollars in an `i64` and
+//! never rounds until display.
+//!
+//! ```
+//! use cloud_cost::Money;
+//!
+//! let rate = Money::from_micros(150_000);      // $0.15/h, exactly
+//! let window: Money = (0..240).map(|_| rate).sum();
+//! assert_eq!(window, Money::from_dollars(36));
+//! // Ratio pricing keeps 128-bit intermediates: $0.12/GB × 1.5 GB.
+//! let transfer = Money::from_cents(12).mul_ratio(1_500_000_000, 1_000_000_000);
+//! assert_eq!(transfer.to_string(), "$0.18");
+//! ```
 
 use serde::{Deserialize, Serialize};
 use std::fmt;

@@ -1,4 +1,20 @@
 //! The `C1`/`C2` cost functions and concrete pricing models.
+//!
+//! The MCSS objective is `C1(|B|) + C2(Σ_b bw_b)` (paper §II-B): a VM
+//! rental term and a bandwidth term. [`CostModel`] is the abstraction
+//! the solver consumes; [`Ec2CostModel`] is the paper's concrete EC2
+//! pricing, [`LinearCostModel`] the affine stand-in for tests and the
+//! NP-hardness reduction.
+//!
+//! ```
+//! use cloud_cost::{instances, CostModel, Ec2CostModel};
+//! use pubsub_model::Bandwidth;
+//!
+//! let model = Ec2CostModel::paper_default(instances::C3_LARGE);
+//! // 10 VMs for the 10-day window plus 1 GB of deliveries.
+//! let bill = model.total_cost(10, Bandwidth::new(5_000_000));
+//! assert_eq!(bill.to_string(), "$360.12");
+//! ```
 
 use crate::{InstanceType, Money};
 use pubsub_model::Bandwidth;
@@ -216,6 +232,17 @@ impl Ec2CostModel {
     /// The per-event message size in bytes.
     pub fn message_bytes(&self) -> u64 {
         self.message_bytes
+    }
+
+    /// The transfer price per GB.
+    pub fn transfer_price(&self) -> Money {
+        self.transfer_per_gb
+    }
+
+    /// The declared `(synthetic, paper)` volume scale (see
+    /// [`Ec2CostModel::with_volume_scale`]); `(1, 1)` means full scale.
+    pub fn volume_scale(&self) -> (u64, u64) {
+        (self.scale_synth, self.scale_paper)
     }
 
     /// Per-VM bandwidth capacity `BC` in event-units per window, after

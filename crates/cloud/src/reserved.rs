@@ -7,6 +7,16 @@
 //! VM count, every solver guarantee carries over unchanged — the reserved
 //! model simply shifts the VM-versus-bandwidth trade-off that
 //! `CheaperToDistribute` (Alg. 7) arbitrates.
+//!
+//! ```
+//! use cloud_cost::{instances, CostModel, Ec2CostModel, Money, ReservedCostModel};
+//!
+//! let on_demand = Ec2CostModel::paper_default(instances::C3_LARGE);
+//! // Half-price hours for $9 upfront: pays for itself in half a window.
+//! let reserved = ReservedCostModel::new(on_demand.clone(), Money::from_dollars(9), 0.5);
+//! assert!(reserved.vm_cost(1) < on_demand.vm_cost(1));
+//! assert!((reserved.break_even_windows() - 0.5).abs() < 1e-9);
+//! ```
 
 use crate::{CostModel, Ec2CostModel, Money};
 use pubsub_model::Bandwidth;

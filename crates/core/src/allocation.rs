@@ -1,9 +1,94 @@
 //! The output of Stage 2: topic-subscriber pairs placed on VMs.
 
-use cloud_cost::{CostModel, Money};
+use cloud_cost::{CostModel, FleetCostModel, InstanceType, Money};
 use pubsub_model::{Bandwidth, Rate, SubscriberId, TopicId, Workload};
 use std::collections::HashMap;
 use std::fmt;
+
+/// Per-VM instance typing of a heterogeneous fleet.
+///
+/// A homogeneous [`Allocation`] carries one capacity for every VM; a
+/// mixed-fleet allocation additionally records *which tier* each VM rents,
+/// so validation can enforce per-VM capacities and reporting can price the
+/// fleet tier by tier. Tiers are `(instance type, capacity)` pairs — the
+/// capacity is the scale-adjusted event budget the packer enforced, which
+/// the nominal [`InstanceType`] alone cannot reproduce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetTyping {
+    tiers: Vec<(InstanceType, Bandwidth)>,
+    assignment: Vec<u32>,
+}
+
+impl FleetTyping {
+    /// Builds a typing from the tier table and a per-VM tier assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assignment entry indexes past the tier table or a
+    /// tier's capacity is zero.
+    pub fn new(tiers: Vec<(InstanceType, Bandwidth)>, assignment: Vec<u32>) -> Self {
+        assert!(
+            tiers.iter().all(|(_, cap)| !cap.is_zero()),
+            "tier capacity must be positive"
+        );
+        assert!(
+            assignment.iter().all(|&t| (t as usize) < tiers.len()),
+            "assignment references an unknown tier"
+        );
+        FleetTyping { tiers, assignment }
+    }
+
+    /// The tier table, in the order the packer ranked it (cost density
+    /// ascending for [`MixedFleetPacker`](crate::stage2::MixedFleetPacker)
+    /// output).
+    #[inline]
+    pub fn tiers(&self) -> &[(InstanceType, Bandwidth)] {
+        &self.tiers
+    }
+
+    /// Per-VM tier indices, parallel to [`Allocation::vms`].
+    #[inline]
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// The tier of VM `vm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is out of range.
+    #[inline]
+    pub fn tier_of(&self, vm: usize) -> (InstanceType, Bandwidth) {
+        self.tiers[self.assignment[vm] as usize]
+    }
+
+    /// VMs per tier, parallel to [`FleetTyping::tiers`].
+    pub fn tier_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.tiers.len()];
+        for &t in &self.assignment {
+            counts[t as usize] += 1;
+        }
+        counts
+    }
+
+    /// Human-readable fleet mix, e.g. `"3×c3.large + 1×c3.xlarge"`
+    /// (tiers with zero VMs are omitted; an empty fleet reads `"empty"`).
+    pub fn mix(&self) -> String {
+        let counts = self.tier_counts();
+        let parts: Vec<String> = self
+            .tiers
+            .iter()
+            .zip(&counts)
+            .filter(|(_, &n)| n > 0)
+            .map(|((ty, _), &n)| format!("{n}\u{d7}{}", ty.name()))
+            .collect();
+        if parts.is_empty() {
+            "empty".to_string()
+        } else {
+            parts.join(" + ")
+        }
+    }
+}
 
 /// All pairs of one topic placed on one VM.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -184,6 +269,9 @@ impl std::error::Error for AllocationError {}
 pub struct Allocation {
     vms: Vec<VmAllocation>,
     capacity: Bandwidth,
+    /// Per-VM instance typing for mixed fleets; `None` means every VM has
+    /// capacity [`Allocation::capacity`] (the homogeneous case).
+    typing: Option<FleetTyping>,
 }
 
 impl Allocation {
@@ -212,7 +300,86 @@ impl Allocation {
     /// Wraps pre-assembled VMs without re-sorting or recomputing
     /// bandwidth (see [`VmAllocation::from_sorted_parts`]).
     pub(crate) fn from_vm_allocations(vms: Vec<VmAllocation>, capacity: Bandwidth) -> Allocation {
-        Allocation { vms, capacity }
+        Allocation {
+            vms,
+            capacity,
+            typing: None,
+        }
+    }
+
+    /// Attaches per-VM instance typing (heterogeneous fleets). The
+    /// `capacity` the allocation was built with remains the *fleet-wide*
+    /// bound (the largest tier); [`Allocation::validate`] then enforces
+    /// each VM's own tier capacity instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the typing's assignment length differs from the VM count.
+    pub fn with_typing(mut self, typing: FleetTyping) -> Allocation {
+        assert_eq!(
+            typing.assignment().len(),
+            self.vms.len(),
+            "typing must assign a tier to every VM"
+        );
+        self.typing = Some(typing);
+        self
+    }
+
+    /// The per-VM instance typing, if this is a mixed-fleet allocation.
+    #[inline]
+    pub fn typing(&self) -> Option<&FleetTyping> {
+        self.typing.as_ref()
+    }
+
+    /// The capacity constraint of VM `vm`: its tier's capacity for typed
+    /// fleets, the homogeneous [`Allocation::capacity`] otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vm` is out of range on a typed allocation.
+    #[inline]
+    pub fn vm_capacity(&self, vm: usize) -> Bandwidth {
+        match &self.typing {
+            Some(typing) => typing.tier_of(vm).1,
+            None => self.capacity,
+        }
+    }
+
+    /// The mixed-fleet objective `Σ_i C1_i(n_i) + C2(Σ_b bw_b)` under a
+    /// [`FleetCostModel`]: each VM is priced at its own tier's window
+    /// rate; bandwidth is priced once, fleet-wide. Untyped allocations are
+    /// priced as a homogeneous fleet of the fleet's tier whose capacity
+    /// equals [`Allocation::capacity`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a typed VM's instance name is missing from `fleet`, or if
+    /// an untyped allocation's capacity matches no tier.
+    pub fn cost_on_fleet(&self, fleet: &FleetCostModel) -> Money {
+        let vm_cost: Money = match &self.typing {
+            Some(typing) => typing
+                .tiers()
+                .iter()
+                .zip(typing.tier_counts())
+                .map(|((ty, _), count)| {
+                    let tier = fleet
+                        .tiers()
+                        .iter()
+                        .position(|t| t.instance().name() == ty.name())
+                        .unwrap_or_else(|| panic!("tier {:?} not in fleet", ty.name()));
+                    fleet.tier(tier).vm_cost(count)
+                })
+                .sum(),
+            None => {
+                let tier = fleet
+                    .tiers()
+                    .iter()
+                    .position(|t| t.capacity() == self.capacity)
+                    .expect("no fleet tier matches the homogeneous capacity");
+                fleet.tier(tier).vm_cost(self.vm_count())
+            }
+        };
+        vm_cost + fleet.bandwidth_cost(self.total_bandwidth())
     }
 
     /// The VMs in deployment order.
@@ -283,7 +450,11 @@ impl Allocation {
                 VmAllocation { placements, used }
             })
             .collect();
-        Allocation { vms, capacity }
+        Allocation {
+            vms,
+            capacity,
+            typing: None,
+        }
     }
 
     /// `|B|` — the number of VMs deployed.
@@ -292,7 +463,10 @@ impl Allocation {
         self.vms.len()
     }
 
-    /// The capacity constraint this allocation was packed under.
+    /// The fleet-wide capacity bound this allocation was packed under —
+    /// every VM's capacity in the homogeneous case, the largest tier's
+    /// capacity for a typed (mixed) fleet. Per-VM bounds come from
+    /// [`Allocation::vm_capacity`].
     #[inline]
     pub fn capacity(&self) -> Bandwidth {
         self.capacity
@@ -350,7 +524,8 @@ impl Allocation {
     /// 1. each pair references a real interest (no foreign pairs);
     /// 2. no pair is duplicated within a VM;
     /// 3. recorded per-VM bandwidth equals the recomputed value;
-    /// 4. `bw_b ≤ BC` for every VM;
+    /// 4. `bw_b ≤ BC` for every VM — each VM's *own tier* capacity on a
+    ///    typed (mixed-fleet) allocation, the shared capacity otherwise;
     /// 5. every subscriber receives at least `τ_v`.
     ///
     /// # Errors
@@ -399,11 +574,12 @@ impl Allocation {
                     actual,
                 });
             }
-            if vm.used() > self.capacity {
+            let vm_capacity = self.vm_capacity(i);
+            if vm.used() > vm_capacity {
                 return Err(AllocationError::CapacityExceeded {
                     vm: i,
                     used: vm.used(),
-                    capacity: self.capacity,
+                    capacity: vm_capacity,
                 });
             }
         }
@@ -568,6 +744,82 @@ mod tests {
         // vm0: t1 pairs v0,v1: out 20, in 10 => 30; vm1: t0 pair v0: out 20, in 20 => 40.
         assert_eq!(a.total_bandwidth(), Bandwidth::new(70));
         assert_eq!(a.cost(&m), Money::from_dollars(20) + Money::from_micros(70));
+    }
+
+    #[test]
+    fn typed_allocation_enforces_per_vm_capacity() {
+        use cloud_cost::instances;
+        let w = workload();
+        // VM0 uses 70 (needs the big tier), VM1 uses 20 (fits the small).
+        let a = Allocation::from_tables(
+            vec![table(&[(0, &[0]), (1, &[0, 1])]), table(&[(1, &[1])])],
+            &w,
+            Bandwidth::new(100),
+        );
+        let tiers = vec![
+            (instances::C3_LARGE, Bandwidth::new(25)),
+            (instances::C3_XLARGE, Bandwidth::new(100)),
+        ];
+        let good = a
+            .clone()
+            .with_typing(FleetTyping::new(tiers.clone(), vec![1, 0]));
+        assert!(good.validate(&w, Rate::new(30)).is_ok());
+        assert_eq!(good.vm_capacity(0), Bandwidth::new(100));
+        assert_eq!(good.vm_capacity(1), Bandwidth::new(25));
+        assert_eq!(good.typing().unwrap().tier_counts(), vec![1, 1]);
+        assert_eq!(
+            good.typing().unwrap().mix(),
+            "1\u{d7}c3.large + 1\u{d7}c3.xlarge"
+        );
+
+        // Assigning the 70-unit VM to the 25-unit tier must fail.
+        let bad = a.with_typing(FleetTyping::new(tiers, vec![0, 1]));
+        assert_eq!(
+            bad.validate(&w, Rate::new(30)),
+            Err(AllocationError::CapacityExceeded {
+                vm: 0,
+                used: Bandwidth::new(70),
+                capacity: Bandwidth::new(25),
+            })
+        );
+    }
+
+    #[test]
+    fn cost_on_fleet_prices_each_tier() {
+        use cloud_cost::{instances, Ec2CostModel, FleetCostModel};
+        let w = workload();
+        let a = Allocation::from_tables(
+            vec![table(&[(0, &[0]), (1, &[0, 1])]), table(&[(1, &[1])])],
+            &w,
+            Bandwidth::new(100),
+        );
+        let fleet = FleetCostModel::new(vec![
+            Ec2CostModel::paper_default(instances::C3_LARGE).with_capacity_events(25),
+            Ec2CostModel::paper_default(instances::C3_XLARGE).with_capacity_events(100),
+        ]);
+        let typed = a.with_typing(FleetTyping::new(
+            vec![
+                (instances::C3_LARGE, Bandwidth::new(25)),
+                (instances::C3_XLARGE, Bandwidth::new(100)),
+            ],
+            vec![1, 0],
+        ));
+        // One c3.large ($36/window) + one c3.xlarge ($72) + bandwidth.
+        let expected =
+            cloud_cost::Money::from_dollars(108) + fleet.bandwidth_cost(typed.total_bandwidth());
+        assert_eq!(typed.cost_on_fleet(&fleet), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "tier to every VM")]
+    fn typing_length_mismatch_panics() {
+        use cloud_cost::instances;
+        let w = workload();
+        let a = Allocation::from_tables(vec![table(&[(1, &[0])])], &w, Bandwidth::new(100));
+        let _ = a.with_typing(FleetTyping::new(
+            vec![(instances::C3_LARGE, Bandwidth::new(100))],
+            vec![0, 0],
+        ));
     }
 
     #[test]

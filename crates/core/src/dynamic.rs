@@ -8,8 +8,9 @@
 //! VM churn and cumulative spend.
 
 use crate::incremental::{IncrementalConfig, IncrementalReallocator};
+use crate::stage2::mixed_cost_split;
 use crate::{lower_bound, McssError, McssInstance, SolveReport, Solver};
-use cloud_cost::{CostModel, Money};
+use cloud_cost::{CostModel, FleetCostModel, Money};
 use pubsub_model::{Rate, SubscriberId, TopicId, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -162,6 +163,11 @@ pub struct EpochReport {
 pub struct Reprovisioner {
     solver: Solver,
     incremental: Option<IncrementalReallocator>,
+    /// When set, every epoch deploys onto a heterogeneous fleet: full
+    /// solves go through [`Solver::solve_mixed`] / the mixed packer, and
+    /// epoch costs are priced per tier. Stage-1 selections stay
+    /// bit-identical to a homogeneous run at the same `τ`.
+    fleet: Option<FleetCostModel>,
     previous_vms: Option<usize>,
     cumulative_cost: Money,
     epoch: u64,
@@ -173,6 +179,7 @@ impl Reprovisioner {
         Reprovisioner {
             solver,
             incremental: None,
+            fleet: None,
             previous_vms: None,
             cumulative_cost: Money::ZERO,
             epoch: 0,
@@ -186,10 +193,24 @@ impl Reprovisioner {
         Reprovisioner {
             solver,
             incremental: Some(IncrementalReallocator::new(config)),
+            fleet: None,
             previous_vms: None,
             cumulative_cost: Money::ZERO,
             epoch: 0,
         }
+    }
+
+    /// Deploys onto a heterogeneous fleet instead of a single instance
+    /// type (both modes): epoch instances must use
+    /// [`FleetCostModel::max_capacity`] as their capacity, and the
+    /// `cost` handed to [`Reprovisioner::step`] is used only for the
+    /// informational lower bound — epoch costs come from the fleet.
+    pub fn with_fleet(mut self, fleet: FleetCostModel) -> Self {
+        if let Some(inc) = self.incremental.take() {
+            self.incremental = Some(inc.with_fleet(fleet.clone()));
+        }
+        self.fleet = Some(fleet);
+        self
     }
 
     /// Solves the given epoch instance and accumulates statistics.
@@ -218,13 +239,31 @@ impl Reprovisioner {
         cost: &dyn CostModel,
         delta: Option<&WorkloadDelta>,
     ) -> Result<EpochReport, McssError> {
+        let fleet = self.fleet.clone();
         let (allocation, report, pairs_reused, pairs_moved, full_resolve) =
             match &mut self.incremental {
-                None => {
-                    let outcome = self.solver.solve(instance, cost)?;
-                    let moved = outcome.report.pairs_selected;
-                    (outcome.allocation, outcome.report, 0, moved, true)
-                }
+                None => match &fleet {
+                    Some(fleet) => {
+                        let outcome = self.solver.solve_mixed(instance, fleet)?;
+                        let elapsed = outcome.report.stage1_time + outcome.report.stage2_time;
+                        let moved = outcome.report.pairs_selected;
+                        let report = priced_report(
+                            instance,
+                            cost,
+                            &outcome.allocation,
+                            "mixed",
+                            outcome.report.pairs_selected,
+                            Some(fleet),
+                            elapsed,
+                        );
+                        (outcome.allocation, report, 0, moved, true)
+                    }
+                    None => {
+                        let outcome = self.solver.solve(instance, cost)?;
+                        let moved = outcome.report.pairs_selected;
+                        (outcome.allocation, outcome.report, 0, moved, true)
+                    }
+                },
                 Some(inc) => {
                     let started = Instant::now();
                     let out = match delta {
@@ -232,7 +271,23 @@ impl Reprovisioner {
                         None => inc.step(instance, cost)?,
                     };
                     let elapsed = started.elapsed();
-                    let report = repair_report(instance, cost, &out, elapsed);
+                    let report = priced_report(
+                        instance,
+                        cost,
+                        &out.allocation,
+                        if out.full_resolve {
+                            if fleet.is_some() {
+                                "mixed"
+                            } else {
+                                "CBP"
+                            }
+                        } else {
+                            "repair"
+                        },
+                        out.selection.pair_count(),
+                        fleet.as_ref(),
+                        elapsed,
+                    );
                     let moved = out.pairs_placed + out.pairs_removed;
                     (
                         out.allocation,
@@ -275,27 +330,37 @@ impl Reprovisioner {
     }
 }
 
-/// Builds a [`SolveReport`] for an incremental repair outcome (the repair
-/// has no stage split, so the wall-clock lands on the Stage-2 slot).
-fn repair_report(
+/// Builds a [`SolveReport`] for a repair or mixed-fleet epoch (no stage
+/// split, so the wall-clock lands on the Stage-2 slot). Typed allocations
+/// with a fleet are priced per tier; everything else goes through the
+/// scalar cost model.
+fn priced_report(
     instance: &McssInstance,
     cost: &dyn CostModel,
-    out: &crate::incremental::IncrementalOutcome,
+    allocation: &crate::Allocation,
+    allocator: &'static str,
+    pairs_selected: u64,
+    fleet: Option<&FleetCostModel>,
     elapsed: Duration,
 ) -> SolveReport {
     let workload = instance.workload();
     let lb = lower_bound(workload, instance.tau(), instance.capacity());
-    let total_bandwidth = out.allocation.total_bandwidth();
-    let vm_cost = cost.vm_cost(out.allocation.vm_count());
-    let bandwidth_cost = cost.bandwidth_cost(total_bandwidth);
+    let total_bandwidth = allocation.total_bandwidth();
+    let (vm_cost, bandwidth_cost) = match fleet {
+        Some(fleet) if allocation.typing().is_some() => mixed_cost_split(allocation, fleet),
+        _ => (
+            cost.vm_cost(allocation.vm_count()),
+            cost.bandwidth_cost(total_bandwidth),
+        ),
+    };
     SolveReport {
         selector: "GSP",
-        allocator: if out.full_resolve { "CBP" } else { "repair" },
-        pairs_selected: out.selection.pair_count(),
-        vm_count: out.allocation.vm_count(),
+        allocator,
+        pairs_selected,
+        vm_count: allocation.vm_count(),
         total_bandwidth,
-        outgoing: out.allocation.outgoing_volume(workload),
-        incoming: out.allocation.incoming_volume(workload),
+        outgoing: allocation.outgoing_volume(workload),
+        incoming: allocation.incoming_volume(workload),
         vm_cost,
         bandwidth_cost,
         total_cost: vm_cost + bandwidth_cost,

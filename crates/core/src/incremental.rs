@@ -36,11 +36,11 @@ use crate::dynamic::WorkloadDelta;
 use crate::ledger::FleetLedger;
 use crate::shard::{ShardedSolver, ShardingConfig};
 use crate::stage1::{select_for_subscriber_into, GreedySelectPairs, PairSelector, SelectScratch};
-use crate::stage2::{Allocator, CbpConfig, CustomBinPacking};
+use crate::stage2::{Allocator, CbpConfig, CustomBinPacking, MixedFleetPacker};
 use crate::{
     Allocation, McssError, McssInstance, Selection, SelectionBuilder, SelectionDiff, SolverParams,
 };
-use cloud_cost::CostModel;
+use cloud_cost::{CostModel, FleetCostModel};
 use pubsub_model::{Bandwidth, Rate, SubscriberId, TopicId, Workload};
 use std::collections::HashMap;
 
@@ -98,6 +98,11 @@ pub struct IncrementalOutcome {
 #[derive(Clone, Debug, Default)]
 pub struct IncrementalReallocator {
     config: IncrementalConfig,
+    /// When set, full re-solves pack onto a heterogeneous fleet through
+    /// [`MixedFleetPacker`] and the ledger repairs per-slot (tier)
+    /// capacities; instance capacities must equal
+    /// [`FleetCostModel::max_capacity`].
+    fleet: Option<FleetCostModel>,
     previous: Option<State>,
 }
 
@@ -136,8 +141,21 @@ impl IncrementalReallocator {
     pub fn new(config: IncrementalConfig) -> Self {
         IncrementalReallocator {
             config,
+            fleet: None,
             previous: None,
         }
+    }
+
+    /// Switches the re-allocator to a heterogeneous fleet: full re-solves
+    /// pack through [`MixedFleetPacker`] (sharding is ignored in mixed
+    /// mode), repairs respect each VM's own tier capacity, and fresh VMs
+    /// pick the cheapest-density tier that holds their group. Epoch
+    /// instances must use [`FleetCostModel::max_capacity`] as their
+    /// capacity. Stage-1 selections are unaffected — they stay
+    /// bit-identical to the homogeneous run at the same `τ`.
+    pub fn with_fleet(mut self, fleet: FleetCostModel) -> Self {
+        self.fleet = Some(fleet);
+        self
     }
 
     /// Repairs the previous allocation against the instance's current
@@ -145,6 +163,31 @@ impl IncrementalReallocator {
     /// derived by scanning the new workload against the remembered one;
     /// drift sources that already know what changed should call
     /// [`IncrementalReallocator::step_with_delta`] instead.
+    ///
+    /// ```
+    /// use cloud_cost::{LinearCostModel, Money};
+    /// use mcss_core::incremental::IncrementalReallocator;
+    /// use mcss_core::McssInstance;
+    /// use pubsub_model::{Bandwidth, Rate, Workload};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = Workload::builder();
+    /// let t = b.add_topic(Rate::new(10))?;
+    /// b.add_subscriber([t])?;
+    /// // Capacity 25 keeps utilization (20/25) above the compaction
+    /// // floor, so the steady-state epoch really is a no-op repair.
+    /// let inst = McssInstance::new(b.build(), Rate::new(10), Bandwidth::new(25))?;
+    /// let cost = LinearCostModel::vm_only(Money::from_dollars(1));
+    ///
+    /// let mut inc = IncrementalReallocator::default();
+    /// let first = inc.step(&inst, &cost)?;   // epoch 0: full solve
+    /// assert!(first.full_resolve);
+    /// let second = inc.step(&inst, &cost)?;  // unchanged epoch: nothing moves
+    /// assert_eq!(second.pairs_placed + second.pairs_removed, 0);
+    /// assert_eq!(second.pairs_reused, first.selection.pair_count());
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     ///
@@ -323,6 +366,11 @@ impl IncrementalReallocator {
             }
         }
         if capacity != prev.capacity {
+            // A typed ledger's capacities come from its tiers; untyped
+            // slots are re-sized to the new shared BC.
+            if !prev.ledger.is_typed() {
+                prev.ledger.reset_capacity(capacity);
+            }
             prev.ledger.mark_all_for_overflow();
         }
 
@@ -387,9 +435,7 @@ impl IncrementalReallocator {
         }
 
         // Evict from overflowing VMs, cheapest topic group first.
-        let pairs_evicted = prev
-            .ledger
-            .evict_overflowing(workload, capacity, &mut to_place);
+        let pairs_evicted = prev.ledger.evict_overflowing(workload, &mut to_place);
         let pairs_placed = to_place.len() as u64;
 
         // Group the work by topic and place: host VMs first, then
@@ -414,7 +460,7 @@ impl IncrementalReallocator {
 
         // Release empty VMs and check the compaction floor.
         prev.ledger.release_empty();
-        if prev.ledger.utilization(capacity) < self.config.compaction_threshold {
+        if prev.ledger.utilization() < self.config.compaction_threshold {
             let allocation = self.full_allocate(instance, &selection, cost)?;
             let placed = selection.pair_count();
             self.remember(
@@ -463,14 +509,18 @@ impl IncrementalReallocator {
         })
     }
 
-    /// Packs `selection` from scratch — shard-parallel when the
-    /// configuration asks for it, monolithic CBP otherwise.
+    /// Packs `selection` from scratch — mixed-fleet when a fleet is
+    /// configured, shard-parallel when the configuration asks for it,
+    /// monolithic CBP otherwise.
     fn full_allocate(
         &self,
         instance: &McssInstance,
         selection: &Selection,
         cost: &dyn CostModel,
     ) -> Result<Allocation, McssError> {
+        if let Some(fleet) = &self.fleet {
+            return MixedFleetPacker::new().allocate(instance.workload(), selection, fleet);
+        }
         match self.config.sharding {
             Some(sharding) if sharding.shards > 1 => {
                 let solver = ShardedSolver::new(SolverParams::default(), sharding);
@@ -885,6 +935,48 @@ mod tests {
             incremental.micros() <= fresh.micros() * 2,
             "incremental {incremental} vs fresh {fresh}"
         );
+    }
+
+    #[test]
+    fn mixed_fleet_repair_keeps_selections_bit_identical_and_fleets_valid() {
+        use cloud_cost::{Ec2CostModel, FleetCostModel, InstanceType};
+        // The acceptance invariant for `mcss reprovision` on a mixed
+        // fleet: Stage-1 selections are bit-identical to the homogeneous
+        // run every epoch, and every repaired VM respects its own tier.
+        let fleet = FleetCostModel::new(vec![
+            Ec2CostModel::paper_default(InstanceType::new("tiny", 150_000, 64))
+                .with_capacity_events(120),
+            Ec2CostModel::paper_default(InstanceType::new("big", 290_000, 128))
+                .with_capacity_events(240),
+        ]);
+        let drift = DriftModel {
+            rate_sigma: 0.3,
+            churn_prob: 0.4,
+            seed: 13,
+        };
+        let mut mixed = IncrementalReallocator::default().with_fleet(fleet.clone());
+        let mut homog = IncrementalReallocator::default();
+        let mut w = base_workload();
+        for epoch in 0..6 {
+            let mixed_inst =
+                McssInstance::new(w.clone(), Rate::new(20), fleet.max_capacity()).unwrap();
+            let homog_inst =
+                McssInstance::new(w.clone(), Rate::new(20), Bandwidth::new(120)).unwrap();
+            let m = mixed.step(&mixed_inst, &cost()).unwrap();
+            let h = homog.step(&homog_inst, &cost()).unwrap();
+            assert_eq!(
+                m.selection, h.selection,
+                "mixed fleet changed the selection at epoch {epoch}"
+            );
+            m.allocation
+                .validate(mixed_inst.workload(), mixed_inst.tau())
+                .unwrap_or_else(|e| panic!("epoch {epoch}: {e}"));
+            let typing = m.allocation.typing().expect("mixed epochs stay typed");
+            for (i, vm) in m.allocation.vms().iter().enumerate() {
+                assert!(vm.used() <= typing.tier_of(i).1, "epoch {epoch}, vm {i}");
+            }
+            w = drift.evolve(&w, epoch);
+        }
     }
 
     #[test]

@@ -23,8 +23,21 @@
 //! three-pass placement (co-host → most-free → fresh VM) mirror the
 //! repair policy documented on
 //! [`IncrementalReallocator`](crate::incremental::IncrementalReallocator).
+//!
+//! # Heterogeneous fleets
+//!
+//! Every slot carries its own capacity. A ledger built from a *typed*
+//! allocation (one with a [`FleetTyping`](crate::FleetTyping), as the
+//! mixed-fleet packer produces) remembers each VM's tier: overflow
+//! eviction and placement respect per-slot capacities, the most-free
+//! heap orders by *headroom* rather than raw usage (the two orders agree
+//! on homogeneous fleets), fresh VMs pick the cheapest-density tier that
+//! holds the group whole (largest tier when none does), and
+//! [`FleetLedger::to_allocation`] re-attaches the typing. Untyped
+//! ledgers behave exactly as before: one capacity everywhere.
 
-use crate::Allocation;
+use crate::{Allocation, FleetTyping};
+use cloud_cost::InstanceType;
 use pubsub_model::{Bandwidth, Rate, SubscriberId, TopicId, Workload};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -32,6 +45,16 @@ use std::collections::BinaryHeap;
 /// One VM's placement rows: `(topic, subscribers)` sorted by topic id,
 /// subscribers sorted by id.
 type VmRows = Vec<(TopicId, Vec<SubscriberId>)>;
+
+/// Tier table and per-slot assignment for a typed (mixed-fleet) ledger.
+#[derive(Clone, Debug)]
+struct LedgerTyping {
+    /// `(instance type, capacity)` per tier, in the packer's density
+    /// order (fresh VMs scan this order for the cheapest fit).
+    tiers: Vec<(InstanceType, Bandwidth)>,
+    /// Tier index per slot, parallel to `rows`.
+    slot_tier: Vec<u32>,
+}
 
 /// Flat, incrementally-maintained fleet state (see the module docs).
 #[derive(Clone, Debug, Default)]
@@ -41,14 +64,17 @@ pub struct FleetLedger {
     rows: Vec<VmRows>,
     /// Recorded bandwidth per VM slot (Eq. 2 under current rates).
     used: Vec<Bandwidth>,
+    /// Capacity per VM slot — the tier capacity for typed fleets, the
+    /// shared `BC` otherwise.
+    cap: Vec<Bandwidth>,
     /// Tombstoned slots: released, invisible to placement until reused.
     tombstone: Vec<bool>,
     /// Topic index → VM slots hosting the topic, ascending.
     hosts: Vec<Vec<u32>>,
-    /// Lazy "most-free VM" heap: `(Reverse(used at push time), slot)`.
-    /// An entry is valid iff the slot is live and its used value still
+    /// Lazy "most-free VM" heap: `(free headroom at push time, slot)`.
+    /// An entry is valid iff the slot is live and its headroom still
     /// matches; everything else is discarded on pop.
-    free_heap: BinaryHeap<(Reverse<Bandwidth>, usize)>,
+    free_heap: BinaryHeap<(Bandwidth, usize)>,
     /// Tombstoned slots available for reuse, lowest index first.
     free_slots: BinaryHeap<Reverse<usize>>,
     /// Slots that may have become empty since the last release sweep.
@@ -57,17 +83,28 @@ pub struct FleetLedger {
     overflow_candidates: Vec<usize>,
     /// `Σ used` over live slots.
     total_used: u128,
+    /// `Σ cap` over live slots (the utilization denominator).
+    live_cap: u128,
     /// Number of live (non-tombstone, non-empty) VMs.
     live: usize,
+    /// Present iff the ledger mirrors a mixed (typed) fleet.
+    typing: Option<LedgerTyping>,
 }
 
 impl FleetLedger {
     /// Builds a ledger mirroring an existing allocation (used after full
     /// re-solves and [`adopt`](crate::incremental::IncrementalReallocator::adopt)).
+    /// A typed allocation yields a typed ledger with per-slot tier
+    /// capacities.
     pub fn from_allocation(allocation: &Allocation) -> FleetLedger {
-        let mut ledger = FleetLedger::default();
-        for vm in allocation.vms() {
-            let slot = ledger.rows.len();
+        let mut ledger = FleetLedger {
+            typing: allocation.typing().map(|typing| LedgerTyping {
+                tiers: typing.tiers().to_vec(),
+                slot_tier: typing.assignment().to_vec(),
+            }),
+            ..FleetLedger::default()
+        };
+        for (slot, vm) in allocation.vms().iter().enumerate() {
             let rows: VmRows = vm
                 .placements()
                 .iter()
@@ -77,13 +114,16 @@ impl FleetLedger {
                 ledger.ensure_topics(t.index() + 1);
                 ledger.hosts[t.index()].push(slot as u32);
             }
+            let cap = allocation.vm_capacity(slot);
             ledger.rows.push(rows);
             ledger.used.push(vm.used());
+            ledger.cap.push(cap);
             ledger.tombstone.push(false);
             ledger.total_used += u128::from(vm.used().get());
-            ledger.free_heap.push((Reverse(vm.used()), slot));
+            ledger.free_heap.push((cap.saturating_sub(vm.used()), slot));
             if !ledger.rows[slot].is_empty() {
                 ledger.live += 1;
+                ledger.live_cap += u128::from(cap.get());
             } else {
                 ledger.maybe_empty.push(slot);
             }
@@ -96,27 +136,70 @@ impl FleetLedger {
         self.live
     }
 
-    /// `Σ used / (|B| · BC)` over live VMs (1.0 for an empty fleet).
-    pub fn utilization(&self, capacity: Bandwidth) -> f64 {
-        let fleet_capacity = (self.live as u128).saturating_mul(u128::from(capacity.get()));
-        if fleet_capacity == 0 {
+    /// `true` iff the ledger carries per-slot instance typing.
+    pub fn is_typed(&self) -> bool {
+        self.typing.is_some()
+    }
+
+    /// `Σ used / Σ cap` over live VMs (1.0 for an empty fleet). Both
+    /// sums are maintained incrementally, so this stays O(1) even on
+    /// typed fleets with per-slot capacities.
+    pub fn utilization(&self) -> f64 {
+        if self.live_cap == 0 {
             1.0
         } else {
-            self.total_used as f64 / fleet_capacity as f64
+            self.total_used as f64 / self.live_cap as f64
+        }
+    }
+
+    /// Capacity of slot `slot` — its tier capacity (typed) or the shared
+    /// capacity recorded at creation.
+    #[inline]
+    fn slot_cap(&self, slot: usize) -> Bandwidth {
+        self.cap[slot]
+    }
+
+    /// Free headroom of slot `slot`.
+    #[inline]
+    fn slot_free(&self, slot: usize) -> Bandwidth {
+        self.cap[slot].saturating_sub(self.used[slot])
+    }
+
+    /// Rewrites every slot's capacity to `capacity` — the untyped
+    /// ledger's response to a changed `BC` between epochs (`O(fleet)`,
+    /// but only on an actual capacity change). Typed ledgers keep their
+    /// tier capacities; calling this on one is a logic error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger is typed.
+    pub fn reset_capacity(&mut self, capacity: Bandwidth) {
+        assert!(
+            self.typing.is_none(),
+            "typed fleets derive capacities from their tiers"
+        );
+        self.live_cap = 0;
+        for slot in 0..self.rows.len() {
+            self.cap[slot] = capacity;
+            if !self.tombstone[slot] && !self.rows[slot].is_empty() {
+                self.live_cap += u128::from(capacity.get());
+            }
+            self.free_heap.push((self.slot_free(slot), slot));
         }
     }
 
     /// Snapshots the live VMs as an [`Allocation`], in slot order. The
     /// ledger's rows are already sorted and its used counters exact, so
     /// the export is a plain clone — no re-sort, no bandwidth recompute.
+    /// Typed ledgers re-attach their [`FleetTyping`](crate::FleetTyping).
     pub fn to_allocation(&self, capacity: Bandwidth) -> Allocation {
-        let vms = self
-            .rows
+        let live_slots: Vec<usize> = (0..self.rows.len())
+            .filter(|&slot| !self.rows[slot].is_empty())
+            .collect();
+        let vms = live_slots
             .iter()
-            .enumerate()
-            .filter(|(_, rows)| !rows.is_empty())
-            .map(|(slot, rows)| {
-                let placements = rows
+            .map(|&slot| {
+                let placements = self.rows[slot]
                     .iter()
                     .map(|(topic, subscribers)| crate::TopicPlacement {
                         topic: *topic,
@@ -126,7 +209,17 @@ impl FleetLedger {
                 crate::VmAllocation::from_sorted_parts(placements, self.used[slot])
             })
             .collect();
-        Allocation::from_vm_allocations(vms, capacity)
+        let allocation = Allocation::from_vm_allocations(vms, capacity);
+        match &self.typing {
+            Some(typing) => allocation.with_typing(FleetTyping::new(
+                typing.tiers.clone(),
+                live_slots
+                    .iter()
+                    .map(|&slot| typing.slot_tier[slot])
+                    .collect(),
+            )),
+            None => allocation,
+        }
     }
 
     /// Grows the reverse index to cover `num_topics` topics.
@@ -155,7 +248,7 @@ impl FleetLedger {
             self.used[slot] = after;
             self.total_used =
                 self.total_used - u128::from(old_contrib.get()) + u128::from(new_contrib.get());
-            self.free_heap.push((Reverse(after), slot));
+            self.free_heap.push((self.slot_free(slot), slot));
             if new_rate > old_rate {
                 self.overflow_candidates.push(slot);
             }
@@ -169,21 +262,19 @@ impl FleetLedger {
         if t.index() >= self.hosts.len() {
             return;
         }
-        for &slot in &self.hosts[t.index()] {
+        for slot in std::mem::take(&mut self.hosts[t.index()]) {
             let slot = slot as usize;
             if let Ok(pos) = self.rows[slot].binary_search_by_key(&t, |&(tt, _)| tt) {
                 let (_, subs) = self.rows[slot].remove(pos);
                 let contrib = old_rate * (subs.len() as u64 + 1);
                 self.used[slot] = self.used[slot].saturating_sub(contrib);
                 self.total_used -= u128::from(contrib.get());
-                self.free_heap.push((Reverse(self.used[slot]), slot));
+                self.free_heap.push((self.slot_free(slot), slot));
                 if self.rows[slot].is_empty() {
-                    self.live -= 1;
-                    self.maybe_empty.push(slot);
+                    self.mark_emptied(slot);
                 }
             }
         }
-        self.hosts[t.index()].clear();
     }
 
     /// Removes the pair `(t, v)` if the ledger holds it, updating usage at
@@ -216,14 +307,27 @@ impl FleetLedger {
             self.hosts[t.index()].retain(|&s| s as usize != slot);
             freed += rate.volume();
             if self.rows[slot].is_empty() {
-                self.live -= 1;
-                self.maybe_empty.push(slot);
+                self.mark_emptied(slot);
             }
         }
         self.used[slot] = self.used[slot].saturating_sub(freed);
         self.total_used -= u128::from(freed.get());
-        self.free_heap.push((Reverse(self.used[slot]), slot));
+        self.free_heap.push((self.slot_free(slot), slot));
         true
+    }
+
+    /// Bookkeeping for a slot whose last row just left: it stops counting
+    /// toward `live`/`live_cap` and queues for the next release sweep.
+    fn mark_emptied(&mut self, slot: usize) {
+        self.live -= 1;
+        self.live_cap -= u128::from(self.cap[slot].get());
+        self.maybe_empty.push(slot);
+    }
+
+    /// Bookkeeping for a slot that just went live (first row placed).
+    fn mark_live(&mut self, slot: usize) {
+        self.live += 1;
+        self.live_cap += u128::from(self.cap[slot].get());
     }
 
     /// Queues every live VM for the next overflow check (used when the
@@ -236,19 +340,19 @@ impl FleetLedger {
         }
     }
 
-    /// Sheds load from every queued VM whose usage exceeds `capacity`:
-    /// whole topic groups are evicted cheapest-first (cost
+    /// Sheds load from every queued VM whose usage exceeds its own slot
+    /// capacity: whole topic groups are evicted cheapest-first (cost
     /// `ev_t · (|group| + 1)`, ties to the lowest topic id) and appended
     /// to `spill` for re-placement. Returns the number of evicted pairs.
     pub fn evict_overflowing(
         &mut self,
         workload: &Workload,
-        capacity: Bandwidth,
         spill: &mut Vec<(TopicId, SubscriberId)>,
     ) -> u64 {
         let mut evicted = 0u64;
         let candidates = std::mem::take(&mut self.overflow_candidates);
         for slot in candidates {
+            let capacity = self.slot_cap(slot);
             if self.tombstone[slot] || self.used[slot] <= capacity {
                 continue;
             }
@@ -273,10 +377,9 @@ impl FleetLedger {
                 evicted += subs.len() as u64;
                 spill.extend(subs.into_iter().map(|v| (t, v)));
             }
-            self.free_heap.push((Reverse(self.used[slot]), slot));
+            self.free_heap.push((self.slot_free(slot), slot));
             if self.rows[slot].is_empty() {
-                self.live -= 1;
-                self.maybe_empty.push(slot);
+                self.mark_emptied(slot);
             }
         }
         evicted
@@ -285,8 +388,11 @@ impl FleetLedger {
     /// Places one topic group, draining `subs`: VMs already hosting the
     /// topic first (marginal cost `ev` per pair), then most-free VMs via
     /// the lazy heap (`(k+1)·ev`), then fresh VMs (tombstoned slots are
-    /// reused lowest-first). The caller must have checked
-    /// `rate.pair_cost() <= capacity`.
+    /// reused lowest-first). `capacity` sizes fresh VMs on untyped
+    /// fleets; typed fleets pick the cheapest-density tier that holds
+    /// the remaining group whole (the largest tier when none does). The
+    /// caller must have checked `rate.pair_cost()` against the fleet's
+    /// largest capacity.
     pub fn place_group(
         &mut self,
         t: TopicId,
@@ -295,7 +401,7 @@ impl FleetLedger {
         capacity: Bandwidth,
     ) {
         debug_assert!(
-            rate.pair_cost() <= capacity,
+            rate.pair_cost() <= self.max_fleet_capacity(capacity),
             "caller must reject infeasible topics"
         );
         self.ensure_topics(t.index() + 1);
@@ -306,7 +412,7 @@ impl FleetLedger {
                 break;
             }
             let slot = self.hosts[t.index()][hi] as usize;
-            let free = capacity.saturating_sub(self.used[slot]);
+            let free = self.slot_free(slot);
             let take = (free.div_rate(rate) as usize).min(subs.len());
             if take == 0 {
                 continue;
@@ -322,16 +428,16 @@ impl FleetLedger {
             let added = rate * take as u64;
             self.used[slot] += added;
             self.total_used += u128::from(added.get());
-            self.free_heap.push((Reverse(self.used[slot]), slot));
+            self.free_heap.push((self.slot_free(slot), slot));
         }
 
         // Pass 2: most-free live VM, lazily validated.
         while !subs.is_empty() {
             let slot = loop {
-                let Some(&(Reverse(used), slot)) = self.free_heap.peek() else {
+                let Some(&(free, slot)) = self.free_heap.peek() else {
                     break None;
                 };
-                if self.tombstone[slot] || self.used[slot] != used {
+                if self.tombstone[slot] || self.slot_free(slot) != free {
                     self.free_heap.pop(); // stale
                     continue;
                 }
@@ -340,7 +446,7 @@ impl FleetLedger {
             let Some(slot) = slot else {
                 break;
             };
-            let free = capacity.saturating_sub(self.used[slot]);
+            let free = self.slot_free(slot);
             if free < rate.pair_cost() {
                 break; // no existing VM can take a first pair
             }
@@ -363,17 +469,18 @@ impl FleetLedger {
                 row.insert(at, v);
             }
             if was_empty {
-                self.live += 1;
+                self.mark_live(slot);
             }
             let added = rate * (take as u64 + if hosted { 0 } else { 1 });
             self.used[slot] += added;
             self.total_used += u128::from(added.get());
-            self.free_heap.push((Reverse(self.used[slot]), slot));
+            self.free_heap.push((self.slot_free(slot), slot));
         }
 
         // Pass 3: fresh VMs.
         while !subs.is_empty() {
-            let take = ((capacity.div_rate(rate) - 1) as usize).min(subs.len());
+            let vm_cap = self.fresh_vm_capacity(rate, subs.len(), capacity);
+            let take = ((vm_cap.div_rate(rate) - 1) as usize).min(subs.len());
             let mut moved: Vec<SubscriberId> = subs.drain(..take).collect();
             moved.sort_unstable();
             let used = rate * (take as u64 + 1);
@@ -382,23 +489,76 @@ impl FleetLedger {
                     self.tombstone[slot] = false;
                     self.rows[slot] = vec![(t, moved)];
                     self.used[slot] = used;
+                    self.cap[slot] = vm_cap;
                     slot
                 }
                 None => {
                     self.rows.push(vec![(t, moved)]);
                     self.used.push(used);
+                    self.cap.push(vm_cap);
                     self.tombstone.push(false);
                     self.rows.len() - 1
                 }
             };
+            if let Some(typing) = &mut self.typing {
+                let tier = typing
+                    .tiers
+                    .iter()
+                    .position(|&(_, cap)| cap == vm_cap)
+                    .expect("fresh_vm_capacity returns a tier capacity")
+                    as u32;
+                if slot < typing.slot_tier.len() {
+                    typing.slot_tier[slot] = tier;
+                } else {
+                    typing.slot_tier.push(tier);
+                }
+            }
             let hat = self.hosts[t.index()]
                 .binary_search(&(slot as u32))
                 .unwrap_or_else(|at| at);
             self.hosts[t.index()].insert(hat, slot as u32);
             self.total_used += u128::from(used.get());
-            self.free_heap.push((Reverse(used), slot));
-            self.live += 1;
+            self.free_heap.push((self.slot_free(slot), slot));
+            self.mark_live(slot);
         }
+    }
+
+    /// The largest capacity a fresh VM could have: the biggest tier on a
+    /// typed fleet, `fallback` otherwise.
+    fn max_fleet_capacity(&self, fallback: Bandwidth) -> Bandwidth {
+        match &self.typing {
+            Some(typing) => typing
+                .tiers
+                .iter()
+                .map(|&(_, cap)| cap)
+                .max()
+                .unwrap_or(fallback),
+            None => fallback,
+        }
+    }
+
+    /// Capacity of the next fresh VM for a group of `pending` pairs of
+    /// `rate` — the mixed packer's tier rule on typed fleets (cheapest
+    /// density that holds the group whole, largest otherwise), the
+    /// caller's capacity on untyped ones.
+    fn fresh_vm_capacity(&self, rate: Rate, pending: usize, fallback: Bandwidth) -> Bandwidth {
+        let Some(typing) = &self.typing else {
+            return fallback;
+        };
+        let whole = u128::from(rate.get()) * (pending as u128 + 1);
+        typing
+            .tiers
+            .iter()
+            .map(|&(_, cap)| cap)
+            .find(|cap| u128::from(cap.get()) >= whole && *cap >= rate.pair_cost())
+            .unwrap_or_else(|| {
+                typing
+                    .tiers
+                    .iter()
+                    .map(|&(_, cap)| cap)
+                    .max()
+                    .expect("typed fleets have at least one tier")
+            })
     }
 
     /// Tombstones every VM emptied since the last sweep (their slots are
@@ -433,7 +593,7 @@ impl FleetLedger {
             }
             self.used[slot] = used;
             self.total_used += u128::from(used.get());
-            self.free_heap.push((Reverse(used), slot));
+            self.free_heap.push((self.slot_free(slot), slot));
         }
     }
 
@@ -450,8 +610,7 @@ impl FleetLedger {
                 if let Ok(pos) = self.rows[slot].binary_search_by_key(&t, |&(tt, _)| tt) {
                     self.rows[slot].remove(pos);
                     if self.rows[slot].is_empty() {
-                        self.live -= 1;
-                        self.maybe_empty.push(slot);
+                        self.mark_emptied(slot);
                     }
                 }
             }
@@ -535,7 +694,7 @@ mod tests {
         );
         ledger.refresh_rate(t(0), Rate::new(30), Rate::new(31));
         let mut spill = Vec::new();
-        let evicted = ledger.evict_overflowing(&w, cap, &mut spill);
+        let evicted = ledger.evict_overflowing(&w, &mut spill);
         // New usage 101 > 100: the cheap t1 group (cost 8) goes first.
         assert_eq!(evicted, 1);
         assert_eq!(spill, vec![(t(1), v(2))]);
@@ -626,9 +785,96 @@ mod tests {
             cap,
         );
         // Each VM: 20/40.
-        assert!((ledger.utilization(cap) - 0.5).abs() < 1e-9);
+        assert!((ledger.utilization() - 0.5).abs() < 1e-9);
         ledger.remove_pair(t(0), v(1), Rate::new(10));
         ledger.release_empty();
-        assert!((ledger.utilization(cap) - 0.5).abs() < 1e-9);
+        assert!((ledger.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_capacity_rescales_untyped_slots() {
+        let w = workload(&[10]);
+        let mut ledger = ledger_with(
+            vec![vec![(t(0), vec![v(0)])], vec![(t(0), vec![v(1)])]],
+            &w,
+            Bandwidth::new(40),
+        );
+        assert!((ledger.utilization() - 0.5).abs() < 1e-9);
+        ledger.reset_capacity(Bandwidth::new(80));
+        assert!((ledger.utilization() - 0.25).abs() < 1e-9);
+        // Shrinking below usage flags overflow on the next sweep.
+        ledger.reset_capacity(Bandwidth::new(15));
+        ledger.mark_all_for_overflow();
+        let mut spill = Vec::new();
+        assert_eq!(ledger.evict_overflowing(&w, &mut spill), 2);
+    }
+
+    #[test]
+    fn typed_ledger_round_trips_typing_and_respects_tier_caps() {
+        use crate::FleetTyping;
+        use cloud_cost::instances;
+        let w = workload(&[10, 2]);
+        let tiers = vec![
+            (instances::C3_LARGE, Bandwidth::new(24)),
+            (instances::C3_XLARGE, Bandwidth::new(64)),
+        ];
+        // VM0 (small): t1 group, used 6/24. VM1 (big): t0 group, 40/64.
+        let groups = vec![
+            vec![(t(1), vec![v(0), v(1)])],
+            vec![(t(0), vec![v(0), v(1), v(2)])],
+        ];
+        let typed = Allocation::from_groups(groups, &w, Bandwidth::new(64))
+            .with_typing(FleetTyping::new(tiers.clone(), vec![0, 1]));
+        let mut ledger = FleetLedger::from_allocation(&typed);
+        assert!(ledger.is_typed());
+        assert_eq!(ledger.to_allocation(Bandwidth::new(64)), typed);
+
+        // Place 8 more t0 pairs (rate 10): the small VM0 has free 18 but
+        // the most-free heap must rank VM1 (free 24) by *headroom*; the
+        // co-host VM1 takes 2 (24/10), spill takes VM0's 18 → 1 pair,
+        // fresh VMs host the rest on the cheapest tier that fits whole.
+        let mut subs = (3..11).map(v).collect::<Vec<_>>();
+        ledger.place_group(t(0), Rate::new(10), &mut subs, Bandwidth::new(64));
+        assert!(subs.is_empty());
+        let out = ledger.to_allocation(Bandwidth::new(64));
+        out.validate(&w, Rate::ZERO).unwrap();
+        for (i, vm) in out.vms().iter().enumerate() {
+            assert!(
+                vm.used() <= out.vm_capacity(i),
+                "vm {i} used {} over its tier cap {}",
+                vm.used(),
+                out.vm_capacity(i)
+            );
+        }
+        assert_eq!(out.pair_count(), 2 + 3 + 8);
+    }
+
+    #[test]
+    fn typed_fresh_vms_pick_the_cheapest_fitting_tier() {
+        use crate::FleetTyping;
+        use cloud_cost::instances;
+        let w = workload(&[10]);
+        let tiers = vec![
+            (instances::C3_LARGE, Bandwidth::new(30)),
+            (instances::C3_XLARGE, Bandwidth::new(100)),
+        ];
+        // Start from one full small VM so placement must open fresh VMs.
+        let typed = Allocation::from_groups(
+            vec![vec![(t(0), vec![v(0), v(1)])]],
+            &w,
+            Bandwidth::new(100),
+        )
+        .with_typing(FleetTyping::new(tiers.clone(), vec![0]));
+        let mut ledger = FleetLedger::from_allocation(&typed);
+
+        // A 6-pair group (whole = 70) only fits the big tier.
+        let mut subs = (2..8).map(v).collect::<Vec<_>>();
+        ledger.place_group(t(0), Rate::new(10), &mut subs, Bandwidth::new(100));
+        assert!(subs.is_empty());
+        let out = ledger.to_allocation(Bandwidth::new(100));
+        out.validate(&w, Rate::ZERO).unwrap();
+        let typing = out.typing().expect("typed ledger exports typing");
+        // Fleet now holds the original small VM plus one big VM.
+        assert_eq!(typing.tier_counts(), vec![1, 1]);
     }
 }

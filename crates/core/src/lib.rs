@@ -27,6 +27,8 @@
 //! | O(Δ) churn ledger (extension) | [`FleetLedger`] |
 //! | shard-parallel solving + fleet merge (extension) | [`ShardedSolver`], [`ShardingConfig`] |
 //! | Best-/Next-Fit baselines (extension) | [`stage2::BestFitBinPacking`], [`stage2::NextFitBinPacking`] |
+//! | heterogeneous (mixed) fleets (extension) | [`stage2::MixedFleetPacker`], [`FleetTyping`], [`Solver::solve_mixed`] |
+//! | instance-type planning (conclusion's "provisioning tool") | [`planner::plan_instance_type`], [`planner::plan_mixed`] |
 //!
 //! # Quick start
 //!
@@ -77,11 +79,14 @@ mod shard;
 pub mod stage1;
 pub mod stage2;
 
-pub use allocation::{Allocation, AllocationError, TopicPlacement, VmAllocation};
+pub use allocation::{Allocation, AllocationError, FleetTyping, TopicPlacement, VmAllocation};
 pub use error::McssError;
 pub use ledger::FleetLedger;
 pub use lower_bound::{lower_bound, LowerBound};
-pub use pipeline::{AllocatorKind, SelectorKind, SolveOutcome, SolveReport, Solver, SolverParams};
+pub use pipeline::{
+    AllocatorKind, MixedSolveOutcome, MixedSolveReport, SelectorKind, SolveOutcome, SolveReport,
+    Solver, SolverParams,
+};
 pub use problem::McssInstance;
 pub use selection::{Selection, SelectionBuilder, SelectionDiff};
 pub use shard::{

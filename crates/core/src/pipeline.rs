@@ -4,9 +4,11 @@ use crate::shard::{ShardedSolver, ShardingConfig};
 use crate::stage1::{
     GreedySelectPairs, OptimalSelectPairs, PairSelector, RandomSelectPairs, SharedAwareGreedy,
 };
-use crate::stage2::{Allocator, CbpConfig, CustomBinPacking, FirstFitBinPacking};
+use crate::stage2::{
+    mixed_cost_split, Allocator, CbpConfig, CustomBinPacking, FirstFitBinPacking, MixedFleetPacker,
+};
 use crate::{lower_bound, Allocation, McssError, McssInstance, Selection};
-use cloud_cost::{CostModel, Money};
+use cloud_cost::{CostModel, FleetCostModel, Money};
 use pubsub_model::Bandwidth;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -231,6 +233,72 @@ impl fmt::Display for SolveReport {
     }
 }
 
+/// Everything [`Solver::solve_mixed`] produces: the typed allocation, the
+/// Stage-1 selection, and the mixed-fleet metrics.
+#[derive(Clone, Debug)]
+pub struct MixedSolveOutcome {
+    /// The mixed-fleet allocation; always carries a
+    /// [`FleetTyping`](crate::FleetTyping).
+    pub allocation: Allocation,
+    /// The pair selection (identical to what any homogeneous solve of the
+    /// same `τ` selects — Stage 1 never reads capacities).
+    pub selection: Selection,
+    /// Metrics of the mixed solve.
+    pub report: MixedSolveReport,
+}
+
+/// Metrics of one mixed-fleet solve.
+#[derive(Clone, Debug)]
+pub struct MixedSolveReport {
+    /// Stage-1 algorithm name.
+    pub selector: &'static str,
+    /// `|S|` — pairs selected.
+    pub pairs_selected: u64,
+    /// VMs per tier: `(instance name, count)`, density order, zero-count
+    /// tiers included.
+    pub tier_counts: Vec<(&'static str, usize)>,
+    /// Total VMs across tiers.
+    pub vm_count: usize,
+    /// `Σ_b bw_b`.
+    pub total_bandwidth: Bandwidth,
+    /// `Σ_i C1_i(n_i)` — per-tier VM rental.
+    pub vm_cost: Money,
+    /// `C2(Σ bw)`.
+    pub bandwidth_cost: Money,
+    /// The mixed objective `Σ_i C1_i(n_i) + C2(Σ bw)`.
+    pub total_cost: Money,
+    /// Human-readable fleet mix, e.g. `"3×c3.large + 1×c3.xlarge"`.
+    pub mix: String,
+    /// Wall-clock time of Stage 1.
+    pub stage1_time: Duration,
+    /// Wall-clock time of Stage 2.
+    pub stage2_time: Duration,
+}
+
+impl fmt::Display for MixedSolveReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline:        {} + mixed-fleet packing",
+            self.selector
+        )?;
+        writeln!(f, "pairs selected:  {}", self.pairs_selected)?;
+        writeln!(f, "fleet:           {} VMs ({})", self.vm_count, self.mix)?;
+        writeln!(f, "bandwidth:       {}", self.total_bandwidth)?;
+        writeln!(
+            f,
+            "cost:            {} = {} VMs + {} bandwidth",
+            self.total_cost, self.vm_cost, self.bandwidth_cost
+        )?;
+        write!(
+            f,
+            "time:            stage1 {:.3}s, stage2 {:.3}s",
+            self.stage1_time.as_secs_f64(),
+            self.stage2_time.as_secs_f64()
+        )
+    }
+}
+
 impl Solver {
     /// Creates a solver with the given parameters.
     pub fn new(params: SolverParams) -> Self {
@@ -246,6 +314,26 @@ impl Solver {
     /// [`SolverParams::sharding`] asks for two or more shards — validates
     /// nothing (callers validate via [`Allocation::validate`]), and
     /// reports metrics including the Alg. 5 lower bound.
+    ///
+    /// ```
+    /// use cloud_cost::{instances, Ec2CostModel};
+    /// use mcss_core::{McssInstance, Solver};
+    /// use pubsub_model::{Rate, Workload};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = Workload::builder();
+    /// let t = b.add_topic(Rate::new(20))?;
+    /// b.add_subscriber([t])?;
+    /// let cost = Ec2CostModel::paper_default(instances::C3_LARGE);
+    /// let instance = McssInstance::new(b.build(), Rate::new(10), cost.capacity())?;
+    ///
+    /// let outcome = Solver::default().solve(&instance, &cost)?;
+    /// outcome.allocation.validate(instance.workload(), instance.tau())?;
+    /// assert_eq!(outcome.report.total_cost,
+    ///            outcome.report.vm_cost + outcome.report.bandwidth_cost);
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     ///
@@ -287,6 +375,93 @@ impl Solver {
             stage2_time,
         );
         Ok(SolveOutcome {
+            allocation,
+            selection,
+            report,
+        })
+    }
+
+    /// Runs Stage 1 with the configured selector, then packs onto a
+    /// **heterogeneous fleet** through
+    /// [`MixedFleetPacker`](crate::stage2::MixedFleetPacker). The
+    /// instance's capacity should be [`FleetCostModel::max_capacity`]
+    /// (the fleet-wide feasibility bound); the allocator and sharding
+    /// parameters are ignored — mixed packing is monolithic and always
+    /// CBP-derived.
+    ///
+    /// The returned fleet never costs more than the best homogeneous
+    /// fleet over the same selection (the packer keeps a
+    /// downsized-homogeneous candidate per tier and returns the cheapest),
+    /// and satisfaction is identical — Stage 1 never reads capacities, so
+    /// the selection is the same one a homogeneous solve places.
+    ///
+    /// ```
+    /// use cloud_cost::{instances, Ec2CostModel, FleetCostModel};
+    /// use mcss_core::{McssInstance, Solver};
+    /// use pubsub_model::{Rate, Workload};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut b = Workload::builder();
+    /// let news = b.add_topic(Rate::new(20))?;
+    /// let music = b.add_topic(Rate::new(10))?;
+    /// b.add_subscriber([news, music])?;
+    /// b.add_subscriber([music])?;
+    /// let fleet = FleetCostModel::new(vec![
+    ///     Ec2CostModel::paper_default(instances::C3_LARGE).with_capacity_events(60),
+    ///     Ec2CostModel::paper_default(instances::C3_XLARGE).with_capacity_events(120),
+    /// ]);
+    /// let instance = McssInstance::new(b.build(), Rate::new(15), fleet.max_capacity())?;
+    /// let outcome = Solver::default().solve_mixed(&instance, &fleet)?;
+    /// assert!(outcome.allocation.typing().is_some());
+    /// assert_eq!(outcome.report.total_cost,
+    ///            outcome.allocation.cost_on_fleet(&fleet));
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates selector errors and
+    /// [`McssError::InfeasibleTopic`] when a selected topic exceeds even
+    /// the largest tier.
+    pub fn solve_mixed(
+        &self,
+        instance: &McssInstance,
+        fleet: &FleetCostModel,
+    ) -> Result<MixedSolveOutcome, McssError> {
+        let selector = self.params.selector.build();
+        let workload = instance.workload();
+
+        let t0 = Instant::now();
+        let selection = selector.select(instance)?;
+        let stage1_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let allocation = MixedFleetPacker::new().allocate(workload, &selection, fleet)?;
+        let stage2_time = t1.elapsed();
+
+        let typing = allocation.typing().expect("mixed output is always typed");
+        let tier_counts: Vec<(&'static str, usize)> = typing
+            .tiers()
+            .iter()
+            .zip(typing.tier_counts())
+            .map(|((ty, _), n)| (ty.name(), n))
+            .collect();
+        let (vm_cost, bandwidth_cost) = mixed_cost_split(&allocation, fleet);
+        let report = MixedSolveReport {
+            selector: self.params.selector.name(),
+            pairs_selected: selection.pair_count(),
+            vm_count: allocation.vm_count(),
+            total_bandwidth: allocation.total_bandwidth(),
+            vm_cost,
+            bandwidth_cost,
+            total_cost: vm_cost + bandwidth_cost,
+            mix: typing.mix(),
+            tier_counts,
+            stage1_time,
+            stage2_time,
+        };
+        Ok(MixedSolveOutcome {
             allocation,
             selection,
             report,
@@ -509,6 +684,59 @@ mod tests {
         for kind in [AllocatorKind::FirstFit, AllocatorKind::custom_full()] {
             assert_eq!(kind.name(), kind.build().name());
         }
+    }
+
+    #[test]
+    fn solve_mixed_is_typed_consistent_and_never_worse_than_homogeneous() {
+        use cloud_cost::{Ec2CostModel, FleetCostModel, InstanceType};
+        let inst0 = instance();
+        let fleet = FleetCostModel::new(vec![
+            Ec2CostModel::paper_default(InstanceType::new("tiny", 150_000, 64))
+                .with_capacity_events(90),
+            Ec2CostModel::paper_default(InstanceType::new("big", 290_000, 128))
+                .with_capacity_events(180),
+        ]);
+        let inst = McssInstance::new(
+            std::sync::Arc::clone(&inst0.workload_arc()),
+            inst0.tau(),
+            fleet.max_capacity(),
+        )
+        .unwrap();
+        let mixed = Solver::default().solve_mixed(&inst, &fleet).unwrap();
+        mixed
+            .allocation
+            .validate(inst.workload(), inst.tau())
+            .unwrap();
+        assert_eq!(
+            mixed.report.total_cost,
+            mixed.allocation.cost_on_fleet(&fleet)
+        );
+        assert_eq!(
+            mixed.report.vm_count,
+            mixed
+                .report
+                .tier_counts
+                .iter()
+                .map(|(_, n)| n)
+                .sum::<usize>()
+        );
+        // Same selection as any homogeneous solve of the same τ.
+        for tier in 0..fleet.tier_count() {
+            let homog_inst = inst.with_capacity(fleet.capacity(tier)).unwrap();
+            let homog = Solver::default()
+                .solve(&homog_inst, fleet.tier(tier))
+                .unwrap();
+            assert_eq!(mixed.selection, homog.selection);
+            assert!(
+                mixed.report.total_cost <= homog.report.total_cost,
+                "mixed {} beat by tier {tier} at {}",
+                mixed.report.total_cost,
+                homog.report.total_cost
+            );
+        }
+        let text = mixed.report.to_string();
+        assert!(text.contains("mixed-fleet"));
+        assert!(text.contains("VMs"));
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! outcomes, the "tool to estimate and provision resources" of the
 //! paper's conclusion made concrete.
 
-use crate::{McssError, McssInstance, SolveReport, Solver};
-use cloud_cost::{Ec2CostModel, Money};
+use crate::{McssError, McssInstance, MixedSolveOutcome, SolveReport, Solver};
+use cloud_cost::{Ec2CostModel, FleetCostModel, Money};
 use pubsub_model::{Rate, Workload};
 use std::sync::Arc;
 
@@ -56,6 +56,29 @@ impl PlannerReport {
 /// the feasible ones. With every candidate infeasible the report's
 /// `ranked` list is empty and [`PlannerReport::best`] returns `None`.
 ///
+/// ```
+/// use cloud_cost::{instances, Ec2CostModel};
+/// use mcss_core::planner::plan_instance_type;
+/// use mcss_core::Solver;
+/// use pubsub_model::{Rate, Workload};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Workload::builder();
+/// let t = b.add_topic(Rate::new(30))?;
+/// b.add_subscriber([t])?;
+/// let candidates = vec![
+///     Ec2CostModel::paper_default(instances::C3_LARGE),
+///     Ec2CostModel::paper_default(instances::C3_XLARGE),
+/// ];
+/// let report = plan_instance_type(
+///     Arc::new(b.build()), Rate::new(30), &candidates, Solver::default())?;
+/// // Both flavours host this tiny workload on one VM; the cheaper wins.
+/// assert_eq!(report.best().expect("feasible candidates").name, "c3.large");
+/// # Ok(())
+/// # }
+/// ```
+///
 /// # Errors
 ///
 /// Returns [`McssError::ZeroCapacity`] if `candidates` is empty.
@@ -89,6 +112,70 @@ pub fn plan_instance_type(
             .then(a.report.vm_count.cmp(&b.report.vm_count))
     });
     Ok(PlannerReport { ranked, skipped })
+}
+
+/// A mixed-versus-homogeneous plan: what [`plan_mixed`] reports and
+/// `mcss plan --mixed` prints.
+#[derive(Clone, Debug)]
+pub struct MixedPlanReport {
+    /// The heterogeneous solve over the full tier catalogue.
+    pub mixed: MixedSolveOutcome,
+    /// The homogeneous ranking over the same tiers (identical workload,
+    /// τ, and pricing), including the infeasible tiers it skipped.
+    pub homogeneous: PlannerReport,
+}
+
+impl MixedPlanReport {
+    /// Cost saved by mixing versus the best homogeneous fleet — `None`
+    /// when every tier was individually infeasible (no homogeneous
+    /// baseline exists). Never negative: the mixed packer keeps a
+    /// downsized copy of each homogeneous candidate and returns the
+    /// cheapest.
+    pub fn savings(&self) -> Option<Money> {
+        let best = self.homogeneous.best()?;
+        Some(best.report.total_cost - self.mixed.report.total_cost)
+    }
+}
+
+/// Solves `workload` at threshold `tau` both ways — heterogeneous over
+/// the whole tier catalogue, and homogeneous per tier — and reports the
+/// comparison (`mcss plan --mixed`).
+///
+/// ```
+/// use cloud_cost::{instances, Ec2CostModel, FleetCostModel, Money};
+/// use mcss_core::planner::plan_mixed;
+/// use mcss_core::Solver;
+/// use pubsub_model::{Rate, Workload};
+/// use std::sync::Arc;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Workload::builder();
+/// let t = b.add_topic(Rate::new(30))?;
+/// b.add_subscriber([t])?;
+/// let fleet = FleetCostModel::new(vec![
+///     Ec2CostModel::paper_default(instances::C3_LARGE).with_capacity_events(100),
+///     Ec2CostModel::paper_default(instances::C3_XLARGE).with_capacity_events(200),
+/// ]);
+/// let report = plan_mixed(Arc::new(b.build()), Rate::new(30), &fleet, Solver::default())?;
+/// assert!(report.savings().expect("both tiers feasible") >= Money::ZERO);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates [`Solver::solve_mixed`] errors (e.g. a topic too loud for
+/// even the largest tier).
+pub fn plan_mixed(
+    workload: Arc<Workload>,
+    tau: Rate,
+    fleet: &FleetCostModel,
+    solver: Solver,
+) -> Result<MixedPlanReport, McssError> {
+    let homogeneous = plan_instance_type(Arc::clone(&workload), tau, fleet.tiers(), solver)?;
+    let instance = McssInstance::new(workload, tau, fleet.max_capacity())?;
+    let mixed = solver.solve_mixed(&instance, fleet)?;
+    Ok(MixedPlanReport { mixed, homogeneous })
 }
 
 #[cfg(test)]
@@ -176,6 +263,47 @@ mod tests {
                 .unwrap_or_else(|| panic!("{n} missing"))
         };
         assert!(by_name("c3.xlarge").report.vm_count <= by_name("c3.large").report.vm_count);
+    }
+
+    #[test]
+    fn mixed_plan_never_loses_to_the_homogeneous_winner() {
+        let fleet = FleetCostModel::new(candidates());
+        let report = plan_mixed(workload(), Rate::new(500), &fleet, Solver::default()).unwrap();
+        let savings = report.savings().expect("both tiers feasible");
+        assert!(
+            savings >= Money::ZERO,
+            "mixed lost {savings} to homogeneous"
+        );
+        assert!(report.mixed.allocation.typing().is_some());
+        assert_eq!(report.homogeneous.ranked.len(), 2);
+        // Identical selections: the mixed and homogeneous plans satisfy
+        // the same subscribers the same way.
+        assert_eq!(
+            report.mixed.selection.pair_count(),
+            report.homogeneous.best().unwrap().report.pairs_selected
+        );
+    }
+
+    #[test]
+    fn mixed_plan_survives_an_infeasible_small_tier() {
+        // One topic too loud for the small tier: the homogeneous plan
+        // skips it, the mixed plan routes the topic to the big tier.
+        let mut b = Workload::builder();
+        let small_cap = Ec2CostModel::paper_effective(instances::C3_LARGE)
+            .with_volume_scale(1, 2)
+            .capacity();
+        let loud = b.add_topic(Rate::new(small_cap.get())).unwrap();
+        b.add_subscriber([loud]).unwrap();
+        let w = Arc::new(b.build());
+        let fleet = FleetCostModel::new(vec![
+            Ec2CostModel::paper_effective(instances::C3_LARGE).with_volume_scale(1, 2),
+            Ec2CostModel::paper_effective(instances::C3_2XLARGE).with_volume_scale(1, 2),
+        ]);
+        let report = plan_mixed(w, Rate::new(10), &fleet, Solver::default()).unwrap();
+        assert_eq!(report.homogeneous.skipped.len(), 1);
+        assert_eq!(report.homogeneous.skipped[0].0, "c3.large");
+        assert!(report.savings().expect("the big tier ranks") >= Money::ZERO);
+        assert!(report.mixed.report.vm_count >= 1);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   * (c) most expensive topic first ([`ExpensiveOrder`]),
 //!   * (d) most-free-VM-first when spilling onto existing VMs,
 //!   * (e) the cost-model-driven spill-vs-new-VM decision
-//!     ([`cheaper_to_distribute`], Alg. 7).
+//!     ([`cheaper_to_distribute`], Alg. 7);
+//! * [`MixedFleetPacker`] — *extension*: packing onto a heterogeneous
+//!   fleet of several instance types ranked by cost density, never worse
+//!   than the best homogeneous fleet on the same selection.
 //!
 //! Both allocators maintain the exact marginal-cost invariant: placing a
 //! pair `(t, v)` on VM `b` consumes `2·ev_t` if `t` is new to `b`
@@ -23,12 +26,14 @@ mod baselines;
 mod cbp;
 mod cheaper;
 mod ffbp;
+mod mixed;
 mod vm;
 
 pub use baselines::{BestFitBinPacking, NextFitBinPacking};
 pub use cbp::{CbpConfig, CustomBinPacking, ExpensiveOrder};
 pub use cheaper::cheaper_to_distribute;
 pub use ffbp::FirstFitBinPacking;
+pub use mixed::{mixed_cost_split, MixedFleetPacker};
 
 pub(crate) use vm::VmBuild;
 

@@ -19,10 +19,10 @@ impl VmBuild {
     }
 
     /// Bandwidth currently in use (`bw_b`). The allocators track totals
-    /// incrementally and query headroom via [`VmBuild::free`]; this direct
-    /// accessor serves the unit tests.
+    /// incrementally and query headroom via [`VmBuild::free`]; the
+    /// mixed-fleet downsize pass reads it to find each VM's smallest
+    /// fitting tier.
     #[inline]
-    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn used(&self) -> Bandwidth {
         self.used
     }

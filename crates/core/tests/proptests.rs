@@ -1,6 +1,6 @@
 //! Property-based tests over the full solver stack.
 
-use cloud_cost::{LinearCostModel, Money};
+use cloud_cost::{CostModel, Ec2CostModel, FleetCostModel, InstanceType, LinearCostModel, Money};
 use mcss_core::dynamic::DriftModel;
 use mcss_core::exact::ExactSolver;
 use mcss_core::incremental::{IncrementalConfig, IncrementalReallocator};
@@ -10,7 +10,7 @@ use mcss_core::stage1::{
 };
 use mcss_core::stage2::{
     Allocator, BestFitBinPacking, CbpConfig, CustomBinPacking, FirstFitBinPacking,
-    NextFitBinPacking,
+    MixedFleetPacker, NextFitBinPacking,
 };
 use mcss_core::{
     lower_bound, McssInstance, PartitionerKind, ShardedSolver, ShardingConfig, Solver, SolverParams,
@@ -318,5 +318,128 @@ proptest! {
             .decide_dcss(&reduced.instance, &reduced.cost, reduced.budget)
             .unwrap();
         prop_assert_eq!(dcss, subset_sum_partitionable(&xs), "multiset {:?}", xs);
+    }
+}
+
+/// A random two/three-tier fleet whose smallest tier always fits the
+/// largest `arb_workload` topic (rate ≤ 30 → pair cost ≤ 60).
+fn arb_fleet() -> impl Strategy<Value = FleetCostModel> {
+    (
+        60u64..=150,         // small capacity
+        1u64..=4,            // big capacity multiplier
+        50_000u64..=400_000, // small hourly micro-price
+        1u64..=5,            // big price multiplier
+        0u64..=1,            // 1 = add a third (mid) tier
+    )
+        .prop_map(|(small_cap, cap_mul, small_price, price_mul, three)| {
+            let three = three == 1;
+            let small_price = small_price as i64;
+            let mut tiers = vec![
+                Ec2CostModel::paper_default(InstanceType::new("prop-small", small_price, 64))
+                    .with_capacity_events(small_cap),
+                Ec2CostModel::paper_default(InstanceType::new(
+                    "prop-big",
+                    small_price * price_mul as i64,
+                    128,
+                ))
+                .with_capacity_events(small_cap * cap_mul),
+            ];
+            if three {
+                tiers.push(
+                    Ec2CostModel::paper_default(InstanceType::new("prop-mid", small_price * 2, 96))
+                        .with_capacity_events(small_cap * 3 / 2),
+                );
+            }
+            FleetCostModel::new(tiers)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The mixed-fleet invariants of ISSUE 4: on random workloads the
+    /// heterogeneous packing (a) never costs more than the best
+    /// single-type fleet over the same selection, (b) keeps every VM
+    /// within its *own* tier's capacity, and (c) places every selected
+    /// pair (same satisfaction as any homogeneous packing).
+    #[test]
+    fn mixed_fleet_never_beaten_by_homogeneous_and_respects_tier_caps(
+        w in arb_workload(),
+        tau in 1u64..=80,
+        fleet in arb_fleet(),
+    ) {
+        let inst = McssInstance::new(w, Rate::new(tau), fleet.max_capacity()).unwrap();
+        let sel = GreedySelectPairs::new().select(&inst).unwrap();
+        let mixed = MixedFleetPacker::new()
+            .allocate(inst.workload(), &sel, &fleet)
+            .unwrap();
+
+        // (b) + (c): validation enforces per-tier capacities, no foreign
+        // or duplicated pairs, and τ_v satisfaction; pair_count equality
+        // rules out silently dropped placements.
+        prop_assert!(mixed.typing().is_some(), "mixed output must be typed");
+        mixed
+            .validate(inst.workload(), inst.tau())
+            .map_err(|e| TestCaseError::fail(format!("invalid mixed fleet: {e}")))?;
+        prop_assert_eq!(mixed.pair_count(), sel.pair_count(), "pairs lost");
+        for (vm, &tier) in mixed.vms().iter().zip(
+            mixed.typing().unwrap().assignment(),
+        ) {
+            let (_, cap) = mixed.typing().unwrap().tiers()[tier as usize];
+            prop_assert!(vm.used() <= cap, "VM over its own tier capacity");
+        }
+
+        // (a): cheaper-or-equal versus every feasible homogeneous tier,
+        // each priced under its own Ec2 model.
+        let mixed_cost = mixed.cost_on_fleet(&fleet);
+        for t in 0..fleet.tier_count() {
+            let cap = fleet.capacity(t);
+            if inst.workload().rates().iter().any(|r| r.pair_cost() > cap) {
+                continue; // this tier alone cannot host the workload
+            }
+            let homog = CustomBinPacking::new(CbpConfig::full())
+                .allocate(inst.workload(), &sel, cap, fleet.tier(t))
+                .unwrap();
+            let homog_cost =
+                fleet.tier(t).total_cost(homog.vm_count(), homog.total_bandwidth());
+            prop_assert!(
+                mixed_cost <= homog_cost,
+                "mixed {} dearer than tier {} at {}",
+                mixed_cost, t, homog_cost
+            );
+        }
+    }
+
+    /// Mixed repair over drift epochs: selections stay bit-identical to
+    /// the homogeneous churn path and tier capacities hold every epoch.
+    #[test]
+    fn mixed_fleet_repair_stays_valid_under_drift(
+        w in arb_workload(),
+        tau in 1u64..=60,
+        seed in 0u64..100,
+    ) {
+        let fleet = FleetCostModel::new(vec![
+            Ec2CostModel::paper_default(InstanceType::new("drift-small", 150_000, 64))
+                .with_capacity_events(80),
+            Ec2CostModel::paper_default(InstanceType::new("drift-big", 290_000, 128))
+                .with_capacity_events(160),
+        ]);
+        let drift = DriftModel { rate_sigma: 0.0, churn_prob: 0.5, seed };
+        let mut mixed = IncrementalReallocator::default().with_fleet(fleet.clone());
+        let mut homog = IncrementalReallocator::default();
+        let mut w = w;
+        for epoch in 0..4 {
+            let mixed_inst =
+                McssInstance::new(w.clone(), Rate::new(tau), fleet.max_capacity()).unwrap();
+            let homog_inst =
+                McssInstance::new(w.clone(), Rate::new(tau), fleet.capacity(0)).unwrap();
+            let m = mixed.step(&mixed_inst, &nocost()).unwrap();
+            let h = homog.step(&homog_inst, &nocost()).unwrap();
+            prop_assert_eq!(&m.selection, &h.selection, "selections diverged");
+            m.allocation
+                .validate(mixed_inst.workload(), mixed_inst.tau())
+                .map_err(|e| TestCaseError::fail(format!("epoch {epoch}: {e}")))?;
+            w = drift.evolve(&w, epoch);
+        }
     }
 }

@@ -87,7 +87,15 @@ impl Simulation {
             }
         }
 
-        let mut vms = vec![VmMeter::default(); allocation.vm_count()];
+        // Per-VM capacity metering: each meter knows its own VM's budget —
+        // the tier capacity on a mixed (typed) fleet, the shared BC
+        // otherwise — so reports can flag operational overloads per VM.
+        let mut vms: Vec<VmMeter> = (0..allocation.vm_count())
+            .map(|vm| VmMeter {
+                capacity_events: allocation.vm_capacity(vm).get(),
+                ..VmMeter::default()
+            })
+            .collect();
         let mut delivered_copies = vec![0u64; workload.num_subscribers()];
         let mut processed = 0u64;
         // Unique-delivery bookkeeping: pairs replicated across VMs count
@@ -259,6 +267,55 @@ mod tests {
         assert_eq!(report.delivered_events[0], 10); // unique
         assert_eq!(report.delivered_copies[0], 20); // both replicas
         assert_eq!(report.total_bandwidth_events(), 40);
+    }
+
+    #[test]
+    fn meters_carry_per_vm_capacity_and_flag_no_overload_when_valid() {
+        let (inst, alloc) = solve(&[20, 10, 5], &[&[0, 1], &[1, 2], &[0, 2]], 15, 100);
+        let report = Simulation::new(SimConfig::default()).run(inst.workload(), &alloc);
+        for meter in &report.vms {
+            assert_eq!(meter.capacity_events, inst.capacity().get());
+        }
+        // Deterministic replay of a valid allocation never overloads.
+        assert_eq!(report.overloaded_vms(), 0);
+        assert!(report.peak_utilization().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn mixed_fleet_meters_use_each_tier_capacity() {
+        use cloud_cost::instances;
+        use mcss_core::FleetTyping;
+        use std::collections::HashMap;
+        // Two VMs: t0 (rate 20, one pair → 40 units) on a big tier, t1
+        // (rate 10, one pair → 20 units) on a small one.
+        let mut b = Workload::builder();
+        let t0 = b.add_topic(Rate::new(20)).unwrap();
+        let t1 = b.add_topic(Rate::new(10)).unwrap();
+        b.add_subscriber([t0, t1]).unwrap();
+        let w = b.build();
+        let table = |t: TopicId, vs: &[u32]| -> HashMap<TopicId, Vec<SubscriberId>> {
+            [(t, vs.iter().map(|&v| SubscriberId::new(v)).collect())]
+                .into_iter()
+                .collect()
+        };
+        let alloc = Allocation::from_tables(
+            vec![table(t0, &[0]), table(t1, &[0])],
+            &w,
+            Bandwidth::new(50),
+        )
+        .with_typing(FleetTyping::new(
+            vec![
+                (instances::C3_LARGE, Bandwidth::new(25)),
+                (instances::C3_XLARGE, Bandwidth::new(50)),
+            ],
+            vec![1, 0],
+        ));
+        let report = Simulation::new(SimConfig::default()).run(&w, &alloc);
+        assert_eq!(report.vms[0].capacity_events, 50);
+        assert_eq!(report.vms[1].capacity_events, 25);
+        assert_eq!(report.vms[0].utilization(), Some(0.8)); // 40/50
+        assert_eq!(report.vms[1].utilization(), Some(0.8)); // 20/25
+        assert_eq!(report.overloaded_vms(), 0);
     }
 
     #[test]

@@ -14,6 +14,10 @@ pub struct VmMeter {
     pub ingress_bytes: u64,
     /// Egress volume in bytes.
     pub egress_bytes: u64,
+    /// This VM's capacity in event-units per window — its own tier's
+    /// budget on a mixed fleet, the shared `BC` otherwise. Zero means
+    /// unmetered (a hand-built meter without an allocation behind it).
+    pub capacity_events: u64,
 }
 
 impl VmMeter {
@@ -25,6 +29,25 @@ impl VmMeter {
     /// Total traffic in bytes.
     pub fn total_bytes(&self) -> u64 {
         self.ingress_bytes + self.egress_bytes
+    }
+
+    /// Operational utilization `total_events / capacity` — `None` when
+    /// the meter is unmetered (zero capacity).
+    pub fn utilization(&self) -> Option<f64> {
+        if self.capacity_events == 0 {
+            None
+        } else {
+            Some(self.total_events() as f64 / self.capacity_events as f64)
+        }
+    }
+
+    /// Did the replayed traffic exceed this VM's own capacity? Always
+    /// `false` for unmetered VMs. A valid allocation under the
+    /// deterministic schedule never overloads — Eq. 2 accounting matches
+    /// the replay exactly — so `true` flags either a Poisson burst or an
+    /// allocation bug.
+    pub fn over_capacity(&self) -> bool {
+        self.capacity_events != 0 && self.total_events() > self.capacity_events
     }
 }
 
@@ -76,6 +99,21 @@ impl SimReport {
             .filter(|&v| !self.is_satisfied(workload, v, tau))
             .count()
     }
+
+    /// Number of VMs whose replayed traffic exceeded their own capacity
+    /// (see [`VmMeter::over_capacity`]).
+    pub fn overloaded_vms(&self) -> usize {
+        self.vms.iter().filter(|m| m.over_capacity()).count()
+    }
+
+    /// The highest per-VM utilization observed, over metered VMs (`None`
+    /// when every meter is unmetered).
+    pub fn peak_utilization(&self) -> Option<f64> {
+        self.vms
+            .iter()
+            .filter_map(VmMeter::utilization)
+            .max_by(|a, b| a.total_cmp(b))
+    }
 }
 
 impl fmt::Display for SimReport {
@@ -103,9 +141,30 @@ mod tests {
             egress_events: 7,
             ingress_bytes: 600,
             egress_bytes: 1400,
+            capacity_events: 20,
         };
         assert_eq!(m.total_events(), 10);
         assert_eq!(m.total_bytes(), 2000);
+        assert_eq!(m.utilization(), Some(0.5));
+        assert!(!m.over_capacity());
+    }
+
+    #[test]
+    fn meter_capacity_semantics() {
+        let unmetered = VmMeter {
+            ingress_events: 100,
+            ..VmMeter::default()
+        };
+        assert_eq!(unmetered.utilization(), None);
+        assert!(!unmetered.over_capacity());
+        let overloaded = VmMeter {
+            ingress_events: 30,
+            egress_events: 71,
+            capacity_events: 100,
+            ..VmMeter::default()
+        };
+        assert!(overloaded.over_capacity());
+        assert!(overloaded.utilization().unwrap() > 1.0);
     }
 
     #[test]
@@ -117,12 +176,14 @@ mod tests {
                     egress_events: 2,
                     ingress_bytes: 200,
                     egress_bytes: 400,
+                    capacity_events: 4,
                 },
                 VmMeter {
                     ingress_events: 3,
                     egress_events: 4,
                     ingress_bytes: 600,
                     egress_bytes: 800,
+                    capacity_events: 6,
                 },
             ],
             delivered_events: vec![5],
@@ -133,5 +194,8 @@ mod tests {
         assert_eq!(report.total_bandwidth_events(), 10);
         assert_eq!(report.total_bandwidth_bytes(), 2000);
         assert!(report.to_string().contains("bandwidth"));
+        // VM1 runs 7/6 — over its own capacity; VM0 sits at 3/4.
+        assert_eq!(report.overloaded_vms(), 1);
+        assert!((report.peak_utilization().unwrap() - 7.0 / 6.0).abs() < 1e-12);
     }
 }

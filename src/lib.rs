@@ -21,10 +21,13 @@ pub use pubsub_traces as traces;
 
 /// Convenience prelude pulling in the types most programs need.
 pub mod prelude {
-    pub use cloud_cost::{CostModel, Ec2CostModel, InstanceType, LinearCostModel, Money};
+    pub use cloud_cost::{
+        CostModel, Ec2CostModel, FleetCostModel, InstanceType, LinearCostModel, Money,
+    };
     pub use mcss_core::{
-        Allocation, AllocatorKind, LowerBound, McssInstance, PartitionerKind, SelectorKind,
-        ShardedSolver, ShardingConfig, SolveReport, Solver, SolverParams,
+        Allocation, AllocatorKind, FleetTyping, LowerBound, McssInstance, MixedSolveOutcome,
+        PartitionerKind, SelectorKind, ShardedSolver, ShardingConfig, SolveReport, Solver,
+        SolverParams,
     };
     pub use pubsub_model::{Bandwidth, Pair, Rate, SubscriberId, TopicId, Workload};
     pub use pubsub_sim::{SimConfig, Simulation};

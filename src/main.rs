@@ -9,10 +9,10 @@
 //! Argument parsing is hand-rolled (no CLI dependency) and unit-tested;
 //! see `mcss help` for the full grammar.
 
-use cloud_cost::{instances, CostModel, Ec2CostModel, InstanceType};
+use cloud_cost::{instances, CostModel, Ec2CostModel, FleetCostModel, InstanceType};
 use mcss_core::dynamic::{DriftModel, Reprovisioner, WorkloadDelta};
 use mcss_core::incremental::IncrementalConfig;
-use mcss_core::planner::plan_instance_type;
+use mcss_core::planner::{plan_instance_type, plan_mixed};
 use mcss_core::{
     AllocatorKind, McssInstance, PartitionerKind, SelectorKind, ShardingConfig, Solver,
     SolverParams,
@@ -53,6 +53,9 @@ SOLVE OPTIONS:
 
 PLAN OPTIONS:
   --tau N                satisfaction threshold (required)
+  --mixed                also solve one heterogeneous fleet over the whole
+                         catalogue and report it against the homogeneous
+                         winner (never more expensive)
   --effective            use the figure-calibrated capacity
   --scale SYNTH/PAPER    volume-scale compensation ratio
 
@@ -65,6 +68,9 @@ REPROVISION OPTIONS:
   --fresh                re-solve from scratch each epoch instead of the
                          O(Δ) incremental repair
   --instance NAME        c3.large | c3.xlarge | c3.2xlarge  [c3.large]
+  --mixed                deploy on a heterogeneous fleet over the whole
+                         catalogue (--instance is ignored); selections
+                         stay bit-identical to the homogeneous run
   --effective            use the figure-calibrated capacity
   --scale SYNTH/PAPER    volume-scale compensation ratio
   --simulate             replay each epoch through the broker simulation
@@ -94,6 +100,7 @@ enum Command {
     Plan {
         trace: String,
         tau: u64,
+        mixed: bool,
         effective: bool,
         scale: Option<(u64, u64)>,
     },
@@ -106,6 +113,7 @@ enum Command {
         sigma: f64,
         drift_seed: u64,
         fresh: bool,
+        mixed: bool,
         effective: bool,
         scale: Option<(u64, u64)>,
         simulate: bool,
@@ -182,11 +190,13 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 .ok_or_else(|| "plan needs a trace path".to_string())?
                 .clone();
             let mut tau: Option<u64> = None;
+            let mut mixed = false;
             let mut effective = false;
             let mut scale = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--tau" => tau = Some(next_num(&mut it, "--tau")?),
+                    "--mixed" => mixed = true,
                     "--effective" => effective = true,
                     "--scale" => scale = Some(parse_scale(&mut it)?),
                     other => return Err(format!("unknown plan flag {other:?}")),
@@ -196,6 +206,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             Ok(Command::Plan {
                 trace,
                 tau,
+                mixed,
                 effective,
                 scale,
             })
@@ -212,11 +223,13 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut sigma = 0.1f64;
             let mut drift_seed = 42u64;
             let mut fresh = false;
+            let mut mixed = false;
             let mut effective = false;
             let mut scale = None;
             let mut simulate = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
+                    "--mixed" => mixed = true,
                     "--tau" => tau = Some(next_num(&mut it, "--tau")?),
                     "--epochs" => {
                         epochs = next_num(&mut it, "--epochs")?;
@@ -260,6 +273,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 sigma,
                 drift_seed,
                 fresh,
+                mixed,
                 effective,
                 scale,
                 simulate,
@@ -392,6 +406,25 @@ fn load_trace(path: &str) -> Result<Workload, String> {
     read_workload(BufReader::new(file)).map_err(|e| e.to_string())
 }
 
+/// The whole instance catalogue priced under the chosen calibration —
+/// the candidate list for `plan` and the tier table for `--mixed`.
+fn catalogue(effective: bool, scale: Option<(u64, u64)>) -> Vec<Ec2CostModel> {
+    instances::ALL
+        .iter()
+        .map(|&i| {
+            let mut cost = if effective {
+                Ec2CostModel::paper_effective(i)
+            } else {
+                Ec2CostModel::paper_default(i)
+            };
+            if let Some((synth, paper)) = scale {
+                cost = cost.with_volume_scale(synth, paper);
+            }
+            cost
+        })
+        .collect()
+}
+
 fn run(command: Command) -> Result<(), String> {
     match command {
         Command::Help => {
@@ -444,39 +477,88 @@ fn run(command: Command) -> Result<(), String> {
         Command::Plan {
             trace,
             tau,
+            mixed,
             effective,
             scale,
         } => {
             let workload = Arc::new(load_trace(&trace)?);
-            let candidates: Vec<Ec2CostModel> = instances::ALL
-                .iter()
-                .map(|&i| {
-                    let mut cost = if effective {
-                        Ec2CostModel::paper_effective(i)
-                    } else {
-                        Ec2CostModel::paper_default(i)
-                    };
-                    if let Some((synth, paper)) = scale {
-                        cost = cost.with_volume_scale(synth, paper);
+            let candidates = catalogue(effective, scale);
+            let print_ranking = |report: &mcss_core::planner::PlannerReport| {
+                for option in &report.ranked {
+                    println!(
+                        "{:<12} {} ({} VMs, {} bandwidth)",
+                        option.name,
+                        option.report.total_cost,
+                        option.report.vm_count,
+                        option.report.total_bandwidth
+                    );
+                }
+                for (name, err) in &report.skipped {
+                    println!("{name:<12} infeasible: {err}");
+                }
+            };
+            if mixed {
+                let fleet = FleetCostModel::new(candidates);
+                let report = match plan_mixed(
+                    Arc::clone(&workload),
+                    Rate::new(tau),
+                    &fleet,
+                    Solver::default(),
+                ) {
+                    Ok(report) => report,
+                    Err(e) => {
+                        // The mixed solve only fails when even the largest
+                        // tier cannot host a selected topic — every flavour
+                        // is then individually infeasible too. Print the
+                        // per-candidate diagnosis before bailing, like the
+                        // plain plan does.
+                        if let Ok(homogeneous) = plan_instance_type(
+                            workload,
+                            Rate::new(tau),
+                            fleet.tiers(),
+                            Solver::default(),
+                        ) {
+                            print_ranking(&homogeneous);
+                        }
+                        return Err(e.to_string());
                     }
-                    cost
-                })
-                .collect();
+                };
+                print_ranking(&report.homogeneous);
+                match report.homogeneous.best() {
+                    Some(best) => println!(
+                        "cheapest homogeneous: {} ({})",
+                        best.name, best.report.total_cost
+                    ),
+                    None => println!("no single instance type can host this workload"),
+                }
+                println!(
+                    "mixed fleet:          {} ({} VMs: {})",
+                    report.mixed.report.total_cost,
+                    report.mixed.report.vm_count,
+                    report.mixed.report.mix
+                );
+                if let Some(savings) = report.savings() {
+                    let best_cost = report
+                        .homogeneous
+                        .best()
+                        .expect("savings imply a baseline")
+                        .report
+                        .total_cost;
+                    if best_cost.is_zero() {
+                        println!("mixed saves:          {savings}");
+                    } else {
+                        println!(
+                            "mixed saves:          {savings} ({:.1}% of the homogeneous bill)",
+                            100.0 * savings.as_dollars_f64() / best_cost.as_dollars_f64()
+                        );
+                    }
+                }
+                return Ok(());
+            }
             let report =
                 plan_instance_type(workload, Rate::new(tau), &candidates, Solver::default())
                     .map_err(|e| e.to_string())?;
-            for option in &report.ranked {
-                println!(
-                    "{:<12} {} ({} VMs, {} bandwidth)",
-                    option.name,
-                    option.report.total_cost,
-                    option.report.vm_count,
-                    option.report.total_bandwidth
-                );
-            }
-            for (name, err) in &report.skipped {
-                println!("{name:<12} infeasible: {err}");
-            }
+            print_ranking(&report);
             let best = report
                 .best()
                 .ok_or_else(|| "no instance type can host this workload".to_string())?;
@@ -495,19 +577,35 @@ fn run(command: Command) -> Result<(), String> {
             sigma,
             drift_seed,
             fresh,
+            mixed,
             effective,
             scale,
             simulate,
         } => {
             let mut workload = load_trace(&trace)?;
-            let mut cost = if effective {
-                Ec2CostModel::paper_effective(instance)
-            } else {
-                Ec2CostModel::paper_default(instance)
+            // In mixed mode the scalar cost model (largest tier) only
+            // feeds the informational lower bound; epoch costs and
+            // capacities come from the fleet.
+            let fleet = mixed.then(|| FleetCostModel::new(catalogue(effective, scale)));
+            let cost = match &fleet {
+                Some(fleet) => fleet
+                    .tiers()
+                    .iter()
+                    .max_by_key(|t| t.capacity())
+                    .expect("catalogue is non-empty")
+                    .clone(),
+                None => {
+                    let mut cost = if effective {
+                        Ec2CostModel::paper_effective(instance)
+                    } else {
+                        Ec2CostModel::paper_default(instance)
+                    };
+                    if let Some((synth, paper)) = scale {
+                        cost = cost.with_volume_scale(synth, paper);
+                    }
+                    cost
+                }
             };
-            if let Some((synth, paper)) = scale {
-                cost = cost.with_volume_scale(synth, paper);
-            }
             let drift = DriftModel {
                 rate_sigma: sigma,
                 churn_prob: churn,
@@ -518,14 +616,18 @@ fn run(command: Command) -> Result<(), String> {
             } else {
                 Reprovisioner::incremental(Solver::default(), IncrementalConfig::default())
             };
+            if let Some(fleet) = &fleet {
+                re = re.with_fleet(fleet.clone());
+            }
             println!(
-                "reprovisioning {} epochs ({}; churn {churn}, sigma {sigma}, seed {drift_seed})",
+                "reprovisioning {} epochs ({}{}; churn {churn}, sigma {sigma}, seed {drift_seed})",
                 epochs,
                 if fresh {
                     "full re-solve per epoch"
                 } else {
                     "incremental O(Δ) repair"
-                }
+                },
+                if mixed { ", mixed fleet" } else { "" }
             );
             let mut delta: Option<WorkloadDelta> = None;
             for epoch in 0..epochs {
@@ -547,6 +649,9 @@ fn run(command: Command) -> Result<(), String> {
                     r.pairs_reused,
                     if r.full_resolve { " [full solve]" } else { "" },
                 );
+                if let Some(typing) = r.allocation.typing() {
+                    line.push_str(&format!(", fleet {}", typing.mix()));
+                }
                 if simulate {
                     let sim =
                         Simulation::new(SimConfig::default()).run(inst.workload(), &r.allocation);
@@ -795,6 +900,15 @@ mod tests {
         run(Command::Plan {
             trace: path.display().to_string(),
             tau: 50,
+            mixed: false,
+            effective: true,
+            scale: Some((300, 100_000)),
+        })
+        .unwrap();
+        run(Command::Plan {
+            trace: path.display().to_string(),
+            tau: 50,
+            mixed: true,
             effective: true,
             scale: Some((300, 100_000)),
         })
@@ -878,6 +992,8 @@ mod tests {
             }
             other => panic!("parsed {other:?}"),
         }
+        let cmd = parse(&["reprovision", "t.tsv", "--tau", "5", "--mixed"]).unwrap();
+        assert!(matches!(cmd, Command::Reprovision { mixed: true, .. }));
         assert!(parse(&["reprovision", "t.tsv"])
             .unwrap_err()
             .contains("--tau"));
@@ -899,20 +1015,23 @@ mod tests {
         })
         .unwrap();
         for fresh in [false, true] {
-            run(Command::Reprovision {
-                trace: path.display().to_string(),
-                tau: 40,
-                instance: instances::C3_LARGE,
-                epochs: 3,
-                churn: 0.3,
-                sigma: 0.0,
-                drift_seed: 11,
-                fresh,
-                effective: true,
-                scale: Some((250, 100_000)),
-                simulate: true,
-            })
-            .unwrap();
+            for mixed in [false, true] {
+                run(Command::Reprovision {
+                    trace: path.display().to_string(),
+                    tau: 40,
+                    instance: instances::C3_LARGE,
+                    epochs: 3,
+                    churn: 0.3,
+                    sigma: 0.0,
+                    drift_seed: 11,
+                    fresh,
+                    mixed,
+                    effective: true,
+                    scale: Some((250, 100_000)),
+                    simulate: true,
+                })
+                .unwrap();
+            }
         }
         std::fs::remove_file(&path).ok();
     }
@@ -925,10 +1044,13 @@ mod tests {
             Command::Plan {
                 trace: "t.tsv".into(),
                 tau: 25,
+                mixed: false,
                 effective: true,
                 scale: None,
             }
         );
+        let cmd = parse(&["plan", "t.tsv", "--tau", "25", "--mixed"]).unwrap();
+        assert!(matches!(cmd, Command::Plan { mixed: true, .. }));
         assert!(parse(&["plan", "t.tsv"]).unwrap_err().contains("--tau"));
     }
 

@@ -210,6 +210,176 @@ fn plan_ranks_instance_types() {
 }
 
 #[test]
+fn plan_mixed_reports_fleet_against_homogeneous_winner() {
+    let dir = scratch("plan-mixed");
+    let path = dir.join("plan.tsv");
+    let path_str = path.display().to_string();
+
+    let out = mcss(&[
+        "generate", "spotify", "--size", "150", "--seed", "6", "--out", &path_str,
+    ]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+
+    let out = mcss(&["plan", &path_str, "--tau", "40", "--mixed"]);
+    assert!(
+        out.status.success(),
+        "plan --mixed failed: {}",
+        stderr(&out)
+    );
+    let report = stdout(&out);
+    assert!(
+        report.contains("cheapest homogeneous:"),
+        "no homogeneous verdict in: {report}"
+    );
+    assert!(
+        report.contains("mixed fleet:"),
+        "no mixed line in: {report}"
+    );
+    assert!(
+        report.contains("\u{d7}"),
+        "no per-tier breakdown in: {report}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plan_prints_each_infeasible_candidate_with_its_reason() {
+    // One topic at 6e7 events: its pair cost (1.2e8) exceeds the
+    // effective capacity of c3.large (5e7) and c3.xlarge (1e8) but fits
+    // c3.2xlarge (2e8) — the plan must name both skipped flavours and
+    // say why instead of only counting them.
+    let dir = scratch("plan-skip");
+    let path = dir.join("loud.tsv");
+    let path_str = path.display().to_string();
+    std::fs::write(
+        &path,
+        "pubsub-trace v1\ntopics\t1\n60000000\nsubscribers\t1\n0\n",
+    )
+    .expect("write trace");
+
+    let out = mcss(&["plan", &path_str, "--tau", "1", "--effective"]);
+    assert!(out.status.success(), "plan failed: {}", stderr(&out));
+    let report = stdout(&out);
+    for flavour in ["c3.large", "c3.xlarge"] {
+        let line = report
+            .lines()
+            .find(|l| l.starts_with(flavour) && l.contains("infeasible"))
+            .unwrap_or_else(|| panic!("no infeasible line for {flavour} in: {report}"));
+        assert!(
+            line.contains("needs") && line.contains("capacity"),
+            "skip reason missing from: {line}"
+        );
+    }
+    assert!(
+        report.contains("cheapest: c3.2xlarge"),
+        "feasible flavour must still rank: {report}"
+    );
+
+    // The mixed plan routes the loud topic to the big tier instead.
+    let out = mcss(&["plan", &path_str, "--tau", "1", "--effective", "--mixed"]);
+    assert!(
+        out.status.success(),
+        "plan --mixed failed: {}",
+        stderr(&out)
+    );
+    assert!(
+        stdout(&out).contains("c3.2xlarge"),
+        "mixed plan must use the big tier: {}",
+        stdout(&out)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn plan_mixed_still_diagnoses_a_workload_no_tier_can_host() {
+    // One topic at 2e8 events: its pair cost (4e8) exceeds even the
+    // effective c3.2xlarge capacity (2e8). The plain plan lists every
+    // flavour as infeasible before erroring; --mixed must do the same
+    // instead of printing nothing.
+    let dir = scratch("plan-mixed-infeasible");
+    let path = dir.join("too-loud.tsv");
+    let path_str = path.display().to_string();
+    std::fs::write(
+        &path,
+        "pubsub-trace v1\ntopics\t1\n200000000\nsubscribers\t1\n0\n",
+    )
+    .expect("write trace");
+
+    for extra in [&[][..], &["--mixed"][..]] {
+        let mut args = vec!["plan", path_str.as_str(), "--tau", "1", "--effective"];
+        args.extend_from_slice(extra);
+        let out = mcss(&args);
+        assert!(!out.status.success(), "plan {extra:?} must fail");
+        let report = stdout(&out);
+        for flavour in ["c3.large", "c3.xlarge", "c3.2xlarge"] {
+            assert!(
+                report.contains(flavour) && report.contains("infeasible"),
+                "plan {extra:?} lost the {flavour} diagnosis: {report}"
+            );
+        }
+        assert!(
+            stderr(&out).contains("error"),
+            "no error line for {extra:?}: {}",
+            stderr(&out)
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reprovision_mixed_fleet_reports_tier_mix() {
+    let dir = scratch("reprovision-mixed");
+    let path = dir.join("drift.tsv");
+    let path_str = path.display().to_string();
+
+    let out = mcss(&[
+        "generate", "spotify", "--size", "200", "--seed", "12", "--out", &path_str,
+    ]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+
+    let out = mcss(&[
+        "reprovision",
+        &path_str,
+        "--tau",
+        "40",
+        "--epochs",
+        "3",
+        "--churn",
+        "0.3",
+        "--sigma",
+        "0.0",
+        "--mixed",
+        "--effective",
+        "--scale",
+        "200/100000",
+        "--simulate",
+    ]);
+    assert!(
+        out.status.success(),
+        "reprovision --mixed failed: {}",
+        stderr(&out)
+    );
+    let report = stdout(&out);
+    assert!(
+        report.contains("mixed fleet"),
+        "no mixed banner in: {report}"
+    );
+    assert!(
+        report.contains(", fleet "),
+        "no per-epoch tier mix in: {report}"
+    );
+    assert!(
+        report.contains("sim: satisfied"),
+        "no simulation verdict in: {report}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn reprovision_reports_epoch_churn_counters() {
     let dir = scratch("reprovision");
     let path = dir.join("drift.tsv");
