@@ -1,0 +1,65 @@
+//! Cold-solve benchmark: the full Stage-1 → grouping → Stage-2 pipeline,
+//! the sort-free arena path (rate-ranked GSP sweep + `TopicGroups`
+//! counting-sort grouping) versus the preserved pre-arena baseline
+//! (`mcss_bench::legacy::legacy_solve`: a `sort_unstable_by` per
+//! subscriber, a `Vec` per topic), on Spotify-like and Twitter-like
+//! traces.
+//!
+//! Output equivalence is asserted once per configuration before timing,
+//! so the comparison can never drift into measuring different algorithms.
+//!
+//! Size override: `MCSS_SOLVE_SUBS` (default 20000).
+
+use cloud_cost::instances;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcss_bench::legacy::legacy_solve;
+use mcss_bench::scenario::{env_size, Scenario};
+use mcss_core::stage1::{GreedySelectPairs, PairSelector};
+use mcss_core::stage2::{Allocator, CbpConfig, CustomBinPacking};
+use std::hint::black_box;
+
+fn bench_solve(c: &mut Criterion) {
+    let subs = env_size("MCSS_SOLVE_SUBS", 20_000);
+    let scenarios = [
+        Scenario::spotify(subs, 20140113),
+        Scenario::twitter(subs / 2, 20131030),
+    ];
+    for scenario in &scenarios {
+        let cost = scenario.cost_model(instances::C3_LARGE);
+        let mut group = c.benchmark_group(format!("solve/{}", scenario.name));
+        group.sample_size(10);
+        for tau in [100u64, 1000] {
+            let inst = scenario
+                .instance(tau, instances::C3_LARGE)
+                .expect("valid capacity");
+            let selector = GreedySelectPairs::new();
+            let packer = CustomBinPacking::new(CbpConfig::full());
+
+            // Equivalence gate: the two paths must agree bit for bit.
+            let (legacy_sel, legacy_alloc) = legacy_solve(&inst, &cost).expect("feasible");
+            let arena_sel = selector.select(&inst).expect("gsp");
+            let arena_alloc = packer
+                .allocate(inst.workload(), &arena_sel, inst.capacity(), &cost)
+                .expect("feasible");
+            assert_eq!(arena_sel, legacy_sel, "selection diverged at τ={tau}");
+            assert_eq!(arena_alloc, legacy_alloc, "allocation diverged at τ={tau}");
+
+            group.bench_with_input(BenchmarkId::new("legacy", tau), &inst, |b, inst| {
+                b.iter(|| black_box(legacy_solve(inst, &cost).expect("feasible")));
+            });
+            group.bench_with_input(BenchmarkId::new("arena", tau), &inst, |b, inst| {
+                b.iter(|| {
+                    let sel = selector.select(inst).expect("gsp");
+                    let alloc = packer
+                        .allocate(inst.workload(), &sel, inst.capacity(), &cost)
+                        .expect("feasible");
+                    black_box((sel, alloc))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_solve);
+criterion_main!(benches);

@@ -121,6 +121,13 @@ fn main() -> ExitCode {
     ));
     save(dir, "sharded_speedup.txt", &sharded);
 
+    let (solve_text, solve_json) =
+        experiments::fig_solve_speedup(&[&spotify, &twitter], instances::C3_LARGE, 100, 5);
+    let mut solve = String::from("== cold solve: arena vs legacy (Spotify + Twitter) ==\n");
+    solve.push_str(&solve_text);
+    save(dir, "solve_speedup.txt", &solve);
+    bench_writes_ok &= save_bench_json(Path::new("BENCH_solve.json"), &solve_json);
+
     let (churn_text, churn_json) =
         experiments::fig_churn_speedup(&spotify, instances::C3_LARGE, 100, 6);
     let mut churn = String::from("== churn-path repair vs full re-select (Spotify) ==\n");

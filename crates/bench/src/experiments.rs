@@ -458,6 +458,128 @@ pub fn fig_churn_speedup(
     (out, json)
 }
 
+/// Cold-solve speedup experiment (extension, not a paper figure): the
+/// sort-free arena pipeline (rate-ranked GSP sweep + `TopicGroups`
+/// counting-sort grouping into CBP) versus the preserved pre-arena path
+/// ([`crate::legacy::legacy_solve`]: a `sort_unstable_by` per subscriber
+/// and a `Vec` per topic), full Stage-1 → grouping → Stage-2 solves.
+///
+/// Every measured run asserts the two paths produce bit-identical
+/// selections **and** bit-identical allocations, so the reported speedup
+/// is for equivalent output. Returns the human-readable report and the
+/// machine-readable JSON document (`BENCH_solve.json`) with ns/solve per
+/// trace.
+pub fn fig_solve_speedup(
+    scenarios: &[&Scenario],
+    instance: InstanceType,
+    tau: u64,
+    reps: u32,
+) -> (String, String) {
+    assert!(reps > 0, "need at least one measured solve");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# cold solve, arena (sort-free) vs legacy (sort per subscriber), \
+         τ={tau}, {reps} solves per path"
+    );
+    let mut t = Table::new(vec![
+        "trace".into(),
+        "subs".into(),
+        "legacy ns/solve".into(),
+        "arena ns/solve".into(),
+        "speedup".into(),
+        "pairs".into(),
+        "VMs".into(),
+        "identical=".into(),
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for scenario in scenarios {
+        let cost = scenario.cost_model(instance);
+        let inst = scenario
+            .instance(tau, instance)
+            .expect("catalogued capacity is nonzero");
+        let selector = GreedySelectPairs::new();
+        let packer = CustomBinPacking::new(CbpConfig::full());
+
+        // One untimed warm-up per path primes allocator pools and caches.
+        let _ = crate::legacy::legacy_solve(&inst, &cost).expect("feasible scenario");
+        let _ = packer
+            .allocate(
+                inst.workload(),
+                &selector.select(&inst).expect("gsp"),
+                inst.capacity(),
+                &cost,
+            )
+            .expect("feasible scenario");
+
+        let (mut legacy_ns, mut arena_ns) = (0u128, 0u128);
+        let mut pairs = 0u64;
+        let mut vms = 0usize;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let (legacy_sel, legacy_alloc) =
+                crate::legacy::legacy_solve(&inst, &cost).expect("feasible scenario");
+            legacy_ns += t0.elapsed().as_nanos();
+
+            let t1 = Instant::now();
+            let arena_sel = selector.select(&inst).expect("gsp");
+            let arena_alloc = packer
+                .allocate(inst.workload(), &arena_sel, inst.capacity(), &cost)
+                .expect("feasible scenario");
+            arena_ns += t1.elapsed().as_nanos();
+
+            // Equivalent output, asserted per run — divergence aborts the
+            // experiment, so a written report always means "identical".
+            assert_eq!(
+                arena_sel, legacy_sel,
+                "{}: arena selection diverged from the legacy path",
+                scenario.name
+            );
+            assert_eq!(
+                arena_alloc, legacy_alloc,
+                "{}: arena allocation diverged from the legacy path",
+                scenario.name
+            );
+            pairs = arena_sel.pair_count();
+            vms = arena_alloc.vm_count();
+        }
+        let legacy_per = (legacy_ns / u128::from(reps)).max(1);
+        let arena_per = (arena_ns / u128::from(reps)).max(1);
+        let speedup = legacy_per as f64 / arena_per as f64;
+        let subs = scenario.workload.num_subscribers();
+        t.row(vec![
+            scenario.name.to_string(),
+            subs.to_string(),
+            legacy_per.to_string(),
+            arena_per.to_string(),
+            format!("{speedup:.2}x"),
+            pairs.to_string(),
+            vms.to_string(),
+            // Asserted above: a run that diverges never reaches here.
+            "true".to_string(),
+        ]);
+        json_rows.push(format!(
+            "    {{\"trace\": \"{}\", \"subscribers\": {subs}, \
+             \"legacy_ns_per_solve\": {legacy_per}, \"arena_ns_per_solve\": {arena_per}, \
+             \"speedup\": {speedup:.2}, \"pairs\": {pairs}, \"fleet_vms\": {vms}, \
+             \"identical_output\": true}}",
+            scenario.name
+        ));
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "# both paths produce bit-identical selections and allocations \
+         (asserted per run); speedup is legacy ns/solve over arena ns/solve"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"cold_solve\",\n  \"tau\": {tau},\n  \"reps\": {reps},\n  \
+         \"unit\": \"ns_per_solve\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    (out, json)
+}
+
 /// Mixed-fleet experiment (extension, not a paper figure): solve each
 /// scenario over the full c3 catalogue both ways — one heterogeneous
 /// fleet versus the best homogeneous instance type — and verify the
@@ -851,6 +973,20 @@ mod tests {
         assert!(json.contains("\"bench\": \"churn_epoch\""));
         assert!(json.contains("\"churn_pct\": 20"));
         assert!(json.contains("ns_per_epoch"));
+    }
+
+    #[test]
+    fn solve_speedup_report_runs_on_small_scenarios() {
+        let spotify = Scenario::spotify(400, 9);
+        let twitter = Scenario::twitter(300, 9);
+        let (text, json) = fig_solve_speedup(&[&spotify, &twitter], instances::C3_LARGE, 100, 2);
+        assert!(text.contains("legacy ns/solve"));
+        assert!(text.contains("spotify"));
+        assert!(text.contains("twitter"));
+        assert!(!text.contains("false"), "outputs diverged:\n{text}");
+        assert!(json.contains("\"bench\": \"cold_solve\""));
+        assert!(json.contains("\"identical_output\": true"));
+        assert!(json.contains("ns_per_solve"));
     }
 
     #[test]

@@ -1,27 +1,283 @@
-//! The pre-ledger epoch-repair implementation, preserved as the churn
-//! bench's baseline.
+//! Pre-optimization implementations, preserved verbatim as measured
+//! baselines.
 //!
-//! This is the old `IncrementalReallocator::step` hot path before the
-//! O(Δ) rework: a full GSP re-selection every epoch, per-subscriber
-//! clone+sort row diffs, `HashMap<TopicId, Vec<SubscriberId>>` VM tables
-//! repaired with `retain(|v| gone.contains(v))` scans, from-scratch
-//! `table_usage` recomputes, and linear `min_by_key` eviction sweeps. It
-//! exists so `benches/churn.rs` and the `fig_churn_speedup` experiment
-//! measure the new path against what actually shipped before — the
-//! "old full-reselect" side of the comparison — rather than against a
-//! baseline that quietly benefits from the new flat state.
+//! Two generations of hot path live here so the benches always compare
+//! the current code against **what actually shipped before**, not
+//! against a baseline that quietly benefits from the new flat state:
 //!
-//! Behaviourally it matches the current re-allocator where it matters
-//! for the comparison: same Stage-1 selection (bit-identical GSP), same
-//! repair policy (remove → evict cheapest-first → place co-host /
-//! most-free / fresh), same compaction rule.
+//! * [`LegacyReallocator`] — the pre-ledger epoch-repair path (full GSP
+//!   re-selection every epoch, per-subscriber clone+sort row diffs,
+//!   `HashMap<TopicId, Vec<SubscriberId>>` VM tables repaired with
+//!   `retain(|v| gone.contains(v))` scans, from-scratch `table_usage`
+//!   recomputes, linear `min_by_key` eviction sweeps), the baseline of
+//!   `benches/churn.rs` and `fig_churn_speedup`;
+//! * [`legacy_solve`] — the pre-arena **cold solve** path (per-subscriber
+//!   `sort_unstable_by` + chosen-bitmap greedy selection, dense
+//!   per-topic-`Vec` grouping feeding CustomBinPacking), the baseline of
+//!   `benches/solve.rs` and `fig_solve_speedup`.
+//!
+//! Behaviourally both match the current pipeline where it matters: the
+//! same selections bit for bit, the same packing decisions, the same
+//! repair policy — the experiments assert it, so every reported speedup
+//! is for *equivalent output*.
 
 use cloud_cost::CostModel;
-use mcss_core::stage1::{GreedySelectPairs, PairSelector};
-use mcss_core::stage2::{Allocator, CbpConfig, CustomBinPacking};
-use mcss_core::{Allocation, McssError, McssInstance, Selection};
-use pubsub_model::{Bandwidth, SubscriberId, TopicId, Workload};
-use std::collections::HashMap;
+use mcss_core::stage2::{cheaper_to_distribute, Allocator, CbpConfig, CustomBinPacking};
+use mcss_core::{Allocation, McssError, McssInstance, Selection, SelectionBuilder};
+use pubsub_model::{Bandwidth, Rate, SubscriberId, TopicId, Workload, WorkloadView};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// The pre-arena greedy Stage-1 selection: for every subscriber, clone
+/// the interest list, `sort_unstable_by` it into (descending rate,
+/// ascending id) order, sweep with a `chosen` bitmap, and pick the
+/// cheapest unchosen exceeder by a final filtered scan — the exact hot
+/// loop before the rate-ranked arena made the sweep sort-free.
+/// Bit-identical to `GreedySelectPairs` by construction.
+pub fn legacy_gsp_select(instance: &McssInstance) -> Selection {
+    let view = instance.workload().view();
+    let tau = instance.tau();
+    let n = view.num_subscribers();
+    let mut builder = SelectionBuilder::with_capacity(n, n);
+    let mut order: Vec<TopicId> = Vec::new();
+    let mut chosen: Vec<bool> = Vec::new();
+    for vi in 0..n {
+        let v = SubscriberId::new(vi as u32);
+        builder.push_row_with(|row| {
+            legacy_select_for_subscriber_into(view, v, tau, &mut order, &mut chosen, row)
+        });
+    }
+    builder.build()
+}
+
+fn legacy_select_for_subscriber_into(
+    view: WorkloadView<'_>,
+    v: SubscriberId,
+    tau: Rate,
+    order: &mut Vec<TopicId>,
+    chosen: &mut Vec<bool>,
+    out: &mut Vec<TopicId>,
+) {
+    let interests = view.interests(v);
+    if interests.is_empty() {
+        return;
+    }
+    let tau_v = view.tau_v(v, tau);
+    let total = view.subscriber_total_rate(v);
+    if total <= tau_v {
+        out.extend_from_slice(interests);
+        return;
+    }
+
+    // The per-subscriber sort the arena path eliminated.
+    order.clear();
+    order.extend_from_slice(interests);
+    order.sort_unstable_by(|&a, &b| view.rate(b).cmp(&view.rate(a)).then(a.cmp(&b)));
+
+    chosen.clear();
+    chosen.resize(order.len(), false);
+    let mut rem = tau_v;
+    for (i, &t) in order.iter().enumerate() {
+        if rem.is_zero() {
+            break;
+        }
+        let ev = view.rate(t);
+        if ev <= rem {
+            out.push(t);
+            chosen[i] = true;
+            rem = rem.saturating_sub(ev);
+        }
+    }
+    if !rem.is_zero() {
+        let cheapest_exceeder = order
+            .iter()
+            .zip(chosen.iter())
+            .filter(|(_, &c)| !c)
+            .map(|(&t, _)| t)
+            .min_by_key(|&t| (view.rate(t), t))
+            .expect("total > tau_v guarantees an unchosen topic remains");
+        out.push(cheapest_exceeder);
+    }
+}
+
+/// The pre-CSR topic grouping: one `Vec<SubscriberId>` allocated per
+/// topic of the universe, filled row-major, then filtered and collected
+/// into per-topic vectors — the allocation pattern `TopicGroups`
+/// replaced with two counting-sort passes over three flat buffers.
+pub fn legacy_group_by_topic(
+    selection: &Selection,
+    workload: &Workload,
+) -> Vec<(TopicId, Vec<SubscriberId>)> {
+    let mut groups: Vec<Vec<SubscriberId>> = vec![Vec::new(); workload.num_topics()];
+    for (vi, tv) in selection.rows().enumerate() {
+        let v = SubscriberId::new(vi as u32);
+        for &t in tv {
+            groups[t.index()].push(v);
+        }
+    }
+    groups
+        .into_iter()
+        .enumerate()
+        .filter(|(_, vs)| !vs.is_empty())
+        .map(|(ti, vs)| (TopicId::new(ti as u32), vs))
+        .collect()
+}
+
+/// One VM being filled by [`legacy_cbp_allocate`] — the same sorted-row
+/// state `CustomBinPacking` keeps internally, replicated here so the
+/// legacy packing loop stays decision-for-decision identical.
+#[derive(Default)]
+struct LegacyVm {
+    rows: Vec<(TopicId, Vec<SubscriberId>)>,
+    used: Bandwidth,
+}
+
+impl LegacyVm {
+    fn free(&self, capacity: Bandwidth) -> Bandwidth {
+        capacity.saturating_sub(self.used)
+    }
+
+    fn add_batch(&mut self, t: TopicId, rate: Rate, vs: &[SubscriberId]) {
+        if vs.is_empty() {
+            return;
+        }
+        let n = vs.len() as u64;
+        match self.rows.binary_search_by_key(&t, |&(tt, _)| tt) {
+            Ok(pos) => {
+                self.used += rate * n;
+                self.rows[pos].1.extend_from_slice(vs);
+            }
+            Err(pos) => {
+                self.used += rate * (n + 1);
+                self.rows.insert(pos, (t, vs.to_vec()));
+            }
+        }
+    }
+}
+
+/// The pre-CSR CustomBinPacking (full preset): identical packing
+/// decisions to today's CBP, fed by [`legacy_group_by_topic`]'s
+/// per-topic vectors instead of the `TopicGroups` CSR.
+///
+/// # Errors
+///
+/// [`McssError::InfeasibleTopic`] if a selected topic cannot fit on an
+/// empty VM.
+pub fn legacy_cbp_allocate(
+    workload: &Workload,
+    selection: &Selection,
+    capacity: Bandwidth,
+    cost: &dyn CostModel,
+) -> Result<Allocation, McssError> {
+    let mut groups = legacy_group_by_topic(selection, workload);
+    // Optimization (c), TotalVolume order (ties by ascending topic id;
+    // the sort is stable over the id-ordered groups).
+    groups.sort_by_key(|(t, vs)| Reverse(u128::from(workload.rate(*t).get()) * vs.len() as u128));
+
+    let mut vms: Vec<LegacyVm> = Vec::new();
+    let mut total_bw = Bandwidth::ZERO;
+    let mut free_heap: BinaryHeap<(Bandwidth, Reverse<usize>)> = BinaryHeap::new();
+
+    for (topic, subscribers) in &groups {
+        let rate = workload.rate(*topic);
+        if rate.pair_cost() > capacity {
+            return Err(McssError::InfeasibleTopic {
+                topic: *topic,
+                required: rate.pair_cost(),
+                capacity,
+            });
+        }
+
+        let all = u128::from(rate.get()) * (subscribers.len() as u128 + 1);
+        if let Some(current) = vms.last_mut() {
+            if all <= u128::from(current.free(capacity).get()) {
+                current.add_batch(*topic, rate, subscribers);
+                total_bw += rate * (subscribers.len() as u64 + 1);
+                free_heap.push((current.free(capacity), Reverse(vms.len() - 1)));
+                continue;
+            }
+        }
+
+        let mut remaining: &[SubscriberId] = subscribers;
+        let distribute = if vms.is_empty() {
+            false
+        } else {
+            // Optimization (e): the Alg. 7 cost comparison.
+            let frees: Vec<Bandwidth> = vms.iter().map(|vm| vm.free(capacity)).collect();
+            cheaper_to_distribute(
+                &frees,
+                capacity,
+                rate,
+                remaining.len() as u64,
+                vms.len(),
+                total_bw,
+                cost,
+                false,
+            )
+        };
+
+        if distribute {
+            // Optimization (d): most-free VM first via the lazy heap.
+            while !remaining.is_empty() {
+                let Some((free, Reverse(idx))) = free_heap.pop() else {
+                    break;
+                };
+                if vms[idx].free(capacity) != free {
+                    continue; // stale entry; the fresh one is queued
+                }
+                if free < rate.pair_cost() {
+                    free_heap.push((free, Reverse(idx)));
+                    break;
+                }
+                let fit = free.div_rate(rate) - 1;
+                let take = (fit as usize).min(remaining.len());
+                vms[idx].add_batch(*topic, rate, &remaining[..take]);
+                total_bw += rate * (take as u64 + 1);
+                free_heap.push((vms[idx].free(capacity), Reverse(idx)));
+                remaining = &remaining[take..];
+            }
+        }
+
+        while !remaining.is_empty() {
+            let mut vm = LegacyVm::default();
+            let fit = capacity.div_rate(rate) - 1; // ≥ 1 by feasibility
+            let take = (fit as usize).min(remaining.len());
+            vm.add_batch(*topic, rate, &remaining[..take]);
+            total_bw += rate * (take as u64 + 1);
+            vms.push(vm);
+            free_heap.push((
+                vms.last().expect("just pushed").free(capacity),
+                Reverse(vms.len() - 1),
+            ));
+            remaining = &remaining[take..];
+        }
+    }
+
+    Ok(Allocation::from_groups(
+        vms.into_iter().map(|vm| vm.rows).collect(),
+        workload,
+        capacity,
+    ))
+}
+
+/// The full pre-arena cold solve: [`legacy_gsp_select`] +
+/// [`legacy_cbp_allocate`] — Stage 1 with a sort per subscriber, Stage 2
+/// with a `Vec` allocation per topic. `fig_solve_speedup` asserts its
+/// output bit-identical to today's pipeline every measured run.
+///
+/// # Errors
+///
+/// [`McssError::InfeasibleTopic`] if a selected topic cannot fit on an
+/// empty VM.
+pub fn legacy_solve(
+    instance: &McssInstance,
+    cost: &dyn CostModel,
+) -> Result<(Selection, Allocation), McssError> {
+    let selection = legacy_gsp_select(instance);
+    let allocation =
+        legacy_cbp_allocate(instance.workload(), &selection, instance.capacity(), cost)?;
+    Ok((selection, allocation))
+}
 
 /// One legacy epoch's outcome (the counters the bench reports).
 #[derive(Clone, Debug)]
@@ -67,7 +323,9 @@ impl LegacyReallocator {
     ) -> Result<LegacyOutcome, McssError> {
         let workload = instance.workload();
         let capacity = instance.capacity();
-        let selection = GreedySelectPairs::new().select(instance)?;
+        // The pre-arena GSP (sort per subscriber) — what epoch repair ran
+        // before either rework; bit-identical to today's selection.
+        let selection = legacy_gsp_select(instance);
 
         let Some(prev) = self.previous.take() else {
             let allocation = full_allocate(instance, &selection, cost)?;
@@ -311,6 +569,40 @@ mod tests {
     use mcss_core::dynamic::DriftModel;
     use mcss_core::incremental::IncrementalReallocator;
     use pubsub_model::Rate;
+
+    /// The legacy cold solve must agree with the arena pipeline bit for
+    /// bit — selection *and* allocation — otherwise `fig_solve_speedup`
+    /// compares different algorithms, not implementations.
+    #[test]
+    fn legacy_cold_solve_bit_identical_to_arena_path() {
+        use mcss_core::stage1::{GreedySelectPairs, PairSelector};
+        let mut b = Workload::builder();
+        let ts: Vec<TopicId> = [30u64, 18, 18, 12, 9, 6, 4, 4]
+            .iter()
+            .map(|&r| b.add_topic(Rate::new(r)).unwrap())
+            .collect();
+        for vi in 0..40u32 {
+            let tv: Vec<TopicId> = ts
+                .iter()
+                .copied()
+                .filter(|t| (t.raw() * 3 + vi) % 4 != 0)
+                .collect();
+            b.add_subscriber(tv).unwrap();
+        }
+        let w = b.build();
+        let cost = LinearCostModel::new(Money::from_dollars(1), Money::from_micros(1));
+        for tau in [10u64, 25, 60] {
+            let inst = McssInstance::new(w.clone(), Rate::new(tau), Bandwidth::new(150)).unwrap();
+            let (legacy_sel, legacy_alloc) = legacy_solve(&inst, &cost).unwrap();
+            let arena_sel = GreedySelectPairs::new().select(&inst).unwrap();
+            let arena_alloc = CustomBinPacking::new(CbpConfig::full())
+                .allocate(inst.workload(), &arena_sel, inst.capacity(), &cost)
+                .unwrap();
+            assert_eq!(legacy_sel, arena_sel, "tau {tau}: selections diverged");
+            assert_eq!(legacy_alloc, arena_alloc, "tau {tau}: allocations diverged");
+            legacy_alloc.validate(inst.workload(), inst.tau()).unwrap();
+        }
+    }
 
     /// The legacy baseline must agree with the new path — otherwise the
     /// bench compares different algorithms, not implementations.

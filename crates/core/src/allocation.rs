@@ -502,18 +502,36 @@ impl Allocation {
     /// Rate delivered to each subscriber, counting a pair once even if
     /// (contrary to our packers' behaviour) it appears on several VMs —
     /// the `max_b x_tvb` semantics of Eq. 3.
+    ///
+    /// Cross-VM dedup is one bit per workload interest pair, indexed
+    /// through [`Workload::pair_index`] — a flat bitmap over the interest
+    /// arena instead of a hash set per subscriber. Pairs outside the
+    /// interest relation (possible only on invalid input; `validate`
+    /// rejects them separately) fall back to a sorted list so they still
+    /// count exactly once.
     pub fn delivered_rates(&self, workload: &Workload) -> Vec<Rate> {
-        let mut seen: Vec<HashMap<TopicId, ()>> = Vec::new();
-        seen.resize_with(workload.num_subscribers(), HashMap::new);
+        let mut seen = vec![false; workload.pair_count() as usize];
+        let mut foreign: Vec<(SubscriberId, TopicId)> = Vec::new();
         let mut delivered = vec![Rate::ZERO; workload.num_subscribers()];
         for vm in &self.vms {
             for p in vm.placements() {
                 for &v in &p.subscribers {
-                    if seen[v.index()].insert(p.topic, ()).is_none() {
-                        delivered[v.index()] += workload.rate(p.topic);
+                    match workload.pair_index(v, p.topic) {
+                        Some(i) => {
+                            if !seen[i] {
+                                seen[i] = true;
+                                delivered[v.index()] += workload.rate(p.topic);
+                            }
+                        }
+                        None => foreign.push((v, p.topic)),
                     }
                 }
             }
+        }
+        foreign.sort_unstable();
+        foreign.dedup();
+        for (v, t) in foreign {
+            delivered[v.index()] += workload.rate(t);
         }
         delivered
     }

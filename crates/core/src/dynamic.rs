@@ -120,7 +120,14 @@ impl DriftModel {
                 tv
             })
             .collect();
-        (Workload::from_parts(rates, interests), delta)
+        // The evolved workload is rebuilt against the previous one: the
+        // delta's changed subscribers (an over-approximation that never
+        // misses a change — exactly the `from_parts_evolved` contract)
+        // tell the model which rate-ranked rows to re-sort; every other
+        // row's ranked order is copied verbatim.
+        let evolved =
+            Workload::from_parts_evolved(workload, rates, interests, &delta.changed_subscribers);
+        (evolved, delta)
     }
 }
 

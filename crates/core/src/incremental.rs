@@ -35,14 +35,14 @@
 use crate::dynamic::WorkloadDelta;
 use crate::ledger::FleetLedger;
 use crate::shard::{ShardedSolver, ShardingConfig};
-use crate::stage1::{select_for_subscriber_into, GreedySelectPairs, PairSelector, SelectScratch};
+use crate::stage1::{select_for_subscriber_into, GreedySelectPairs, PairSelector};
 use crate::stage2::{Allocator, CbpConfig, CustomBinPacking, MixedFleetPacker};
 use crate::{
     Allocation, McssError, McssInstance, Selection, SelectionBuilder, SelectionDiff, SolverParams,
+    TopicGroups,
 };
 use cloud_cost::{CostModel, FleetCostModel};
 use pubsub_model::{Bandwidth, Rate, SubscriberId, TopicId, Workload};
-use std::collections::HashMap;
 
 /// Configuration for [`IncrementalReallocator`].
 #[derive(Clone, Copy, Debug)]
@@ -377,15 +377,12 @@ impl IncrementalReallocator {
         // --- Stage 1: re-select dirty rows, reuse the rest -------------
         let view = workload.view();
         let mut builder = SelectionBuilder::with_capacity(n, prev.selection.pair_count() as usize);
-        let mut scratch = SelectScratch::default();
         let mut pairs_reused = 0u64;
         let mut vi = 0usize;
         while vi < n {
             if dirty[vi] {
                 let v = SubscriberId::new(vi as u32);
-                builder.push_row_with(|row| {
-                    select_for_subscriber_into(view, v, tau, &mut scratch, row)
-                });
+                builder.push_row_with(|row| select_for_subscriber_into(view, v, tau, row));
                 vi += 1;
             } else {
                 // Runs of clean subscribers copy as one block (a clean
@@ -438,15 +435,11 @@ impl IncrementalReallocator {
         let pairs_evicted = prev.ledger.evict_overflowing(workload, &mut to_place);
         let pairs_placed = to_place.len() as u64;
 
-        // Group the work by topic and place: host VMs first, then
-        // most-free, then fresh VMs.
-        let mut groups: HashMap<TopicId, Vec<SubscriberId>> = HashMap::new();
-        for (t, v) in to_place {
-            groups.entry(t).or_default().push(v);
-        }
-        let mut group_list: Vec<(TopicId, Vec<SubscriberId>)> = groups.into_iter().collect();
-        group_list.sort_unstable_by_key(|(t, _)| *t);
-        for (topic, mut subs) in group_list {
+        // Group the work by topic (counting-sort CSR inversion, ascending
+        // topic order) and place: host VMs first, then most-free, then
+        // fresh VMs.
+        let groups = TopicGroups::from_pairs(&to_place, workload.num_topics());
+        for (topic, subs) in groups.iter() {
             let rate = workload.rate(topic);
             if rate.pair_cost() > capacity {
                 return Err(McssError::InfeasibleTopic {
@@ -455,7 +448,7 @@ impl IncrementalReallocator {
                     capacity,
                 });
             }
-            prev.ledger.place_group(topic, rate, &mut subs, capacity);
+            prev.ledger.place_group(topic, rate, subs, capacity);
         }
 
         // Release empty VMs and check the compaction floor.

@@ -385,7 +385,7 @@ impl FleetLedger {
         evicted
     }
 
-    /// Places one topic group, draining `subs`: VMs already hosting the
+    /// Places one topic group from a subscriber slice: VMs already hosting the
     /// topic first (marginal cost `ev` per pair), then most-free VMs via
     /// the lazy heap (`(k+1)·ev`), then fresh VMs (tombstoned slots are
     /// reused lowest-first). `capacity` sizes fresh VMs on untyped
@@ -397,7 +397,7 @@ impl FleetLedger {
         &mut self,
         t: TopicId,
         rate: Rate,
-        subs: &mut Vec<SubscriberId>,
+        mut subs: &[SubscriberId],
         capacity: Bandwidth,
     ) {
         debug_assert!(
@@ -421,7 +421,9 @@ impl FleetLedger {
                 .binary_search_by_key(&t, |&(tt, _)| tt)
                 .expect("reverse index names a host");
             let row = &mut self.rows[slot][pos].1;
-            for v in subs.drain(..take) {
+            let (head, rest) = subs.split_at(take);
+            subs = rest;
+            for &v in head {
                 let at = row.binary_search(&v).unwrap_or_else(|at| at);
                 row.insert(at, v);
             }
@@ -464,7 +466,9 @@ impl FleetLedger {
             }
             let was_empty = self.rows[slot].len() == 1 && self.rows[slot][0].1.is_empty();
             let row = &mut self.rows[slot][pos].1;
-            for v in subs.drain(..take) {
+            let (head, rest) = subs.split_at(take);
+            subs = rest;
+            for &v in head {
                 let at = row.binary_search(&v).unwrap_or_else(|at| at);
                 row.insert(at, v);
             }
@@ -481,7 +485,9 @@ impl FleetLedger {
         while !subs.is_empty() {
             let vm_cap = self.fresh_vm_capacity(rate, subs.len(), capacity);
             let take = ((vm_cap.div_rate(rate) - 1) as usize).min(subs.len());
-            let mut moved: Vec<SubscriberId> = subs.drain(..take).collect();
+            let (head, rest) = subs.split_at(take);
+            subs = rest;
+            let mut moved: Vec<SubscriberId> = head.to_vec();
             moved.sort_unstable();
             let used = rate * (take as u64 + 1);
             let slot = match self.free_slots.pop() {
@@ -713,10 +719,10 @@ mod tests {
             &w,
             cap,
         );
-        let mut subs = vec![v(3), v(4), v(5), v(6), v(7), v(8), v(9), v(10)];
-        ledger.place_group(t(0), Rate::new(10), &mut subs, cap);
-        assert!(subs.is_empty());
+        let subs = vec![v(3), v(4), v(5), v(6), v(7), v(8), v(9), v(10)];
+        ledger.place_group(t(0), Rate::new(10), &subs, cap);
         let a = ledger.to_allocation(cap);
+        assert_eq!(a.pair_count(), 5 + subs.len() as u64, "all pairs placed");
         // Co-host takes 2 (24/10), most-free VM1 takes 4 (58/10 − 1),
         // fresh VM takes the remaining 2.
         assert_eq!(a.vm_count(), 3);
@@ -744,12 +750,12 @@ mod tests {
         assert_eq!(ledger.release_empty(), 1);
         assert_eq!(ledger.vm_count(), 1);
         // A fresh placement must first fill the co-host, then reuse slot 0.
-        let mut subs = (5..14).map(v).collect::<Vec<_>>();
-        ledger.place_group(t(0), Rate::new(10), &mut subs, cap);
-        assert!(subs.is_empty());
+        let subs = (5..14).map(v).collect::<Vec<_>>();
+        ledger.place_group(t(0), Rate::new(10), &subs, cap);
         assert_eq!(ledger.vm_count(), 2);
         let a = ledger.to_allocation(cap);
         assert_eq!(a.vm_count(), 2);
+        assert_eq!(a.pair_count(), 4 + subs.len() as u64, "all pairs placed");
     }
 
     #[test]
@@ -833,9 +839,8 @@ mod tests {
         // the most-free heap must rank VM1 (free 24) by *headroom*; the
         // co-host VM1 takes 2 (24/10), spill takes VM0's 18 → 1 pair,
         // fresh VMs host the rest on the cheapest tier that fits whole.
-        let mut subs = (3..11).map(v).collect::<Vec<_>>();
-        ledger.place_group(t(0), Rate::new(10), &mut subs, Bandwidth::new(64));
-        assert!(subs.is_empty());
+        let subs = (3..11).map(v).collect::<Vec<_>>();
+        ledger.place_group(t(0), Rate::new(10), &subs, Bandwidth::new(64));
         let out = ledger.to_allocation(Bandwidth::new(64));
         out.validate(&w, Rate::ZERO).unwrap();
         for (i, vm) in out.vms().iter().enumerate() {
@@ -868,11 +873,11 @@ mod tests {
         let mut ledger = FleetLedger::from_allocation(&typed);
 
         // A 6-pair group (whole = 70) only fits the big tier.
-        let mut subs = (2..8).map(v).collect::<Vec<_>>();
-        ledger.place_group(t(0), Rate::new(10), &mut subs, Bandwidth::new(100));
-        assert!(subs.is_empty());
+        let subs = (2..8).map(v).collect::<Vec<_>>();
+        ledger.place_group(t(0), Rate::new(10), &subs, Bandwidth::new(100));
         let out = ledger.to_allocation(Bandwidth::new(100));
         out.validate(&w, Rate::ZERO).unwrap();
+        assert_eq!(out.pair_count(), 2 + subs.len() as u64, "all pairs placed");
         let typing = out.typing().expect("typed ledger exports typing");
         // Fleet now holds the original small VM plus one big VM.
         assert_eq!(typing.tier_counts(), vec![1, 1]);

@@ -88,7 +88,7 @@ pub use pipeline::{
     Solver, SolverParams,
 };
 pub use problem::McssInstance;
-pub use selection::{Selection, SelectionBuilder, SelectionDiff};
+pub use selection::{Selection, SelectionBuilder, SelectionDiff, TopicGroups};
 pub use shard::{
     partition_subscribers, MergeStats, PartitionerKind, ShardedOutcome, ShardedSolver,
     ShardingConfig,

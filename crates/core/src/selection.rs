@@ -189,29 +189,230 @@ impl Selection {
             .all(|v| self.delivered_rate(view.workload(), v) >= view.tau_v(v, tau))
     }
 
-    /// Groups the selected pairs by topic: `(t, subscribers of t in S)`,
-    /// ordered by topic id, only topics with at least one selected pair.
-    /// Subscriber ids are mapped through `view` to arena ids. This is the
-    /// "grouping of pairs" optimization (b) of §III-B.
+    /// Groups the selected pairs by topic as a [`TopicGroups`] CSR
+    /// inversion: `(t, subscribers of t in S)`, ordered by topic id, only
+    /// topics with at least one selected pair. Subscriber ids are mapped
+    /// through `view` to arena ids. This is the "grouping of pairs"
+    /// optimization (b) of §III-B, built by two counting-sort passes over
+    /// the selection arena — no hashing, no per-topic `Vec` allocation.
+    pub fn topic_groups<'a>(&self, view: impl Into<WorkloadView<'a>>) -> TopicGroups {
+        let view = view.into();
+        // Pass 1: size each topic's group, then compact into the group
+        // index (counts become write cursors).
+        let mut cursor = vec![0usize; view.num_topics()];
+        for &t in &self.topics {
+            cursor[t.index()] += 1;
+        }
+        let (topics, offsets) = compact_group_index(&mut cursor);
+        // Pass 2: scatter arena subscriber ids in row-major selection
+        // order, so each group lists its subscribers exactly as the
+        // selection visits them.
+        let mut subscribers = vec![SubscriberId::new(0); *offsets.last().expect("leading 0")];
+        for (vi, tv) in self.rows().enumerate() {
+            let v = view.global(SubscriberId::new(vi as u32));
+            for &t in tv {
+                subscribers[cursor[t.index()]] = v;
+                cursor[t.index()] += 1;
+            }
+        }
+        TopicGroups {
+            topics,
+            offsets,
+            subscribers,
+        }
+    }
+
+    /// [`Selection::topic_groups`] materialized as per-topic vectors —
+    /// the allocation-heavy shape, kept for callers that need owned
+    /// groups; hot paths consume the [`TopicGroups`] CSR directly.
     pub fn group_by_topic<'a>(
         &self,
         view: impl Into<WorkloadView<'a>>,
     ) -> Vec<(TopicId, Vec<SubscriberId>)> {
-        let view = view.into();
-        let mut groups: Vec<Vec<SubscriberId>> = vec![Vec::new(); view.num_topics()];
-        for (vi, tv) in self.rows().enumerate() {
-            let v = view.global(SubscriberId::new(vi as u32));
-            for &t in tv {
-                groups[t.index()].push(v);
-            }
-        }
-        groups
-            .into_iter()
-            .enumerate()
-            .filter(|(_, vs)| !vs.is_empty())
-            .map(|(ti, vs)| (TopicId::new(ti as u32), vs))
+        self.topic_groups(view)
+            .iter()
+            .map(|(t, vs)| (t, vs.to_vec()))
             .collect()
     }
+}
+
+/// CSR inversion of a pair list: subscribers grouped by topic, topics in
+/// ascending id order, one flat subscriber arena plus group offsets.
+///
+/// This is the layout Stage-2 packers and the incremental repairer walk:
+/// `group_by_topic`'s per-topic `Vec`s and the repairer's
+/// `HashMap<TopicId, Vec<SubscriberId>>` both collapse into two
+/// counting-sort passes and three flat buffers.
+///
+/// ```
+/// use mcss_core::{Selection, TopicGroups};
+/// use pubsub_model::{Rate, SubscriberId, TopicId, Workload};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = Workload::builder();
+/// let t0 = b.add_topic(Rate::new(10))?;
+/// let t1 = b.add_topic(Rate::new(5))?;
+/// let v0 = b.add_subscriber([t0, t1])?;
+/// let v1 = b.add_subscriber([t1])?;
+/// let w = b.build();
+///
+/// let s = Selection::from_per_subscriber(vec![vec![t1, t0], vec![t1]]);
+/// let groups = s.topic_groups(&w);
+/// assert_eq!(groups.len(), 2);
+/// assert_eq!(groups.topic(0), t0);
+/// assert_eq!(groups.subscribers(0), &[v0]);
+/// assert_eq!(groups.subscribers(1), &[v0, v1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopicGroups {
+    /// Topics with at least one pair, ascending.
+    topics: Vec<TopicId>,
+    /// `offsets[g]..offsets[g + 1]` delimits group `g` in `subscribers`.
+    offsets: Vec<usize>,
+    /// Flat subscriber arena, groups concatenated in topic order.
+    subscribers: Vec<SubscriberId>,
+}
+
+impl TopicGroups {
+    /// Groups a flat pair list by topic: topics ascending, each group's
+    /// subscribers in list order — the same output shape as
+    /// [`Selection::topic_groups`]. Every topic index must be below
+    /// `num_topics`.
+    ///
+    /// Dense lists group by the two counting-sort passes; a list tiny
+    /// relative to the topic universe (the O(Δ) churn path's case) is
+    /// stably sorted instead, so the cost tracks the pairs, never `|T|`.
+    pub fn from_pairs(pairs: &[(TopicId, SubscriberId)], num_topics: usize) -> TopicGroups {
+        if pairs.len() * 8 < num_topics {
+            return TopicGroups::from_sparse_pairs(pairs);
+        }
+        let mut cursor = vec![0usize; num_topics];
+        for &(t, _) in pairs {
+            cursor[t.index()] += 1;
+        }
+        let (topics, offsets) = compact_group_index(&mut cursor);
+        let mut subscribers = vec![SubscriberId::new(0); pairs.len()];
+        for &(t, v) in pairs {
+            subscribers[cursor[t.index()]] = v;
+            cursor[t.index()] += 1;
+        }
+        TopicGroups {
+            topics,
+            offsets,
+            subscribers,
+        }
+    }
+
+    /// `O(Δ log Δ)` twin of the counting-sort grouping for pair lists much
+    /// smaller than the topic universe: a *stable* sort by topic keeps
+    /// each group's subscribers in list order, so the output is
+    /// bit-identical to the counting-sort path.
+    fn from_sparse_pairs(pairs: &[(TopicId, SubscriberId)]) -> TopicGroups {
+        let mut sorted: Vec<(TopicId, SubscriberId)> = pairs.to_vec();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut topics: Vec<TopicId> = Vec::new();
+        let mut offsets = vec![0usize];
+        let mut subscribers = Vec::with_capacity(sorted.len());
+        for (t, v) in sorted {
+            if topics.last() != Some(&t) {
+                if !topics.is_empty() {
+                    offsets.push(subscribers.len());
+                }
+                topics.push(t);
+            }
+            subscribers.push(v);
+        }
+        if !topics.is_empty() {
+            offsets.push(subscribers.len());
+        }
+        TopicGroups {
+            topics,
+            offsets,
+            subscribers,
+        }
+    }
+
+    /// Number of non-empty topic groups.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// `true` when no pair was grouped.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.topics.is_empty()
+    }
+
+    /// Total pairs across all groups.
+    #[inline]
+    pub fn pair_count(&self) -> u64 {
+        self.subscribers.len() as u64
+    }
+
+    /// The topic of group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    #[inline]
+    pub fn topic(&self, g: usize) -> TopicId {
+        self.topics[g]
+    }
+
+    /// The subscribers of group `g`, in selection order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    #[inline]
+    pub fn subscribers(&self, g: usize) -> &[SubscriberId] {
+        &self.subscribers[self.offsets[g]..self.offsets[g + 1]]
+    }
+
+    /// Iterates `(topic, subscribers)` in ascending topic order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (TopicId, &[SubscriberId])> + '_ {
+        (0..self.len()).map(|g| (self.topic(g), self.subscribers(g)))
+    }
+
+    /// Group-index permutation in decreasing total remaining volume
+    /// (`ev_t · |pairs|`), ties by ascending topic id — CBP optimization
+    /// (c)'s processing order, shared by every packer that consumes the
+    /// CSR directly.
+    pub fn order_by_total_volume(&self, view: WorkloadView<'_>) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.len() as u32).collect();
+        order.sort_by_key(|&g| {
+            let g = g as usize;
+            std::cmp::Reverse(
+                u128::from(view.rate(self.topic(g)).get()) * self.subscribers(g).len() as u128,
+            )
+        });
+        order
+    }
+}
+
+/// Compacts a per-topic count array into the group index — non-empty
+/// topics (ascending) plus group offsets — while rewriting the counts
+/// into global write cursors for the scatter pass. Shared by both
+/// [`TopicGroups`] constructors.
+fn compact_group_index(cursor: &mut [usize]) -> (Vec<TopicId>, Vec<usize>) {
+    let present = cursor.iter().filter(|&&c| c > 0).count();
+    let mut topics = Vec::with_capacity(present);
+    let mut offsets = Vec::with_capacity(present + 1);
+    offsets.push(0usize);
+    let mut total = 0usize;
+    for (ti, slot) in cursor.iter_mut().enumerate() {
+        let count = *slot;
+        *slot = total;
+        if count > 0 {
+            topics.push(TopicId::new(ti as u32));
+            total += count;
+            offsets.push(total);
+        }
+    }
+    (topics, offsets)
 }
 
 /// Row-by-row [`Selection`] assembler writing straight into the CSR
@@ -449,6 +650,66 @@ mod tests {
         );
         assert_eq!(groups[1].0, t(2));
         assert_eq!(groups[1].1, vec![SubscriberId::new(0)]);
+    }
+
+    #[test]
+    fn topic_groups_inversion_matches_grouping() {
+        let w = workload();
+        let s = Selection::from_per_subscriber(vec![vec![t(2), t(1)], vec![t(1)]]);
+        let groups = s.topic_groups(&w);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups.pair_count(), 3);
+        assert_eq!(groups.topic(0), t(1));
+        assert_eq!(
+            groups.subscribers(0),
+            &[SubscriberId::new(0), SubscriberId::new(1)]
+        );
+        assert_eq!(groups.topic(1), t(2));
+        assert_eq!(groups.subscribers(1), &[SubscriberId::new(0)]);
+        // The owned wrapper agrees element for element.
+        let owned = s.group_by_topic(&w);
+        assert_eq!(owned.len(), groups.len());
+        for ((ot, ovs), (gt, gvs)) in owned.iter().zip(groups.iter()) {
+            assert_eq!(*ot, gt);
+            assert_eq!(ovs.as_slice(), gvs);
+        }
+    }
+
+    #[test]
+    fn topic_groups_from_pairs_preserves_list_order() {
+        let v = SubscriberId::new;
+        let pairs = vec![(t(3), v(5)), (t(1), v(2)), (t(3), v(0)), (t(1), v(9))];
+        let groups = TopicGroups::from_pairs(&pairs, 5);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups.topic(0), t(1));
+        assert_eq!(groups.subscribers(0), &[v(2), v(9)]);
+        assert_eq!(groups.topic(1), t(3));
+        assert_eq!(groups.subscribers(1), &[v(5), v(0)]);
+        let empty = TopicGroups::from_pairs(&[], 5);
+        assert!(empty.is_empty());
+        assert_eq!(empty.pair_count(), 0);
+    }
+
+    #[test]
+    fn sparse_pair_grouping_matches_counting_sort() {
+        // A pair list tiny relative to the topic universe takes the
+        // stable-sort path; force both paths over the same input by
+        // varying `num_topics` and compare.
+        let v = SubscriberId::new;
+        let pairs = vec![
+            (t(900), v(5)),
+            (t(3), v(2)),
+            (t(900), v(0)),
+            (t(3), v(9)),
+            (t(41), v(1)),
+        ];
+        let sparse = TopicGroups::from_pairs(&pairs, 1_000_000); // sorted path
+        let dense = TopicGroups::from_pairs(&pairs, 1_000); // counting path
+        assert_eq!(sparse, dense);
+        assert_eq!(sparse.len(), 3);
+        assert_eq!(sparse.subscribers(0), &[v(2), v(9)]);
+        assert_eq!(sparse.subscribers(2), &[v(5), v(0)]);
+        assert!(TopicGroups::from_pairs(&[], 1_000_000).is_empty());
     }
 
     #[test]

@@ -152,30 +152,35 @@ pub fn partition_subscribers(
         }
         PartitionerKind::TopicLocality => {
             // Anchor each subscriber to its loudest interest (ties to the
-            // lowest topic id; interests are sorted, so the first maximum
-            // wins). Anchorless subscribers balance in afterwards.
-            let mut groups: HashMap<TopicId, Vec<SubscriberId>> = HashMap::new();
+            // lowest topic id) — the head of its rate-ranked row, an O(1)
+            // lookup. Anchor groups invert through the shared counting-
+            // sort CSR (no hashing, no per-topic Vecs); anchorless
+            // subscribers balance in afterwards.
+            let mut pairs: Vec<(TopicId, SubscriberId)> =
+                Vec::with_capacity(workload.num_subscribers());
             let mut anchorless: Vec<SubscriberId> = Vec::new();
             for v in workload.subscribers() {
-                let anchor = workload
-                    .interests(v)
-                    .iter()
-                    .copied()
-                    .max_by_key(|&t| (workload.rate(t), Reverse(t)));
-                match anchor {
-                    Some(t) => groups.entry(t).or_default().push(v),
+                match workload.ranked_interests(v).first() {
+                    Some(&t) => pairs.push((t, v)),
                     None => anchorless.push(v),
                 }
             }
+            let groups = crate::TopicGroups::from_pairs(&pairs, workload.num_topics());
             // Largest group first onto the least-loaded shard (LPT), ties
             // by topic id then shard index — deterministic.
-            let mut ordered: Vec<(TopicId, Vec<SubscriberId>)> = groups.into_iter().collect();
-            ordered.sort_unstable_by_key(|(t, vs)| (Reverse(vs.len()), *t));
+            let mut ordered: Vec<u32> = (0..groups.len() as u32).collect();
+            ordered.sort_unstable_by_key(|&g| {
+                (
+                    Reverse(groups.subscribers(g as usize).len()),
+                    groups.topic(g as usize),
+                )
+            });
             let mut load = vec![0usize; shards];
-            for (_, vs) in ordered {
+            for g in ordered {
+                let vs = groups.subscribers(g as usize);
                 let target = least_loaded(&load);
                 load[target] += vs.len();
-                parts[target].extend(vs);
+                parts[target].extend_from_slice(vs);
             }
             for v in anchorless {
                 let target = least_loaded(&load);

@@ -26,6 +26,12 @@ use pubsub_model::{Rate, SubscriberId, TopicId, WorkloadView};
 /// need, and the smallest has the best ratio). The sweep provably picks
 /// the same set as the literal greedy under our tie-break.
 ///
+/// The sweep is **sort-free**: it walks the workload's rate-ranked
+/// interest arena ([`WorkloadView::ranked_interests`]), which stores every
+/// row pre-sorted in exactly the (descending rate, ascending id) order the
+/// greedy needs, and tracks the cheapest skipped exceeder inline — no
+/// per-subscriber `sort_unstable`, no scratch buffers, no chosen bitmap.
+///
 /// Subscribers are independent, so selection parallelizes losslessly:
 /// [`GreedySelectPairs::with_threads`] splits them over scoped threads and
 /// produces bit-identical output to the sequential run.
@@ -67,12 +73,9 @@ impl PairSelector for GreedySelectPairs {
 
         if self.threads <= 1 || n < 2 * self.threads {
             let mut builder = SelectionBuilder::with_capacity(n, n);
-            let mut scratch = SelectScratch::default();
             for vi in 0..n {
                 let v = SubscriberId::new(vi as u32);
-                builder.push_row_with(|row| {
-                    select_for_subscriber_into(view, v, tau, &mut scratch, row)
-                });
+                builder.push_row_with(|row| select_for_subscriber_into(view, v, tau, row));
             }
             return Ok(builder.build());
         }
@@ -89,12 +92,9 @@ impl PairSelector for GreedySelectPairs {
                 let end = (start + chunk).min(n);
                 scope.spawn(move || {
                     let mut builder = SelectionBuilder::with_capacity(end - start, end - start);
-                    let mut scratch = SelectScratch::default();
                     for vi in start..end {
                         let v = SubscriberId::new(vi as u32);
-                        builder.push_row_with(|row| {
-                            select_for_subscriber_into(view, v, tau, &mut scratch, row)
-                        });
+                        builder.push_row_with(|row| select_for_subscriber_into(view, v, tau, row));
                     }
                     *slot = Some(builder);
                 });
@@ -108,68 +108,54 @@ impl PairSelector for GreedySelectPairs {
     }
 }
 
-/// Reusable per-thread buffers for [`select_for_subscriber_into`]: the
-/// descending topic order and the chosen flags.
-#[derive(Clone, Debug, Default)]
-pub(crate) struct SelectScratch {
-    order: Vec<TopicId>,
-    chosen: Vec<bool>,
-}
-
 /// One subscriber's greedy selection (Alg. 1 + Alg. 2 inner loop, via the
 /// descending sweep described on [`GreedySelectPairs`]), appended to
 /// `out`. `v` is in the view's local numbering.
+///
+/// Pure linear sweep over the rate-ranked interest arena: topics that fit
+/// the remaining need are taken in place; skipped topics only ever get
+/// cheaper along the row, so the cheapest skipped exceeder — the fallback
+/// pick when the sweep ends short — is tracked in one register (first
+/// strict improvement wins, which preserves the lowest-id tie-break
+/// because equal-rate topics arrive in ascending id order).
 pub(crate) fn select_for_subscriber_into(
     view: WorkloadView<'_>,
     v: SubscriberId,
     tau: Rate,
-    scratch: &mut SelectScratch,
     out: &mut Vec<TopicId>,
 ) {
-    let interests = view.interests(v);
-    if interests.is_empty() {
+    let ranked = view.ranked_interests(v);
+    if ranked.is_empty() {
         return;
     }
     let tau_v = view.tau_v(v, tau);
     let total = view.subscriber_total_rate(v);
     if total <= tau_v {
         // τ_v = min(τ, total): everything is needed.
-        out.extend_from_slice(interests);
+        out.extend_from_slice(view.interests(v));
         return;
     }
 
-    // Descending (rate, then ascending id) order.
-    let order = &mut scratch.order;
-    order.clear();
-    order.extend_from_slice(interests);
-    order.sort_unstable_by(|&a, &b| view.rate(b).cmp(&view.rate(a)).then(a.cmp(&b)));
-
-    let chosen = &mut scratch.chosen;
-    chosen.clear();
-    chosen.resize(order.len(), false);
     let mut rem = tau_v;
-    for (i, &t) in order.iter().enumerate() {
+    let mut cheapest_skipped: Option<(Rate, TopicId)> = None;
+    for &t in ranked {
         if rem.is_zero() {
             break;
         }
         let ev = view.rate(t);
         if ev <= rem {
             out.push(t);
-            chosen[i] = true;
             rem = rem.saturating_sub(ev);
+        } else if cheapest_skipped.is_none_or(|(best, _)| ev < best) {
+            cheapest_skipped = Some((ev, t));
         }
     }
     if !rem.is_zero() {
-        // Every unchosen topic exceeds the remaining need; the best ratio
+        // Every skipped topic exceeds the remaining need; the best ratio
         // 1/(2·ev_t) belongs to the smallest rate, ties to the lowest id.
-        let cheapest_exceeder = order
-            .iter()
-            .zip(chosen.iter())
-            .filter(|(_, &c)| !c)
-            .map(|(&t, _)| t)
-            .min_by_key(|&t| (view.rate(t), t))
-            .expect("total > tau_v guarantees an unchosen topic remains");
-        out.push(cheapest_exceeder);
+        let (_, exceeder) =
+            cheapest_skipped.expect("total > tau_v guarantees a skipped topic remains");
+        out.push(exceeder);
     }
 }
 

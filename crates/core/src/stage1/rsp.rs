@@ -9,9 +9,11 @@ use rand::{Rng, SeedableRng};
 /// The paper's naive baseline (Alg. 6): for each subscriber, take pairs
 /// "in no particular order" until `τ_v` is reached.
 ///
-/// "No particular order" is pinned to a seeded shuffle of each interest
-/// list so experiments are reproducible while remaining indifferent to the
-/// workload's topic ordering; the same seed yields the same selection.
+/// "No particular order" is pinned to a seeded shuffle, so the same seed
+/// over the same workload (interests *and* rates — the shuffle reads the
+/// rate-ranked interest arena, the row every other selector consumes, so
+/// RSP touches the same cache lines as GSP in back-to-back comparisons)
+/// yields the same selection.
 #[derive(Clone, Copy, Debug)]
 pub struct RandomSelectPairs {
     seed: u64,
@@ -36,7 +38,7 @@ impl PairSelector for RandomSelectPairs {
         for v in view.subscribers() {
             let tau_v = view.tau_v(v, tau);
             order.clear();
-            order.extend_from_slice(view.interests(v));
+            order.extend_from_slice(view.ranked_interests(v));
             shuffle(&mut order, &mut rng);
             builder.push_row_with(|row| {
                 let mut delivered = Rate::ZERO;

@@ -78,21 +78,20 @@ fn select_one(
         return interests.to_vec();
     }
 
-    // Split interests into shared (already in S) and fresh, descending by
-    // (rate, then ascending id).
-    let desc = |a: &TopicId, b: &TopicId| view.rate(*b).cmp(&view.rate(*a)).then(a.cmp(b));
-    let mut shared: Vec<TopicId> = interests
+    // Split interests into shared (already in S) and fresh. The ranked
+    // arena is already in (descending rate, ascending id) order, so the
+    // partition preserves it — no sort.
+    let ranked = view.ranked_interests(v);
+    let shared: Vec<TopicId> = ranked
         .iter()
         .copied()
         .filter(|t| in_solution[t.index()])
         .collect();
-    let mut fresh: Vec<TopicId> = interests
+    let fresh: Vec<TopicId> = ranked
         .iter()
         .copied()
         .filter(|t| !in_solution[t.index()])
         .collect();
-    shared.sort_unstable_by(desc);
-    fresh.sort_unstable_by(desc);
 
     let mut selected = Vec::new();
     let mut rem = tau_v;

@@ -126,17 +126,20 @@ impl Allocator for CustomBinPacking {
         cost: &dyn CostModel,
     ) -> Result<Allocation, McssError> {
         let cfg = self.config;
-        let mut groups = selection.group_by_topic(view);
-        if cfg.expensive_topic_first {
-            // Decreasing key, ties by ascending topic id (sort is stable
-            // over the id-ordered input).
-            match cfg.expensive_order {
-                ExpensiveOrder::TotalVolume => groups.sort_by_key(|(t, vs)| {
-                    Reverse(u128::from(view.rate(*t).get()) * vs.len() as u128)
-                }),
-                ExpensiveOrder::Rate => groups.sort_by_key(|(t, _)| Reverse(view.rate(*t))),
+        // CSR inversion (no hashing, no per-topic Vecs); the processing
+        // order is a cached index permutation over the groups.
+        let groups = selection.topic_groups(view);
+        // Decreasing key, ties by ascending topic id (the sorts are
+        // stable over the id-ordered groups).
+        let order: Vec<u32> = match (cfg.expensive_topic_first, cfg.expensive_order) {
+            (false, _) => (0..groups.len() as u32).collect(),
+            (true, ExpensiveOrder::TotalVolume) => groups.order_by_total_volume(view),
+            (true, ExpensiveOrder::Rate) => {
+                let mut order: Vec<u32> = (0..groups.len() as u32).collect();
+                order.sort_by_key(|&g| Reverse(view.rate(groups.topic(g as usize))));
+                order
             }
-        }
+        };
 
         let mut vms: Vec<VmBuild> = Vec::new();
         let mut total_bw = Bandwidth::ZERO;
@@ -144,11 +147,13 @@ impl Allocator for CustomBinPacking {
         // fresh entry; stale ones are discarded on pop.
         let mut free_heap: BinaryHeap<(Bandwidth, Reverse<usize>)> = BinaryHeap::new();
 
-        for (topic, subscribers) in &groups {
-            let rate = view.rate(*topic);
+        for &g in &order {
+            let topic = groups.topic(g as usize);
+            let subscribers = groups.subscribers(g as usize);
+            let rate = view.rate(topic);
             if rate.pair_cost() > capacity {
                 return Err(McssError::InfeasibleTopic {
-                    topic: *topic,
+                    topic,
                     required: rate.pair_cost(),
                     capacity,
                 });
@@ -159,7 +164,7 @@ impl Allocator for CustomBinPacking {
             let all = u128::from(rate.get()) * (subscribers.len() as u128 + 1);
             if let Some(current) = vms.last_mut() {
                 if all <= u128::from(current.free(capacity).get()) {
-                    current.add_batch(*topic, rate, subscribers);
+                    current.add_batch(topic, rate, subscribers);
                     total_bw += rate * (subscribers.len() as u64 + 1);
                     free_heap.push((current.free(capacity), Reverse(vms.len() - 1)));
                     continue;
@@ -201,7 +206,7 @@ impl Allocator for CustomBinPacking {
                         }
                         let fit = free.div_rate(rate) - 1;
                         let take = (fit as usize).min(remaining.len());
-                        vms[idx].add_batch(*topic, rate, &remaining[..take]);
+                        vms[idx].add_batch(topic, rate, &remaining[..take]);
                         total_bw += rate * (take as u64 + 1);
                         free_heap.push((vms[idx].free(capacity), Reverse(idx)));
                         remaining = &remaining[take..];
@@ -217,7 +222,7 @@ impl Allocator for CustomBinPacking {
                         }
                         let fit = free.div_rate(rate) - 1;
                         let take = (fit as usize).min(remaining.len());
-                        vm.add_batch(*topic, rate, &remaining[..take]);
+                        vm.add_batch(topic, rate, &remaining[..take]);
                         total_bw += rate * (take as u64 + 1);
                         free_heap.push((vm.free(capacity), Reverse(idx)));
                         remaining = &remaining[take..];
@@ -230,7 +235,7 @@ impl Allocator for CustomBinPacking {
                 let mut vm = VmBuild::new();
                 let fit = capacity.div_rate(rate) - 1; // ≥ 1 by feasibility
                 let take = (fit as usize).min(remaining.len());
-                vm.add_batch(*topic, rate, &remaining[..take]);
+                vm.add_batch(topic, rate, &remaining[..take]);
                 total_bw += rate * (take as u64 + 1);
                 vms.push(vm);
                 free_heap.push((

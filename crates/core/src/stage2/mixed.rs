@@ -62,7 +62,7 @@
 //! ```
 
 use super::{Allocator, CbpConfig, CustomBinPacking, VmBuild};
-use crate::{Allocation, FleetTyping, McssError, Selection};
+use crate::{Allocation, FleetTyping, McssError, Selection, TopicGroups};
 use cloud_cost::{FleetCostModel, Money};
 use pubsub_model::{Bandwidth, SubscriberId, TopicId, Workload, WorkloadView};
 use std::cmp::Reverse;
@@ -123,23 +123,24 @@ impl MixedFleetPacker {
         fleet: &FleetCostModel,
     ) -> Result<Allocation, McssError> {
         let max_capacity = fleet.max_capacity();
-        let mut groups = selection.group_by_topic(view);
+        let groups = selection.topic_groups(view);
         // CBP optimization (c): most expensive (total remaining volume)
         // topic first — large groups grab whole VMs before the tail
-        // fragments the pools.
-        groups.sort_by_key(|(t, vs)| Reverse(u128::from(view.rate(*t).get()) * vs.len() as u128));
-        for (topic, _) in &groups {
-            let required = view.rate(*topic).pair_cost();
+        // fragments the pools. A cached index permutation; the CSR itself
+        // stays topic-ordered.
+        let order = groups.order_by_total_volume(view);
+        for (topic, _) in groups.iter() {
+            let required = view.rate(topic).pair_cost();
             if required > max_capacity {
                 return Err(McssError::InfeasibleTopic {
-                    topic: *topic,
+                    topic,
                     required,
                     capacity: max_capacity,
                 });
             }
         }
 
-        let mut best = self.pack_density_first(view, &groups, fleet);
+        let mut best = self.pack_density_first(view, &groups, &order, fleet);
         let mut best_cost = best.cost_on_fleet(fleet);
 
         // Homogeneous fallback candidates: the paper's CBP at each tier
@@ -150,7 +151,7 @@ impl MixedFleetPacker {
             let capacity = fleet.capacity(tier);
             if groups
                 .iter()
-                .any(|(t, _)| view.rate(*t).pair_cost() > capacity)
+                .any(|(t, _)| view.rate(t).pair_cost() > capacity)
             {
                 continue;
             }
@@ -171,10 +172,13 @@ impl MixedFleetPacker {
     }
 
     /// Candidate 1: density-first mixed packing plus the downsize pass.
+    /// `order` is the group-index permutation to process (most expensive
+    /// first).
     fn pack_density_first(
         &self,
         view: WorkloadView<'_>,
-        groups: &[(TopicId, Vec<SubscriberId>)],
+        groups: &TopicGroups,
+        order: &[u32],
         fleet: &FleetCostModel,
     ) -> Allocation {
         let mut pools: Vec<TierPool> = (0..fleet.tier_count())
@@ -191,8 +195,10 @@ impl MixedFleetPacker {
             .map(|(i, _)| i)
             .expect("fleet is non-empty");
 
-        for (topic, subscribers) in groups {
-            let rate = view.rate(*topic);
+        for &g in order {
+            let topic = groups.topic(g as usize);
+            let subscribers = groups.subscribers(g as usize);
+            let rate = view.rate(topic);
             let whole = u128::from(rate.get()) * (subscribers.len() as u128 + 1);
             // Cheapest-density tier that holds the group whole; groups too
             // large for every tier split across the largest tier's VMs.
@@ -208,7 +214,7 @@ impl MixedFleetPacker {
             // Most recently opened VM of the tier first (Alg. 4 line 8).
             if let Some(current) = pool.vms.last_mut() {
                 if whole <= u128::from(current.free(pool.capacity).get()) {
-                    current.add_batch(*topic, rate, subscribers);
+                    current.add_batch(topic, rate, subscribers);
                     let free = current.free(pool.capacity);
                     pool.free_heap.push((free, Reverse(pool.vms.len() - 1)));
                     continue;
@@ -231,7 +237,7 @@ impl MixedFleetPacker {
                 }
                 let fit = free.div_rate(rate) - 1;
                 let take = (fit as usize).min(remaining.len());
-                pool.vms[idx].add_batch(*topic, rate, &remaining[..take]);
+                pool.vms[idx].add_batch(topic, rate, &remaining[..take]);
                 pool.free_heap
                     .push((pool.vms[idx].free(pool.capacity), Reverse(idx)));
                 remaining = &remaining[take..];
@@ -240,7 +246,7 @@ impl MixedFleetPacker {
                 let mut vm = VmBuild::new();
                 let fit = pool.capacity.div_rate(rate) - 1; // ≥ 1 by feasibility
                 let take = (fit as usize).min(remaining.len());
-                vm.add_batch(*topic, rate, &remaining[..take]);
+                vm.add_batch(topic, rate, &remaining[..take]);
                 pool.vms.push(vm);
                 let free = pool.vms.last().expect("just pushed").free(pool.capacity);
                 pool.free_heap.push((free, Reverse(pool.vms.len() - 1)));

@@ -129,6 +129,82 @@ proptest! {
         }
     }
 
+    /// The `TopicGroups` CSR inversion agrees exactly with a reference
+    /// `HashMap<TopicId, Vec<SubscriberId>>` grouping on random
+    /// selections: same topics (ascending), same subscribers per topic in
+    /// selection order.
+    #[test]
+    fn topic_groups_match_hashmap_grouping(inst in arb_instance(), seed in 0u64..100) {
+        use std::collections::HashMap;
+        let w = inst.workload();
+        let sel = RandomSelectPairs::new(seed).select(&inst).unwrap();
+        let groups = sel.topic_groups(w);
+
+        let mut reference: HashMap<TopicId, Vec<pubsub_model::SubscriberId>> = HashMap::new();
+        for p in sel.iter_pairs() {
+            reference.entry(p.topic).or_default().push(p.subscriber);
+        }
+        prop_assert_eq!(groups.len(), reference.len());
+        let mut total = 0u64;
+        for (t, vs) in groups.iter() {
+            let expected = reference.get(&t).expect("topic present in reference");
+            prop_assert_eq!(vs, expected.as_slice(), "group of {} differs", t);
+            total += vs.len() as u64;
+        }
+        prop_assert_eq!(total, sel.pair_count());
+        // Topics come out ascending.
+        for g in 1..groups.len() {
+            prop_assert!(groups.topic(g - 1) < groups.topic(g));
+        }
+    }
+
+    /// The rate-ranked interest arena stays sorted by (descending rate,
+    /// ascending id) and consistent with `rate()` across random
+    /// `DriftModel::evolve_tracked` sequences (the incremental
+    /// maintenance path), and always matches a from-scratch rebuild.
+    #[test]
+    fn ranked_arena_consistent_across_drift(
+        inst in arb_instance(),
+        sigma_pct in 0u64..60,
+        churn_pct in 0u64..90,
+        seed in 0u64..1000,
+        epochs in 1u64..6,
+    ) {
+        let drift = DriftModel {
+            rate_sigma: sigma_pct as f64 / 100.0,
+            churn_prob: churn_pct as f64 / 100.0,
+            seed,
+        };
+        let mut w = inst.workload().clone();
+        for epoch in 0..epochs {
+            (w, _) = drift.evolve_tracked(&w, epoch);
+            for v in w.subscribers() {
+                let ranked = w.ranked_interests(v);
+                for pair in ranked.windows(2) {
+                    let (a, b) = (pair[0], pair[1]);
+                    prop_assert!(
+                        w.rate(a) > w.rate(b) || (w.rate(a) == w.rate(b) && a < b),
+                        "epoch {}: ranked row of {} out of order", epoch, v
+                    );
+                }
+                let mut sorted: Vec<TopicId> = ranked.to_vec();
+                sorted.sort_unstable();
+                prop_assert_eq!(sorted.as_slice(), w.interests(v), "epoch {}", epoch);
+            }
+            let rebuilt = Workload::from_parts(
+                w.rates().to_vec(),
+                w.subscribers().map(|v| w.interests(v).to_vec()).collect(),
+            );
+            for v in w.subscribers() {
+                prop_assert_eq!(
+                    w.ranked_interests(v),
+                    rebuilt.ranked_interests(v),
+                    "epoch {}: incremental arena diverged from rebuild", epoch
+                );
+            }
+        }
+    }
+
     /// The incremental re-allocator maintains every MCSS invariant across
     /// an arbitrary sequence of workload snapshots (treating each fresh
     /// instance as the "next epoch" of the previous one).

@@ -128,6 +128,14 @@ impl<'a> WorkloadView<'a> {
         self.workload.interests(self.global(local))
     }
 
+    /// The interest set of a view-local subscriber in (descending rate,
+    /// ascending id) order, borrowed from the rate-ranked arena (see
+    /// [`Workload::ranked_interests`]).
+    #[inline]
+    pub fn ranked_interests(&self, local: SubscriberId) -> &'a [TopicId] {
+        self.workload.ranked_interests(self.global(local))
+    }
+
     /// `Σ_{t ∈ T_v} ev_t` for a view-local subscriber.
     #[inline]
     pub fn subscriber_total_rate(&self, local: SubscriberId) -> Rate {
@@ -225,6 +233,26 @@ mod tests {
         let view = w.subset_view(&shard);
         // Same slice, not a copy.
         assert_eq!(view.interests(v(0)).as_ptr(), w.interests(v(1)).as_ptr());
+        assert_eq!(
+            view.ranked_interests(v(0)).as_ptr(),
+            w.ranked_interests(v(1)).as_ptr()
+        );
+    }
+
+    #[test]
+    fn ranked_interests_map_through_the_subset() {
+        let w = workload();
+        let shard = [v(2), v(0)];
+        let view = w.subset_view(&shard);
+        // v2 follows t1 (10) and t2 (5); v0 follows t0 (20) and t1 (10).
+        assert_eq!(
+            view.ranked_interests(v(0)),
+            &[TopicId::new(1), TopicId::new(2)]
+        );
+        assert_eq!(
+            view.ranked_interests(v(1)),
+            &[TopicId::new(0), TopicId::new(1)]
+        );
     }
 
     #[test]

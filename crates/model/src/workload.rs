@@ -2,6 +2,7 @@
 
 use crate::{Bandwidth, Rate, SubscriberId, TopicId, MAX_RATE};
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
 use std::fmt;
 
 /// Errors raised while constructing a [`Workload`].
@@ -114,9 +115,17 @@ impl From<Workload> for WorkloadData {
 ///
 /// Both adjacencies are held in CSR (compressed sparse row) form: one flat
 /// id arena plus an offset array per direction. A workload with millions
-/// of pairs is therefore four allocations, slices cheaply into
+/// of pairs is therefore a handful of allocations, slices cheaply into
 /// [`WorkloadView`](crate::WorkloadView) subsets without copying, and
 /// walks contiguously in the solver hot loops.
+///
+/// A third arena, the **rate-ranked interest arena**, shares the interest
+/// row boundaries but stores each subscriber's interests pre-sorted by
+/// (descending `ev_t`, ascending topic id) — the order every greedy
+/// Stage-1 sweep consumes, so selectors never sort per subscriber. It is
+/// built in one counting-sort pass at construction (see
+/// [`Workload::ranked_interests`]) and maintained incrementally by
+/// [`Workload::from_parts_evolved`].
 ///
 /// See the [crate-level example](crate) for typical usage.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -128,6 +137,10 @@ pub struct Workload {
     interest_offsets: Vec<usize>,
     /// Flat `T_v` arena; each row sorted, deduplicated.
     interest_topics: Vec<TopicId>,
+    /// Flat rate-ranked `T_v` arena: same row boundaries as
+    /// `interest_topics` (via `interest_offsets`), each row ordered by
+    /// (descending `ev_t`, ascending topic id).
+    ranked_topics: Vec<TopicId>,
     /// CSR offsets into `follower_ids`; `len = |T| + 1`.
     follower_offsets: Vec<usize>,
     /// Flat derived `V_t` arena; each row sorted.
@@ -147,18 +160,8 @@ impl Workload {
     /// Rebuilds a workload from primary data (used by deserialization and
     /// trace I/O). Interests are sorted and deduplicated; out-of-range
     /// topic ids are dropped silently — use the builder for checked input.
-    pub fn from_parts(rates: Vec<Rate>, mut interests: Vec<Vec<TopicId>>) -> Workload {
-        let num_topics = rates.len();
-        let mut interest_offsets = Vec::with_capacity(interests.len() + 1);
-        interest_offsets.push(0usize);
-        let mut interest_topics = Vec::new();
-        for tv in &mut interests {
-            tv.retain(|t| t.index() < num_topics);
-            tv.sort_unstable();
-            tv.dedup();
-            interest_topics.extend_from_slice(tv);
-            interest_offsets.push(interest_topics.len());
-        }
+    pub fn from_parts(rates: Vec<Rate>, interests: Vec<Vec<TopicId>>) -> Workload {
+        let (interest_offsets, interest_topics) = normalize_interests(rates.len(), interests);
         Workload::from_csr(rates, interest_offsets, interest_topics)
     }
 
@@ -166,7 +169,8 @@ impl Workload {
     /// `interest_offsets` has one entry per subscriber plus a trailing
     /// total, and each row of `interest_topics` is sorted, deduplicated,
     /// and in range. The derived follower CSR is recomputed by counting
-    /// sort.
+    /// sort, and the rate-ranked arena by one global ranking plus a
+    /// counting-sort scatter (no per-row sort).
     fn from_csr(
         rates: Vec<Rate>,
         interest_offsets: Vec<usize>,
@@ -174,27 +178,24 @@ impl Workload {
     ) -> Workload {
         debug_assert!(interest_offsets.first() == Some(&0));
         debug_assert!(interest_offsets.last() == Some(&interest_topics.len()));
-        let num_topics = rates.len();
-        let num_subscribers = interest_offsets.len() - 1;
+        let (follower_offsets, follower_ids) =
+            transpose(rates.len(), &interest_offsets, &interest_topics);
 
-        // Transpose by counting sort: one pass to size each follower row,
-        // a prefix sum for the offsets, one pass to scatter the ids.
-        // Rows come out sorted by subscriber id because subscribers are
-        // visited in ascending order.
-        let mut follower_offsets = vec![0usize; num_topics + 1];
-        for &t in &interest_topics {
-            follower_offsets[t.index() + 1] += 1;
-        }
-        for i in 1..=num_topics {
-            follower_offsets[i] += follower_offsets[i - 1];
-        }
-        let mut follower_ids = vec![SubscriberId::new(0); interest_topics.len()];
-        let mut cursor = follower_offsets.clone();
-        for vi in 0..num_subscribers {
-            let row = &interest_topics[interest_offsets[vi]..interest_offsets[vi + 1]];
-            for &t in row {
-                follower_ids[cursor[t.index()]] = SubscriberId::new(vi as u32);
-                cursor[t.index()] += 1;
+        // Rate-ranked arena: visit topics in one global (descending rate,
+        // ascending id) order and scatter through the follower rows —
+        // every interest row comes out in exactly that order, one O(|T|
+        // log |T|) ranking plus an O(P) pass instead of a sort per row.
+        let mut by_rate: Vec<u32> = (0..rates.len() as u32).collect();
+        by_rate.sort_unstable_by_key(|&t| (Reverse(rates[t as usize]), t));
+        let mut ranked_topics = vec![TopicId::new(0); interest_topics.len()];
+        let mut cursor: Vec<usize> = interest_offsets[..interest_offsets.len() - 1].to_vec();
+        for &ti in &by_rate {
+            let t = TopicId::new(ti);
+            for &v in
+                &follower_ids[follower_offsets[ti as usize]..follower_offsets[ti as usize + 1]]
+            {
+                ranked_topics[cursor[v.index()]] = t;
+                cursor[v.index()] += 1;
             }
         }
 
@@ -204,6 +205,107 @@ impl Workload {
             rates,
             interest_offsets,
             interest_topics,
+            ranked_topics,
+            follower_offsets,
+            follower_ids,
+            pair_count,
+            total_rate,
+        }
+    }
+
+    /// Rebuilds a workload like [`Workload::from_parts`], but maintains
+    /// the rate-ranked arena *incrementally* against `prev`: rows listed
+    /// in `changed_subscribers` (plus rows that follow a re-rated topic,
+    /// plus rows beyond `prev`'s subscriber count) are re-sorted; every
+    /// other row's ranked order is provably unchanged — pairwise (rate,
+    /// id) comparisons only involve the row's own topics, none of which
+    /// were re-rated — and is copied verbatim from `prev`.
+    ///
+    /// `changed_subscribers` should list every subscriber whose interest
+    /// set differs from `prev`'s (the `WorkloadDelta` contract of the
+    /// drift sources that call this) and may over-approximate. The list
+    /// is a performance hint, not a correctness obligation: a copy is
+    /// taken only when the row's contents are verified equal to `prev`'s
+    /// and none of its topics were re-rated (re-rated topics are derived
+    /// here by comparing the rate tables), so a missed subscriber is
+    /// detected and re-sorted rather than silently served a stale row.
+    /// When the dirty set covers most of the workload (heavy rate drift
+    /// touches every follower), the per-row path loses to the global
+    /// counting-sort scatter and construction falls back to it.
+    pub fn from_parts_evolved(
+        prev: &Workload,
+        rates: Vec<Rate>,
+        interests: Vec<Vec<TopicId>>,
+        changed_subscribers: &[SubscriberId],
+    ) -> Workload {
+        let num_topics = rates.len();
+        let n = interests.len();
+
+        // Dirty rows: changed interests, followers of re-rated topics,
+        // and everything prev never saw.
+        let mut dirty = vec![false; n];
+        let mut dirty_count = 0usize;
+        let mut mark = |flag: &mut bool| {
+            if !*flag {
+                *flag = true;
+                dirty_count += 1;
+            }
+        };
+        for &v in changed_subscribers {
+            if v.index() < n {
+                mark(&mut dirty[v.index()]);
+            }
+        }
+        for flag in dirty.iter_mut().skip(prev.num_subscribers().min(n)) {
+            mark(flag);
+        }
+        // `zip` stops at the shorter rate table, i.e. the common topics.
+        for (ti, (old, new)) in prev.rates.iter().zip(rates.iter()).enumerate() {
+            if old != new {
+                for &v in prev.subscribers_of(TopicId::new(ti as u32)) {
+                    if v.index() < n {
+                        mark(&mut dirty[v.index()]);
+                    }
+                }
+            }
+        }
+
+        let (interest_offsets, interest_topics) = normalize_interests(num_topics, interests);
+
+        // Mostly-dirty epochs (heavy rate drift) re-sort almost every
+        // row anyway; the global scatter of `from_csr` is cheaper there.
+        if dirty_count * 2 > n {
+            return Workload::from_csr(rates, interest_offsets, interest_topics);
+        }
+        let (follower_offsets, follower_ids) =
+            transpose(num_topics, &interest_offsets, &interest_topics);
+
+        // Ranked arena: copy clean rows verbatim, comparator-sort the
+        // dirty ones (rows are short; the full-rebuild global scatter
+        // would touch every row). "Clean" is *verified*, not trusted:
+        // the equality check costs the same O(len) as the copy it
+        // guards, so an under-reported `changed_subscribers` degrades to
+        // a re-sort instead of a stale row.
+        let mut ranked_topics = vec![TopicId::new(0); interest_topics.len()];
+        for vi in 0..n {
+            let v = SubscriberId::new(vi as u32);
+            let span = interest_offsets[vi]..interest_offsets[vi + 1];
+            let clean = !dirty[vi] && prev.interests(v) == &interest_topics[span.clone()];
+            if clean {
+                ranked_topics[span.clone()].copy_from_slice(prev.ranked_interests(v));
+            } else {
+                ranked_topics[span.clone()].copy_from_slice(&interest_topics[span.clone()]);
+                ranked_topics[span].sort_unstable_by_key(|&t| (Reverse(rates[t.index()]), t));
+            }
+        }
+
+        let pair_count = interest_topics.len() as u64;
+        let total_rate = rates.iter().copied().sum();
+        Workload {
+            rates,
+            interest_offsets,
+            interest_topics,
+            ranked_topics,
             follower_offsets,
             follower_ids,
             pair_count,
@@ -254,6 +356,34 @@ impl Workload {
     pub fn interests(&self, v: SubscriberId) -> &[TopicId] {
         &self.interest_topics
             [self.interest_offsets[v.index()]..self.interest_offsets[v.index() + 1]]
+    }
+
+    /// The interest set `T_v` pre-sorted by (descending `ev_t`, ascending
+    /// topic id) — the order every greedy Stage-1 sweep consumes. The row
+    /// is the same set as [`Workload::interests`], served from the
+    /// rate-ranked arena so selectors never sort per subscriber.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for this workload.
+    #[inline]
+    pub fn ranked_interests(&self, v: SubscriberId) -> &[TopicId] {
+        &self.ranked_topics[self.interest_offsets[v.index()]..self.interest_offsets[v.index() + 1]]
+    }
+
+    /// The global interest-arena position of the pair `(t, v)`, if `v` is
+    /// interested in `t`. Positions are dense in `0..pair_count()`, so a
+    /// flat bitmap indexed by them replaces per-subscriber hash sets in
+    /// pair-dedup passes (e.g. allocation validation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for this workload.
+    #[inline]
+    pub fn pair_index(&self, v: SubscriberId, t: TopicId) -> Option<usize> {
+        let start = self.interest_offsets[v.index()];
+        let row = &self.interest_topics[start..self.interest_offsets[v.index() + 1]];
+        row.binary_search(&t).ok().map(|pos| start + pos)
     }
 
     /// The subscriber set `V_t` of a topic (sorted by subscriber id).
@@ -317,6 +447,55 @@ impl Workload {
         }
         issues
     }
+}
+
+/// Normalizes raw per-subscriber interest lists into the CSR shape every
+/// constructor stores: out-of-range topics dropped, rows sorted and
+/// deduplicated, one flat arena plus offsets.
+fn normalize_interests(
+    num_topics: usize,
+    mut interests: Vec<Vec<TopicId>>,
+) -> (Vec<usize>, Vec<TopicId>) {
+    let mut interest_offsets = Vec::with_capacity(interests.len() + 1);
+    interest_offsets.push(0usize);
+    let mut interest_topics = Vec::new();
+    for tv in &mut interests {
+        tv.retain(|t| t.index() < num_topics);
+        tv.sort_unstable();
+        tv.dedup();
+        interest_topics.extend_from_slice(tv);
+        interest_offsets.push(interest_topics.len());
+    }
+    (interest_offsets, interest_topics)
+}
+
+/// Transposes a normalized interest CSR into the follower CSR by counting
+/// sort: one pass to size each follower row, a prefix sum for the
+/// offsets, one pass to scatter the ids. Rows come out sorted by
+/// subscriber id because subscribers are visited in ascending order.
+fn transpose(
+    num_topics: usize,
+    interest_offsets: &[usize],
+    interest_topics: &[TopicId],
+) -> (Vec<usize>, Vec<SubscriberId>) {
+    let num_subscribers = interest_offsets.len() - 1;
+    let mut follower_offsets = vec![0usize; num_topics + 1];
+    for &t in interest_topics {
+        follower_offsets[t.index() + 1] += 1;
+    }
+    for i in 1..=num_topics {
+        follower_offsets[i] += follower_offsets[i - 1];
+    }
+    let mut follower_ids = vec![SubscriberId::new(0); interest_topics.len()];
+    let mut cursor = follower_offsets.clone();
+    for vi in 0..num_subscribers {
+        let row = &interest_topics[interest_offsets[vi]..interest_offsets[vi + 1]];
+        for &t in row {
+            follower_ids[cursor[t.index()]] = SubscriberId::new(vi as u32);
+            cursor[t.index()] += 1;
+        }
+    }
+    (follower_offsets, follower_ids)
 }
 
 /// Incremental constructor for [`Workload`].
@@ -556,6 +735,122 @@ mod tests {
         let w = tiny();
         // v0: 30, v1: 10, v2: 30
         assert_eq!(w.full_outgoing_volume(), Bandwidth::new(70));
+    }
+
+    #[test]
+    fn ranked_interests_are_rate_descending_id_ascending() {
+        let mut b = Workload::builder();
+        let t0 = b.add_topic(Rate::new(10)).unwrap();
+        let t1 = b.add_topic(Rate::new(20)).unwrap();
+        let t2 = b.add_topic(Rate::new(10)).unwrap();
+        let t3 = b.add_topic(Rate::new(30)).unwrap();
+        b.add_subscriber([t0, t1, t2, t3]).unwrap();
+        b.add_subscriber([t2, t0]).unwrap();
+        let w = b.build();
+        // Rates 30, 20, then the 10-rate tie broken by ascending id.
+        assert_eq!(w.ranked_interests(SubscriberId::new(0)), &[t3, t1, t0, t2]);
+        assert_eq!(w.ranked_interests(SubscriberId::new(1)), &[t0, t2]);
+        // Same set as the id-ordered row.
+        for v in w.subscribers() {
+            let mut ranked: Vec<TopicId> = w.ranked_interests(v).to_vec();
+            ranked.sort_unstable();
+            assert_eq!(ranked, w.interests(v));
+        }
+    }
+
+    #[test]
+    fn pair_index_is_dense_and_exact() {
+        let w = tiny();
+        let mut seen = vec![false; w.pair_count() as usize];
+        for v in w.subscribers() {
+            for &t in w.interests(v) {
+                let i = w.pair_index(v, t).expect("interest pair has an index");
+                assert!(!seen[i], "pair index {i} reused");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Non-interests have none.
+        assert_eq!(w.pair_index(SubscriberId::new(1), TopicId::new(0)), None);
+    }
+
+    #[test]
+    fn from_parts_evolved_matches_full_rebuild() {
+        let w = tiny();
+        // Re-rate topic 1 (10 → 50) and change subscriber 1's interests.
+        let rates = vec![Rate::new(20), Rate::new(50)];
+        let interests = vec![
+            vec![TopicId::new(0), TopicId::new(1)],
+            vec![TopicId::new(0)],
+            vec![TopicId::new(1), TopicId::new(0)],
+        ];
+        let evolved = Workload::from_parts_evolved(
+            &w,
+            rates.clone(),
+            interests.clone(),
+            &[SubscriberId::new(1)],
+        );
+        let rebuilt = Workload::from_parts(rates, interests);
+        assert_eq!(evolved.rates(), rebuilt.rates());
+        for v in rebuilt.subscribers() {
+            assert_eq!(evolved.interests(v), rebuilt.interests(v));
+            assert_eq!(evolved.ranked_interests(v), rebuilt.ranked_interests(v));
+        }
+        // Topic 1 now outranks topic 0 in every row containing both.
+        assert_eq!(
+            evolved.ranked_interests(SubscriberId::new(0)),
+            &[TopicId::new(1), TopicId::new(0)]
+        );
+    }
+
+    #[test]
+    fn from_parts_evolved_detects_unreported_same_length_change() {
+        // A subscriber swaps one topic for another of the same row length
+        // but is NOT listed in changed_subscribers: the equality check
+        // must catch it and re-sort rather than copy a stale ranked row.
+        let mut b = Workload::builder();
+        let t0 = b.add_topic(Rate::new(20)).unwrap();
+        let t1 = b.add_topic(Rate::new(10)).unwrap();
+        let t2 = b.add_topic(Rate::new(30)).unwrap();
+        b.add_subscriber([t0, t1]).unwrap();
+        b.add_subscriber([t1]).unwrap();
+        b.add_subscriber([t0]).unwrap();
+        b.add_subscriber([t1]).unwrap();
+        let w = b.build();
+        let rates = vec![Rate::new(20), Rate::new(10), Rate::new(30)];
+        // Subscriber 0 swaps t1 → t2; same length, nobody told us.
+        let interests = vec![vec![t0, t2], vec![t1], vec![t0], vec![t1]];
+        let evolved = Workload::from_parts_evolved(&w, rates.clone(), interests.clone(), &[]);
+        let rebuilt = Workload::from_parts(rates, interests);
+        for v in rebuilt.subscribers() {
+            assert_eq!(evolved.ranked_interests(v), rebuilt.ranked_interests(v));
+        }
+        assert_eq!(evolved.ranked_interests(SubscriberId::new(0)), &[t2, t0]);
+    }
+
+    #[test]
+    fn from_parts_evolved_handles_growth_and_shrink() {
+        let w = tiny();
+        // One more topic, one more subscriber, one fewer interest row
+        // untouched; new rows and re-rated followers must re-sort.
+        let rates = vec![Rate::new(20), Rate::new(10), Rate::new(99)];
+        let interests = vec![
+            vec![TopicId::new(0), TopicId::new(1)],
+            vec![TopicId::new(1)],
+            vec![TopicId::new(0), TopicId::new(1), TopicId::new(2)],
+            vec![TopicId::new(2), TopicId::new(1)],
+        ];
+        let evolved = Workload::from_parts_evolved(
+            &w,
+            rates.clone(),
+            interests.clone(),
+            &[SubscriberId::new(2)],
+        );
+        let rebuilt = Workload::from_parts(rates, interests);
+        for v in rebuilt.subscribers() {
+            assert_eq!(evolved.ranked_interests(v), rebuilt.ranked_interests(v));
+        }
+        assert_eq!(evolved.pair_count(), rebuilt.pair_count());
     }
 
     #[test]

@@ -94,6 +94,66 @@ proptest! {
         }
     }
 
+    /// The rate-ranked arena holds the same interest set per row, in
+    /// strict (descending rate, ascending id) order.
+    #[test]
+    fn ranked_rows_are_rate_ordered_permutations((rates, interests) in raw_workload(20, 20)) {
+        let w = build(&rates, &interests);
+        for v in w.subscribers() {
+            let ranked = w.ranked_interests(v);
+            for pair in ranked.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                prop_assert!(
+                    w.rate(a) > w.rate(b) || (w.rate(a) == w.rate(b) && a < b),
+                    "row of {v} out of order: {a} before {b}"
+                );
+            }
+            let mut sorted: Vec<TopicId> = ranked.to_vec();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted.as_slice(), w.interests(v));
+        }
+    }
+
+    /// `from_parts_evolved` produces the same workload (including the
+    /// ranked arena) as a from-scratch rebuild, for any rate re-ranking
+    /// and any honestly-declared interest churn.
+    #[test]
+    fn evolved_ranked_arena_matches_rebuild(
+        (rates, interests) in raw_workload(12, 12),
+        new_rates in vec(1u64..1000, 12),
+        changed in vec(0u8..2, 12),
+    ) {
+        let w = build(&rates, &interests);
+        // Splice the new rates over the old table (same topic count) and
+        // churn the declared subscribers' interest sets.
+        let rates2: Vec<Rate> = w
+            .rates()
+            .iter()
+            .enumerate()
+            .map(|(ti, r)| if ti % 2 == 0 { Rate::new(new_rates[ti % new_rates.len()]) } else { *r })
+            .collect();
+        let mut interests2: Vec<Vec<TopicId>> =
+            w.subscribers().map(|v| w.interests(v).to_vec()).collect();
+        let mut declared: Vec<SubscriberId> = Vec::new();
+        for (vi, row) in interests2.iter_mut().enumerate() {
+            if changed.get(vi).copied().unwrap_or(0) == 1 {
+                row.reverse();
+                if !row.is_empty() && vi % 3 == 0 {
+                    row.pop();
+                }
+                declared.push(SubscriberId::new(vi as u32));
+            }
+        }
+        let evolved =
+            Workload::from_parts_evolved(&w, rates2.clone(), interests2.clone(), &declared);
+        let rebuilt = Workload::from_parts(rates2, interests2);
+        prop_assert_eq!(evolved.pair_count(), rebuilt.pair_count());
+        for v in rebuilt.subscribers() {
+            prop_assert_eq!(evolved.interests(v), rebuilt.interests(v));
+            prop_assert_eq!(evolved.ranked_interests(v), rebuilt.ranked_interests(v));
+        }
+    }
+
     /// Subscription cardinalities over all subscribers of a fully-subscribed
     /// workload are each within [0, 100].
     #[test]
