@@ -1,6 +1,6 @@
 //! E-FIG1: the worked allocation example of Fig. 1.
 //!
-//! Run with: `cargo run --release -p mcss-bench --bin fig1_example`
+//! Run with: `cargo run --release -p mcss_bench --bin fig1_example`
 
 fn main() {
     print!("{}", mcss_bench::experiments::fig1_example());

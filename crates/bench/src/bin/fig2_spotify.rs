@@ -1,7 +1,7 @@
 //! E-FIG2a/b: Spotify cost metrics for c3.large (64 mbps) and c3.xlarge
 //! (128 mbps) across τ ∈ {10, 100, 1000} and every optimization variant.
 //!
-//! Run with: `cargo run --release -p mcss-bench --bin fig2_spotify`
+//! Run with: `cargo run --release -p mcss_bench --bin fig2_spotify`
 //! Size override: `MCSS_SPOTIFY_SUBS=250000` (default 100000).
 
 use cloud_cost::instances;

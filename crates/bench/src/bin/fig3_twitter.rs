@@ -1,7 +1,7 @@
 //! E-FIG3a/b: Twitter cost metrics for c3.large and c3.xlarge across
 //! τ ∈ {10, 100, 1000} and every optimization variant.
 //!
-//! Run with: `cargo run --release -p mcss-bench --bin fig3_twitter`
+//! Run with: `cargo run --release -p mcss_bench --bin fig3_twitter`
 //! Size override: `MCSS_TWITTER_USERS=100000` (default 20000).
 
 use cloud_cost::instances;

@@ -1,7 +1,7 @@
 //! E-FIG4/5: Stage-1 runtime (GSP vs RSP) for Spotify-like and
 //! Twitter-like traces across τ.
 //!
-//! Run with: `cargo run --release -p mcss-bench --bin fig4_5_stage1_runtime`
+//! Run with: `cargo run --release -p mcss_bench --bin fig4_5_stage1_runtime`
 //! Size overrides: `MCSS_SPOTIFY_SUBS`, `MCSS_TWITTER_USERS`.
 
 use cloud_cost::instances;

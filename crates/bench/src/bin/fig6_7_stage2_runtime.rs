@@ -1,7 +1,7 @@
 //! E-FIG6/7: Stage-2 runtime (fully-optimized CBP vs FFBP) for
 //! Spotify-like and Twitter-like traces on c3.large.
 //!
-//! Run with: `cargo run --release -p mcss-bench --bin fig6_7_stage2_runtime`
+//! Run with: `cargo run --release -p mcss_bench --bin fig6_7_stage2_runtime`
 //! Size overrides: `MCSS_SPOTIFY_SUBS`, `MCSS_TWITTER_USERS`.
 
 use cloud_cost::instances;

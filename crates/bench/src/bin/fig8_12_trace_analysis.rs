@@ -1,6 +1,6 @@
 //! E-FIG8–12: Twitter trace distribution analysis (Appendix D).
 //!
-//! Run with: `cargo run --release -p mcss-bench --bin fig8_12_trace_analysis`
+//! Run with: `cargo run --release -p mcss_bench --bin fig8_12_trace_analysis`
 //! Size override: `MCSS_TWITTER_USERS` (default 100000 here — analysis is
 //! cheap, so a bigger sample gives cleaner tails).
 

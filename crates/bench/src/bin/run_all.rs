@@ -4,7 +4,7 @@
 //! write failure makes the run exit non-zero — the perf trajectory must
 //! never silently go missing.
 //!
-//! Run with: `cargo run --release -p mcss-bench --bin run_all`
+//! Run with: `cargo run --release -p mcss_bench --bin run_all`
 //! Size overrides: `MCSS_SPOTIFY_SUBS`, `MCSS_TWITTER_USERS`.
 
 use cloud_cost::instances;
@@ -134,6 +134,12 @@ fn main() -> ExitCode {
     churn.push_str(&churn_text);
     save(dir, "churn_speedup.txt", &churn);
     bench_writes_ok &= save_bench_json(Path::new("BENCH_churn.json"), &churn_json);
+
+    let (serve_text, serve_json) = experiments::fig_serve(&spotify, instances::C3_LARGE, 100, 6);
+    let mut serve = String::from("== event-sourced serve daemon (Spotify) ==\n");
+    serve.push_str(&serve_text);
+    save(dir, "serve_daemon.txt", &serve);
+    bench_writes_ok &= save_bench_json(Path::new("BENCH_serve.json"), &serve_json);
 
     let (mixed_text, mixed_json) = experiments::fig_mixed_fleet(&[&spotify, &twitter], 100, 4);
     let mut mixed = String::from("== mixed fleet vs best homogeneous (Spotify + Twitter) ==\n");

@@ -8,6 +8,7 @@ use cloud_cost::{instances, Ec2CostModel, FleetCostModel, InstanceType};
 use mcss_core::dynamic::DriftModel;
 use mcss_core::incremental::IncrementalReallocator;
 use mcss_core::planner::plan_mixed;
+use mcss_core::serve::{Daemon, Driver, ServeConfig};
 use mcss_core::stage1::{GreedySelectPairs, PairSelector, RandomSelectPairs};
 use mcss_core::stage2::{Allocator, CbpConfig, CustomBinPacking, FirstFitBinPacking};
 use mcss_core::{
@@ -455,6 +456,161 @@ pub fn fig_churn_speedup(
         scenario.workload.num_subscribers(),
         json_rows.join(",\n")
     );
+    (out, json)
+}
+
+/// Serve-daemon experiment (extension, not a paper figure): streams the
+/// scenario's workload through the event-sourced [`Daemon`] — bootstrap
+/// batch plus `epochs` drift batches — measuring sustained submit
+/// throughput, p50/p99 epoch-apply latency, and crash-recovery time as
+/// the event log grows (pure log replay, plus one recovery from a
+/// snapshot). Every recovery is asserted bit-identical to the live
+/// daemon before it counts. Returns the human-readable report and the
+/// machine-readable JSON document (`BENCH_serve.json`).
+pub fn fig_serve(
+    scenario: &Scenario,
+    instance: InstanceType,
+    tau: u64,
+    epochs: u64,
+) -> (String, String) {
+    let cost = scenario.cost_model(instance);
+    let capacity = cost.capacity();
+    let dir = std::env::temp_dir().join(format!(
+        "mcss-bench-serve-{}-{}",
+        std::process::id(),
+        scenario.name
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Snapshots off: the sweep measures recovery as pure log replay; the
+    // final row shows what one snapshot does to it.
+    let config = ServeConfig::new(Rate::new(tau), capacity).with_snapshot_every(0);
+    let mut daemon =
+        Daemon::create(&dir, config, Box::new(cost)).expect("serve state dir is writable");
+    let drift = DriftModel {
+        rate_sigma: 0.05,
+        churn_prob: 0.05,
+        seed: 20140601,
+    };
+    let mut driver = Driver::new((*scenario.workload).clone(), drift);
+
+    let mut measure_at: Vec<u64> = vec![epochs.div_ceil(3), (2 * epochs).div_ceil(3), epochs];
+    measure_at.dedup();
+    // (epochs applied, log records, from snapshot?, recovery ms)
+    let mut recoveries: Vec<(u64, u64, bool, f64)> = Vec::new();
+    let recover = |live: &Daemon, snapshot: bool| {
+        let t0 = Instant::now();
+        let recovered = Daemon::resume(&dir, config, Box::new(scenario.cost_model(instance)))
+            .expect("recovery succeeds");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            recovered.allocation(),
+            live.allocation(),
+            "recovered fleet must be bit-identical"
+        );
+        assert_eq!(
+            recovered.selection(),
+            live.selection(),
+            "recovered selection must be bit-identical"
+        );
+        (
+            recovered.epochs_applied(),
+            recovered.last_applied_seq(),
+            snapshot,
+            ms,
+        )
+    };
+
+    let mut stats = Vec::new();
+    let mut total_events = 0u64;
+    let started = Instant::now();
+    for batch in 0..epochs {
+        let events = if batch == 0 {
+            driver.initial_events()
+        } else {
+            driver.next_epoch_events()
+        };
+        total_events += events.len() as u64;
+        for e in events {
+            daemon.submit(e).expect("driver events are valid");
+        }
+        if let Some(s) = daemon.tick().expect("epoch applies") {
+            stats.push(s);
+        }
+        if measure_at.contains(&(batch + 1)) {
+            recoveries.push(recover(&daemon, false));
+        }
+    }
+    let elapsed = started.elapsed();
+    daemon.snapshot_now().expect("snapshot writes");
+    recoveries.push(recover(&daemon, true));
+
+    let mut apply_ms: Vec<f64> = stats
+        .iter()
+        .map(|s| s.apply_time.as_secs_f64() * 1e3)
+        .collect();
+    apply_ms.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let pct = |p: f64| -> f64 {
+        if apply_ms.is_empty() {
+            0.0
+        } else {
+            apply_ms[(((apply_ms.len() - 1) as f64) * p).round() as usize]
+        }
+    };
+    let events_per_sec = total_events as f64 / elapsed.as_secs_f64().max(1e-9);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# serve daemon, {} trace, {} subscribers, τ={tau}, bootstrap + {} drift batches",
+        scenario.name,
+        scenario.workload.num_subscribers(),
+        epochs - 1
+    );
+    let _ = writeln!(
+        out,
+        "sustained {events_per_sec:.0} events/s over {total_events} events \
+         ({} applied epochs); epoch apply p50 {:.2} ms, p99 {:.2} ms",
+        stats.len(),
+        pct(0.5),
+        pct(0.99)
+    );
+    let mut t = Table::new(vec![
+        "epochs".into(),
+        "log records".into(),
+        "snapshot".into(),
+        "recovery ms".into(),
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for &(applied, records, snapshot, ms) in &recoveries {
+        t.row(vec![
+            applied.to_string(),
+            records.to_string(),
+            if snapshot { "yes" } else { "no" }.to_string(),
+            format!("{ms:.2}"),
+        ]);
+        json_rows.push(format!(
+            "    {{\"epochs\": {applied}, \"log_records\": {records}, \
+             \"snapshot\": {snapshot}, \"recovery_ms\": {ms:.3}}}"
+        ));
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "# every recovery asserted bit-identical (selection + fleet) to the live daemon"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"serve_daemon\",\n  \"trace\": \"{}\",\n  \"subscribers\": {},\n  \
+         \"tau\": {tau},\n  \"epochs\": {},\n  \"events\": {total_events},\n  \
+         \"events_per_sec\": {events_per_sec:.1},\n  \"apply_ms_p50\": {:.3},\n  \
+         \"apply_ms_p99\": {:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+        scenario.name,
+        scenario.workload.num_subscribers(),
+        stats.len(),
+        pct(0.5),
+        pct(0.99),
+        json_rows.join(",\n")
+    );
+    let _ = std::fs::remove_dir_all(&dir);
     (out, json)
 }
 
@@ -973,6 +1129,19 @@ mod tests {
         assert!(json.contains("\"bench\": \"churn_epoch\""));
         assert!(json.contains("\"churn_pct\": 20"));
         assert!(json.contains("ns_per_epoch"));
+    }
+
+    #[test]
+    fn serve_report_runs_on_small_scenario() {
+        let s = Scenario::spotify(400, 9);
+        let (text, json) = fig_serve(&s, instances::C3_LARGE, 50, 3);
+        assert!(text.contains("events/s"), "no throughput line:\n{text}");
+        assert!(text.contains("recovery ms"), "no recovery table:\n{text}");
+        assert!(text.contains("yes"), "no snapshot recovery row:\n{text}");
+        assert!(json.contains("\"bench\": \"serve_daemon\""));
+        assert!(json.contains("\"apply_ms_p99\""));
+        assert!(json.contains("\"snapshot\": true"));
+        assert!(json.contains("\"recovery_ms\""));
     }
 
     #[test]

@@ -529,6 +529,46 @@ impl IncrementalReallocator {
         }
     }
 
+    /// The remembered epoch state — previous selection, fleet ledger and
+    /// epoch capacity — exported for crash-consistent snapshots (see
+    /// [`crate::serve`]). `None` before the first epoch.
+    pub fn checkpoint(&self) -> Option<(&Selection, &FleetLedger, Bandwidth)> {
+        self.previous
+            .as_ref()
+            .map(|s| (&s.selection, &s.ledger, s.capacity))
+    }
+
+    /// Rebuilds the remembered state from snapshot primaries — the
+    /// restore half of [`IncrementalReallocator::checkpoint`]. `rates`
+    /// and `tau` must describe the workload `selection` was produced
+    /// against; the next step then deltas against them exactly as if the
+    /// allocator had never stopped. The restored basis carries no
+    /// workload snapshot, so follow-up epochs must be delta-fed
+    /// ([`IncrementalReallocator::step_with_delta`]) for dirty tracking
+    /// to stay active — a scan-based step conservatively re-selects
+    /// everyone, exactly as after any other delta-fed epoch.
+    pub fn restore(
+        &mut self,
+        selection: Selection,
+        ledger: FleetLedger,
+        capacity: Bandwidth,
+        rates: Vec<Rate>,
+        tau: Rate,
+    ) {
+        let num_subscribers = selection.num_subscribers();
+        self.previous = Some(State {
+            selection,
+            ledger,
+            capacity,
+            basis: Some(EpochBasis {
+                rates,
+                num_subscribers,
+                tau,
+                workload: None,
+            }),
+        });
+    }
+
     /// Seeds the re-allocator's state from an externally produced
     /// allocation — e.g. a degraded fleet after broker failures, so the
     /// next [`IncrementalReallocator::step`] re-places exactly the lost
@@ -970,6 +1010,50 @@ mod tests {
             }
             w = drift.evolve(&w, epoch);
         }
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        // Snapshot after epoch k, restore into a fresh re-allocator, and
+        // the next delta-fed epoch must match the uninterrupted run
+        // exactly — selection and allocation both.
+        let drift = DriftModel {
+            rate_sigma: 0.3,
+            churn_prob: 0.4,
+            seed: 21,
+        };
+        let mut live = IncrementalReallocator::default();
+        let mut w = base_workload();
+        let mut delta = WorkloadDelta::default();
+        for epoch in 0..3 {
+            let inst = instance(w.clone());
+            live.step_with_delta(&inst, &cost(), &delta).unwrap();
+            if epoch < 2 {
+                (w, delta) = drift.evolve_tracked(&w, epoch);
+            }
+        }
+
+        // `w` is the workload the checkpoint was taken against, so its
+        // rates are what the ledger's counters are denominated in.
+        let mut restored = IncrementalReallocator::default();
+        {
+            let (selection, ledger, capacity) = live.checkpoint().expect("stepped");
+            restored.restore(
+                selection.clone(),
+                crate::FleetLedger::from_slots(ledger.snapshot_slots()),
+                capacity,
+                w.rates().to_vec(),
+                Rate::new(20),
+            );
+        }
+
+        let (next, delta) = drift.evolve_tracked(&w, 2);
+        let inst = instance(next);
+        let a = live.step_with_delta(&inst, &cost(), &delta).unwrap();
+        let b = restored.step_with_delta(&inst, &cost(), &delta).unwrap();
+        assert_eq!(a.selection, b.selection);
+        assert_eq!(a.allocation, b.allocation);
+        assert_eq!(a.pairs_reused, b.pairs_reused);
     }
 
     #[test]

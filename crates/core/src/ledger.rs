@@ -46,6 +46,27 @@ use std::collections::BinaryHeap;
 /// subscribers sorted by id.
 type VmRows = Vec<(TopicId, Vec<SubscriberId>)>;
 
+/// Primary state of one VM slot, as exported by
+/// [`FleetLedger::snapshot_slots`] and consumed by
+/// [`FleetLedger::from_slots`]. Everything else the ledger keeps — the
+/// topic reverse index, the placement heaps, the usage aggregates — is
+/// derived from these fields on restore, and the rebuilt derived state
+/// is behaviourally identical to the incrementally-maintained one (the
+/// lazy heaps tolerate stale entries but never require them).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LedgerSlot {
+    /// Whether the slot is tombstoned (released, awaiting reuse by a
+    /// fresh VM). Tombstones must round-trip: slot indices affect the
+    /// order future VMs are opened in.
+    pub tombstone: bool,
+    /// The slot's capacity.
+    pub cap: Bandwidth,
+    /// Recorded bandwidth usage (Eq. 2 under current rates).
+    pub used: Bandwidth,
+    /// `(topic, subscribers)` rows, topics ascending, subscribers sorted.
+    pub rows: Vec<(TopicId, Vec<SubscriberId>)>,
+}
+
 /// Tier table and per-slot assignment for a typed (mixed-fleet) ledger.
 #[derive(Clone, Debug)]
 struct LedgerTyping {
@@ -126,6 +147,61 @@ impl FleetLedger {
                 ledger.live_cap += u128::from(cap.get());
             } else {
                 ledger.maybe_empty.push(slot);
+            }
+        }
+        ledger
+    }
+
+    /// Exports every slot's primary state — including tombstones — for
+    /// an on-disk snapshot (see [`crate::serve`]). The inverse,
+    /// [`FleetLedger::from_slots`], rebuilds a ledger whose future
+    /// behaviour is bit-identical to this one's.
+    ///
+    /// # Panics
+    ///
+    /// Panics on typed (mixed-fleet) ledgers: the serve layer that
+    /// snapshots ledgers is homogeneous-only and a silent typing loss
+    /// would corrupt capacities on restore.
+    pub fn snapshot_slots(&self) -> Vec<LedgerSlot> {
+        assert!(self.typing.is_none(), "typed ledgers cannot be snapshotted");
+        (0..self.rows.len())
+            .map(|slot| LedgerSlot {
+                tombstone: self.tombstone[slot],
+                cap: self.cap[slot],
+                used: self.used[slot],
+                rows: self.rows[slot].clone(),
+            })
+            .collect()
+    }
+
+    /// Rebuilds an (untyped) ledger from snapshotted slot state: the
+    /// reverse index, heaps and aggregate counters are reconstructed
+    /// from the rows. Restoring [`FleetLedger::snapshot_slots`] output
+    /// yields a ledger whose every future operation takes the same
+    /// decisions as the original — rebuilt heaps hold exactly the fresh
+    /// entries the lazy maintenance guarantees are present.
+    pub fn from_slots(slots: Vec<LedgerSlot>) -> FleetLedger {
+        let mut ledger = FleetLedger::default();
+        for (slot, s) in slots.into_iter().enumerate() {
+            for &(t, _) in &s.rows {
+                ledger.ensure_topics(t.index() + 1);
+                ledger.hosts[t.index()].push(slot as u32);
+            }
+            ledger.rows.push(s.rows);
+            ledger.used.push(s.used);
+            ledger.cap.push(s.cap);
+            ledger.tombstone.push(s.tombstone);
+            if s.tombstone {
+                ledger.free_slots.push(Reverse(slot));
+            } else {
+                ledger.total_used += u128::from(s.used.get());
+                ledger.free_heap.push((s.cap.saturating_sub(s.used), slot));
+                if ledger.rows[slot].is_empty() {
+                    ledger.maybe_empty.push(slot);
+                } else {
+                    ledger.live += 1;
+                    ledger.live_cap += u128::from(s.cap.get());
+                }
             }
         }
         ledger
@@ -756,6 +832,36 @@ mod tests {
         let a = ledger.to_allocation(cap);
         assert_eq!(a.vm_count(), 2);
         assert_eq!(a.pair_count(), 4 + subs.len() as u64, "all pairs placed");
+    }
+
+    #[test]
+    fn slot_snapshot_round_trips_tombstones_and_placement_behaviour() {
+        let w = workload(&[10]);
+        let cap = Bandwidth::new(100);
+        let mut ledger = ledger_with(
+            vec![
+                vec![(t(0), vec![v(0)])],
+                vec![(t(0), vec![v(1), v(2), v(3), v(4)])],
+            ],
+            &w,
+            cap,
+        );
+        // Tombstone slot 0 so the restore has to rebuild free_slots too.
+        ledger.remove_pair(t(0), v(0), Rate::new(10));
+        ledger.release_empty();
+
+        let mut restored = FleetLedger::from_slots(ledger.snapshot_slots());
+        assert_eq!(restored.vm_count(), ledger.vm_count());
+        assert!((restored.utilization() - ledger.utilization()).abs() < 1e-12);
+        assert_eq!(restored.to_allocation(cap), ledger.to_allocation(cap));
+
+        // Identical future behaviour: the same placement lands the same
+        // way (co-host fill, then reuse of tombstoned slot 0).
+        let subs = (5..14).map(v).collect::<Vec<_>>();
+        ledger.place_group(t(0), Rate::new(10), &subs, cap);
+        restored.place_group(t(0), Rate::new(10), &subs, cap);
+        assert_eq!(restored.to_allocation(cap), ledger.to_allocation(cap));
+        assert_eq!(restored.snapshot_slots(), ledger.snapshot_slots());
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | §VI dynamic re-provisioning (future work) | [`dynamic`] |
 //! | §VI online repair (future work, extension) | [`incremental`] |
 //! | O(Δ) churn ledger (extension) | [`FleetLedger`] |
+//! | event-sourced serving + crash recovery (extension) | [`serve`] |
 //! | shard-parallel solving + fleet merge (extension) | [`ShardedSolver`], [`ShardingConfig`] |
 //! | Best-/Next-Fit baselines (extension) | [`stage2::BestFitBinPacking`], [`stage2::NextFitBinPacking`] |
 //! | heterogeneous (mixed) fleets (extension) | [`stage2::MixedFleetPacker`], [`FleetTyping`], [`Solver::solve_mixed`] |
@@ -75,13 +76,14 @@ pub mod planner;
 mod problem;
 pub mod reduction;
 mod selection;
+pub mod serve;
 mod shard;
 pub mod stage1;
 pub mod stage2;
 
 pub use allocation::{Allocation, AllocationError, FleetTyping, TopicPlacement, VmAllocation};
 pub use error::McssError;
-pub use ledger::FleetLedger;
+pub use ledger::{FleetLedger, LedgerSlot};
 pub use lower_bound::{lower_bound, LowerBound};
 pub use pipeline::{
     AllocatorKind, MixedSolveOutcome, MixedSolveReport, SelectorKind, SolveOutcome, SolveReport,

@@ -1,0 +1,1524 @@
+//! Event-sourced drift daemon: an append-only operation log folded into
+//! epochs through the O(Δ) churn path, with checksummed snapshots and
+//! bit-identical crash recovery.
+//!
+//! The paper evaluates MCSS as a batch solver, but its premise — the
+//! fleet stays cost-optimal *as the workload drifts* (§IV-F, §VI) —
+//! only pays off when the solver runs continuously. This module is that
+//! run-forever layer:
+//!
+//! * [`Event`] — the three raw operations a pub/sub control plane
+//!   emits (`Rerate`, `Subscribe`, `Unsubscribe`) plus the
+//!   daemon-written `EpochMark` that pins epoch boundaries into the log;
+//! * [`EventLog`] — an append-only, CRC-checksummed log with monotonic
+//!   sequence numbers and torn-tail-tolerant replay;
+//! * [`Snapshot`] — a checksummed point-in-time capture of the primary
+//!   state (workload rates + interests, the Stage-1 [`Selection`], the
+//!   [`FleetLedger`] slot table, and the last applied sequence number),
+//!   written atomically;
+//! * [`Daemon`] — the serve loop: buffer events into the current epoch,
+//!   close the epoch on a watermark ([`ServeConfig::with_epoch_events`])
+//!   or an external tick ([`Daemon::tick`]), fold the buffered
+//!   operations into a [`WorkloadDelta`] via
+//!   [`pubsub_model::WorkloadEdit`], and apply them through
+//!   [`IncrementalReallocator::step_with_delta`] so steady-state epoch
+//!   cost is O(Δ);
+//! * [`Driver`] — feeds the log from [`DriftModel`], making
+//!   `mcss serve --trace spotify` self-exercising offline.
+//!
+//! # Crash consistency
+//!
+//! Recovery ([`Daemon::resume`]) loads the latest snapshot (if any),
+//! rebuilds every derived structure from the snapshot's primaries —
+//! workload CSR arenas via [`Workload::from_parts`], ledger heaps and
+//! reverse index via [`FleetLedger::from_slots`], the re-allocator
+//! basis via [`IncrementalReallocator::restore`] — and replays the log
+//! suffix past the snapshot's sequence number, re-applying an epoch at
+//! every `EpochMark`. Because every derived structure is a deterministic
+//! function of the primaries (the lazy heaps tolerate stale entries but
+//! never require them), the recovered daemon is **bit-identical** to one
+//! that never stopped: same selections, same placements, same future
+//! decisions. The crash-replay property test
+//! (`crates/core/tests/serve_replay.rs`) kills a daemon at an arbitrary
+//! event index and asserts exactly that.
+//!
+//! On-disk formats are documented field-by-field in `docs/SERVE.md`.
+
+use crate::dynamic::{DriftModel, WorkloadDelta};
+use crate::incremental::IncrementalReallocator;
+use crate::ledger::{FleetLedger, LedgerSlot};
+use crate::{Allocation, McssError, McssInstance, Selection};
+use cloud_cost::{CostModel, Money};
+use pubsub_model::{Bandwidth, Rate, SubscriberId, TopicId, Workload, WorkloadEdit};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Read as _, Seek, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Event-log file name inside a serve directory.
+pub const LOG_FILE: &str = "events.log";
+/// Snapshot file name inside a serve directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
+
+const LOG_MAGIC: &[u8; 8] = b"MCSSLOG1";
+const SNAP_MAGIC: &[u8; 8] = b"MCSSNAP1";
+const LOG_VERSION: u32 = 1;
+const SNAP_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Everything that can go wrong in the serve layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A log or snapshot file failed validation (bad magic, version,
+    /// checksum, or internally inconsistent contents).
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What failed to validate.
+        detail: String,
+    },
+    /// An event or configuration was rejected before touching any state.
+    Rejected(String),
+    /// The solver could not apply an epoch (e.g. an infeasible topic).
+    Solve(McssError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Corrupt { path, detail } => {
+                write!(f, "{}: {detail}", path.display())
+            }
+            ServeError::Rejected(why) => write!(f, "{why}"),
+            ServeError::Solve(e) => write!(f, "epoch apply failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<McssError> for ServeError {
+    fn from(e: McssError) -> Self {
+        ServeError::Solve(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// CRC32 and little-endian codec helpers
+// ---------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), bitwise — the log and
+/// snapshot are written once per batch, so table-free is plenty.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn put_u32(buf: &mut Vec<u8>, x: u32) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, x: u64) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Events and the append-only log
+// ---------------------------------------------------------------------
+
+/// One logged operation (module docs; on-disk layout in `docs/SERVE.md`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Sets (or, for the next unused topic id, introduces) a topic's
+    /// event rate.
+    Rerate {
+        /// The re-rated topic.
+        topic: TopicId,
+        /// Its new `ev_t`.
+        rate: Rate,
+    },
+    /// Adds the pair `(topic, subscriber)` to the interest relation.
+    Subscribe {
+        /// The subscriber gaining an interest.
+        subscriber: SubscriberId,
+        /// The topic subscribed to (must have a rate already).
+        topic: TopicId,
+    },
+    /// Removes the pair `(topic, subscriber)`; a no-op if absent.
+    Unsubscribe {
+        /// The subscriber losing an interest.
+        subscriber: SubscriberId,
+        /// The topic unsubscribed from.
+        topic: TopicId,
+    },
+    /// Epoch boundary, written by the daemon itself when it closes an
+    /// epoch — never submitted by callers. Pinning boundaries into the
+    /// log makes replay group events into exactly the original epochs,
+    /// whether they were closed by watermark or by wall-clock tick.
+    EpochMark {
+        /// The (0-based) index of the epoch this mark closed.
+        epoch: u64,
+    },
+}
+
+const KIND_RERATE: u8 = 0;
+const KIND_SUBSCRIBE: u8 = 1;
+const KIND_UNSUBSCRIBE: u8 = 2;
+const KIND_EPOCH_MARK: u8 = 3;
+
+impl Event {
+    fn encode_payload(self, seq: u64, buf: &mut Vec<u8>) {
+        put_u64(buf, seq);
+        match self {
+            Event::Rerate { topic, rate } => {
+                buf.push(KIND_RERATE);
+                put_u32(buf, topic.index() as u32);
+                put_u64(buf, rate.get());
+            }
+            Event::Subscribe { subscriber, topic } => {
+                buf.push(KIND_SUBSCRIBE);
+                put_u32(buf, subscriber.index() as u32);
+                put_u32(buf, topic.index() as u32);
+            }
+            Event::Unsubscribe { subscriber, topic } => {
+                buf.push(KIND_UNSUBSCRIBE);
+                put_u32(buf, subscriber.index() as u32);
+                put_u32(buf, topic.index() as u32);
+            }
+            Event::EpochMark { epoch } => {
+                buf.push(KIND_EPOCH_MARK);
+                put_u64(buf, epoch);
+            }
+        }
+    }
+
+    fn decode_payload(payload: &[u8]) -> Option<(u64, Event)> {
+        let mut r = Reader::new(payload);
+        let seq = r.u64()?;
+        let event = match r.u8()? {
+            KIND_RERATE => Event::Rerate {
+                topic: TopicId::new(r.u32()?),
+                rate: Rate::new(r.u64()?),
+            },
+            KIND_SUBSCRIBE => Event::Subscribe {
+                subscriber: SubscriberId::new(r.u32()?),
+                topic: TopicId::new(r.u32()?),
+            },
+            KIND_UNSUBSCRIBE => Event::Unsubscribe {
+                subscriber: SubscriberId::new(r.u32()?),
+                topic: TopicId::new(r.u32()?),
+            },
+            KIND_EPOCH_MARK => Event::EpochMark { epoch: r.u64()? },
+            _ => return None,
+        };
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some((seq, event))
+    }
+}
+
+/// A replayed log record: the event and its sequence number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SequencedEvent {
+    /// Monotonic sequence number (1-based).
+    pub seq: u64,
+    /// The logged event.
+    pub event: Event,
+}
+
+/// Append-only, checksummed event log (module docs).
+///
+/// Every record carries a CRC32 and a monotonic sequence number; replay
+/// stops at the first record that fails validation and truncates the
+/// file there, so a write torn by a crash costs at most the torn record
+/// — never the log.
+///
+/// ```
+/// use mcss_core::serve::{Event, EventLog};
+/// use pubsub_model::{Rate, TopicId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dir = std::env::temp_dir().join(format!("mcss-log-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir)?;
+/// let path = dir.join("events.log");
+///
+/// let mut log = EventLog::create(&path)?;
+/// let seq = log.append(Event::Rerate { topic: TopicId::new(0), rate: Rate::new(20) })?;
+/// assert_eq!(seq, 1);
+/// log.sync()?;
+/// drop(log);
+///
+/// let (log, records) = EventLog::open(&path)?;
+/// assert_eq!(records.len(), 1);
+/// assert_eq!(records[0].seq, 1);
+/// assert_eq!(log.next_seq(), 2);
+/// # drop(log);
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EventLog {
+    writer: BufWriter<File>,
+    next_seq: u64,
+}
+
+impl EventLog {
+    /// Creates (or truncates) the log at `path` and writes the header.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError::Io`] from creating or writing the file.
+    pub fn create(path: &Path) -> Result<EventLog, ServeError> {
+        let mut file = File::create(path)?;
+        let mut header = Vec::with_capacity(12);
+        header.extend_from_slice(LOG_MAGIC);
+        put_u32(&mut header, LOG_VERSION);
+        file.write_all(&header)?;
+        Ok(EventLog {
+            writer: BufWriter::new(file),
+            next_seq: 1,
+        })
+    }
+
+    /// Opens an existing log, replaying every valid record. A torn or
+    /// corrupt tail is truncated (replay keeps the valid prefix); the
+    /// returned log appends after the last valid record.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Corrupt`] if the header itself is invalid,
+    /// [`ServeError::Io`] on filesystem failures.
+    pub fn open(path: &Path) -> Result<(EventLog, Vec<SequencedEvent>), ServeError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            // Crashed before the header hit the disk: start fresh.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            let mut header = Vec::with_capacity(12);
+            header.extend_from_slice(LOG_MAGIC);
+            put_u32(&mut header, LOG_VERSION);
+            file.write_all(&header)?;
+            return Ok((
+                EventLog {
+                    writer: BufWriter::new(file),
+                    next_seq: 1,
+                },
+                Vec::new(),
+            ));
+        }
+        if bytes.len() < 12 || &bytes[..8] != LOG_MAGIC {
+            return Err(ServeError::Corrupt {
+                path: path.to_path_buf(),
+                detail: "not an mcss event log (bad magic)".into(),
+            });
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != LOG_VERSION {
+            return Err(ServeError::Corrupt {
+                path: path.to_path_buf(),
+                detail: format!("unsupported event log version {version} (expected {LOG_VERSION})"),
+            });
+        }
+
+        let mut records = Vec::new();
+        let mut pos = 12usize;
+        let mut last_seq = 0u64;
+        loop {
+            let mut r = Reader::new(&bytes[pos..]);
+            let Some(crc) = r.u32() else { break };
+            let Some(len) = r.u32() else { break };
+            let Some(payload) = r.take(len as usize) else {
+                break;
+            };
+            if crc32(payload) != crc {
+                break;
+            }
+            let Some((seq, event)) = Event::decode_payload(payload) else {
+                break;
+            };
+            if seq != last_seq + 1 {
+                break;
+            }
+            last_seq = seq;
+            records.push(SequencedEvent { seq, event });
+            pos += 8 + len as usize;
+        }
+        if pos < bytes.len() {
+            file.set_len(pos as u64)?;
+        }
+        file.seek(SeekFrom::Start(pos as u64))?;
+        Ok((
+            EventLog {
+                writer: BufWriter::new(file),
+                next_seq: last_seq + 1,
+            },
+            records,
+        ))
+    }
+
+    /// Appends one event, returning the sequence number it was assigned.
+    /// Writes are buffered; call [`EventLog::sync`] to make them
+    /// durable (the daemon does so at every epoch boundary).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError::Io`] from the buffered write.
+    pub fn append(&mut self, event: Event) -> Result<u64, ServeError> {
+        let seq = self.next_seq;
+        let mut payload = Vec::with_capacity(24);
+        event.encode_payload(seq, &mut payload);
+        let mut record = Vec::with_capacity(8 + payload.len());
+        put_u32(&mut record, crc32(&payload));
+        put_u32(&mut record, payload.len() as u32);
+        record.extend_from_slice(&payload);
+        self.writer.write_all(&record)?;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Flushes buffered records and fsyncs the file.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError::Io`] from the flush or sync.
+    pub fn sync(&mut self) -> Result<(), ServeError> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()?;
+        Ok(())
+    }
+
+    /// The sequence number the next append will be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------
+
+/// A checksummed point-in-time capture of the daemon's primary state
+/// (module docs; on-disk layout in `docs/SERVE.md`). Everything the
+/// solver derives — follower CSR, rate-ranked arenas, ledger heaps and
+/// reverse index — is rebuilt from these fields on load.
+///
+/// ```
+/// use mcss_core::serve::Snapshot;
+/// use mcss_core::Selection;
+/// use pubsub_model::{Bandwidth, Rate, TopicId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dir = std::env::temp_dir().join(format!("mcss-snap-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir)?;
+/// let path = dir.join("snapshot.bin");
+///
+/// let snapshot = Snapshot {
+///     last_seq: 3,
+///     epochs_applied: 1,
+///     tau: Rate::new(10),
+///     capacity: Bandwidth::new(50),
+///     rates: vec![Rate::new(10)],
+///     interests: vec![vec![TopicId::new(0)]],
+///     selection: Selection::from_csr(vec![0, 1], vec![TopicId::new(0)]),
+///     slots: Vec::new(),
+/// };
+/// snapshot.write(&path)?;   // atomically: tmp file + rename
+/// let loaded = Snapshot::load(&path)?;
+/// assert_eq!(loaded.last_seq, 3);
+/// assert_eq!(loaded.rates, vec![Rate::new(10)]);
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Sequence number of the last applied `EpochMark`; replay resumes
+    /// with the first record after it.
+    pub last_seq: u64,
+    /// Number of epochs applied so far.
+    pub epochs_applied: u64,
+    /// The satisfaction threshold the daemon runs at.
+    pub tau: Rate,
+    /// The per-VM capacity the daemon runs at.
+    pub capacity: Bandwidth,
+    /// Per-topic event rates (the primary of the workload arenas).
+    pub rates: Vec<Rate>,
+    /// Per-subscriber interest rows (the other workload primary).
+    pub interests: Vec<Vec<TopicId>>,
+    /// The Stage-1 selection as of the last applied epoch.
+    pub selection: Selection,
+    /// The fleet ledger's slot table, tombstones included.
+    pub slots: Vec<LedgerSlot>,
+}
+
+impl Snapshot {
+    fn encode_body(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        put_u64(&mut b, self.last_seq);
+        put_u64(&mut b, self.epochs_applied);
+        put_u64(&mut b, self.tau.get());
+        put_u64(&mut b, self.capacity.get());
+        put_u32(&mut b, self.rates.len() as u32);
+        for r in &self.rates {
+            put_u64(&mut b, r.get());
+        }
+        put_u32(&mut b, self.interests.len() as u32);
+        for row in &self.interests {
+            put_u32(&mut b, row.len() as u32);
+            for t in row {
+                put_u32(&mut b, t.index() as u32);
+            }
+        }
+        put_u32(&mut b, self.selection.num_subscribers() as u32);
+        for row in self.selection.rows() {
+            put_u32(&mut b, row.len() as u32);
+            for t in row {
+                put_u32(&mut b, t.index() as u32);
+            }
+        }
+        put_u32(&mut b, self.slots.len() as u32);
+        for slot in &self.slots {
+            b.push(u8::from(slot.tombstone));
+            put_u64(&mut b, slot.cap.get());
+            put_u64(&mut b, slot.used.get());
+            put_u32(&mut b, slot.rows.len() as u32);
+            for (t, subs) in &slot.rows {
+                put_u32(&mut b, t.index() as u32);
+                put_u32(&mut b, subs.len() as u32);
+                for v in subs {
+                    put_u32(&mut b, v.index() as u32);
+                }
+            }
+        }
+        b
+    }
+
+    fn decode_body(body: &[u8]) -> Option<Snapshot> {
+        let mut r = Reader::new(body);
+        let last_seq = r.u64()?;
+        let epochs_applied = r.u64()?;
+        let tau = Rate::new(r.u64()?);
+        let capacity = Bandwidth::new(r.u64()?);
+        let num_topics = r.u32()? as usize;
+        let mut rates = Vec::with_capacity(num_topics);
+        for _ in 0..num_topics {
+            rates.push(Rate::new(r.u64()?));
+        }
+        let num_subscribers = r.u32()? as usize;
+        let mut interests = Vec::with_capacity(num_subscribers);
+        for _ in 0..num_subscribers {
+            let len = r.u32()? as usize;
+            let mut row = Vec::with_capacity(len);
+            for _ in 0..len {
+                row.push(TopicId::new(r.u32()?));
+            }
+            interests.push(row);
+        }
+        let sel_rows = r.u32()? as usize;
+        let mut offsets = Vec::with_capacity(sel_rows + 1);
+        let mut topics = Vec::new();
+        offsets.push(0usize);
+        for _ in 0..sel_rows {
+            let len = r.u32()? as usize;
+            for _ in 0..len {
+                topics.push(TopicId::new(r.u32()?));
+            }
+            offsets.push(topics.len());
+        }
+        let selection = Selection::from_csr(offsets, topics);
+        let num_slots = r.u32()? as usize;
+        let mut slots = Vec::with_capacity(num_slots);
+        for _ in 0..num_slots {
+            let tombstone = r.u8()? != 0;
+            let cap = Bandwidth::new(r.u64()?);
+            let used = Bandwidth::new(r.u64()?);
+            let num_rows = r.u32()? as usize;
+            let mut rows = Vec::with_capacity(num_rows);
+            for _ in 0..num_rows {
+                let t = TopicId::new(r.u32()?);
+                let len = r.u32()? as usize;
+                let mut subs = Vec::with_capacity(len);
+                for _ in 0..len {
+                    subs.push(SubscriberId::new(r.u32()?));
+                }
+                rows.push((t, subs));
+            }
+            slots.push(LedgerSlot {
+                tombstone,
+                cap,
+                used,
+                rows,
+            });
+        }
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(Snapshot {
+            last_seq,
+            epochs_applied,
+            tau,
+            capacity,
+            rates,
+            interests,
+            selection,
+            slots,
+        })
+    }
+
+    /// Writes the snapshot atomically: the encoded, checksummed bytes go
+    /// to `<path>.tmp`, which is fsynced and renamed over `path` — a
+    /// crash mid-write leaves the previous snapshot intact.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError::Io`] from writing, syncing or renaming.
+    pub fn write(&self, path: &Path) -> Result<(), ServeError> {
+        let body = self.encode_body();
+        let mut bytes = Vec::with_capacity(24 + body.len());
+        bytes.extend_from_slice(SNAP_MAGIC);
+        put_u32(&mut bytes, SNAP_VERSION);
+        put_u32(&mut bytes, crc32(&body));
+        put_u64(&mut bytes, body.len() as u64);
+        bytes.extend_from_slice(&body);
+
+        let tmp = path.with_extension("bin.tmp");
+        let mut file = File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_data()?;
+        drop(file);
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads and validates a snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Corrupt`] on bad magic, unsupported version,
+    /// checksum mismatch, or truncated/inconsistent contents;
+    /// [`ServeError::Io`] on filesystem failures.
+    pub fn load(path: &Path) -> Result<Snapshot, ServeError> {
+        let corrupt = |detail: &str| ServeError::Corrupt {
+            path: path.to_path_buf(),
+            detail: format!("corrupted snapshot: {detail}"),
+        };
+        let bytes = fs::read(path)?;
+        if bytes.len() < 24 || &bytes[..8] != SNAP_MAGIC {
+            return Err(corrupt("not an mcss snapshot (bad magic)"));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != SNAP_VERSION {
+            return Err(ServeError::Corrupt {
+                path: path.to_path_buf(),
+                detail: format!("unsupported snapshot version {version} (expected {SNAP_VERSION})"),
+            });
+        }
+        let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        let body_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let Some(body) = bytes.get(24..24 + body_len) else {
+            return Err(corrupt("truncated body"));
+        };
+        if crc32(body) != crc {
+            return Err(corrupt("checksum mismatch"));
+        }
+        Snapshot::decode_body(body).ok_or_else(|| corrupt("inconsistent body"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// The serve loop
+// ---------------------------------------------------------------------
+
+/// Serve-loop configuration, builder style.
+///
+/// ```
+/// use mcss_core::serve::ServeConfig;
+/// use pubsub_model::{Bandwidth, Rate};
+///
+/// let config = ServeConfig::new(Rate::new(40), Bandwidth::new(1_000))
+///     .with_epoch_events(500)   // close an epoch every 500 events
+///     .with_snapshot_every(4);  // snapshot every 4 epochs
+/// assert_eq!(config.epoch_events, Some(500));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Satisfaction threshold `τ`.
+    pub tau: Rate,
+    /// Per-VM bandwidth capacity `BC`.
+    pub capacity: Bandwidth,
+    /// Watermark: close an epoch after this many buffered events. `None`
+    /// means epochs close only on [`Daemon::tick`] (e.g. a wall-clock
+    /// timer). Must be positive when set.
+    pub epoch_events: Option<u64>,
+    /// Write a snapshot every this many applied epochs; `0` disables
+    /// periodic snapshots ([`Daemon::snapshot_now`] still works).
+    pub snapshot_every: u64,
+}
+
+impl ServeConfig {
+    /// A configuration with no watermark and snapshots every 8 epochs.
+    pub fn new(tau: Rate, capacity: Bandwidth) -> ServeConfig {
+        ServeConfig {
+            tau,
+            capacity,
+            epoch_events: None,
+            snapshot_every: 8,
+        }
+    }
+
+    /// Sets the event-count watermark (see [`ServeConfig::epoch_events`]).
+    pub fn with_epoch_events(mut self, events: u64) -> ServeConfig {
+        self.epoch_events = Some(events);
+        self
+    }
+
+    /// Sets the snapshot cadence (see [`ServeConfig::snapshot_every`]).
+    pub fn with_snapshot_every(mut self, epochs: u64) -> ServeConfig {
+        self.snapshot_every = epochs;
+        self
+    }
+}
+
+/// One applied epoch's statistics, as printed by `mcss serve` and
+/// aggregated into the run summary.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStats {
+    /// 0-based index of the applied epoch.
+    pub epoch: u64,
+    /// Events folded into this epoch.
+    pub events_applied: u64,
+    /// Pairs newly placed (selection growth plus evictions).
+    pub pairs_placed: u64,
+    /// Pairs removed from the fleet.
+    pub pairs_removed: u64,
+    /// Pairs evicted from overflowing VMs and re-placed.
+    pub pairs_evicted: u64,
+    /// Selection rows reused verbatim by dirty tracking.
+    pub pairs_reused: u64,
+    /// Whether the compaction floor forced a full re-solve.
+    pub full_resolve: bool,
+    /// Live VMs after the epoch.
+    pub vm_count: usize,
+    /// Fleet cost `C1(|B|) + C2(Σ bw)` after the epoch.
+    pub fleet_cost: Money,
+    /// Wall-clock time to fold and apply the epoch.
+    pub apply_time: Duration,
+}
+
+/// The event-sourced serve loop (module docs).
+///
+/// Build one with [`Daemon::create`] (fresh state directory) or
+/// [`Daemon::resume`] (recover from snapshot + log). Feed it events with
+/// [`Daemon::submit`]; epochs close on the configured watermark or an
+/// explicit [`Daemon::tick`].
+///
+/// ```
+/// use cloud_cost::{LinearCostModel, Money};
+/// use mcss_core::serve::{Daemon, Event, ServeConfig};
+/// use pubsub_model::{Bandwidth, Rate, SubscriberId, TopicId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let dir = std::env::temp_dir().join(format!("mcss-daemon-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir)?;
+///
+/// let config = ServeConfig::new(Rate::new(10), Bandwidth::new(50))
+///     .with_epoch_events(2)
+///     .with_snapshot_every(1);
+/// let cost = Box::new(LinearCostModel::vm_only(Money::from_dollars(1)));
+/// let mut daemon = Daemon::create(&dir, config, cost)?;
+///
+/// daemon.submit(Event::Rerate { topic: TopicId::new(0), rate: Rate::new(10) })?;
+/// // The second event reaches the watermark and applies epoch 0.
+/// let stats = daemon
+///     .submit(Event::Subscribe { subscriber: SubscriberId::new(0), topic: TopicId::new(0) })?
+///     .expect("watermark closes the epoch");
+/// assert_eq!(stats.epoch, 0);
+/// assert_eq!(stats.vm_count, 1);
+/// assert_eq!(daemon.epochs_applied(), 1);
+/// # drop(daemon);
+/// # std::fs::remove_dir_all(&dir)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Daemon {
+    dir: PathBuf,
+    config: ServeConfig,
+    cost: Box<dyn CostModel>,
+    log: EventLog,
+    edit: WorkloadEdit,
+    prev: Option<Arc<Workload>>,
+    realloc: IncrementalReallocator,
+    epochs_applied: u64,
+    pending: u64,
+    last_applied: u64,
+}
+
+impl Daemon {
+    /// Starts a daemon with a fresh state directory (created if needed;
+    /// an existing log is truncated).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] on an invalid configuration
+    /// (`epoch_events == Some(0)`), [`ServeError::Io`] on filesystem
+    /// failures.
+    pub fn create(
+        dir: &Path,
+        config: ServeConfig,
+        cost: Box<dyn CostModel>,
+    ) -> Result<Daemon, ServeError> {
+        Daemon::check_config(&config)?;
+        fs::create_dir_all(dir)?;
+        let log = EventLog::create(&dir.join(LOG_FILE))?;
+        Ok(Daemon {
+            dir: dir.to_path_buf(),
+            config,
+            cost,
+            log,
+            edit: WorkloadEdit::new(),
+            prev: None,
+            realloc: IncrementalReallocator::default(),
+            epochs_applied: 0,
+            pending: 0,
+            last_applied: 0,
+        })
+    }
+
+    /// Recovers a daemon from a state directory: loads the snapshot (if
+    /// one exists), rebuilds every derived structure from its primaries,
+    /// and replays the log suffix — re-applying an epoch at every
+    /// `EpochMark` and leaving trailing events buffered, exactly as they
+    /// were before the crash. `config` and the cost model must match the
+    /// original run; `τ`/capacity mismatches are rejected against the
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Corrupt`] for an invalid snapshot, an invalid log
+    /// header, or a log inconsistent with the snapshot;
+    /// [`ServeError::Rejected`] on config mismatch; [`ServeError::Solve`]
+    /// if a replayed epoch fails to apply.
+    pub fn resume(
+        dir: &Path,
+        config: ServeConfig,
+        cost: Box<dyn CostModel>,
+    ) -> Result<Daemon, ServeError> {
+        Daemon::check_config(&config)?;
+        fs::create_dir_all(dir)?;
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let log_path = dir.join(LOG_FILE);
+
+        let mut edit = WorkloadEdit::new();
+        let mut prev = None;
+        let mut realloc = IncrementalReallocator::default();
+        let mut epochs_applied = 0u64;
+        let mut last_applied = 0u64;
+        if snap_path.exists() {
+            let snap = Snapshot::load(&snap_path)?;
+            if snap.tau != config.tau || snap.capacity != config.capacity {
+                return Err(ServeError::Rejected(format!(
+                    "snapshot was taken at tau {} / capacity {}, resume requested tau {} / \
+                     capacity {} — restart with matching flags",
+                    snap.tau.get(),
+                    snap.capacity.get(),
+                    config.tau.get(),
+                    config.capacity.get()
+                )));
+            }
+            let workload = Arc::new(Workload::from_parts(
+                snap.rates.clone(),
+                snap.interests.clone(),
+            ));
+            edit = WorkloadEdit::from_workload(&workload);
+            realloc.restore(
+                snap.selection,
+                FleetLedger::from_slots(snap.slots),
+                snap.capacity,
+                snap.rates,
+                config.tau,
+            );
+            prev = Some(workload);
+            epochs_applied = snap.epochs_applied;
+            last_applied = snap.last_seq;
+        }
+
+        let (log, records) = if log_path.exists() {
+            EventLog::open(&log_path)?
+        } else {
+            (EventLog::create(&log_path)?, Vec::new())
+        };
+        if log.next_seq() <= last_applied {
+            return Err(ServeError::Corrupt {
+                path: log_path,
+                detail: format!(
+                    "event log ends at sequence {} but the snapshot was taken at {}",
+                    log.next_seq() - 1,
+                    last_applied
+                ),
+            });
+        }
+
+        let mut daemon = Daemon {
+            dir: dir.to_path_buf(),
+            config,
+            cost,
+            log,
+            edit,
+            prev,
+            realloc,
+            epochs_applied,
+            pending: 0,
+            last_applied,
+        };
+
+        for record in records {
+            if record.seq <= daemon.last_applied {
+                continue;
+            }
+            match record.event {
+                Event::EpochMark { epoch } => {
+                    if epoch != daemon.epochs_applied {
+                        return Err(ServeError::Corrupt {
+                            path: daemon.dir.join(LOG_FILE),
+                            detail: format!(
+                                "epoch mark {epoch} at sequence {} but {} epochs were applied",
+                                record.seq, daemon.epochs_applied
+                            ),
+                        });
+                    }
+                    let events = daemon.pending;
+                    daemon.pending = 0;
+                    daemon.apply_epoch(events)?;
+                    daemon.last_applied = record.seq;
+                    daemon.epochs_applied += 1;
+                }
+                event => {
+                    daemon
+                        .apply_to_mirror(event)
+                        .map_err(|e| ServeError::Corrupt {
+                            path: daemon.dir.join(LOG_FILE),
+                            detail: format!(
+                                "replayed event at sequence {} rejected: {e}",
+                                record.seq
+                            ),
+                        })?;
+                    daemon.pending += 1;
+                }
+            }
+        }
+        Ok(daemon)
+    }
+
+    fn check_config(config: &ServeConfig) -> Result<(), ServeError> {
+        if config.epoch_events == Some(0) {
+            return Err(ServeError::Rejected(
+                "epoch watermark must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn apply_to_mirror(&mut self, event: Event) -> Result<(), pubsub_model::WorkloadError> {
+        match event {
+            Event::Rerate { topic, rate } => self.edit.rerate(topic, rate),
+            Event::Subscribe { subscriber, topic } => self.edit.subscribe(subscriber, topic),
+            Event::Unsubscribe { subscriber, topic } => {
+                self.edit.unsubscribe(subscriber, topic);
+                Ok(())
+            }
+            Event::EpochMark { .. } => unreachable!("marks never reach the mirror"),
+        }
+    }
+
+    /// Validates and buffers one event (appending it to the log). When a
+    /// watermark is configured and reached, the epoch closes and its
+    /// stats are returned.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] for an `EpochMark` (daemon-internal) or
+    /// an event the mirror rejects (unknown topic, zero rate — the event
+    /// is *not* logged); log-write and epoch-apply errors pass through.
+    pub fn submit(&mut self, event: Event) -> Result<Option<EpochStats>, ServeError> {
+        if matches!(event, Event::EpochMark { .. }) {
+            return Err(ServeError::Rejected(
+                "epoch marks are written by the daemon, not submitted".into(),
+            ));
+        }
+        self.apply_to_mirror(event)
+            .map_err(|e| ServeError::Rejected(e.to_string()))?;
+        self.log.append(event)?;
+        self.pending += 1;
+        if let Some(watermark) = self.config.epoch_events {
+            if self.pending >= watermark {
+                return Ok(Some(self.close_epoch()?));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Closes the current epoch regardless of the watermark — the entry
+    /// point for wall-clock ticks (`mcss serve --epoch-ms`). Returns
+    /// `None` when no events are buffered (nothing to apply).
+    ///
+    /// # Errors
+    ///
+    /// Log-write, snapshot-write and epoch-apply errors pass through.
+    pub fn tick(&mut self) -> Result<Option<EpochStats>, ServeError> {
+        if self.pending == 0 {
+            return Ok(None);
+        }
+        Ok(Some(self.close_epoch()?))
+    }
+
+    fn close_epoch(&mut self) -> Result<EpochStats, ServeError> {
+        let mark_seq = self.log.append(Event::EpochMark {
+            epoch: self.epochs_applied,
+        })?;
+        self.log.sync()?;
+        let events = self.pending;
+        self.pending = 0;
+        let stats = self.apply_epoch(events)?;
+        self.last_applied = mark_seq;
+        self.epochs_applied += 1;
+        if self.config.snapshot_every > 0
+            && self
+                .epochs_applied
+                .is_multiple_of(self.config.snapshot_every)
+        {
+            self.write_snapshot()?;
+        }
+        Ok(stats)
+    }
+
+    fn apply_epoch(&mut self, events: u64) -> Result<EpochStats, ServeError> {
+        let started = Instant::now();
+        let (workload, changed_topics, changed_subscribers) =
+            self.edit.commit(self.prev.as_deref());
+        let delta = WorkloadDelta {
+            changed_topics,
+            changed_subscribers,
+        };
+        let workload = Arc::new(workload);
+        let instance =
+            McssInstance::new(Arc::clone(&workload), self.config.tau, self.config.capacity)?;
+        let outcome = self
+            .realloc
+            .step_with_delta(&instance, self.cost.as_ref(), &delta)?;
+        self.prev = Some(workload);
+        let fleet_cost = self.cost.vm_cost(outcome.allocation.vm_count())
+            + self
+                .cost
+                .bandwidth_cost(outcome.allocation.total_bandwidth());
+        Ok(EpochStats {
+            epoch: self.epochs_applied,
+            events_applied: events,
+            pairs_placed: outcome.pairs_placed,
+            pairs_removed: outcome.pairs_removed,
+            pairs_evicted: outcome.pairs_evicted,
+            pairs_reused: outcome.pairs_reused,
+            full_resolve: outcome.full_resolve,
+            vm_count: outcome.allocation.vm_count(),
+            fleet_cost,
+            apply_time: started.elapsed(),
+        })
+    }
+
+    /// Writes a snapshot now, returning its path. Requires at least one
+    /// applied epoch (there is no state worth capturing before that).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Rejected`] before the first epoch; otherwise any
+    /// [`ServeError::Io`] from the write.
+    pub fn snapshot_now(&mut self) -> Result<PathBuf, ServeError> {
+        self.write_snapshot()
+    }
+
+    fn write_snapshot(&mut self) -> Result<PathBuf, ServeError> {
+        let workload = self.prev.as_ref().ok_or_else(|| {
+            ServeError::Rejected("nothing to snapshot before the first epoch".into())
+        })?;
+        let (selection, ledger, capacity) = self
+            .realloc
+            .checkpoint()
+            .expect("an applied epoch implies a checkpoint");
+        let snapshot = Snapshot {
+            last_seq: self.last_applied,
+            epochs_applied: self.epochs_applied,
+            tau: self.config.tau,
+            capacity,
+            rates: workload.rates().to_vec(),
+            interests: workload
+                .subscribers()
+                .map(|v| workload.interests(v).to_vec())
+                .collect(),
+            selection: selection.clone(),
+            slots: ledger.snapshot_slots(),
+        };
+        let path = self.dir.join(SNAPSHOT_FILE);
+        snapshot.write(&path)?;
+        Ok(path)
+    }
+
+    /// Number of epochs applied so far.
+    pub fn epochs_applied(&self) -> u64 {
+        self.epochs_applied
+    }
+
+    /// Events buffered in the (not yet closed) current epoch.
+    pub fn pending_events(&self) -> u64 {
+        self.pending
+    }
+
+    /// Sequence number of the last applied `EpochMark` (0 before any).
+    pub fn last_applied_seq(&self) -> u64 {
+        self.last_applied
+    }
+
+    /// The workload as of the last applied epoch.
+    pub fn workload(&self) -> Option<&Workload> {
+        self.prev.as_deref()
+    }
+
+    /// The Stage-1 selection as of the last applied epoch.
+    pub fn selection(&self) -> Option<&Selection> {
+        self.realloc.checkpoint().map(|(s, _, _)| s)
+    }
+
+    /// The current fleet, exported from the ledger.
+    pub fn allocation(&self) -> Option<Allocation> {
+        self.realloc
+            .checkpoint()
+            .map(|(_, ledger, capacity)| ledger.to_allocation(capacity))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Drift-fed driver
+// ---------------------------------------------------------------------
+
+/// Feeds a [`Daemon`] from a [`DriftModel`], translating per-epoch
+/// workload evolution into the raw event stream a control plane would
+/// emit — which makes `mcss serve --trace spotify` self-exercising with
+/// no external event source.
+#[derive(Clone, Debug)]
+pub struct Driver {
+    drift: DriftModel,
+    current: Workload,
+    epoch: u64,
+}
+
+impl Driver {
+    /// A driver whose first batch ([`Driver::initial_events`]) loads
+    /// `initial`, and whose subsequent batches follow `drift`.
+    pub fn new(initial: Workload, drift: DriftModel) -> Driver {
+        Driver {
+            drift,
+            current: initial,
+            epoch: 0,
+        }
+    }
+
+    /// The generator-side workload the last emitted batch leads to.
+    pub fn workload(&self) -> &Workload {
+        &self.current
+    }
+
+    /// The bootstrap batch: one `Rerate` per topic (introducing it),
+    /// then one `Subscribe` per interest pair.
+    pub fn initial_events(&self) -> Vec<Event> {
+        let w = &self.current;
+        let mut events = Vec::with_capacity(w.num_topics() + w.pair_count() as usize);
+        for (ti, &rate) in w.rates().iter().enumerate() {
+            events.push(Event::Rerate {
+                topic: TopicId::new(ti as u32),
+                rate,
+            });
+        }
+        for v in w.subscribers() {
+            for &topic in w.interests(v) {
+                events.push(Event::Subscribe {
+                    subscriber: v,
+                    topic,
+                });
+            }
+        }
+        events
+    }
+
+    /// Evolves one drift epoch and emits the difference as events:
+    /// `Rerate` for every re-rated (or new) topic, then sorted
+    /// `Unsubscribe`/`Subscribe` diffs per changed subscriber.
+    pub fn next_epoch_events(&mut self) -> Vec<Event> {
+        let (next, delta) = self.drift.evolve_tracked(&self.current, self.epoch);
+        self.epoch += 1;
+        let mut events = Vec::new();
+
+        let mut topics = delta.changed_topics;
+        topics.extend(
+            (self.current.num_topics()..next.num_topics()).map(|ti| TopicId::new(ti as u32)),
+        );
+        topics.sort_unstable();
+        topics.dedup();
+        for t in topics {
+            let fresh = t.index() >= self.current.num_topics();
+            if fresh || self.current.rate(t) != next.rate(t) {
+                events.push(Event::Rerate {
+                    topic: t,
+                    rate: next.rate(t),
+                });
+            }
+        }
+
+        let mut subs = delta.changed_subscribers;
+        subs.extend(
+            (self.current.num_subscribers()..next.num_subscribers())
+                .map(|vi| SubscriberId::new(vi as u32)),
+        );
+        subs.sort_unstable();
+        subs.dedup();
+        for v in subs {
+            if v.index() >= next.num_subscribers() {
+                continue;
+            }
+            let mut old: Vec<TopicId> = if v.index() < self.current.num_subscribers() {
+                self.current.interests(v).to_vec()
+            } else {
+                Vec::new()
+            };
+            let mut new: Vec<TopicId> = next.interests(v).to_vec();
+            old.sort_unstable();
+            new.sort_unstable();
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < old.len() || j < new.len() {
+                match (old.get(i), new.get(j)) {
+                    (Some(&o), Some(&n)) if o == n => {
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(&o), Some(&n)) if o < n => {
+                        events.push(Event::Unsubscribe {
+                            subscriber: v,
+                            topic: o,
+                        });
+                        i += 1;
+                    }
+                    (Some(_), Some(&n)) => {
+                        events.push(Event::Subscribe {
+                            subscriber: v,
+                            topic: n,
+                        });
+                        j += 1;
+                    }
+                    (Some(&o), None) => {
+                        events.push(Event::Unsubscribe {
+                            subscriber: v,
+                            topic: o,
+                        });
+                        i += 1;
+                    }
+                    (None, Some(&n)) => {
+                        events.push(Event::Subscribe {
+                            subscriber: v,
+                            topic: n,
+                        });
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+        }
+        self.current = next;
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloud_cost::{LinearCostModel, Money};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mcss-serve-unit-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn cost() -> Box<dyn CostModel> {
+        Box::new(LinearCostModel::new(
+            Money::from_dollars(1),
+            Money::from_micros(5),
+        ))
+    }
+
+    fn t(i: u32) -> TopicId {
+        TopicId::new(i)
+    }
+    fn v(i: u32) -> SubscriberId {
+        SubscriberId::new(i)
+    }
+
+    #[test]
+    fn log_round_trips_and_sequences() {
+        let dir = scratch("log-roundtrip");
+        let path = dir.join(LOG_FILE);
+        let events = [
+            Event::Rerate {
+                topic: t(3),
+                rate: Rate::new(77),
+            },
+            Event::Subscribe {
+                subscriber: v(9),
+                topic: t(3),
+            },
+            Event::Unsubscribe {
+                subscriber: v(9),
+                topic: t(3),
+            },
+            Event::EpochMark { epoch: 0 },
+        ];
+        let mut log = EventLog::create(&path).unwrap();
+        for (i, &e) in events.iter().enumerate() {
+            assert_eq!(log.append(e).unwrap(), i as u64 + 1);
+        }
+        log.sync().unwrap();
+        drop(log);
+
+        let (log, records) = EventLog::open(&path).unwrap();
+        assert_eq!(log.next_seq(), events.len() as u64 + 1);
+        assert_eq!(records.len(), events.len());
+        for (i, rec) in records.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64 + 1);
+            assert_eq!(rec.event, events[i]);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let dir = scratch("torn-tail");
+        let path = dir.join(LOG_FILE);
+        let mut log = EventLog::create(&path).unwrap();
+        log.append(Event::Rerate {
+            topic: t(0),
+            rate: Rate::new(5),
+        })
+        .unwrap();
+        log.append(Event::EpochMark { epoch: 0 }).unwrap();
+        log.sync().unwrap();
+        drop(log);
+
+        // Simulate a torn write: half a record of garbage at the tail.
+        let mut bytes = fs::read(&path).unwrap();
+        let full = bytes.len();
+        bytes.extend_from_slice(&[0xAB; 7]);
+        fs::write(&path, &bytes).unwrap();
+
+        let (mut log, records) = EventLog::open(&path).unwrap();
+        assert_eq!(records.len(), 2, "valid prefix survives");
+        assert_eq!(fs::metadata(&path).unwrap().len(), full as u64);
+        // Appending after recovery continues the sequence.
+        assert_eq!(
+            log.append(Event::Rerate {
+                topic: t(1),
+                rate: Rate::new(9),
+            })
+            .unwrap(),
+            3
+        );
+        log.sync().unwrap();
+        let (_, records) = EventLog::open(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_reports_checksum_mismatch() {
+        let dir = scratch("corrupt-snap");
+        let path = dir.join(SNAPSHOT_FILE);
+        let snapshot = Snapshot {
+            last_seq: 2,
+            epochs_applied: 1,
+            tau: Rate::new(10),
+            capacity: Bandwidth::new(50),
+            rates: vec![Rate::new(10)],
+            interests: vec![vec![t(0)]],
+            selection: Selection::from_csr(vec![0, 1], vec![t(0)]),
+            slots: vec![LedgerSlot {
+                tombstone: false,
+                cap: Bandwidth::new(50),
+                used: Bandwidth::new(20),
+                rows: vec![(t(0), vec![v(0)])],
+            }],
+        };
+        snapshot.write(&path).unwrap();
+        let loaded = Snapshot::load(&path).unwrap();
+        assert_eq!(loaded.last_seq, 2);
+        assert_eq!(loaded.slots, snapshot.slots);
+
+        // Flip one body byte: load must fail with a checksum complaint.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let err = Snapshot::load(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("corrupted snapshot"),
+            "unexpected error: {err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn daemon_resumes_bit_identically_after_kill() {
+        // Two daemons fed the same stream; one is "kill -9"ed mid-epoch
+        // (its buffered, unsynced log bytes are lost) and resumed. The
+        // recovered daemon must land in exactly the state of one that
+        // never stopped.
+        let drift = DriftModel {
+            rate_sigma: 0.3,
+            churn_prob: 0.4,
+            seed: 11,
+        };
+        let mut b = Workload::builder();
+        let ts: Vec<TopicId> = [20u64, 12, 8, 5]
+            .iter()
+            .map(|&r| b.add_topic(Rate::new(r)).unwrap())
+            .collect();
+        b.add_subscriber([ts[0], ts[1]]).unwrap();
+        b.add_subscriber([ts[1], ts[2]]).unwrap();
+        b.add_subscriber([ts[2], ts[3]]).unwrap();
+        let initial = b.build();
+
+        let mut driver = Driver::new(initial, drift);
+        let mut events = driver.initial_events();
+        for _ in 0..4 {
+            events.extend(driver.next_epoch_events());
+        }
+
+        const WATERMARK: u64 = 5;
+        let config = ServeConfig::new(Rate::new(15), Bandwidth::new(1_000))
+            .with_epoch_events(WATERMARK)
+            .with_snapshot_every(2);
+        let dir_a = scratch("resume-a");
+        let dir_b = scratch("resume-b");
+        let mut live = Daemon::create(&dir_a, config, cost()).unwrap();
+        let mut crashed = Daemon::create(&dir_b, config, cost()).unwrap();
+
+        // Pick a cut that is guaranteed to land mid-epoch.
+        let mut cut = events.len() * 2 / 3 + 1;
+        if (cut as u64).is_multiple_of(WATERMARK) {
+            cut += 1;
+        }
+        for &e in &events[..cut] {
+            crashed.submit(e).unwrap();
+        }
+        assert!(crashed.pending_events() > 0, "cut should land mid-epoch");
+        // kill -9: leak the daemon so the BufWriter never flushes; the
+        // on-disk log ends at the last synced epoch mark.
+        std::mem::forget(crashed);
+
+        for &e in &events {
+            live.submit(e).unwrap();
+        }
+        let mut recovered = Daemon::resume(&dir_b, config, cost()).unwrap();
+        // Only whole epochs survived the crash (syncs happen at marks).
+        assert_eq!(recovered.pending_events(), 0);
+        assert!(recovered.epochs_applied() > 0);
+        let absorbed = (recovered.epochs_applied() * WATERMARK) as usize;
+        assert!(absorbed < cut, "the crash lost the buffered tail");
+        for &e in &events[absorbed..] {
+            recovered.submit(e).unwrap();
+        }
+        live.tick().unwrap();
+        recovered.tick().unwrap();
+
+        assert_eq!(live.epochs_applied(), recovered.epochs_applied());
+        assert_eq!(live.selection(), recovered.selection());
+        assert_eq!(live.allocation(), recovered.allocation());
+        let (lw, rw) = (live.workload().unwrap(), recovered.workload().unwrap());
+        assert_eq!(lw.rates(), rw.rates());
+        assert_eq!(lw.num_subscribers(), rw.num_subscribers());
+        for vi in lw.subscribers() {
+            assert_eq!(lw.interests(vi), rw.interests(vi));
+        }
+        fs::remove_dir_all(&dir_a).unwrap();
+        fs::remove_dir_all(&dir_b).unwrap();
+    }
+}

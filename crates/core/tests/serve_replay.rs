@@ -1,0 +1,133 @@
+//! Crash-recovery property test for the event-sourced serve daemon.
+//!
+//! The contract under test (ISSUE: "crash-consistent recovery"): kill a
+//! daemon at an *arbitrary* event index — losing every log byte buffered
+//! since the last epoch fsync — then recover from snapshot + log replay
+//! and finish the stream. The recovered daemon must be **bit-identical**
+//! to one that never stopped: same workload arenas, same Stage-1
+//! selection, same fleet allocation, same epoch count.
+
+use cloud_cost::{CostModel, LinearCostModel, Money};
+use mcss_core::dynamic::DriftModel;
+use mcss_core::serve::Driver;
+use mcss_core::serve::{Daemon, Event, ServeConfig};
+use proptest::prelude::*;
+use pubsub_model::{Bandwidth, Rate, Workload};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mcss-serve-replay-{}-{}-{tag}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cost() -> Box<dyn CostModel> {
+    Box::new(LinearCostModel::new(
+        Money::from_dollars(1),
+        Money::from_micros(3),
+    ))
+}
+
+/// A fixed base workload; all variation comes from the drift seed.
+fn base_workload() -> Workload {
+    let mut b = Workload::builder();
+    let ts: Vec<_> = [30u64, 18, 12, 9, 6, 4]
+        .iter()
+        .map(|&r| b.add_topic(Rate::new(r)).unwrap())
+        .collect();
+    b.add_subscriber([ts[0], ts[1], ts[4]]).unwrap();
+    b.add_subscriber([ts[1], ts[2]]).unwrap();
+    b.add_subscriber([ts[2], ts[3], ts[5]]).unwrap();
+    b.add_subscriber([ts[0], ts[5]]).unwrap();
+    b.build()
+}
+
+/// The full deterministic event script: bootstrap + `batches` drift
+/// epochs, exactly what `mcss serve --trace ...` would feed.
+fn script(seed: u64, batches: usize) -> Vec<Event> {
+    let drift = DriftModel {
+        rate_sigma: 0.3,
+        churn_prob: 0.4,
+        seed,
+    };
+    let mut driver = Driver::new(base_workload(), drift);
+    let mut events = driver.initial_events();
+    for _ in 0..batches {
+        events.extend(driver.next_epoch_events());
+    }
+    events
+}
+
+proptest! {
+    // Each case runs three daemons with real fsyncs; keep the count low
+    // enough for CI while still sweeping kill points, watermarks, and
+    // snapshot cadences (including 0 = pure log replay).
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn crash_at_any_event_index_recovers_bit_identically(
+        seed in 0u64..1_000,
+        cut_raw in 0usize..100_000,
+        watermark in 2u64..9,
+        snap_every in 0u64..4,
+    ) {
+        let events = script(seed, 4);
+        let cut = cut_raw % (events.len() + 1);
+        let config = ServeConfig::new(Rate::new(15), Bandwidth::new(2_000))
+            .with_epoch_events(watermark)
+            .with_snapshot_every(snap_every);
+
+        // The uninterrupted reference run.
+        let dir_a = scratch("live");
+        let mut live = Daemon::create(&dir_a, config, cost()).unwrap();
+        for &e in &events {
+            live.submit(e).unwrap();
+        }
+        live.tick().unwrap();
+
+        // The crashed run: stop at `cut` and leak the daemon so its
+        // BufWriter never flushes — everything buffered since the last
+        // epoch fsync is lost, exactly like a kill -9.
+        let dir_b = scratch("crash");
+        let mut crashed = Daemon::create(&dir_b, config, cost()).unwrap();
+        for &e in &events[..cut] {
+            crashed.submit(e).unwrap();
+        }
+        std::mem::forget(crashed);
+
+        // Recover and finish the stream. The on-disk log always ends at
+        // an epoch mark (fsync happens there), so the daemon has absorbed
+        // `epochs * watermark` submitted events plus any replayed tail.
+        let mut recovered = Daemon::resume(&dir_b, config, cost()).unwrap();
+        let absorbed =
+            (recovered.epochs_applied() * watermark + recovered.pending_events()) as usize;
+        prop_assert!(absorbed <= cut, "recovery cannot invent events");
+        for &e in &events[absorbed..] {
+            recovered.submit(e).unwrap();
+        }
+        recovered.tick().unwrap();
+
+        // Bit-identical: epochs, selection, fleet, and workload arenas.
+        prop_assert_eq!(live.epochs_applied(), recovered.epochs_applied());
+        prop_assert_eq!(live.selection(), recovered.selection());
+        prop_assert_eq!(live.allocation(), recovered.allocation());
+        let lw = live.workload().unwrap();
+        let rw = recovered.workload().unwrap();
+        prop_assert_eq!(lw.rates(), rw.rates());
+        prop_assert_eq!(lw.num_subscribers(), rw.num_subscribers());
+        for v in lw.subscribers() {
+            prop_assert_eq!(lw.interests(v), rw.interests(v));
+        }
+
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+}

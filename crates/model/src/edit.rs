@@ -1,0 +1,311 @@
+//! Mutable workload mirror: folds raw subscribe/unsubscribe/re-rate
+//! operations into per-epoch [`Workload`]s plus exact change lists.
+//!
+//! The solver side of the repository consumes *immutable* workloads —
+//! CSR arenas built once per epoch — while an event-sourced daemon
+//! receives a stream of individual operations. [`WorkloadEdit`] bridges
+//! the two: it keeps a cheap mutable mirror (a rate table plus sorted
+//! per-subscriber interest rows), applies operations one at a time, and
+//! on [`WorkloadEdit::commit`] emits the epoch's workload together with
+//! the exact sets of changed topics and subscribers. Committing against
+//! the previous epoch's workload goes through
+//! [`Workload::from_parts_evolved`], so rows untouched this epoch copy
+//! verbatim (ranked arenas included) and the build cost scales with the
+//! epoch's churn, not the workload.
+
+use crate::ids::{SubscriberId, TopicId};
+use crate::units::{Rate, MAX_RATE};
+use crate::workload::{Workload, WorkloadError};
+
+/// Mutable mirror of a workload under an operation stream (module docs).
+///
+/// Operations validate eagerly — a rejected operation leaves the mirror
+/// untouched — and changed topics/subscribers are tracked exactly: an
+/// operation that turns out to be a no-op (re-rating a topic to its
+/// current rate, subscribing twice) marks nothing.
+///
+/// ```
+/// use pubsub_model::{Rate, SubscriberId, TopicId, WorkloadEdit};
+///
+/// # fn main() -> Result<(), pubsub_model::WorkloadError> {
+/// let mut edit = WorkloadEdit::new();
+/// edit.rerate(TopicId::new(0), Rate::new(20))?; // introduces topic 0
+/// edit.subscribe(SubscriberId::new(0), TopicId::new(0))?;
+/// let (w, topics, subs) = edit.commit(None);
+/// assert_eq!(w.pair_count(), 1);
+/// assert_eq!(topics, vec![TopicId::new(0)]);
+/// assert_eq!(subs, vec![SubscriberId::new(0)]);
+///
+/// // The next epoch evolves from the last: clean rows copy verbatim.
+/// edit.subscribe(SubscriberId::new(1), TopicId::new(0))?;
+/// let (w2, _, subs) = edit.commit(Some(&w));
+/// assert_eq!(w2.pair_count(), 2);
+/// assert_eq!(subs, vec![SubscriberId::new(1)]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadEdit {
+    rates: Vec<Rate>,
+    interests: Vec<Vec<TopicId>>,
+    changed_topics: Vec<TopicId>,
+    changed_subscribers: Vec<SubscriberId>,
+}
+
+impl WorkloadEdit {
+    /// An empty mirror: no topics, no subscribers, nothing pending.
+    pub fn new() -> WorkloadEdit {
+        WorkloadEdit::default()
+    }
+
+    /// A mirror of an existing workload with no pending changes — the
+    /// starting point when resuming from a snapshot.
+    pub fn from_workload(workload: &Workload) -> WorkloadEdit {
+        WorkloadEdit {
+            rates: workload.rates().to_vec(),
+            interests: workload
+                .subscribers()
+                .map(|v| workload.interests(v).to_vec())
+                .collect(),
+            changed_topics: Vec::new(),
+            changed_subscribers: Vec::new(),
+        }
+    }
+
+    /// Number of topics the mirror currently knows.
+    pub fn num_topics(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Number of subscribers the mirror currently knows.
+    pub fn num_subscribers(&self) -> usize {
+        self.interests.len()
+    }
+
+    /// Sets topic `t`'s event rate, introducing the topic when `t` is
+    /// the next unused id. Re-rating to the current rate is a no-op and
+    /// marks nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::UnknownTopic`] if `t` would leave an id gap,
+    /// [`WorkloadError::ZeroEventRate`] / [`WorkloadError::RateTooLarge`]
+    /// for rates outside `1..=MAX_RATE` (§II-B assumes `ev_t > 0`).
+    pub fn rerate(&mut self, t: TopicId, rate: Rate) -> Result<(), WorkloadError> {
+        if rate.is_zero() {
+            return Err(WorkloadError::ZeroEventRate);
+        }
+        if rate.get() > MAX_RATE {
+            return Err(WorkloadError::RateTooLarge { rate });
+        }
+        let ti = t.index();
+        if ti > self.rates.len() {
+            // Topics are dense: the next topic must take the next id.
+            return Err(WorkloadError::UnknownTopic {
+                topic: t,
+                num_topics: self.rates.len(),
+            });
+        }
+        if ti == self.rates.len() {
+            self.rates.push(rate);
+            self.changed_topics.push(t);
+        } else if self.rates[ti] != rate {
+            self.rates[ti] = rate;
+            self.changed_topics.push(t);
+        }
+        Ok(())
+    }
+
+    /// Adds the pair `(t, v)`, growing the subscriber table as needed
+    /// (subscribers between the current count and `v` come into being
+    /// with empty interest sets). Subscribing twice is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::UnknownTopic`] if `t` has no rate yet — a topic
+    /// is introduced by its first [`WorkloadEdit::rerate`].
+    pub fn subscribe(&mut self, v: SubscriberId, t: TopicId) -> Result<(), WorkloadError> {
+        if t.index() >= self.rates.len() {
+            return Err(WorkloadError::UnknownTopic {
+                topic: t,
+                num_topics: self.rates.len(),
+            });
+        }
+        if v.index() >= self.interests.len() {
+            self.interests.resize_with(v.index() + 1, Vec::new);
+        }
+        let row = &mut self.interests[v.index()];
+        if let Err(at) = row.binary_search(&t) {
+            row.insert(at, t);
+            self.changed_subscribers.push(v);
+        }
+        Ok(())
+    }
+
+    /// Removes the pair `(t, v)`. Unsubscribing from a topic the
+    /// subscriber does not follow (or an unknown subscriber) is a no-op.
+    pub fn unsubscribe(&mut self, v: SubscriberId, t: TopicId) {
+        let Some(row) = self.interests.get_mut(v.index()) else {
+            return;
+        };
+        if let Ok(at) = row.binary_search(&t) {
+            row.remove(at);
+            self.changed_subscribers.push(v);
+        }
+    }
+
+    /// Number of topic/subscriber changes recorded since the last commit
+    /// (`(changed topics, changed subscribers)`, before deduplication).
+    pub fn pending_changes(&self) -> (usize, usize) {
+        (self.changed_topics.len(), self.changed_subscribers.len())
+    }
+
+    /// Builds the epoch's workload and returns it with the deduplicated,
+    /// ascending lists of changed topics and subscribers, clearing the
+    /// pending-change state (the mirror itself is retained). With
+    /// `prev = Some`, construction goes through
+    /// [`Workload::from_parts_evolved`] so clean rows copy verbatim;
+    /// either path yields bit-identical arenas for identical contents.
+    pub fn commit(
+        &mut self,
+        prev: Option<&Workload>,
+    ) -> (Workload, Vec<TopicId>, Vec<SubscriberId>) {
+        let mut topics = std::mem::take(&mut self.changed_topics);
+        topics.sort_unstable();
+        topics.dedup();
+        let mut subs = std::mem::take(&mut self.changed_subscribers);
+        subs.sort_unstable();
+        subs.dedup();
+        let workload = match prev {
+            Some(prev) => Workload::from_parts_evolved(
+                prev,
+                self.rates.clone(),
+                self.interests.clone(),
+                &subs,
+            ),
+            None => Workload::from_parts(self.rates.clone(), self.interests.clone()),
+        };
+        (workload, topics, subs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TopicId {
+        TopicId::new(i)
+    }
+    fn v(i: u32) -> SubscriberId {
+        SubscriberId::new(i)
+    }
+
+    #[test]
+    fn operations_fold_into_a_workload_with_exact_change_lists() {
+        let mut edit = WorkloadEdit::new();
+        edit.rerate(t(0), Rate::new(10)).unwrap();
+        edit.rerate(t(1), Rate::new(5)).unwrap();
+        edit.subscribe(v(0), t(0)).unwrap();
+        edit.subscribe(v(0), t(1)).unwrap();
+        edit.subscribe(v(1), t(1)).unwrap();
+        let (w, topics, subs) = edit.commit(None);
+        assert_eq!(w.num_topics(), 2);
+        assert_eq!(w.pair_count(), 3);
+        assert_eq!(topics, vec![t(0), t(1)]);
+        assert_eq!(subs, vec![v(0), v(1)]);
+
+        // No-ops mark nothing.
+        edit.rerate(t(0), Rate::new(10)).unwrap();
+        edit.subscribe(v(0), t(0)).unwrap();
+        edit.unsubscribe(v(1), t(0));
+        assert_eq!(edit.pending_changes(), (0, 0));
+
+        edit.unsubscribe(v(0), t(1));
+        edit.rerate(t(1), Rate::new(7)).unwrap();
+        let (w2, topics, subs) = edit.commit(Some(&w));
+        assert_eq!(w2.pair_count(), 2);
+        assert_eq!(w2.rate(t(1)), Rate::new(7));
+        assert_eq!(w2.interests(v(0)), &[t(0)]);
+        assert_eq!(topics, vec![t(1)]);
+        assert_eq!(subs, vec![v(0)]);
+    }
+
+    #[test]
+    fn evolved_commit_matches_from_scratch_commit() {
+        let mut a = WorkloadEdit::new();
+        for i in 0..6u32 {
+            a.rerate(t(i), Rate::new(3 + u64::from(i))).unwrap();
+        }
+        for vi in 0..10u32 {
+            a.subscribe(v(vi), t(vi % 6)).unwrap();
+            a.subscribe(v(vi), t((vi + 2) % 6)).unwrap();
+        }
+        let (w0, _, _) = a.commit(None);
+
+        a.rerate(t(2), Rate::new(40)).unwrap();
+        a.unsubscribe(v(3), t(3));
+        a.subscribe(v(3), t(5)).unwrap();
+        let mut b = a.clone();
+        let (evolved, _, _) = a.commit(Some(&w0));
+        let (scratch, _, _) = b.commit(None);
+        assert_eq!(evolved.rates(), scratch.rates());
+        for vi in evolved.subscribers() {
+            assert_eq!(evolved.interests(vi), scratch.interests(vi));
+            assert_eq!(evolved.ranked_interests(vi), scratch.ranked_interests(vi));
+        }
+    }
+
+    #[test]
+    fn rejected_operations_leave_the_mirror_untouched() {
+        let mut edit = WorkloadEdit::new();
+        assert!(matches!(
+            edit.subscribe(v(0), t(0)),
+            Err(WorkloadError::UnknownTopic { .. })
+        ));
+        assert!(matches!(
+            edit.rerate(t(3), Rate::new(5)),
+            Err(WorkloadError::UnknownTopic { .. })
+        ));
+        assert!(matches!(
+            edit.rerate(t(0), Rate::ZERO),
+            Err(WorkloadError::ZeroEventRate)
+        ));
+        assert!(matches!(
+            edit.rerate(t(0), Rate::new(MAX_RATE + 1)),
+            Err(WorkloadError::RateTooLarge { .. })
+        ));
+        assert_eq!(edit.num_topics(), 0);
+        assert_eq!(edit.pending_changes(), (0, 0));
+    }
+
+    #[test]
+    fn subscriber_gaps_come_into_being_empty() {
+        let mut edit = WorkloadEdit::new();
+        edit.rerate(t(0), Rate::new(8)).unwrap();
+        edit.subscribe(v(4), t(0)).unwrap();
+        let (w, _, subs) = edit.commit(None);
+        assert_eq!(w.num_subscribers(), 5);
+        assert_eq!(w.interests(v(0)), &[]);
+        assert_eq!(w.interests(v(4)), &[t(0)]);
+        assert_eq!(subs, vec![v(4)]);
+    }
+
+    #[test]
+    fn from_workload_round_trips() {
+        let mut b = Workload::builder();
+        let t0 = b.add_topic(Rate::new(12)).unwrap();
+        let t1 = b.add_topic(Rate::new(4)).unwrap();
+        b.add_subscriber([t0, t1]).unwrap();
+        b.add_subscriber([t1]).unwrap();
+        let w = b.build();
+
+        let mut edit = WorkloadEdit::from_workload(&w);
+        assert_eq!(edit.pending_changes(), (0, 0));
+        let (rebuilt, topics, subs) = edit.commit(None);
+        assert!(topics.is_empty() && subs.is_empty());
+        assert_eq!(rebuilt.rates(), w.rates());
+        for vi in w.subscribers() {
+            assert_eq!(rebuilt.interests(vi), w.interests(vi));
+        }
+    }
+}

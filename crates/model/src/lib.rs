@@ -43,12 +43,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod edit;
 mod ids;
 mod stats;
 mod units;
 mod view;
 mod workload;
 
+pub use edit::WorkloadEdit;
 pub use ids::{Pair, SubscriberId, TopicId};
 pub use stats::WorkloadStats;
 pub use units::{Bandwidth, Rate, MAX_RATE};

@@ -13,6 +13,7 @@ use cloud_cost::{instances, CostModel, Ec2CostModel, FleetCostModel, InstanceTyp
 use mcss_core::dynamic::{DriftModel, Reprovisioner, WorkloadDelta};
 use mcss_core::incremental::IncrementalConfig;
 use mcss_core::planner::{plan_instance_type, plan_mixed};
+use mcss_core::serve::{Daemon, Driver, EpochStats, ServeConfig};
 use mcss_core::{
     AllocatorKind, McssInstance, PartitionerKind, SelectorKind, ShardingConfig, Solver,
     SolverParams,
@@ -23,8 +24,10 @@ use pubsub_traces::io::{read_workload, write_workload};
 use pubsub_traces::{SpotifyLike, TwitterLike};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Instant;
 
 const HELP: &str = "mcss — Minimum Cost Subscriber Satisfaction solver (ICDCS 2014)
 
@@ -34,6 +37,10 @@ USAGE:
   mcss reprovision <trace.tsv> --tau N [options]
                                              drift the workload and repair
                                              the fleet epoch by epoch
+  mcss serve --trace <spotify|twitter> [options]
+                                             run the event-sourced drift
+                                             daemon against a synthetic
+                                             subscription stream
   mcss generate <spotify|twitter> [options]  write a synthetic trace
   mcss analyze <trace.tsv>                   print workload statistics
   mcss help                                  this text
@@ -74,6 +81,30 @@ REPROVISION OPTIONS:
   --effective            use the figure-calibrated capacity
   --scale SYNTH/PAPER    volume-scale compensation ratio
   --simulate             replay each epoch through the broker simulation
+
+SERVE OPTIONS:
+  --trace FAMILY         spotify | twitter (required)
+  --size N               subscribers (spotify) or users (twitter) [2000]
+  --seed N               trace RNG seed                           [42]
+  --tau N                satisfaction threshold                   [100]
+  --instance NAME        c3.large | c3.xlarge | c3.2xlarge  [c3.large]
+  --epochs N             drift batches to stream                  [10]
+  --epoch-events N       close an epoch every N buffered events
+                         (watermark); default: one epoch per batch
+  --epoch-ms N           close an epoch once N wall-clock ms have
+                         elapsed, checked at batch boundaries
+  --churn P              per-subscriber interest-swap probability [0.1]
+  --sigma S              log-std of per-epoch rate noise          [0.1]
+  --drift-seed N         drift RNG seed                           [42]
+  --dir PATH             state directory (event log + snapshots)
+                         [fresh directory under the system tmpdir]
+  --snapshot-every N     snapshot every N applied epochs (0 = never) [8]
+  --resume               recover from --dir (snapshot load + log
+                         replay), then continue the stream
+  --effective            use the figure-calibrated capacity
+  --scale SYNTH/PAPER    volume-scale compensation ratio
+  --summary FILE         write a machine-readable run summary (JSON)
+  --simulate             replay the final fleet through the broker sim
 
 GENERATE OPTIONS:
   --size N               subscribers (spotify) or users (twitter) [10000]
@@ -126,6 +157,26 @@ enum Command {
     },
     Analyze {
         trace: String,
+    },
+    Serve {
+        family: String,
+        size: usize,
+        seed: u64,
+        tau: u64,
+        instance: InstanceType,
+        epochs: u64,
+        epoch_events: Option<u64>,
+        epoch_ms: Option<u64>,
+        churn: f64,
+        sigma: f64,
+        drift_seed: u64,
+        dir: Option<String>,
+        snapshot_every: u64,
+        resume: bool,
+        effective: bool,
+        scale: Option<(u64, u64)>,
+        summary: Option<String>,
+        simulate: bool,
     },
     Help,
 }
@@ -365,6 +416,136 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 partitioner,
                 effective,
                 scale,
+                simulate,
+            })
+        }
+        "serve" => {
+            let mut family: Option<String> = None;
+            let mut size = 2_000usize;
+            let mut seed = 42u64;
+            let mut tau = 100u64;
+            let mut instance = instances::C3_LARGE;
+            let mut epochs = 10u64;
+            let mut epoch_events: Option<u64> = None;
+            let mut epoch_ms: Option<u64> = None;
+            let mut churn = 0.1f64;
+            let mut sigma = 0.1f64;
+            let mut drift_seed = 42u64;
+            let mut dir: Option<String> = None;
+            let mut snapshot_every = 8u64;
+            let mut resume = false;
+            let mut effective = false;
+            let mut scale = None;
+            let mut summary: Option<String> = None;
+            let mut simulate = false;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--trace" => {
+                        let name = it.next().ok_or_else(|| {
+                            "--trace needs a family: spotify | twitter".to_string()
+                        })?;
+                        if name != "spotify" && name != "twitter" {
+                            return Err(format!("unknown trace family {name:?}"));
+                        }
+                        family = Some(name.clone());
+                    }
+                    "--size" => size = next_num(&mut it, "--size")?,
+                    "--seed" => seed = next_num(&mut it, "--seed")?,
+                    "--tau" => tau = next_num(&mut it, "--tau")?,
+                    "--instance" => {
+                        let name = it
+                            .next()
+                            .ok_or_else(|| "--instance needs a name".to_string())?;
+                        instance = parse_instance(name)?;
+                    }
+                    "--epochs" => {
+                        epochs = next_num(&mut it, "--epochs")?;
+                        if epochs == 0 {
+                            return Err("--epochs must be at least 1".into());
+                        }
+                    }
+                    "--epoch-events" => {
+                        let events: u64 = next_num(&mut it, "--epoch-events")?;
+                        if events == 0 {
+                            return Err("--epoch-events must be positive".into());
+                        }
+                        epoch_events = Some(events);
+                    }
+                    "--epoch-ms" => {
+                        let ms: u64 = next_num(&mut it, "--epoch-ms")?;
+                        if ms == 0 {
+                            return Err("--epoch-ms must be positive".into());
+                        }
+                        epoch_ms = Some(ms);
+                    }
+                    "--churn" => {
+                        churn = next_num(&mut it, "--churn")?;
+                        if !(0.0..=1.0).contains(&churn) {
+                            return Err("--churn must be a probability in [0, 1]".into());
+                        }
+                    }
+                    "--sigma" => {
+                        sigma = next_num(&mut it, "--sigma")?;
+                        if sigma < 0.0 {
+                            return Err("--sigma must be non-negative".into());
+                        }
+                    }
+                    "--drift-seed" => drift_seed = next_num(&mut it, "--drift-seed")?,
+                    "--dir" => {
+                        dir = Some(
+                            it.next()
+                                .ok_or_else(|| "--dir needs a path".to_string())?
+                                .clone(),
+                        )
+                    }
+                    "--snapshot-every" => snapshot_every = next_num(&mut it, "--snapshot-every")?,
+                    "--resume" => resume = true,
+                    "--effective" => effective = true,
+                    "--scale" => scale = Some(parse_scale(&mut it)?),
+                    "--summary" => {
+                        summary = Some(
+                            it.next()
+                                .ok_or_else(|| "--summary needs a path".to_string())?
+                                .clone(),
+                        )
+                    }
+                    "--simulate" => simulate = true,
+                    other => return Err(format!("unknown serve flag {other:?}")),
+                }
+            }
+            let family =
+                family.ok_or_else(|| "--trace is required: spotify | twitter".to_string())?;
+            if epoch_events.is_some() && epoch_ms.is_some() {
+                return Err("--epoch-events and --epoch-ms are mutually exclusive".into());
+            }
+            if resume && epoch_ms.is_some() {
+                return Err(
+                    "--resume cannot replay wall-clock epochs; use --epoch-events or the \
+                     default one-epoch-per-batch mode"
+                        .into(),
+                );
+            }
+            if resume && dir.is_none() {
+                return Err("--resume needs --dir (the state directory to recover)".into());
+            }
+            Ok(Command::Serve {
+                family,
+                size,
+                seed,
+                tau,
+                instance,
+                epochs,
+                epoch_events,
+                epoch_ms,
+                churn,
+                sigma,
+                drift_seed,
+                dir,
+                snapshot_every,
+                resume,
+                effective,
+                scale,
+                summary,
                 simulate,
             })
         }
@@ -747,7 +928,222 @@ fn run(command: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Serve {
+            family,
+            size,
+            seed,
+            tau,
+            instance,
+            epochs,
+            epoch_events,
+            epoch_ms,
+            churn,
+            sigma,
+            drift_seed,
+            dir,
+            snapshot_every,
+            resume,
+            effective,
+            scale,
+            summary,
+            simulate,
+        } => {
+            let mut cost = if effective {
+                Ec2CostModel::paper_effective(instance)
+            } else {
+                Ec2CostModel::paper_default(instance)
+            };
+            if let Some((synth, paper)) = scale {
+                cost = cost.with_volume_scale(synth, paper);
+            }
+            let capacity = cost.capacity();
+            let state_dir = dir.map(PathBuf::from).unwrap_or_else(|| {
+                std::env::temp_dir().join(format!("mcss-serve-{}", std::process::id()))
+            });
+            let mut config =
+                ServeConfig::new(Rate::new(tau), capacity).with_snapshot_every(snapshot_every);
+            if let Some(events) = epoch_events {
+                config = config.with_epoch_events(events);
+            }
+            let cost_box: Box<dyn CostModel> = Box::new(cost);
+            let mut daemon = if resume {
+                Daemon::resume(&state_dir, config, cost_box)
+            } else {
+                Daemon::create(&state_dir, config, cost_box)
+            }
+            .map_err(|e| e.to_string())?;
+            if resume {
+                println!(
+                    "recovered {} applied epochs, {} pending events from {}",
+                    daemon.epochs_applied(),
+                    daemon.pending_events(),
+                    state_dir.display()
+                );
+            }
+
+            let initial = match family.as_str() {
+                "spotify" => SpotifyLike::new(size, seed).generate(),
+                _ => TwitterLike::new(size, seed).generate(),
+            };
+            let mut driver = Driver::new(
+                initial,
+                DriftModel {
+                    rate_sigma: sigma,
+                    churn_prob: churn,
+                    seed: drift_seed,
+                },
+            );
+            println!(
+                "serving {epochs} {family} drift batches (tau {tau}, capacity {}, state {})",
+                capacity.get(),
+                state_dir.display()
+            );
+
+            // A resumed daemon has already absorbed a prefix of the
+            // deterministic driver stream: whole batches in per-batch
+            // mode, an exact event count in watermark mode. Skip it.
+            let mut skip_events = match (resume, epoch_events) {
+                (true, Some(watermark)) => {
+                    daemon.epochs_applied() * watermark + daemon.pending_events()
+                }
+                _ => 0,
+            };
+            let skip_batches = if resume && epoch_events.is_none() {
+                daemon.epochs_applied()
+            } else {
+                0
+            };
+
+            let mut stats: Vec<EpochStats> = Vec::new();
+            let mut total_events = 0u64;
+            let started = Instant::now();
+            let mut last_tick = Instant::now();
+            for batch_index in 0..epochs {
+                let events = if batch_index == 0 {
+                    driver.initial_events()
+                } else {
+                    driver.next_epoch_events()
+                };
+                if batch_index < skip_batches {
+                    continue; // the driver still had to advance its RNG
+                }
+                for event in events {
+                    if skip_events > 0 {
+                        skip_events -= 1;
+                        continue;
+                    }
+                    total_events += 1;
+                    if let Some(s) = daemon.submit(event).map_err(|e| e.to_string())? {
+                        print_epoch(&s);
+                        stats.push(s);
+                    }
+                }
+                match (epoch_events, epoch_ms) {
+                    (Some(_), _) => {} // the watermark closes epochs
+                    (None, Some(ms)) => {
+                        if last_tick.elapsed().as_millis() as u64 >= ms {
+                            if let Some(s) = daemon.tick().map_err(|e| e.to_string())? {
+                                print_epoch(&s);
+                                stats.push(s);
+                            }
+                            last_tick = Instant::now();
+                        }
+                    }
+                    (None, None) => {
+                        if let Some(s) = daemon.tick().map_err(|e| e.to_string())? {
+                            print_epoch(&s);
+                            stats.push(s);
+                        }
+                    }
+                }
+            }
+            // Flush whatever is still buffered in the final epoch.
+            if let Some(s) = daemon.tick().map_err(|e| e.to_string())? {
+                print_epoch(&s);
+                stats.push(s);
+            }
+            let elapsed = started.elapsed();
+
+            if let Some(allocation) = daemon.allocation() {
+                let workload = daemon.workload().expect("an allocation implies a workload");
+                allocation
+                    .validate(workload, Rate::new(tau))
+                    .map_err(|e| format!("internal error — invalid allocation: {e}"))?;
+                if simulate {
+                    let report = Simulation::new(SimConfig::default()).run(workload, &allocation);
+                    let ok = report.all_satisfied(workload, Rate::new(tau));
+                    println!(
+                        "simulation: {}",
+                        if ok {
+                            "all subscribers satisfied"
+                        } else {
+                            "VIOLATED"
+                        }
+                    );
+                }
+            }
+            let events_per_sec = total_events as f64 / elapsed.as_secs_f64().max(1e-9);
+            println!(
+                "served {} epochs / {} events in {:.2}s ({:.0} events/s); state in {}",
+                stats.len(),
+                total_events,
+                elapsed.as_secs_f64(),
+                events_per_sec,
+                state_dir.display()
+            );
+
+            if let Some(path) = summary {
+                let mut apply_ms: Vec<f64> = stats
+                    .iter()
+                    .map(|s| s.apply_time.as_secs_f64() * 1e3)
+                    .collect();
+                apply_ms.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+                let pct = |p: f64| -> f64 {
+                    if apply_ms.is_empty() {
+                        0.0
+                    } else {
+                        apply_ms[(((apply_ms.len() - 1) as f64) * p).round() as usize]
+                    }
+                };
+                let json = format!(
+                    "{{\n  \"trace\": \"{family}\",\n  \"subscribers\": {size},\n  \
+                     \"epochs\": {},\n  \"events\": {total_events},\n  \
+                     \"duration_s\": {:.3},\n  \"events_per_sec\": {events_per_sec:.1},\n  \
+                     \"apply_ms_p50\": {:.3},\n  \"apply_ms_p99\": {:.3},\n  \
+                     \"final_vms\": {},\n  \"final_cost\": \"{}\",\n  \"resumed\": {resume}\n}}\n",
+                    stats.len(),
+                    elapsed.as_secs_f64(),
+                    pct(0.5),
+                    pct(0.99),
+                    stats.last().map(|s| s.vm_count).unwrap_or(0),
+                    stats
+                        .last()
+                        .map(|s| s.fleet_cost.to_string())
+                        .unwrap_or_default(),
+                );
+                std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+                println!("summary written to {path}");
+            }
+            Ok(())
+        }
     }
+}
+
+/// One stdout line per applied epoch, shared by every serve mode.
+fn print_epoch(s: &EpochStats) {
+    println!(
+        "epoch {:>3}: {:>5} events, {:>4} VMs, cost {}, +{} -{} pairs (evicted {}, reused {}), {:.2} ms{}",
+        s.epoch,
+        s.events_applied,
+        s.vm_count,
+        s.fleet_cost,
+        s.pairs_placed,
+        s.pairs_removed,
+        s.pairs_evicted,
+        s.pairs_reused,
+        s.apply_time.as_secs_f64() * 1e3,
+        if s.full_resolve { " [full solve]" } else { "" },
+    );
 }
 
 fn main() -> ExitCode {
@@ -1052,6 +1448,148 @@ mod tests {
         let cmd = parse(&["plan", "t.tsv", "--tau", "25", "--mixed"]).unwrap();
         assert!(matches!(cmd, Command::Plan { mixed: true, .. }));
         assert!(parse(&["plan", "t.tsv"]).unwrap_err().contains("--tau"));
+    }
+
+    #[test]
+    fn serve_flags_parse_and_validate() {
+        let cmd = parse(&[
+            "serve",
+            "--trace",
+            "spotify",
+            "--size",
+            "500",
+            "--tau",
+            "30",
+            "--epochs",
+            "4",
+            "--epoch-events",
+            "64",
+            "--snapshot-every",
+            "2",
+            "--dir",
+            "/tmp/d",
+            "--summary",
+            "s.json",
+            "--simulate",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                family,
+                size,
+                tau,
+                epochs,
+                epoch_events,
+                snapshot_every,
+                dir,
+                summary,
+                simulate,
+                resume,
+                ..
+            } => {
+                assert_eq!(family, "spotify");
+                assert_eq!(size, 500);
+                assert_eq!(tau, 30);
+                assert_eq!(epochs, 4);
+                assert_eq!(epoch_events, Some(64));
+                assert_eq!(snapshot_every, 2);
+                assert_eq!(dir.as_deref(), Some("/tmp/d"));
+                assert_eq!(summary.as_deref(), Some("s.json"));
+                assert!(simulate && !resume);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&["serve"]).unwrap_err().contains("--trace"));
+        assert!(parse(&["serve", "--trace", "mastodon"]).is_err());
+        let err = parse(&["serve", "--trace", "spotify", "--epoch-events", "0"]).unwrap_err();
+        assert!(err.contains("--epoch-events must be positive"));
+        assert!(parse(&[
+            "serve",
+            "--trace",
+            "spotify",
+            "--epoch-events",
+            "5",
+            "--epoch-ms",
+            "10"
+        ])
+        .is_err());
+        assert!(parse(&["serve", "--trace", "spotify", "--resume"])
+            .unwrap_err()
+            .contains("--dir"));
+        assert!(parse(&[
+            "serve",
+            "--trace",
+            "spotify",
+            "--resume",
+            "--dir",
+            "d",
+            "--epoch-ms",
+            "5"
+        ])
+        .is_err());
+        assert!(parse(&["serve", "--trace", "spotify", "--epochs", "0"]).is_err());
+    }
+
+    #[test]
+    fn serve_runs_and_resumes_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("mcss-cli-serve-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let state = dir.join("state");
+        let summary = dir.join("summary.json");
+        run(Command::Serve {
+            family: "spotify".into(),
+            size: 250,
+            seed: 4,
+            tau: 40,
+            instance: instances::C3_LARGE,
+            epochs: 3,
+            epoch_events: None,
+            epoch_ms: None,
+            churn: 0.2,
+            sigma: 0.1,
+            drift_seed: 7,
+            dir: Some(state.display().to_string()),
+            snapshot_every: 1,
+            resume: false,
+            effective: true,
+            scale: Some((250, 100_000)),
+            summary: Some(summary.display().to_string()),
+            simulate: true,
+        })
+        .unwrap();
+        let json = std::fs::read_to_string(&summary).unwrap();
+        assert!(json.contains("\"events_per_sec\""));
+        assert!(json.contains("\"epochs\": 3"));
+        // Recover from the state directory and stream two more batches.
+        run(Command::Serve {
+            family: "spotify".into(),
+            size: 250,
+            seed: 4,
+            tau: 40,
+            instance: instances::C3_LARGE,
+            epochs: 5,
+            epoch_events: None,
+            epoch_ms: None,
+            churn: 0.2,
+            sigma: 0.1,
+            drift_seed: 7,
+            dir: Some(state.display().to_string()),
+            snapshot_every: 1,
+            resume: true,
+            effective: true,
+            scale: Some((250, 100_000)),
+            summary: Some(summary.display().to_string()),
+            simulate: true,
+        })
+        .unwrap();
+        let json = std::fs::read_to_string(&summary).unwrap();
+        assert!(json.contains("\"resumed\": true"));
+        assert!(
+            json.contains("\"epochs\": 2"),
+            "resume applies only the new batches: {json}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -481,3 +481,91 @@ fn solve_rejects_missing_tau() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn serve_happy_path_streams_epochs_and_writes_summary() {
+    let dir = scratch("serve-happy");
+    let state = dir.join("state");
+    let summary = dir.join("summary.json");
+    let out = mcss(&[
+        "serve",
+        "--trace",
+        "spotify",
+        "--size",
+        "200",
+        "--tau",
+        "30",
+        "--epochs",
+        "3",
+        "--snapshot-every",
+        "1",
+        "--dir",
+        &state.display().to_string(),
+        "--summary",
+        &summary.display().to_string(),
+    ]);
+    assert!(out.status.success(), "serve failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("epoch   0:"), "no epoch lines in: {text}");
+    assert!(text.contains("served 3 epochs"), "no run footer in: {text}");
+    let json = std::fs::read_to_string(&summary).expect("summary written");
+    assert!(json.contains("\"events_per_sec\""), "bad summary: {json}");
+    assert!(
+        state.join("events.log").exists() && state.join("snapshot.bin").exists(),
+        "state files missing"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_rejects_zero_watermark() {
+    let out = mcss(&["serve", "--trace", "spotify", "--epoch-events", "0"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("--epoch-events must be positive"),
+        "unexpected stderr: {err}"
+    );
+}
+
+#[test]
+fn serve_resume_reports_corrupted_snapshot() {
+    let dir = scratch("serve-corrupt");
+    let state = dir.join("state");
+    let state_str = state.display().to_string();
+    let out = mcss(&[
+        "serve",
+        "--trace",
+        "spotify",
+        "--size",
+        "150",
+        "--tau",
+        "30",
+        "--epochs",
+        "2",
+        "--snapshot-every",
+        "1",
+        "--dir",
+        &state_str,
+    ]);
+    assert!(out.status.success(), "serve failed: {}", stderr(&out));
+
+    // Flip one byte of the snapshot body: recovery must refuse it.
+    let snap = state.join("snapshot.bin");
+    let mut bytes = std::fs::read(&snap).expect("snapshot written");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&snap, &bytes).expect("rewrite snapshot");
+
+    let out = mcss(&[
+        "serve", "--trace", "spotify", "--size", "150", "--tau", "30", "--epochs", "3", "--resume",
+        "--dir", &state_str,
+    ]);
+    assert!(!out.status.success(), "resume must fail on a bad snapshot");
+    let err = stderr(&out);
+    assert!(
+        err.contains("corrupted snapshot"),
+        "unexpected stderr: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
