@@ -8,7 +8,9 @@
 //! describes both directions — it lists what differs between the two
 //! epochs, which is direction-symmetric.
 //!
-//! Size override: `MCSS_CHURN_SUBS` (default 100000).
+//! Size override: `MCSS_CHURN_SUBS` (default 100000). Set
+//! `MCSS_CHURN_THREADS` > 1 to add a `dirty-delta-mt` variant that runs
+//! the shard-parallel epoch repair with that many worker threads.
 
 use cloud_cost::instances;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -96,6 +98,32 @@ fn bench_churn(c: &mut Criterion) {
                 );
             })
         });
+
+        // Shard-parallel repair (bit-identical selections), opt-in so the
+        // default run stays comparable to older baselines.
+        let threads = env_size("MCSS_CHURN_THREADS", 1);
+        if threads > 1 {
+            let mut mt = IncrementalReallocator::new(
+                IncrementalConfig::default().with_repair_threads(threads),
+            );
+            prime(&mut mt);
+            group.bench_with_input(
+                BenchmarkId::new("dirty-delta-mt", churn_pct),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        black_box(
+                            mt.step_with_delta(&inst_b, &cost, &dab)
+                                .expect("repairable"),
+                        );
+                        black_box(
+                            mt.step_with_delta(&inst_a, &cost, &dab)
+                                .expect("repairable"),
+                        );
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }

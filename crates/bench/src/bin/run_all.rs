@@ -128,12 +128,29 @@ fn main() -> ExitCode {
     save(dir, "solve_speedup.txt", &solve);
     bench_writes_ok &= save_bench_json(Path::new("BENCH_solve.json"), &solve_json);
 
+    // Scale-up case: a million-subscriber Spotify workload, 1% churn,
+    // with the shard-parallel repair column enabled.
+    let churn_threads = env_size("MCSS_CHURN_THREADS", 4);
+    let churn_xl = Scenario::spotify(env_size("MCSS_CHURN_XL_SUBS", 1_000_000), 20140113);
+    let churn_cases = [
+        experiments::ChurnCase {
+            scenario: &spotify,
+            churn_levels: &[1, 5, 20],
+            threads: churn_threads,
+        },
+        experiments::ChurnCase {
+            scenario: &churn_xl,
+            churn_levels: &[1],
+            threads: churn_threads,
+        },
+    ];
     let (churn_text, churn_json) =
-        experiments::fig_churn_speedup(&spotify, instances::C3_LARGE, 100, 6);
+        experiments::fig_churn_speedup(&churn_cases, instances::C3_LARGE, 100, 6);
     let mut churn = String::from("== churn-path repair vs full re-select (Spotify) ==\n");
     churn.push_str(&churn_text);
     save(dir, "churn_speedup.txt", &churn);
     bench_writes_ok &= save_bench_json(Path::new("BENCH_churn.json"), &churn_json);
+    drop(churn_xl);
 
     let (serve_text, serve_json) = experiments::fig_serve(&spotify, instances::C3_LARGE, 100, 6);
     let mut serve = String::from("== event-sourced serve daemon (Spotify) ==\n");

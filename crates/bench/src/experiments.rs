@@ -6,14 +6,14 @@ use crate::scenario::Scenario;
 use crate::table::Table;
 use cloud_cost::{instances, Ec2CostModel, FleetCostModel, InstanceType};
 use mcss_core::dynamic::DriftModel;
-use mcss_core::incremental::IncrementalReallocator;
+use mcss_core::incremental::{IncrementalConfig, IncrementalReallocator};
 use mcss_core::planner::plan_mixed;
 use mcss_core::serve::{Daemon, Driver, ServeConfig};
 use mcss_core::stage1::{GreedySelectPairs, PairSelector, RandomSelectPairs};
 use mcss_core::stage2::{Allocator, CbpConfig, CustomBinPacking, FirstFitBinPacking};
 use mcss_core::{
-    lower_bound, AllocatorKind, McssInstance, PartitionerKind, SelectorKind, ShardingConfig,
-    Solver, SolverParams,
+    lower_bound, AllocatorKind, McssInstance, MemoryFootprint, PartitionerKind, SelectorKind,
+    ShardingConfig, Solver, SolverParams,
 };
 use pubsub_model::{Bandwidth, Rate};
 use pubsub_traces::{analysis, TwitterLike};
@@ -341,119 +341,180 @@ pub fn fig_sharded_speedup(scenario: &Scenario, instance: InstanceType, tau: u64
     out
 }
 
+/// One scale point of the churn experiment: a scenario, the churn levels
+/// (percent) to sweep at that scale, and the worker-thread count for the
+/// shard-parallel repair column (`1` skips the parallel run).
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnCase<'a> {
+    /// The workload to drift.
+    pub scenario: &'a Scenario,
+    /// Subscription-churn percentages to sweep (e.g. `&[1, 5, 20]`).
+    pub churn_levels: &'a [u64],
+    /// Worker threads for the parallel-repair column.
+    pub threads: usize,
+}
+
 /// Churn-path speedup experiment (extension, not a paper figure): the
 /// O(Δ) dirty-tracking epoch repair versus the pre-ledger implementation
 /// ([`crate::legacy::LegacyReallocator`], the "old full-reselect" path)
-/// over a drifting workload, at 1% / 5% / 20% subscription churn.
+/// over a drifting workload, across churn levels and workload scales.
+/// Cases with `threads > 1` additionally time the shard-parallel repair
+/// ([`IncrementalConfig::with_repair_threads`]).
 ///
-/// Every epoch asserts the dirty path's selection is bit-identical to the
-/// baseline's and validates the repaired fleet, so the reported speedup
-/// is for *equivalent output*. Returns the human-readable report and a
-/// machine-readable JSON document (`BENCH_churn.json`) with ns/epoch,
-/// pairs moved, and fleet size per churn level.
+/// Every epoch asserts the dirty paths' selections — single-threaded
+/// *and* parallel — are bit-identical to the baseline's and validates
+/// the repaired fleet, so the reported speedup is for *equivalent
+/// output*. Each row also records the resident bytes per subscriber
+/// (workload arenas + previous selection + fleet ledger, measured by
+/// [`MemoryFootprint`]). Returns the human-readable report and a
+/// machine-readable JSON document (`BENCH_churn.json`).
 pub fn fig_churn_speedup(
-    scenario: &Scenario,
+    cases: &[ChurnCase<'_>],
     instance: InstanceType,
     tau: u64,
     epochs: u64,
 ) -> (String, String) {
-    let cost = scenario.cost_model(instance);
-    let inst0 = scenario
-        .instance(tau, instance)
-        .expect("catalogued capacity is nonzero");
-    let capacity = inst0.capacity();
-    let tau_rate = inst0.tau();
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "# churn-path repair, {} trace, {} subscribers, τ={tau}, {} epochs per level",
-        scenario.name,
-        scenario.workload.num_subscribers(),
+        "# churn-path repair, τ={tau}, {} epochs per level (Δ-MT = shard-parallel repair)",
         epochs
     );
     let mut t = Table::new(vec![
+        "subs".into(),
         "churn%".into(),
         "full ns/epoch".into(),
         "Δ ns/epoch".into(),
+        "Δ-MT ns/epoch".into(),
         "speedup".into(),
+        "MT speedup".into(),
         "moved/epoch".into(),
-        "reused/epoch".into(),
         "VMs".into(),
+        "B/sub".into(),
     ]);
     let mut json_rows: Vec<String> = Vec::new();
-    for churn_pct in [1u64, 5, 20] {
-        let drift = DriftModel {
-            rate_sigma: 0.0,
-            churn_prob: churn_pct as f64 / 100.0,
-            seed: 97,
-        };
-        let mut full = crate::legacy::LegacyReallocator::default();
-        let mut dirty = IncrementalReallocator::default();
-        let mut w = inst0.workload().clone();
-        // Epoch 0 primes both re-allocators; it is not timed.
-        let prime = McssInstance::new(w.clone(), tau_rate, capacity).expect("feasible");
-        full.step(&prime, &cost).expect("first epoch solves");
-        dirty.step(&prime, &cost).expect("first epoch solves");
+    for case in cases {
+        let scenario = case.scenario;
+        let cost = scenario.cost_model(instance);
+        let inst0 = scenario
+            .instance(tau, instance)
+            .expect("catalogued capacity is nonzero");
+        let capacity = inst0.capacity();
+        let tau_rate = inst0.tau();
+        let subs = scenario.workload.num_subscribers();
+        for &churn_pct in case.churn_levels {
+            let drift = DriftModel {
+                rate_sigma: 0.0,
+                churn_prob: churn_pct as f64 / 100.0,
+                seed: 97,
+            };
+            let mut full = crate::legacy::LegacyReallocator::default();
+            let mut dirty = IncrementalReallocator::default();
+            let mut dirty_mt = (case.threads > 1).then(|| {
+                IncrementalReallocator::new(
+                    IncrementalConfig::default().with_repair_threads(case.threads),
+                )
+            });
+            let mut w = inst0.workload().clone();
+            // Epoch 0 primes the re-allocators; it is not timed.
+            let prime = McssInstance::new(w.clone(), tau_rate, capacity).expect("feasible");
+            full.step(&prime, &cost).expect("first epoch solves");
+            dirty.step(&prime, &cost).expect("first epoch solves");
+            if let Some(mt) = dirty_mt.as_mut() {
+                mt.step(&prime, &cost).expect("first epoch solves");
+            }
 
-        let (mut full_ns, mut dirty_ns) = (0u128, 0u128);
-        let (mut moved, mut reused) = (0u64, 0u64);
-        let mut fleet = 0usize;
-        for epoch in 0..epochs {
-            let (next, delta) = drift.evolve_tracked(&w, epoch);
-            w = next;
-            let step = McssInstance::new(w.clone(), tau_rate, capacity).expect("feasible");
-            let t0 = Instant::now();
-            let f = full.step(&step, &cost).expect("repairable");
-            full_ns += t0.elapsed().as_nanos();
-            let t1 = Instant::now();
-            let d = dirty
-                .step_with_delta(&step, &cost, &delta)
-                .expect("repairable");
-            dirty_ns += t1.elapsed().as_nanos();
-            assert_eq!(
-                d.selection, f.selection,
-                "dirty path diverged from full re-selection"
-            );
-            d.allocation
-                .validate(step.workload(), step.tau())
-                .expect("repaired fleet must stay valid");
-            moved += d.pairs_placed + d.pairs_removed;
-            reused += d.pairs_reused;
-            fleet = d.allocation.vm_count();
+            let (mut full_ns, mut dirty_ns, mut mt_ns) = (0u128, 0u128, 0u128);
+            let (mut moved, mut reused) = (0u64, 0u64);
+            let mut fleet = 0usize;
+            for epoch in 0..epochs {
+                let (next, delta) = drift.evolve_tracked(&w, epoch);
+                w = next;
+                let step = McssInstance::new(w.clone(), tau_rate, capacity).expect("feasible");
+                let t0 = Instant::now();
+                let f = full.step(&step, &cost).expect("repairable");
+                full_ns += t0.elapsed().as_nanos();
+                let t1 = Instant::now();
+                let d = dirty
+                    .step_with_delta(&step, &cost, &delta)
+                    .expect("repairable");
+                dirty_ns += t1.elapsed().as_nanos();
+                assert_eq!(
+                    d.selection, f.selection,
+                    "dirty path diverged from full re-selection"
+                );
+                if let Some(mt) = dirty_mt.as_mut() {
+                    let t2 = Instant::now();
+                    let m = mt
+                        .step_with_delta(&step, &cost, &delta)
+                        .expect("repairable");
+                    mt_ns += t2.elapsed().as_nanos();
+                    assert_eq!(
+                        m.selection, f.selection,
+                        "parallel repair diverged from full re-selection"
+                    );
+                }
+                d.allocation
+                    .validate(step.workload(), step.tau())
+                    .expect("repaired fleet must stay valid");
+                moved += d.pairs_placed + d.pairs_removed;
+                reused += d.pairs_reused;
+                fleet = d.allocation.vm_count();
+            }
+            let (sel, ledger, _) = dirty.checkpoint().expect("primed reallocator has state");
+            let footprint = MemoryFootprint::measure(&w, Some(sel), Some(ledger));
+            let bytes_per_sub = footprint.bytes_per_subscriber();
+            let full_per = full_ns / u128::from(epochs);
+            let dirty_per = (dirty_ns / u128::from(epochs)).max(1);
+            let mt_per = (mt_ns / u128::from(epochs)).max(1);
+            let speedup = full_per as f64 / dirty_per as f64;
+            let mt_speedup = full_per as f64 / mt_per as f64;
+            let moved_per = moved / epochs;
+            let reused_per = reused / epochs;
+            let mt_cols = if dirty_mt.is_some() {
+                (mt_per.to_string(), format!("{mt_speedup:.1}x"))
+            } else {
+                ("-".into(), "-".into())
+            };
+            t.row(vec![
+                subs.to_string(),
+                churn_pct.to_string(),
+                full_per.to_string(),
+                dirty_per.to_string(),
+                mt_cols.0,
+                format!("{speedup:.1}x"),
+                mt_cols.1,
+                moved_per.to_string(),
+                fleet.to_string(),
+                format!("{bytes_per_sub:.1}"),
+            ]);
+            let mt_json = if dirty_mt.is_some() {
+                format!("\"delta_mt_ns_per_epoch\": {mt_per}, \"mt_speedup\": {mt_speedup:.2}, ")
+            } else {
+                String::new()
+            };
+            json_rows.push(format!(
+                "    {{\"trace\": \"{}\", \"subscribers\": {subs}, \"churn_pct\": {churn_pct}, \
+                 \"threads\": {}, \"full_ns_per_epoch\": {full_per}, \
+                 \"delta_ns_per_epoch\": {dirty_per}, {mt_json}\"speedup\": {speedup:.2}, \
+                 \"pairs_moved_per_epoch\": {moved_per}, \"pairs_reused_per_epoch\": {reused_per}, \
+                 \"fleet_vms\": {fleet}, \"bytes_per_subscriber\": {bytes_per_sub:.2}}}",
+                scenario.name, case.threads
+            ));
         }
-        let full_per = full_ns / u128::from(epochs);
-        let dirty_per = (dirty_ns / u128::from(epochs)).max(1);
-        let speedup = full_per as f64 / dirty_per as f64;
-        let moved_per = moved / epochs;
-        let reused_per = reused / epochs;
-        t.row(vec![
-            churn_pct.to_string(),
-            full_per.to_string(),
-            dirty_per.to_string(),
-            format!("{speedup:.1}x"),
-            moved_per.to_string(),
-            reused_per.to_string(),
-            fleet.to_string(),
-        ]);
-        json_rows.push(format!(
-            "    {{\"churn_pct\": {churn_pct}, \"full_ns_per_epoch\": {full_per}, \
-             \"delta_ns_per_epoch\": {dirty_per}, \"speedup\": {speedup:.2}, \
-             \"pairs_moved_per_epoch\": {moved_per}, \"pairs_reused_per_epoch\": {reused_per}, \
-             \"fleet_vms\": {fleet}}}"
-        ));
     }
     let _ = writeln!(out, "{}", t.render());
     let _ = writeln!(
         out,
-        "# both paths produce bit-identical selections and validated fleets; \
-         speedup is full-reselect ns/epoch over dirty-path ns/epoch"
+        "# all paths produce bit-identical selections and validated fleets; \
+         speedup is full-reselect ns/epoch over dirty-path ns/epoch \
+         (MT speedup: over the shard-parallel dirty path); B/sub counts \
+         resident workload arenas + selection + fleet ledger"
     );
     let json = format!(
-        "{{\n  \"bench\": \"churn_epoch\",\n  \"trace\": \"{}\",\n  \"subscribers\": {},\n  \
-         \"tau\": {tau},\n  \"epochs_per_level\": {epochs},\n  \"unit\": \"ns_per_epoch\",\n  \
+        "{{\n  \"bench\": \"churn_epoch\",\n  \"tau\": {tau},\n  \
+         \"epochs_per_level\": {epochs},\n  \"unit\": \"ns_per_epoch\",\n  \
          \"results\": [\n{}\n  ]\n}}\n",
-        scenario.name,
-        scenario.workload.num_subscribers(),
         json_rows.join(",\n")
     );
     (out, json)
@@ -1123,11 +1184,19 @@ mod tests {
     #[test]
     fn churn_speedup_report_runs_on_small_scenario() {
         let s = Scenario::spotify(500, 9);
-        let (text, json) = fig_churn_speedup(&s, instances::C3_LARGE, 50, 2);
+        let cases = [ChurnCase {
+            scenario: &s,
+            churn_levels: &[1, 5, 20],
+            threads: 2,
+        }];
+        let (text, json) = fig_churn_speedup(&cases, instances::C3_LARGE, 50, 2);
         assert!(text.contains("churn%"));
         assert!(text.contains("speedup"));
         assert!(json.contains("\"bench\": \"churn_epoch\""));
         assert!(json.contains("\"churn_pct\": 20"));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"delta_mt_ns_per_epoch\""));
+        assert!(json.contains("\"bytes_per_subscriber\""));
         assert!(json.contains("ns_per_epoch"));
     }
 

@@ -67,6 +67,7 @@ mod allocation;
 pub mod dynamic;
 mod error;
 pub mod exact;
+mod footprint;
 pub mod ilp;
 pub mod incremental;
 mod ledger;
@@ -83,6 +84,7 @@ pub mod stage2;
 
 pub use allocation::{Allocation, AllocationError, FleetTyping, TopicPlacement, VmAllocation};
 pub use error::McssError;
+pub use footprint::MemoryFootprint;
 pub use ledger::{FleetLedger, LedgerSlot};
 pub use lower_bound::{lower_bound, LowerBound};
 pub use pipeline::{
@@ -92,6 +94,6 @@ pub use pipeline::{
 pub use problem::McssInstance;
 pub use selection::{Selection, SelectionBuilder, SelectionDiff, TopicGroups};
 pub use shard::{
-    partition_subscribers, MergeStats, PartitionerKind, ShardedOutcome, ShardedSolver,
-    ShardingConfig,
+    partition_subscriber_set, partition_subscribers, MergeStats, PartitionerKind, ShardedOutcome,
+    ShardedSolver, ShardingConfig,
 };

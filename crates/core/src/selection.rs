@@ -35,8 +35,10 @@ use pubsub_model::{Bandwidth, Pair, Rate, SubscriberId, TopicId, WorkloadView};
 pub struct Selection {
     /// `offsets[v]..offsets[v + 1]` delimits subscriber `v`'s row in
     /// `topics`. Always `num_subscribers() + 1` entries, first 0, last
-    /// `topics.len()`.
-    offsets: Vec<usize>,
+    /// `topics.len()`. Packed to u32 (at most `u32::MAX` selected pairs,
+    /// checked at construction) — half the offset-table bytes of machine
+    /// words at millions of subscribers.
+    offsets: Vec<u32>,
     /// All selected topics, rows concatenated in subscriber order. Within
     /// a row, topics keep the order the selector chose them in — First-Fit
     /// bin packing (Alg. 3) consumes pairs "in no particular sequence",
@@ -77,7 +79,8 @@ impl Selection {
     /// # Panics
     ///
     /// Panics if `offsets` is empty, does not start at 0, does not end at
-    /// `topics.len()`, or is not monotonically non-decreasing.
+    /// `topics.len()`, is not monotonically non-decreasing, or addresses
+    /// more than `u32::MAX` pairs (the packed-offset limit).
     pub fn from_csr(offsets: Vec<usize>, topics: Vec<TopicId>) -> Self {
         assert!(!offsets.is_empty(), "offsets needs at least the leading 0");
         assert_eq!(offsets[0], 0, "offsets must start at 0");
@@ -90,7 +93,14 @@ impl Selection {
             offsets.windows(2).all(|w| w[0] <= w[1]),
             "offsets must be monotone"
         );
-        Selection { offsets, topics }
+        assert!(
+            topics.len() <= u32::MAX as usize,
+            "selection exceeds u32::MAX pairs"
+        );
+        Selection {
+            offsets: offsets.into_iter().map(|o| o as u32).collect(),
+            topics,
+        }
     }
 
     /// Starts an empty row-by-row builder.
@@ -117,7 +127,7 @@ impl Selection {
     /// [`Selection::selected`]).
     #[inline]
     fn row(&self, vi: usize) -> &[TopicId] {
-        &self.topics[self.offsets[vi]..self.offsets[vi + 1]]
+        &self.topics[self.offsets[vi] as usize..self.offsets[vi + 1] as usize]
     }
 
     /// Iterates the rows in subscriber order, as borrowed slices.
@@ -125,9 +135,25 @@ impl Selection {
         (0..self.num_subscribers()).map(|vi| self.row(vi))
     }
 
+    /// The contiguous topic block backing rows `range` — lets the
+    /// shard-merge scatter copy a run of untouched rows as one memcpy.
+    pub(crate) fn rows_block(&self, range: std::ops::Range<usize>) -> &[TopicId] {
+        &self.topics[self.offsets[range.start] as usize..self.offsets[range.end] as usize]
+    }
+
     /// Total number of selected pairs `|S|`.
     pub fn pair_count(&self) -> u64 {
         self.topics.len() as u64
+    }
+
+    /// Allocated heap bytes behind the selection's CSR (capacities, so
+    /// builder slack shows up) — one input to the
+    /// [`MemoryFootprint`](crate::MemoryFootprint) report.
+    pub fn heap_bytes(&self) -> usize {
+        fn bytes<T>(v: &Vec<T>) -> usize {
+            v.capacity() * std::mem::size_of::<T>()
+        }
+        bytes(&self.offsets) + bytes(&self.topics)
     }
 
     /// Iterates all pairs in subscriber-major selection order, with
@@ -207,7 +233,8 @@ impl Selection {
         // Pass 2: scatter arena subscriber ids in row-major selection
         // order, so each group lists its subscribers exactly as the
         // selection visits them.
-        let mut subscribers = vec![SubscriberId::new(0); *offsets.last().expect("leading 0")];
+        let mut subscribers =
+            vec![SubscriberId::new(0); *offsets.last().expect("leading 0") as usize];
         for (vi, tv) in self.rows().enumerate() {
             let v = view.global(SubscriberId::new(vi as u32));
             for &t in tv {
@@ -270,7 +297,8 @@ pub struct TopicGroups {
     /// Topics with at least one pair, ascending.
     topics: Vec<TopicId>,
     /// `offsets[g]..offsets[g + 1]` delimits group `g` in `subscribers`.
-    offsets: Vec<usize>,
+    /// Packed to u32 like every other CSR offset table.
+    offsets: Vec<u32>,
     /// Flat subscriber arena, groups concatenated in topic order.
     subscribers: Vec<SubscriberId>,
 }
@@ -313,19 +341,19 @@ impl TopicGroups {
         let mut sorted: Vec<(TopicId, SubscriberId)> = pairs.to_vec();
         sorted.sort_by_key(|&(t, _)| t);
         let mut topics: Vec<TopicId> = Vec::new();
-        let mut offsets = vec![0usize];
-        let mut subscribers = Vec::with_capacity(sorted.len());
+        let mut offsets = vec![0u32];
+        let mut subscribers: Vec<SubscriberId> = Vec::with_capacity(sorted.len());
         for (t, v) in sorted {
             if topics.last() != Some(&t) {
                 if !topics.is_empty() {
-                    offsets.push(subscribers.len());
+                    offsets.push(group_offset(subscribers.len()));
                 }
                 topics.push(t);
             }
             subscribers.push(v);
         }
         if !topics.is_empty() {
-            offsets.push(subscribers.len());
+            offsets.push(group_offset(subscribers.len()));
         }
         TopicGroups {
             topics,
@@ -369,7 +397,7 @@ impl TopicGroups {
     /// Panics if `g` is out of range.
     #[inline]
     pub fn subscribers(&self, g: usize) -> &[SubscriberId] {
-        &self.subscribers[self.offsets[g]..self.offsets[g + 1]]
+        &self.subscribers[self.offsets[g] as usize..self.offsets[g + 1] as usize]
     }
 
     /// Iterates `(topic, subscribers)` in ascending topic order.
@@ -393,15 +421,21 @@ impl TopicGroups {
     }
 }
 
+/// Packs a group-arena position to u32 (checked, never truncating).
+#[inline]
+fn group_offset(pos: usize) -> u32 {
+    u32::try_from(pos).expect("topic groups exceed u32::MAX pairs")
+}
+
 /// Compacts a per-topic count array into the group index — non-empty
 /// topics (ascending) plus group offsets — while rewriting the counts
 /// into global write cursors for the scatter pass. Shared by both
 /// [`TopicGroups`] constructors.
-fn compact_group_index(cursor: &mut [usize]) -> (Vec<TopicId>, Vec<usize>) {
+fn compact_group_index(cursor: &mut [usize]) -> (Vec<TopicId>, Vec<u32>) {
     let present = cursor.iter().filter(|&&c| c > 0).count();
     let mut topics = Vec::with_capacity(present);
     let mut offsets = Vec::with_capacity(present + 1);
-    offsets.push(0usize);
+    offsets.push(0u32);
     let mut total = 0usize;
     for (ti, slot) in cursor.iter_mut().enumerate() {
         let count = *slot;
@@ -409,7 +443,7 @@ fn compact_group_index(cursor: &mut [usize]) -> (Vec<TopicId>, Vec<usize>) {
         if count > 0 {
             topics.push(TopicId::new(ti as u32));
             total += count;
-            offsets.push(total);
+            offsets.push(group_offset(total));
         }
     }
     (topics, offsets)
@@ -433,7 +467,7 @@ fn compact_group_index(cursor: &mut [usize]) -> (Vec<TopicId>, Vec<usize>) {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SelectionBuilder {
-    offsets: Vec<usize>,
+    offsets: Vec<u32>,
     topics: Vec<TopicId>,
 }
 
@@ -457,24 +491,38 @@ impl SelectionBuilder {
         }
     }
 
+    /// Current end of the topic arena as a packed offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics past `u32::MAX` pairs — the packed-offset limit; one
+    /// compare per row, never a silent truncation.
+    #[inline]
+    fn end_offset(&self) -> u32 {
+        u32::try_from(self.topics.len()).expect("selection exceeds u32::MAX pairs")
+    }
+
     /// Appends the next subscriber's row.
     pub fn push_row(&mut self, row: impl IntoIterator<Item = TopicId>) {
         self.topics.extend(row);
-        self.offsets.push(self.topics.len());
+        let end = self.end_offset();
+        self.offsets.push(end);
     }
 
     /// Appends the next subscriber's row by copying a slice (the verbatim
     /// row-reuse fast path of the incremental re-allocator).
     pub fn push_row_slice(&mut self, row: &[TopicId]) {
         self.topics.extend_from_slice(row);
-        self.offsets.push(self.topics.len());
+        let end = self.end_offset();
+        self.offsets.push(end);
     }
 
     /// Appends the next subscriber's row by letting `fill` write directly
     /// into the topic arena (everything it pushes becomes the row).
     pub fn push_row_with(&mut self, fill: impl FnOnce(&mut Vec<TopicId>)) {
         fill(&mut self.topics);
-        self.offsets.push(self.topics.len());
+        let end = self.end_offset();
+        self.offsets.push(end);
     }
 
     /// Appends rows `range` of `src` verbatim: one topic-arena memcpy
@@ -488,22 +536,24 @@ impl SelectionBuilder {
     pub fn push_rows_from(&mut self, src: &Selection, range: std::ops::Range<usize>) -> u64 {
         let src_start = src.offsets[range.start];
         let src_end = src.offsets[range.end];
-        let base = self.topics.len();
+        let base = self.end_offset();
         self.topics
-            .extend_from_slice(&src.topics[src_start..src_end]);
+            .extend_from_slice(&src.topics[src_start as usize..src_end as usize]);
+        let _ = self.end_offset(); // the copied block must stay addressable
         self.offsets.extend(
             src.offsets[range.start + 1..=range.end]
                 .iter()
                 .map(|&o| o - src_start + base),
         );
-        (src_end - src_start) as u64
+        u64::from(src_end - src_start)
     }
 
     /// Appends every row of `part` after this builder's rows (used to
     /// stitch per-thread chunks back together in subscriber order).
     pub fn append(&mut self, part: SelectionBuilder) {
-        let base = self.topics.len();
+        let base = self.end_offset();
         self.topics.extend_from_slice(&part.topics);
+        let _ = self.end_offset(); // the appended chunk must stay addressable
         self.offsets
             .extend(part.offsets[1..].iter().map(|&o| base + o));
     }
@@ -513,8 +563,17 @@ impl SelectionBuilder {
         self.offsets.len() - 1
     }
 
-    /// Finishes the arena.
-    pub fn build(self) -> Selection {
+    /// Finishes the arena. Buffers that over-reserved by more than 1/8
+    /// (cold solves size the topic arena by guess) are shrunk to fit;
+    /// steady-state incremental builds reserve from the previous epoch's
+    /// exact pair count and skip the realloc.
+    pub fn build(mut self) -> Selection {
+        if self.topics.capacity() > self.topics.len() + self.topics.len() / 8 {
+            self.topics.shrink_to_fit();
+        }
+        if self.offsets.capacity() > self.offsets.len() + self.offsets.len() / 8 {
+            self.offsets.shrink_to_fit();
+        }
         Selection {
             offsets: self.offsets,
             topics: self.topics,

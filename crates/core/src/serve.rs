@@ -45,7 +45,7 @@
 //! On-disk formats are documented field-by-field in `docs/SERVE.md`.
 
 use crate::dynamic::{DriftModel, WorkloadDelta};
-use crate::incremental::IncrementalReallocator;
+use crate::incremental::{IncrementalConfig, IncrementalReallocator};
 use crate::ledger::{FleetLedger, LedgerSlot};
 use crate::{Allocation, McssError, McssInstance, Selection};
 use cloud_cost::{CostModel, Money};
@@ -725,6 +725,11 @@ pub struct ServeConfig {
     /// Write a snapshot every this many applied epochs; `0` disables
     /// periodic snapshots ([`Daemon::snapshot_now`] still works).
     pub snapshot_every: u64,
+    /// Worker threads for shard-parallel epoch repair; `1` repairs on the
+    /// calling thread. The repaired selection is bit-identical either way,
+    /// so this is a runtime knob — it is not recorded in snapshots and may
+    /// differ across [`Daemon::resume`] calls. Must be positive.
+    pub threads: usize,
 }
 
 impl ServeConfig {
@@ -735,6 +740,7 @@ impl ServeConfig {
             capacity,
             epoch_events: None,
             snapshot_every: 8,
+            threads: 1,
         }
     }
 
@@ -747,6 +753,12 @@ impl ServeConfig {
     /// Sets the snapshot cadence (see [`ServeConfig::snapshot_every`]).
     pub fn with_snapshot_every(mut self, epochs: u64) -> ServeConfig {
         self.snapshot_every = epochs;
+        self
+    }
+
+    /// Sets the repair worker-thread count (see [`ServeConfig::threads`]).
+    pub fn with_threads(mut self, threads: usize) -> ServeConfig {
+        self.threads = threads;
         self
     }
 }
@@ -850,7 +862,9 @@ impl Daemon {
             log,
             edit: WorkloadEdit::new(),
             prev: None,
-            realloc: IncrementalReallocator::default(),
+            realloc: IncrementalReallocator::new(
+                IncrementalConfig::default().with_repair_threads(config.threads),
+            ),
             epochs_applied: 0,
             pending: 0,
             last_applied: 0,
@@ -883,7 +897,9 @@ impl Daemon {
 
         let mut edit = WorkloadEdit::new();
         let mut prev = None;
-        let mut realloc = IncrementalReallocator::default();
+        let mut realloc = IncrementalReallocator::new(
+            IncrementalConfig::default().with_repair_threads(config.threads),
+        );
         let mut epochs_applied = 0u64;
         let mut last_applied = 0u64;
         if snap_path.exists() {
@@ -986,6 +1002,11 @@ impl Daemon {
         if config.epoch_events == Some(0) {
             return Err(ServeError::Rejected(
                 "epoch watermark must be positive".into(),
+            ));
+        }
+        if config.threads == 0 {
+            return Err(ServeError::Rejected(
+                "repair thread count must be positive".into(),
             ));
         }
         Ok(())

@@ -269,6 +269,65 @@ proptest! {
         }
     }
 
+    /// Shard-parallel epoch repair is bit-identical to the sequential
+    /// dirty loop across random drift sequences × shard counts (1, 2, 4,
+    /// 7) × both partitioners, ending in a mass-unsubscribe epoch that
+    /// dirties every subscriber at once; the repaired fleet stays valid
+    /// throughout.
+    #[test]
+    fn parallel_repair_bit_identical_across_drift(
+        inst in arb_instance(),
+        sigma_pct in 0u64..50,
+        churn_pct in 0u64..80,
+        seed in 0u64..1000,
+        epochs in 2u64..5,
+        shards_idx in 0usize..4,
+        hash_partitioner in 0usize..2,
+    ) {
+        let shards = [1usize, 2, 4, 7][shards_idx];
+        let partitioner = if hash_partitioner == 1 {
+            PartitionerKind::Hash { seed }
+        } else {
+            PartitionerKind::TopicLocality
+        };
+        let drift = DriftModel {
+            rate_sigma: sigma_pct as f64 / 100.0,
+            churn_prob: churn_pct as f64 / 100.0,
+            seed,
+        };
+        let mut seq = IncrementalReallocator::default();
+        let mut par = IncrementalReallocator::new(IncrementalConfig {
+            repair: Some(ShardingConfig::new(shards).with_partitioner(partitioner)),
+            ..IncrementalConfig::default()
+        });
+        let mut w = inst.workload().clone();
+        // Headroom so drifted rates stay feasible for the capacity.
+        let capacity = Bandwidth::new(inst.capacity().get().saturating_mul(8));
+        for epoch in 0..=epochs {
+            if epoch == epochs {
+                // Mass unsubscribe: every interest list empties at once.
+                w = Workload::from_parts(
+                    w.rates().to_vec(),
+                    vec![Vec::new(); w.num_subscribers()],
+                );
+            }
+            let step = McssInstance::new(w.clone(), inst.tau(), capacity).unwrap();
+            let s = seq.step(&step, &nocost()).unwrap();
+            let p = par.step(&step, &nocost()).unwrap();
+            prop_assert_eq!(
+                &p.selection, &s.selection,
+                "epoch {} diverged ({} shards, {:?})", epoch, shards, partitioner
+            );
+            prop_assert_eq!(p.pairs_reused, s.pairs_reused, "epoch {}", epoch);
+            p.allocation.validate(step.workload(), step.tau()).map_err(|e| {
+                TestCaseError::fail(format!("epoch {epoch} invalid: {e}"))
+            })?;
+            if epoch < epochs {
+                w = drift.evolve(&w, epoch);
+            }
+        }
+    }
+
     /// A sharded solve is feasible (no VM over capacity, no pair lost or
     /// forged) and satisfies exactly the same per-subscriber thresholds
     /// as the monolithic solve, for both partitioners and any shard

@@ -55,4 +55,4 @@ pub use ids::{Pair, SubscriberId, TopicId};
 pub use stats::WorkloadStats;
 pub use units::{Bandwidth, Rate, MAX_RATE};
 pub use view::WorkloadView;
-pub use workload::{ValidationIssue, Workload, WorkloadBuilder, WorkloadError};
+pub use workload::{ValidationIssue, Workload, WorkloadBuilder, WorkloadError, WorkloadFootprint};

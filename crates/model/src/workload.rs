@@ -26,6 +26,9 @@ pub enum WorkloadError {
     },
     /// More than `u32::MAX` topics or subscribers were added.
     TooManyEntities,
+    /// The flat interest arena would exceed `u32::MAX` pairs, which the
+    /// packed u32 CSR offsets cannot address.
+    TooManyPairs,
 }
 
 impl fmt::Display for WorkloadError {
@@ -49,6 +52,12 @@ impl fmt::Display for WorkloadError {
             }
             WorkloadError::TooManyEntities => {
                 write!(f, "workload exceeds u32::MAX topics or subscribers")
+            }
+            WorkloadError::TooManyPairs => {
+                write!(
+                    f,
+                    "workload exceeds u32::MAX topic-subscriber pairs (the u32 CSR offset limit)"
+                )
             }
         }
     }
@@ -80,6 +89,59 @@ impl fmt::Display for ValidationIssue {
     }
 }
 
+/// Heap bytes held by each arena of a [`Workload`], counted by *capacity*
+/// (allocated, not merely initialized), so construction slack shows up in
+/// the report. Produced by [`Workload::footprint`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkloadFootprint {
+    /// `ev_t` table (`|T|` rates).
+    pub rates: usize,
+    /// Shared CSR row-offset table for the `T_v` *and* rate-ranked
+    /// arenas (`|V| + 1` offsets, stored once).
+    pub interest_offsets: usize,
+    /// Flat `T_v` arena (one id per pair).
+    pub interest_topics: usize,
+    /// Flat rate-ranked `T_v` arena (one id per pair).
+    pub ranked_topics: usize,
+    /// Follower CSR offsets (`|T| + 1`).
+    pub follower_offsets: usize,
+    /// Flat derived `V_t` arena (one id per pair).
+    pub follower_ids: usize,
+}
+
+impl WorkloadFootprint {
+    /// Total heap bytes across all arenas.
+    pub fn total(&self) -> usize {
+        self.rates
+            + self.interest_offsets
+            + self.interest_topics
+            + self.ranked_topics
+            + self.follower_offsets
+            + self.follower_ids
+    }
+}
+
+impl fmt::Display for WorkloadFootprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  rates:            {:>12} B", self.rates)?;
+        writeln!(
+            f,
+            "  interest offsets: {:>12} B (shared with ranked arena)",
+            self.interest_offsets
+        )?;
+        writeln!(f, "  interest topics:  {:>12} B", self.interest_topics)?;
+        writeln!(f, "  ranked topics:    {:>12} B", self.ranked_topics)?;
+        writeln!(f, "  follower offsets: {:>12} B", self.follower_offsets)?;
+        writeln!(f, "  follower ids:     {:>12} B", self.follower_ids)?;
+        write!(f, "  workload total:   {:>12} B", self.total())
+    }
+}
+
+/// Allocated heap bytes behind a `Vec` (capacity, not length).
+fn vec_bytes<T>(v: &Vec<T>) -> usize {
+    v.capacity() * std::mem::size_of::<T>()
+}
+
 /// Serialized form of a [`Workload`]: only the primary data (in the same
 /// CSR layout the workload stores); derived tables are rebuilt on
 /// deserialization.
@@ -100,7 +162,9 @@ impl From<Workload> for WorkloadData {
     fn from(w: Workload) -> WorkloadData {
         WorkloadData {
             rates: w.rates,
-            interest_offsets: w.interest_offsets,
+            // The wire format keeps machine-word offsets; the packed u32
+            // table widens losslessly.
+            interest_offsets: w.interest_offsets.iter().map(|&o| o as usize).collect(),
             interest_topics: w.interest_topics,
         }
     }
@@ -133,16 +197,20 @@ impl From<Workload> for WorkloadData {
 pub struct Workload {
     /// `ev_t`, indexed by topic.
     rates: Vec<Rate>,
-    /// CSR offsets into `interest_topics`; `len = |V| + 1`.
-    interest_offsets: Vec<usize>,
+    /// CSR offsets into `interest_topics`; `len = |V| + 1`. Packed to u32
+    /// — the arena holds at most `u32::MAX` pairs, enforced at
+    /// construction ([`WorkloadError::TooManyPairs`]) — which halves the
+    /// offset table versus machine words at 10⁶–10⁷ subscribers.
+    interest_offsets: Vec<u32>,
     /// Flat `T_v` arena; each row sorted, deduplicated.
     interest_topics: Vec<TopicId>,
     /// Flat rate-ranked `T_v` arena: same row boundaries as
     /// `interest_topics` (via `interest_offsets`), each row ordered by
     /// (descending `ev_t`, ascending topic id).
     ranked_topics: Vec<TopicId>,
-    /// CSR offsets into `follower_ids`; `len = |T| + 1`.
-    follower_offsets: Vec<usize>,
+    /// CSR offsets into `follower_ids`; `len = |T| + 1`. Packed like
+    /// `interest_offsets`.
+    follower_offsets: Vec<u32>,
     /// Flat derived `V_t` arena; each row sorted.
     follower_ids: Vec<SubscriberId>,
     /// Total number of `(t, v)` pairs (`Σ_v |T_v|`).
@@ -160,9 +228,31 @@ impl Workload {
     /// Rebuilds a workload from primary data (used by deserialization and
     /// trace I/O). Interests are sorted and deduplicated; out-of-range
     /// topic ids are dropped silently — use the builder for checked input.
+    ///
+    /// # Panics
+    ///
+    /// Panics past `u32::MAX` total pairs — the packed CSR offset limit.
+    /// The builder path reports this as [`WorkloadError::TooManyPairs`]
+    /// instead.
     pub fn from_parts(rates: Vec<Rate>, interests: Vec<Vec<TopicId>>) -> Workload {
         let (interest_offsets, interest_topics) = normalize_interests(rates.len(), interests);
-        Workload::from_csr(rates, interest_offsets, interest_topics)
+        Workload::from_csr_u32(rates, interest_offsets, interest_topics)
+    }
+
+    /// Rebuilds a workload from a wire-format CSR interest table with
+    /// machine-word offsets (deserialization), packing the offsets to u32.
+    ///
+    /// # Panics
+    ///
+    /// Panics past `u32::MAX` total pairs.
+    fn from_csr(
+        rates: Vec<Rate>,
+        interest_offsets: Vec<usize>,
+        interest_topics: Vec<TopicId>,
+    ) -> Workload {
+        let interest_offsets =
+            shrink_offsets(interest_offsets).expect("interest arena exceeds u32::MAX pairs");
+        Workload::from_csr_u32(rates, interest_offsets, interest_topics)
     }
 
     /// Rebuilds a workload from an already-normalized CSR interest table:
@@ -170,14 +260,18 @@ impl Workload {
     /// total, and each row of `interest_topics` is sorted, deduplicated,
     /// and in range. The derived follower CSR is recomputed by counting
     /// sort, and the rate-ranked arena by one global ranking plus a
-    /// counting-sort scatter (no per-row sort).
-    fn from_csr(
-        rates: Vec<Rate>,
-        interest_offsets: Vec<usize>,
-        interest_topics: Vec<TopicId>,
+    /// counting-sort scatter (no per-row sort). Primary arenas are shrunk
+    /// to fit, so builder growth slack does not outlive construction.
+    fn from_csr_u32(
+        mut rates: Vec<Rate>,
+        mut interest_offsets: Vec<u32>,
+        mut interest_topics: Vec<TopicId>,
     ) -> Workload {
         debug_assert!(interest_offsets.first() == Some(&0));
-        debug_assert!(interest_offsets.last() == Some(&interest_topics.len()));
+        debug_assert!(interest_offsets.last().map(|&o| o as usize) == Some(interest_topics.len()));
+        rates.shrink_to_fit();
+        interest_offsets.shrink_to_fit();
+        interest_topics.shrink_to_fit();
         let (follower_offsets, follower_ids) =
             transpose(rates.len(), &interest_offsets, &interest_topics);
 
@@ -188,13 +282,13 @@ impl Workload {
         let mut by_rate: Vec<u32> = (0..rates.len() as u32).collect();
         by_rate.sort_unstable_by_key(|&t| (Reverse(rates[t as usize]), t));
         let mut ranked_topics = vec![TopicId::new(0); interest_topics.len()];
-        let mut cursor: Vec<usize> = interest_offsets[..interest_offsets.len() - 1].to_vec();
+        let mut cursor: Vec<u32> = interest_offsets[..interest_offsets.len() - 1].to_vec();
         for &ti in &by_rate {
             let t = TopicId::new(ti);
-            for &v in
-                &follower_ids[follower_offsets[ti as usize]..follower_offsets[ti as usize + 1]]
+            for &v in &follower_ids
+                [follower_offsets[ti as usize] as usize..follower_offsets[ti as usize + 1] as usize]
             {
-                ranked_topics[cursor[v.index()]] = t;
+                ranked_topics[cursor[v.index()] as usize] = t;
                 cursor[v.index()] += 1;
             }
         }
@@ -273,9 +367,10 @@ impl Workload {
         let (interest_offsets, interest_topics) = normalize_interests(num_topics, interests);
 
         // Mostly-dirty epochs (heavy rate drift) re-sort almost every
-        // row anyway; the global scatter of `from_csr` is cheaper there.
+        // row anyway; the global scatter of `from_csr_u32` is cheaper
+        // there.
         if dirty_count * 2 > n {
-            return Workload::from_csr(rates, interest_offsets, interest_topics);
+            return Workload::from_csr_u32(rates, interest_offsets, interest_topics);
         }
         let (follower_offsets, follower_ids) =
             transpose(num_topics, &interest_offsets, &interest_topics);
@@ -289,7 +384,7 @@ impl Workload {
         let mut ranked_topics = vec![TopicId::new(0); interest_topics.len()];
         for vi in 0..n {
             let v = SubscriberId::new(vi as u32);
-            let span = interest_offsets[vi]..interest_offsets[vi + 1];
+            let span = interest_offsets[vi] as usize..interest_offsets[vi + 1] as usize;
             let clean = !dirty[vi] && prev.interests(v) == &interest_topics[span.clone()];
             if clean {
                 ranked_topics[span.clone()].copy_from_slice(prev.ranked_interests(v));
@@ -354,8 +449,8 @@ impl Workload {
     /// Panics if `v` is out of range for this workload.
     #[inline]
     pub fn interests(&self, v: SubscriberId) -> &[TopicId] {
-        &self.interest_topics
-            [self.interest_offsets[v.index()]..self.interest_offsets[v.index() + 1]]
+        &self.interest_topics[self.interest_offsets[v.index()] as usize
+            ..self.interest_offsets[v.index() + 1] as usize]
     }
 
     /// The interest set `T_v` pre-sorted by (descending `ev_t`, ascending
@@ -368,7 +463,8 @@ impl Workload {
     /// Panics if `v` is out of range for this workload.
     #[inline]
     pub fn ranked_interests(&self, v: SubscriberId) -> &[TopicId] {
-        &self.ranked_topics[self.interest_offsets[v.index()]..self.interest_offsets[v.index() + 1]]
+        &self.ranked_topics[self.interest_offsets[v.index()] as usize
+            ..self.interest_offsets[v.index() + 1] as usize]
     }
 
     /// The global interest-arena position of the pair `(t, v)`, if `v` is
@@ -381,8 +477,8 @@ impl Workload {
     /// Panics if `v` is out of range for this workload.
     #[inline]
     pub fn pair_index(&self, v: SubscriberId, t: TopicId) -> Option<usize> {
-        let start = self.interest_offsets[v.index()];
-        let row = &self.interest_topics[start..self.interest_offsets[v.index() + 1]];
+        let start = self.interest_offsets[v.index()] as usize;
+        let row = &self.interest_topics[start..self.interest_offsets[v.index() + 1] as usize];
         row.binary_search(&t).ok().map(|pos| start + pos)
     }
 
@@ -393,7 +489,8 @@ impl Workload {
     /// Panics if `t` is out of range for this workload.
     #[inline]
     pub fn subscribers_of(&self, t: TopicId) -> &[SubscriberId] {
-        &self.follower_ids[self.follower_offsets[t.index()]..self.follower_offsets[t.index() + 1]]
+        &self.follower_ids[self.follower_offsets[t.index()] as usize
+            ..self.follower_offsets[t.index() + 1] as usize]
     }
 
     /// Iterates over all topic ids in index order.
@@ -431,6 +528,20 @@ impl Workload {
             .sum()
     }
 
+    /// Measures the heap bytes each arena holds (by capacity, so
+    /// construction slack is visible). Divide by
+    /// [`Workload::num_subscribers`] for a bytes-per-subscriber figure.
+    pub fn footprint(&self) -> WorkloadFootprint {
+        WorkloadFootprint {
+            rates: vec_bytes(&self.rates),
+            interest_offsets: vec_bytes(&self.interest_offsets),
+            interest_topics: vec_bytes(&self.interest_topics),
+            ranked_topics: vec_bytes(&self.ranked_topics),
+            follower_offsets: vec_bytes(&self.follower_offsets),
+            follower_ids: vec_bytes(&self.follower_ids),
+        }
+    }
+
     /// Checks the paper's structural assumptions; returns all violations
     /// found (an empty vector means the workload is fully regular).
     pub fn validate(&self) -> Vec<ValidationIssue> {
@@ -449,22 +560,39 @@ impl Workload {
     }
 }
 
+/// Packs a machine-word offset table to u32, rejecting (never truncating)
+/// tables whose arena would be unaddressable by u32 offsets.
+fn shrink_offsets(offsets: Vec<usize>) -> Result<Vec<u32>, WorkloadError> {
+    if offsets.last().is_some_and(|&o| o > u32::MAX as usize) {
+        return Err(WorkloadError::TooManyPairs);
+    }
+    Ok(offsets.into_iter().map(|o| o as u32).collect())
+}
+
 /// Normalizes raw per-subscriber interest lists into the CSR shape every
 /// constructor stores: out-of-range topics dropped, rows sorted and
-/// deduplicated, one flat arena plus offsets.
+/// deduplicated, one flat arena plus offsets. The arena is reserved to
+/// the input pair count up front (dedup/drop only ever shrinks it), so
+/// the hot epoch path never pays doubling-growth slack.
+///
+/// # Panics
+///
+/// Panics past `u32::MAX` total pairs.
 fn normalize_interests(
     num_topics: usize,
     mut interests: Vec<Vec<TopicId>>,
-) -> (Vec<usize>, Vec<TopicId>) {
+) -> (Vec<u32>, Vec<TopicId>) {
     let mut interest_offsets = Vec::with_capacity(interests.len() + 1);
-    interest_offsets.push(0usize);
-    let mut interest_topics = Vec::new();
+    interest_offsets.push(0u32);
+    let mut interest_topics = Vec::with_capacity(interests.iter().map(Vec::len).sum());
     for tv in &mut interests {
         tv.retain(|t| t.index() < num_topics);
         tv.sort_unstable();
         tv.dedup();
         interest_topics.extend_from_slice(tv);
-        interest_offsets.push(interest_topics.len());
+        let end =
+            u32::try_from(interest_topics.len()).expect("interest arena exceeds u32::MAX pairs");
+        interest_offsets.push(end);
     }
     (interest_offsets, interest_topics)
 }
@@ -475,11 +603,11 @@ fn normalize_interests(
 /// subscriber id because subscribers are visited in ascending order.
 fn transpose(
     num_topics: usize,
-    interest_offsets: &[usize],
+    interest_offsets: &[u32],
     interest_topics: &[TopicId],
-) -> (Vec<usize>, Vec<SubscriberId>) {
+) -> (Vec<u32>, Vec<SubscriberId>) {
     let num_subscribers = interest_offsets.len() - 1;
-    let mut follower_offsets = vec![0usize; num_topics + 1];
+    let mut follower_offsets = vec![0u32; num_topics + 1];
     for &t in interest_topics {
         follower_offsets[t.index() + 1] += 1;
     }
@@ -489,9 +617,10 @@ fn transpose(
     let mut follower_ids = vec![SubscriberId::new(0); interest_topics.len()];
     let mut cursor = follower_offsets.clone();
     for vi in 0..num_subscribers {
-        let row = &interest_topics[interest_offsets[vi]..interest_offsets[vi + 1]];
+        let row =
+            &interest_topics[interest_offsets[vi] as usize..interest_offsets[vi + 1] as usize];
         for &t in row {
-            follower_ids[cursor[t.index()]] = SubscriberId::new(vi as u32);
+            follower_ids[cursor[t.index()] as usize] = SubscriberId::new(vi as u32);
             cursor[t.index()] += 1;
         }
     }
@@ -507,7 +636,7 @@ fn transpose(
 #[derive(Clone, Debug)]
 pub struct WorkloadBuilder {
     rates: Vec<Rate>,
-    interest_offsets: Vec<usize>,
+    interest_offsets: Vec<u32>,
     interest_topics: Vec<TopicId>,
 }
 
@@ -564,7 +693,9 @@ impl WorkloadBuilder {
     ///
     /// * [`WorkloadError::UnknownTopic`] if any interest references a topic
     ///   that was not added first;
-    /// * [`WorkloadError::TooManyEntities`] past `u32::MAX` subscribers.
+    /// * [`WorkloadError::TooManyEntities`] past `u32::MAX` subscribers;
+    /// * [`WorkloadError::TooManyPairs`] if the flat interest arena would
+    ///   exceed `u32::MAX` pairs (the packed CSR offset limit).
     pub fn add_subscriber<I>(&mut self, topics: I) -> Result<SubscriberId, WorkloadError>
     where
         I: IntoIterator<Item = TopicId>,
@@ -594,8 +725,12 @@ impl WorkloadBuilder {
             }
         }
         let new_len = start + write;
+        let Ok(end) = u32::try_from(new_len) else {
+            self.interest_topics.truncate(start);
+            return Err(WorkloadError::TooManyPairs);
+        };
         self.interest_topics.truncate(new_len);
-        self.interest_offsets.push(new_len);
+        self.interest_offsets.push(end);
         Ok(SubscriberId::new(idx))
     }
 
@@ -611,7 +746,7 @@ impl WorkloadBuilder {
 
     /// Finalizes the workload, computing the derived `V_t` tables.
     pub fn build(self) -> Workload {
-        Workload::from_csr(self.rates, self.interest_offsets, self.interest_topics)
+        Workload::from_csr_u32(self.rates, self.interest_offsets, self.interest_topics)
     }
 }
 
@@ -861,6 +996,49 @@ mod tests {
         );
         assert_eq!(w.interests(SubscriberId::new(0)), &[TopicId::new(0)]);
         assert_eq!(w.pair_count(), 1);
+    }
+
+    #[test]
+    fn u32_offset_construction_rejects_overflow_with_typed_error() {
+        // A pair arena past u32::MAX offsets must be rejected, never
+        // silently truncated. The overflowing table can't be materialized
+        // through real interests in a test, so exercise the checked
+        // conversion every wire-format path funnels through.
+        assert_eq!(
+            shrink_offsets(vec![0, u32::MAX as usize + 1]),
+            Err(WorkloadError::TooManyPairs)
+        );
+        assert_eq!(
+            shrink_offsets(vec![0, 3, u32::MAX as usize]),
+            Ok(vec![0, 3, u32::MAX])
+        );
+        assert!(WorkloadError::TooManyPairs.to_string().contains("u32"));
+    }
+
+    #[test]
+    fn arenas_are_shrunk_to_fit_after_build() {
+        // Builder growth slack must not outlive construction: every arena
+        // the finished workload holds is capacity == length.
+        let w = tiny();
+        let fp = w.footprint();
+        assert_eq!(fp.rates, w.num_topics() * std::mem::size_of::<Rate>());
+        assert_eq!(
+            fp.interest_offsets,
+            (w.num_subscribers() + 1) * std::mem::size_of::<u32>()
+        );
+        assert_eq!(
+            fp.interest_topics,
+            w.pair_count() as usize * std::mem::size_of::<TopicId>()
+        );
+        assert_eq!(fp.ranked_topics, fp.interest_topics);
+        assert_eq!(
+            fp.follower_offsets,
+            (w.num_topics() + 1) * std::mem::size_of::<u32>()
+        );
+        assert_eq!(
+            fp.follower_ids,
+            w.pair_count() as usize * std::mem::size_of::<SubscriberId>()
+        );
     }
 
     #[test]

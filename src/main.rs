@@ -74,6 +74,8 @@ REPROVISION OPTIONS:
   --drift-seed N         drift RNG seed                           [42]
   --fresh                re-solve from scratch each epoch instead of the
                          O(Δ) incremental repair
+  --threads N            worker threads for shard-parallel epoch repair
+                         (bit-identical selections)               [1]
   --instance NAME        c3.large | c3.xlarge | c3.2xlarge  [c3.large]
   --mixed                deploy on a heterogeneous fleet over the whole
                          catalogue (--instance is ignored); selections
@@ -99,6 +101,8 @@ SERVE OPTIONS:
   --dir PATH             state directory (event log + snapshots)
                          [fresh directory under the system tmpdir]
   --snapshot-every N     snapshot every N applied epochs (0 = never) [8]
+  --threads N            worker threads for shard-parallel epoch repair
+                         (bit-identical selections)               [1]
   --resume               recover from --dir (snapshot load + log
                          replay), then continue the stream
   --effective            use the figure-calibrated capacity
@@ -144,6 +148,7 @@ enum Command {
         sigma: f64,
         drift_seed: u64,
         fresh: bool,
+        threads: usize,
         mixed: bool,
         effective: bool,
         scale: Option<(u64, u64)>,
@@ -172,6 +177,7 @@ enum Command {
         drift_seed: u64,
         dir: Option<String>,
         snapshot_every: u64,
+        threads: usize,
         resume: bool,
         effective: bool,
         scale: Option<(u64, u64)>,
@@ -274,6 +280,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut sigma = 0.1f64;
             let mut drift_seed = 42u64;
             let mut fresh = false;
+            let mut threads = 1usize;
             let mut mixed = false;
             let mut effective = false;
             let mut scale = None;
@@ -281,6 +288,12 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--mixed" => mixed = true,
+                    "--threads" => {
+                        threads = next_num(&mut it, "--threads")?;
+                        if threads == 0 {
+                            return Err("--threads must be at least 1".into());
+                        }
+                    }
                     "--tau" => tau = Some(next_num(&mut it, "--tau")?),
                     "--epochs" => {
                         epochs = next_num(&mut it, "--epochs")?;
@@ -324,6 +337,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 sigma,
                 drift_seed,
                 fresh,
+                threads,
                 mixed,
                 effective,
                 scale,
@@ -433,6 +447,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut drift_seed = 42u64;
             let mut dir: Option<String> = None;
             let mut snapshot_every = 8u64;
+            let mut threads = 1usize;
             let mut resume = false;
             let mut effective = false;
             let mut scale = None;
@@ -499,6 +514,12 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                         )
                     }
                     "--snapshot-every" => snapshot_every = next_num(&mut it, "--snapshot-every")?,
+                    "--threads" => {
+                        threads = next_num(&mut it, "--threads")?;
+                        if threads == 0 {
+                            return Err("--threads must be at least 1".into());
+                        }
+                    }
                     "--resume" => resume = true,
                     "--effective" => effective = true,
                     "--scale" => scale = Some(parse_scale(&mut it)?),
@@ -542,6 +563,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 drift_seed,
                 dir,
                 snapshot_every,
+                threads,
                 resume,
                 effective,
                 scale,
@@ -625,6 +647,10 @@ fn run(command: Command) -> Result<(), String> {
                     issues[0]
                 );
             }
+            println!(
+                "{}",
+                mcss_core::MemoryFootprint::measure(&workload, None, None)
+            );
             Ok(())
         }
         Command::Generate {
@@ -758,6 +784,7 @@ fn run(command: Command) -> Result<(), String> {
             sigma,
             drift_seed,
             fresh,
+            threads,
             mixed,
             effective,
             scale,
@@ -795,7 +822,10 @@ fn run(command: Command) -> Result<(), String> {
             let mut re = if fresh {
                 Reprovisioner::new(Solver::default())
             } else {
-                Reprovisioner::incremental(Solver::default(), IncrementalConfig::default())
+                Reprovisioner::incremental(
+                    Solver::default(),
+                    IncrementalConfig::default().with_repair_threads(threads),
+                )
             };
             if let Some(fleet) = &fleet {
                 re = re.with_fleet(fleet.clone());
@@ -942,6 +972,7 @@ fn run(command: Command) -> Result<(), String> {
             drift_seed,
             dir,
             snapshot_every,
+            threads,
             resume,
             effective,
             scale,
@@ -960,8 +991,9 @@ fn run(command: Command) -> Result<(), String> {
             let state_dir = dir.map(PathBuf::from).unwrap_or_else(|| {
                 std::env::temp_dir().join(format!("mcss-serve-{}", std::process::id()))
             });
-            let mut config =
-                ServeConfig::new(Rate::new(tau), capacity).with_snapshot_every(snapshot_every);
+            let mut config = ServeConfig::new(Rate::new(tau), capacity)
+                .with_snapshot_every(snapshot_every)
+                .with_threads(threads);
             if let Some(events) = epoch_events {
                 config = config.with_epoch_events(events);
             }
@@ -1361,6 +1393,8 @@ mod tests {
             "0.2",
             "--drift-seed",
             "9",
+            "--threads",
+            "4",
             "--fresh",
             "--simulate",
         ])
@@ -1374,6 +1408,7 @@ mod tests {
                 sigma,
                 drift_seed,
                 fresh,
+                threads,
                 simulate,
                 ..
             } => {
@@ -1384,18 +1419,27 @@ mod tests {
                 assert_eq!(sigma, 0.2);
                 assert_eq!(drift_seed, 9);
                 assert!(fresh);
+                assert_eq!(threads, 4);
                 assert!(simulate);
             }
             other => panic!("parsed {other:?}"),
         }
         let cmd = parse(&["reprovision", "t.tsv", "--tau", "5", "--mixed"]).unwrap();
-        assert!(matches!(cmd, Command::Reprovision { mixed: true, .. }));
+        assert!(matches!(
+            cmd,
+            Command::Reprovision {
+                mixed: true,
+                threads: 1,
+                ..
+            }
+        ));
         assert!(parse(&["reprovision", "t.tsv"])
             .unwrap_err()
             .contains("--tau"));
         assert!(parse(&["reprovision", "t.tsv", "--tau", "1", "--epochs", "0"]).is_err());
         assert!(parse(&["reprovision", "t.tsv", "--tau", "1", "--churn", "1.5"]).is_err());
         assert!(parse(&["reprovision", "t.tsv", "--tau", "1", "--sigma", "-0.1"]).is_err());
+        assert!(parse(&["reprovision", "t.tsv", "--tau", "1", "--threads", "0"]).is_err());
     }
 
     #[test]
@@ -1421,6 +1465,7 @@ mod tests {
                     sigma: 0.0,
                     drift_seed: 11,
                     fresh,
+                    threads: 2,
                     mixed,
                     effective: true,
                     scale: Some((250, 100_000)),
@@ -1466,6 +1511,8 @@ mod tests {
             "64",
             "--snapshot-every",
             "2",
+            "--threads",
+            "3",
             "--dir",
             "/tmp/d",
             "--summary",
@@ -1481,6 +1528,7 @@ mod tests {
                 epochs,
                 epoch_events,
                 snapshot_every,
+                threads,
                 dir,
                 summary,
                 simulate,
@@ -1493,6 +1541,7 @@ mod tests {
                 assert_eq!(epochs, 4);
                 assert_eq!(epoch_events, Some(64));
                 assert_eq!(snapshot_every, 2);
+                assert_eq!(threads, 3);
                 assert_eq!(dir.as_deref(), Some("/tmp/d"));
                 assert_eq!(summary.as_deref(), Some("s.json"));
                 assert!(simulate && !resume);
@@ -1500,6 +1549,7 @@ mod tests {
             other => panic!("parsed {other:?}"),
         }
         assert!(parse(&["serve"]).unwrap_err().contains("--trace"));
+        assert!(parse(&["serve", "--trace", "spotify", "--threads", "0"]).is_err());
         assert!(parse(&["serve", "--trace", "mastodon"]).is_err());
         let err = parse(&["serve", "--trace", "spotify", "--epoch-events", "0"]).unwrap_err();
         assert!(err.contains("--epoch-events must be positive"));
@@ -1551,6 +1601,7 @@ mod tests {
             drift_seed: 7,
             dir: Some(state.display().to_string()),
             snapshot_every: 1,
+            threads: 2,
             resume: false,
             effective: true,
             scale: Some((250, 100_000)),
@@ -1574,8 +1625,11 @@ mod tests {
             churn: 0.2,
             sigma: 0.1,
             drift_seed: 7,
+            // Resuming with a different repair thread count is legal —
+            // threads is a runtime knob, not part of the snapshot.
             dir: Some(state.display().to_string()),
             snapshot_every: 1,
+            threads: 1,
             resume: true,
             effective: true,
             scale: Some((250, 100_000)),
