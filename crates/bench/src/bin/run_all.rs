@@ -158,6 +158,13 @@ fn main() -> ExitCode {
     save(dir, "serve_daemon.txt", &serve);
     bench_writes_ok &= save_bench_json(Path::new("BENCH_serve.json"), &serve_json);
 
+    let (drill_text, drill_json) =
+        experiments::fig_failure_drills(&spotify, instances::C3_LARGE, 100);
+    let mut drills = String::from("== SLA-budgeted failure drills (Spotify) ==\n");
+    drills.push_str(&drill_text);
+    save(dir, "failure_drills.txt", &drills);
+    bench_writes_ok &= save_bench_json(Path::new("BENCH_failures.json"), &drill_json);
+
     let (mixed_text, mixed_json) = experiments::fig_mixed_fleet(&[&spotify, &twitter], 100, 4);
     let mut mixed = String::from("== mixed fleet vs best homogeneous (Spotify + Twitter) ==\n");
     mixed.push_str(&mixed_text);

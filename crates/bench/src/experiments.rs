@@ -6,7 +6,7 @@ use crate::scenario::Scenario;
 use crate::table::Table;
 use cloud_cost::{instances, Ec2CostModel, FleetCostModel, InstanceType};
 use mcss_core::dynamic::DriftModel;
-use mcss_core::incremental::{IncrementalConfig, IncrementalReallocator};
+use mcss_core::incremental::{IncrementalConfig, IncrementalReallocator, SlaBudget};
 use mcss_core::planner::plan_mixed;
 use mcss_core::serve::{Daemon, Driver, ServeConfig};
 use mcss_core::stage1::{GreedySelectPairs, PairSelector, RandomSelectPairs};
@@ -675,6 +675,155 @@ pub fn fig_serve(
     (out, json)
 }
 
+/// Failure-drill experiment (extension, not a paper figure): kill VMs
+/// out of a solved fleet and repair through the ledger under an SLA
+/// budget of ~10% of the orphaned pairs per epoch, for three drill
+/// shapes — a single VM, a correlated rack (slots 0–7), and 20% of the
+/// fleet. Each drill records repair latency, pairs moved against the
+/// budget, epochs until the carry-over queue drains, and the peak
+/// starved-subscriber count while degraded. Every epoch asserts the
+/// repair never exceeds its pairs budget, and the drained fleet's
+/// delivered rates are asserted bit-identical to the pre-failure solve.
+/// Returns the human-readable report and the machine-readable JSON
+/// document (`BENCH_failures.json`).
+pub fn fig_failure_drills(
+    scenario: &Scenario,
+    instance: InstanceType,
+    tau: u64,
+) -> (String, String) {
+    let cost = scenario.cost_model(instance);
+    let inst = scenario
+        .instance(tau, instance)
+        .expect("catalogued capacity is nonzero");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# failure drills, {} trace, {} subscribers, τ={tau}, {}; \
+         SLA budget = max(1, orphans/10) pairs per epoch",
+        scenario.name,
+        scenario.workload.num_subscribers(),
+        instance.name()
+    );
+    let mut t = Table::new(vec![
+        "drill".into(),
+        "killed".into(),
+        "orphans".into(),
+        "budget/epoch".into(),
+        "epochs".into(),
+        "repair ms".into(),
+        "peak starved".into(),
+        "peak shortfall".into(),
+        "identical=".into(),
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+
+    // Shared baseline: one fresh solve sizes the fleet and fixes the
+    // satisfaction every drill must restore bit-for-bit.
+    let probe = IncrementalReallocator::default()
+        .step(&inst, &cost)
+        .expect("feasible scenario");
+    let fleet = probe.allocation.vm_count();
+    let baseline_delivered = probe.allocation.delivered_rates(inst.workload());
+
+    let drills: Vec<(&str, Vec<usize>)> = vec![
+        ("single-vm", vec![0]),
+        ("rack-0-7", (0..8.min(fleet)).collect()),
+        (
+            "fleet-20pct",
+            (0..(fleet * 20).div_ceil(100).max(1)).collect(),
+        ),
+    ];
+    for (name, kills) in drills {
+        let mut realloc = IncrementalReallocator::default();
+        let d0 = realloc.step(&inst, &cost).expect("feasible scenario");
+        let orphans_expected: u64 = kills
+            .iter()
+            .map(|&i| d0.allocation.vms()[i].pair_count())
+            .sum();
+        let budget_pairs = (orphans_expected / 10).max(1);
+        let budget = SlaBudget::pairs(budget_pairs);
+
+        let mut epochs = 0u64;
+        let mut repair_ns = 0u128;
+        let mut orphaned = 0u64;
+        let mut replaced = 0u64;
+        let (mut peak_starved, mut peak_shortfall) = (0usize, 0u64);
+        let mut fails: &[usize] = &kills;
+        let final_alloc = loop {
+            let report = realloc
+                .repair_failures(&inst, fails, budget)
+                .expect("surviving regime stays feasible");
+            fails = &[];
+            epochs += 1;
+            repair_ns += report.elapsed.as_nanos();
+            orphaned += report.pairs_orphaned;
+            replaced += report.pairs_replaced;
+            assert!(
+                report.pairs_replaced <= budget_pairs,
+                "{name}: epoch {epochs} moved {} pairs over the {budget_pairs}-pair SLA budget",
+                report.pairs_replaced
+            );
+            peak_starved = peak_starved.max(report.starved.len());
+            peak_shortfall = peak_shortfall.max(report.shortfall);
+            if report.drained {
+                break report.allocation;
+            }
+            assert!(
+                epochs <= orphaned + 4,
+                "{name}: repair stalled after {epochs} epochs with {} pairs deferred",
+                report.pairs_deferred
+            );
+        };
+        assert_eq!(
+            replaced, orphaned,
+            "{name}: drained repair must restore every orphan"
+        );
+        final_alloc
+            .validate(inst.workload(), inst.tau())
+            .expect("repaired fleet must satisfy every subscriber");
+        let delivered_identical =
+            final_alloc.delivered_rates(inst.workload()) == baseline_delivered;
+        assert!(
+            delivered_identical,
+            "{name}: drained repair diverged from the fresh solve's satisfaction"
+        );
+        let repair_ms = repair_ns as f64 / 1e6;
+        t.row(vec![
+            name.to_string(),
+            kills.len().to_string(),
+            orphaned.to_string(),
+            budget_pairs.to_string(),
+            epochs.to_string(),
+            format!("{repair_ms:.2}"),
+            peak_starved.to_string(),
+            peak_shortfall.to_string(),
+            delivered_identical.to_string(),
+        ]);
+        json_rows.push(format!(
+            "    {{\"scenario\": \"{name}\", \"vms_failed\": {}, \"pairs_orphaned\": {orphaned}, \
+             \"budget_pairs_per_epoch\": {budget_pairs}, \"epochs_to_drain\": {epochs}, \
+             \"repair_ms\": {repair_ms:.3}, \"peak_starved\": {peak_starved}, \
+             \"peak_shortfall\": {peak_shortfall}, \"delivered_identical\": {delivered_identical}}}",
+            kills.len()
+        ));
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "# per-epoch pairs moved never exceed the SLA budget (asserted); \
+         identical= is the drained fleet's delivered rates versus the \
+         pre-failure solve, bit-for-bit"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"failure_drills\",\n  \"trace\": \"{}\",\n  \"subscribers\": {},\n  \
+         \"tau\": {tau},\n  \"fleet_vms\": {fleet},\n  \"results\": [\n{}\n  ]\n}}\n",
+        scenario.name,
+        scenario.workload.num_subscribers(),
+        json_rows.join(",\n")
+    );
+    (out, json)
+}
+
 /// Cold-solve speedup experiment (extension, not a paper figure): the
 /// sort-free arena pipeline (rate-ranked GSP sweep + `TopicGroups`
 /// counting-sort grouping into CBP) versus the preserved pre-arena path
@@ -1211,6 +1360,19 @@ mod tests {
         assert!(json.contains("\"apply_ms_p99\""));
         assert!(json.contains("\"snapshot\": true"));
         assert!(json.contains("\"recovery_ms\""));
+    }
+
+    #[test]
+    fn failure_drills_report_runs_on_small_scenario() {
+        let s = Scenario::spotify(400, 9);
+        let (text, json) = fig_failure_drills(&s, instances::C3_LARGE, 50);
+        assert!(text.contains("single-vm"));
+        assert!(text.contains("rack-0-7"));
+        assert!(text.contains("fleet-20pct"));
+        assert!(!text.contains("false"), "satisfaction diverged:\n{text}");
+        assert!(json.contains("\"bench\": \"failure_drills\""));
+        assert!(json.contains("\"epochs_to_drain\""));
+        assert!(json.contains("\"delivered_identical\": true"));
     }
 
     #[test]

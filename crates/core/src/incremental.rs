@@ -43,6 +43,7 @@ use crate::{
 };
 use cloud_cost::{CostModel, FleetCostModel};
 use pubsub_model::{Bandwidth, Rate, SubscriberId, TopicId, Workload, WorkloadView};
+use std::time::{Duration, Instant};
 
 /// Configuration for [`IncrementalReallocator`].
 #[derive(Clone, Copy, Debug)]
@@ -114,6 +115,78 @@ pub struct IncrementalOutcome {
     pub full_resolve: bool,
 }
 
+/// Per-epoch repair budget for [`IncrementalReallocator::repair_failures`]
+/// — the SLA knob: how much re-placement work one repair call may do
+/// before it yields and carries the remainder over to the next epoch.
+///
+/// `None` in both fields (the [`SlaBudget::UNBOUNDED`] default) drains
+/// the whole orphan queue in one call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlaBudget {
+    /// Maximum topic-subscriber pairs re-placed per call.
+    pub max_pairs: Option<u64>,
+    /// Wall-clock deadline per call, checked between placement chunks.
+    /// Non-deterministic by nature — replayable consumers (the serve
+    /// daemon's event log) must use `max_pairs` instead.
+    pub deadline: Option<Duration>,
+}
+
+impl SlaBudget {
+    /// No limit: drain everything in one call.
+    pub const UNBOUNDED: SlaBudget = SlaBudget {
+        max_pairs: None,
+        deadline: None,
+    };
+
+    /// Budget of at most `max` pairs re-placed per call.
+    pub fn pairs(max: u64) -> Self {
+        SlaBudget {
+            max_pairs: Some(max),
+            ..SlaBudget::UNBOUNDED
+        }
+    }
+
+    /// Adds a wall-clock deadline to this budget.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Outcome of one [`IncrementalReallocator::repair_failures`] call:
+/// the (possibly still degraded) allocation plus exact accounting of
+/// what the failure orphaned, what this call restored, and who is still
+/// waiting.
+#[derive(Clone, Debug)]
+pub struct RepairReport {
+    /// The fleet after this repair round — degraded (missing the
+    /// deferred pairs) until [`RepairReport::drained`] is true.
+    pub allocation: Allocation,
+    /// Slots actually failed by this call (deduplicated).
+    pub vms_failed: usize,
+    /// Requested slot indices that were out of range or already dead.
+    pub invalid_slots: Vec<usize>,
+    /// Pairs newly orphaned by this call's failures.
+    pub pairs_orphaned: u64,
+    /// Pairs re-placed this call (from this call's orphans and any
+    /// carry-over queue from earlier calls), `≤ budget.max_pairs`.
+    pub pairs_replaced: u64,
+    /// Pairs still waiting in the carry-over queue after this call.
+    pub pairs_deferred: u64,
+    /// Subscribers whose delivered rate is below their satisfaction
+    /// target while pairs stay deferred (ascending id order).
+    pub starved: Vec<SubscriberId>,
+    /// Total event-rate shortfall across starved subscribers
+    /// (Σ max(0, τ_v − delivered_v)).
+    pub shortfall: u64,
+    /// True when the carry-over queue is empty: the allocation serves
+    /// the full selection again, bit-identical in satisfaction to a
+    /// fresh solve.
+    pub drained: bool,
+    /// Wall-clock time this repair call spent.
+    pub elapsed: Duration,
+}
+
 /// Epoch-to-epoch allocator that minimizes placement churn.
 #[derive(Clone, Debug, Default)]
 pub struct IncrementalReallocator {
@@ -137,6 +210,13 @@ struct State {
     /// no epoch context), in which case the next step treats every
     /// subscriber as dirty and resyncs the ledger's usage counters.
     basis: Option<EpochBasis>,
+    /// Selected pairs orphaned by VM failures that an exhausted
+    /// [`SlaBudget`] deferred — drained by later
+    /// [`IncrementalReallocator::repair_failures`] calls, filtered by
+    /// every step against the new selection (a pair whose subscriber
+    /// dropped the topic no longer needs re-placing), cleared by full
+    /// re-solves (which place the whole selection anyway).
+    pending: Vec<(TopicId, SubscriberId)>,
 }
 
 #[derive(Clone, Debug)]
@@ -243,6 +323,156 @@ impl IncrementalReallocator {
         self.step_inner(instance, cost, Some(delta))
     }
 
+    /// Fails VMs and re-places their orphaned pairs within `budget`.
+    ///
+    /// `failed_slots` are *ledger slot* indices (equal to allocation VM
+    /// indices until slots have been tombstoned and reused); call with an
+    /// empty slice to keep draining the carry-over queue an exhausted
+    /// budget left behind. Failed slots are quarantined — they rejoin
+    /// the reuse pool only through
+    /// [`IncrementalReallocator::recover_slot`]. `instance` must describe
+    /// the same workload, `τ`, and capacity as the last epoch step:
+    /// repair re-places pairs, it does not absorb drift (that is what
+    /// [`IncrementalReallocator::step`] is for, and steps interleave
+    /// freely with repair rounds — deferred pairs survive them).
+    ///
+    /// Orphans are re-grouped by topic and placed in ascending topic
+    /// order through the same host-first/most-free/fresh-VM machinery as
+    /// epoch repair, so a fully drained repair is bit-identical in
+    /// satisfaction to a fresh solve. When the budget runs out first,
+    /// the returned [`RepairReport`] quantifies the degraded mode:
+    /// deferred pairs, starved subscribers, and the satisfaction
+    /// shortfall.
+    ///
+    /// # Panics
+    ///
+    /// If no epoch has been stepped yet — there is no fleet to repair.
+    ///
+    /// # Errors
+    ///
+    /// [`McssError::InfeasibleTopic`] if an orphaned topic fits on no VM
+    /// (only possible when `instance` disagrees with the last step's).
+    /// Nothing is placed in that case and the queue is preserved.
+    pub fn repair_failures(
+        &mut self,
+        instance: &McssInstance,
+        failed_slots: &[usize],
+        budget: SlaBudget,
+    ) -> Result<RepairReport, McssError> {
+        let started = Instant::now();
+        let workload = instance.workload();
+        let prev = self
+            .previous
+            .as_mut()
+            .expect("repair_failures requires a prior epoch: call step() first");
+        let capacity = prev.capacity;
+
+        let failed = prev.ledger.fail_slots(failed_slots);
+        let vms_failed = failed.failed.len();
+        let mut pairs_orphaned = 0u64;
+        for (t, subs) in failed.orphans {
+            pairs_orphaned += subs.len() as u64;
+            prev.pending.extend(subs.into_iter().map(|v| (t, v)));
+        }
+
+        // Re-group the whole queue by topic (the counting-sort CSR
+        // inversion yields ascending topic order, keeping the drain
+        // deterministic) and pre-check feasibility so an error never
+        // leaves the queue half-placed.
+        let groups = TopicGroups::from_pairs(&prev.pending, workload.num_topics());
+        for (topic, _) in groups.iter() {
+            let rate = workload.rate(topic);
+            if rate.pair_cost() > capacity {
+                return Err(McssError::InfeasibleTopic {
+                    topic,
+                    required: rate.pair_cost(),
+                    capacity,
+                });
+            }
+        }
+
+        let mut pairs_left = budget.max_pairs.unwrap_or(u64::MAX);
+        let mut out_of_time = budget.deadline.is_some_and(|d| started.elapsed() >= d);
+        let mut pairs_replaced = 0u64;
+        let mut deferred: Vec<(TopicId, SubscriberId)> = Vec::new();
+        for (topic, subs) in groups.iter() {
+            let rate = workload.rate(topic);
+            let mut rest = subs;
+            while !rest.is_empty() {
+                if pairs_left == 0 || out_of_time {
+                    deferred.extend(rest.iter().map(|&v| (topic, v)));
+                    break;
+                }
+                // Chunked so a wall-clock deadline is honoured at a
+                // finer grain than whole topic groups.
+                let chunk = (rest.len() as u64).min(pairs_left).min(1024) as usize;
+                let (head, tail) = rest.split_at(chunk);
+                prev.ledger.place_group(topic, rate, head, capacity);
+                pairs_replaced += chunk as u64;
+                pairs_left -= chunk as u64;
+                rest = tail;
+                if let Some(deadline) = budget.deadline {
+                    out_of_time = started.elapsed() >= deadline;
+                }
+            }
+        }
+        prev.pending = deferred;
+
+        // Degraded-mode accounting: a waiting subscriber's delivered
+        // rate is its selection row minus whatever is still deferred.
+        let mut missing: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        for &(t, v) in &prev.pending {
+            *missing.entry(v.index()).or_insert(0) += workload.rate(t).get();
+        }
+        let mut waiting: Vec<(usize, u64)> = missing.into_iter().collect();
+        waiting.sort_unstable();
+        let mut starved: Vec<SubscriberId> = Vec::new();
+        let mut shortfall = 0u64;
+        for (vi, miss) in waiting {
+            let v = SubscriberId::new(vi as u32);
+            let row_sum: u64 = prev
+                .selection
+                .selected(v)
+                .iter()
+                .map(|&t| workload.rate(t).get())
+                .sum();
+            let target = instance.tau_v(v).get();
+            let delivered = row_sum.saturating_sub(miss);
+            if delivered < target {
+                starved.push(v);
+                shortfall += target - delivered;
+            }
+        }
+
+        let pairs_deferred = prev.pending.len() as u64;
+        Ok(RepairReport {
+            allocation: prev.ledger.to_allocation(capacity),
+            vms_failed,
+            invalid_slots: failed.rejected,
+            pairs_orphaned,
+            pairs_replaced,
+            pairs_deferred,
+            starved,
+            shortfall,
+            drained: pairs_deferred == 0,
+            elapsed: started.elapsed(),
+        })
+    }
+
+    /// Returns a recovered slot to the fresh-VM reuse pool — the inverse
+    /// of a failure. `false` when no epoch has been stepped or the slot
+    /// is not currently failed.
+    pub fn recover_slot(&mut self, slot: usize) -> bool {
+        self.previous
+            .as_mut()
+            .is_some_and(|s| s.ledger.recover_slot(slot))
+    }
+
+    /// Pairs waiting in the failure-repair carry-over queue.
+    pub fn pending_repair_pairs(&self) -> u64 {
+        self.previous.as_ref().map_or(0, |s| s.pending.len() as u64)
+    }
+
     fn step_inner(
         &mut self,
         instance: &McssInstance,
@@ -277,6 +507,7 @@ impl IncrementalReallocator {
             });
         };
         let prev_n = prev.selection.num_subscribers();
+        let mut pending = std::mem::take(&mut prev.pending);
 
         // --- Dirty detection -------------------------------------------
         // A subscriber's greedy row depends only on its interest set, the
@@ -508,10 +739,17 @@ impl IncrementalReallocator {
         }
 
         let allocation = prev.ledger.to_allocation(capacity);
+        // Carry deferred repair pairs forward, dropping any the new
+        // selection no longer wants (rows are small, so a linear
+        // `contains` beats assuming a sort order they don't have).
+        pending.retain(|&(t, v)| {
+            t.index() < workload.num_topics() && v.index() < n && selection.selected(v).contains(&t)
+        });
         self.previous = Some(State {
             selection: selection.clone(),
             ledger: prev.ledger,
             capacity,
+            pending,
             basis: Some(EpochBasis {
                 rates: workload.rates().to_vec(),
                 num_subscribers: n,
@@ -588,10 +826,24 @@ impl IncrementalReallocator {
         tau: Rate,
     ) {
         let num_subscribers = selection.num_subscribers();
+        // Selected pairs the ledger does not host are repairs a crashed
+        // process had deferred — rebuild the carry-over queue so
+        // `repair_failures` resumes exactly where it stopped. Snapshots
+        // need no pending list of their own for this.
+        let mut pending = Vec::new();
+        for (vi, row) in selection.rows().enumerate() {
+            let v = SubscriberId::new(vi as u32);
+            for &t in row {
+                if !ledger.contains_pair(t, v) {
+                    pending.push((t, v));
+                }
+            }
+        }
         self.previous = Some(State {
             selection,
             ledger,
             capacity,
+            pending,
             basis: Some(EpochBasis {
                 rates,
                 num_subscribers,
@@ -636,6 +888,7 @@ impl IncrementalReallocator {
             selection: surviving.build(),
             ledger: FleetLedger::from_allocation(allocation),
             capacity: allocation.capacity(),
+            pending: Vec::new(),
             basis: None,
         });
     }
@@ -653,6 +906,7 @@ impl IncrementalReallocator {
             selection,
             ledger: FleetLedger::from_allocation(allocation),
             capacity,
+            pending: Vec::new(),
             basis: Some(EpochBasis {
                 rates: workload.rates().to_vec(),
                 num_subscribers: workload.num_subscribers(),
@@ -1272,5 +1526,139 @@ mod tests {
             .allocation
             .validate(inst.workload(), inst.tau())
             .unwrap();
+    }
+
+    #[test]
+    fn drained_failure_repair_matches_fresh_solve_satisfaction() {
+        let mut inc = IncrementalReallocator::default();
+        let inst = instance(base_workload());
+        let first = inc.step(&inst, &cost()).unwrap();
+        let baseline = first.allocation.delivered_rates(inst.workload());
+
+        let mut last = inc
+            .repair_failures(&inst, &[0], SlaBudget::pairs(2))
+            .unwrap();
+        assert_eq!(last.vms_failed, 1);
+        assert!(last.invalid_slots.is_empty());
+        assert!(last.pairs_orphaned > 0);
+        let mut rounds = 0;
+        loop {
+            assert!(last.pairs_replaced <= 2, "budget exceeded");
+            if last.drained {
+                break;
+            }
+            assert!(last.pairs_deferred > 0);
+            last = inc
+                .repair_failures(&inst, &[], SlaBudget::pairs(2))
+                .unwrap();
+            rounds += 1;
+            assert!(rounds < 64, "repair failed to drain");
+        }
+        assert_eq!(inc.pending_repair_pairs(), 0);
+        assert!(last.starved.is_empty());
+        assert_eq!(last.shortfall, 0);
+        assert_eq!(
+            last.allocation.delivered_rates(inst.workload()),
+            baseline,
+            "drained repair must restore satisfaction bit-identically"
+        );
+        last.allocation
+            .validate(inst.workload(), inst.tau())
+            .unwrap();
+    }
+
+    #[test]
+    fn exhausted_budget_defers_and_survives_epoch_steps() {
+        // compaction_threshold 0 keeps the interleaved step incremental
+        // even though the fleet loss tanks utilization.
+        let mut inc = IncrementalReallocator::new(IncrementalConfig {
+            compaction_threshold: 0.0,
+            ..IncrementalConfig::default()
+        });
+        let inst = instance(base_workload());
+        let first = inc.step(&inst, &cost()).unwrap();
+        let baseline = first.allocation.delivered_rates(inst.workload());
+        let vm_count = first.allocation.vm_count();
+
+        // Kill the whole fleet; a one-pair budget must queue the rest
+        // and report the degradation.
+        let all: Vec<usize> = (0..vm_count).collect();
+        let rep = inc
+            .repair_failures(&inst, &all, SlaBudget::pairs(1))
+            .unwrap();
+        assert_eq!(rep.vms_failed, vm_count);
+        assert_eq!(rep.pairs_replaced, 1);
+        assert_eq!(rep.pairs_deferred, rep.pairs_orphaned - 1);
+        assert!(!rep.drained);
+        assert!(!rep.starved.is_empty());
+        assert!(rep.shortfall > 0);
+
+        // An ordinary epoch on the same workload neither loses nor
+        // places the deferred pairs.
+        let queued = inc.pending_repair_pairs();
+        let mid = inc.step(&inst, &cost()).unwrap();
+        assert!(!mid.full_resolve);
+        assert_eq!(mid.pairs_placed, 0);
+        assert_eq!(inc.pending_repair_pairs(), queued);
+
+        let mut last = rep;
+        while !last.drained {
+            last = inc
+                .repair_failures(&inst, &[], SlaBudget::pairs(1))
+                .unwrap();
+            assert!(last.pairs_replaced <= 1);
+        }
+        assert_eq!(last.allocation.delivered_rates(inst.workload()), baseline);
+        last.allocation
+            .validate(inst.workload(), inst.tau())
+            .unwrap();
+    }
+
+    #[test]
+    fn recover_slot_rejoins_the_reuse_pool_once() {
+        let mut inc = IncrementalReallocator::default();
+        let inst = instance(base_workload());
+        inc.step(&inst, &cost()).unwrap();
+        let rep = inc
+            .repair_failures(&inst, &[0], SlaBudget::UNBOUNDED)
+            .unwrap();
+        assert!(rep.drained);
+        assert!(inc.recover_slot(0));
+        assert!(!inc.recover_slot(0), "recovery is one-shot");
+        assert!(!inc.recover_slot(999));
+    }
+
+    #[test]
+    fn restore_rebuilds_the_carry_over_queue() {
+        // A crash between budgeted repair rounds must not lose the queue:
+        // restore() re-derives it as selection-minus-ledger.
+        let mut live = IncrementalReallocator::default();
+        let inst = instance(base_workload());
+        live.step(&inst, &cost()).unwrap();
+        live.repair_failures(&inst, &[0], SlaBudget::pairs(1))
+            .unwrap();
+        let queued = live.pending_repair_pairs();
+        assert!(queued > 0, "slot 0 should host more than one pair");
+
+        let mut restored = IncrementalReallocator::default();
+        {
+            let (selection, ledger, capacity) = live.checkpoint().unwrap();
+            restored.restore(
+                selection.clone(),
+                crate::FleetLedger::from_slots(ledger.snapshot_slots()),
+                capacity,
+                inst.workload().rates().to_vec(),
+                Rate::new(20),
+            );
+        }
+        assert_eq!(restored.pending_repair_pairs(), queued);
+        let a = live
+            .repair_failures(&inst, &[], SlaBudget::UNBOUNDED)
+            .unwrap();
+        let b = restored
+            .repair_failures(&inst, &[], SlaBudget::UNBOUNDED)
+            .unwrap();
+        assert!(a.drained && b.drained);
+        assert_eq!(a.allocation, b.allocation);
     }
 }

@@ -59,12 +59,35 @@ pub struct LedgerSlot {
     /// fresh VM). Tombstones must round-trip: slot indices affect the
     /// order future VMs are opened in.
     pub tombstone: bool,
+    /// Whether the slot is quarantined after a VM failure
+    /// ([`FleetLedger::fail_slots`]): tombstoned but *not* reusable
+    /// until [`FleetLedger::recover_slot`] lifts the quarantine. Implies
+    /// `tombstone`.
+    pub failed: bool,
     /// The slot's capacity.
     pub cap: Bandwidth,
     /// Recorded bandwidth usage (Eq. 2 under current rates).
     pub used: Bandwidth,
     /// `(topic, subscribers)` rows, topics ascending, subscribers sorted.
     pub rows: Vec<(TopicId, Vec<SubscriberId>)>,
+}
+
+/// Outcome of [`FleetLedger::fail_slots`]: the topic groups orphaned by
+/// the dead VMs, plus an exact account of which indices were acted on.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FailedSlots {
+    /// Orphaned topic groups, exactly as they were hosted: one
+    /// `(topic, subscribers)` row per dead row, topics may repeat across
+    /// rows when a topic was hosted on several failed VMs. Subscriber
+    /// lists stay sorted.
+    pub orphans: Vec<(TopicId, Vec<SubscriberId>)>,
+    /// Slot indices actually failed by this call (deduped, ascending).
+    pub failed: Vec<usize>,
+    /// Indices that named nothing to fail — out of range, or already
+    /// tombstoned/failed — reported rather than silently ignored
+    /// (ascending). Repeated indices collapse into one failure and are
+    /// not counted here.
+    pub rejected: Vec<usize>,
 }
 
 /// One topic's entry in the reverse host index. At scale nearly every
@@ -107,6 +130,10 @@ pub struct FleetLedger {
     cap: Vec<Bandwidth>,
     /// Tombstoned slots: released, invisible to placement until reused.
     tombstone: Vec<bool>,
+    /// Quarantined slots (subset of tombstones): the VM died rather than
+    /// drained, so the slot must not be handed to a fresh VM until the
+    /// operator recovers it ([`FleetLedger::recover_slot`]).
+    failed: Vec<bool>,
     /// Topic index → VM slots hosting the topic, ascending (inline for
     /// the dominant single-host case, spilled for the rest).
     hosts: Vec<TopicHosts>,
@@ -163,6 +190,7 @@ impl FleetLedger {
             ledger.used.push(vm.used());
             ledger.cap.push(cap);
             ledger.tombstone.push(false);
+            ledger.failed.push(false);
             ledger.total_used += u128::from(vm.used().get());
             ledger.free_heap.push((cap.saturating_sub(vm.used()), slot));
             if !ledger.rows[slot].is_empty() {
@@ -191,6 +219,7 @@ impl FleetLedger {
         (0..self.rows.len())
             .map(|slot| LedgerSlot {
                 tombstone: self.tombstone[slot],
+                failed: self.failed[slot],
                 cap: self.cap[slot],
                 used: self.used[slot],
                 rows: self.rows[slot].clone(),
@@ -214,8 +243,13 @@ impl FleetLedger {
             ledger.rows.push(s.rows);
             ledger.used.push(s.used);
             ledger.cap.push(s.cap);
-            ledger.tombstone.push(s.tombstone);
-            if s.tombstone {
+            // A failed slot is a quarantined tombstone; tolerate inputs
+            // that set `failed` without `tombstone`.
+            ledger.tombstone.push(s.tombstone || s.failed);
+            ledger.failed.push(s.failed);
+            if s.failed {
+                // Quarantined: not reusable, so not in free_slots.
+            } else if s.tombstone {
                 ledger.free_slots.push(Reverse(slot));
             } else {
                 ledger.total_used += u128::from(s.used.get());
@@ -253,6 +287,7 @@ impl FleetLedger {
             + bytes(&self.used)
             + bytes(&self.cap)
             + bytes(&self.tombstone)
+            + bytes(&self.failed)
             + bytes(&self.hosts)
             + bytes(&self.maybe_empty)
             + bytes(&self.overflow_candidates)
@@ -714,6 +749,7 @@ impl FleetLedger {
             let used = rate * (take as u64 + 1);
             let slot = match self.free_slots.pop() {
                 Some(Reverse(slot)) => {
+                    debug_assert!(!self.failed[slot], "failed slots never enter free_slots");
                     self.tombstone[slot] = false;
                     self.rows[slot] = vec![(t, moved)];
                     self.used[slot] = used;
@@ -725,6 +761,7 @@ impl FleetLedger {
                     self.used.push(used);
                     self.cap.push(vm_cap);
                     self.tombstone.push(false);
+                    self.failed.push(false);
                     self.rows.len() - 1
                 }
             };
@@ -842,6 +879,83 @@ impl FleetLedger {
             self.host_clear(t);
         }
     }
+
+    /// Fails a set of VM slots in place: every row they hosted is
+    /// orphaned (returned for re-placement), their usage leaves the
+    /// aggregates, and the slots are *quarantined* — tombstoned but kept
+    /// out of the fresh-VM reuse pool until [`FleetLedger::recover_slot`]
+    /// declares the underlying machine healthy again. Duplicate indices
+    /// collapse into one failure; out-of-range and already-dead indices
+    /// are reported in [`FailedSlots::rejected`], never acted on.
+    ///
+    /// Quarantine is what keeps a dead VM's identity from being
+    /// resurrected with stale state: a recovered slot re-enters the pool
+    /// empty, and reuse by [`FleetLedger::place_group`] always rewrites
+    /// its capacity.
+    pub fn fail_slots(&mut self, slots: &[usize]) -> FailedSlots {
+        let mut wanted: Vec<usize> = slots.to_vec();
+        wanted.sort_unstable();
+        wanted.dedup();
+        let mut out = FailedSlots::default();
+        for slot in wanted {
+            if slot >= self.rows.len() || self.tombstone[slot] {
+                out.rejected.push(slot);
+                continue;
+            }
+            let rows = std::mem::take(&mut self.rows[slot]);
+            let was_live = !rows.is_empty();
+            for (t, subs) in rows {
+                self.host_remove(t, slot as u32);
+                out.orphans.push((t, subs));
+            }
+            self.total_used -= u128::from(self.used[slot].get());
+            self.used[slot] = Bandwidth::ZERO;
+            if was_live {
+                // Empty slots already left live/live_cap via mark_emptied.
+                self.live -= 1;
+                self.live_cap -= u128::from(self.cap[slot].get());
+            }
+            self.tombstone[slot] = true;
+            self.failed[slot] = true;
+            out.failed.push(slot);
+        }
+        out
+    }
+
+    /// Lifts the quarantine on a failed slot, returning it to the
+    /// lowest-first reuse pool (the machine was replaced or came back).
+    /// Returns `false` — and does nothing — for indices that are not
+    /// currently quarantined.
+    pub fn recover_slot(&mut self, slot: usize) -> bool {
+        if slot >= self.rows.len() || !self.failed[slot] {
+            return false;
+        }
+        self.failed[slot] = false;
+        self.free_slots.push(Reverse(slot));
+        true
+    }
+
+    /// Number of slots currently quarantined by [`FleetLedger::fail_slots`].
+    pub fn failed_slot_count(&self) -> usize {
+        self.failed.iter().filter(|&&f| f).count()
+    }
+
+    /// Whether the ledger currently hosts the pair `(t, v)` —
+    /// `O(hosts of t · log)` via the reverse index.
+    pub fn contains_pair(&self, t: TopicId, v: SubscriberId) -> bool {
+        if t.index() >= self.hosts.len() {
+            return false;
+        }
+        for hi in 0..self.host_count(t) {
+            let slot = self.host_at(t, hi);
+            if let Ok(pos) = self.rows[slot].binary_search_by_key(&t, |&(tt, _)| tt) {
+                if self.rows[slot][pos].1.binary_search(&v).is_ok() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
 }
 
 #[cfg(test)]
@@ -863,7 +977,7 @@ mod tests {
             .map(|&r| b.add_topic(Rate::new(r)).unwrap())
             .collect();
         // Everyone follows everything so any pair is legal.
-        for _ in 0..16 {
+        for _ in 0..24 {
             b.add_subscriber(ts.iter().copied()).unwrap();
         }
         b.build()
@@ -1133,6 +1247,126 @@ mod tests {
             );
         }
         assert_eq!(out.pair_count(), 2 + 3 + 8);
+    }
+
+    #[test]
+    fn fail_slots_orphans_rows_and_reports_invalid_indices() {
+        let w = workload(&[10, 5]);
+        let cap = Bandwidth::new(100);
+        let mut ledger = ledger_with(
+            vec![
+                vec![(t(0), vec![v(0), v(1)]), (t(1), vec![v(2)])],
+                vec![(t(1), vec![v(3)])],
+            ],
+            &w,
+            cap,
+        );
+        // Duplicates collapse, out-of-range indices are reported.
+        let fail = ledger.fail_slots(&[0, 0, 7]);
+        assert_eq!(fail.failed, vec![0]);
+        assert_eq!(fail.rejected, vec![7]);
+        assert_eq!(
+            fail.orphans,
+            vec![(t(0), vec![v(0), v(1)]), (t(1), vec![v(2)])]
+        );
+        assert_eq!(ledger.vm_count(), 1);
+        assert_eq!(ledger.failed_slot_count(), 1);
+        // The dead VM is gone from the export; the survivor remains.
+        let a = ledger.to_allocation(cap);
+        assert_eq!(a.vm_count(), 1);
+        assert_eq!(a.pair_count(), 1);
+        // Failing a dead slot again names nothing.
+        let again = ledger.fail_slots(&[0]);
+        assert!(again.failed.is_empty());
+        assert_eq!(again.rejected, vec![0]);
+        // Usage aggregates dropped with the slot.
+        assert_eq!(a.total_bandwidth().get(), 5 * 2);
+    }
+
+    #[test]
+    fn failed_slots_are_quarantined_until_recovered() {
+        let w = workload(&[10]);
+        let cap = Bandwidth::new(100);
+        let mut ledger = ledger_with(
+            vec![
+                vec![(t(0), vec![v(0), v(1)])],
+                vec![(t(0), vec![v(2), v(3), v(4), v(5), v(6), v(7), v(8), v(9)])],
+            ],
+            &w,
+            cap,
+        );
+        let fail = ledger.fail_slots(&[0]);
+        assert_eq!(fail.failed, vec![0]);
+        // Re-placing the orphans must NOT resurrect the dead slot 0: the
+        // co-host (slot 1, free 10) takes one pair, the rest opens a
+        // fresh VM — which lands on a brand-new slot 2.
+        let (topic, subs) = &fail.orphans[0];
+        ledger.place_group(*topic, Rate::new(10), subs, cap);
+        let slots = ledger.snapshot_slots();
+        assert!(slots[0].failed && slots[0].tombstone && slots[0].rows.is_empty());
+        assert_eq!(slots.len(), 3, "fresh VM opened a new slot, not slot 0");
+        assert!(!slots[2].rows.is_empty());
+        // Recovery returns the slot to the pool; the next fresh VM reuses
+        // it lowest-first with a *fresh* capacity, not the stale one.
+        assert!(ledger.recover_slot(0));
+        assert!(!ledger.recover_slot(0), "already recovered");
+        assert!(!ledger.recover_slot(9), "never failed");
+        assert_eq!(ledger.failed_slot_count(), 0);
+        // 10 new pairs: 8 fill slot 2's remaining headroom (co-host pass),
+        // the spill opens a fresh VM — which must reuse recovered slot 0.
+        let more = (10..20).map(v).collect::<Vec<_>>();
+        ledger.place_group(t(0), Rate::new(10), &more, Bandwidth::new(64));
+        let slots = ledger.snapshot_slots();
+        assert!(!slots[0].tombstone, "slot 0 reused after recovery");
+        assert_eq!(
+            slots[0].cap,
+            Bandwidth::new(64),
+            "capacity rewritten on reuse"
+        );
+        let a = ledger.to_allocation(cap);
+        assert!(a.validate(&w, Rate::ZERO).is_ok());
+    }
+
+    #[test]
+    fn failed_slots_round_trip_through_slot_snapshots() {
+        let w = workload(&[10]);
+        let cap = Bandwidth::new(100);
+        let mut ledger = ledger_with(
+            vec![
+                vec![(t(0), vec![v(0)])],
+                vec![(t(0), vec![v(1), v(2), v(3), v(4)])],
+            ],
+            &w,
+            cap,
+        );
+        ledger.fail_slots(&[0]);
+        let mut restored = FleetLedger::from_slots(ledger.snapshot_slots());
+        assert_eq!(restored.failed_slot_count(), 1);
+        assert_eq!(restored.to_allocation(cap), ledger.to_allocation(cap));
+        // The quarantine survives the round trip: both ledgers open a
+        // fresh slot rather than reusing slot 0.
+        let subs = (5..9).map(v).collect::<Vec<_>>();
+        ledger.place_group(t(0), Rate::new(10), &subs, cap);
+        restored.place_group(t(0), Rate::new(10), &subs, cap);
+        assert_eq!(restored.snapshot_slots(), ledger.snapshot_slots());
+        assert!(ledger.snapshot_slots()[0].failed);
+    }
+
+    #[test]
+    fn contains_pair_tracks_placement() {
+        let w = workload(&[10, 5]);
+        let cap = Bandwidth::new(100);
+        let mut ledger = ledger_with(vec![vec![(t(0), vec![v(0), v(1)])]], &w, cap);
+        assert!(ledger.contains_pair(t(0), v(0)));
+        assert!(!ledger.contains_pair(t(0), v(2)));
+        assert!(!ledger.contains_pair(t(1), v(0)), "unhosted topic");
+        ledger.remove_pair(t(0), v(0), Rate::new(10));
+        assert!(!ledger.contains_pair(t(0), v(0)));
+        ledger.fail_slots(&[0]);
+        assert!(
+            !ledger.contains_pair(t(0), v(1)),
+            "failed slots host nothing"
+        );
     }
 
     #[test]

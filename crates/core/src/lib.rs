@@ -85,7 +85,7 @@ pub mod stage2;
 pub use allocation::{Allocation, AllocationError, FleetTyping, TopicPlacement, VmAllocation};
 pub use error::McssError;
 pub use footprint::MemoryFootprint;
-pub use ledger::{FleetLedger, LedgerSlot};
+pub use ledger::{FailedSlots, FleetLedger, LedgerSlot};
 pub use lower_bound::{lower_bound, LowerBound};
 pub use pipeline::{
     AllocatorKind, MixedSolveOutcome, MixedSolveReport, SelectorKind, SolveOutcome, SolveReport,

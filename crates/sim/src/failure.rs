@@ -25,21 +25,36 @@ pub struct FailureImpact {
     pub pairs_lost: u64,
     /// Bandwidth capacity lost with the failed VMs (their `bw_b`).
     pub volume_lost: u64,
+    /// Distinct in-range VMs that actually failed.
+    pub vms_failed: usize,
+    /// Out-of-range indices from the kill list, deduped and sorted —
+    /// reported so a typo'd drill spec doesn't silently kill nothing.
+    pub invalid: Vec<usize>,
 }
 
 /// Simulates the loss of the given VM indices.
 ///
-/// Out-of-range indices are ignored; duplicate indices count once.
+/// Duplicate indices collapse to a single failure (the loss accounting
+/// never double-counts); out-of-range indices are reported in
+/// [`FailureImpact::invalid`] rather than silently ignored.
 pub fn fail_vms(
     instance: &McssInstance,
     allocation: &Allocation,
     failed: &[usize],
 ) -> FailureImpact {
     let workload = instance.workload();
+    let mut wanted: Vec<usize> = failed.to_vec();
+    wanted.sort_unstable();
+    wanted.dedup();
     let mut keep = vec![true; allocation.vm_count()];
-    for &i in failed {
+    let mut vms_failed = 0usize;
+    let mut invalid = Vec::new();
+    for &i in &wanted {
         if i < keep.len() {
             keep[i] = false;
+            vms_failed += 1;
+        } else {
+            invalid.push(i);
         }
     }
     let mut tables: Vec<HashMap<TopicId, Vec<SubscriberId>>> = Vec::new();
@@ -70,6 +85,8 @@ pub fn fail_vms(
         starved,
         pairs_lost,
         volume_lost,
+        vms_failed,
+        invalid,
     }
 }
 
@@ -141,10 +158,19 @@ mod tests {
     #[test]
     fn out_of_range_and_duplicate_indices_are_safe() {
         let (inst, alloc) = solved();
-        let impact = fail_vms(&inst, &alloc, &[999, 999]);
+        let impact = fail_vms(&inst, &alloc, &[999, 999, 1_000]);
         assert_eq!(impact.pairs_lost, 0);
-        let impact2 = fail_vms(&inst, &alloc, &[0, 0]);
+        assert_eq!(impact.vms_failed, 0);
+        assert_eq!(impact.invalid, vec![999, 1_000], "typos reported, deduped");
+        let impact2 = fail_vms(&inst, &alloc, &[0, 0, 0]);
+        assert_eq!(impact2.vms_failed, 1, "duplicates collapse to one failure");
         assert_eq!(impact2.volume_lost, alloc.vms()[0].used().get());
+        assert!(impact2.invalid.is_empty());
+        // Duplicates must not double-count the loss: one kill of VM 0
+        // and three kills of VM 0 are the same event.
+        let once = fail_vms(&inst, &alloc, &[0]);
+        assert_eq!(impact2.pairs_lost, once.pairs_lost);
+        assert_eq!(impact2.volume_lost, once.volume_lost);
     }
 
     #[test]

@@ -11,14 +11,15 @@
 
 use cloud_cost::{instances, CostModel, Ec2CostModel, FleetCostModel, InstanceType};
 use mcss_core::dynamic::{DriftModel, Reprovisioner, WorkloadDelta};
-use mcss_core::incremental::IncrementalConfig;
+use mcss_core::incremental::{IncrementalConfig, IncrementalReallocator, SlaBudget};
 use mcss_core::planner::{plan_instance_type, plan_mixed};
-use mcss_core::serve::{Daemon, Driver, EpochStats, ServeConfig};
+use mcss_core::serve::{Daemon, Driver, EpochStats, Event, ServeConfig};
 use mcss_core::{
     AllocatorKind, McssInstance, PartitionerKind, SelectorKind, ShardingConfig, Solver,
     SolverParams,
 };
 use pubsub_model::{Rate, Workload};
+use pubsub_sim::failure::{fail_vms, fragility_profile};
 use pubsub_sim::{SimConfig, Simulation};
 use pubsub_traces::io::{read_workload, write_workload};
 use pubsub_traces::{SpotifyLike, TwitterLike};
@@ -41,8 +42,11 @@ USAGE:
                                              run the event-sourced drift
                                              daemon against a synthetic
                                              subscription stream
+  mcss drill <trace.tsv> --tau N --kill SPEC [options]
+                                             kill VMs and repair the fleet
+                                             under an SLA pairs budget
   mcss generate <spotify|twitter> [options]  write a synthetic trace
-  mcss analyze <trace.tsv>                   print workload statistics
+  mcss analyze <trace.tsv> [options]         print workload statistics
   mcss help                                  this text
 
 SOLVE OPTIONS:
@@ -105,10 +109,36 @@ SERVE OPTIONS:
                          (bit-identical selections)               [1]
   --resume               recover from --dir (snapshot load + log
                          replay), then continue the stream
+  --drill SPEC           schedule VM failures: \"EPOCH:KILL;...\" where
+                         KILL is a kill list (see drill --kill); e.g.
+                         \"2:0-3;5:20%\" (incompatible with --resume)
+  --repair-budget N      SLA budget: at most N orphaned pairs re-placed
+                         per epoch; the rest carry over  [unbounded]
+  --sync-retries N       retry a failed epoch fsync N times       [0]
+  --retry-backoff-ms N   sleep between fsync retries              [0]
   --effective            use the figure-calibrated capacity
   --scale SYNTH/PAPER    volume-scale compensation ratio
   --summary FILE         write a machine-readable run summary (JSON)
   --simulate             replay the final fleet through the broker sim
+
+DRILL OPTIONS:
+  --tau N                satisfaction threshold (required)
+  --kill SPEC            kill list (required): indices \"0,3,9\", a range
+                         \"0-7\", mixed \"0,4-6\", or a fleet share \"20%\"
+  --sla-pairs N          repair at most N pairs per epoch   [unbounded]
+  --max-epochs N         give up if not drained after N repair epochs [64]
+  --instance NAME        c3.large | c3.xlarge | c3.2xlarge  [c3.large]
+  --effective            use the figure-calibrated capacity
+  --scale SYNTH/PAPER    volume-scale compensation ratio
+
+ANALYZE OPTIONS:
+  --blast-radius K       solve the trace and print the top-K VMs by
+                         blast radius (subscribers starved if that VM
+                         dies); needs --tau
+  --tau N                satisfaction threshold (with --blast-radius)
+  --instance NAME        c3.large | c3.xlarge | c3.2xlarge  [c3.large]
+  --effective            use the figure-calibrated capacity
+  --scale SYNTH/PAPER    volume-scale compensation ratio
 
 GENERATE OPTIONS:
   --size N               subscribers (spotify) or users (twitter) [10000]
@@ -162,6 +192,21 @@ enum Command {
     },
     Analyze {
         trace: String,
+        blast_radius: Option<usize>,
+        tau: Option<u64>,
+        instance: InstanceType,
+        effective: bool,
+        scale: Option<(u64, u64)>,
+    },
+    Drill {
+        trace: String,
+        tau: u64,
+        kill: KillSpec,
+        sla_pairs: Option<u64>,
+        max_epochs: u64,
+        instance: InstanceType,
+        effective: bool,
+        scale: Option<(u64, u64)>,
     },
     Serve {
         family: String,
@@ -179,12 +224,89 @@ enum Command {
         snapshot_every: u64,
         threads: usize,
         resume: bool,
+        drill: Vec<(u64, KillSpec)>,
+        repair_budget: Option<u64>,
+        sync_retries: u32,
+        retry_backoff_ms: u64,
         effective: bool,
         scale: Option<(u64, u64)>,
         summary: Option<String>,
         simulate: bool,
     },
     Help,
+}
+
+/// A parsed kill list: explicit VM indices or a share of the fleet.
+#[derive(Clone, Debug, PartialEq)]
+enum KillSpec {
+    /// Explicit slot indices — `0,3,9`, `0-7`, or mixed `0,4-6`.
+    List(Vec<usize>),
+    /// A leading share of the fleet — `20%` kills the first ⌈20%·n⌉ VMs
+    /// (a correlated-rack / region-outage stand-in).
+    Percent(u32),
+}
+
+fn parse_kill(spec: &str) -> Result<KillSpec, String> {
+    if let Some(pct) = spec.strip_suffix('%') {
+        let pct: u32 = pct
+            .parse()
+            .map_err(|e| format!("bad kill share {spec:?}: {e}"))?;
+        if pct == 0 || pct > 100 {
+            return Err(format!("kill share {spec:?} must be in 1%..=100%"));
+        }
+        return Ok(KillSpec::Percent(pct));
+    }
+    let mut indices = Vec::new();
+    for item in spec.split(',') {
+        if let Some((a, b)) = item.split_once('-') {
+            let a: usize = a
+                .parse()
+                .map_err(|e| format!("bad kill range {item:?}: {e}"))?;
+            let b: usize = b
+                .parse()
+                .map_err(|e| format!("bad kill range {item:?}: {e}"))?;
+            if a > b {
+                return Err(format!("kill range {item:?} runs backwards"));
+            }
+            indices.extend(a..=b);
+        } else {
+            indices.push(
+                item.parse()
+                    .map_err(|e| format!("bad kill index {item:?}: {e}"))?,
+            );
+        }
+    }
+    if indices.is_empty() {
+        return Err("empty kill list".into());
+    }
+    Ok(KillSpec::List(indices))
+}
+
+/// Turns a kill spec into concrete slot indices for an `n`-VM fleet.
+fn resolve_kill(spec: &KillSpec, n: usize) -> Vec<usize> {
+    match spec {
+        KillSpec::List(indices) => indices.clone(),
+        KillSpec::Percent(pct) => {
+            let k = (n * *pct as usize).div_ceil(100).min(n);
+            (0..k).collect()
+        }
+    }
+}
+
+/// Parses a serve drill schedule: `"EPOCH:KILL;EPOCH:KILL"`.
+fn parse_drill_schedule(spec: &str) -> Result<Vec<(u64, KillSpec)>, String> {
+    let mut schedule = Vec::new();
+    for entry in spec.split(';') {
+        let (epoch, kill) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("bad drill entry {entry:?}, want EPOCH:KILL"))?;
+        let epoch: u64 = epoch
+            .parse()
+            .map_err(|e| format!("bad drill epoch {epoch:?}: {e}"))?;
+        schedule.push((epoch, parse_kill(kill)?));
+    }
+    schedule.sort_by_key(|&(epoch, _)| epoch);
+    Ok(schedule)
 }
 
 fn parse_instance(name: &str) -> Result<InstanceType, String> {
@@ -207,7 +329,101 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 .next()
                 .ok_or_else(|| "analyze needs a trace path".to_string())?
                 .clone();
-            Ok(Command::Analyze { trace })
+            let mut blast_radius = None;
+            let mut tau = None;
+            let mut instance = instances::C3_LARGE;
+            let mut effective = false;
+            let mut scale = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--blast-radius" => {
+                        let k: usize = next_num(&mut it, "--blast-radius")?;
+                        if k == 0 {
+                            return Err("--blast-radius must be at least 1".into());
+                        }
+                        blast_radius = Some(k);
+                    }
+                    "--tau" => tau = Some(next_num(&mut it, "--tau")?),
+                    "--instance" => {
+                        let name = it
+                            .next()
+                            .ok_or_else(|| "--instance needs a name".to_string())?;
+                        instance = parse_instance(name)?;
+                    }
+                    "--effective" => effective = true,
+                    "--scale" => scale = Some(parse_scale(&mut it)?),
+                    other => return Err(format!("unknown analyze flag {other:?}")),
+                }
+            }
+            if blast_radius.is_some() && tau.is_none() {
+                return Err("--blast-radius needs --tau (it solves the trace)".into());
+            }
+            Ok(Command::Analyze {
+                trace,
+                blast_radius,
+                tau,
+                instance,
+                effective,
+                scale,
+            })
+        }
+        "drill" => {
+            let trace = it
+                .next()
+                .ok_or_else(|| "drill needs a trace path".to_string())?
+                .clone();
+            let mut tau: Option<u64> = None;
+            let mut kill: Option<KillSpec> = None;
+            let mut sla_pairs: Option<u64> = None;
+            let mut max_epochs = 64u64;
+            let mut instance = instances::C3_LARGE;
+            let mut effective = false;
+            let mut scale = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--tau" => tau = Some(next_num(&mut it, "--tau")?),
+                    "--kill" => {
+                        let spec = it.next().ok_or_else(|| "--kill needs a spec".to_string())?;
+                        kill = Some(parse_kill(spec)?);
+                    }
+                    "--sla-pairs" => {
+                        let pairs: u64 = next_num(&mut it, "--sla-pairs")?;
+                        if pairs == 0 {
+                            return Err(
+                                "--sla-pairs must be positive (omit it to drain unbounded)".into(),
+                            );
+                        }
+                        sla_pairs = Some(pairs);
+                    }
+                    "--max-epochs" => {
+                        max_epochs = next_num(&mut it, "--max-epochs")?;
+                        if max_epochs == 0 {
+                            return Err("--max-epochs must be at least 1".into());
+                        }
+                    }
+                    "--instance" => {
+                        let name = it
+                            .next()
+                            .ok_or_else(|| "--instance needs a name".to_string())?;
+                        instance = parse_instance(name)?;
+                    }
+                    "--effective" => effective = true,
+                    "--scale" => scale = Some(parse_scale(&mut it)?),
+                    other => return Err(format!("unknown drill flag {other:?}")),
+                }
+            }
+            let tau = tau.ok_or_else(|| "--tau is required".to_string())?;
+            let kill = kill.ok_or_else(|| "--kill is required".to_string())?;
+            Ok(Command::Drill {
+                trace,
+                tau,
+                kill,
+                sla_pairs,
+                max_epochs,
+                instance,
+                effective,
+                scale,
+            })
         }
         "generate" => {
             let family = it
@@ -449,6 +665,10 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut snapshot_every = 8u64;
             let mut threads = 1usize;
             let mut resume = false;
+            let mut drill: Vec<(u64, KillSpec)> = Vec::new();
+            let mut repair_budget: Option<u64> = None;
+            let mut sync_retries = 0u32;
+            let mut retry_backoff_ms = 0u64;
             let mut effective = false;
             let mut scale = None;
             let mut summary: Option<String> = None;
@@ -521,6 +741,26 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                         }
                     }
                     "--resume" => resume = true,
+                    "--drill" => {
+                        let spec = it
+                            .next()
+                            .ok_or_else(|| "--drill needs a schedule spec".to_string())?;
+                        drill = parse_drill_schedule(spec)?;
+                    }
+                    "--repair-budget" => {
+                        let pairs: u64 = next_num(&mut it, "--repair-budget")?;
+                        if pairs == 0 {
+                            return Err(
+                                "--repair-budget must be positive (omit it to drain unbounded)"
+                                    .into(),
+                            );
+                        }
+                        repair_budget = Some(pairs);
+                    }
+                    "--sync-retries" => sync_retries = next_num(&mut it, "--sync-retries")?,
+                    "--retry-backoff-ms" => {
+                        retry_backoff_ms = next_num(&mut it, "--retry-backoff-ms")?
+                    }
                     "--effective" => effective = true,
                     "--scale" => scale = Some(parse_scale(&mut it)?),
                     "--summary" => {
@@ -549,6 +789,13 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             if resume && dir.is_none() {
                 return Err("--resume needs --dir (the state directory to recover)".into());
             }
+            if resume && !drill.is_empty() {
+                return Err(
+                    "--drill cannot be combined with --resume: the drill's failure events \
+                     are already in the recovered log"
+                        .into(),
+                );
+            }
             Ok(Command::Serve {
                 family,
                 size,
@@ -565,6 +812,10 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 snapshot_every,
                 threads,
                 resume,
+                drill,
+                repair_budget,
+                sync_retries,
+                retry_backoff_ms,
                 effective,
                 scale,
                 summary,
@@ -634,7 +885,14 @@ fn run(command: Command) -> Result<(), String> {
             print!("{HELP}");
             Ok(())
         }
-        Command::Analyze { trace } => {
+        Command::Analyze {
+            trace,
+            blast_radius,
+            tau,
+            instance,
+            effective,
+            scale,
+        } => {
             let workload = load_trace(&trace)?;
             println!("{}", workload.stats());
             let issues = workload.validate();
@@ -651,7 +909,138 @@ fn run(command: Command) -> Result<(), String> {
                 "{}",
                 mcss_core::MemoryFootprint::measure(&workload, None, None)
             );
+            if let Some(k) = blast_radius {
+                let tau = tau.expect("parser enforces --tau with --blast-radius");
+                let mut cost = if effective {
+                    Ec2CostModel::paper_effective(instance)
+                } else {
+                    Ec2CostModel::paper_default(instance)
+                };
+                if let Some((synth, paper)) = scale {
+                    cost = cost.with_volume_scale(synth, paper);
+                }
+                let inst = McssInstance::new(workload, Rate::new(tau), cost.capacity())
+                    .map_err(|e| e.to_string())?;
+                let outcome = Solver::default()
+                    .solve(&inst, &cost)
+                    .map_err(|e| e.to_string())?;
+                let profile = fragility_profile(&inst, &outcome.allocation);
+                let mut ranked: Vec<(usize, usize)> = profile.iter().copied().enumerate().collect();
+                // Starved-count descending, VM index ascending for ties.
+                ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+                println!(
+                    "\nblast radius (top {} of {} VMs — subscribers starved if that VM dies):",
+                    k.min(ranked.len()),
+                    ranked.len()
+                );
+                for &(vm, starved) in ranked.iter().take(k) {
+                    let m = &outcome.allocation.vms()[vm];
+                    println!(
+                        "  vm {vm:>4}: {starved:>6} starved  ({} pairs, {} bandwidth)",
+                        m.pair_count(),
+                        m.used()
+                    );
+                }
+            }
             Ok(())
+        }
+        Command::Drill {
+            trace,
+            tau,
+            kill,
+            sla_pairs,
+            max_epochs,
+            instance,
+            effective,
+            scale,
+        } => {
+            let workload = load_trace(&trace)?;
+            let mut cost = if effective {
+                Ec2CostModel::paper_effective(instance)
+            } else {
+                Ec2CostModel::paper_default(instance)
+            };
+            if let Some((synth, paper)) = scale {
+                cost = cost.with_volume_scale(synth, paper);
+            }
+            let inst = McssInstance::new(workload, Rate::new(tau), cost.capacity())
+                .map_err(|e| e.to_string())?;
+            let mut realloc = IncrementalReallocator::new(IncrementalConfig::default());
+            let outcome = realloc.step(&inst, &cost).map_err(|e| e.to_string())?;
+            let baseline = outcome.allocation;
+            let baseline_delivered = baseline.delivered_rates(inst.workload());
+            let kills = resolve_kill(&kill, baseline.vm_count());
+            println!(
+                "baseline: {} VMs, {} pairs; killing {:?}",
+                baseline.vm_count(),
+                baseline.pair_count(),
+                kills
+            );
+
+            // Blast radius first — what the outage looks like before any
+            // repair runs.
+            let impact = fail_vms(&inst, &baseline, &kills);
+            if !impact.invalid.is_empty() {
+                println!("  kill list names missing VMs: {:?}", impact.invalid);
+            }
+            println!(
+                "impact: {} VMs down, {} pairs lost, {} delivery volume lost, {} starved",
+                impact.vms_failed,
+                impact.pairs_lost,
+                impact.volume_lost,
+                impact.starved.len()
+            );
+
+            // Repair under the SLA budget, epoch by epoch.
+            let budget = match sla_pairs {
+                Some(pairs) => SlaBudget::pairs(pairs),
+                None => SlaBudget::UNBOUNDED,
+            };
+            let mut fails: &[usize] = &kills;
+            let mut epoch = 0u64;
+            let healed = loop {
+                epoch += 1;
+                let report = realloc
+                    .repair_failures(&inst, fails, budget)
+                    .map_err(|e| e.to_string())?;
+                fails = &[];
+                println!(
+                    "repair epoch {epoch}: +{} pairs ({} deferred, {} starved, shortfall {}), {:.2} ms",
+                    report.pairs_replaced,
+                    report.pairs_deferred,
+                    report.starved.len(),
+                    report.shortfall,
+                    report.elapsed.as_secs_f64() * 1e3
+                );
+                if report.drained {
+                    break report.allocation;
+                }
+                if epoch >= max_epochs {
+                    return Err(format!(
+                        "SLA budget left {} pairs unplaced after {max_epochs} epochs; raise \
+                         --sla-pairs or --max-epochs",
+                        report.pairs_deferred
+                    ));
+                }
+            };
+
+            // The drained repair must restore every subscriber to exactly
+            // the satisfaction the fresh solve delivered.
+            let healed_delivered = healed.delivered_rates(inst.workload());
+            healed
+                .validate(inst.workload(), inst.tau())
+                .map_err(|e| format!("internal error — repaired fleet invalid: {e}"))?;
+            if healed_delivered == baseline_delivered {
+                println!(
+                    "verdict: drained in {epoch} epochs; satisfaction bit-identical to the \
+                     fresh solve ({} VMs vs {} before the drill)",
+                    healed.vm_count(),
+                    baseline.vm_count()
+                );
+                Ok(())
+            } else {
+                Err("repair drained but satisfaction diverged from the fresh solve".into())
+            }
         }
         Command::Generate {
             family,
@@ -974,6 +1363,10 @@ fn run(command: Command) -> Result<(), String> {
             snapshot_every,
             threads,
             resume,
+            drill,
+            repair_budget,
+            sync_retries,
+            retry_backoff_ms,
             effective,
             scale,
             summary,
@@ -993,9 +1386,13 @@ fn run(command: Command) -> Result<(), String> {
             });
             let mut config = ServeConfig::new(Rate::new(tau), capacity)
                 .with_snapshot_every(snapshot_every)
-                .with_threads(threads);
+                .with_threads(threads)
+                .with_sync_retries(sync_retries, retry_backoff_ms);
             if let Some(events) = epoch_events {
                 config = config.with_epoch_events(events);
+            }
+            if let Some(pairs) = repair_budget {
+                config = config.with_repair_budget(pairs);
             }
             let cost_box: Box<dyn CostModel> = Box::new(cost);
             let mut daemon = if resume {
@@ -1070,6 +1467,27 @@ fn run(command: Command) -> Result<(), String> {
                         stats.push(s);
                     }
                 }
+                // Scheduled failure drills land after the batch's drift
+                // events, so the kill and its budgeted repair fold into
+                // this epoch.
+                for (epoch_at, spec) in &drill {
+                    if *epoch_at != batch_index {
+                        continue;
+                    }
+                    let fleet = daemon.allocation().map(|a| a.vm_count()).unwrap_or(0);
+                    let kills = resolve_kill(spec, fleet);
+                    println!("drill at batch {batch_index}: killing VMs {kills:?}");
+                    for slot in kills {
+                        total_events += 1;
+                        if let Some(s) = daemon
+                            .submit(Event::VmFail { slot: slot as u32 })
+                            .map_err(|e| e.to_string())?
+                        {
+                            print_epoch(&s);
+                            stats.push(s);
+                        }
+                    }
+                }
                 match (epoch_events, epoch_ms) {
                     (Some(_), _) => {} // the watermark closes epochs
                     (None, Some(ms)) => {
@@ -1093,6 +1511,17 @@ fn run(command: Command) -> Result<(), String> {
             if let Some(s) = daemon.tick().map_err(|e| e.to_string())? {
                 print_epoch(&s);
                 stats.push(s);
+            }
+            // A tight --repair-budget can leave orphans queued past the
+            // last batch; keep closing repair-only epochs until healed.
+            while daemon.pending_repairs() > 0 {
+                match daemon.tick().map_err(|e| e.to_string())? {
+                    Some(s) => {
+                        print_epoch(&s);
+                        stats.push(s);
+                    }
+                    None => break,
+                }
             }
             let elapsed = started.elapsed();
 
@@ -1163,8 +1592,16 @@ fn run(command: Command) -> Result<(), String> {
 
 /// One stdout line per applied epoch, shared by every serve mode.
 fn print_epoch(s: &EpochStats) {
+    let repair = if s.vms_failed > 0 || s.pairs_repaired > 0 || s.repair_deferred > 0 {
+        format!(
+            " [{} VMs failed, {} pairs repaired, {} deferred]",
+            s.vms_failed, s.pairs_repaired, s.repair_deferred
+        )
+    } else {
+        String::new()
+    };
     println!(
-        "epoch {:>3}: {:>5} events, {:>4} VMs, cost {}, +{} -{} pairs (evicted {}, reused {}), {:.2} ms{}",
+        "epoch {:>3}: {:>5} events, {:>4} VMs, cost {}, +{} -{} pairs (evicted {}, reused {}), {:.2} ms{}{}",
         s.epoch,
         s.events_applied,
         s.vm_count,
@@ -1175,6 +1612,7 @@ fn print_epoch(s: &EpochStats) {
         s.pairs_reused,
         s.apply_time.as_secs_f64() * 1e3,
         if s.full_resolve { " [full solve]" } else { "" },
+        repair,
     );
 }
 
@@ -1290,6 +1728,20 @@ mod tests {
         .unwrap();
         run(Command::Analyze {
             trace: path.display().to_string(),
+            blast_radius: None,
+            tau: None,
+            instance: instances::C3_LARGE,
+            effective: false,
+            scale: None,
+        })
+        .unwrap();
+        run(Command::Analyze {
+            trace: path.display().to_string(),
+            blast_radius: Some(3),
+            tau: Some(50),
+            instance: instances::C3_LARGE,
+            effective: true,
+            scale: Some((300, 100_000)),
         })
         .unwrap();
         // A gentle scale ratio: at 300/4.9M the effective capacity would
@@ -1603,6 +2055,10 @@ mod tests {
             snapshot_every: 1,
             threads: 2,
             resume: false,
+            drill: Vec::new(),
+            repair_budget: None,
+            sync_retries: 0,
+            retry_backoff_ms: 0,
             effective: true,
             scale: Some((250, 100_000)),
             summary: Some(summary.display().to_string()),
@@ -1631,6 +2087,10 @@ mod tests {
             snapshot_every: 1,
             threads: 1,
             resume: true,
+            drill: Vec::new(),
+            repair_budget: None,
+            sync_retries: 0,
+            retry_backoff_ms: 0,
             effective: true,
             scale: Some((250, 100_000)),
             summary: Some(summary.display().to_string()),
@@ -1650,8 +2110,247 @@ mod tests {
     fn missing_trace_file_is_reported() {
         let err = run(Command::Analyze {
             trace: "/definitely/not/here.tsv".into(),
+            blast_radius: None,
+            tau: None,
+            instance: instances::C3_LARGE,
+            effective: false,
+            scale: None,
         })
         .unwrap_err();
         assert!(err.contains("opening"));
+    }
+
+    #[test]
+    fn kill_spec_grammar() {
+        assert_eq!(parse_kill("0,3,9").unwrap(), KillSpec::List(vec![0, 3, 9]));
+        assert_eq!(
+            parse_kill("0-7").unwrap(),
+            KillSpec::List((0..=7).collect())
+        );
+        assert_eq!(
+            parse_kill("1,4-6,9").unwrap(),
+            KillSpec::List(vec![1, 4, 5, 6, 9])
+        );
+        assert_eq!(parse_kill("20%").unwrap(), KillSpec::Percent(20));
+        assert!(parse_kill("5-3").unwrap_err().contains("backwards"));
+        assert!(parse_kill("0%").is_err());
+        assert!(parse_kill("150%").is_err());
+        assert!(parse_kill("").is_err());
+        assert!(parse_kill("a,b").is_err());
+
+        assert_eq!(resolve_kill(&KillSpec::List(vec![2, 5]), 4), vec![2, 5]);
+        assert_eq!(resolve_kill(&KillSpec::Percent(20), 10), vec![0, 1]);
+        // Shares round up: 20% of a 3-VM fleet is still one whole VM.
+        assert_eq!(resolve_kill(&KillSpec::Percent(20), 3), vec![0]);
+        assert_eq!(resolve_kill(&KillSpec::Percent(100), 2), vec![0, 1]);
+        assert!(resolve_kill(&KillSpec::Percent(50), 0).is_empty());
+    }
+
+    #[test]
+    fn drill_parses_and_validates() {
+        let cmd = parse(&[
+            "drill",
+            "t.tsv",
+            "--tau",
+            "40",
+            "--kill",
+            "0-3",
+            "--sla-pairs",
+            "100",
+            "--max-epochs",
+            "8",
+            "--effective",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Drill {
+                trace,
+                tau,
+                kill,
+                sla_pairs,
+                max_epochs,
+                effective,
+                ..
+            } => {
+                assert_eq!(trace, "t.tsv");
+                assert_eq!(tau, 40);
+                assert_eq!(kill, KillSpec::List(vec![0, 1, 2, 3]));
+                assert_eq!(sla_pairs, Some(100));
+                assert_eq!(max_epochs, 8);
+                assert!(effective);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&["drill", "t.tsv", "--kill", "0"])
+            .unwrap_err()
+            .contains("--tau"));
+        assert!(parse(&["drill", "t.tsv", "--tau", "5"])
+            .unwrap_err()
+            .contains("--kill"));
+        assert!(parse(&[
+            "drill",
+            "t.tsv",
+            "--tau",
+            "5",
+            "--kill",
+            "0",
+            "--sla-pairs",
+            "0"
+        ])
+        .is_err());
+        assert!(parse(&["drill", "t.tsv", "--tau", "5", "--kill", "7-2"]).is_err());
+    }
+
+    #[test]
+    fn serve_drill_flags_parse_and_validate() {
+        let cmd = parse(&[
+            "serve",
+            "--trace",
+            "spotify",
+            "--drill",
+            "5:20%;2:0-3",
+            "--repair-budget",
+            "50",
+            "--sync-retries",
+            "2",
+            "--retry-backoff-ms",
+            "10",
+        ])
+        .unwrap();
+        match cmd {
+            Command::Serve {
+                drill,
+                repair_budget,
+                sync_retries,
+                retry_backoff_ms,
+                ..
+            } => {
+                // Schedule comes back sorted by epoch.
+                assert_eq!(
+                    drill,
+                    vec![
+                        (2, KillSpec::List(vec![0, 1, 2, 3])),
+                        (5, KillSpec::Percent(20)),
+                    ]
+                );
+                assert_eq!(repair_budget, Some(50));
+                assert_eq!(sync_retries, 2);
+                assert_eq!(retry_backoff_ms, 10);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert!(parse(&["serve", "--trace", "spotify", "--drill", "nope"]).is_err());
+        assert!(parse(&["serve", "--trace", "spotify", "--repair-budget", "0"]).is_err());
+        assert!(parse(&[
+            "serve", "--trace", "spotify", "--resume", "--dir", "d", "--drill", "1:0"
+        ])
+        .unwrap_err()
+        .contains("--resume"));
+    }
+
+    #[test]
+    fn analyze_blast_radius_parses_and_validates() {
+        let cmd = parse(&[
+            "analyze",
+            "t.tsv",
+            "--blast-radius",
+            "5",
+            "--tau",
+            "40",
+            "--effective",
+        ])
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Analyze {
+                blast_radius: Some(5),
+                tau: Some(40),
+                effective: true,
+                ..
+            }
+        ));
+        assert!(parse(&["analyze", "t.tsv", "--blast-radius", "5"])
+            .unwrap_err()
+            .contains("--tau"));
+        assert!(parse(&["analyze", "t.tsv", "--blast-radius", "0"]).is_err());
+    }
+
+    #[test]
+    fn drill_runs_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("mcss-cli-drill-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.tsv");
+        run(Command::Generate {
+            family: "spotify".into(),
+            size: 300,
+            seed: 3,
+            out: Some(path.display().to_string()),
+        })
+        .unwrap();
+        // Unbounded repair drains in one epoch; a tight budget takes
+        // several; both must end bit-identical (run() errors otherwise).
+        for sla_pairs in [None, Some(25)] {
+            run(Command::Drill {
+                trace: path.display().to_string(),
+                tau: 50,
+                kill: KillSpec::Percent(20),
+                sla_pairs,
+                max_epochs: 64,
+                instance: instances::C3_LARGE,
+                effective: true,
+                scale: Some((300, 100_000)),
+            })
+            .unwrap();
+        }
+        // A kill list with typos still drills the valid indices.
+        run(Command::Drill {
+            trace: path.display().to_string(),
+            tau: 50,
+            kill: KillSpec::List(vec![0, 9_999]),
+            sla_pairs: None,
+            max_epochs: 4,
+            instance: instances::C3_LARGE,
+            effective: true,
+            scale: Some((300, 100_000)),
+        })
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_drill_runs_end_to_end() {
+        let dir =
+            std::env::temp_dir().join(format!("mcss-cli-serve-drill-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let state = dir.join("state");
+        run(Command::Serve {
+            family: "spotify".into(),
+            size: 250,
+            seed: 4,
+            tau: 40,
+            instance: instances::C3_LARGE,
+            epochs: 4,
+            epoch_events: None,
+            epoch_ms: None,
+            churn: 0.2,
+            sigma: 0.1,
+            drift_seed: 7,
+            dir: Some(state.display().to_string()),
+            snapshot_every: 1,
+            threads: 1,
+            resume: false,
+            drill: vec![(1, KillSpec::List(vec![0])), (2, KillSpec::Percent(20))],
+            repair_budget: Some(10),
+            sync_retries: 1,
+            retry_backoff_ms: 0,
+            effective: true,
+            scale: Some((250, 100_000)),
+            summary: None,
+            simulate: true,
+        })
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -569,3 +569,146 @@ fn serve_resume_reports_corrupted_snapshot() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn drill_repairs_a_killed_fleet_under_budget() {
+    let dir = scratch("drill");
+    let path = dir.join("trace.tsv");
+    let path_str = path.display().to_string();
+    let out = mcss(&[
+        "generate", "spotify", "--size", "200", "--seed", "5", "--out", &path_str,
+    ]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+
+    // A 20% fleet kill, repaired 25 pairs per epoch: must drain and
+    // report satisfaction bit-identical to the fresh solve.
+    let out = mcss(&[
+        "drill",
+        &path_str,
+        "--tau",
+        "50",
+        "--kill",
+        "20%",
+        "--sla-pairs",
+        "25",
+        "--effective",
+        "--scale",
+        "200/100000",
+    ]);
+    assert!(out.status.success(), "drill failed: {}", stderr(&out));
+    let report = stdout(&out);
+    assert!(report.contains("impact:"), "no impact line in: {report}");
+    assert!(report.contains("bit-identical"), "no verdict in: {report}");
+
+    // Kill-spec typos are parse errors, not silent no-ops.
+    let out = mcss(&["drill", &path_str, "--tau", "50", "--kill", "7-2"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("backwards"),
+        "bad error: {}",
+        stderr(&out)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_blast_radius_ranks_vms() {
+    let dir = scratch("blast");
+    let path = dir.join("trace.tsv");
+    let path_str = path.display().to_string();
+    let out = mcss(&[
+        "generate", "spotify", "--size", "200", "--seed", "5", "--out", &path_str,
+    ]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+
+    let out = mcss(&[
+        "analyze",
+        &path_str,
+        "--blast-radius",
+        "3",
+        "--tau",
+        "50",
+        "--effective",
+        "--scale",
+        "200/100000",
+    ]);
+    assert!(out.status.success(), "analyze failed: {}", stderr(&out));
+    let report = stdout(&out);
+    assert!(
+        report.contains("blast radius"),
+        "no blast radius section in: {report}"
+    );
+    assert!(report.contains("starved"), "no starved counts in: {report}");
+
+    let out = mcss(&["analyze", &path_str, "--blast-radius", "3"]);
+    assert!(
+        !out.status.success(),
+        "--blast-radius without --tau must fail"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_drill_schedule_kills_and_heals() {
+    let dir = scratch("serve-drill");
+    let state = dir.join("state");
+    let state_str = state.display().to_string();
+    let out = mcss(&[
+        "serve",
+        "--trace",
+        "spotify",
+        "--size",
+        "150",
+        "--tau",
+        "30",
+        "--epochs",
+        "3",
+        "--drill",
+        "1:0",
+        "--repair-budget",
+        "10",
+        "--snapshot-every",
+        "1",
+        "--dir",
+        &state_str,
+    ]);
+    assert!(
+        out.status.success(),
+        "serve --drill failed: {}",
+        stderr(&out)
+    );
+    let report = stdout(&out);
+    assert!(
+        report.contains("drill at batch 1"),
+        "no drill line in: {report}"
+    );
+    assert!(
+        report.contains("VMs failed"),
+        "no repair stats in epoch lines: {report}"
+    );
+
+    // The drill's VmFail records live in the log now; replaying them on
+    // resume is the only sane semantics, so --drill + --resume is refused.
+    let out = mcss(&[
+        "serve", "--trace", "spotify", "--size", "150", "--tau", "30", "--epochs", "4", "--resume",
+        "--dir", &state_str, "--drill", "3:0",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--resume"),
+        "bad error: {}",
+        stderr(&out)
+    );
+
+    // Plain resume over the drilled log must recover and continue.
+    let out = mcss(&[
+        "serve", "--trace", "spotify", "--size", "150", "--tau", "30", "--epochs", "4", "--resume",
+        "--dir", &state_str,
+    ]);
+    assert!(
+        out.status.success(),
+        "resume over a drilled log failed: {}",
+        stderr(&out)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
