@@ -171,6 +171,13 @@ fn main() -> ExitCode {
     save(dir, "mixed_fleet.txt", &mixed);
     bench_writes_ok &= save_bench_json(Path::new("BENCH_mixed.json"), &mixed_json);
 
+    let (packing_text, packing_json) =
+        experiments::fig_packing_frontier(&[&spotify, &twitter], 100);
+    let mut packing = String::from("== anytime Stage-2 packing frontier (Spotify + Twitter) ==\n");
+    packing.push_str(&packing_text);
+    save(dir, "packing_frontier.txt", &packing);
+    bench_writes_ok &= save_bench_json(Path::new("BENCH_packing.json"), &packing_json);
+
     println!(
         "all experiments done in {:.1}s",
         started.elapsed().as_secs_f64()

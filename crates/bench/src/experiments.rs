@@ -10,10 +10,10 @@ use mcss_core::incremental::{IncrementalConfig, IncrementalReallocator, SlaBudge
 use mcss_core::planner::plan_mixed;
 use mcss_core::serve::{Daemon, Driver, ServeConfig};
 use mcss_core::stage1::{GreedySelectPairs, PairSelector, RandomSelectPairs};
-use mcss_core::stage2::{Allocator, CbpConfig, CustomBinPacking, FirstFitBinPacking};
+use mcss_core::stage2::{improve, Allocator, CbpConfig, CustomBinPacking, FirstFitBinPacking};
 use mcss_core::{
-    lower_bound, AllocatorKind, McssInstance, MemoryFootprint, PartitionerKind, SelectorKind,
-    ShardingConfig, Solver, SolverParams,
+    lower_bound, AllocatorKind, McssInstance, MemoryFootprint, PartitionerKind, SearchBudget,
+    SelectorKind, ShardingConfig, Solver, SolverParams,
 };
 use pubsub_model::{Bandwidth, Rate};
 use pubsub_traces::{analysis, TwitterLike};
@@ -1117,6 +1117,217 @@ pub fn fig_mixed_fleet(scenarios: &[&Scenario], tau: u64, drift_epochs: u64) -> 
     (out, json)
 }
 
+/// Extension figure: the anytime Stage-2 packing frontier.
+///
+/// Per trace, packs the same GSP selection four ways — greedy CBP (the
+/// paper's recommended Stage 2), whole-group FFD (the Dósa-analyzed
+/// baseline), and CBP refined by the anytime local search — and reports
+/// each against the Alg. 5 lower bound. The frontier sweeps doubling
+/// step budgets over clones of the greedy packing, so every point is
+/// the *same* anytime engine stopped earlier, not a different
+/// algorithm.
+///
+/// Asserted, not observed:
+/// * refined ≤ greedy on every row (the engine never applies a
+///   cost-raising move);
+/// * refined ≥ the lower bound (the certificate is sound);
+/// * refinement leaves delivered rates bit-identical (it only re-homes
+///   pairs, never re-selects them).
+///
+/// Returns the human-readable report and the machine-readable JSON
+/// document (`BENCH_packing.json`).
+pub fn fig_packing_frontier(scenarios: &[&Scenario], tau: u64) -> (String, String) {
+    const FRONTIER_STEPS: [u64; 5] = [64, 512, 4_096, 16_384, 65_536];
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Stage-2 packing frontier, c3.large, τ={tau}: greedy CBP vs FFD vs \
+         anytime-refined vs Alg. 5 lower bound"
+    );
+    let mut t = Table::new(vec![
+        "trace".into(),
+        "greedy $".into(),
+        "FFD $".into(),
+        "refined $".into(),
+        "FFBP $".into(),
+        "FFBP ref $".into(),
+        "LB $".into(),
+        "moves".into(),
+        "gap".into(),
+        "certificate".into(),
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for scenario in scenarios {
+        let cost = scenario.cost_model(instances::C3_LARGE);
+        let inst = scenario
+            .instance(tau, instances::C3_LARGE)
+            .expect("valid capacity");
+        let greedy = Solver::default()
+            .solve(&inst, &cost)
+            .expect("feasible scenario");
+        let ffd = Solver::new(SolverParams {
+            allocator: AllocatorKind::FirstFitDecreasing,
+            ..SolverParams::default()
+        })
+        .solve(&inst, &cost)
+        .expect("feasible scenario");
+        let ffbp = Solver::new(SolverParams {
+            allocator: AllocatorKind::FirstFit,
+            ..SolverParams::default()
+        })
+        .solve(&inst, &cost)
+        .expect("feasible scenario");
+        let lb_cost = greedy.report.lower_bound_cost;
+        let baseline_rates = greedy.allocation.delivered_rates(inst.workload());
+
+        // The cost-vs-budget frontier: each point refines a clone of the
+        // Alg. 3 first-fit packing (which scatters topic groups, so the
+        // move set has real work to do) under a doubling step budget; the
+        // last point runs until no move improves (or the certificate is
+        // met). CBP itself is typically already locally optimal under
+        // this move set — the headline `refined` column proves that.
+        let mut frontier: Vec<String> = Vec::new();
+        let mut prev_cost = ffbp.report.total_cost;
+        for steps in FRONTIER_STEPS {
+            let (refined, report) = improve(
+                ffbp.allocation.clone(),
+                inst.workload(),
+                &cost,
+                lb_cost,
+                SearchBudget::steps(steps),
+            );
+            assert!(
+                report.final_cost <= prev_cost,
+                "{}: a larger budget ({steps}) must never pack worse",
+                scenario.name
+            );
+            prev_cost = report.final_cost;
+            drop(refined);
+            frontier.push(format!(
+                "      {{\"budget_steps\": {steps}, \"cost_usd\": {:.2}, \
+                 \"moves\": {}, \"elapsed_ms\": {:.3}}}",
+                report.final_cost.as_dollars_f64(),
+                report.steps,
+                report.elapsed.as_secs_f64() * 1e3,
+            ));
+        }
+        let (ffbp_refined, ffbp_report) = improve(
+            ffbp.allocation.clone(),
+            inst.workload(),
+            &cost,
+            lb_cost,
+            SearchBudget::UNBOUNDED,
+        );
+        assert!(
+            ffbp_report.final_cost <= prev_cost,
+            "{}: the unbounded run must dominate every budgeted point",
+            scenario.name
+        );
+        assert!(
+            ffbp_report.final_cost >= lb_cost,
+            "{}: refined first-fit below the lower bound",
+            scenario.name
+        );
+        ffbp_refined
+            .validate(inst.workload(), inst.tau())
+            .unwrap_or_else(|e| panic!("{}: refined first-fit invalid: {e}", scenario.name));
+        assert!(
+            ffbp_refined.delivered_rates(inst.workload()) == baseline_rates,
+            "{}: refinement changed first-fit delivered rates",
+            scenario.name
+        );
+        frontier.push(format!(
+            "      {{\"budget_steps\": null, \"cost_usd\": {:.2}, \
+             \"moves\": {}, \"elapsed_ms\": {:.3}}}",
+            ffbp_report.final_cost.as_dollars_f64(),
+            ffbp_report.steps,
+            ffbp_report.elapsed.as_secs_f64() * 1e3,
+        ));
+        let (refined, report) = improve(
+            greedy.allocation.clone(),
+            inst.workload(),
+            &cost,
+            lb_cost,
+            SearchBudget::UNBOUNDED,
+        );
+        let refined_cost = report.final_cost;
+        assert!(
+            refined_cost <= greedy.report.total_cost,
+            "{}: refinement raised the cost",
+            scenario.name
+        );
+        assert!(
+            refined_cost >= lb_cost,
+            "{}: refined below the lower bound — the bound is unsound",
+            scenario.name
+        );
+        refined
+            .validate(inst.workload(), inst.tau())
+            .unwrap_or_else(|e| panic!("{}: refined fleet invalid: {e}", scenario.name));
+        assert!(
+            refined.delivered_rates(inst.workload()) == baseline_rates,
+            "{}: refinement changed delivered rates",
+            scenario.name
+        );
+
+        let gap = if lb_cost.is_zero() {
+            1.0
+        } else {
+            refined_cost.as_dollars_f64() / lb_cost.as_dollars_f64()
+        };
+        t.row(vec![
+            scenario.name.to_string(),
+            format!("{:.2}", greedy.report.total_cost.as_dollars_f64()),
+            format!("{:.2}", ffd.report.total_cost.as_dollars_f64()),
+            format!("{:.2}", refined_cost.as_dollars_f64()),
+            format!("{:.2}", ffbp.report.total_cost.as_dollars_f64()),
+            format!("{:.2}", ffbp_report.final_cost.as_dollars_f64()),
+            format!("{:.2}", lb_cost.as_dollars_f64()),
+            report.steps.to_string(),
+            format!("{gap:.3}x"),
+            if report.certificate_met {
+                "met (optimal)".into()
+            } else {
+                "open".into()
+            },
+        ]);
+        json_rows.push(format!(
+            "    {{\"trace\": \"{}\", \"greedy_cost_usd\": {:.2}, \
+             \"ffd_cost_usd\": {:.2}, \"refined_cost_usd\": {:.2}, \
+             \"lower_bound_usd\": {:.2}, \"ffbp_cost_usd\": {:.2}, \
+             \"ffbp_refined_usd\": {:.2}, \"greedy_vms\": {}, \"ffd_vms\": {}, \
+             \"refined_vms\": {}, \"moves\": {}, \"gap\": {gap:.4}, \
+             \"certificate_met\": {}, \"frontier\": [\n{}\n    ]}}",
+            scenario.name,
+            greedy.report.total_cost.as_dollars_f64(),
+            ffd.report.total_cost.as_dollars_f64(),
+            refined_cost.as_dollars_f64(),
+            lb_cost.as_dollars_f64(),
+            ffbp.report.total_cost.as_dollars_f64(),
+            ffbp_report.final_cost.as_dollars_f64(),
+            greedy.report.vm_count,
+            ffd.report.vm_count,
+            refined.vm_count(),
+            report.steps,
+            report.certificate_met,
+            frontier.join(",\n"),
+        ));
+    }
+    let _ = writeln!(out, "{}", t.render());
+    let _ = writeln!(
+        out,
+        "# refined ≤ greedy, refined ≥ LB, and bit-identical delivered \
+         rates are asserted, not observed; the frontier refines the Alg. 3 \
+         first-fit packing under doubling step budgets (CBP is typically \
+         already locally optimal — a 0-move refined column proves it)"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"packing\",\n  \"tau\": {tau},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    (out, json)
+}
+
 /// Figs. 8–12: Twitter trace distribution analysis.
 pub fn fig_trace_analysis(users: usize, seed: u64) -> String {
     let trace = TwitterLike::new(users, seed).generate_trace();
@@ -1400,6 +1611,24 @@ mod tests {
         assert!(json.contains("\"bench\": \"mixed_fleet\""));
         assert!(json.contains("\"satisfaction_identical\": true"));
         assert!(json.contains("\"reprovision_selection_identical\": true"));
+    }
+
+    #[test]
+    fn packing_frontier_report_runs_on_small_scenarios() {
+        let spotify = Scenario::spotify(400, 9);
+        let twitter = Scenario::twitter(300, 9);
+        let (text, json) = fig_packing_frontier(&[&spotify, &twitter], 50);
+        assert!(text.contains("greedy $"));
+        assert!(text.contains("FFD $"));
+        assert!(text.contains("spotify"));
+        assert!(text.contains("twitter"));
+        assert!(json.contains("\"bench\": \"packing\""));
+        assert!(json.contains("\"ffd_cost_usd\""));
+        assert!(json.contains("\"ffbp_cost_usd\""));
+        assert!(json.contains("\"ffbp_refined_usd\""));
+        assert!(json.contains("\"lower_bound_usd\""));
+        assert!(json.contains("\"budget_steps\": null"));
+        assert!(json.contains("\"frontier\""));
     }
 
     #[test]

@@ -47,10 +47,16 @@ pub fn export_lp(instance: &McssInstance, cost: &dyn CostModel, options: IlpOpti
     let capacity = instance.capacity().get();
     let vms = options.max_vms;
     let vm_price = price(cost.vm_cost(1) - cost.vm_cost(0));
+    // Probe the marginal bandwidth price over a large volume: per-unit
+    // prices are routinely sub-micro (the EC2 paper model charges
+    // fractions of a cent per GB), and probing a single unit truncates
+    // to zero in integer `Money`, silently dropping the whole bandwidth
+    // term from the objective.
+    const BW_PROBE: u64 = 1_000_000;
     let unit_bw_price = price(
-        cost.bandwidth_cost(pubsub_model::Bandwidth::new(1))
+        cost.bandwidth_cost(pubsub_model::Bandwidth::new(BW_PROBE))
             - cost.bandwidth_cost(pubsub_model::Bandwidth::ZERO),
-    );
+    ) / BW_PROBE as f64;
 
     let mut lp = String::new();
     let _ = writeln!(lp, "\\ MCSS integer program (ICDCS 2014, Eq. 1-3)");

@@ -34,9 +34,12 @@
 
 use crate::dynamic::WorkloadDelta;
 use crate::ledger::FleetLedger;
+use crate::lower_bound::lower_bound;
 use crate::shard::{partition_subscriber_set, run_shards, ShardedSolver, ShardingConfig};
 use crate::stage1::{select_for_subscriber_into, GreedySelectPairs, PairSelector};
-use crate::stage2::{Allocator, CbpConfig, CustomBinPacking, MixedFleetPacker};
+use crate::stage2::{
+    improve, Allocator, CbpConfig, CustomBinPacking, ImproveReport, MixedFleetPacker, SearchBudget,
+};
 use crate::{
     Allocation, McssError, McssInstance, Selection, SelectionBuilder, SelectionDiff, SolverParams,
     TopicGroups,
@@ -806,6 +809,51 @@ impl IncrementalReallocator {
         self.previous
             .as_ref()
             .map(|s| (&s.selection, &s.ledger, s.capacity))
+    }
+
+    /// Replaces the remembered fleet with a budget-bounded local-search
+    /// refinement of it ([`crate::stage2::improve`]) — the compaction
+    /// half of the serve loop's epoch cycle. The Stage-1 selection, the
+    /// epoch basis, and the carry-over repair queue are untouched: only
+    /// the packing changes, so delivered rates are bit-identical before
+    /// and after.
+    ///
+    /// Returns `None` without touching anything when there is nothing
+    /// safe to compact: no remembered state yet, orphaned pairs still
+    /// deferred by the repair budget, failed slots still down (their
+    /// slot indices must stay stable for `VmRecover`), or a
+    /// heterogeneous fleet (typed ledgers re-pack through
+    /// [`MixedFleetPacker`] full re-solves instead).
+    ///
+    /// Compaction renumbers ledger slots (empty slots are dropped on
+    /// export), so callers that address VMs by slot — `VmFail` events —
+    /// must only do so against post-compaction state, which is exactly
+    /// what deterministic epoch replay guarantees when the budget is a
+    /// step budget. Wall-clock budgets are rejected by [`crate::serve`]
+    /// for this reason; library callers get what they ask for.
+    pub fn compact(
+        &mut self,
+        instance: &McssInstance,
+        cost: &dyn CostModel,
+        budget: SearchBudget,
+    ) -> Option<ImproveReport> {
+        if self.fleet.is_some() {
+            return None;
+        }
+        let state = self.previous.as_mut()?;
+        if !state.pending.is_empty() || state.ledger.failed_slot_count() > 0 {
+            return None;
+        }
+        let allocation = state.ledger.to_allocation(state.capacity);
+        let certificate =
+            lower_bound(instance.workload(), instance.tau(), state.capacity).cost(cost);
+        let (refined, report) = improve(allocation, instance.workload(), cost, certificate, budget);
+        if report.steps > 0 {
+            let mut ledger = FleetLedger::from_allocation(&refined);
+            ledger.ensure_topics(instance.workload().num_topics());
+            state.ledger = ledger;
+        }
+        Some(report)
     }
 
     /// Rebuilds the remembered state from snapshot primaries — the

@@ -19,7 +19,9 @@
 //! | Alg. 3 FFBinPacking | [`stage2::FirstFitBinPacking`] |
 //! | Alg. 4 CustomBinPacking + opts (b)–(e) | [`stage2::CustomBinPacking`], [`stage2::CbpConfig`] |
 //! | Alg. 7 CheaperToDistribute | [`stage2::cheaper_to_distribute`] |
-//! | Alg. 5 / Thm. A.1 lower bound | [`lower_bound`] |
+//! | Alg. 5 / Thm. A.1 lower bound | [`lower_bound`], [`LowerBound::cost_on_fleet`] |
+//! | FFD baseline, Dósa 2007 `11/9·OPT + 6/9` bound (extension) | [`stage2::FfdBinPacking`] |
+//! | anytime Stage-2 local search with LB certificate (extension) | [`stage2::improve`], [`SearchBudget`] |
 //! | Thm. II.2 NP-hardness reduction | [`reduction`] |
 //! | exact baseline for tiny instances | [`exact`] |
 //! | §VI dynamic re-provisioning (future work) | [`dynamic`] |
@@ -97,3 +99,4 @@ pub use shard::{
     partition_subscriber_set, partition_subscribers, MergeStats, PartitionerKind, ShardedOutcome,
     ShardedSolver, ShardingConfig,
 };
+pub use stage2::{ImproveReport, SearchBudget};

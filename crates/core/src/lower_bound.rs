@@ -1,6 +1,6 @@
 //! The lower bound of Alg. 5 / Theorem A.1.
 
-use cloud_cost::{CostModel, Money};
+use cloud_cost::{CostModel, FleetCostModel, Money};
 use pubsub_model::{Bandwidth, Rate, Workload};
 
 /// The (possibly non-tight) lower bound on any MCSS solution.
@@ -23,6 +23,26 @@ impl LowerBound {
     /// The bound on the objective: `C1(vms) + C2(volume)`.
     pub fn cost(&self, model: &dyn CostModel) -> Money {
         model.total_cost(self.vms as usize, self.volume)
+    }
+
+    /// The bound on the mixed-fleet objective
+    /// `Σ_i C1_i(n_i) + C2(Σ bw)` over any tier assignment.
+    ///
+    /// Every VM of tier `i` hosting `bw ≤ cap_i` pays
+    /// `price_i ≥ (price_i / cap_i) · bw ≥ density_min · bw`, where
+    /// `density_min` is the cheapest per-bandwidth-unit rental in the
+    /// catalogue (tier 0: [`FleetCostModel`] sorts density-ascending).
+    /// Summing over the fleet, the rental term of *any* feasible typed
+    /// allocation is at least `density_min · volume`; the bandwidth term
+    /// is shared across tiers. Evaluated in exact u128 arithmetic and
+    /// floored, so the bound is never overstated.
+    pub fn cost_on_fleet(&self, fleet: &FleetCostModel) -> Money {
+        let price = fleet.vm_window_cost(0).micros().max(0) as u128;
+        let cap = u128::from(fleet.capacity(0).get());
+        let volume = u128::from(self.volume.get());
+        let rental_floor = price * volume / cap;
+        let rental = Money::from_micros(i64::try_from(rental_floor).unwrap_or(i64::MAX));
+        rental + fleet.bandwidth_cost(self.volume)
     }
 }
 
@@ -140,6 +160,44 @@ mod tests {
             lb.cost(&m),
             Money::from_dollars(6) + Money::from_micros(500)
         );
+    }
+
+    /// On a one-tier catalogue the fleet bound is the homogeneous bound
+    /// with the VM ceiling relaxed to an exact ratio — never above it.
+    #[test]
+    fn fleet_bound_is_floor_of_single_tier_bound() {
+        use cloud_cost::{instances, Ec2CostModel, FleetCostModel};
+        let w = workload(&[10, 20], &[&[0], &[1], &[0, 1]]);
+        let model = Ec2CostModel::paper_default(instances::C3_LARGE);
+        let fleet = FleetCostModel::new(vec![model.clone()]);
+        let lb = lower_bound(&w, Rate::new(15), model.capacity());
+        assert!(lb.cost_on_fleet(&fleet) <= lb.cost(&model));
+    }
+
+    /// The mixed bound must hold for every typed allocation the mixed
+    /// packer produces, across thresholds.
+    #[test]
+    fn fleet_bound_never_above_mixed_packing() {
+        use cloud_cost::{Ec2CostModel, FleetCostModel, InstanceType};
+        let w = workload(
+            &[40, 25, 16, 9, 5, 3],
+            &[&[0, 1, 2], &[1, 3, 4], &[2, 4, 5], &[0, 5], &[3, 4, 5]],
+        );
+        let fleet = FleetCostModel::new(vec![
+            Ec2CostModel::paper_default(InstanceType::new("small", 150_000, 64))
+                .with_capacity_events(120),
+            Ec2CostModel::paper_default(InstanceType::new("big", 290_000, 128))
+                .with_capacity_events(260),
+        ]);
+        for tau in [1u64, 8, 20, 50] {
+            let inst = McssInstance::new(w.clone(), Rate::new(tau), fleet.max_capacity()).unwrap();
+            let lb = lower_bound(&w, inst.tau(), fleet.max_capacity());
+            let mixed = crate::Solver::default().solve_mixed(&inst, &fleet).unwrap();
+            assert!(
+                mixed.report.total_cost >= lb.cost_on_fleet(&fleet),
+                "mixed packing beat the fleet bound at τ={tau}"
+            );
+        }
     }
 
     /// Theorem A.1's actual claim: every heuristic solution costs at least

@@ -5,7 +5,8 @@ use crate::stage1::{
     GreedySelectPairs, OptimalSelectPairs, PairSelector, RandomSelectPairs, SharedAwareGreedy,
 };
 use crate::stage2::{
-    mixed_cost_split, Allocator, CbpConfig, CustomBinPacking, FirstFitBinPacking, MixedFleetPacker,
+    improve, improve_mixed, mixed_cost_split, Allocator, CbpConfig, CustomBinPacking,
+    FfdBinPacking, FirstFitBinPacking, ImproveReport, MixedFleetPacker, SearchBudget,
 };
 use crate::{lower_bound, Allocation, McssError, McssInstance, Selection};
 use cloud_cost::{CostModel, FleetCostModel, Money};
@@ -63,6 +64,8 @@ impl SelectorKind {
 pub enum AllocatorKind {
     /// FFBinPacking (Alg. 3).
     FirstFit,
+    /// FFD over whole topic groups — the Dósa-bounded reference baseline.
+    FirstFitDecreasing,
     /// CustomBinPacking (Alg. 4) with explicit optimization toggles.
     Custom(CbpConfig),
 }
@@ -76,6 +79,7 @@ impl AllocatorKind {
     pub(crate) fn build(&self) -> Box<dyn Allocator> {
         match *self {
             AllocatorKind::FirstFit => Box::new(FirstFitBinPacking::new()),
+            AllocatorKind::FirstFitDecreasing => Box::new(FfdBinPacking::new()),
             AllocatorKind::Custom(cfg) => Box::new(CustomBinPacking::new(cfg)),
         }
     }
@@ -84,6 +88,7 @@ impl AllocatorKind {
     pub fn name(&self) -> &'static str {
         match self {
             AllocatorKind::FirstFit => "FFBP",
+            AllocatorKind::FirstFitDecreasing => "FFD",
             AllocatorKind::Custom(_) => "CBP",
         }
     }
@@ -102,12 +107,23 @@ pub struct SolverParams {
     /// [`ShardedSolver`](crate::ShardedSolver)); `None` or one shard is
     /// the classic monolithic pipeline.
     pub sharding: Option<ShardingConfig>,
+    /// When set, Stage 2's output is post-processed by the anytime
+    /// improvement engine ([`stage2::improve`](crate::stage2::improve))
+    /// under this budget, stopping early at the Alg. 5 lower-bound
+    /// certificate; `None` skips refinement (the classic pipeline).
+    pub refine: Option<SearchBudget>,
 }
 
 impl SolverParams {
     /// Returns these parameters with a sharded execution plan.
     pub fn with_sharding(mut self, sharding: ShardingConfig) -> Self {
         self.sharding = Some(sharding);
+        self
+    }
+
+    /// Returns these parameters with an anytime refinement budget.
+    pub fn with_refinement(mut self, budget: SearchBudget) -> Self {
+        self.refine = Some(budget);
         self
     }
 }
@@ -120,6 +136,7 @@ impl Default for SolverParams {
             selector: SelectorKind::Greedy,
             allocator: AllocatorKind::custom_full(),
             sharding: None,
+            refine: None,
         }
     }
 }
@@ -136,12 +153,16 @@ pub struct Solver {
 /// packed, and the metrics report.
 #[derive(Clone, Debug)]
 pub struct SolveOutcome {
-    /// The VM allocation (Stage-2 output).
+    /// The VM allocation (Stage-2 output), refined when
+    /// [`SolverParams::refine`] is set.
     pub allocation: Allocation,
     /// The pair selection (Stage-1 output).
     pub selection: Selection,
     /// Metrics, costs, timings, and the Alg. 5 lower bound.
     pub report: SolveReport,
+    /// What the anytime refinement did; `None` when
+    /// [`SolverParams::refine`] is unset.
+    pub refinement: Option<ImproveReport>,
 }
 
 /// Metrics of one pipeline run — the quantities plotted in Figs. 2–7.
@@ -245,6 +266,9 @@ pub struct MixedSolveOutcome {
     pub selection: Selection,
     /// Metrics of the mixed solve.
     pub report: MixedSolveReport,
+    /// What the anytime refinement did; `None` when
+    /// [`SolverParams::refine`] is unset.
+    pub refinement: Option<ImproveReport>,
 }
 
 /// Metrics of one mixed-fleet solve.
@@ -269,10 +293,28 @@ pub struct MixedSolveReport {
     pub total_cost: Money,
     /// Human-readable fleet mix, e.g. `"3×c3.large + 1×c3.xlarge"`.
     pub mix: String,
+    /// Alg. 5 bound on VMs (at the fleet-wide `max_capacity`).
+    pub lower_bound_vms: u64,
+    /// Alg. 5 bound on volume.
+    pub lower_bound_volume: Bandwidth,
+    /// Mixed-fleet bound on cost
+    /// ([`LowerBound::cost_on_fleet`](crate::LowerBound::cost_on_fleet)).
+    pub lower_bound_cost: Money,
     /// Wall-clock time of Stage 1.
     pub stage1_time: Duration,
     /// Wall-clock time of Stage 2.
     pub stage2_time: Duration,
+}
+
+impl MixedSolveReport {
+    /// Ratio of achieved cost to the mixed-fleet lower bound (≥ 1.0).
+    pub fn optimality_gap(&self) -> f64 {
+        let lb = self.lower_bound_cost.micros();
+        if lb <= 0 {
+            return 1.0;
+        }
+        self.total_cost.micros() as f64 / lb as f64
+    }
 }
 
 impl fmt::Display for MixedSolveReport {
@@ -284,11 +326,19 @@ impl fmt::Display for MixedSolveReport {
         )?;
         writeln!(f, "pairs selected:  {}", self.pairs_selected)?;
         writeln!(f, "fleet:           {} VMs ({})", self.vm_count, self.mix)?;
-        writeln!(f, "bandwidth:       {}", self.total_bandwidth)?;
         writeln!(
             f,
-            "cost:            {} = {} VMs + {} bandwidth",
-            self.total_cost, self.vm_cost, self.bandwidth_cost
+            "bandwidth:       {} (lower bound {})",
+            self.total_bandwidth, self.lower_bound_volume
+        )?;
+        writeln!(
+            f,
+            "cost:            {} = {} VMs + {} bandwidth (lower bound {}, gap {:.2}x)",
+            self.total_cost,
+            self.vm_cost,
+            self.bandwidth_cost,
+            self.lower_bound_cost,
+            self.optimality_gap()
         )?;
         write!(
             f,
@@ -364,6 +414,7 @@ impl Solver {
         let t1 = Instant::now();
         let allocation = allocator.allocate(workload, &selection, instance.capacity(), cost)?;
         let stage2_time = t1.elapsed();
+        let (allocation, refinement) = self.maybe_refine(instance, cost, allocation);
 
         let report = self.report(
             instance,
@@ -378,7 +429,26 @@ impl Solver {
             allocation,
             selection,
             report,
+            refinement,
         })
+    }
+
+    /// Applies the anytime improvement pass when
+    /// [`SolverParams::refine`] is set, with the Alg. 5 bound as the
+    /// stopping certificate.
+    fn maybe_refine(
+        &self,
+        instance: &McssInstance,
+        cost: &dyn CostModel,
+        allocation: Allocation,
+    ) -> (Allocation, Option<ImproveReport>) {
+        let Some(budget) = self.params.refine else {
+            return (allocation, None);
+        };
+        let workload = instance.workload();
+        let lb = lower_bound(workload, instance.tau(), instance.capacity());
+        let (refined, report) = improve(allocation, workload, cost, lb.cost(cost), budget);
+        (refined, Some(report))
     }
 
     /// Runs Stage 1 with the configured selector, then packs onto a
@@ -440,6 +510,16 @@ impl Solver {
         let allocation = MixedFleetPacker::new().allocate(workload, &selection, fleet)?;
         let stage2_time = t1.elapsed();
 
+        let lb = lower_bound(workload, instance.tau(), fleet.max_capacity());
+        let (allocation, refinement) = match self.params.refine {
+            Some(budget) => {
+                let (refined, report) =
+                    improve_mixed(allocation, workload, fleet, lb.cost_on_fleet(fleet), budget);
+                (refined, Some(report))
+            }
+            None => (allocation, None),
+        };
+
         let typing = allocation.typing().expect("mixed output is always typed");
         let tier_counts: Vec<(&'static str, usize)> = typing
             .tiers()
@@ -458,6 +538,9 @@ impl Solver {
             total_cost: vm_cost + bandwidth_cost,
             mix: typing.mix(),
             tier_counts,
+            lower_bound_vms: lb.vms,
+            lower_bound_volume: lb.volume,
+            lower_bound_cost: lb.cost_on_fleet(fleet),
             stage1_time,
             stage2_time,
         };
@@ -465,6 +548,7 @@ impl Solver {
             allocation,
             selection,
             report,
+            refinement,
         })
     }
 
@@ -475,19 +559,21 @@ impl Solver {
         sharding: ShardingConfig,
     ) -> Result<SolveOutcome, McssError> {
         let sharded = ShardedSolver::new(self.params, sharding).solve(instance, cost)?;
+        let (allocation, refinement) = self.maybe_refine(instance, cost, sharded.allocation);
         let report = self.report(
             instance,
             cost,
             &sharded.selection,
-            &sharded.allocation,
+            &allocation,
             sharding.shards,
             sharded.stage1_time,
             sharded.stage2_time,
         );
         Ok(SolveOutcome {
-            allocation: sharded.allocation,
+            allocation,
             selection: sharded.selection,
             report,
+            refinement,
         })
     }
 
@@ -681,7 +767,11 @@ mod tests {
         ] {
             assert_eq!(kind.name(), kind.build().name());
         }
-        for kind in [AllocatorKind::FirstFit, AllocatorKind::custom_full()] {
+        for kind in [
+            AllocatorKind::FirstFit,
+            AllocatorKind::FirstFitDecreasing,
+            AllocatorKind::custom_full(),
+        ] {
             assert_eq!(kind.name(), kind.build().name());
         }
     }
@@ -737,6 +827,35 @@ mod tests {
         let text = mixed.report.to_string();
         assert!(text.contains("mixed-fleet"));
         assert!(text.contains("VMs"));
+    }
+
+    #[test]
+    fn refinement_never_raises_cost_and_is_deterministic() {
+        let inst = instance();
+        let base = Solver::default().solve(&inst, &cost()).unwrap();
+        let params = SolverParams::default().with_refinement(SearchBudget::UNBOUNDED);
+        let a = Solver::new(params).solve(&inst, &cost()).unwrap();
+        let b = Solver::new(params).solve(&inst, &cost()).unwrap();
+        assert!(a.report.total_cost <= base.report.total_cost);
+        assert!(a.report.total_cost >= a.report.lower_bound_cost);
+        assert_eq!(
+            a.allocation, b.allocation,
+            "refinement must be deterministic"
+        );
+        a.allocation.validate(inst.workload(), inst.tau()).unwrap();
+        let refinement = a.refinement.expect("refine was requested");
+        assert_eq!(refinement.final_cost, a.report.total_cost);
+        assert!(refinement.final_cost <= refinement.initial_cost);
+    }
+
+    #[test]
+    fn zero_step_budget_is_a_no_op_refinement() {
+        let inst = instance();
+        let base = Solver::default().solve(&inst, &cost()).unwrap();
+        let params = SolverParams::default().with_refinement(SearchBudget::steps(0));
+        let frozen = Solver::new(params).solve(&inst, &cost()).unwrap();
+        assert_eq!(base.allocation, frozen.allocation);
+        assert_eq!(frozen.refinement.expect("refine was requested").steps, 0);
     }
 
     #[test]

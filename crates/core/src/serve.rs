@@ -47,6 +47,7 @@
 use crate::dynamic::{DriftModel, WorkloadDelta};
 use crate::incremental::{IncrementalConfig, IncrementalReallocator, SlaBudget};
 use crate::ledger::{FleetLedger, LedgerSlot};
+use crate::stage2::SearchBudget;
 use crate::{Allocation, McssError, McssInstance, Selection};
 use cloud_cost::{CostModel, Money};
 use pubsub_model::{Bandwidth, Rate, SubscriberId, TopicId, Workload, WorkloadEdit};
@@ -983,6 +984,18 @@ pub struct ServeConfig {
     pub sync_retries: u32,
     /// Sleep between fsync retries, in milliseconds.
     pub retry_backoff_ms: u64,
+    /// Run a Stage-2 compaction pass
+    /// ([`IncrementalReallocator::compact`]) every this many applied
+    /// epochs; `None` disables compaction. Like `repair_budget` this
+    /// shapes state evolution, so resume with the value the log was
+    /// written under. Must be positive when set.
+    pub compact_every: Option<u64>,
+    /// Local-search step budget per compaction pass. Steps, not
+    /// wall-clock: a time budget would make crash replay
+    /// non-deterministic (the replayed pass could stop at a different
+    /// move and rebuild a different fleet). Must be positive when
+    /// compaction is enabled.
+    pub compact_steps: u64,
 }
 
 impl ServeConfig {
@@ -997,7 +1010,18 @@ impl ServeConfig {
             repair_budget: None,
             sync_retries: 0,
             retry_backoff_ms: 0,
+            compact_every: None,
+            compact_steps: 0,
         }
+    }
+
+    /// Enables periodic Stage-2 compaction: every `epochs` applied
+    /// epochs, spend up to `steps` local-search moves re-packing the
+    /// fleet (see [`ServeConfig::compact_every`]).
+    pub fn with_compaction(mut self, epochs: u64, steps: u64) -> ServeConfig {
+        self.compact_every = Some(epochs);
+        self.compact_steps = steps;
+        self
     }
 
     /// Sets the per-epoch repair budget (see
@@ -1059,6 +1083,11 @@ pub struct EpochStats {
     pub pairs_repaired: u64,
     /// Orphaned pairs still deferred after this epoch's repair round.
     pub repair_deferred: u64,
+    /// Local-search moves applied by this epoch's compaction pass
+    /// (0 when compaction is disabled, skipped, or found no move).
+    pub compaction_moves: u64,
+    /// Fleet cost saved by this epoch's compaction pass.
+    pub compaction_saved: Money,
     /// Live VMs after the epoch.
     pub vm_count: usize,
     /// Fleet cost `C1(|B|) + C2(Σ bw)` after the epoch.
@@ -1338,6 +1367,16 @@ impl Daemon {
                 "repair budget must be positive (omit it to drain unbounded)".into(),
             ));
         }
+        if config.compact_every == Some(0) {
+            return Err(ServeError::Rejected(
+                "compaction cadence must be positive (omit it to disable compaction)".into(),
+            ));
+        }
+        if config.compact_every.is_some() && config.compact_steps == 0 {
+            return Err(ServeError::Rejected(
+                "compaction step budget must be positive".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -1493,8 +1532,36 @@ impl Daemon {
             self.realloc.recover_slot(slot);
         }
 
-        let fleet_cost = self.cost.vm_cost(allocation.vm_count())
-            + self.cost.bandwidth_cost(allocation.total_bandwidth());
+        let mut vm_count = allocation.vm_count();
+        let mut fleet_cost =
+            self.cost.vm_cost(vm_count) + self.cost.bandwidth_cost(allocation.total_bandwidth());
+
+        // Periodic compaction: a budgeted local-search pass over the
+        // repaired fleet. Steps-only — deadlines would break crash
+        // replay — and skipped by `compact` itself while repairs are
+        // still deferred or failed slots are down.
+        let mut compaction_moves = 0u64;
+        let mut compaction_saved = Money::ZERO;
+        if let Some(every) = self.config.compact_every {
+            if (self.epochs_applied + 1).is_multiple_of(every) {
+                if let Some(report) = self.realloc.compact(
+                    &instance,
+                    self.cost.as_ref(),
+                    SearchBudget::steps(self.config.compact_steps),
+                ) {
+                    compaction_moves = report.steps;
+                    compaction_saved = report.saved();
+                    if report.steps > 0 {
+                        let (_, ledger, _) = self
+                            .realloc
+                            .checkpoint()
+                            .expect("a compacted epoch implies a checkpoint");
+                        vm_count = ledger.vm_count();
+                        fleet_cost = report.final_cost;
+                    }
+                }
+            }
+        }
         Ok(EpochStats {
             epoch: self.epochs_applied,
             events_applied: events,
@@ -1506,7 +1573,9 @@ impl Daemon {
             vms_failed,
             pairs_repaired,
             repair_deferred,
-            vm_count: allocation.vm_count(),
+            compaction_moves,
+            compaction_saved,
+            vm_count,
             fleet_cost,
             apply_time: started.elapsed(),
         })

@@ -28,6 +28,7 @@
 //! and the merge are deterministic, so a sharded solve is reproducible
 //! for a fixed configuration.
 
+use crate::stage2::{group_pos, vm_usage, VmGroups};
 use crate::{Allocation, McssError, McssInstance, Selection, SolverParams};
 use cloud_cost::CostModel;
 use pubsub_model::{Bandwidth, SubscriberId, TopicId, Workload};
@@ -450,11 +451,6 @@ pub(crate) fn run_shards<T: Send>(
         .collect()
 }
 
-/// One VM of the merged fleet: `(topic, subscribers)` rows sorted by
-/// topic id — the same layout `Allocation` placements use, so shard
-/// fleets move through the merge without re-hashing.
-type VmGroups = Vec<(TopicId, Vec<SubscriberId>)>;
-
 /// The cross-shard merge pass, in two phases:
 ///
 /// 1. **Topic-group re-homing** — while a topic is hosted on several VMs
@@ -645,21 +641,6 @@ fn compact_topic_groups(
     fleet.retain(|vm| !vm.is_empty());
     stats.vms_released = before - fleet.len();
     stats
-}
-
-/// Position of topic `t` in a VM's sorted rows, if hosted.
-#[inline]
-fn group_pos(vm: &VmGroups, t: TopicId) -> Option<usize> {
-    vm.binary_search_by_key(&t, |&(tt, _)| tt).ok()
-}
-
-/// Recomputes a VM's bandwidth (Eq. 2) under current rates.
-fn vm_usage(vm: &VmGroups, workload: &Workload) -> Bandwidth {
-    let mut total = Bandwidth::ZERO;
-    for (t, subs) in vm {
-        total += workload.rate(*t) * (subs.len() as u64 + 1);
-    }
-    total
 }
 
 #[cfg(test)]

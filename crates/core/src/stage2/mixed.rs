@@ -271,7 +271,7 @@ impl MixedFleetPacker {
 
 /// The cheapest tier (by absolute window price) that holds `used`,
 /// defaulting to the current tier when no strictly cheaper home exists.
-fn downsize(current: usize, used: Bandwidth, fleet: &FleetCostModel) -> u32 {
+pub(crate) fn downsize(current: usize, used: Bandwidth, fleet: &FleetCostModel) -> u32 {
     match fleet.cheapest_absolute_fitting(used) {
         Some(tier) if fleet.vm_window_cost(tier) < fleet.vm_window_cost(current) => tier as u32,
         _ => current as u32,
@@ -279,7 +279,7 @@ fn downsize(current: usize, used: Bandwidth, fleet: &FleetCostModel) -> u32 {
 }
 
 /// Builds the [`FleetTyping`] for `fleet`'s tier table.
-fn typing_for(fleet: &FleetCostModel, assignment: Vec<u32>) -> FleetTyping {
+pub(crate) fn typing_for(fleet: &FleetCostModel, assignment: Vec<u32>) -> FleetTyping {
     let tiers = fleet
         .tiers()
         .iter()

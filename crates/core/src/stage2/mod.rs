@@ -26,6 +26,8 @@ mod baselines;
 mod cbp;
 mod cheaper;
 mod ffbp;
+mod ffd;
+mod improve;
 mod mixed;
 mod vm;
 
@@ -33,8 +35,11 @@ pub use baselines::{BestFitBinPacking, NextFitBinPacking};
 pub use cbp::{CbpConfig, CustomBinPacking, ExpensiveOrder};
 pub use cheaper::cheaper_to_distribute;
 pub use ffbp::FirstFitBinPacking;
+pub use ffd::FfdBinPacking;
+pub use improve::{improve, improve_mixed, ImproveReport, SearchBudget};
 pub use mixed::{mixed_cost_split, MixedFleetPacker};
 
+pub(crate) use improve::{group_pos, vm_usage, VmGroups};
 pub(crate) use vm::VmBuild;
 
 use crate::{Allocation, McssError, Selection};

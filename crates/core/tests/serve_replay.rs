@@ -130,4 +130,53 @@ proptest! {
         std::fs::remove_dir_all(&dir_a).ok();
         std::fs::remove_dir_all(&dir_b).ok();
     }
+
+    /// Same crash sweep with periodic ledger compaction enabled. The
+    /// compaction pass runs *inside* `apply_epoch` on a steps-only
+    /// budget, so a daemon killed right after (or before) a compacting
+    /// epoch must re-run the identical moves during replay and land on
+    /// the same slot-renumbered ledger as the uninterrupted run.
+    #[test]
+    fn crash_mid_compaction_replays_identically(
+        seed in 0u64..1_000,
+        cut_raw in 0usize..100_000,
+        compact_every in 1u64..4,
+        compact_steps in 1u64..64,
+    ) {
+        let events = script(seed, 5);
+        let cut = cut_raw % (events.len() + 1);
+        let config = ServeConfig::new(Rate::new(15), Bandwidth::new(2_000))
+            .with_epoch_events(4)
+            .with_snapshot_every(0)
+            .with_compaction(compact_every, compact_steps);
+
+        let dir_a = scratch("live-compact");
+        let mut live = Daemon::create(&dir_a, config, cost()).unwrap();
+        for &e in &events {
+            live.submit(e).unwrap();
+        }
+        live.tick().unwrap();
+
+        let dir_b = scratch("crash-compact");
+        let mut crashed = Daemon::create(&dir_b, config, cost()).unwrap();
+        for &e in &events[..cut] {
+            crashed.submit(e).unwrap();
+        }
+        std::mem::forget(crashed);
+
+        let mut recovered = Daemon::resume(&dir_b, config, cost()).unwrap();
+        let absorbed = (recovered.epochs_applied() * 4 + recovered.pending_events()) as usize;
+        prop_assert!(absorbed <= cut, "recovery cannot invent events");
+        for &e in &events[absorbed..] {
+            recovered.submit(e).unwrap();
+        }
+        recovered.tick().unwrap();
+
+        prop_assert_eq!(live.epochs_applied(), recovered.epochs_applied());
+        prop_assert_eq!(live.selection(), recovered.selection());
+        prop_assert_eq!(live.allocation(), recovered.allocation());
+
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
 }

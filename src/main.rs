@@ -11,12 +11,13 @@
 
 use cloud_cost::{instances, CostModel, Ec2CostModel, FleetCostModel, InstanceType};
 use mcss_core::dynamic::{DriftModel, Reprovisioner, WorkloadDelta};
+use mcss_core::ilp::{export_lp, IlpOptions};
 use mcss_core::incremental::{IncrementalConfig, IncrementalReallocator, SlaBudget};
 use mcss_core::planner::{plan_instance_type, plan_mixed};
 use mcss_core::serve::{Daemon, Driver, EpochStats, Event, ServeConfig};
 use mcss_core::{
-    AllocatorKind, McssInstance, PartitionerKind, SelectorKind, ShardingConfig, Solver,
-    SolverParams,
+    AllocatorKind, McssInstance, PartitionerKind, SearchBudget, SelectorKind, ShardingConfig,
+    Solver, SolverParams,
 };
 use pubsub_model::{Rate, Workload};
 use pubsub_sim::failure::{fail_vms, fragility_profile};
@@ -34,6 +35,9 @@ const HELP: &str = "mcss — Minimum Cost Subscriber Satisfaction solver (ICDCS 
 
 USAGE:
   mcss solve <trace.tsv> --tau N [options]   solve MCSS over a trace file
+  mcss pack <trace.tsv> --tau N [options]    compare Stage-2 packers (greedy
+                                             CBP, FFD, anytime-refined)
+                                             against the Alg. 5 lower bound
   mcss plan <trace.tsv> --tau N [options]    rank instance types by cost
   mcss reprovision <trace.tsv> --tau N [options]
                                              drift the workload and repair
@@ -58,9 +62,26 @@ SOLVE OPTIONS:
   --threads N            worker threads (shard solves, or parallel GSP
                          when --shards is 1)                 [shards]
   --partitioner NAME     topic | hash                        [topic]
+  --refine BUDGET        post-process the packing with the anytime local
+                         search: \"500\" caps moves, \"100ms\"/\"2s\" caps
+                         wall-clock (wall-clock runs are not
+                         reproducible step for step)     [off]
   --effective            use the figure-calibrated capacity (DESIGN.md §3)
   --scale SYNTH/PAPER    volume-scale compensation ratio
   --simulate             replay the window through the broker simulation
+
+PACK OPTIONS:
+  --tau N                satisfaction threshold (required)
+  --instance NAME        c3.large | c3.xlarge | c3.2xlarge  [c3.large]
+  --refine BUDGET        local-search budget, as in solve --refine
+                         [unbounded: run until no move improves or the
+                         lower-bound certificate is met]
+  --mixed                pack onto the heterogeneous catalogue fleet
+                         (FFD and --export-lp are homogeneous-only)
+  --export-lp FILE       also write the exact integer program in CPLEX
+                         LP format, sized by the greedy VM count
+  --effective            use the figure-calibrated capacity
+  --scale SYNTH/PAPER    volume-scale compensation ratio
 
 PLAN OPTIONS:
   --tau N                satisfaction threshold (required)
@@ -114,6 +135,12 @@ SERVE OPTIONS:
                          \"2:0-3;5:20%\" (incompatible with --resume)
   --repair-budget N      SLA budget: at most N orphaned pairs re-placed
                          per epoch; the rest carry over  [unbounded]
+  --compact-every N      run a Stage-2 compaction pass every N applied
+                         epochs (skipped while repairs are deferred or
+                         failed VMs are down)            [off]
+  --compact-steps N      local-search moves per compaction pass (steps,
+                         never wall-clock — replay stays deterministic)
+                         [2048]
   --sync-retries N       retry a failed epoch fsync N times       [0]
   --retry-backoff-ms N   sleep between fsync retries              [0]
   --effective            use the figure-calibrated capacity
@@ -158,9 +185,20 @@ enum Command {
         shards: usize,
         threads: usize,
         partitioner: PartitionerKind,
+        refine: Option<SearchBudget>,
         effective: bool,
         scale: Option<(u64, u64)>,
         simulate: bool,
+    },
+    Pack {
+        trace: String,
+        tau: u64,
+        instance: InstanceType,
+        mixed: bool,
+        refine: SearchBudget,
+        export_lp: Option<String>,
+        effective: bool,
+        scale: Option<(u64, u64)>,
     },
     Plan {
         trace: String,
@@ -226,6 +264,8 @@ enum Command {
         resume: bool,
         drill: Vec<(u64, KillSpec)>,
         repair_budget: Option<u64>,
+        compact_every: Option<u64>,
+        compact_steps: u64,
         sync_retries: u32,
         retry_backoff_ms: u64,
         effective: bool,
@@ -572,12 +612,19 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut shards = 1usize;
             let mut threads = 0usize;
             let mut partitioner = PartitionerKind::default();
+            let mut refine: Option<SearchBudget> = None;
             let mut effective = false;
             let mut scale = None;
             let mut simulate = false;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--tau" => tau = Some(next_num(&mut it, "--tau")?),
+                    "--refine" => {
+                        let spec = it
+                            .next()
+                            .ok_or_else(|| "--refine needs a budget".to_string())?;
+                        refine = Some(parse_budget(spec)?);
+                    }
                     "--shards" => {
                         shards = next_num(&mut it, "--shards")?;
                         if shards == 0 {
@@ -644,9 +691,69 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 shards,
                 threads,
                 partitioner,
+                refine,
                 effective,
                 scale,
                 simulate,
+            })
+        }
+        "pack" => {
+            let trace = it
+                .next()
+                .ok_or_else(|| "pack needs a trace path".to_string())?
+                .clone();
+            let mut tau: Option<u64> = None;
+            let mut instance = instances::C3_LARGE;
+            let mut mixed = false;
+            let mut refine = SearchBudget::UNBOUNDED;
+            let mut export_lp: Option<String> = None;
+            let mut effective = false;
+            let mut scale = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--tau" => tau = Some(next_num(&mut it, "--tau")?),
+                    "--instance" => {
+                        let name = it
+                            .next()
+                            .ok_or_else(|| "--instance needs a name".to_string())?;
+                        instance = parse_instance(name)?;
+                    }
+                    "--mixed" => mixed = true,
+                    "--refine" => {
+                        let spec = it
+                            .next()
+                            .ok_or_else(|| "--refine needs a budget".to_string())?;
+                        refine = parse_budget(spec)?;
+                    }
+                    "--export-lp" => {
+                        export_lp = Some(
+                            it.next()
+                                .ok_or_else(|| "--export-lp needs a path".to_string())?
+                                .clone(),
+                        )
+                    }
+                    "--effective" => effective = true,
+                    "--scale" => scale = Some(parse_scale(&mut it)?),
+                    other => return Err(format!("unknown pack flag {other:?}")),
+                }
+            }
+            let tau = tau.ok_or_else(|| "--tau is required".to_string())?;
+            if mixed && export_lp.is_some() {
+                return Err(
+                    "--export-lp cannot be combined with --mixed: the LP formulation is \
+                     homogeneous (one capacity for every candidate VM)"
+                        .into(),
+                );
+            }
+            Ok(Command::Pack {
+                trace,
+                tau,
+                instance,
+                mixed,
+                refine,
+                export_lp,
+                effective,
+                scale,
             })
         }
         "serve" => {
@@ -667,6 +774,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut resume = false;
             let mut drill: Vec<(u64, KillSpec)> = Vec::new();
             let mut repair_budget: Option<u64> = None;
+            let mut compact_every: Option<u64> = None;
+            let mut compact_steps = 2_048u64;
+            let mut saw_compact_steps = false;
             let mut sync_retries = 0u32;
             let mut retry_backoff_ms = 0u64;
             let mut effective = false;
@@ -757,6 +867,23 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                         }
                         repair_budget = Some(pairs);
                     }
+                    "--compact-every" => {
+                        let every: u64 = next_num(&mut it, "--compact-every")?;
+                        if every == 0 {
+                            return Err(
+                                "--compact-every must be positive (omit it to disable compaction)"
+                                    .into(),
+                            );
+                        }
+                        compact_every = Some(every);
+                    }
+                    "--compact-steps" => {
+                        compact_steps = next_num(&mut it, "--compact-steps")?;
+                        if compact_steps == 0 {
+                            return Err("--compact-steps must be positive".into());
+                        }
+                        saw_compact_steps = true;
+                    }
                     "--sync-retries" => sync_retries = next_num(&mut it, "--sync-retries")?,
                     "--retry-backoff-ms" => {
                         retry_backoff_ms = next_num(&mut it, "--retry-backoff-ms")?
@@ -796,6 +923,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                         .into(),
                 );
             }
+            if saw_compact_steps && compact_every.is_none() {
+                return Err("--compact-steps needs --compact-every".into());
+            }
             Ok(Command::Serve {
                 family,
                 size,
@@ -814,6 +944,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 resume,
                 drill,
                 repair_budget,
+                compact_every,
+                compact_steps,
                 sync_retries,
                 retry_backoff_ms,
                 effective,
@@ -841,6 +973,34 @@ fn parse_scale<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<(u64, u6
         return Err("scale parts must be positive".into());
     }
     Ok((a, b))
+}
+
+/// Budget grammar for `--refine`: a bare integer caps local-search
+/// moves (deterministic, replay-safe); an `ms`/`s` suffix caps
+/// wall-clock instead.
+fn parse_budget(spec: &str) -> Result<SearchBudget, String> {
+    if let Some(ms) = spec.strip_suffix("ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|e| format!("bad --refine budget {spec:?}: {e}"))?;
+        if ms == 0 {
+            return Err(format!("--refine budget {spec:?} must be positive"));
+        }
+        return Ok(SearchBudget::time(std::time::Duration::from_millis(ms)));
+    }
+    if let Some(secs) = spec.strip_suffix('s') {
+        let secs: u64 = secs
+            .parse()
+            .map_err(|e| format!("bad --refine budget {spec:?}: {e}"))?;
+        if secs == 0 {
+            return Err(format!("--refine budget {spec:?} must be positive"));
+        }
+        return Ok(SearchBudget::time(std::time::Duration::from_secs(secs)));
+    }
+    let steps: u64 = spec
+        .parse()
+        .map_err(|_| format!("bad --refine budget {spec:?}: want moves, Nms, or Ns"))?;
+    Ok(SearchBudget::steps(steps))
 }
 
 fn next_num<'a, T: std::str::FromStr>(
@@ -1133,6 +1293,11 @@ fn run(command: Command) -> Result<(), String> {
                     report.mixed.report.vm_count,
                     report.mixed.report.mix
                 );
+                println!(
+                    "mixed lower bound:    {} (gap {:.2}x)",
+                    report.mixed.report.lower_bound_cost,
+                    report.mixed.report.optimality_gap()
+                );
                 if let Some(savings) = report.savings() {
                     let best_cost = report
                         .homogeneous
@@ -1161,6 +1326,109 @@ fn run(command: Command) -> Result<(), String> {
             println!("cheapest: {}", best.name);
             if let Some(spread) = report.spread() {
                 println!("spread:   {spread}");
+            }
+            Ok(())
+        }
+        Command::Pack {
+            trace,
+            tau,
+            instance,
+            mixed,
+            refine,
+            export_lp: lp_path,
+            effective,
+            scale,
+        } => {
+            let workload = load_trace(&trace)?;
+            if mixed {
+                let fleet = FleetCostModel::new(catalogue(effective, scale));
+                let inst = McssInstance::new(workload, Rate::new(tau), fleet.max_capacity())
+                    .map_err(|e| e.to_string())?;
+                let greedy = Solver::default()
+                    .solve_mixed(&inst, &fleet)
+                    .map_err(|e| e.to_string())?;
+                let refined = Solver::new(SolverParams::default().with_refinement(refine))
+                    .solve_mixed(&inst, &fleet)
+                    .map_err(|e| e.to_string())?;
+                refined
+                    .allocation
+                    .validate(inst.workload(), inst.tau())
+                    .map_err(|e| format!("internal error — invalid refined allocation: {e}"))?;
+                println!(
+                    "greedy (mixed):  {} ({} VMs: {})",
+                    greedy.report.total_cost, greedy.report.vm_count, greedy.report.mix
+                );
+                println!(
+                    "refined:         {} ({} VMs: {})",
+                    refined.report.total_cost, refined.report.vm_count, refined.report.mix
+                );
+                println!(
+                    "lower bound:     {} (gap {:.2}x)",
+                    refined.report.lower_bound_cost,
+                    refined.report.optimality_gap()
+                );
+                if let Some(r) = &refined.refinement {
+                    println!("refinement: {r}");
+                }
+                return Ok(());
+            }
+            let mut cost = if effective {
+                Ec2CostModel::paper_effective(instance)
+            } else {
+                Ec2CostModel::paper_default(instance)
+            };
+            if let Some((synth, paper)) = scale {
+                cost = cost.with_volume_scale(synth, paper);
+            }
+            let inst = McssInstance::new(workload, Rate::new(tau), cost.capacity())
+                .map_err(|e| e.to_string())?;
+            let greedy = Solver::default()
+                .solve(&inst, &cost)
+                .map_err(|e| e.to_string())?;
+            let ffd = Solver::new(SolverParams {
+                allocator: AllocatorKind::FirstFitDecreasing,
+                ..SolverParams::default()
+            })
+            .solve(&inst, &cost)
+            .map_err(|e| e.to_string())?;
+            let refined = Solver::new(SolverParams::default().with_refinement(refine))
+                .solve(&inst, &cost)
+                .map_err(|e| e.to_string())?;
+            refined
+                .allocation
+                .validate(inst.workload(), inst.tau())
+                .map_err(|e| format!("internal error — invalid refined allocation: {e}"))?;
+            println!(
+                "greedy (CBP):  {} ({} VMs, {} bandwidth)",
+                greedy.report.total_cost, greedy.report.vm_count, greedy.report.total_bandwidth
+            );
+            println!(
+                "FFD:           {} ({} VMs, {} bandwidth)",
+                ffd.report.total_cost, ffd.report.vm_count, ffd.report.total_bandwidth
+            );
+            println!(
+                "refined:       {} ({} VMs, {} bandwidth)",
+                refined.report.total_cost, refined.report.vm_count, refined.report.total_bandwidth
+            );
+            println!(
+                "lower bound:   {} ({} VMs, {} volume)",
+                refined.report.lower_bound_cost,
+                refined.report.lower_bound_vms,
+                refined.report.lower_bound_volume
+            );
+            if let Some(r) = &refined.refinement {
+                println!("refinement: {r}");
+            }
+            if let Some(path) = lp_path {
+                let lp = export_lp(
+                    &inst,
+                    &cost,
+                    IlpOptions {
+                        max_vms: greedy.report.vm_count,
+                    },
+                );
+                std::fs::write(&path, lp).map_err(|e| format!("writing {path}: {e}"))?;
+                println!("LP written to {path}");
             }
             Ok(())
         }
@@ -1285,6 +1553,7 @@ fn run(command: Command) -> Result<(), String> {
             shards,
             threads,
             partitioner,
+            refine,
             effective,
             scale,
             simulate,
@@ -1317,6 +1586,7 @@ fn run(command: Command) -> Result<(), String> {
                 selector,
                 allocator,
                 sharding,
+                refine,
             });
             let outcome = solver
                 .solve(&mcss_instance, &cost)
@@ -1326,6 +1596,9 @@ fn run(command: Command) -> Result<(), String> {
                 .validate(mcss_instance.workload(), mcss_instance.tau())
                 .map_err(|e| format!("internal error — invalid allocation: {e}"))?;
             println!("{}", outcome.report);
+            if let Some(r) = &outcome.refinement {
+                println!("refinement: {r}");
+            }
             println!(
                 "bandwidth at full scale: {:.2} GB",
                 cost.volume_to_gb(outcome.report.total_bandwidth)
@@ -1365,6 +1638,8 @@ fn run(command: Command) -> Result<(), String> {
             resume,
             drill,
             repair_budget,
+            compact_every,
+            compact_steps,
             sync_retries,
             retry_backoff_ms,
             effective,
@@ -1393,6 +1668,9 @@ fn run(command: Command) -> Result<(), String> {
             }
             if let Some(pairs) = repair_budget {
                 config = config.with_repair_budget(pairs);
+            }
+            if let Some(every) = compact_every {
+                config = config.with_compaction(every, compact_steps);
             }
             let cost_box: Box<dyn CostModel> = Box::new(cost);
             let mut daemon = if resume {
@@ -1566,11 +1844,13 @@ fn run(command: Command) -> Result<(), String> {
                         apply_ms[(((apply_ms.len() - 1) as f64) * p).round() as usize]
                     }
                 };
+                let compaction_moves: u64 = stats.iter().map(|s| s.compaction_moves).sum();
                 let json = format!(
                     "{{\n  \"trace\": \"{family}\",\n  \"subscribers\": {size},\n  \
                      \"epochs\": {},\n  \"events\": {total_events},\n  \
                      \"duration_s\": {:.3},\n  \"events_per_sec\": {events_per_sec:.1},\n  \
                      \"apply_ms_p50\": {:.3},\n  \"apply_ms_p99\": {:.3},\n  \
+                     \"compaction_moves\": {compaction_moves},\n  \
                      \"final_vms\": {},\n  \"final_cost\": \"{}\",\n  \"resumed\": {resume}\n}}\n",
                     stats.len(),
                     elapsed.as_secs_f64(),
@@ -1600,8 +1880,16 @@ fn print_epoch(s: &EpochStats) {
     } else {
         String::new()
     };
+    let compaction = if s.compaction_moves > 0 {
+        format!(
+            " [compacted: {} moves, saved {}]",
+            s.compaction_moves, s.compaction_saved
+        )
+    } else {
+        String::new()
+    };
     println!(
-        "epoch {:>3}: {:>5} events, {:>4} VMs, cost {}, +{} -{} pairs (evicted {}, reused {}), {:.2} ms{}{}",
+        "epoch {:>3}: {:>5} events, {:>4} VMs, cost {}, +{} -{} pairs (evicted {}, reused {}), {:.2} ms{}{}{compaction}",
         s.epoch,
         s.events_applied,
         s.vm_count,
@@ -1757,6 +2045,7 @@ mod tests {
             shards: 1,
             threads: 0,
             partitioner: PartitionerKind::default(),
+            refine: None,
             effective: true,
             scale: Some((300, 100_000)),
             simulate: true,
@@ -1772,6 +2061,7 @@ mod tests {
             shards: 4,
             threads: 2,
             partitioner: PartitionerKind::Hash { seed: 42 },
+            refine: Some(SearchBudget::steps(256)),
             effective: true,
             scale: Some((300, 100_000)),
             simulate: true,
@@ -1828,6 +2118,174 @@ mod tests {
         assert!(err.contains("--shards"), "unexpected: {err}");
         assert!(parse(&["solve", "t.tsv", "--tau", "10", "--threads", "0"]).is_err());
         assert!(parse(&["solve", "t.tsv", "--tau", "10", "--partitioner", "magic"]).is_err());
+    }
+
+    #[test]
+    fn refine_budget_grammar() {
+        assert_eq!(parse_budget("500").unwrap(), SearchBudget::steps(500));
+        assert_eq!(
+            parse_budget("100ms").unwrap(),
+            SearchBudget::time(std::time::Duration::from_millis(100))
+        );
+        assert_eq!(
+            parse_budget("2s").unwrap(),
+            SearchBudget::time(std::time::Duration::from_secs(2))
+        );
+        assert!(parse_budget("0ms").is_err());
+        assert!(parse_budget("0s").is_err());
+        assert!(parse_budget("fast").is_err());
+        // A zero step budget is legal: an explicit no-op refinement.
+        assert_eq!(parse_budget("0").unwrap(), SearchBudget::steps(0));
+
+        let cmd = parse(&["solve", "t.tsv", "--tau", "10", "--refine", "64"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Solve {
+                refine: Some(b),
+                ..
+            } if b == SearchBudget::steps(64)
+        ));
+        assert!(parse(&["solve", "t.tsv", "--tau", "10", "--refine"]).is_err());
+    }
+
+    #[test]
+    fn pack_parses_and_validates() {
+        let cmd = parse(&["pack", "t.tsv", "--tau", "100"]).unwrap();
+        match cmd {
+            Command::Pack {
+                trace,
+                tau,
+                mixed,
+                refine,
+                export_lp,
+                ..
+            } => {
+                assert_eq!(trace, "t.tsv");
+                assert_eq!(tau, 100);
+                assert!(!mixed);
+                assert_eq!(refine, SearchBudget::UNBOUNDED);
+                assert_eq!(export_lp, None);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        let cmd = parse(&[
+            "pack",
+            "t.tsv",
+            "--tau",
+            "100",
+            "--refine",
+            "100ms",
+            "--export-lp",
+            "prog.lp",
+        ])
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Pack {
+                export_lp: Some(ref p),
+                ..
+            } if p == "prog.lp"
+        ));
+        assert!(parse(&["pack", "t.tsv"]).unwrap_err().contains("--tau"));
+        // The LP formulation is homogeneous-only.
+        let err = parse(&[
+            "pack",
+            "t.tsv",
+            "--tau",
+            "1",
+            "--mixed",
+            "--export-lp",
+            "p.lp",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--export-lp"), "unexpected: {err}");
+        assert!(parse(&["pack", "t.tsv", "--tau", "1", "--frob"]).is_err());
+    }
+
+    #[test]
+    fn pack_runs_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("mcss-cli-pack-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.tsv");
+        let lp = dir.join("prog.lp");
+        run(Command::Generate {
+            family: "spotify".into(),
+            size: 300,
+            seed: 3,
+            out: Some(trace.display().to_string()),
+        })
+        .unwrap();
+        run(Command::Pack {
+            trace: trace.display().to_string(),
+            tau: 50,
+            instance: instances::C3_LARGE,
+            mixed: false,
+            refine: SearchBudget::steps(512),
+            export_lp: Some(lp.display().to_string()),
+            effective: true,
+            scale: Some((300, 100_000)),
+        })
+        .unwrap();
+        let program = std::fs::read_to_string(&lp).unwrap();
+        assert!(program.starts_with("\\ MCSS integer program"));
+        assert!(program.contains("Minimize"));
+        run(Command::Pack {
+            trace: trace.display().to_string(),
+            tau: 50,
+            instance: instances::C3_LARGE,
+            mixed: true,
+            refine: SearchBudget::steps(512),
+            export_lp: None,
+            effective: true,
+            scale: Some((300, 100_000)),
+        })
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_compaction_flags_parse_and_validate() {
+        let cmd = parse(&[
+            "serve",
+            "--trace",
+            "spotify",
+            "--compact-every",
+            "4",
+            "--compact-steps",
+            "128",
+        ])
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve {
+                compact_every: Some(4),
+                compact_steps: 128,
+                ..
+            }
+        ));
+        // Defaults: compaction off, 2048 steps when enabled bare.
+        let cmd = parse(&["serve", "--trace", "spotify"]).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve {
+                compact_every: None,
+                compact_steps: 2_048,
+                ..
+            }
+        ));
+        assert!(parse(&["serve", "--trace", "spotify", "--compact-every", "0"]).is_err());
+        assert!(parse(&[
+            "serve",
+            "--trace",
+            "spotify",
+            "--compact-every",
+            "4",
+            "--compact-steps",
+            "0"
+        ])
+        .is_err());
+        assert!(parse(&["serve", "--trace", "spotify", "--compact-steps", "64"]).is_err());
     }
 
     #[test]
@@ -2057,6 +2515,8 @@ mod tests {
             resume: false,
             drill: Vec::new(),
             repair_budget: None,
+            compact_every: Some(2),
+            compact_steps: 512,
             sync_retries: 0,
             retry_backoff_ms: 0,
             effective: true,
@@ -2089,6 +2549,8 @@ mod tests {
             resume: true,
             drill: Vec::new(),
             repair_budget: None,
+            compact_every: Some(2),
+            compact_steps: 512,
             sync_retries: 0,
             retry_backoff_ms: 0,
             effective: true,
@@ -2343,6 +2805,8 @@ mod tests {
             resume: false,
             drill: vec![(1, KillSpec::List(vec![0])), (2, KillSpec::Percent(20))],
             repair_budget: Some(10),
+            compact_every: None,
+            compact_steps: 2_048,
             sync_retries: 1,
             retry_backoff_ms: 0,
             effective: true,

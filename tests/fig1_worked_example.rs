@@ -10,6 +10,7 @@
 
 use mcss::model::{Bandwidth, Rate, SubscriberId, TopicId, Workload};
 use mcss::prelude::*;
+use mcss::solver::ilp::{export_lp, IlpOptions};
 use mcss::solver::stage2::{cheaper_to_distribute, CbpConfig};
 use mcss::solver::Selection;
 
@@ -116,6 +117,41 @@ fn fig1_bandwidth_80_vs_50() {
     assert!(ff.validate(&w, Rate::new(30)).is_ok());
     assert!(cbp.validate(&w, Rate::new(30)).is_ok());
     let _ = (SubscriberId::new(0), TopicId::new(0));
+}
+
+/// The exact integer program (Eq. 1–3) rendered for the Fig. 1
+/// instance, pinned byte-for-byte as a golden file. The formulation is
+/// the cross-check surface for external solvers (`mcss pack
+/// --export-lp`), so any drift in variable naming, linearization, or
+/// pricing must be deliberate. Regenerate with
+/// `MCSS_BLESS=1 cargo test --test fig1_worked_example lp_export`.
+#[test]
+fn lp_export_matches_golden() {
+    let mut b = Workload::builder();
+    let t1 = b.add_topic(Rate::new(20)).unwrap();
+    let t2 = b.add_topic(Rate::new(10)).unwrap();
+    b.add_subscriber([t1, t2]).unwrap();
+    b.add_subscriber([t1, t2]).unwrap();
+    b.add_subscriber([t2]).unwrap();
+    let inst = McssInstance::new(b.build(), Rate::new(30), Bandwidth::new(70)).unwrap();
+    let cost = Ec2CostModel::paper_default(cloud_cost::instances::C3_LARGE);
+
+    // Two candidate VMs, matching the figure's deployment.
+    let lp = export_lp(&inst, &cost, IlpOptions { max_vms: 2 });
+    assert!(lp.starts_with("\\ MCSS integer program"));
+
+    let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fig1.lp");
+    if std::env::var_os("MCSS_BLESS").is_some() {
+        std::fs::write(golden, &lp).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(golden)
+        .expect("tests/golden/fig1.lp missing; regenerate with MCSS_BLESS=1");
+    assert_eq!(
+        lp, want,
+        "LP export drifted from tests/golden/fig1.lp; \
+         if the change is deliberate, regenerate with MCSS_BLESS=1"
+    );
 }
 
 /// Fig. 1's narrative also exercises Alg. 7 directly. With the figure's
