@@ -8,16 +8,20 @@ use cloud_cost::{instances, Ec2CostModel, FleetCostModel, InstanceType};
 use mcss_core::dynamic::DriftModel;
 use mcss_core::incremental::{IncrementalConfig, IncrementalReallocator, SlaBudget};
 use mcss_core::planner::plan_mixed;
-use mcss_core::serve::{Daemon, Driver, ServeConfig};
+use mcss_core::serve::{Daemon, Driver, ServeConfig, Snapshot};
 use mcss_core::stage1::{GreedySelectPairs, PairSelector, RandomSelectPairs};
 use mcss_core::stage2::{improve, Allocator, CbpConfig, CustomBinPacking, FirstFitBinPacking};
 use mcss_core::{
     lower_bound, AllocatorKind, McssInstance, MemoryFootprint, PartitionerKind, SearchBudget,
     SelectorKind, ShardingConfig, Solver, SolverParams,
 };
-use pubsub_model::{Bandwidth, Rate};
+use mcss_store::WorkloadStoreExt;
+use pubsub_model::{Bandwidth, Rate, Workload};
+use pubsub_traces::io::{read_workload, write_workload};
 use pubsub_traces::{analysis, TwitterLike};
 use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -946,6 +950,233 @@ pub fn fig_solve_speedup(
     (out, json)
 }
 
+/// Zero-rebuild cold-start experiment (extension, not a paper figure):
+/// time loading each scenario's workload from its `MCSSTOR1` store —
+/// one read plus a bounds-checked fixup — against re-parsing the TSV
+/// trace and rebuilding every arena from scratch, the only cold-start
+/// path that existed before the store. Every measured load (both
+/// paths) is asserted bit-identical to the generator's workload,
+/// ranked and follower arenas included.
+///
+/// A serve-recovery coda on the *first* scenario replays a short
+/// daemon session, snapshots it, and times `Daemon::resume` from the
+/// store-format (v3) snapshot versus the same state re-written in the
+/// legacy `MCSSNAP1` layout, whose load pays the full derived-state
+/// rebuild. Returns the human-readable report and the machine-readable
+/// JSON document (`BENCH_store.json`).
+pub fn fig_store_load(
+    scenarios: &[&Scenario],
+    instance: InstanceType,
+    tau: u64,
+    reps: u32,
+) -> (String, String) {
+    assert!(reps > 0, "need at least one measured load");
+    let dir = std::env::temp_dir().join(format!("mcss-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench scratch dir is writable");
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# cold start, MCSSTOR1 store load vs trace parse + arena rebuild, \
+         {reps} loads per path"
+    );
+    let mut t = Table::new(vec![
+        "trace".into(),
+        "subs".into(),
+        "trace bytes".into(),
+        "store bytes".into(),
+        "parse ns/load".into(),
+        "store ns/load".into(),
+        "speedup".into(),
+        "identical=".into(),
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for scenario in scenarios {
+        let trace_path = dir.join(format!("{}.tsv", scenario.name));
+        let store_path = dir.join(format!("{}.mcss", scenario.name));
+        let file = File::create(&trace_path).expect("trace file is writable");
+        write_workload(BufWriter::new(file), &scenario.workload).expect("trace writes");
+        scenario
+            .workload
+            .to_store(&store_path)
+            .expect("store writes");
+        let trace_bytes = std::fs::metadata(&trace_path).expect("trace exists").len();
+        let store_bytes = std::fs::metadata(&store_path).expect("store exists").len();
+
+        let parse = || {
+            let file = File::open(&trace_path).expect("trace opens");
+            read_workload(BufReader::new(file)).expect("trace parses")
+        };
+        let load = || Workload::from_store(&store_path).expect("store loads");
+
+        // Warm-up primes the page cache so both paths read warm files,
+        // and sweeps the per-row arenas once — the reps loop then leans
+        // on whole-struct equality, which covers the same arenas.
+        assert_eq!(
+            parse(),
+            *scenario.workload,
+            "{}: TSV round-trip diverged",
+            scenario.name
+        );
+        let warm = load();
+        assert_eq!(
+            warm, *scenario.workload,
+            "{}: store round-trip diverged",
+            scenario.name
+        );
+        for v in scenario.workload.subscribers() {
+            assert_eq!(warm.interests(v), scenario.workload.interests(v));
+            assert_eq!(
+                warm.ranked_interests(v),
+                scenario.workload.ranked_interests(v)
+            );
+        }
+        drop(warm);
+
+        // Each path gets its own batched loop (rather than alternating
+        // within one loop) so neither inherits the other's allocator
+        // state; bit-identity is asserted per measured load — divergence
+        // aborts the experiment, so a written report always means
+        // "identical".
+        let mut parse_ns = 0u128;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let parsed = parse();
+            parse_ns += t0.elapsed().as_nanos();
+            assert_eq!(
+                parsed, *scenario.workload,
+                "{}: trace parse diverged from the generator workload",
+                scenario.name
+            );
+        }
+        let mut store_ns = 0u128;
+        for _ in 0..reps {
+            let t1 = Instant::now();
+            let loaded = load();
+            store_ns += t1.elapsed().as_nanos();
+            assert_eq!(
+                loaded, *scenario.workload,
+                "{}: store load diverged from the generator workload",
+                scenario.name
+            );
+        }
+        let parse_per = (parse_ns / u128::from(reps)).max(1);
+        let store_per = (store_ns / u128::from(reps)).max(1);
+        let speedup = parse_per as f64 / store_per as f64;
+        let subs = scenario.workload.num_subscribers();
+        t.row(vec![
+            scenario.name.to_string(),
+            subs.to_string(),
+            trace_bytes.to_string(),
+            store_bytes.to_string(),
+            parse_per.to_string(),
+            store_per.to_string(),
+            format!("{speedup:.2}x"),
+            // Asserted above: a load that diverges never reaches here.
+            "true".to_string(),
+        ]);
+        json_rows.push(format!(
+            "    {{\"trace\": \"{}\", \"subscribers\": {subs}, \
+             \"trace_bytes\": {trace_bytes}, \"store_bytes\": {store_bytes}, \
+             \"trace_ns_per_load\": {parse_per}, \"store_ns_per_load\": {store_per}, \
+             \"speedup\": {speedup:.2}, \"identical_workload\": true}}",
+            scenario.name
+        ));
+    }
+    let _ = writeln!(out, "{}", t.render());
+
+    // Serve-recovery coda: the satellite bugfix means `Daemon::resume`
+    // now loads the snapshot's derived sections instead of re-deriving
+    // them; the legacy layout is re-written over the same state so both
+    // timings recover the *identical* daemon.
+    let serve = scenarios.first().expect("at least one scenario");
+    let serve_dir = dir.join("serve");
+    let cost = serve.cost_model(instance);
+    let capacity = cost.capacity();
+    let config = ServeConfig::new(Rate::new(tau), capacity).with_snapshot_every(0);
+    let mut daemon =
+        Daemon::create(&serve_dir, config, Box::new(cost)).expect("serve state dir is writable");
+    let drift = DriftModel {
+        rate_sigma: 0.05,
+        churn_prob: 0.05,
+        seed: 20140601,
+    };
+    let mut driver = Driver::new((*serve.workload).clone(), drift);
+    for batch in 0..3 {
+        let events = if batch == 0 {
+            driver.initial_events()
+        } else {
+            driver.next_epoch_events()
+        };
+        for e in events {
+            daemon.submit(e).expect("driver events are valid");
+        }
+        daemon.tick().expect("epoch applies");
+    }
+    let snap_path = daemon.snapshot_now().expect("snapshot writes");
+
+    let resume_ms = |label: &str| {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let recovered =
+                Daemon::resume(&serve_dir, config, Box::new(serve.cost_model(instance)))
+                    .expect("recovery succeeds");
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(
+                recovered.allocation(),
+                daemon.allocation(),
+                "{label}: recovered fleet must be bit-identical"
+            );
+            assert_eq!(
+                recovered.selection(),
+                daemon.selection(),
+                "{label}: recovered selection must be bit-identical"
+            );
+            assert_eq!(
+                recovered.workload(),
+                daemon.workload(),
+                "{label}: recovered workload arenas must be bit-identical"
+            );
+        }
+        best
+    };
+    let store_ms = resume_ms("store snapshot");
+    let snap = Snapshot::load(&snap_path).expect("snapshot loads");
+    snap.write_legacy(&snap_path)
+        .expect("legacy snapshot writes");
+    let legacy_ms = resume_ms("legacy snapshot");
+    let recovery_speedup = legacy_ms / store_ms;
+
+    let _ = writeln!(
+        out,
+        "# serve recovery, {} trace, {} subscribers, bootstrap + 2 drift \
+         batches: resume from legacy MCSSNAP1 snapshot {legacy_ms:.2} ms vs \
+         MCSSTOR1 store snapshot {store_ms:.2} ms ({recovery_speedup:.2}x, \
+         best of {reps}; recovered daemons asserted bit-identical)",
+        serve.name,
+        serve.workload.num_subscribers()
+    );
+    let _ = writeln!(
+        out,
+        "# every measured load asserted bit-identical to the generator \
+         workload, ranked and follower arenas included"
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"store_load\",\n  \"tau\": {tau},\n  \"reps\": {reps},\n  \
+         \"unit\": \"ns_per_load\",\n  \"results\": [\n{}\n  ],\n  \
+         \"serve_recovery\": {{\"trace\": \"{}\", \"subscribers\": {}, \
+         \"legacy_ms\": {legacy_ms:.3}, \"store_ms\": {store_ms:.3}, \
+         \"speedup\": {recovery_speedup:.2}}}\n}}\n",
+        json_rows.join(",\n"),
+        serve.name,
+        serve.workload.num_subscribers()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    (out, json)
+}
+
 /// Mixed-fleet experiment (extension, not a paper figure): solve each
 /// scenario over the full c3 catalogue both ways — one heterogeneous
 /// fleet versus the best homogeneous instance type — and verify the
@@ -1598,6 +1829,21 @@ mod tests {
         assert!(json.contains("\"bench\": \"cold_solve\""));
         assert!(json.contains("\"identical_output\": true"));
         assert!(json.contains("ns_per_solve"));
+    }
+
+    #[test]
+    fn store_load_report_runs_on_small_scenarios() {
+        let spotify = Scenario::spotify(400, 9);
+        let twitter = Scenario::twitter(300, 9);
+        let (text, json) = fig_store_load(&[&spotify, &twitter], instances::C3_LARGE, 50, 2);
+        assert!(text.contains("store ns/load"), "no load table:\n{text}");
+        assert!(text.contains("serve recovery"), "no recovery line:\n{text}");
+        assert!(!text.contains("false"), "a load diverged:\n{text}");
+        assert!(json.contains("\"bench\": \"store_load\""));
+        assert!(json.contains("\"identical_workload\": true"));
+        assert!(json.contains("\"store_ns_per_load\""));
+        assert!(json.contains("\"serve_recovery\""));
+        assert!(json.contains("\"legacy_ms\""));
     }
 
     #[test]

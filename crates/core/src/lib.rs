@@ -28,6 +28,7 @@
 //! | §VI online repair (future work, extension) | [`incremental`] |
 //! | O(Δ) churn ledger (extension) | [`FleetLedger`] |
 //! | event-sourced serving + crash recovery (extension) | [`serve`] |
+//! | zero-rebuild single-file store (extension) | [`store`], `mcss_store` |
 //! | shard-parallel solving + fleet merge (extension) | [`ShardedSolver`], [`ShardingConfig`] |
 //! | Best-/Next-Fit baselines (extension) | [`stage2::BestFitBinPacking`], [`stage2::NextFitBinPacking`] |
 //! | heterogeneous (mixed) fleets (extension) | [`stage2::MixedFleetPacker`], [`FleetTyping`], [`Solver::solve_mixed`] |
@@ -83,6 +84,7 @@ pub mod serve;
 mod shard;
 pub mod stage1;
 pub mod stage2;
+pub mod store;
 
 pub use allocation::{Allocation, AllocationError, FleetTyping, TopicPlacement, VmAllocation};
 pub use error::McssError;

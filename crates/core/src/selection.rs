@@ -103,6 +103,31 @@ impl Selection {
         }
     }
 
+    /// The raw packed CSR (offset table + flat topic arena), for
+    /// arena-preserving serialization (the `MCSSTOR1` store).
+    pub(crate) fn raw_csr(&self) -> (&[u32], &[TopicId]) {
+        (&self.offsets, &self.topics)
+    }
+
+    /// Rebuilds a selection from a raw packed CSR as written by
+    /// [`Selection::raw_csr`] — the fallible twin of
+    /// [`Selection::from_csr`], for untrusted on-disk input.
+    pub(crate) fn try_from_csr_u32(
+        offsets: Vec<u32>,
+        topics: Vec<TopicId>,
+    ) -> Result<Selection, String> {
+        if offsets.first() != Some(&0) {
+            return Err("selection offsets must start at 0".into());
+        }
+        if offsets.last().map(|&o| o as usize) != Some(topics.len()) {
+            return Err("selection offsets must end at the topic buffer length".into());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("selection offsets must be monotone".into());
+        }
+        Ok(Selection { offsets, topics })
+    }
+
     /// Starts an empty row-by-row builder.
     pub fn builder() -> SelectionBuilder {
         SelectionBuilder::new()

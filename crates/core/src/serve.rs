@@ -12,10 +12,11 @@
 //!   daemon-written `EpochMark` that pins epoch boundaries into the log;
 //! * [`EventLog`] — an append-only, CRC-checksummed log with monotonic
 //!   sequence numbers and torn-tail-tolerant replay;
-//! * [`Snapshot`] — a checksummed point-in-time capture of the primary
-//!   state (workload rates + interests, the Stage-1 [`Selection`], the
-//!   [`FleetLedger`] slot table, and the last applied sequence number),
-//!   written atomically;
+//! * [`Snapshot`] — a point-in-time capture written as an `MCSSTOR1`
+//!   store container: the full workload arenas (primaries *and* derived
+//!   tables), the Stage-1 [`Selection`] CSR, the [`FleetLedger`] slot
+//!   table, and the last applied sequence number, each a checksummed
+//!   section, written atomically;
 //! * [`Daemon`] — the serve loop: buffer events into the current epoch,
 //!   close the epoch on a watermark ([`ServeConfig::with_epoch_events`])
 //!   or an external tick ([`Daemon::tick`]), fold the buffered
@@ -28,21 +29,26 @@
 //!
 //! # Crash consistency
 //!
-//! Recovery ([`Daemon::resume`]) loads the latest snapshot (if any),
-//! rebuilds every derived structure from the snapshot's primaries —
-//! workload CSR arenas via [`Workload::from_parts`], ledger heaps and
-//! reverse index via [`FleetLedger::from_slots`], the re-allocator
-//! basis via [`IncrementalReallocator::restore`] — and replays the log
-//! suffix past the snapshot's sequence number, re-applying an epoch at
-//! every `EpochMark`. Because every derived structure is a deterministic
-//! function of the primaries (the lazy heaps tolerate stale entries but
-//! never require them), the recovered daemon is **bit-identical** to one
-//! that never stopped: same selections, same placements, same future
-//! decisions. The crash-replay property test
-//! (`crates/core/tests/serve_replay.rs`) kills a daemon at an arbitrary
-//! event index and asserts exactly that.
+//! Recovery ([`Daemon::resume`]) loads the latest snapshot (if any) and
+//! replays the log suffix past its sequence number, re-applying an
+//! epoch at every `EpochMark`. A store-format snapshot already holds
+//! every workload arena, so the daemon adopts it with zero rebuild —
+//! only the ledger heaps and reverse index ([`FleetLedger::from_slots`])
+//! and the re-allocator basis ([`IncrementalReallocator::restore`]) are
+//! reconstructed, both cheap and deterministic. Legacy snapshots
+//! rebuild the workload arenas once, on upcast inside
+//! [`Snapshot::load`]. Either way every derived structure is a
+//! deterministic function of the persisted state (the lazy heaps
+//! tolerate stale entries but never require them), so the recovered
+//! daemon is **bit-identical** to one that never stopped: same
+//! selections, same placements, same future decisions. The crash-replay
+//! property test (`crates/core/tests/serve_replay.rs`) kills a daemon
+//! at an arbitrary event index and asserts exactly that — ranked and
+//! follower arenas included.
 //!
-//! On-disk formats are documented field-by-field in `docs/SERVE.md`.
+//! On-disk formats are documented field-by-field in `docs/SERVE.md`
+//! (event log, legacy snapshots) and `docs/STORE.md` (the store
+//! container snapshots use since format v3).
 
 use crate::dynamic::{DriftModel, WorkloadDelta};
 use crate::incremental::{IncrementalConfig, IncrementalReallocator, SlaBudget};
@@ -50,6 +56,7 @@ use crate::ledger::{FleetLedger, LedgerSlot};
 use crate::stage2::SearchBudget;
 use crate::{Allocation, McssError, McssInstance, Selection};
 use cloud_cost::{CostModel, Money};
+use mcss_store::{section as store_section, StoreBuilder, StoreError, StoreReader};
 use pubsub_model::{Bandwidth, Rate, SubscriberId, TopicId, Workload, WorkloadEdit};
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
@@ -70,9 +77,13 @@ const SNAP_MAGIC: &[u8; 8] = b"MCSSNAP1";
 /// layouts are a strict subset), after which the header is rewritten in
 /// place so the next append targets the current version.
 const LOG_VERSION: u32 = 2;
-/// Current snapshot format. Version 2 widened the per-slot tombstone
-/// byte into a state byte (0 = live, 1 = tombstoned, 2 = failed);
-/// version-1 snapshots upcast on load with `failed = false` everywhere.
+/// Newest *legacy* snapshot format (`MCSSNAP1`). Version 2 widened the
+/// per-slot tombstone byte into a state byte (0 = live, 1 = tombstoned,
+/// 2 = failed); version-1 snapshots upcast on load with `failed = false`
+/// everywhere. Format v3 abandoned this magic entirely: snapshots are
+/// now `MCSSTOR1` store containers (see [`Snapshot`] and
+/// `docs/STORE.md`), and [`Snapshot::load`] dispatches on the magic so
+/// v1/v2 files keep loading via the rebuild path.
 const SNAP_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------
@@ -137,19 +148,13 @@ impl From<McssError> for ServeError {
 // CRC32 and little-endian codec helpers
 // ---------------------------------------------------------------------
 
-/// CRC-32 (IEEE 802.3, reflected 0xEDB88320), bitwise — the log and
-/// snapshot are written once per batch, so table-free is plenty.
-fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320), shared with the store
+// container so log records, legacy snapshots, and store sections all
+// checksum identically. The store's table-driven implementation replaced
+// the bitwise loop that used to live here — snapshots grew to tens of
+// megabytes at a million subscribers, where bitwise CRC alone costs
+// ~100 ms per write.
+use mcss_store::crc32;
 
 fn put_u32(buf: &mut Vec<u8>, x: u32) {
     buf.extend_from_slice(&x.to_le_bytes());
@@ -672,15 +677,21 @@ impl EventLog {
 // Snapshots
 // ---------------------------------------------------------------------
 
-/// A checksummed point-in-time capture of the daemon's primary state
-/// (module docs; on-disk layout in `docs/SERVE.md`). Everything the
-/// solver derives — follower CSR, rate-ranked arenas, ledger heaps and
-/// reverse index — is rebuilt from these fields on load.
+/// A checksummed point-in-time capture of the daemon's state (module
+/// docs; on-disk layout in `docs/STORE.md` and `docs/SERVE.md`).
+///
+/// Since format v3 a snapshot is an `MCSSTOR1` store container whose
+/// sections are the raw arenas — the full workload (primaries *and*
+/// derived tables), the Stage-1 selection CSR, and the ledger slot
+/// table — so [`Snapshot::load`] performs **zero rebuild**: no interest
+/// transpose, no rate ranking, just checksum sweeps and bounds checks.
+/// Legacy `MCSSNAP1` (v1/v2) snapshots, which stored primaries only,
+/// still load with the old rebuild path and are upcast transparently.
 ///
 /// ```
 /// use mcss_core::serve::Snapshot;
 /// use mcss_core::Selection;
-/// use pubsub_model::{Bandwidth, Rate, TopicId};
+/// use pubsub_model::{Bandwidth, Rate, TopicId, Workload};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let dir = std::env::temp_dir().join(format!("mcss-snap-doc-{}", std::process::id()));
@@ -692,15 +703,14 @@ impl EventLog {
 ///     epochs_applied: 1,
 ///     tau: Rate::new(10),
 ///     capacity: Bandwidth::new(50),
-///     rates: vec![Rate::new(10)],
-///     interests: vec![vec![TopicId::new(0)]],
+///     workload: Workload::from_parts(vec![Rate::new(10)], vec![vec![TopicId::new(0)]]),
 ///     selection: Selection::from_csr(vec![0, 1], vec![TopicId::new(0)]),
 ///     slots: Vec::new(),
 /// };
 /// snapshot.write(&path)?;   // atomically: tmp file + rename
 /// let loaded = Snapshot::load(&path)?;
 /// assert_eq!(loaded.last_seq, 3);
-/// assert_eq!(loaded.rates, vec![Rate::new(10)]);
+/// assert_eq!(loaded.workload, snapshot.workload); // bit-identical, zero rebuild
 /// # std::fs::remove_dir_all(&dir)?;
 /// # Ok(())
 /// # }
@@ -716,10 +726,9 @@ pub struct Snapshot {
     pub tau: Rate,
     /// The per-VM capacity the daemon runs at.
     pub capacity: Bandwidth,
-    /// Per-topic event rates (the primary of the workload arenas).
-    pub rates: Vec<Rate>,
-    /// Per-subscriber interest rows (the other workload primary).
-    pub interests: Vec<Vec<TopicId>>,
+    /// The full workload as of the last applied epoch — all six arenas,
+    /// persisted verbatim so recovery never re-derives them.
+    pub workload: Workload,
     /// The Stage-1 selection as of the last applied epoch.
     pub selection: Selection,
     /// The fleet ledger's slot table, tombstones included.
@@ -727,18 +736,24 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// The legacy `MCSSNAP1` body: primaries only (rates + interest
+    /// rows), derived from the workload arenas. Kept so
+    /// [`Snapshot::write_legacy`] can produce v1/v2 files for upcast
+    /// tests and before/after recovery benchmarks.
     fn encode_body(&self) -> Vec<u8> {
         let mut b = Vec::new();
         put_u64(&mut b, self.last_seq);
         put_u64(&mut b, self.epochs_applied);
         put_u64(&mut b, self.tau.get());
         put_u64(&mut b, self.capacity.get());
-        put_u32(&mut b, self.rates.len() as u32);
-        for r in &self.rates {
+        let rates = self.workload.rates();
+        put_u32(&mut b, rates.len() as u32);
+        for r in rates {
             put_u64(&mut b, r.get());
         }
-        put_u32(&mut b, self.interests.len() as u32);
-        for row in &self.interests {
+        put_u32(&mut b, self.workload.num_subscribers() as u32);
+        for v in self.workload.subscribers() {
+            let row = self.workload.interests(v);
             put_u32(&mut b, row.len() as u32);
             for t in row {
                 put_u32(&mut b, t.index() as u32);
@@ -849,8 +864,61 @@ impl Snapshot {
             epochs_applied,
             tau,
             capacity,
-            rates,
-            interests,
+            // Legacy snapshots carry primaries only; the derived arenas
+            // (follower CSR, rate ranking) are rebuilt here, once, on
+            // upcast. Store-format snapshots skip this entirely.
+            workload: Workload::from_parts(rates, interests),
+            selection,
+            slots,
+        })
+    }
+
+    /// Serializes the v3 snapshot: an `MCSSTOR1` container holding the
+    /// serve metadata plus every arena section verbatim.
+    fn to_store_bytes(&self) -> Vec<u8> {
+        let mut store = StoreBuilder::new();
+        store.u64s(
+            store_section::SERVE_META,
+            &[
+                self.last_seq,
+                self.epochs_applied,
+                self.tau.get(),
+                self.capacity.get(),
+            ],
+        );
+        mcss_store::write_workload_sections(&mut store, &self.workload);
+        crate::store::write_selection_sections(&mut store, &self.selection);
+        crate::store::write_ledger_sections(&mut store, &self.slots);
+        store.to_bytes()
+    }
+
+    /// Deserializes a v3 (store-container) snapshot with zero derived-
+    /// state rebuild.
+    fn from_store_bytes(bytes: Vec<u8>, path: &Path) -> Result<Snapshot, ServeError> {
+        let as_corrupt = |e: StoreError| ServeError::Corrupt {
+            path: path.to_path_buf(),
+            detail: format!("corrupted snapshot: {e}"),
+        };
+        let mut reader = StoreReader::from_bytes(bytes).map_err(as_corrupt)?;
+        let meta = reader.u64s(store_section::SERVE_META).map_err(as_corrupt)?;
+        let [last_seq, epochs_applied, tau, capacity] = meta[..] else {
+            return Err(ServeError::Corrupt {
+                path: path.to_path_buf(),
+                detail: format!(
+                    "corrupted snapshot: section `serve-meta` must hold 4 u64s, found {}",
+                    meta.len()
+                ),
+            });
+        };
+        let workload = mcss_store::read_workload_sections(&mut reader).map_err(as_corrupt)?;
+        let selection = crate::store::read_selection_sections(&reader).map_err(as_corrupt)?;
+        let slots = crate::store::read_ledger_sections(&reader).map_err(as_corrupt)?;
+        Ok(Snapshot {
+            last_seq,
+            epochs_applied,
+            tau: Rate::new(tau),
+            capacity: Bandwidth::new(capacity),
+            workload,
             selection,
             slots,
         })
@@ -880,14 +948,7 @@ impl Snapshot {
         path: &Path,
         injector: Option<FaultInjector>,
     ) -> Result<(), ServeError> {
-        let body = self.encode_body();
-        let mut bytes = Vec::with_capacity(24 + body.len());
-        bytes.extend_from_slice(SNAP_MAGIC);
-        put_u32(&mut bytes, SNAP_VERSION);
-        put_u32(&mut bytes, crc32(&body));
-        put_u64(&mut bytes, body.len() as u64);
-        bytes.extend_from_slice(&body);
-
+        let bytes = self.to_store_bytes();
         let tmp = path.with_extension("bin.tmp");
         let mut file = FaultFile {
             file: File::create(&tmp)?,
@@ -900,12 +961,44 @@ impl Snapshot {
         Ok(())
     }
 
-    /// Loads and validates a snapshot.
+    /// Writes the snapshot in the *legacy* `MCSSNAP1` v2 layout
+    /// (primaries only, single whole-body checksum), atomically like
+    /// [`Snapshot::write`]. Loading such a file pays the full derived-
+    /// state rebuild — exactly what pre-store daemons did — so this
+    /// exists for upcast tests and for benchmarking recovery before vs
+    /// after the store format (`fig_store_load`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Snapshot::write`].
+    pub fn write_legacy(&self, path: &Path) -> Result<(), ServeError> {
+        let body = self.encode_body();
+        let mut bytes = Vec::with_capacity(24 + body.len());
+        bytes.extend_from_slice(SNAP_MAGIC);
+        put_u32(&mut bytes, SNAP_VERSION);
+        put_u32(&mut bytes, crc32(&body));
+        put_u64(&mut bytes, body.len() as u64);
+        bytes.extend_from_slice(&body);
+
+        let tmp = path.with_extension("bin.tmp");
+        let mut file = File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_data()?;
+        drop(file);
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads and validates a snapshot, dispatching on the file magic:
+    /// `MCSSTOR1` containers (format v3) load with zero rebuild; legacy
+    /// `MCSSNAP1` files (v1/v2) decode the old primaries-only body and
+    /// rebuild derived state once, on upcast.
     ///
     /// # Errors
     ///
     /// [`ServeError::Corrupt`] on bad magic, unsupported version,
-    /// checksum mismatch, or truncated/inconsistent contents;
+    /// checksum mismatch, or truncated/inconsistent contents — naming
+    /// the failing store section where one is attributable;
     /// [`ServeError::Io`] on filesystem failures.
     pub fn load(path: &Path) -> Result<Snapshot, ServeError> {
         let corrupt = |detail: &str| ServeError::Corrupt {
@@ -913,6 +1006,9 @@ impl Snapshot {
             detail: format!("corrupted snapshot: {detail}"),
         };
         let bytes = fs::read(path)?;
+        if bytes.len() >= 8 && &bytes[..8] == mcss_store::MAGIC {
+            return Snapshot::from_store_bytes(bytes, path);
+        }
         if bytes.len() < 24 || &bytes[..8] != SNAP_MAGIC {
             return Err(corrupt("not an mcss snapshot (bad magic)"));
         }
@@ -1258,16 +1354,20 @@ impl Daemon {
                     config.capacity.get()
                 )));
             }
-            let workload = Arc::new(Workload::from_parts(
-                snap.rates.clone(),
-                snap.interests.clone(),
-            ));
+            // Adopt the snapshot's workload as-is: a store-format (v3)
+            // snapshot carries every derived arena — follower CSR, rate
+            // ranking — so nothing is re-derived here. (Resume used to
+            // call `Workload::from_parts` and rebuild it all even when
+            // the snapshot was fresh; only legacy-snapshot upcasts pay
+            // that rebuild now, inside `Snapshot::load`.)
+            let rates = snap.workload.rates().to_vec();
+            let workload = Arc::new(snap.workload);
             edit = WorkloadEdit::from_workload(&workload);
             realloc.restore(
                 snap.selection,
                 FleetLedger::from_slots(snap.slots),
                 snap.capacity,
-                snap.rates,
+                rates,
                 config.tau,
             );
             prev = Some(workload);
@@ -1605,11 +1705,7 @@ impl Daemon {
             epochs_applied: self.epochs_applied,
             tau: self.config.tau,
             capacity,
-            rates: workload.rates().to_vec(),
-            interests: workload
-                .subscribers()
-                .map(|v| workload.interests(v).to_vec())
-                .collect(),
+            workload: workload.as_ref().clone(),
             selection: selection.clone(),
             slots: ledger.snapshot_slots(),
         };
@@ -1907,8 +2003,7 @@ mod tests {
             epochs_applied: 1,
             tau: Rate::new(10),
             capacity: Bandwidth::new(50),
-            rates: vec![Rate::new(10)],
-            interests: vec![vec![t(0)]],
+            workload: Workload::from_parts(vec![Rate::new(10)], vec![vec![t(0)]]),
             selection: Selection::from_csr(vec![0, 1], vec![t(0)]),
             slots: vec![LedgerSlot {
                 tombstone: false,
@@ -1922,8 +2017,10 @@ mod tests {
         let loaded = Snapshot::load(&path).unwrap();
         assert_eq!(loaded.last_seq, 2);
         assert_eq!(loaded.slots, snapshot.slots);
+        assert_eq!(loaded.workload, snapshot.workload);
 
-        // Flip one body byte: load must fail with a checksum complaint.
+        // Flip one payload byte (the last byte of the file lands in the
+        // final section): load must fail closed, naming the section.
         let mut bytes = fs::read(&path).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
@@ -1932,6 +2029,10 @@ mod tests {
         assert!(
             err.to_string().contains("corrupted snapshot"),
             "unexpected error: {err}"
+        );
+        assert!(
+            err.to_string().contains("CRC32 check"),
+            "corruption should be attributed to a section checksum: {err}"
         );
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -2070,8 +2171,7 @@ mod tests {
             epochs_applied: 2,
             tau: Rate::new(10),
             capacity: Bandwidth::new(50),
-            rates: vec![Rate::new(10)],
-            interests: vec![vec![t(0)]],
+            workload: Workload::from_parts(vec![Rate::new(10)], vec![vec![t(0)]]),
             selection: Selection::from_csr(vec![0, 1], vec![t(0)]),
             slots: vec![
                 LedgerSlot {
@@ -2090,7 +2190,7 @@ mod tests {
                 },
             ],
         };
-        snapshot.write(&path).unwrap();
+        snapshot.write_legacy(&path).unwrap();
         // With no failed slots the v2 body is byte-identical to the v1
         // encoding (the slot-state byte equals the old tombstone byte),
         // so rewriting the header version yields a genuine v1 snapshot.
@@ -2100,6 +2200,9 @@ mod tests {
         let loaded = Snapshot::load(&path).unwrap();
         assert_eq!(loaded.slots, snapshot.slots);
         assert!(loaded.slots.iter().all(|s| !s.failed));
+        // The legacy body stored primaries only; the upcast rebuild must
+        // still land on bit-identical arenas.
+        assert_eq!(loaded.workload, snapshot.workload);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,172 @@
+//! Solver-side section codecs for the `MCSSTOR1` store: the Stage-1
+//! [`Selection`] CSR and the [`crate::FleetLedger`] slot table (as
+//! [`LedgerSlot`] rows). The container itself — header, section table,
+//! checksums, atomic writes — lives in the [`mcss_store`] crate; this
+//! module only maps solver types onto sections, so daemon snapshots and
+//! ad-hoc tools share one on-disk vocabulary (`docs/STORE.md`).
+
+use crate::{LedgerSlot, Selection};
+use mcss_store::{section, section_name, StoreBuilder, StoreError, StoreReader};
+use pubsub_model::{Bandwidth, SubscriberId, TopicId};
+
+fn malformed(section_id: u32, detail: impl Into<String>) -> StoreError {
+    StoreError::SectionMalformed {
+        section: section_name(section_id).to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// Appends the two selection sections (CSR offsets + flat topic arena),
+/// written verbatim from the in-memory packed representation.
+pub fn write_selection_sections(store: &mut StoreBuilder, selection: &Selection) {
+    let (offsets, topics) = selection.raw_csr();
+    store.u32s(section::SELECTION_OFFSETS, offsets);
+    store.u32s(
+        section::SELECTION_TOPICS,
+        &topics.iter().map(|t| t.raw()).collect::<Vec<_>>(),
+    );
+}
+
+/// Reassembles a [`Selection`] from its two sections.
+///
+/// # Errors
+///
+/// Container errors from the reader, or
+/// [`StoreError::SectionMalformed`] when the CSR is structurally
+/// inconsistent.
+pub fn read_selection_sections(store: &StoreReader) -> Result<Selection, StoreError> {
+    let offsets = store.u32s(section::SELECTION_OFFSETS)?;
+    let topics: Vec<TopicId> = store
+        .u32s(section::SELECTION_TOPICS)?
+        .into_iter()
+        .map(TopicId::new)
+        .collect();
+    Selection::try_from_csr_u32(offsets, topics)
+        .map_err(|detail| malformed(section::SELECTION_OFFSETS, detail))
+}
+
+/// Slot-state encoding shared with the legacy snapshot format: 0 live,
+/// 1 tombstoned, 2 failed (failure implies tombstone).
+fn slot_state(slot: &LedgerSlot) -> u32 {
+    if slot.failed {
+        2
+    } else {
+        u32::from(slot.tombstone)
+    }
+}
+
+/// Appends the four fleet-ledger sections: a fixed-width slot table
+/// (`cap`, `used`, state, row count — two u64s + two u32s per slot) and
+/// a three-arena CSR of the placement rows (one topic id per row, row
+/// offsets into the flat subscriber arena).
+pub fn write_ledger_sections(store: &mut StoreBuilder, slots: &[LedgerSlot]) {
+    let total_rows: usize = slots.iter().map(|s| s.rows.len()).sum();
+    let mut table = Vec::with_capacity(slots.len() * 24);
+    let mut row_topics = Vec::with_capacity(total_rows);
+    let mut row_offsets = Vec::with_capacity(total_rows + 1);
+    let mut subscribers = Vec::new();
+    row_offsets.push(0u32);
+    for slot in slots {
+        table.extend_from_slice(&slot.cap.get().to_le_bytes());
+        table.extend_from_slice(&slot.used.get().to_le_bytes());
+        table.extend_from_slice(&slot_state(slot).to_le_bytes());
+        table.extend_from_slice(&(slot.rows.len() as u32).to_le_bytes());
+        for (topic, subs) in &slot.rows {
+            row_topics.push(topic.raw());
+            subscribers.extend(subs.iter().map(|v| v.raw()));
+            row_offsets.push(subscribers.len() as u32);
+        }
+    }
+    store.section(section::LEDGER_SLOTS, table);
+    store.u32s(section::LEDGER_ROW_TOPICS, &row_topics);
+    store.u32s(section::LEDGER_ROW_OFFSETS, &row_offsets);
+    store.u32s(section::LEDGER_SUBSCRIBERS, &subscribers);
+}
+
+/// Reassembles the slot table written by [`write_ledger_sections`],
+/// suitable for [`crate::FleetLedger::from_slots`].
+///
+/// # Errors
+///
+/// Container errors from the reader, or
+/// [`StoreError::SectionMalformed`] naming the first section whose
+/// contents are inconsistent (bad state byte, non-monotone row offsets,
+/// row counts that disagree with the arena lengths).
+pub fn read_ledger_sections(store: &StoreReader) -> Result<Vec<LedgerSlot>, StoreError> {
+    const SLOT_BYTES: usize = 24;
+    let table = store.bytes(section::LEDGER_SLOTS)?;
+    if table.len() % SLOT_BYTES != 0 {
+        return Err(malformed(
+            section::LEDGER_SLOTS,
+            format!("{} bytes is not a whole number of slots", table.len()),
+        ));
+    }
+    let row_topics = store.u32s(section::LEDGER_ROW_TOPICS)?;
+    let row_offsets = store.u32s(section::LEDGER_ROW_OFFSETS)?;
+    let subscribers = store.u32s(section::LEDGER_SUBSCRIBERS)?;
+    if row_offsets.len() != row_topics.len() + 1 {
+        return Err(malformed(
+            section::LEDGER_ROW_OFFSETS,
+            "row offsets must hold one entry per row plus a total",
+        ));
+    }
+    if row_offsets.first().copied() != Some(0)
+        || row_offsets.last().map(|&o| o as usize) != Some(subscribers.len())
+        || row_offsets.windows(2).any(|w| w[0] > w[1])
+    {
+        return Err(malformed(
+            section::LEDGER_ROW_OFFSETS,
+            "row offsets must climb from 0 to the subscriber-arena length",
+        ));
+    }
+
+    let mut slots = Vec::with_capacity(table.len() / SLOT_BYTES);
+    let mut row = 0usize;
+    for record in table.chunks_exact(SLOT_BYTES) {
+        let cap = Bandwidth::new(u64::from_le_bytes(record[0..8].try_into().unwrap()));
+        let used = Bandwidth::new(u64::from_le_bytes(record[8..16].try_into().unwrap()));
+        let state = u32::from_le_bytes(record[16..20].try_into().unwrap());
+        let row_count = u32::from_le_bytes(record[20..24].try_into().unwrap()) as usize;
+        let (tombstone, failed) = match state {
+            0 => (false, false),
+            1 => (true, false),
+            2 => (true, true),
+            other => {
+                return Err(malformed(
+                    section::LEDGER_SLOTS,
+                    format!("slot state {other} is not live/tombstoned/failed"),
+                ));
+            }
+        };
+        if row + row_count > row_topics.len() {
+            return Err(malformed(
+                section::LEDGER_SLOTS,
+                "slot row counts overrun the row arenas",
+            ));
+        }
+        let rows = (row..row + row_count)
+            .map(|r| {
+                let subs = subscribers[row_offsets[r] as usize..row_offsets[r + 1] as usize]
+                    .iter()
+                    .map(|&v| SubscriberId::new(v))
+                    .collect();
+                (TopicId::new(row_topics[r]), subs)
+            })
+            .collect();
+        row += row_count;
+        slots.push(LedgerSlot {
+            tombstone,
+            failed,
+            cap,
+            used,
+            rows,
+        });
+    }
+    if row != row_topics.len() {
+        return Err(malformed(
+            section::LEDGER_SLOTS,
+            "slot row counts do not cover the row arenas",
+        ));
+    }
+    Ok(slots)
+}

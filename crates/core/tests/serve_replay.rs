@@ -121,10 +121,18 @@ proptest! {
         prop_assert_eq!(live.allocation(), recovered.allocation());
         let lw = live.workload().unwrap();
         let rw = recovered.workload().unwrap();
+        // Whole-struct equality covers every arena — primaries, the
+        // derived follower CSR, and the rate-ranked interest rows that a
+        // store-format snapshot loads verbatim instead of re-deriving.
+        prop_assert_eq!(lw, rw);
         prop_assert_eq!(lw.rates(), rw.rates());
         prop_assert_eq!(lw.num_subscribers(), rw.num_subscribers());
         for v in lw.subscribers() {
             prop_assert_eq!(lw.interests(v), rw.interests(v));
+            prop_assert_eq!(lw.ranked_interests(v), rw.ranked_interests(v));
+        }
+        for t in lw.topics() {
+            prop_assert_eq!(lw.subscribers_of(t), rw.subscribers_of(t));
         }
 
         std::fs::remove_dir_all(&dir_a).ok();

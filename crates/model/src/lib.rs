@@ -55,4 +55,6 @@ pub use ids::{Pair, SubscriberId, TopicId};
 pub use stats::WorkloadStats;
 pub use units::{Bandwidth, Rate, MAX_RATE};
 pub use view::WorkloadView;
-pub use workload::{ValidationIssue, Workload, WorkloadBuilder, WorkloadError, WorkloadFootprint};
+pub use workload::{
+    ValidationIssue, Workload, WorkloadArenas, WorkloadBuilder, WorkloadError, WorkloadFootprint,
+};

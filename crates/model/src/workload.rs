@@ -29,6 +29,10 @@ pub enum WorkloadError {
     /// The flat interest arena would exceed `u32::MAX` pairs, which the
     /// packed u32 CSR offsets cannot address.
     TooManyPairs,
+    /// A raw arena handed to [`Workload::from_arenas`] is structurally
+    /// inconsistent (offsets not monotone, ids out of range, mismatched
+    /// lengths). The message names the failing arena.
+    MalformedArenas(&'static str),
 }
 
 impl fmt::Display for WorkloadError {
@@ -58,6 +62,9 @@ impl fmt::Display for WorkloadError {
                     f,
                     "workload exceeds u32::MAX topic-subscriber pairs (the u32 CSR offset limit)"
                 )
+            }
+            WorkloadError::MalformedArenas(detail) => {
+                write!(f, "malformed workload arenas: {detail}")
             }
         }
     }
@@ -142,6 +149,30 @@ fn vec_bytes<T>(v: &Vec<T>) -> usize {
     v.capacity() * std::mem::size_of::<T>()
 }
 
+/// A borrowed view of every CSR arena backing a [`Workload`] — primaries
+/// *and* derived tables — in the exact in-memory layout. This is the
+/// serialization surface for arena-preserving stores: writing these six
+/// slices verbatim (little-endian) and handing them back to
+/// [`Workload::from_arenas`] reconstructs the workload with zero per-row
+/// work. Produced by [`Workload::arenas`].
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadArenas<'a> {
+    /// `ev_t`, indexed by topic.
+    pub rates: &'a [Rate],
+    /// CSR offsets into `interest_topics` (and `ranked_topics`);
+    /// `len = |V| + 1`.
+    pub interest_offsets: &'a [u32],
+    /// Flat `T_v` arena; each row sorted, deduplicated.
+    pub interest_topics: &'a [TopicId],
+    /// Flat rate-ranked `T_v` arena; same row boundaries as
+    /// `interest_topics`.
+    pub ranked_topics: &'a [TopicId],
+    /// CSR offsets into `follower_ids`; `len = |T| + 1`.
+    pub follower_offsets: &'a [u32],
+    /// Flat derived `V_t` arena; each row sorted.
+    pub follower_ids: &'a [SubscriberId],
+}
+
 /// Serialized form of a [`Workload`]: only the primary data (in the same
 /// CSR layout the workload stores); derived tables are rebuilt on
 /// deserialization.
@@ -192,7 +223,7 @@ impl From<Workload> for WorkloadData {
 /// [`Workload::from_parts_evolved`].
 ///
 /// See the [crate-level example](crate) for typical usage.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 #[serde(from = "WorkloadData", into = "WorkloadData")]
 pub struct Workload {
     /// `ev_t`, indexed by topic.
@@ -237,6 +268,137 @@ impl Workload {
     pub fn from_parts(rates: Vec<Rate>, interests: Vec<Vec<TopicId>>) -> Workload {
         let (interest_offsets, interest_topics) = normalize_interests(rates.len(), interests);
         Workload::from_csr_u32(rates, interest_offsets, interest_topics)
+    }
+
+    /// Reassembles a workload from *all six* raw arenas — primaries and
+    /// derived tables alike — exactly as exposed by
+    /// [`Workload::arenas`]. Unlike [`Workload::from_parts`] this never
+    /// transposes, sorts, or ranks anything: the cost is a handful of
+    /// O(|T| + |V| + P) bounds scans (offset monotonicity, id ranges)
+    /// plus an O(|T|) total-rate sum, so loading a million-subscriber
+    /// workload from an arena-preserving store is memory-bandwidth
+    /// bound, not rebuild bound.
+    ///
+    /// The scans guarantee memory safety (every accessor index stays in
+    /// bounds); *semantic* consistency — rows sorted and deduplicated,
+    /// the follower CSR being the true transpose, the ranked arena's
+    /// rate order — is the writer's contract, normally guarded by the
+    /// store's per-section checksums.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::MalformedArenas`] naming the inconsistent arena
+    /// when offsets are not monotone from 0 to the payload length, the
+    /// ranked arena's length differs from the interest arena's, an id is
+    /// out of range, or the pair count exceeds the packed u32 limit.
+    pub fn from_arenas(
+        rates: Vec<Rate>,
+        interest_offsets: Vec<u32>,
+        interest_topics: Vec<TopicId>,
+        ranked_topics: Vec<TopicId>,
+        follower_offsets: Vec<u32>,
+        follower_ids: Vec<SubscriberId>,
+    ) -> Result<Workload, WorkloadError> {
+        fn check_offsets(
+            offsets: &[u32],
+            payload_len: usize,
+            what: &'static str,
+        ) -> Result<(), WorkloadError> {
+            let malformed = WorkloadError::MalformedArenas(what);
+            if offsets.first() != Some(&0) {
+                return Err(malformed);
+            }
+            if offsets.last().map(|&o| o as usize) != Some(payload_len) {
+                return Err(malformed);
+            }
+            // A branchless monotonicity fold (rather than an early-exit
+            // `any`) so the scan vectorizes; million-entry offset arenas
+            // cross this on every store load.
+            let monotone = offsets
+                .iter()
+                .zip(&offsets[1..])
+                .fold(true, |ok, (a, b)| ok & (a <= b));
+            if !monotone {
+                return Err(malformed);
+            }
+            Ok(())
+        }
+        if interest_topics.len() > u32::MAX as usize {
+            return Err(WorkloadError::TooManyPairs);
+        }
+        if rates.len() > u32::MAX as usize || interest_offsets.len() > u32::MAX as usize {
+            return Err(WorkloadError::TooManyEntities);
+        }
+        check_offsets(
+            &interest_offsets,
+            interest_topics.len(),
+            "interest offsets must climb from 0 to the interest-arena length",
+        )?;
+        if ranked_topics.len() != interest_topics.len() {
+            return Err(WorkloadError::MalformedArenas(
+                "ranked arena length must equal the interest arena length",
+            ));
+        }
+        if follower_offsets.len() != rates.len() + 1 {
+            return Err(WorkloadError::MalformedArenas(
+                "follower offsets must have one entry per topic plus a total",
+            ));
+        }
+        check_offsets(
+            &follower_offsets,
+            follower_ids.len(),
+            "follower offsets must climb from 0 to the follower-arena length",
+        )?;
+        if follower_ids.len() != interest_topics.len() {
+            return Err(WorkloadError::MalformedArenas(
+                "follower arena must hold exactly one id per interest pair",
+            ));
+        }
+        // Range checks as max-folds instead of early-exit `any` scans:
+        // the reduction vectorizes, and on valid data (the only hot
+        // case — every store load) both forms scan the full arena.
+        let num_topics = rates.len() as u32;
+        let max_topic = |ids: &[TopicId]| ids.iter().map(|t| t.raw()).max();
+        if max_topic(&interest_topics).is_some_and(|m| m >= num_topics)
+            || max_topic(&ranked_topics).is_some_and(|m| m >= num_topics)
+        {
+            return Err(WorkloadError::MalformedArenas(
+                "interest/ranked arenas reference a topic id out of range",
+            ));
+        }
+        let num_subscribers = (interest_offsets.len() - 1) as u32;
+        let max_follower = follower_ids.iter().map(|v| v.raw()).max();
+        if max_follower.is_some_and(|m| m >= num_subscribers) {
+            return Err(WorkloadError::MalformedArenas(
+                "follower arena references a subscriber id out of range",
+            ));
+        }
+        let pair_count = interest_topics.len() as u64;
+        let total_rate = rates.iter().copied().sum();
+        Ok(Workload {
+            rates,
+            interest_offsets,
+            interest_topics,
+            ranked_topics,
+            follower_offsets,
+            follower_ids,
+            pair_count,
+            total_rate,
+        })
+    }
+
+    /// Borrows all six raw arenas at once (primaries and derived
+    /// tables), in construction layout — the write-side counterpart of
+    /// [`Workload::from_arenas`].
+    pub fn arenas(&self) -> WorkloadArenas<'_> {
+        WorkloadArenas {
+            rates: &self.rates,
+            interest_offsets: &self.interest_offsets,
+            interest_topics: &self.interest_topics,
+            ranked_topics: &self.ranked_topics,
+            follower_offsets: &self.follower_offsets,
+            follower_ids: &self.follower_ids,
+        }
     }
 
     /// Rebuilds a workload from a wire-format CSR interest table with

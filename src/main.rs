@@ -19,6 +19,7 @@ use mcss_core::{
     AllocatorKind, McssInstance, PartitionerKind, SearchBudget, SelectorKind, ShardingConfig,
     Solver, SolverParams,
 };
+use mcss_store::{StoreReader, WorkloadStoreExt};
 use pubsub_model::{Rate, Workload};
 use pubsub_sim::failure::{fail_vms, fragility_profile};
 use pubsub_sim::{SimConfig, Simulation};
@@ -26,7 +27,7 @@ use pubsub_traces::io::{read_workload, write_workload};
 use pubsub_traces::{SpotifyLike, TwitterLike};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -50,8 +51,15 @@ USAGE:
                                              kill VMs and repair the fleet
                                              under an SLA pairs budget
   mcss generate <spotify|twitter> [options]  write a synthetic trace
+  mcss ingest <trace.tsv> --out <file.mcss>  convert a trace to the binary
+                                             MCSSTOR1 store (load it back
+                                             with --store, zero rebuild)
   mcss analyze <trace.tsv> [options]         print workload statistics
   mcss help                                  this text
+
+Commands that take <trace.tsv> positionally (solve, reprovision,
+analyze) accept --store FILE instead: the workload then loads from an
+ingested MCSSTOR1 store — one read plus checksums, no per-row parsing.
 
 SOLVE OPTIONS:
   --tau N                satisfaction threshold (required)
@@ -66,6 +74,8 @@ SOLVE OPTIONS:
                          search: \"500\" caps moves, \"100ms\"/\"2s\" caps
                          wall-clock (wall-clock runs are not
                          reproducible step for step)     [off]
+  --store FILE           load the workload from an MCSSTOR1 store
+                         instead of the positional trace path
   --effective            use the figure-calibrated capacity (DESIGN.md §3)
   --scale SYNTH/PAPER    volume-scale compensation ratio
   --simulate             replay the window through the broker simulation
@@ -105,12 +115,17 @@ REPROVISION OPTIONS:
   --mixed                deploy on a heterogeneous fleet over the whole
                          catalogue (--instance is ignored); selections
                          stay bit-identical to the homogeneous run
+  --store FILE           load the workload from an MCSSTOR1 store
+                         instead of the positional trace path
   --effective            use the figure-calibrated capacity
   --scale SYNTH/PAPER    volume-scale compensation ratio
   --simulate             replay each epoch through the broker simulation
 
 SERVE OPTIONS:
-  --trace FAMILY         spotify | twitter (required)
+  --trace FAMILY         spotify | twitter (required unless --store)
+  --store FILE           seed the stream from an ingested MCSSTOR1
+                         store instead of a generated --trace family
+                         (--size and --seed are then ignored)
   --size N               subscribers (spotify) or users (twitter) [2000]
   --seed N               trace RNG seed                           [42]
   --tau N                satisfaction threshold                   [100]
@@ -159,6 +174,9 @@ DRILL OPTIONS:
   --scale SYNTH/PAPER    volume-scale compensation ratio
 
 ANALYZE OPTIONS:
+  --store FILE           analyze an MCSSTOR1 store instead of a trace;
+                         also prints on-disk bytes per section next to
+                         the resident footprint
   --blast-radius K       solve the trace and print the top-K VMs by
                          blast radius (subscribers starved if that VM
                          dies); needs --tau
@@ -171,13 +189,16 @@ GENERATE OPTIONS:
   --size N               subscribers (spotify) or users (twitter) [10000]
   --seed N               RNG seed                                 [42]
   --out FILE             output path                              [stdout]
+
+INGEST OPTIONS:
+  --out FILE             output store path (required)
 ";
 
 /// A parsed invocation.
 #[derive(Clone, Debug, PartialEq)]
 enum Command {
     Solve {
-        trace: String,
+        source: WorkloadSource,
         tau: u64,
         instance: InstanceType,
         selector: SelectorKind,
@@ -208,7 +229,7 @@ enum Command {
         scale: Option<(u64, u64)>,
     },
     Reprovision {
-        trace: String,
+        source: WorkloadSource,
         tau: u64,
         instance: InstanceType,
         epochs: u64,
@@ -228,8 +249,12 @@ enum Command {
         seed: u64,
         out: Option<String>,
     },
-    Analyze {
+    Ingest {
         trace: String,
+        out: String,
+    },
+    Analyze {
+        source: WorkloadSource,
         blast_radius: Option<usize>,
         tau: Option<u64>,
         instance: InstanceType,
@@ -247,7 +272,8 @@ enum Command {
         scale: Option<(u64, u64)>,
     },
     Serve {
-        family: String,
+        family: Option<String>,
+        store: Option<String>,
         size: usize,
         seed: u64,
         tau: u64,
@@ -274,6 +300,41 @@ enum Command {
         simulate: bool,
     },
     Help,
+}
+
+/// Where a command's workload comes from: a TSV trace (parsed row by
+/// row) or an ingested `MCSSTOR1` store (one read plus checksums, zero
+/// per-row work — see `docs/STORE.md`).
+#[derive(Clone, Debug, PartialEq)]
+enum WorkloadSource {
+    /// A `pubsub-trace v1` TSV path (the positional argument).
+    Trace(String),
+    /// An `MCSSTOR1` store path (the `--store` flag).
+    Store(String),
+}
+
+impl WorkloadSource {
+    /// Resolves the optional positional trace and the `--store` flag
+    /// into exactly one source, or explains what is missing.
+    fn resolve(trace: Option<String>, store: Option<String>, cmd: &str) -> Result<Self, String> {
+        match (trace, store) {
+            (Some(t), None) => Ok(WorkloadSource::Trace(t)),
+            (None, Some(s)) => Ok(WorkloadSource::Store(s)),
+            (Some(_), Some(_)) => Err(format!(
+                "{cmd} takes either a trace path or --store, not both"
+            )),
+            (None, None) => Err(format!("{cmd} needs a trace path or --store FILE")),
+        }
+    }
+}
+
+/// Consumes the optional positional path: present unless the argument
+/// list is exhausted or the next token is a flag.
+fn take_positional(it: &mut std::iter::Peekable<std::slice::Iter<'_, String>>) -> Option<String> {
+    match it.peek() {
+        Some(arg) if !arg.starts_with("--") => Some(it.next().expect("peeked").clone()),
+        _ => None,
+    }
 }
 
 /// A parsed kill list: explicit VM indices or a share of the fleet.
@@ -358,17 +419,15 @@ fn parse_instance(name: &str) -> Result<InstanceType, String> {
 }
 
 fn parse_args(args: &[String]) -> Result<Command, String> {
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     let Some(cmd) = it.next() else {
         return Ok(Command::Help);
     };
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "analyze" => {
-            let trace = it
-                .next()
-                .ok_or_else(|| "analyze needs a trace path".to_string())?
-                .clone();
+            let trace = take_positional(&mut it);
+            let mut store: Option<String> = None;
             let mut blast_radius = None;
             let mut tau = None;
             let mut instance = instances::C3_LARGE;
@@ -376,6 +435,13 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut scale = None;
             while let Some(flag) = it.next() {
                 match flag.as_str() {
+                    "--store" => {
+                        store = Some(
+                            it.next()
+                                .ok_or_else(|| "--store needs a path".to_string())?
+                                .clone(),
+                        )
+                    }
                     "--blast-radius" => {
                         let k: usize = next_num(&mut it, "--blast-radius")?;
                         if k == 0 {
@@ -398,8 +464,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             if blast_radius.is_some() && tau.is_none() {
                 return Err("--blast-radius needs --tau (it solves the trace)".into());
             }
+            let source = WorkloadSource::resolve(trace, store, "analyze")?;
             Ok(Command::Analyze {
-                trace,
+                source,
                 blast_radius,
                 tau,
                 instance,
@@ -497,6 +564,27 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 out,
             })
         }
+        "ingest" => {
+            let trace = it
+                .next()
+                .ok_or_else(|| "ingest needs a trace path".to_string())?
+                .clone();
+            let mut out: Option<String> = None;
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--out" => {
+                        out = Some(
+                            it.next()
+                                .ok_or_else(|| "--out needs a path".to_string())?
+                                .clone(),
+                        )
+                    }
+                    other => return Err(format!("unknown ingest flag {other:?}")),
+                }
+            }
+            let out = out.ok_or_else(|| "--out is required (the store path)".to_string())?;
+            Ok(Command::Ingest { trace, out })
+        }
         "plan" => {
             let trace = it
                 .next()
@@ -525,10 +613,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             })
         }
         "reprovision" => {
-            let trace = it
-                .next()
-                .ok_or_else(|| "reprovision needs a trace path".to_string())?
-                .clone();
+            let trace = take_positional(&mut it);
+            let mut store: Option<String> = None;
             let mut tau: Option<u64> = None;
             let mut instance = instances::C3_LARGE;
             let mut epochs = 5u64;
@@ -577,6 +663,13 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                             .ok_or_else(|| "--instance needs a name".to_string())?;
                         instance = parse_instance(name)?;
                     }
+                    "--store" => {
+                        store = Some(
+                            it.next()
+                                .ok_or_else(|| "--store needs a path".to_string())?
+                                .clone(),
+                        )
+                    }
                     "--effective" => effective = true,
                     "--scale" => scale = Some(parse_scale(&mut it)?),
                     "--simulate" => simulate = true,
@@ -584,8 +677,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             let tau = tau.ok_or_else(|| "--tau is required".to_string())?;
+            let source = WorkloadSource::resolve(trace, store, "reprovision")?;
             Ok(Command::Reprovision {
-                trace,
+                source,
                 tau,
                 instance,
                 epochs,
@@ -601,10 +695,8 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             })
         }
         "solve" => {
-            let trace = it
-                .next()
-                .ok_or_else(|| "solve needs a trace path".to_string())?
-                .clone();
+            let trace = take_positional(&mut it);
+            let mut store: Option<String> = None;
             let mut tau: Option<u64> = None;
             let mut instance = instances::C3_LARGE;
             let mut selector = SelectorKind::Greedy;
@@ -675,6 +767,13 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                             other => return Err(format!("unknown allocator {other:?}")),
                         };
                     }
+                    "--store" => {
+                        store = Some(
+                            it.next()
+                                .ok_or_else(|| "--store needs a path".to_string())?
+                                .clone(),
+                        )
+                    }
                     "--effective" => effective = true,
                     "--simulate" => simulate = true,
                     "--scale" => scale = Some(parse_scale(&mut it)?),
@@ -682,8 +781,9 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             let tau = tau.ok_or_else(|| "--tau is required".to_string())?;
+            let source = WorkloadSource::resolve(trace, store, "solve")?;
             Ok(Command::Solve {
-                trace,
+                source,
                 tau,
                 instance,
                 selector,
@@ -758,6 +858,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
         }
         "serve" => {
             let mut family: Option<String> = None;
+            let mut store: Option<String> = None;
             let mut size = 2_000usize;
             let mut seed = 42u64;
             let mut tau = 100u64;
@@ -793,6 +894,13 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                             return Err(format!("unknown trace family {name:?}"));
                         }
                         family = Some(name.clone());
+                    }
+                    "--store" => {
+                        store = Some(
+                            it.next()
+                                .ok_or_else(|| "--store needs a path".to_string())?
+                                .clone(),
+                        )
                     }
                     "--size" => size = next_num(&mut it, "--size")?,
                     "--seed" => seed = next_num(&mut it, "--seed")?,
@@ -901,8 +1009,14 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
                     other => return Err(format!("unknown serve flag {other:?}")),
                 }
             }
-            let family =
-                family.ok_or_else(|| "--trace is required: spotify | twitter".to_string())?;
+            if family.is_some() && store.is_some() {
+                return Err(
+                    "--trace and --store are mutually exclusive (one initial workload)".into(),
+                );
+            }
+            if family.is_none() && store.is_none() {
+                return Err("--trace is required: spotify | twitter (or --store FILE)".into());
+            }
             if epoch_events.is_some() && epoch_ms.is_some() {
                 return Err("--epoch-events and --epoch-ms are mutually exclusive".into());
             }
@@ -928,6 +1042,7 @@ fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Serve {
                 family,
+                store,
                 size,
                 seed,
                 tau,
@@ -1020,6 +1135,15 @@ fn load_trace(path: &str) -> Result<Workload, String> {
     read_workload(BufReader::new(file)).map_err(|e| e.to_string())
 }
 
+fn load_source(source: &WorkloadSource) -> Result<Workload, String> {
+    match source {
+        WorkloadSource::Trace(path) => load_trace(path),
+        WorkloadSource::Store(path) => {
+            Workload::from_store(Path::new(path)).map_err(|e| format!("loading store {path}: {e}"))
+        }
+    }
+}
+
 /// The whole instance catalogue priced under the chosen calibration —
 /// the candidate list for `plan` and the tier table for `--mixed`.
 fn catalogue(effective: bool, scale: Option<(u64, u64)>) -> Vec<Ec2CostModel> {
@@ -1046,14 +1170,14 @@ fn run(command: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Analyze {
-            trace,
+            source,
             blast_radius,
             tau,
             instance,
             effective,
             scale,
         } => {
-            let workload = load_trace(&trace)?;
+            let workload = load_source(&source)?;
             println!("{}", workload.stats());
             let issues = workload.validate();
             if issues.is_empty() {
@@ -1069,6 +1193,22 @@ fn run(command: Command) -> Result<(), String> {
                 "{}",
                 mcss_core::MemoryFootprint::measure(&workload, None, None)
             );
+            if let WorkloadSource::Store(path) = &source {
+                // The on-disk shape of what we just loaded: one line
+                // per section next to the resident footprint above.
+                let reader = StoreReader::open(Path::new(path))
+                    .map_err(|e| format!("reopening store {path}: {e}"))?;
+                let subs = workload.num_subscribers().max(1) as f64;
+                println!(
+                    "\non-disk store:     {} bytes in {} sections ({:.1} bytes/subscriber)",
+                    reader.file_len(),
+                    reader.sections().len(),
+                    reader.file_len() as f64 / subs
+                );
+                for info in reader.sections() {
+                    println!("  {:<18} {:>12} bytes", info.name, info.len);
+                }
+            }
             if let Some(k) = blast_radius {
                 let tau = tau.expect("parser enforces --tau with --blast-radius");
                 let mut cost = if effective {
@@ -1228,6 +1368,29 @@ fn run(command: Command) -> Result<(), String> {
                     write_workload(stdout.lock(), &workload).map_err(|e| e.to_string())?;
                 }
             }
+            Ok(())
+        }
+        Command::Ingest { trace, out } => {
+            let parse_started = Instant::now();
+            let workload = load_trace(&trace)?;
+            let parse_ms = parse_started.elapsed().as_secs_f64() * 1e3;
+            workload
+                .to_store(Path::new(&out))
+                .map_err(|e| format!("writing store {out}: {e}"))?;
+            let reader = StoreReader::open(Path::new(&out))
+                .map_err(|e| format!("verifying store {out}: {e}"))?;
+            println!(
+                "ingested {} topics / {} subscribers / {} pairs into {out}",
+                workload.num_topics(),
+                workload.num_subscribers(),
+                workload.pair_count()
+            );
+            println!(
+                "store: {} bytes in {} sections (trace parsed in {parse_ms:.1} ms; \
+                 store loads skip that entirely)",
+                reader.file_len(),
+                reader.sections().len()
+            );
             Ok(())
         }
         Command::Plan {
@@ -1433,7 +1596,7 @@ fn run(command: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Reprovision {
-            trace,
+            source,
             tau,
             instance,
             epochs,
@@ -1447,7 +1610,7 @@ fn run(command: Command) -> Result<(), String> {
             scale,
             simulate,
         } => {
-            let mut workload = load_trace(&trace)?;
+            let mut workload = load_source(&source)?;
             // In mixed mode the scalar cost model (largest tier) only
             // feeds the informational lower bound; epoch costs and
             // capacities come from the fleet.
@@ -1545,7 +1708,7 @@ fn run(command: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Solve {
-            trace,
+            source,
             tau,
             instance,
             selector,
@@ -1558,7 +1721,7 @@ fn run(command: Command) -> Result<(), String> {
             scale,
             simulate,
         } => {
-            let workload = load_trace(&trace)?;
+            let workload = load_source(&source)?;
             let mut cost = if effective {
                 Ec2CostModel::paper_effective(instance)
             } else {
@@ -1622,6 +1785,7 @@ fn run(command: Command) -> Result<(), String> {
         }
         Command::Serve {
             family,
+            store,
             size,
             seed,
             tau,
@@ -1688,9 +1852,22 @@ fn run(command: Command) -> Result<(), String> {
                 );
             }
 
-            let initial = match family.as_str() {
-                "spotify" => SpotifyLike::new(size, seed).generate(),
-                _ => TwitterLike::new(size, seed).generate(),
+            // The stream label doubles as the summary JSON's "trace".
+            let (initial, label) = match (&store, family.as_deref()) {
+                (Some(path), _) => (
+                    Workload::from_store(Path::new(path))
+                        .map_err(|e| format!("loading store {path}: {e}"))?,
+                    format!("store:{path}"),
+                ),
+                (None, Some("spotify")) => {
+                    (SpotifyLike::new(size, seed).generate(), "spotify".into())
+                }
+                (None, _) => (TwitterLike::new(size, seed).generate(), "twitter".into()),
+            };
+            let size = if store.is_some() {
+                initial.num_subscribers()
+            } else {
+                size
             };
             let mut driver = Driver::new(
                 initial,
@@ -1701,7 +1878,7 @@ fn run(command: Command) -> Result<(), String> {
                 },
             );
             println!(
-                "serving {epochs} {family} drift batches (tau {tau}, capacity {}, state {})",
+                "serving {epochs} {label} drift batches (tau {tau}, capacity {}, state {})",
                 capacity.get(),
                 state_dir.display()
             );
@@ -1846,7 +2023,7 @@ fn run(command: Command) -> Result<(), String> {
                 };
                 let compaction_moves: u64 = stats.iter().map(|s| s.compaction_moves).sum();
                 let json = format!(
-                    "{{\n  \"trace\": \"{family}\",\n  \"subscribers\": {size},\n  \
+                    "{{\n  \"trace\": \"{label}\",\n  \"subscribers\": {size},\n  \
                      \"epochs\": {},\n  \"events\": {total_events},\n  \
                      \"duration_s\": {:.3},\n  \"events_per_sec\": {events_per_sec:.1},\n  \
                      \"apply_ms_p50\": {:.3},\n  \"apply_ms_p99\": {:.3},\n  \
@@ -1949,7 +2126,7 @@ mod tests {
         .unwrap();
         match cmd {
             Command::Solve {
-                trace,
+                source,
                 tau,
                 instance,
                 effective,
@@ -1957,7 +2134,7 @@ mod tests {
                 simulate,
                 ..
             } => {
-                assert_eq!(trace, "t.tsv");
+                assert_eq!(source, WorkloadSource::Trace("t.tsv".into()));
                 assert_eq!(tau, 100);
                 assert_eq!(instance.name(), "c3.xlarge");
                 assert!(effective);
@@ -1972,6 +2149,67 @@ mod tests {
     fn solve_requires_tau() {
         let err = parse(&["solve", "t.tsv"]).unwrap_err();
         assert!(err.contains("--tau"));
+    }
+
+    #[test]
+    fn store_source_parses_everywhere() {
+        for cmd in ["solve", "reprovision", "analyze"] {
+            // --store replaces the positional trace path.
+            let parsed = if cmd == "analyze" {
+                parse(&[cmd, "--store", "w.mcss"])
+            } else {
+                parse(&[cmd, "--store", "w.mcss", "--tau", "10"])
+            }
+            .unwrap_or_else(|e| panic!("{cmd} --store failed: {e}"));
+            let source = match parsed {
+                Command::Solve { source, .. }
+                | Command::Reprovision { source, .. }
+                | Command::Analyze { source, .. } => source,
+                other => panic!("parsed {other:?}"),
+            };
+            assert_eq!(source, WorkloadSource::Store("w.mcss".into()));
+            // Both sources at once is ambiguous; neither is missing input.
+            let err = parse(&[cmd, "t.tsv", "--store", "w.mcss", "--tau", "10"]).unwrap_err();
+            assert!(err.contains("not both"), "{cmd}: {err}");
+            let err = if cmd == "analyze" {
+                parse(&[cmd])
+            } else {
+                parse(&[cmd, "--tau", "10"])
+            }
+            .unwrap_err();
+            assert!(err.contains("--store"), "{cmd}: {err}");
+        }
+    }
+
+    #[test]
+    fn serve_store_replaces_the_trace_family() {
+        let cmd = parse(&["serve", "--store", "w.mcss", "--epochs", "2"]).unwrap();
+        match cmd {
+            Command::Serve { family, store, .. } => {
+                assert_eq!(family, None);
+                assert_eq!(store, Some("w.mcss".into()));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        let err = parse(&["serve", "--trace", "spotify", "--store", "w.mcss"]).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "unexpected: {err}");
+        let err = parse(&["serve", "--epochs", "2"]).unwrap_err();
+        assert!(err.contains("--store"), "unexpected: {err}");
+    }
+
+    #[test]
+    fn ingest_parses_and_requires_out() {
+        let cmd = parse(&["ingest", "t.tsv", "--out", "w.mcss"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Ingest {
+                trace: "t.tsv".into(),
+                out: "w.mcss".into()
+            }
+        );
+        assert!(parse(&["ingest", "t.tsv"]).unwrap_err().contains("--out"));
+        assert!(parse(&["ingest"]).is_err());
+        assert!(parse(&["ingest", "t.tsv", "--out", "w.mcss", "--frob"]).is_err());
     }
 
     #[test]
@@ -2015,7 +2253,7 @@ mod tests {
         })
         .unwrap();
         run(Command::Analyze {
-            trace: path.display().to_string(),
+            source: WorkloadSource::Trace(path.display().to_string()),
             blast_radius: None,
             tau: None,
             instance: instances::C3_LARGE,
@@ -2024,7 +2262,7 @@ mod tests {
         })
         .unwrap();
         run(Command::Analyze {
-            trace: path.display().to_string(),
+            source: WorkloadSource::Trace(path.display().to_string()),
             blast_radius: Some(3),
             tau: Some(50),
             instance: instances::C3_LARGE,
@@ -2032,12 +2270,29 @@ mod tests {
             scale: Some((300, 100_000)),
         })
         .unwrap();
+        // Ingest the trace into a store and drive the same commands
+        // from it — the store path must be a drop-in replacement.
+        let store = dir.join("trace.mcss");
+        run(Command::Ingest {
+            trace: path.display().to_string(),
+            out: store.display().to_string(),
+        })
+        .unwrap();
+        run(Command::Analyze {
+            source: WorkloadSource::Store(store.display().to_string()),
+            blast_radius: None,
+            tau: None,
+            instance: instances::C3_LARGE,
+            effective: false,
+            scale: None,
+        })
+        .unwrap();
         // A gentle scale ratio: at 300/4.9M the effective capacity would
         // shrink below a single loud topic's pair cost (the scale
         // artifact DESIGN.md §3 describes — the Scenario harness clamps
         // for that; the raw CLI intentionally does not).
         run(Command::Solve {
-            trace: path.display().to_string(),
+            source: WorkloadSource::Store(store.display().to_string()),
             tau: 50,
             instance: instances::C3_LARGE,
             selector: SelectorKind::Greedy,
@@ -2053,7 +2308,7 @@ mod tests {
         .unwrap();
         // The same trace again, shard-parallel, and ranked by the planner.
         run(Command::Solve {
-            trace: path.display().to_string(),
+            source: WorkloadSource::Trace(path.display().to_string()),
             tau: 50,
             instance: instances::C3_LARGE,
             selector: SelectorKind::Greedy,
@@ -2311,7 +2566,7 @@ mod tests {
         .unwrap();
         match cmd {
             Command::Reprovision {
-                trace,
+                source,
                 tau,
                 epochs,
                 churn,
@@ -2322,7 +2577,7 @@ mod tests {
                 simulate,
                 ..
             } => {
-                assert_eq!(trace, "t.tsv");
+                assert_eq!(source, WorkloadSource::Trace("t.tsv".into()));
                 assert_eq!(tau, 50);
                 assert_eq!(epochs, 3);
                 assert_eq!(churn, 0.25);
@@ -2367,7 +2622,7 @@ mod tests {
         for fresh in [false, true] {
             for mixed in [false, true] {
                 run(Command::Reprovision {
-                    trace: path.display().to_string(),
+                    source: WorkloadSource::Trace(path.display().to_string()),
                     tau: 40,
                     instance: instances::C3_LARGE,
                     epochs: 3,
@@ -2445,7 +2700,7 @@ mod tests {
                 resume,
                 ..
             } => {
-                assert_eq!(family, "spotify");
+                assert_eq!(family.as_deref(), Some("spotify"));
                 assert_eq!(size, 500);
                 assert_eq!(tau, 30);
                 assert_eq!(epochs, 4);
@@ -2498,7 +2753,8 @@ mod tests {
         let state = dir.join("state");
         let summary = dir.join("summary.json");
         run(Command::Serve {
-            family: "spotify".into(),
+            family: Some("spotify".into()),
+            store: None,
             size: 250,
             seed: 4,
             tau: 40,
@@ -2530,7 +2786,8 @@ mod tests {
         assert!(json.contains("\"epochs\": 3"));
         // Recover from the state directory and stream two more batches.
         run(Command::Serve {
-            family: "spotify".into(),
+            family: Some("spotify".into()),
+            store: None,
             size: 250,
             seed: 4,
             tau: 40,
@@ -2571,7 +2828,7 @@ mod tests {
     #[test]
     fn missing_trace_file_is_reported() {
         let err = run(Command::Analyze {
-            trace: "/definitely/not/here.tsv".into(),
+            source: WorkloadSource::Trace("/definitely/not/here.tsv".into()),
             blast_radius: None,
             tau: None,
             instance: instances::C3_LARGE,
@@ -2788,7 +3045,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let state = dir.join("state");
         run(Command::Serve {
-            family: "spotify".into(),
+            family: Some("spotify".into()),
+            store: None,
             size: 250,
             seed: 4,
             tau: 40,

@@ -649,6 +649,130 @@ fn analyze_blast_radius_ranks_vms() {
 }
 
 #[test]
+fn ingest_store_is_a_drop_in_for_the_trace() {
+    let dir = scratch("ingest");
+    let trace = dir.join("trace.tsv");
+    let trace_str = trace.display().to_string();
+    let store = dir.join("workload.mcss");
+    let store_str = store.display().to_string();
+
+    let out = mcss(&[
+        "generate", "spotify", "--size", "200", "--seed", "5", "--out", &trace_str,
+    ]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+
+    let out = mcss(&["ingest", &trace_str, "--out", &store_str]);
+    assert!(out.status.success(), "ingest failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("ingested"), "no summary line in: {text}");
+    assert!(text.contains("sections"), "no section count in: {text}");
+
+    // analyze --store prints the on-disk bytes of every section next to
+    // the resident footprint.
+    let out = mcss(&["analyze", "--store", &store_str]);
+    assert!(
+        out.status.success(),
+        "analyze --store failed: {}",
+        stderr(&out)
+    );
+    let report = stdout(&out);
+    assert!(
+        report.contains("on-disk store"),
+        "no store section: {report}"
+    );
+    assert!(report.contains("bytes/subscriber"), "no ratio: {report}");
+    for section in ["rates", "interest-offsets", "ranked-topics", "follower-ids"] {
+        assert!(report.contains(section), "missing {section} in: {report}");
+    }
+
+    // Solving from the store must print byte-for-byte what the trace
+    // path prints — the store load is a drop-in replacement.
+    let via_trace = mcss(&["solve", &trace_str, "--tau", "50"]);
+    let via_store = mcss(&["solve", "--store", &store_str, "--tau", "50"]);
+    assert!(via_trace.status.success(), "{}", stderr(&via_trace));
+    assert!(via_store.status.success(), "{}", stderr(&via_store));
+    assert_eq!(
+        stdout(&via_trace),
+        stdout(&via_store),
+        "store and trace solves must agree bit for bit"
+    );
+
+    // Both sources at once is refused up front.
+    let out = mcss(&["solve", &trace_str, "--store", &store_str, "--tau", "50"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("not both"),
+        "bad error: {}",
+        stderr(&out)
+    );
+
+    // A flipped payload byte fails closed with the section named.
+    let mut bytes = std::fs::read(&store).expect("store written");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&store, &bytes).expect("rewrite store");
+    let out = mcss(&["solve", "--store", &store_str, "--tau", "50"]);
+    assert!(!out.status.success(), "corrupted store must not solve");
+    assert!(
+        stderr(&out).contains("CRC32"),
+        "no checksum diagnostic: {}",
+        stderr(&out)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_streams_from_an_ingested_store() {
+    let dir = scratch("serve-store");
+    let trace = dir.join("trace.tsv");
+    let trace_str = trace.display().to_string();
+    let store = dir.join("workload.mcss");
+    let store_str = store.display().to_string();
+    let state = dir.join("state");
+
+    let out = mcss(&[
+        "generate", "spotify", "--size", "150", "--seed", "4", "--out", &trace_str,
+    ]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+    let out = mcss(&["ingest", &trace_str, "--out", &store_str]);
+    assert!(out.status.success(), "ingest failed: {}", stderr(&out));
+
+    let out = mcss(&[
+        "serve",
+        "--store",
+        &store_str,
+        "--tau",
+        "30",
+        "--epochs",
+        "2",
+        "--snapshot-every",
+        "1",
+        "--dir",
+        &state.display().to_string(),
+    ]);
+    assert!(
+        out.status.success(),
+        "serve --store failed: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("epoch   0:"), "no epoch lines in: {text}");
+    assert!(text.contains("served 2 epochs"), "no run footer in: {text}");
+
+    // --trace and --store together are ambiguous.
+    let out = mcss(&["serve", "--trace", "spotify", "--store", &store_str]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("mutually exclusive"),
+        "bad error: {}",
+        stderr(&out)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn serve_drill_schedule_kills_and_heals() {
     let dir = scratch("serve-drill");
     let state = dir.join("state");
